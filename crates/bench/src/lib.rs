@@ -1,0 +1,85 @@
+//! Shared helpers for the benchmark suite: deterministic test matrices of
+//! every structure class, plus a deliberately naive reference GEMM used
+//! as the "no blocking" baseline in the §1.1 experiments.
+
+use la_core::{Mat, RealScalar, Scalar};
+use la_lapack::{lagge, spectrum, Dist, Larnv, SpectrumMode};
+
+/// A reproducible random general matrix with condition number ~100.
+pub fn bench_matrix<T: Scalar>(n: usize, seed: u64) -> Mat<T> {
+    let d = spectrum::<T::Real>(SpectrumMode::Geometric, n, T::Real::from_f64(100.0));
+    let mut rng = Larnv::new(seed);
+    Mat::from_col_major(n, n, lagge::<T>(&mut rng, n, n, &d))
+}
+
+/// A reproducible random Hermitian positive definite matrix.
+pub fn bench_spd<T: Scalar>(n: usize, seed: u64) -> Mat<T> {
+    let mut rng = Larnv::new(seed);
+    let g: Mat<T> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Normal));
+    let mut a: Mat<T> = Mat::zeros(n, n);
+    la_blas::gemm(
+        la_core::Trans::ConjTrans,
+        la_core::Trans::No,
+        n,
+        n,
+        n,
+        T::one(),
+        g.as_slice(),
+        n,
+        g.as_slice(),
+        n,
+        T::zero(),
+        a.as_mut_slice(),
+        n,
+    );
+    for i in 0..n {
+        a[(i, i)] += T::from_real(T::Real::from_usize(n));
+    }
+    a
+}
+
+/// A reproducible random Hermitian (indefinite) matrix.
+pub fn bench_herm<T: Scalar>(n: usize, seed: u64) -> Mat<T> {
+    let mut rng = Larnv::new(seed);
+    let mut a: Mat<T> = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            let v: T = if i == j {
+                T::from_real(rng.real(Dist::Uniform11))
+            } else {
+                rng.scalar(Dist::Uniform11)
+            };
+            a[(i, j)] = v;
+            a[(j, i)] = v.conj();
+        }
+    }
+    a
+}
+
+/// The textbook three-loop GEMM with no blocking and the worst loop order
+/// for column-major data — the "LINPACK-era memory access pattern" the
+/// paper's §1.1 motivates against.
+pub fn gemm_naive<T: Scalar>(m: usize, n: usize, k: usize, a: &[T], b: &[T], c: &mut [T]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = T::zero();
+            for l in 0..k {
+                s += a[i + l * m] * b[l + j * k];
+            }
+            c[i + j * m] = s;
+        }
+    }
+}
+
+/// Right-hand side with known solution `x = (1, …, 1)ᵀ` (scaled per
+/// column as in the paper's examples).
+pub fn rowsum_rhs<T: Scalar>(a: &Mat<T>, nrhs: usize) -> Mat<T> {
+    let (m, n) = a.shape();
+    Mat::from_fn(m, nrhs, |i, j| {
+        let mut s = T::zero();
+        for kk in 0..n {
+            s += a[(i, kk)];
+        }
+        s * T::from_f64((j + 1) as f64)
+    })
+}

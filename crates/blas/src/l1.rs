@@ -1,0 +1,314 @@
+//! Level 1 BLAS: vector-vector operations.
+//!
+//! Signatures follow the Fortran convention (`n`, slice, stride), with
+//! 0-based indexing and strictly positive strides. One generic function
+//! replaces each S/D/C/Z quadruple; real and complex variants that differ
+//! only by conjugation are split (`dotu`/`dotc`) exactly as in BLAS.
+
+use la_core::{RealScalar, Scalar};
+
+/// `y := a*x + y` (`xAXPY`).
+pub fn axpy<T: Scalar>(n: usize, a: T, x: &[T], incx: usize, y: &mut [T], incy: usize) {
+    if n == 0 || a.is_zero() {
+        return;
+    }
+    if incx == 1 && incy == 1 {
+        for (yi, &xi) in y[..n].iter_mut().zip(&x[..n]) {
+            *yi += a * xi;
+        }
+    } else {
+        let (mut ix, mut iy) = (0, 0);
+        for _ in 0..n {
+            y[iy] += a * x[ix];
+            ix += incx;
+            iy += incy;
+        }
+    }
+}
+
+/// `x := a*x` (`xSCAL`).
+pub fn scal<T: Scalar>(n: usize, a: T, x: &mut [T], incx: usize) {
+    if incx == 1 {
+        for xi in &mut x[..n] {
+            *xi *= a;
+        }
+    } else {
+        let mut ix = 0;
+        for _ in 0..n {
+            x[ix] *= a;
+            ix += incx;
+        }
+    }
+}
+
+/// `x := r*x` with a real scalar (`CSSCAL`/`ZDSCAL`; plain `xSCAL` for reals).
+pub fn rscal<T: Scalar>(n: usize, r: T::Real, x: &mut [T], incx: usize) {
+    if incx == 1 {
+        for xi in &mut x[..n] {
+            *xi = xi.mul_real(r);
+        }
+    } else {
+        let mut ix = 0;
+        for _ in 0..n {
+            x[ix] = x[ix].mul_real(r);
+            ix += incx;
+        }
+    }
+}
+
+/// `y := x` (`xCOPY`).
+pub fn copy<T: Scalar>(n: usize, x: &[T], incx: usize, y: &mut [T], incy: usize) {
+    if incx == 1 && incy == 1 {
+        y[..n].copy_from_slice(&x[..n]);
+    } else {
+        let (mut ix, mut iy) = (0, 0);
+        for _ in 0..n {
+            y[iy] = x[ix];
+            ix += incx;
+            iy += incy;
+        }
+    }
+}
+
+/// Exchanges `x` and `y` (`xSWAP`).
+pub fn swap<T: Scalar>(n: usize, x: &mut [T], incx: usize, y: &mut [T], incy: usize) {
+    let (mut ix, mut iy) = (0, 0);
+    for _ in 0..n {
+        core::mem::swap(&mut x[ix], &mut y[iy]);
+        ix += incx;
+        iy += incy;
+    }
+}
+
+/// Unconjugated dot product `xᵀ y` (`xDOT` / `xDOTU`).
+pub fn dotu<T: Scalar>(n: usize, x: &[T], incx: usize, y: &[T], incy: usize) -> T {
+    let mut s = T::zero();
+    if incx == 1 && incy == 1 {
+        for (&xi, &yi) in x[..n].iter().zip(&y[..n]) {
+            s += xi * yi;
+        }
+    } else {
+        let (mut ix, mut iy) = (0, 0);
+        for _ in 0..n {
+            s += x[ix] * y[iy];
+            ix += incx;
+            iy += incy;
+        }
+    }
+    s
+}
+
+/// Conjugated dot product `xᴴ y` (`xDOT` / `xDOTC`).
+pub fn dotc<T: Scalar>(n: usize, x: &[T], incx: usize, y: &[T], incy: usize) -> T {
+    let mut s = T::zero();
+    if incx == 1 && incy == 1 {
+        for (&xi, &yi) in x[..n].iter().zip(&y[..n]) {
+            s += xi.conj() * yi;
+        }
+    } else {
+        let (mut ix, mut iy) = (0, 0);
+        for _ in 0..n {
+            s += x[ix].conj() * y[iy];
+            ix += incx;
+            iy += incy;
+        }
+    }
+    s
+}
+
+/// Euclidean norm `‖x‖₂` (`xNRM2`), computed with the scaled accumulation
+/// of `xLASSQ` so it neither overflows nor underflows prematurely.
+pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: usize) -> T::Real {
+    let (mut scale, mut ssq) = (T::Real::zero(), T::Real::one());
+    lassq(n, x, incx, &mut scale, &mut ssq);
+    scale * ssq.rsqrt()
+}
+
+/// `xLASSQ`: updates `(scale, ssq)` so that
+/// `scale² · ssq = old_scale² · old_ssq + Σ |x_i|²` without overflow.
+pub fn lassq<T: Scalar>(n: usize, x: &[T], incx: usize, scale: &mut T::Real, ssq: &mut T::Real) {
+    let mut update = |v: T::Real| {
+        let a = v.rabs();
+        if a.is_zero() || a.is_nan() {
+            return;
+        }
+        if *scale < a {
+            let r = *scale / a;
+            *ssq = T::Real::one() + *ssq * r * r;
+            *scale = a;
+        } else {
+            let r = a / *scale;
+            *ssq += r * r;
+        }
+    };
+    let mut ix = 0;
+    for _ in 0..n {
+        let xi = x[ix];
+        update(xi.re());
+        if T::IS_COMPLEX {
+            update(xi.im());
+        }
+        ix += incx;
+    }
+}
+
+/// Sum of `abs1` moduli (`xASUM` / `xCASUM`): `Σ (|re| + |im|)`.
+pub fn asum<T: Scalar>(n: usize, x: &[T], incx: usize) -> T::Real {
+    let mut s = T::Real::zero();
+    let mut ix = 0;
+    for _ in 0..n {
+        s += x[ix].abs1();
+        ix += incx;
+    }
+    s
+}
+
+/// 0-based index of the first element with the largest `abs1` modulus
+/// (`IxAMAX`, shifted to 0-based). Returns 0 when `n == 0`.
+pub fn iamax<T: Scalar>(n: usize, x: &[T], incx: usize) -> usize {
+    let mut best = T::Real::zero();
+    let mut arg = 0usize;
+    let mut ix = 0;
+    for k in 0..n {
+        let a = x[ix].abs1();
+        if a > best {
+            best = a;
+            arg = k;
+        }
+        ix += incx;
+    }
+    arg
+}
+
+/// Generates a real Givens rotation (`xROTG`, real form):
+/// returns `(c, s, r)` with `[c s; -s c]ᵀ [a; b] = [r; 0]`.
+pub fn rotg<R: RealScalar>(a: R, b: R) -> (R, R, R) {
+    // The LAPACK xLARTG formulation: robust and produces c >= 0.
+    if b.is_zero() {
+        (R::one(), R::zero(), a)
+    } else if a.is_zero() {
+        (R::zero(), R::one(), b)
+    } else {
+        let r = a.hypot(b).sign(a);
+        let c = a / r;
+        let s = b / r;
+        (c, s, r)
+    }
+}
+
+/// Applies a real plane rotation to a pair of vectors (`xROT`):
+/// `(x_i, y_i) := (c·x_i + s·y_i, −s·x_i + c·y_i)`.
+pub fn rot<T: Scalar>(
+    n: usize,
+    x: &mut [T],
+    incx: usize,
+    y: &mut [T],
+    incy: usize,
+    c: T::Real,
+    s: T::Real,
+) {
+    let (mut ix, mut iy) = (0, 0);
+    for _ in 0..n {
+        let xi = x[ix];
+        let yi = y[iy];
+        x[ix] = xi.mul_real(c) + yi.mul_real(s);
+        y[iy] = yi.mul_real(c) - xi.mul_real(s);
+        ix += incx;
+        iy += incy;
+    }
+}
+
+/// Conjugates a vector in place (`xLACGV`). No-op for real scalars.
+pub fn lacgv<T: Scalar>(n: usize, x: &mut [T], incx: usize) {
+    if !T::IS_COMPLEX {
+        return;
+    }
+    let mut ix = 0;
+    for _ in 0..n {
+        x[ix] = x[ix].conj();
+        ix += incx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::C64;
+
+    #[test]
+    fn axpy_strided() {
+        let x = [1.0f64, 9.0, 2.0, 9.0, 3.0];
+        let mut y = [10.0f64, 20.0, 30.0];
+        axpy(3, 2.0, &x, 2, &mut y, 1);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn dot_variants() {
+        let x = [C64::new(1.0, 2.0), C64::new(3.0, -1.0)];
+        let y = [C64::new(2.0, 0.0), C64::new(0.0, 1.0)];
+        let du = dotu(2, &x, 1, &y, 1);
+        let dc = dotc(2, &x, 1, &y, 1);
+        assert_eq!(du, C64::new(1.0, 2.0) * C64::new(2.0, 0.0) + C64::new(3.0, -1.0) * C64::new(0.0, 1.0));
+        assert_eq!(dc, C64::new(1.0, -2.0) * C64::new(2.0, 0.0) + C64::new(3.0, 1.0) * C64::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn nrm2_is_scale_safe() {
+        let big = 1.0e200;
+        let x = [big, big, big, big];
+        let r: f64 = nrm2(4, &x, 1);
+        assert!((r - 2.0e200).abs() < 1e185);
+        let tiny = 1.0e-200;
+        let x = [tiny; 9];
+        let r: f64 = nrm2(9, &x, 1);
+        assert!((r - 3.0e-200).abs() < 1e-214);
+    }
+
+    #[test]
+    fn nrm2_complex() {
+        let x = [C64::new(3.0, 4.0)];
+        assert!((nrm2(1, &x, 1) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn asum_iamax() {
+        let x = [C64::new(1.0, -1.0), C64::new(0.0, 3.0), C64::new(-2.0, 0.0)];
+        assert_eq!(asum(3, &x, 1), 7.0);
+        assert_eq!(iamax(3, &x, 1), 1);
+        assert_eq!(iamax(0, &x, 1), 0);
+    }
+
+    #[test]
+    fn rot_and_rotg_zero_second_component() {
+        let (c, s, r) = rotg(3.0f64, 4.0);
+        assert!((c * c + s * s - 1.0).abs() < 1e-15);
+        assert!((r.abs() - 5.0).abs() < 1e-15);
+        let mut x = [3.0f64];
+        let mut y = [4.0f64];
+        rot(1, &mut x, 1, &mut y, 1, c, s);
+        assert!((x[0] - r).abs() < 1e-14);
+        assert!(y[0].abs() < 1e-14);
+    }
+
+    #[test]
+    fn swap_and_copy() {
+        let mut x = [1.0f64, 2.0];
+        let mut y = [3.0f64, 4.0];
+        swap(2, &mut x, 1, &mut y, 1);
+        assert_eq!(x, [3.0, 4.0]);
+        let mut z = [0.0f64; 2];
+        copy(2, &x, 1, &mut z, 1);
+        assert_eq!(z, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn lacgv_conjugates_complex_only() {
+        let mut x = [C64::new(1.0, 2.0)];
+        lacgv(1, &mut x, 1);
+        assert_eq!(x[0], C64::new(1.0, -2.0));
+        let mut y = [5.0f64];
+        lacgv(1, &mut y, 1);
+        assert_eq!(y[0], 5.0);
+    }
+}

@@ -1,0 +1,902 @@
+//! Level 3 BLAS: matrix-matrix operations.
+//!
+//! `gemm` is the workhorse the LAPACK blocked algorithms lean on (the
+//! paper's §1.1: "LAPACK addresses this problem by reorganizing the
+//! algorithms to use block matrix operations ... in the innermost loops").
+//! The implementation here uses three-level cache blocking with a
+//! four-column unrolled inner kernel, and optionally splits the columns of
+//! `C` across OS threads (`std::thread::scope`) for large products — the
+//! same data-parallel decomposition a Rayon `par_chunks_mut` would express.
+
+use la_core::{Diag, Scalar, Side, Trans, Uplo};
+
+use crate::l1::axpy;
+
+#[inline(always)]
+fn cj<T: Scalar>(conj: bool, x: T) -> T {
+    if conj {
+        x.conj()
+    } else {
+        x
+    }
+}
+
+/// Depth of the k-dimension cache block.
+const KC: usize = 128;
+/// Flop threshold (m·n·k) above which `gemm` goes parallel — high enough
+/// that the blocked-factorization panel updates (tall, skinny `k`) stay
+/// serial where thread startup would dominate.
+const PAR_FLOPS: usize = 200 * 200 * 200;
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// General matrix-matrix product (`xGEMM`):
+/// `C := alpha*op(A)*op(B) + beta*C`,
+/// where `op(A)` is `m × k` and `op(B)` is `k × n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    // C := beta*C
+    if beta != T::one() {
+        for j in 0..n {
+            let col = &mut c[j * ldc..j * ldc + m];
+            if beta.is_zero() {
+                col.fill(T::zero());
+            } else {
+                for ci in col {
+                    *ci *= beta;
+                }
+            }
+        }
+    }
+    if alpha.is_zero() || k == 0 {
+        return;
+    }
+
+    let nt = max_threads();
+    if nt > 1 && m * n * k >= PAR_FLOPS && n >= 8 * nt && c.len() >= ldc * n {
+        gemm_striped(nt.min(n), transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+        gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+}
+
+/// Splits the columns of `C` into `stripes` independent sub-products run
+/// on scoped threads (the data-parallel decomposition a Rayon
+/// `par_chunks_mut` would express). Exposed at crate level so the split
+/// bookkeeping stays testable on single-core machines.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_striped<T: Scalar>(
+    stripes: usize,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let base = n / stripes;
+    let extra = n % stripes;
+    std::thread::scope(|s| {
+        let mut rest = &mut c[..ldc * n];
+        let mut j0 = 0usize;
+        for t in 0..stripes {
+            let w = base + usize::from(t < extra);
+            let (mine, tail) = rest.split_at_mut(ldc * w);
+            rest = tail;
+            let boff = match transb {
+                Trans::No => j0 * ldb,
+                _ => j0,
+            };
+            let bsub = &b[boff..];
+            s.spawn(move || {
+                gemm_serial(transa, transb, m, w, k, alpha, a, lda, bsub, ldb, mine, ldc);
+            });
+            j0 += w;
+        }
+    });
+}
+
+/// Serial gemm accumulating `alpha*op(A)*op(B)` into `C` (beta already
+/// applied): small problems take a simple sweep; larger ones go through
+/// the packed GEBP kernel below.
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m * n * k >= 24 * 24 * 24 {
+        gemm_gebp(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+        gemm_small(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+}
+
+/// Straightforward sweep used for small products and as the reference
+/// shape for the packed kernel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let cja = transa.is_conj();
+    let cjb = transb.is_conj();
+    let bel = |l: usize, j: usize| -> T {
+        match transb {
+            Trans::No => b[l + j * ldb],
+            _ => cj(cjb, b[j + l * ldb]),
+        }
+    };
+    match transa {
+        Trans::No => {
+            for j in 0..n {
+                let ccol = &mut c[j * ldc..j * ldc + m];
+                for l in 0..k {
+                    let t = alpha * bel(l, j);
+                    if !t.is_zero() {
+                        axpy(m, t, &a[l * lda..l * lda + m], 1, ccol, 1);
+                    }
+                }
+            }
+        }
+        _ => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = &a[i * lda..i * lda + k];
+                    let mut s = T::zero();
+                    match transb {
+                        Trans::No => {
+                            let bcol = &b[j * ldb..j * ldb + k];
+                            if cja {
+                                for l in 0..k {
+                                    s += acol[l].conj() * bcol[l];
+                                }
+                            } else {
+                                for l in 0..k {
+                                    s += acol[l] * bcol[l];
+                                }
+                            }
+                        }
+                        _ => {
+                            for l in 0..k {
+                                s += cj(cja, acol[l]) * cj(cjb, b[j + l * ldb]);
+                            }
+                        }
+                    }
+                    c[i + j * ldc] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Micro-tile height (rows of C held in registers).
+const MR: usize = 4;
+/// Micro-tile width (columns of C held in registers).
+const NR: usize = 4;
+/// Row-block of the packed A panel.
+const MC: usize = 192;
+/// Column-block of the packed B panel.
+const NCB: usize = 96;
+
+/// Packed GEBP gemm (Goto-style): op(A) blocks are packed into MR-row
+/// micro-panels contiguous in `l`, op(B) into column stripes contiguous
+/// in `l`, and a register-tiled MR×NR microkernel does the flops — this
+/// is the "block matrix operations in the innermost loops" the paper's
+/// §1.1 attributes LAPACK's portability-with-performance to.
+#[allow(clippy::too_many_arguments)]
+fn gemm_gebp<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let cja = transa.is_conj();
+    let cjb = transb.is_conj();
+    // Element accessors for op(A) (i, l) and op(B) (l, j).
+    let ael = |i: usize, l: usize| -> T {
+        match transa {
+            Trans::No => a[i + l * lda],
+            _ => cj(cja, a[l + i * lda]),
+        }
+    };
+    let bel = |l: usize, j: usize| -> T {
+        match transb {
+            Trans::No => b[l + j * ldb],
+            _ => cj(cjb, b[j + l * ldb]),
+        }
+    };
+
+    let mut apack = vec![T::zero(); MC.min(m).div_ceil(MR) * MR * KC.min(k)];
+    let mut bpack = vec![T::zero(); NCB.min(n).div_ceil(NR) * NR * KC.min(k)];
+
+    let mut jc = 0;
+    while jc < n {
+        let nb = NCB.min(n - jc);
+        let nb_pad = nb.div_ceil(NR) * NR;
+        let mut lc = 0;
+        while lc < k {
+            let kb = KC.min(k - lc);
+            // Pack op(B)(lc..lc+kb, jc..jc+nb): stripe of NR columns,
+            // interleaved per l: bpack[stripe][(l*NR + r)].
+            for js in (0..nb_pad).step_by(NR) {
+                let base = js * kb;
+                for l in 0..kb {
+                    for r in 0..NR {
+                        let j = jc + js + r;
+                        bpack[base + l * NR + r] = if js + r < nb {
+                            alpha * bel(lc + l, j)
+                        } else {
+                            T::zero()
+                        };
+                    }
+                }
+            }
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                let mb_pad = mb.div_ceil(MR) * MR;
+                // Pack op(A)(ic..ic+mb, lc..lc+kb): micro-panels of MR
+                // rows, interleaved per l: apack[panel][(l*MR + r)].
+                for is in (0..mb_pad).step_by(MR) {
+                    let base = is * kb;
+                    match (transa, is + MR <= mb) {
+                        (Trans::No, true) => {
+                            // Contiguous gather from MR consecutive rows.
+                            for l in 0..kb {
+                                let src = ic + is + (lc + l) * lda;
+                                apack[base + l * MR..base + l * MR + MR]
+                                    .copy_from_slice(&a[src..src + MR]);
+                            }
+                        }
+                        _ => {
+                            for l in 0..kb {
+                                for r in 0..MR {
+                                    apack[base + l * MR + r] = if is + r < mb {
+                                        ael(ic + is + r, lc + l)
+                                    } else {
+                                        T::zero()
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+                // Macro-kernel: register-tiled micro-multiplications.
+                for js in (0..nb_pad).step_by(NR) {
+                    let bbase = js * kb;
+                    for is in (0..mb_pad).step_by(MR) {
+                        let abase = is * kb;
+                        // MR×NR accumulator in registers.
+                        let mut acc = [[T::zero(); NR]; MR];
+                        let ap = &apack[abase..abase + kb * MR];
+                        let bp = &bpack[bbase..bbase + kb * NR];
+                        for l in 0..kb {
+                            let av = &ap[l * MR..l * MR + MR];
+                            let bv = &bp[l * NR..l * NR + NR];
+                            for (r, &ar) in av.iter().enumerate() {
+                                for (s, &bs) in bv.iter().enumerate() {
+                                    acc[r][s] += ar * bs;
+                                }
+                            }
+                        }
+                        // Write back the valid part of the tile.
+                        let rows = MR.min(mb - is);
+                        let cols = NR.min(nb.saturating_sub(js));
+                        for (s, accr) in (0..cols).map(|s| (s, &acc)) {
+                            let col =
+                                &mut c[(jc + js + s) * ldc + ic + is..(jc + js + s) * ldc + ic + is + rows];
+                            for (r, cv) in col.iter_mut().enumerate() {
+                                *cv += accr[r][s];
+                            }
+                        }
+                    }
+                }
+                ic += mb;
+            }
+            lc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// Symmetric (`xSYMM`, `conj = false`) or Hermitian (`xHEMM`,
+/// `conj = true`) matrix-matrix product:
+/// `C := alpha*A*B + beta*C` (`Side::Left`) or `alpha*B*A + beta*C`
+/// (`Side::Right`), with `A` symmetric/Hermitian, one triangle stored.
+#[allow(clippy::too_many_arguments)]
+pub fn symm<T: Scalar>(
+    conj: bool,
+    side: Side,
+    uplo: Uplo,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    // Full element of the symmetric A from its stored triangle.
+    let ael = |i: usize, j: usize| -> T {
+        let stored_upper = uplo == Uplo::Upper;
+        if (i <= j) == stored_upper || i == j {
+            let v = a[i + j * lda];
+            if conj && i == j {
+                T::from_real(v.re())
+            } else {
+                v
+            }
+        } else {
+            cj(conj, a[j + i * lda])
+        }
+    };
+    debug_assert!(na <= lda.max(na));
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = T::zero();
+            match side {
+                Side::Left => {
+                    for l in 0..m {
+                        s += ael(i, l) * b[l + j * ldb];
+                    }
+                }
+                Side::Right => {
+                    for l in 0..n {
+                        s += b[i + l * ldb] * ael(l, j);
+                    }
+                }
+            }
+            let cc = &mut c[i + j * ldc];
+            *cc = if beta.is_zero() { T::zero() } else { beta * *cc } + alpha * s;
+        }
+    }
+}
+
+/// Symmetric rank-k update (`xSYRK`):
+/// `C := alpha*op(A)*op(A)ᵀ + beta*C`, updating only the `uplo` triangle.
+/// `trans = No` uses `A` (`n × k`); `trans = Trans` uses `Aᵀ`.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    syrk_impl(false, uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+}
+
+/// Hermitian rank-k update (`xHERK`):
+/// `C := alpha*op(A)*op(A)ᴴ + beta*C` with real `alpha`, `beta`
+/// represented as `T` (imaginary parts must be zero).
+#[allow(clippy::too_many_arguments)]
+pub fn herk<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T::Real,
+    a: &[T],
+    lda: usize,
+    beta: T::Real,
+    c: &mut [T],
+    ldc: usize,
+) {
+    syrk_impl(
+        T::IS_COMPLEX,
+        uplo,
+        trans,
+        n,
+        k,
+        T::from_real(alpha),
+        a,
+        lda,
+        T::from_real(beta),
+        c,
+        ldc,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn syrk_impl<T: Scalar>(
+    conj: bool,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    // Scale the target triangle by beta first, then accumulate with the
+    // rectangular bulk routed through gemm (this is what makes the blocked
+    // Cholesky actually faster than the unblocked one).
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0, j + 1),
+            Uplo::Lower => (j, n),
+        };
+        for i in lo..hi {
+            let cc = &mut c[i + j * ldc];
+            *cc = if beta.is_zero() { T::zero() } else { beta * *cc };
+        }
+    }
+    if alpha.is_zero() || k == 0 {
+        if conj {
+            for j in 0..n {
+                let cc = &mut c[j + j * ldc];
+                *cc = T::from_real(cc.re());
+            }
+        }
+        return;
+    }
+    // op(A) element (i, l) for the small diagonal triangles.
+    let ael = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => a[i + l * lda],
+            _ => a[l + i * lda],
+        }
+    };
+    const NB: usize = 48;
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = NB.min(n - j0);
+        // Diagonal triangle block (jb × jb): scalar loops.
+        for j in j0..j0 + jb {
+            let (lo, hi) = match uplo {
+                Uplo::Upper => (j0, j + 1),
+                Uplo::Lower => (j, j0 + jb),
+            };
+            for i in lo..hi {
+                let mut s = T::zero();
+                if conj {
+                    if trans == Trans::No {
+                        for l in 0..k {
+                            s += ael(i, l) * ael(j, l).conj();
+                        }
+                    } else {
+                        for l in 0..k {
+                            s += ael(i, l).conj() * ael(j, l);
+                        }
+                    }
+                } else {
+                    for l in 0..k {
+                        s += ael(i, l) * ael(j, l);
+                    }
+                }
+                let cc = &mut c[i + j * ldc];
+                *cc += alpha * s;
+                if conj && i == j {
+                    *cc = T::from_real(cc.re());
+                }
+            }
+        }
+        // Off-diagonal rectangle: gemm does the heavy lifting.
+        match uplo {
+            Uplo::Lower => {
+                // Rows j0+jb..n, columns j0..j0+jb.
+                let m_rect = n - j0 - jb;
+                if m_rect > 0 {
+                    let (ta, tb, aoff_rows, aoff_cols) = match (trans, conj) {
+                        (Trans::No, false) => (Trans::No, Trans::Trans, j0 + jb, j0),
+                        (Trans::No, true) => (Trans::No, Trans::ConjTrans, j0 + jb, j0),
+                        (_, false) => (Trans::Trans, Trans::No, j0 + jb, j0),
+                        (_, true) => (Trans::ConjTrans, Trans::No, j0 + jb, j0),
+                    };
+                    // op(A) row block / column block starting offsets in the
+                    // stored A.
+                    let a_rows: &[T] = match trans {
+                        Trans::No => &a[aoff_rows..],
+                        _ => &a[aoff_rows * lda..],
+                    };
+                    let a_cols: &[T] = match trans {
+                        Trans::No => &a[aoff_cols..],
+                        _ => &a[aoff_cols * lda..],
+                    };
+                    gemm(
+                        ta,
+                        tb,
+                        m_rect,
+                        jb,
+                        k,
+                        alpha,
+                        a_rows,
+                        lda,
+                        a_cols,
+                        lda,
+                        T::one(),
+                        &mut c[j0 + jb + j0 * ldc..],
+                        ldc,
+                    );
+                }
+            }
+            Uplo::Upper => {
+                // Rows 0..j0, columns j0..j0+jb.
+                if j0 > 0 {
+                    let (ta, tb) = match (trans, conj) {
+                        (Trans::No, false) => (Trans::No, Trans::Trans),
+                        (Trans::No, true) => (Trans::No, Trans::ConjTrans),
+                        (_, false) => (Trans::Trans, Trans::No),
+                        (_, true) => (Trans::ConjTrans, Trans::No),
+                    };
+                    let a_rows: &[T] = a; // rows 0.. / cols 0..
+                    let a_cols: &[T] = match trans {
+                        Trans::No => &a[j0..],
+                        _ => &a[j0 * lda..],
+                    };
+                    gemm(
+                        ta,
+                        tb,
+                        j0,
+                        jb,
+                        k,
+                        alpha,
+                        a_rows,
+                        lda,
+                        a_cols,
+                        lda,
+                        T::one(),
+                        &mut c[j0 * ldc..],
+                        ldc,
+                    );
+                }
+            }
+        }
+        j0 += jb;
+    }
+}
+
+/// Symmetric rank-2k update (`xSYR2K`):
+/// `C := alpha*op(A)*op(B)ᵀ + alpha*op(B)*op(A)ᵀ + beta*C`.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let ael = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => a[i + l * lda],
+            _ => a[l + i * lda],
+        }
+    };
+    let bel = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => b[i + l * ldb],
+            _ => b[l + i * ldb],
+        }
+    };
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0, j + 1),
+            Uplo::Lower => (j, n),
+        };
+        for i in lo..hi {
+            let mut s = T::zero();
+            for l in 0..k {
+                s += ael(i, l) * bel(j, l) + bel(i, l) * ael(j, l);
+            }
+            let cc = &mut c[i + j * ldc];
+            *cc = if beta.is_zero() { T::zero() } else { beta * *cc } + alpha * s;
+        }
+    }
+}
+
+
+/// Triangular matrix-matrix product (`xTRMM`):
+/// `B := alpha*op(A)*B` (`Side::Left`) or `B := alpha*B*op(A)`
+/// (`Side::Right`), with `A` triangular.
+#[allow(clippy::too_many_arguments)]
+pub fn trmm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    match side {
+        Side::Left => {
+            // Apply op(A) to each column of B.
+            for j in 0..n {
+                let col = &mut b[j * ldb..j * ldb + m];
+                crate::l2::trmv(uplo, trans, diag, m, a, lda, col, 1);
+                if alpha != T::one() {
+                    for x in col {
+                        *x *= alpha;
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            if m >= 12 {
+                // Cache-friendly path: materialise Bᵀ, apply from the left
+                // (unit-stride trmv columns), transpose back. The O(mn)
+                // copies are negligible against the O(mn²) compute.
+                let cjb = trans == Trans::ConjTrans;
+                let mut bt = vec![T::zero(); n * m];
+                for j in 0..n {
+                    for i in 0..m {
+                        let v = b[i + j * ldb];
+                        bt[j + i * n] = if cjb { v.conj() } else { v };
+                    }
+                }
+                let ltr = match trans {
+                    Trans::No => Trans::Trans,
+                    _ => Trans::No,
+                };
+                trmm(Side::Left, uplo, ltr, diag, n, m, T::one(), a, lda, &mut bt, n);
+                for j in 0..n {
+                    for i in 0..m {
+                        let v = bt[j + i * n];
+                        let v = if cjb { v.conj() } else { v };
+                        b[i + j * ldb] = if alpha == T::one() { v } else { alpha * v };
+                    }
+                }
+                return;
+            }
+            // Row i of B: rᵀ := op(A)ᵀ rᵀ. The stored triangle of A is
+            // unchanged; only the trans flag composes with the transpose.
+            for i in 0..m {
+                let row = &mut b[i..];
+                match trans {
+                    Trans::No => crate::l2::trmv(uplo, Trans::Trans, diag, n, a, lda, row, ldb),
+                    Trans::Trans => crate::l2::trmv(uplo, Trans::No, diag, n, a, lda, row, ldb),
+                    Trans::ConjTrans => {
+                        // r := r Aᴴ  ⇔  rᵀ := Ā rᵀ = conj(A · conj(rᵀ)).
+                        crate::l1::lacgv(n, row, ldb);
+                        crate::l2::trmv(uplo, Trans::No, diag, n, a, lda, row, ldb);
+                        crate::l1::lacgv(n, row, ldb);
+                    }
+                }
+                if alpha != T::one() {
+                    let mut idx = 0;
+                    for _ in 0..n {
+                        row[idx] *= alpha;
+                        idx += ldb;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides (`xTRSM`):
+/// `op(A)·X = alpha·B` (`Side::Left`) or `X·op(A) = alpha·B`
+/// (`Side::Right`); `X` overwrites `B`.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    if alpha != T::one() {
+        for j in 0..n {
+            for x in &mut b[j * ldb..j * ldb + m] {
+                *x = if alpha.is_zero() { T::zero() } else { alpha * *x };
+            }
+        }
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let unit = diag == Diag::Unit;
+    match side {
+        Side::Left => match (trans.is_transposed(), uplo) {
+            (false, Uplo::Lower) => {
+                // Forward substitution, vectorized across all right-hand
+                // sides: for each pivot k, update rows k+1.. of every column.
+                for k in 0..m {
+                    let akk = a[k + k * lda];
+                    for j in 0..n {
+                        let col = &mut b[j * ldb..j * ldb + m];
+                        if !unit {
+                            col[k] = col[k] / akk;
+                        }
+                        let t = col[k];
+                        if !t.is_zero() {
+                            for (i, ci) in col.iter_mut().enumerate().take(m).skip(k + 1) {
+                                *ci -= t * a[i + k * lda];
+                            }
+                        }
+                    }
+                }
+            }
+            (false, Uplo::Upper) => {
+                for k in (0..m).rev() {
+                    let akk = a[k + k * lda];
+                    for j in 0..n {
+                        let col = &mut b[j * ldb..j * ldb + m];
+                        if !unit {
+                            col[k] = col[k] / akk;
+                        }
+                        let t = col[k];
+                        if !t.is_zero() {
+                            for (i, ci) in col.iter_mut().enumerate().take(k) {
+                                *ci -= t * a[i + k * lda];
+                            }
+                        }
+                    }
+                }
+            }
+            (true, _) => {
+                // op(A)ᵀ or op(A)ᴴ solve, column by column.
+                for j in 0..n {
+                    let col = &mut b[j * ldb..j * ldb + m];
+                    crate::l2::trsv(uplo, trans, diag, m, a, lda, col, 1);
+                }
+            }
+        },
+        Side::Right => {
+            if m >= 12 {
+                // Transpose, left-solve (unit-stride columns), transpose
+                // back — the same trick as trmm's right side.
+                let cjb = trans == Trans::ConjTrans;
+                let mut bt = vec![T::zero(); n * m];
+                for j in 0..n {
+                    for i in 0..m {
+                        let v = b[i + j * ldb];
+                        bt[j + i * n] = if cjb { v.conj() } else { v };
+                    }
+                }
+                let ltr = match trans {
+                    Trans::No => Trans::Trans,
+                    _ => Trans::No,
+                };
+                trsm(Side::Left, uplo, ltr, diag, n, m, T::one(), a, lda, &mut bt, n);
+                for j in 0..n {
+                    for i in 0..m {
+                        let v = bt[j + i * n];
+                        b[i + j * ldb] = if cjb { v.conj() } else { v };
+                    }
+                }
+                return;
+            }
+            // X·op(A) = B  ⇔  op(A)ᵀ·Xᵀ = Bᵀ: solve along the rows of B,
+            // composing the transposes (triangle of A is unchanged).
+            for i in 0..m {
+                let row = &mut b[i..];
+                match trans {
+                    Trans::No => crate::l2::trsv(uplo, Trans::Trans, diag, n, a, lda, row, ldb),
+                    Trans::Trans => crate::l2::trsv(uplo, Trans::No, diag, n, a, lda, row, ldb),
+                    Trans::ConjTrans => {
+                        // X Aᴴ = B  ⇔  Ā Xᵀ = Bᵀ  ⇔  A conj(Xᵀ) = conj(Bᵀ).
+                        crate::l1::lacgv(n, row, ldb);
+                        crate::l2::trsv(uplo, Trans::No, diag, n, a, lda, row, ldb);
+                        crate::l1::lacgv(n, row, ldb);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod striped_tests {
+    use super::*;
+
+    #[test]
+    fn striped_split_matches_serial() {
+        // Exercises the thread-stripe bookkeeping even on one core.
+        let (m, n, k) = (13usize, 23usize, 9usize);
+        let a: Vec<f64> = (0..m * k).map(|x| (x % 17) as f64 - 8.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|x| (x % 13) as f64 - 6.0).collect();
+        for &tb in &[Trans::No, Trans::Trans] {
+            let bb: Vec<f64> = if tb == Trans::No {
+                b.clone()
+            } else {
+                // n × k layout for the transposed operand.
+                let mut t = vec![0.0; n * k];
+                for j in 0..n {
+                    for l in 0..k {
+                        t[j + l * n] = b[l + j * k];
+                    }
+                }
+                t
+            };
+            let ldb = if tb == Trans::No { k } else { n };
+            let mut c1 = vec![0.0f64; m * n];
+            gemm_serial(Trans::No, tb, m, n, k, 1.0, &a, m, &bb, ldb, &mut c1, m);
+            for stripes in [2usize, 3, 5] {
+                let mut c2 = vec![0.0f64; m * n];
+                gemm_striped(stripes, Trans::No, tb, m, n, k, 1.0, &a, m, &bb, ldb, &mut c2, m);
+                for idx in 0..m * n {
+                    assert!((c1[idx] - c2[idx]).abs() < 1e-12, "{tb:?} stripes={stripes} at {idx}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Complex number type used by the generic scalar layer.
+//!
+//! LAPACK90's generic interfaces cover `REAL`/`COMPLEX` in both precisions;
+//! the offline crate set has no complex-number crate, so `Complex<T>` is
+//! implemented here from scratch, including the numerically robust division
+//! (Smith's algorithm, the analog of LAPACK's `xLADIV`) and a principal
+//! square root, both of which the eigenvalue routines depend on.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::scalar::RealScalar;
+
+/// A complex number over a real scalar `T` (`f32` or `f64`).
+///
+/// Layout matches the Fortran convention (`re` then `im`), so a column of
+/// `Complex<T>` has the same memory layout as a Fortran `COMPLEX` array.
+#[derive(Copy, Clone, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex, the analog of Fortran `COMPLEX(SP)`.
+pub type C32 = Complex<f32>;
+/// Double-precision complex, the analog of Fortran `COMPLEX(DP)`.
+pub type C64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl<T: RealScalar> Complex<T> {
+    /// The additive identity.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Complex::new(T::zero(), T::zero())
+    }
+
+    /// The multiplicative identity.
+    #[inline(always)]
+    pub fn one() -> Self {
+        Complex::new(T::one(), T::zero())
+    }
+
+    /// The imaginary unit `i`.
+    #[inline(always)]
+    pub fn i() -> Self {
+        Complex::new(T::zero(), T::one())
+    }
+
+    /// Embeds a real number.
+    #[inline(always)]
+    pub fn from_real(re: T) -> Self {
+        Complex::new(re, T::zero())
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`, computed without intermediate overflow (like `xLAPY2`).
+    #[inline]
+    pub fn abs(self) -> T {
+        self.re.hypot(self.im)
+    }
+
+    /// The cheap 1-norm modulus `|re| + |im|` (LAPACK's `CABS1`).
+    #[inline(always)]
+    pub fn abs1(self) -> T {
+        self.re.rabs() + self.im.rabs()
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> T {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, r: T) -> Self {
+        Complex::new(self.re * r, self.im * r)
+    }
+
+    /// Divides by a real factor.
+    #[inline(always)]
+    pub fn unscale(self, r: T) -> Self {
+        Complex::new(self.re / r, self.im / r)
+    }
+
+    /// Robust complex division via Smith's algorithm (the `xLADIV` analog).
+    ///
+    /// Avoids overflow/underflow in the intermediate products when the naive
+    /// formula `(ac+bd, bc-ad)/(c²+d²)` would lose all accuracy.
+    #[inline]
+    pub fn ladiv(self, other: Self) -> Self {
+        let (a, b, c, d) = (self.re, self.im, other.re, other.im);
+        if d.rabs() <= c.rabs() {
+            // |d| <= |c|: divide through by c.
+            let r = d / c;
+            let den = c + d * r;
+            Complex::new((a + b * r) / den, (b - a * r) / den)
+        } else {
+            // |c| < |d|: divide through by d.
+            let r = c / d;
+            let den = c * r + d;
+            Complex::new((a * r + b) / den, (b * r - a) / den)
+        }
+    }
+
+    /// Reciprocal `1/z`, computed robustly.
+    #[inline]
+    pub fn recip(self) -> Self {
+        Complex::one().ladiv(self)
+    }
+
+    /// Principal square root.
+    ///
+    /// Uses the half-angle identities with `hypot` so it is robust for
+    /// arguments near the negative real axis and for large magnitudes.
+    pub fn sqrt(self) -> Self {
+        if self.im == T::zero() {
+            if self.re >= T::zero() {
+                Complex::new(self.re.rsqrt(), T::zero())
+            } else {
+                Complex::new(T::zero(), (-self.re).rsqrt())
+            }
+        } else {
+            let m = self.abs();
+            let two = T::one() + T::one();
+            let u = ((m + self.re) / two).rsqrt();
+            let v = ((m - self.re) / two).rsqrt();
+            if self.im >= T::zero() {
+                Complex::new(u, v)
+            } else {
+                Complex::new(u, -v)
+            }
+        }
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite_r() && self.im.is_finite_r()
+    }
+
+    /// True when either part is NaN.
+    #[inline]
+    #[allow(clippy::eq_op)] // x != x is the generic NaN test
+    pub fn is_nan(self) -> bool {
+        self.re != self.re || self.im != self.im
+    }
+}
+
+impl<T: RealScalar> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: RealScalar> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: RealScalar> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: RealScalar> Div for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self.ladiv(rhs)
+    }
+}
+
+impl<T: RealScalar> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl<T: RealScalar> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: RealScalar> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: RealScalar> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: RealScalar> DivAssign for Complex<T> {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<T: RealScalar> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: RealScalar> Product for Complex<T> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::one(), |a, b| a * b)
+    }
+}
+
+impl<T: RealScalar> From<T> for Complex<T> {
+    #[inline(always)]
+    fn from(re: T) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.re, self.im)
+    }
+}
+
+impl<T: RealScalar + fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < T::zero() {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        assert_eq!(a + b, C64::new(4.0, -2.0));
+        assert_eq!(a - b, C64::new(-2.0, 6.0));
+        assert_eq!(a * b, C64::new(11.0, 2.0));
+        assert!(close(a / b, C64::new(-0.2, 0.4), 1e-15));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn conj_and_abs() {
+        let a = C64::new(3.0, -4.0);
+        assert_eq!(a.conj(), C64::new(3.0, 4.0));
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.abs1(), 7.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn division_is_robust_near_extremes() {
+        // Naive division of these overflows the denominator c^2 + d^2.
+        let big = 1.0e300;
+        let a = C64::new(big, big);
+        let b = C64::new(big, big * 0.5);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q * b, a, 1e285));
+    }
+
+    #[test]
+    fn recip_roundtrip() {
+        let a = C64::new(-2.5, 7.0);
+        assert!(close(a.recip() * a, C64::one(), 1e-14));
+    }
+
+    #[test]
+    fn sqrt_principal_branch() {
+        let cases = [
+            C64::new(4.0, 0.0),
+            C64::new(-4.0, 0.0),
+            C64::new(0.0, 2.0),
+            C64::new(3.0, -4.0),
+            C64::new(-5.0, 12.0),
+        ];
+        for &z in &cases {
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-12), "sqrt({z:?}) = {s:?}");
+            // Principal branch: nonnegative real part.
+            assert!(s.re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", C64::new(1.0, 2.0)), "1+2i");
+    }
+}

@@ -1,0 +1,153 @@
+//! The character-flag arguments of BLAS/LAPACK (`UPLO`, `TRANS`, `DIAG`,
+//! `SIDE`, `NORM`) as Rust enums.
+//!
+//! The Fortran routines take `CHARACTER(LEN=1)` flags compared with `LSAME`;
+//! enums make the same options type-checked. `as_char` preserves the exact
+//! Fortran spelling for messages and tests.
+
+/// Which triangle of a symmetric/Hermitian/triangular matrix is stored.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Uplo {
+    /// Upper triangle (`'U'`).
+    #[default]
+    Upper,
+    /// Lower triangle (`'L'`).
+    Lower,
+}
+
+impl Uplo {
+    /// Fortran character for this option.
+    pub fn as_char(self) -> char {
+        match self {
+            Uplo::Upper => 'U',
+            Uplo::Lower => 'L',
+        }
+    }
+    /// The opposite triangle.
+    pub fn flip(self) -> Uplo {
+        match self {
+            Uplo::Upper => Uplo::Lower,
+            Uplo::Lower => Uplo::Upper,
+        }
+    }
+}
+
+/// Operation applied to a matrix operand.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Trans {
+    /// No transpose (`'N'`).
+    #[default]
+    No,
+    /// Transpose (`'T'`).
+    Trans,
+    /// Conjugate transpose (`'C'`); same as [`Trans::Trans`] for real data.
+    ConjTrans,
+}
+
+impl Trans {
+    /// Fortran character for this option.
+    pub fn as_char(self) -> char {
+        match self {
+            Trans::No => 'N',
+            Trans::Trans => 'T',
+            Trans::ConjTrans => 'C',
+        }
+    }
+    /// True unless this is [`Trans::No`].
+    pub fn is_transposed(self) -> bool {
+        !matches!(self, Trans::No)
+    }
+    /// True for the conjugate-transpose option.
+    pub fn is_conj(self) -> bool {
+        matches!(self, Trans::ConjTrans)
+    }
+}
+
+/// Whether a triangular matrix has an implicit unit diagonal.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Diag {
+    /// Diagonal elements are stored (`'N'`).
+    #[default]
+    NonUnit,
+    /// Diagonal is assumed to be all ones (`'U'`).
+    Unit,
+}
+
+impl Diag {
+    /// Fortran character for this option.
+    pub fn as_char(self) -> char {
+        match self {
+            Diag::NonUnit => 'N',
+            Diag::Unit => 'U',
+        }
+    }
+}
+
+/// Side from which a matrix factor is applied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Side {
+    /// Apply from the left (`'L'`).
+    #[default]
+    Left,
+    /// Apply from the right (`'R'`).
+    Right,
+}
+
+impl Side {
+    /// Fortran character for this option.
+    pub fn as_char(self) -> char {
+        match self {
+            Side::Left => 'L',
+            Side::Right => 'R',
+        }
+    }
+}
+
+/// Matrix norm selector (`xLANGE`-family `NORM` argument).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Norm {
+    /// One norm: maximum column sum (`'1'`/`'O'`).
+    #[default]
+    One,
+    /// Infinity norm: maximum row sum (`'I'`).
+    Inf,
+    /// Frobenius norm (`'F'`/`'E'`).
+    Fro,
+    /// `max |a_ij|` — not a consistent matrix norm (`'M'`).
+    Max,
+}
+
+impl Norm {
+    /// Fortran character for this option.
+    pub fn as_char(self) -> char {
+        match self {
+            Norm::One => '1',
+            Norm::Inf => 'I',
+            Norm::Fro => 'F',
+            Norm::Max => 'M',
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chars_match_fortran() {
+        assert_eq!(Uplo::Upper.as_char(), 'U');
+        assert_eq!(Uplo::Lower.flip(), Uplo::Upper);
+        assert_eq!(Trans::ConjTrans.as_char(), 'C');
+        assert!(Trans::Trans.is_transposed() && !Trans::No.is_transposed());
+        assert_eq!(Diag::Unit.as_char(), 'U');
+        assert_eq!(Side::Right.as_char(), 'R');
+        assert_eq!(Norm::Fro.as_char(), 'F');
+    }
+
+    #[test]
+    fn defaults_are_the_common_options() {
+        assert_eq!(Uplo::default(), Uplo::Upper);
+        assert_eq!(Trans::default(), Trans::No);
+        assert_eq!(Norm::default(), Norm::One);
+    }
+}

@@ -1,0 +1,225 @@
+//! The error protocol — Rust analog of the paper's `ERINFO` subroutine
+//! (Appendix D) and the `INFO` argument convention.
+//!
+//! In LAPACK90 every wrapper funnels its local `LINFO` through `ERINFO`:
+//! if the caller passed `INFO` the code is stored there, otherwise the
+//! program terminates with
+//!
+//! ```text
+//! Terminated in LAPACK90 subroutine LA_GESV
+//! Error indicator, INFO =  -1
+//! ```
+//!
+//! In Rust the idiomatic split is: every driver returns
+//! `Result<_, LaError>`; inspecting the error is "passing INFO", and
+//! `.unwrap()`-style propagation reproduces the terminate-with-message
+//! behaviour because [`LaError`]'s `Display` prints exactly that message.
+
+use core::fmt;
+
+/// An error from a LAPACK90 driver, carrying the routine name and the
+/// LAPACK `INFO` convention code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaError {
+    /// `INFO = -i`: the `i`-th argument (1-based, in the Fortran argument
+    /// order documented on each driver) had an illegal value — typically a
+    /// shape mismatch detected by the wrapper, as in Appendix C.
+    IllegalArg {
+        /// Driver name, e.g. `"LA_GESV"`.
+        routine: &'static str,
+        /// 1-based argument index.
+        index: usize,
+    },
+    /// `INFO = i > 0` from an LU-style factorization: `U(i,i)` is exactly
+    /// zero, the matrix is singular and no solution was computed.
+    Singular {
+        /// Driver name.
+        routine: &'static str,
+        /// 1-based index of the zero pivot.
+        index: usize,
+    },
+    /// `INFO = i > 0` from a Cholesky-style factorization: the leading
+    /// minor of order `i` is not positive definite.
+    NotPosDef {
+        /// Driver name.
+        routine: &'static str,
+        /// Order of the offending leading minor (1-based).
+        minor: usize,
+    },
+    /// `INFO = i > 0` from an iterative eigenvalue/SVD algorithm: `i`
+    /// off-diagonal elements (or intermediate quantities) failed to
+    /// converge to zero within the iteration limit.
+    NoConvergence {
+        /// Driver name.
+        routine: &'static str,
+        /// Count of unconverged quantities, as LAPACK reports it.
+        count: usize,
+    },
+    /// `INFO = -100`: workspace allocation failed (the wrapper's
+    /// `ALLOCATE ... STAT=ISTAT` path in Appendix C).
+    AllocFailed {
+        /// Driver name.
+        routine: &'static str,
+    },
+}
+
+impl LaError {
+    /// The driver the error originated from.
+    pub fn routine(&self) -> &'static str {
+        match self {
+            LaError::IllegalArg { routine, .. }
+            | LaError::Singular { routine, .. }
+            | LaError::NotPosDef { routine, .. }
+            | LaError::NoConvergence { routine, .. }
+            | LaError::AllocFailed { routine } => routine,
+        }
+    }
+
+    /// The `INFO` code following the LAPACK convention: negative for an
+    /// illegal argument, positive for a computational failure, `-100` for
+    /// allocation failure (LAPACK90's own extension, Appendix C).
+    pub fn info(&self) -> i32 {
+        match self {
+            LaError::IllegalArg { index, .. } => -(*index as i32),
+            LaError::Singular { index, .. } => *index as i32,
+            LaError::NotPosDef { minor, .. } => *minor as i32,
+            LaError::NoConvergence { count, .. } => *count as i32,
+            LaError::AllocFailed { .. } => -100,
+        }
+    }
+}
+
+impl fmt::Display for LaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The exact two-line shape ERINFO prints before STOP.
+        writeln!(f, "Terminated in LAPACK90 subroutine {}", self.routine())?;
+        write!(f, "Error indicator, INFO = {}", self.info())?;
+        match self {
+            LaError::Singular { index, .. } => {
+                write!(f, " (U({index},{index}) = 0: matrix is singular, no solution computed)")
+            }
+            LaError::NotPosDef { minor, .. } => {
+                write!(f, " (leading minor of order {minor} is not positive definite)")
+            }
+            LaError::NoConvergence { count, .. } => {
+                write!(f, " ({count} quantities failed to converge)")
+            }
+            LaError::IllegalArg { index, .. } => {
+                write!(f, " (argument {index} had an illegal value)")
+            }
+            LaError::AllocFailed { .. } => write!(f, " (workspace allocation failed)"),
+        }
+    }
+}
+
+impl std::error::Error for LaError {}
+
+/// Maps a raw `INFO` code from an `la-lapack` routine into `Ok(())` or the
+/// corresponding [`LaError`], given how that routine reports positive codes.
+///
+/// This is the `CALL ERINFO(LINFO, SRNAME, INFO)` moment of each wrapper.
+pub fn erinfo(
+    linfo: i32,
+    srname: &'static str,
+    positive_means: PositiveInfo,
+) -> Result<(), LaError> {
+    use core::cmp::Ordering;
+    match linfo.cmp(&0) {
+        Ordering::Equal => Ok(()),
+        Ordering::Less => {
+            if linfo == -100 {
+                Err(LaError::AllocFailed { routine: srname })
+            } else {
+                Err(LaError::IllegalArg {
+                    routine: srname,
+                    index: (-linfo) as usize,
+                })
+            }
+        }
+        Ordering::Greater => {
+            let k = linfo as usize;
+            Err(match positive_means {
+                PositiveInfo::Singular => LaError::Singular {
+                    routine: srname,
+                    index: k,
+                },
+                PositiveInfo::NotPosDef => LaError::NotPosDef {
+                    routine: srname,
+                    minor: k,
+                },
+                PositiveInfo::NoConvergence => LaError::NoConvergence {
+                    routine: srname,
+                    count: k,
+                },
+            })
+        }
+    }
+}
+
+/// How a routine's positive `INFO` codes are to be interpreted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PositiveInfo {
+    /// Zero pivot in an LU-style factorization.
+    Singular,
+    /// Failed leading minor in a Cholesky-style factorization.
+    NotPosDef,
+    /// Unconverged iterative algorithm.
+    NoConvergence,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_codes_follow_lapack_convention() {
+        let e = LaError::IllegalArg {
+            routine: "LA_GESV",
+            index: 2,
+        };
+        assert_eq!(e.info(), -2);
+        let e = LaError::Singular {
+            routine: "LA_GESV",
+            index: 3,
+        };
+        assert_eq!(e.info(), 3);
+        let e = LaError::AllocFailed { routine: "LA_GETRI" };
+        assert_eq!(e.info(), -100);
+    }
+
+    #[test]
+    fn display_matches_erinfo_shape() {
+        let e = LaError::IllegalArg {
+            routine: "LA_GESV",
+            index: 1,
+        };
+        let s = format!("{e}");
+        assert!(s.starts_with("Terminated in LAPACK90 subroutine LA_GESV"));
+        assert!(s.contains("INFO = -1"));
+    }
+
+    #[test]
+    fn erinfo_maps_codes() {
+        assert!(erinfo(0, "LA_GESV", PositiveInfo::Singular).is_ok());
+        assert_eq!(
+            erinfo(-3, "LA_GESV", PositiveInfo::Singular),
+            Err(LaError::IllegalArg {
+                routine: "LA_GESV",
+                index: 3
+            })
+        );
+        assert_eq!(
+            erinfo(4, "LA_POSV", PositiveInfo::NotPosDef),
+            Err(LaError::NotPosDef {
+                routine: "LA_POSV",
+                minor: 4
+            })
+        );
+        assert_eq!(
+            erinfo(-100, "LA_GETRI", PositiveInfo::Singular),
+            Err(LaError::AllocFailed {
+                routine: "LA_GETRI"
+            })
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # la-core — foundation of the LAPACK90 reproduction
+//!
+//! This crate provides what the paper obtains from the Fortran 90 language
+//! and from LAPACK's auxiliary layer:
+//!
+//! * [`Scalar`] / [`RealScalar`] — the `LA_PRECISION` module plus generic
+//!   resolution: one generic routine covers `S`/`D`/`C`/`Z`.
+//! * [`Complex`] — `COMPLEX(SP)` / `COMPLEX(DP)` with robust division
+//!   (`xLADIV`) and principal square root.
+//! * [`Mat`] — the assumed-shape 2-D array: column-major dense storage from
+//!   which the drivers derive `N`, `NRHS`, `LDA`, … by shape inspection.
+//! * [`BandMat`], [`SymBandMat`], [`PackedMat`] — LAPACK band and packed
+//!   storage schemes for the `GB`/`SB`/`PB`/`SP`/`PP` drivers.
+//! * [`LaError`] / [`erinfo`] — the `ERINFO` error protocol: `INFO` codes
+//!   with the exact LAPACK sign conventions.
+//! * [`Uplo`], [`Trans`], [`Diag`], [`Side`], [`Norm`] — the character
+//!   flag arguments as enums.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod enums;
+pub mod error;
+pub mod mat;
+pub mod scalar;
+pub mod storage;
+
+pub use complex::{Complex, C32, C64};
+pub use enums::{Diag, Norm, Side, Trans, Uplo};
+pub use error::{erinfo, LaError, PositiveInfo};
+pub use mat::Mat;
+pub use scalar::{RealScalar, Scalar};
+pub use storage::{BandMat, PackedMat, SymBandMat};

@@ -1,0 +1,323 @@
+//! Dense column-major matrix type.
+//!
+//! `Mat<T>` plays the role of the Fortran 90 assumed-shape 2-D array in the
+//! LAPACK90 interface: the high-level drivers take `&mut Mat<T>` and derive
+//! every dimension argument (`N`, `NRHS`, `LDA`, `LDB`) from its shape, just
+//! as `SGESV_F90` derives them with `SIZE(A,1)` etc. The storage is
+//! column-major with leading dimension equal to the row count, so the buffer
+//! can be passed unchanged to the Fortran-convention routines in `la-lapack`.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+use crate::scalar::Scalar;
+
+/// A dense column-major matrix (Fortran storage order).
+#[derive(Clone, PartialEq)]
+pub struct Mat<T> {
+    data: Vec<T>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<T: Scalar> Mat<T> {
+    /// Creates an `m × n` matrix of zeros.
+    pub fn zeros(m: usize, n: usize) -> Self {
+        Mat {
+            data: vec![T::zero(); m * n],
+            nrows: m,
+            ncols: n,
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut a = Self::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = T::one();
+        }
+        a
+    }
+
+    /// Builds an `m × n` matrix from a function of `(row, col)`.
+    pub fn from_fn(m: usize, n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(m * n);
+        for j in 0..n {
+            for i in 0..m {
+                data.push(f(i, j));
+            }
+        }
+        Mat {
+            data,
+            nrows: m,
+            ncols: n,
+        }
+    }
+
+    /// Wraps an existing column-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != m * n`.
+    pub fn from_col_major(m: usize, n: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), m * n, "buffer length must be m*n");
+        Mat {
+            data,
+            nrows: m,
+            ncols: n,
+        }
+    }
+
+    /// Builds a matrix from rows given in row-major order (convenient for
+    /// literals in tests and examples).
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        let m = rows.len();
+        let n = if m == 0 { 0 } else { rows[0].len() };
+        for r in rows {
+            assert_eq!(r.len(), n, "all rows must have the same length");
+        }
+        Self::from_fn(m, n, |i, j| rows[i][j])
+    }
+
+    /// Builds a column vector as an `m × 1` matrix.
+    pub fn col_vec(v: &[T]) -> Self {
+        Self::from_col_major(v.len(), 1, v.to_vec())
+    }
+
+    /// Number of rows (`SIZE(A,1)`).
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (`SIZE(A,2)`).
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Leading dimension when the buffer is handed to a Fortran-convention
+    /// routine. Always `max(1, nrows)` so zero-sized matrices stay legal.
+    #[inline(always)]
+    pub fn lda(&self) -> usize {
+        self.nrows.max(1)
+    }
+
+    /// True if the matrix is square.
+    #[inline(always)]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// The underlying column-major buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The underlying column-major buffer, mutably.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Row `i` copied into a `Vec`.
+    pub fn row(&self, i: usize) -> Vec<T> {
+        (0..self.ncols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        if i < self.nrows && j < self.ncols {
+            Some(&self.data[i + j * self.nrows])
+        } else {
+            None
+        }
+    }
+
+    /// Copies the `mb × nb` block with top-left corner `(r0, c0)`.
+    pub fn block(&self, r0: usize, c0: usize, mb: usize, nb: usize) -> Mat<T> {
+        assert!(r0 + mb <= self.nrows && c0 + nb <= self.ncols);
+        Mat::from_fn(mb, nb, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Mat<U> {
+        Mat {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            nrows: self.nrows,
+            ncols: self.ncols,
+        }
+    }
+
+    /// Plain transpose `Aᵀ`.
+    pub fn transpose(&self) -> Mat<T> {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate transpose `Aᴴ` (equals `Aᵀ` for real scalars).
+    pub fn conj_transpose(&self) -> Mat<T> {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Frobenius norm, accumulated in the associated real type.
+    pub fn norm_fro(&self) -> T::Real {
+        let mut s = T::Real::zero();
+        for &x in &self.data {
+            s += x.abs_sqr();
+        }
+        s.rsqrt()
+    }
+
+    /// Maximum `abs1` over all elements (a cheap `max |a_ij|`-style norm).
+    pub fn norm_max(&self) -> T::Real {
+        use crate::scalar::RealScalar;
+        let mut m = T::Real::zero();
+        for &x in &self.data {
+            m = m.maxr(x.abs1());
+        }
+        m
+    }
+}
+
+use crate::scalar::RealScalar;
+
+impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Mat<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows {
+            write!(f, "  ")?;
+            for j in 0..self.ncols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Scalar> fmt::Display for Mat<T> {
+    /// Prints rows in the style of the paper's `'(7(1X,F9.3))'` format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                write!(f, " {:9.3}", self[(i, j)])?;
+            }
+            if i + 1 < self.nrows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Mat`] from row-major literals:
+/// `mat![[1.0, 2.0], [3.0, 4.0]]`.
+#[macro_export]
+macro_rules! mat {
+    ($([$($x:expr),* $(,)?]),* $(,)?) => {
+        $crate::Mat::from_rows(&[$(vec![$($x),*]),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_is_column_major() {
+        let a: Mat<f64> = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a.col(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_and_transpose() {
+        let i: Mat<f64> = Mat::identity(3);
+        assert_eq!(i.transpose(), i);
+        let a: Mat<f64> = Mat::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        let at = a.transpose();
+        assert_eq!(at.shape(), (3, 2));
+        assert_eq!(at[(2, 1)], a[(1, 2)]);
+    }
+
+    #[test]
+    fn conj_transpose_conjugates() {
+        use crate::complex::C64;
+        let a = Mat::from_rows(&[vec![C64::new(1.0, 2.0)], vec![C64::new(3.0, -4.0)]]);
+        let ah = a.conj_transpose();
+        assert_eq!(ah[(0, 0)], C64::new(1.0, -2.0));
+        assert_eq!(ah[(0, 1)], C64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn norms() {
+        let a: Mat<f64> = mat![[3.0, 0.0], [0.0, 4.0]];
+        assert!((a.norm_fro() - 5.0).abs() < 1e-15);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn block_copy() {
+        let a: Mat<f64> = Mat::from_fn(4, 4, |i, j| (i + 10 * j) as f64);
+        let b = a.block(1, 2, 2, 2);
+        assert_eq!(b[(0, 0)], a[(1, 2)]);
+        assert_eq!(b[(1, 1)], a[(2, 3)]);
+    }
+
+    #[test]
+    fn zero_sized_matrices_are_legal() {
+        let a: Mat<f64> = Mat::zeros(0, 5);
+        assert_eq!(a.lda(), 1);
+        assert_eq!(a.as_slice().len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rows_rejects_ragged() {
+        let _: Mat<f64> = Mat::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,455 @@
+//! Compact matrix storage schemes used by the band/packed drivers
+//! (`LA_GBSV`, `LA_PBSV`, `LA_PPSV`, `LA_SPSV`, `LA_SBEV`, …).
+//!
+//! Layouts follow LAPACK's documented conventions exactly, so the buffers
+//! can be handed to the Fortran-convention routines in `la-lapack`
+//! unchanged.
+
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+use crate::Uplo;
+
+/// General band matrix in LAPACK band storage.
+///
+/// Element `a(i, j)` (0-based) with `j - ku <= i <= j + kl` is stored at
+/// `data[ioff + i - j + j*ldab]` where `ioff = ku + extra`. When the matrix
+/// will be LU-factorized (`gbtrf`), `extra = kl` additional superdiagonal
+/// rows of fill-in space are required; [`BandMat::zeros_for_factor`]
+/// allocates them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandMat<T> {
+    data: Vec<T>,
+    m: usize,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    /// Rows of the storage array (`LDAB`).
+    ldab: usize,
+    /// Row offset of the main diagonal within a storage column.
+    ioff: usize,
+}
+
+impl<T: Scalar> BandMat<T> {
+    /// An `m × n` band matrix with `kl` subdiagonals and `ku`
+    /// superdiagonals, zero-initialized, without factorization fill space.
+    pub fn zeros(m: usize, n: usize, kl: usize, ku: usize) -> Self {
+        let ldab = kl + ku + 1;
+        BandMat {
+            data: vec![T::zero(); ldab * n],
+            m,
+            n,
+            kl,
+            ku,
+            ldab,
+            ioff: ku,
+        }
+    }
+
+    /// Like [`BandMat::zeros`] but with the extra `kl` rows `gbtrf` needs
+    /// for pivoting fill-in (`LDAB = 2*KL + KU + 1`).
+    pub fn zeros_for_factor(m: usize, n: usize, kl: usize, ku: usize) -> Self {
+        let ldab = 2 * kl + ku + 1;
+        BandMat {
+            data: vec![T::zero(); ldab * n],
+            m,
+            n,
+            kl,
+            ku,
+            ldab,
+            ioff: kl + ku,
+        }
+    }
+
+    /// Builds band storage from a dense matrix, keeping only the band.
+    pub fn from_dense(a: &Mat<T>, kl: usize, ku: usize, for_factor: bool) -> Self {
+        let (m, n) = a.shape();
+        let mut b = if for_factor {
+            Self::zeros_for_factor(m, n, kl, ku)
+        } else {
+            Self::zeros(m, n, kl, ku)
+        };
+        for j in 0..n {
+            let lo = j.saturating_sub(ku);
+            let hi = (j + kl + 1).min(m);
+            for i in lo..hi {
+                b.set(i, j, a[(i, j)]);
+            }
+        }
+        b
+    }
+
+    /// Row count of the logical matrix.
+    pub fn nrows(&self) -> usize {
+        self.m
+    }
+    /// Column count of the logical matrix.
+    pub fn ncols(&self) -> usize {
+        self.n
+    }
+    /// Subdiagonal count.
+    pub fn kl(&self) -> usize {
+        self.kl
+    }
+    /// Superdiagonal count.
+    pub fn ku(&self) -> usize {
+        self.ku
+    }
+    /// Storage leading dimension (`LDAB`).
+    pub fn ldab(&self) -> usize {
+        self.ldab
+    }
+    /// True if allocated with factorization fill space.
+    pub fn has_factor_space(&self) -> bool {
+        self.ioff == self.kl + self.ku
+    }
+
+    /// Raw band-storage buffer (column-major, `ldab × n`).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+    /// Raw band-storage buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Logical element `(i, j)`; zero outside the band.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.m && j < self.n);
+        if i + self.ku >= j && j + self.kl >= i {
+            self.data[self.ioff + i - j + j * self.ldab]
+        } else {
+            T::zero()
+        }
+    }
+
+    /// Sets logical element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` lies outside the band.
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.m && j < self.n, "index out of bounds");
+        assert!(
+            i + self.ku >= j && j + self.kl >= i,
+            "({i},{j}) outside band kl={} ku={}",
+            self.kl,
+            self.ku
+        );
+        self.data[self.ioff + i - j + j * self.ldab] = v;
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> Mat<T> {
+        Mat::from_fn(self.m, self.n, |i, j| self.get(i, j))
+    }
+}
+
+/// Symmetric/Hermitian band matrix (`xSB`/`xHB`/`xPB` storage): only `kd`
+/// diagonals of one triangle are kept, `LDAB = kd + 1`.
+///
+/// For `Uplo::Upper`, `a(i, j)` with `j-kd <= i <= j` lives at
+/// `data[kd + i - j + j*(kd+1)]`; for `Uplo::Lower`, `a(i, j)` with
+/// `j <= i <= j+kd` lives at `data[i - j + j*(kd+1)]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymBandMat<T> {
+    data: Vec<T>,
+    n: usize,
+    kd: usize,
+    uplo: Uplo,
+}
+
+impl<T: Scalar> SymBandMat<T> {
+    /// An `n × n` symmetric band matrix with bandwidth `kd`, zeroed.
+    pub fn zeros(n: usize, kd: usize, uplo: Uplo) -> Self {
+        SymBandMat {
+            data: vec![T::zero(); (kd + 1) * n],
+            n,
+            kd,
+            uplo,
+        }
+    }
+
+    /// Builds from a dense symmetric matrix, reading the `uplo` triangle.
+    pub fn from_dense(a: &Mat<T>, kd: usize, uplo: Uplo) -> Self {
+        assert!(a.is_square());
+        let n = a.nrows();
+        let mut b = Self::zeros(n, kd, uplo);
+        for j in 0..n {
+            match uplo {
+                Uplo::Upper => {
+                    for i in j.saturating_sub(kd)..=j {
+                        b.set(i, j, a[(i, j)]);
+                    }
+                }
+                Uplo::Lower => {
+                    for i in j..(j + kd + 1).min(n) {
+                        b.set(i, j, a[(i, j)]);
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Bandwidth (number of off-diagonals stored).
+    pub fn kd(&self) -> usize {
+        self.kd
+    }
+    /// Which triangle is stored.
+    pub fn uplo(&self) -> Uplo {
+        self.uplo
+    }
+    /// Storage leading dimension (`kd + 1`).
+    pub fn ldab(&self) -> usize {
+        self.kd + 1
+    }
+    /// Raw buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+    /// Raw buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Stored element `(i, j)` of the chosen triangle; zero outside band.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.n && j < self.n);
+        let ld = self.kd + 1;
+        match self.uplo {
+            Uplo::Upper => {
+                if i <= j && i + self.kd >= j {
+                    self.data[self.kd + i - j + j * ld]
+                } else {
+                    T::zero()
+                }
+            }
+            Uplo::Lower => {
+                if i >= j && i <= j + self.kd {
+                    self.data[i - j + j * ld]
+                } else {
+                    T::zero()
+                }
+            }
+        }
+    }
+
+    /// Sets element `(i, j)` (must lie in the stored triangle's band).
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.n && j < self.n);
+        let ld = self.kd + 1;
+        match self.uplo {
+            Uplo::Upper => {
+                assert!(i <= j && i + self.kd >= j, "outside stored band");
+                self.data[self.kd + i - j + j * ld] = v;
+            }
+            Uplo::Lower => {
+                assert!(i >= j && i <= j + self.kd, "outside stored band");
+                self.data[i - j + j * ld] = v;
+            }
+        }
+    }
+
+    /// Expands to a dense symmetric (Hermitian for complex) matrix.
+    pub fn to_dense_sym(&self) -> Mat<T> {
+        Mat::from_fn(self.n, self.n, |i, j| {
+            let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+            let v = match self.uplo {
+                Uplo::Upper => self.get(lo, hi),
+                Uplo::Lower => self.get(hi, lo),
+            };
+            if i <= j {
+                match self.uplo {
+                    Uplo::Upper => v,
+                    Uplo::Lower => v.conj(),
+                }
+            } else {
+                match self.uplo {
+                    Uplo::Upper => v.conj(),
+                    Uplo::Lower => v,
+                }
+            }
+        })
+    }
+}
+
+/// Packed triangular storage (`xSP`/`xHP`/`xPP`, `xTP`): one triangle of an
+/// `n × n` matrix stored column by column in `n(n+1)/2` elements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedMat<T> {
+    data: Vec<T>,
+    n: usize,
+    uplo: Uplo,
+}
+
+impl<T: Scalar> PackedMat<T> {
+    /// Zero-initialized packed matrix of order `n`.
+    pub fn zeros(n: usize, uplo: Uplo) -> Self {
+        PackedMat {
+            data: vec![T::zero(); n * (n + 1) / 2],
+            n,
+            uplo,
+        }
+    }
+
+    /// Packs the `uplo` triangle of a dense matrix.
+    pub fn from_dense(a: &Mat<T>, uplo: Uplo) -> Self {
+        assert!(a.is_square());
+        let n = a.nrows();
+        let mut p = Self::zeros(n, uplo);
+        for j in 0..n {
+            match uplo {
+                Uplo::Upper => {
+                    for i in 0..=j {
+                        p.set(i, j, a[(i, j)]);
+                    }
+                }
+                Uplo::Lower => {
+                    for i in j..n {
+                        p.set(i, j, a[(i, j)]);
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Which triangle is stored.
+    pub fn uplo(&self) -> Uplo {
+        self.uplo
+    }
+    /// Raw packed buffer of length `n(n+1)/2`.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+    /// Raw packed buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        match self.uplo {
+            Uplo::Upper => {
+                debug_assert!(i <= j);
+                i + j * (j + 1) / 2
+            }
+            Uplo::Lower => {
+                debug_assert!(i >= j);
+                i - j + j * (2 * self.n - j - 1) / 2 + j
+            }
+        }
+    }
+
+    /// Element `(i, j)` of the stored triangle.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` lies in the other triangle.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.n && j < self.n);
+        match self.uplo {
+            Uplo::Upper => assert!(i <= j, "lower element of an upper-packed matrix"),
+            Uplo::Lower => assert!(i >= j, "upper element of a lower-packed matrix"),
+        }
+        self.data[self.idx(i, j)]
+    }
+
+    /// Sets element `(i, j)` of the stored triangle.
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.n && j < self.n);
+        match self.uplo {
+            Uplo::Upper => assert!(i <= j, "lower element of an upper-packed matrix"),
+            Uplo::Lower => assert!(i >= j, "upper element of a lower-packed matrix"),
+        }
+        let k = self.idx(i, j);
+        self.data[k] = v;
+    }
+
+    /// Expands to a dense symmetric (Hermitian for complex) matrix.
+    pub fn to_dense_sym(&self) -> Mat<T> {
+        Mat::from_fn(self.n, self.n, |i, j| match (self.uplo, i <= j) {
+            (Uplo::Upper, true) => self.get(i, j),
+            (Uplo::Upper, false) => self.get(j, i).conj(),
+            (Uplo::Lower, false) => self.get(i, j),
+            (Uplo::Lower, true) => self.get(j, i).conj(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    #[test]
+    fn band_roundtrip() {
+        let a: Mat<f64> = Mat::from_fn(5, 5, |i, j| {
+            if i + 1 >= j && j + 2 >= i {
+                (1 + i + 10 * j) as f64
+            } else {
+                0.0
+            }
+        });
+        let b = BandMat::from_dense(&a, 2, 1, false);
+        assert_eq!(b.to_dense(), a);
+        let bf = BandMat::from_dense(&a, 2, 1, true);
+        assert_eq!(bf.to_dense(), a);
+        assert_eq!(bf.ldab(), 2 * 2 + 1 + 1);
+    }
+
+    #[test]
+    fn band_get_outside_is_zero() {
+        let b: BandMat<f64> = BandMat::zeros(4, 4, 1, 0);
+        assert_eq!(b.get(0, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn band_set_outside_panics() {
+        let mut b: BandMat<f64> = BandMat::zeros(4, 4, 1, 0);
+        b.set(0, 3, 1.0);
+    }
+
+    #[test]
+    fn sym_band_roundtrip_both_uplos() {
+        let dense: Mat<f64> = Mat::from_fn(4, 4, |i, j| {
+            if i.abs_diff(j) <= 1 {
+                (1 + i + j) as f64
+            } else {
+                0.0
+            }
+        });
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            let sb = SymBandMat::from_dense(&dense, 1, uplo);
+            assert_eq!(sb.to_dense_sym(), dense, "uplo={uplo:?}");
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip_both_uplos() {
+        let dense: Mat<f64> = Mat::from_fn(5, 5, |i, j| (1 + i + j) as f64);
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            let p = PackedMat::from_dense(&dense, uplo);
+            assert_eq!(p.as_slice().len(), 15);
+            assert_eq!(p.to_dense_sym(), dense, "uplo={uplo:?}");
+        }
+    }
+
+    #[test]
+    fn packed_complex_hermitian_expansion() {
+        use crate::complex::C64;
+        let mut p = PackedMat::zeros(2, Uplo::Upper);
+        p.set(0, 0, C64::new(1.0, 0.0));
+        p.set(0, 1, C64::new(2.0, 3.0));
+        p.set(1, 1, C64::new(4.0, 0.0));
+        let d = p.to_dense_sym();
+        assert_eq!(d[(1, 0)], C64::new(2.0, -3.0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the foundation layer: Complex robustness, storage
+//! roundtrips, Mat invariants, error-code conventions.
+
+use la_core::{BandMat, Complex, Mat, PackedMat, SymBandMat, Uplo, C64};
+use proptest::prelude::*;
+
+fn cval() -> impl Strategy<Value = C64> {
+    ((-1e3f64..1e3), (-1e3f64..1e3)).prop_map(|(r, i)| C64::new(r, i))
+}
+
+fn cval_wide() -> impl Strategy<Value = C64> {
+    // Exercise the ladiv scaling paths with extreme magnitudes.
+    ((-300i32..300), (-1.0f64..1.0), (-1.0f64..1.0)).prop_map(|(e, r, i)| {
+        let s = 2f64.powi(e);
+        C64::new(r * s, i * s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ladiv_agrees_with_reconstruction(a in cval(), b in cval()) {
+        prop_assume!(b.abs() > 1e-6);
+        let q = a.ladiv(b);
+        let back = q * b;
+        prop_assert!((back - a).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn ladiv_never_nans_on_finite_nonzero(a in cval_wide(), b in cval_wide()) {
+        prop_assume!(b.abs1() > 0.0 && b.is_finite() && a.is_finite());
+        let q = a.ladiv(b);
+        prop_assert!(!q.is_nan(), "{a:?} / {b:?} = {q:?}");
+    }
+
+    #[test]
+    fn complex_sqrt_principal(z in cval()) {
+        let s = z.sqrt();
+        prop_assert!(s.re >= 0.0);
+        prop_assert!((s * s - z).abs() < 1e-9 * (1.0 + z.abs()));
+    }
+
+    #[test]
+    fn mat_transpose_involution(m in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        let mut k = seed;
+        let a: Mat<f64> = Mat::from_fn(m, n, |_, _| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert_eq!(a.conj_transpose().conj_transpose(), a);
+    }
+
+    #[test]
+    fn packed_roundtrip(n in 1usize..10, upper in any::<bool>(), seed in 0u64..1000) {
+        let uplo = if upper { Uplo::Upper } else { Uplo::Lower };
+        let mut k = seed;
+        let mut next = move || {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        // Symmetric dense.
+        let mut d: Mat<f64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                let v = next();
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        let p = PackedMat::from_dense(&d, uplo);
+        prop_assert_eq!(p.as_slice().len(), n * (n + 1) / 2);
+        prop_assert_eq!(p.to_dense_sym(), d);
+    }
+
+    #[test]
+    fn band_roundtrip(n in 1usize..10, kl in 0usize..4, ku in 0usize..4,
+                      for_factor in any::<bool>(), seed in 0u64..1000) {
+        let mut k = seed;
+        let mut next = move || {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let d: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            if i + ku >= j && j + kl >= i {
+                next()
+            } else {
+                0.0
+            }
+        });
+        let b = BandMat::from_dense(&d, kl, ku, for_factor);
+        prop_assert_eq!(b.to_dense(), d);
+    }
+
+    #[test]
+    fn sym_band_roundtrip(n in 1usize..10, kd in 0usize..4, upper in any::<bool>(), seed in 0u64..1000) {
+        let uplo = if upper { Uplo::Upper } else { Uplo::Lower };
+        let mut k = seed;
+        let mut next = move || {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut d: Mat<f64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in j.saturating_sub(kd)..=j {
+                let v = next();
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        let sb = SymBandMat::from_dense(&d, kd, uplo);
+        prop_assert_eq!(sb.to_dense_sym(), d);
+    }
+
+    #[test]
+    fn norms_are_norms(m in 1usize..7, n in 1usize..7, seed in 0u64..1000, scale in 1e-3f64..1e3) {
+        let mut k = seed;
+        let a: Mat<f64> = Mat::from_fn(m, n, |_, _| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        // Homogeneity.
+        let scaled = a.map(|x| x * scale);
+        prop_assert!((scaled.norm_fro() - a.norm_fro() * scale).abs() < 1e-9 * (1.0 + a.norm_fro() * scale));
+        // max |a_ij| ≤ fro.
+        prop_assert!(a.norm_max() <= a.norm_fro() + 1e-12);
+    }
+
+    #[test]
+    fn complex_scalar_vs_inherent_agree(re in -10.0f64..10.0, im in -10.0f64..10.0) {
+        use la_core::Scalar;
+        let z = C64::new(re, im);
+        prop_assert_eq!(Scalar::conj(z), Complex::conj(z));
+        prop_assert!((Scalar::abs(z) - Complex::abs(z)).abs() == 0.0);
+        prop_assert_eq!(Scalar::mul_real(z, 2.5), z.scale(2.5));
+    }
+}
+
+#[test]
+fn mat_macro_and_display() {
+    let a: Mat<f64> = la_core::mat![[1.5, -2.0], [0.25, 3.0]];
+    assert_eq!(a.shape(), (2, 2));
+    let shown = format!("{a}");
+    assert!(shown.contains("1.500") && shown.contains("-2.000"));
+}

@@ -1,0 +1,447 @@
+//! Computational routines and matrix manipulation — the last blocks of
+//! Appendix G: `LA_GETRF` (with the optional condition estimate),
+//! `LA_GETRS`, `LA_GETRI`, `LA_GERFS`, `LA_GEEQU`, `LA_POTRF`,
+//! `LA_SYGST`/`LA_HEGST`, `LA_SYTRD`/`LA_HETRD`, `LA_ORGTR`/`LA_UNGTR`,
+//! `LA_LANGE` and `LA_LAGGE`.
+
+use la_core::{erinfo, LaError, Mat, Norm, PositiveInfo, Scalar, Trans, Uplo};
+use la_lapack as f77;
+pub use la_lapack::{Dist, Larnv, SpectrumMode};
+
+use crate::rhs::Rhs;
+
+fn illegal(routine: &'static str, index: usize) -> LaError {
+    LaError::IllegalArg { routine, index }
+}
+
+/// `CALL LA_GETRF( A, IPIV, RCOND=rcond, NORM=norm, INFO=info )` — LU
+/// factorization with partial pivoting of a (rectangular) matrix.
+pub fn getrf<T: Scalar>(a: &mut Mat<T>, ipiv: &mut [i32]) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GETRF";
+    let (m, n) = a.shape();
+    if ipiv.len() != m.min(n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let lda = a.lda();
+    let linfo = f77::getrf(m, n, a.as_mut_slice(), lda, ipiv);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// [`getrf`] with the optional `RCOND`/`NORM` outputs (square matrices
+/// only, as in the paper's interface). Returns the reciprocal condition
+/// estimate in the chosen norm.
+pub fn getrf_rcond<T: Scalar>(
+    a: &mut Mat<T>,
+    ipiv: &mut [i32],
+    norm: Norm,
+) -> Result<T::Real, LaError> {
+    const SRNAME: &str = "LA_GETRF";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if ipiv.len() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    let lda = a.lda();
+    let anorm = f77::lange(norm, n, n, a.as_slice(), lda);
+    let linfo = f77::getrf(n, n, a.as_mut_slice(), lda, ipiv);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    Ok(f77::gecon(norm, n, a.as_slice(), lda, ipiv, anorm))
+}
+
+/// `CALL LA_GETRS( A, IPIV, B, TRANS=trans, INFO=info )` — solves with
+/// the factorization from [`getrf`].
+pub fn getrs<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &Mat<T>,
+    ipiv: &[i32],
+    b: &mut B,
+    trans: Trans,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GETRS";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if ipiv.len() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 3));
+    }
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let linfo = f77::getrs(trans, n, nrhs, a.as_slice(), lda, ipiv, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `CALL LA_GETRI( A, IPIV, INFO=info )` — inverse from the LU
+/// factorization (workspace handled internally, as Appendix C's
+/// `SGETRI_F90` does with its `ALLOCATE`).
+pub fn getri<T: Scalar>(a: &mut Mat<T>, ipiv: &[i32]) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GETRI";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if ipiv.len() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    let lda = a.lda();
+    let linfo = f77::getri(n, a.as_mut_slice(), lda, ipiv);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `CALL LA_GERFS( A, AF, IPIV, B, X, TRANS=, FERR=, BERR=, INFO= )` —
+/// iterative refinement with forward/backward error bounds.
+#[allow(clippy::type_complexity)]
+pub fn gerfs<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
+    a: &Mat<T>,
+    af: &Mat<T>,
+    ipiv: &[i32],
+    b: &B,
+    x: &mut X,
+    trans: Trans,
+) -> Result<(Vec<T::Real>, Vec<T::Real>), LaError> {
+    const SRNAME: &str = "LA_GERFS";
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    if af.shape() != (n, n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    if b.nrows() != n || x.nrows() != n || b.nrhs() != x.nrhs() {
+        return Err(illegal(SRNAME, 4));
+    }
+    let nrhs = b.nrhs();
+    let mut ferr = vec![T::Real::zero(); nrhs];
+    let mut berr = vec![T::Real::zero(); nrhs];
+    let (lda, ldaf, ldb, ldx) = (a.lda(), af.lda(), b.ldb(), x.ldb());
+    let linfo = f77::gerfs(
+        trans,
+        n,
+        nrhs,
+        a.as_slice(),
+        lda,
+        af.as_slice(),
+        ldaf,
+        ipiv,
+        b.as_slice(),
+        ldb,
+        x.as_mut_slice(),
+        ldx,
+        &mut ferr,
+        &mut berr,
+    );
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    Ok((ferr, berr))
+}
+
+/// Output of [`geequ`].
+#[derive(Clone, Debug)]
+pub struct GeequOut<R> {
+    /// Row scale factors.
+    pub r: Vec<R>,
+    /// Column scale factors.
+    pub c: Vec<R>,
+    /// Ratio of smallest to largest row scale.
+    pub rowcnd: R,
+    /// Ratio of smallest to largest column scale.
+    pub colcnd: R,
+    /// Largest absolute element.
+    pub amax: R,
+}
+
+/// `CALL LA_GEEQU( A, R, C, ROWCND=, COLCND=, AMAX=, INFO= )` — computes
+/// equilibration scalings.
+pub fn geequ<T: Scalar>(a: &Mat<T>) -> Result<GeequOut<T::Real>, LaError> {
+    const SRNAME: &str = "LA_GEEQU";
+    let (m, n) = a.shape();
+    let mut r = vec![T::Real::zero(); m];
+    let mut c = vec![T::Real::zero(); n];
+    let (rowcnd, colcnd, amax, linfo) = f77::geequ(m, n, a.as_slice(), a.lda(), &mut r, &mut c);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    Ok(GeequOut {
+        r,
+        c,
+        rowcnd,
+        colcnd,
+        amax,
+    })
+}
+
+/// `CALL LA_POTRF( A, UPLO=uplo, RCOND=rcond, NORM=norm, INFO=info )` —
+/// Cholesky factorization.
+pub fn potrf<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_POTRF";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let lda = a.lda();
+    let linfo = f77::potrf(uplo, n, a.as_mut_slice(), lda);
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+}
+
+/// [`potrf`] with the optional reciprocal condition estimate.
+pub fn potrf_rcond<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<T::Real, LaError> {
+    const SRNAME: &str = "LA_POTRF";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let lda = a.lda();
+    let anorm = f77::lansy(Norm::One, uplo, T::IS_COMPLEX, n, a.as_slice(), lda);
+    let linfo = f77::potrf(uplo, n, a.as_mut_slice(), lda);
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    Ok(f77::pocon(uplo, n, a.as_slice(), lda, anorm))
+}
+
+/// `CALL LA_SYGST / LA_HEGST( A, B, ITYPE=itype, UPLO=uplo, INFO=info )`
+/// — reduces a symmetric-definite generalized problem to standard form;
+/// `B` must already hold the Cholesky factor from [`potrf`].
+pub fn sygst<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &Mat<T>,
+    itype: f77::GvItype,
+    uplo: Uplo,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_SYGST";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if b.shape() != (n, n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let (lda, ldb) = (a.lda(), b.lda());
+    let linfo = f77::sygst(itype, uplo, n, a.as_mut_slice(), lda, b.as_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `CALL LA_SYTRD / LA_HETRD( A, TAU, UPLO=uplo, INFO=info )` — reduction
+/// to real symmetric tridiagonal form. Returns `(d, e, tau)`.
+#[allow(clippy::type_complexity)]
+pub fn sytrd<T: Scalar>(
+    a: &mut Mat<T>,
+    uplo: Uplo,
+) -> Result<(Vec<T::Real>, Vec<T::Real>, Vec<T>), LaError> {
+    const SRNAME: &str = "LA_SYTRD";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let mut d = vec![T::Real::zero(); n];
+    let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
+    let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
+    let lda = a.lda();
+    let linfo = f77::sytrd(uplo, n, a.as_mut_slice(), lda, &mut d, &mut e, &mut tau);
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    e.truncate(n.saturating_sub(1));
+    tau.truncate(n.saturating_sub(1));
+    Ok((d, e, tau))
+}
+
+/// `CALL LA_ORGTR / LA_UNGTR( A, TAU, UPLO=uplo, INFO=info )` — generates
+/// the unitary `Q` of the tridiagonal reduction in place.
+pub fn orgtr<T: Scalar>(a: &mut Mat<T>, tau: &[T], uplo: Uplo) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_ORGTR";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if n > 0 && tau.len() < n - 1 {
+        return Err(illegal(SRNAME, 2));
+    }
+    let lda = a.lda();
+    let linfo = f77::orgtr(uplo, n, a.as_mut_slice(), lda, tau);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `VNORM = LA_LANGE( A, NORM=norm, INFO=info )` — matrix norm of a
+/// general matrix (the paper's `LA_ANGE` entry).
+pub fn lange<T: Scalar>(a: &Mat<T>, norm: Norm) -> T::Real {
+    f77::lange(norm, a.nrows(), a.ncols(), a.as_slice(), a.lda())
+}
+
+/// `CALL LA_LAGGE( A, KL=, KU=, D=d, ISEED=iseed, INFO=info )` —
+/// generates a random matrix `A = U·diag(d)·V` with prescribed singular
+/// values and Haar-random `U`, `V` (full bandwidth).
+pub fn lagge<T: Scalar>(m: usize, n: usize, d: &[T::Real], seed: u64) -> Result<Mat<T>, LaError> {
+    const SRNAME: &str = "LA_LAGGE";
+    if d.len() < m.min(n) {
+        return Err(illegal(SRNAME, 4));
+    }
+    let mut rng = Larnv::new(seed);
+    let a = f77::lagge::<T>(&mut rng, m, n, d);
+    Ok(Mat::from_col_major(m, n, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getrf_rcond_and_getri() {
+        let n = 6;
+        let mut rng = Larnv::new(5);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            rng.real::<f64>(Dist::Uniform11) + if i == j { 3.0 } else { 0.0 }
+        });
+        let mut a = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        let rcond = getrf_rcond(&mut a, &mut ipiv, Norm::One).unwrap();
+        assert!(rcond > 0.0 && rcond <= 1.0);
+        let r = la_verify::lu_ratio(&a0, &a, &ipiv);
+        assert!(r < 100.0, "lu ratio = {r}");
+        getri(&mut a, &ipiv).unwrap();
+        // A · A⁻¹ = I.
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a0[(i, k)] * a[(k, j)];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((s - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn getrs_and_gerfs() {
+        let n = 7;
+        let mut rng = Larnv::new(11);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(Dist::Uniform11));
+        let xtrue: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|k| a0[(i, k)] * xtrue[k]).sum())
+            .collect();
+        let mut af = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        getrf(&mut af, &mut ipiv).unwrap();
+        let mut x = b.clone();
+        getrs(&af, &ipiv, &mut x, Trans::No).unwrap();
+        let (ferr, berr) = gerfs(&a0, &af, &ipiv, &b, &mut x, Trans::No).unwrap();
+        assert!(berr[0] < 1e-13);
+        assert!(ferr[0] < 1e-8);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sytrd_orgtr_pipeline() {
+        let n = 7;
+        let mut rng = Larnv::new(17);
+        let mut a: Mat<la_core::C64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                let v: la_core::C64 = if i == j {
+                    la_core::C64::from_real(rng.real(Dist::Uniform11))
+                } else {
+                    rng.scalar(Dist::Uniform11)
+                };
+                a[(i, j)] = v;
+                a[(j, i)] = v.conj();
+            }
+        }
+        let a0 = a.clone();
+        let (d, e, tau) = sytrd(&mut a, Uplo::Lower).unwrap();
+        orgtr(&mut a, &tau, Uplo::Lower).unwrap();
+        // Q T Qᴴ = A.
+        let q = a.clone();
+        let t: Mat<la_core::C64> = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                la_core::C64::from_real(d[i])
+            } else if i.abs_diff(j) == 1 {
+                la_core::C64::from_real(e[i.min(j)])
+            } else {
+                la_core::C64::zero()
+            }
+        });
+        let mut qt: Mat<la_core::C64> = Mat::zeros(n, n);
+        la_blas::gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            la_core::C64::one(),
+            q.as_slice(),
+            n,
+            t.as_slice(),
+            n,
+            la_core::C64::zero(),
+            qt.as_mut_slice(),
+            n,
+        );
+        let mut rec: Mat<la_core::C64> = Mat::zeros(n, n);
+        la_blas::gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            n,
+            n,
+            n,
+            la_core::C64::one(),
+            qt.as_slice(),
+            n,
+            q.as_slice(),
+            n,
+            la_core::C64::zero(),
+            rec.as_mut_slice(),
+            n,
+        );
+        for j in 0..n {
+            for i in 0..n {
+                assert!((rec[(i, j)] - a0[(i, j)]).abs() < 1e-12 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn lagge_and_lange() {
+        let d = vec![4.0f64, 2.0, 1.0];
+        let a: Mat<f64> = lagge(5, 3, &d, 42).unwrap();
+        // Spectral norm equals the largest singular value; the one norm
+        // bounds it.
+        assert!(lange(&a, Norm::One) >= 4.0 / (3.0f64).sqrt());
+        assert!(lange(&a, Norm::Fro) >= (16.0f64 + 4.0 + 1.0).sqrt() - 1e-12);
+        assert!((lange(&a, Norm::Fro) - 21.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geequ_wrapper() {
+        let a: Mat<f64> = Mat::from_fn(3, 3, |i, _| 10f64.powi(4 * i as i32));
+        let out = geequ(&a).unwrap();
+        assert!(out.rowcnd < 0.1);
+        assert_eq!(out.r.len(), 3);
+        assert!(out.amax >= 1e8);
+    }
+}
+
+/// `LA_HEGST` — alias of [`sygst`] (the generic reduction conjugates
+/// where needed).
+pub fn hegst<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &Mat<T>,
+    itype: f77::GvItype,
+    uplo: Uplo,
+) -> Result<(), LaError> {
+    sygst(a, b, itype, uplo)
+}
+
+/// `LA_HETRD` — alias of [`sytrd`].
+#[allow(clippy::type_complexity)]
+pub fn hetrd<T: Scalar>(
+    a: &mut Mat<T>,
+    uplo: Uplo,
+) -> Result<(Vec<T::Real>, Vec<T::Real>, Vec<T>), LaError> {
+    sytrd(a, uplo)
+}
+
+/// `LA_UNGTR` — alias of [`orgtr`].
+pub fn ungtr<T: Scalar>(a: &mut Mat<T>, tau: &[T], uplo: Uplo) -> Result<(), LaError> {
+    orgtr(a, tau, uplo)
+}

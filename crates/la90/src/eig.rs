@@ -1,0 +1,1112 @@
+//! Driver routines for standard eigenvalue and singular value problems —
+//! Appendix G blocks 5–7: `LA_SYEV`/`LA_HEEV`, `LA_SPEV`/`LA_HPEV`,
+//! `LA_SBEV`/`LA_HBEV`, `LA_STEV`, the divide-and-conquer `…EVD` family,
+//! the expert `…EVX` family, `LA_GEES`/`LA_GEESX`, `LA_GEEV`/`LA_GEEVX`
+//! and `LA_GESVD`.
+//!
+//! Where the Fortran interface exposes `ω ::= WR, WI | W` (different
+//! argument lists for real and complex matrices), this layer goes one
+//! step further: the [`EigDriver`] trait lets a single generic `geev`
+//! return complex eigenvalues/eigenvectors for *all four* scalar
+//! instantiations (real pairs are decoded from LAPACK's packed
+//! convention).
+
+use la_core::{erinfo, Complex, LaError, Mat, PackedMat, PositiveInfo, RealScalar, Scalar, SymBandMat, Uplo};
+use la_lapack as f77;
+pub use la_lapack::EigRange;
+
+fn illegal(routine: &'static str, index: usize) -> LaError {
+    LaError::IllegalArg { routine, index }
+}
+
+/// The `JOBZ` option: eigenvalues only, or eigenvalues and eigenvectors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Jobz {
+    /// `JOBZ = 'N'`.
+    #[default]
+    Values,
+    /// `JOBZ = 'V'`.
+    Vectors,
+}
+
+impl Jobz {
+    fn wants(self) -> bool {
+        self == Jobz::Vectors
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric / Hermitian.
+// ---------------------------------------------------------------------------
+
+/// `CALL LA_SYEV / LA_HEEV( A, W, JOBZ=jobz, UPLO=uplo, INFO=info )` —
+/// all eigenvalues (ascending) and optionally eigenvectors (overwriting
+/// `A`) of a real symmetric or complex Hermitian matrix.
+///
+/// ```
+/// use la_core::mat;
+/// use la90::Jobz;
+/// let mut a: la_core::Mat<f64> = mat![[2.0, 1.0], [1.0, 2.0]];
+/// let w = la90::syev(&mut a, Jobz::Values)?;   // eigenvalues 1 and 3
+/// assert!((w[0] - 1.0).abs() < 1e-12 && (w[1] - 3.0).abs() < 1e-12);
+/// # Ok::<(), la_core::LaError>(())
+/// ```
+pub fn syev<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+    syev_uplo(a, jobz, Uplo::Upper)
+}
+
+/// [`syev`] with an explicit `UPLO`.
+pub fn syev_uplo<T: Scalar>(a: &mut Mat<T>, jobz: Jobz, uplo: Uplo) -> Result<Vec<T::Real>, LaError> {
+    const SRNAME: &str = "LA_SYEV";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let mut w = vec![T::Real::zero(); n];
+    let lda = a.lda();
+    let linfo = f77::syev(jobz.wants(), uplo, n, a.as_mut_slice(), lda, &mut w);
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(w)
+}
+
+/// `LA_HEEV` — identical to [`syev`] (the generic routine conjugates
+/// where the Hermitian case requires it).
+pub fn heev<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+    syev(a, jobz)
+}
+
+/// `CALL LA_SYEVD / LA_HEEVD( A, W, ... )` — divide-and-conquer variant
+/// of [`syev`].
+pub fn syevd<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+    syevd_uplo(a, jobz, Uplo::Upper)
+}
+
+/// [`syevd`] with an explicit `UPLO`.
+pub fn syevd_uplo<T: Scalar>(a: &mut Mat<T>, jobz: Jobz, uplo: Uplo) -> Result<Vec<T::Real>, LaError> {
+    const SRNAME: &str = "LA_SYEVD";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let mut w = vec![T::Real::zero(); n];
+    let lda = a.lda();
+    let linfo = f77::syevd(jobz.wants(), uplo, n, a.as_mut_slice(), lda, &mut w);
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(w)
+}
+
+/// `CALL LA_SYEVX / LA_HEEVX( A, W, UPLO=, VL=, VU=, IL=, IU=, M=, ... )`
+/// — selected eigenvalues (and optionally eigenvectors) by bisection and
+/// inverse iteration.
+pub fn syevx<T: Scalar>(
+    a: &mut Mat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    uplo: Uplo,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SYEVX";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let lda = a.lda();
+    let (w, z) = f77::syevx(jobz.wants(), range, uplo, n, a.as_mut_slice(), lda, abstol);
+    let m = w.len();
+    let zmat = if jobz.wants() {
+        Some(Mat::from_col_major(n, m, z))
+    } else {
+        None
+    };
+    Ok((w, zmat))
+}
+
+/// `CALL LA_SPEV / LA_HPEV( AP, W, UPLO=uplo, Z=z, INFO=info )` — packed
+/// symmetric/Hermitian eigenproblem.
+pub fn spev<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SPEV";
+    let n = ap.n();
+    let uplo = ap.uplo();
+    let mut w = vec![T::Real::zero(); n];
+    let linfo = if jobz.wants() {
+        let mut z = Mat::<T>::zeros(n, n);
+        let ldz = z.lda();
+        let info = f77::spev(true, uplo, n, ap.as_mut_slice(), &mut w, Some((z.as_mut_slice(), ldz)));
+        erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+        return Ok((w, Some(z)));
+    } else {
+        f77::spev::<T>(false, uplo, n, ap.as_mut_slice(), &mut w, None)
+    };
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok((w, None))
+}
+
+/// `CALL LA_SPEVD / LA_HPEVD( AP, W, ... )` — divide-and-conquer packed
+/// eigenproblem (packed reduction + `stedc` + back-transform).
+pub fn spevd<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SPEVD";
+    let n = ap.n();
+    let uplo = ap.uplo();
+    let mut d = vec![T::Real::zero(); n];
+    let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
+    let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
+    f77::sptrd(uplo, n, ap.as_mut_slice(), &mut d, &mut e, &mut tau);
+    if !jobz.wants() {
+        let linfo = f77::sterf(n, &mut d, &mut e);
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        return Ok((d, None));
+    }
+    let zt = f77::stedc(n, &mut d, &mut e);
+    // Back-transform: Z = Q · Zt.
+    let mut q = Mat::<T>::zeros(n, n);
+    let ldq = q.lda();
+    f77::opgtr(uplo, n, ap.as_slice(), &tau, q.as_mut_slice(), ldq);
+    let ztc: Vec<T> = zt.iter().map(|&x| T::from_real(x)).collect();
+    let mut z = Mat::<T>::zeros(n, n);
+    la_blas::gemm(
+        la_core::Trans::No,
+        la_core::Trans::No,
+        n,
+        n,
+        n,
+        T::one(),
+        q.as_slice(),
+        ldq,
+        &ztc,
+        n.max(1),
+        T::zero(),
+        z.as_mut_slice(),
+        n.max(1),
+    );
+    Ok((d, Some(z)))
+}
+
+/// `CALL LA_SPEVX / LA_HPEVX( AP, W, ... )` — selected packed
+/// eigenvalues by bisection + inverse iteration.
+pub fn spevx<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    let n = ap.n();
+    let uplo = ap.uplo();
+    let mut d = vec![T::Real::zero(); n];
+    let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
+    let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
+    f77::sptrd(uplo, n, ap.as_mut_slice(), &mut d, &mut e, &mut tau);
+    let w = f77::stebz(range, n, &d, &e, abstol);
+    if !jobz.wants() || w.is_empty() {
+        return Ok((w, None));
+    }
+    let zr = f77::stein(n, &d, &e, &w);
+    let m = w.len();
+    // Back-transform with the dense Q.
+    let mut q = Mat::<T>::zeros(n, n);
+    let ldq = q.lda();
+    f77::opgtr(uplo, n, ap.as_slice(), &tau, q.as_mut_slice(), ldq);
+    let zc: Vec<T> = zr.iter().map(|&x| T::from_real(x)).collect();
+    let mut z = Mat::<T>::zeros(n, m);
+    la_blas::gemm(
+        la_core::Trans::No,
+        la_core::Trans::No,
+        n,
+        m,
+        n,
+        T::one(),
+        q.as_slice(),
+        ldq,
+        &zc,
+        n.max(1),
+        T::zero(),
+        z.as_mut_slice(),
+        n.max(1),
+    );
+    Ok((w, Some(z)))
+}
+
+/// `CALL LA_SBEV / LA_HBEV( AB, W, UPLO=uplo, Z=z, INFO=info )` — band
+/// symmetric/Hermitian eigenproblem.
+pub fn sbev<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SBEV";
+    let n = ab.n();
+    let mut w = vec![T::Real::zero(); n];
+    if jobz.wants() {
+        let mut z = Mat::<T>::zeros(n, n);
+        let ldz = z.lda();
+        let linfo = f77::sbev(
+            true,
+            ab.uplo(),
+            n,
+            ab.kd(),
+            ab.as_slice(),
+            ab.ldab(),
+            &mut w,
+            Some((z.as_mut_slice(), ldz)),
+        );
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        Ok((w, Some(z)))
+    } else {
+        let linfo = f77::sbev::<T>(false, ab.uplo(), n, ab.kd(), ab.as_slice(), ab.ldab(), &mut w, None);
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        Ok((w, None))
+    }
+}
+
+/// `CALL LA_SBEVD / LA_HBEVD( AB, W, ... )` — divide-and-conquer band
+/// eigenproblem (dense expansion + `syevd`).
+pub fn sbevd<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SBEVD";
+    let n = ab.n();
+    let mut dense = ab.to_dense_sym();
+    let lda = dense.lda();
+    let mut w = vec![T::Real::zero(); n];
+    let linfo = f77::syevd(jobz.wants(), ab.uplo(), n, dense.as_mut_slice(), lda, &mut w);
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok((w, if jobz.wants() { Some(dense) } else { None }))
+}
+
+/// `CALL LA_SBEVX / LA_HBEVX( AB, W, ... )` — selected band eigenvalues.
+pub fn sbevx<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    let n = ab.n();
+    let mut dense = ab.to_dense_sym();
+    let lda = dense.lda();
+    let (w, z) = f77::syevx(jobz.wants(), range, ab.uplo(), n, dense.as_mut_slice(), lda, abstol);
+    let m = w.len();
+    let zmat = if jobz.wants() {
+        Some(Mat::from_col_major(n, m, z))
+    } else {
+        None
+    };
+    Ok((w, zmat))
+}
+
+/// `CALL LA_STEV( D, E, Z=z, INFO=info )` — eigenvalues (ascending) and
+/// optionally eigenvectors of a real symmetric tridiagonal matrix.
+pub fn stev<R: RealScalar>(
+    d: &mut [R],
+    e: &mut [R],
+    jobz: Jobz,
+) -> Result<Option<Mat<R>>, LaError> {
+    const SRNAME: &str = "LA_STEV";
+    let n = d.len();
+    if n > 0 && e.len() < n - 1 {
+        return Err(illegal(SRNAME, 2));
+    }
+    if jobz.wants() {
+        let mut z = Mat::<R>::zeros(n, n);
+        let ldz = z.lda();
+        let linfo = f77::stev(n, d, e, Some((z.as_mut_slice(), ldz)));
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        Ok(Some(z))
+    } else {
+        let linfo = f77::stev::<R>(n, d, e, None);
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        Ok(None)
+    }
+}
+
+/// `CALL LA_STEVD( D, E, Z=z, INFO=info )` — divide-and-conquer
+/// tridiagonal eigenproblem.
+pub fn stevd<R: RealScalar>(
+    d: &mut [R],
+    e: &mut [R],
+    jobz: Jobz,
+) -> Result<Option<Mat<R>>, LaError> {
+    const SRNAME: &str = "LA_STEVD";
+    let n = d.len();
+    if n > 0 && e.len() < n - 1 {
+        return Err(illegal(SRNAME, 2));
+    }
+    if jobz.wants() {
+        let mut z = Mat::<R>::zeros(n, n);
+        let ldz = z.lda();
+        let linfo = f77::stevd(true, n, d, e, Some((z.as_mut_slice(), ldz)));
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        Ok(Some(z))
+    } else {
+        let linfo = f77::stevd::<R>(false, n, d, e, None);
+        erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        Ok(None)
+    }
+}
+
+/// `CALL LA_STEVX( D, E, W, ... )` — selected tridiagonal eigenvalues by
+/// bisection + inverse iteration.
+pub fn stevx<R: RealScalar>(
+    d: &[R],
+    e: &[R],
+    jobz: Jobz,
+    range: EigRange<R>,
+    abstol: R,
+) -> Result<(Vec<R>, Option<Mat<R>>), LaError> {
+    let n = d.len();
+    let (w, z) = f77::stevx(jobz.wants(), range, n, d, e, abstol);
+    let m = w.len();
+    let zmat = if jobz.wants() {
+        Some(Mat::from_col_major(n, m, z))
+    } else {
+        None
+    };
+    Ok((w, zmat))
+}
+
+// ---------------------------------------------------------------------------
+// Nonsymmetric: the unified real/complex dispatch.
+// ---------------------------------------------------------------------------
+
+/// Sealed dispatch trait: one generic `geev`/`gees`/`gegv` name for all
+/// four scalar instantiations — real eigen-pairs are decoded into the
+/// complex representation automatically. This is the Rust analog of the
+/// paper's `ω ::= WR, WI | W` interface resolution.
+pub trait EigDriver: Scalar {
+    /// Eigen decomposition driver: returns
+    /// `(info, w, vr, vl)` with complex eigenvalues and (optionally
+    /// empty) complex eigenvector matrices (`n × n`, column-major).
+    #[allow(clippy::type_complexity)]
+    fn geev_driver(
+        want_vl: bool,
+        want_vr: bool,
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+    ) -> (
+        i32,
+        Vec<Complex<Self::Real>>,
+        Vec<Complex<Self::Real>>,
+        Vec<Complex<Self::Real>>,
+    );
+
+    /// Schur decomposition driver with reordering: returns
+    /// `(info, w, sdim)`; `a` becomes the Schur form, `vs` the Schur
+    /// vectors.
+    #[allow(clippy::type_complexity)]
+    fn gees_driver(
+        want_vs: bool,
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+        select: Option<&dyn Fn(Complex<Self::Real>) -> bool>,
+        vs: &mut [Self],
+        ldvs: usize,
+    ) -> (i32, Vec<Complex<Self::Real>>, usize);
+
+    /// Generalized eigenvalues of a regular pencil `(A, B)` (the `gegv`
+    /// substitute): `(info, alpha, beta)`.
+    #[allow(clippy::type_complexity)]
+    fn gegv_driver(
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+        b: &mut [Self],
+        ldb: usize,
+    ) -> (i32, Vec<Complex<Self::Real>>, Vec<Complex<Self::Real>>);
+}
+
+/// Decodes LAPACK's packed real eigenvector convention into complex
+/// columns.
+fn decode_packed<R: RealScalar>(n: usize, wi: &[R], v: &[R]) -> Vec<Complex<R>> {
+    if v.is_empty() {
+        return vec![];
+    }
+    let mut out = vec![Complex::<R>::zero(); n * n];
+    let mut j = 0;
+    while j < n {
+        if wi[j].is_zero() {
+            for i in 0..n {
+                out[i + j * n] = Complex::from_real(v[i + j * n]);
+            }
+            j += 1;
+        } else {
+            for i in 0..n {
+                let re = v[i + j * n];
+                let im = v[i + (j + 1) * n];
+                out[i + j * n] = Complex::new(re, im);
+                out[i + (j + 1) * n] = Complex::new(re, -im);
+            }
+            j += 2;
+        }
+    }
+    out
+}
+
+macro_rules! impl_eig_driver_real {
+    ($t:ty) => {
+        impl EigDriver for $t {
+    fn geev_driver(
+        want_vl: bool,
+        want_vr: bool,
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+    ) -> (i32, Vec<Complex<$t>>, Vec<Complex<$t>>, Vec<Complex<$t>>) {
+        let (info, res) = f77::eig_real::geev(want_vl, want_vr, n, a, lda);
+        let w: Vec<Complex<$t>> = res
+            .wr
+            .iter()
+            .zip(&res.wi)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+        let vr = decode_packed(n, &res.wi, &res.vr);
+        let vl = decode_packed(n, &res.wi, &res.vl);
+        (info, w, vr, vl)
+    }
+
+    fn gees_driver(
+        want_vs: bool,
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+        select: Option<&dyn Fn(Complex<$t>) -> bool>,
+        vs: &mut [Self],
+        ldvs: usize,
+    ) -> (i32, Vec<Complex<$t>>, usize) {
+        let sel_adapt = select.map(|s| move |wr: $t, wi: $t| s(Complex::new(wr, wi)));
+        let (info, res) = match &sel_adapt {
+            Some(f) => f77::eig_real::gees(want_vs, n, a, lda, Some(f), vs, ldvs),
+            None => f77::eig_real::gees(want_vs, n, a, lda, None, vs, ldvs),
+        };
+        let w: Vec<Complex<$t>> = res
+            .wr
+            .iter()
+            .zip(&res.wi)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+        (info, w, res.sdim)
+    }
+
+    fn gegv_driver(
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+        b: &mut [Self],
+        ldb: usize,
+    ) -> (i32, Vec<Complex<$t>>, Vec<Complex<$t>>) {
+        // Full QZ through the complex embedding (DESIGN.md §1): handles
+        // ill-conditioned and singular B, unlike the B⁻¹A fast path that
+        // remains available as `la_lapack::gegv_regular_real`.
+        let (info, alpha, beta) = f77::gegv_qz_real(n, a, lda, b, ldb);
+        (info, alpha, beta)
+    }
+}
+    };
+}
+
+impl_eig_driver_real!(f32);
+impl_eig_driver_real!(f64);
+
+impl<R: RealScalar> EigDriver for Complex<R> {
+    fn geev_driver(
+        want_vl: bool,
+        want_vr: bool,
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+    ) -> (i32, Vec<Complex<R>>, Vec<Complex<R>>, Vec<Complex<R>>) {
+        let (info, res) = f77::eig_cplx::geev_cplx(want_vl, want_vr, n, a, lda);
+        (info, res.w, res.vr, res.vl)
+    }
+
+    fn gees_driver(
+        want_vs: bool,
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+        select: Option<&dyn Fn(Complex<R>) -> bool>,
+        vs: &mut [Self],
+        ldvs: usize,
+    ) -> (i32, Vec<Complex<R>>, usize) {
+        f77::eig_cplx::gees_cplx(want_vs, n, a, lda, select, vs, ldvs)
+    }
+
+    fn gegv_driver(
+        n: usize,
+        a: &mut [Self],
+        lda: usize,
+        b: &mut [Self],
+        ldb: usize,
+    ) -> (i32, Vec<Complex<R>>, Vec<Complex<R>>) {
+        let (info, alpha, beta, _) = f77::gegv_qz_cplx(false, n, a, lda, b, ldb);
+        (info, alpha, beta)
+    }
+}
+
+/// Result of [`geev`].
+pub struct GeevOut<T: Scalar> {
+    /// Eigenvalues (complex, even for real input — conjugate pairs
+    /// adjacent).
+    pub w: Vec<Complex<T::Real>>,
+    /// Right eigenvectors as complex columns (when requested).
+    pub vr: Option<Mat<Complex<T::Real>>>,
+    /// Left eigenvectors as complex columns (when requested).
+    pub vl: Option<Mat<Complex<T::Real>>>,
+}
+
+/// `CALL LA_GEEV( A, ω, VL=vl, VR=vr, INFO=info )` — eigenvalues and
+/// optionally left/right eigenvectors of a general matrix. `A` is
+/// destroyed.
+pub fn geev<T: EigDriver>(a: &mut Mat<T>, want_vl: bool, want_vr: bool) -> Result<GeevOut<T>, LaError> {
+    const SRNAME: &str = "LA_GEEV";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let lda = a.lda();
+    let (info, w, vr, vl) = T::geev_driver(want_vl, want_vr, n, a.as_mut_slice(), lda);
+    erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(GeevOut {
+        w,
+        vr: if want_vr {
+            Some(Mat::from_col_major(n, n, vr))
+        } else {
+            None
+        },
+        vl: if want_vl {
+            Some(Mat::from_col_major(n, n, vl))
+        } else {
+            None
+        },
+    })
+}
+
+/// Result of [`geevx`].
+pub struct GeevxOut<T: Scalar> {
+    /// Eigen output (eigenvalues + vectors).
+    pub eig: GeevOut<T>,
+    /// Balancing scale factors (`SCALE`).
+    pub scale: Vec<T::Real>,
+    /// One-norm of the balanced matrix (`ABNRM`).
+    pub abnrm: T::Real,
+    /// Reciprocal condition numbers of the eigenvalues (`RCONDE`):
+    /// `s_i = |y_iᴴ·x_i| / (‖x_i‖·‖y_i‖)`.
+    pub rconde: Vec<T::Real>,
+}
+
+/// `CALL LA_GEEVX( A, ω, ..., SCALE=, ABNRM=, RCONDE=, INFO=info )` —
+/// expert eigen driver: balancing diagnostics and eigenvalue condition
+/// numbers (`RCONDV` — eigenvector condition via `sep` — is listed as
+/// future work in DESIGN.md).
+pub fn geevx<T: EigDriver>(a: &mut Mat<T>) -> Result<GeevxOut<T>, LaError> {
+    const SRNAME: &str = "LA_GEEVX";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    // Balancing diagnostics on a copy (the driver balances internally).
+    let mut bal = a.clone();
+    let ldb = bal.lda();
+    let (_ilo, _ihi, scale) =
+        f77::hess::gebal::<T>(f77::hess::BalanceJob::Scale, n, bal.as_mut_slice(), ldb);
+    let abnrm = f77::lange(la_core::Norm::One, n, n, bal.as_slice(), ldb);
+    let eig = geev(a, true, true)?;
+    // Eigenvalue condition numbers from the normalized left/right vectors.
+    let vr = eig.vr.as_ref().unwrap();
+    let vl = eig.vl.as_ref().unwrap();
+    let mut rconde = vec![T::Real::zero(); n];
+    for j in 0..n {
+        let mut dot = Complex::<T::Real>::zero();
+        let mut nx = T::Real::zero();
+        let mut ny = T::Real::zero();
+        for i in 0..n {
+            dot += vl[(i, j)].conj() * vr[(i, j)];
+            nx += vr[(i, j)].norm_sqr();
+            ny += vl[(i, j)].norm_sqr();
+        }
+        let denom = (nx.rsqrt()) * (ny.rsqrt());
+        rconde[j] = if denom > T::Real::zero() {
+            dot.abs() / denom
+        } else {
+            T::Real::zero()
+        };
+    }
+    Ok(GeevxOut {
+        eig,
+        scale,
+        abnrm,
+        rconde,
+    })
+}
+
+/// Result of [`gees`].
+pub struct GeesOut<T: Scalar> {
+    /// Eigenvalues in Schur order.
+    pub w: Vec<Complex<T::Real>>,
+    /// Schur vectors (when requested).
+    pub vs: Option<Mat<T>>,
+    /// Number of selected eigenvalues in the leading block.
+    pub sdim: usize,
+}
+
+/// `CALL LA_GEES( A, ω, VS=vs, SELECT=select, SDIM=sdim, INFO=info )` —
+/// Schur decomposition with optional eigenvalue reordering. `A` becomes
+/// the (quasi-)triangular Schur factor.
+pub fn gees<T: EigDriver>(
+    a: &mut Mat<T>,
+    want_vs: bool,
+    select: Option<&dyn Fn(Complex<T::Real>) -> bool>,
+) -> Result<GeesOut<T>, LaError> {
+    const SRNAME: &str = "LA_GEES";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    let lda = a.lda();
+    let mut vs = Mat::<T>::zeros(if want_vs { n } else { 0 }, if want_vs { n } else { 0 });
+    let ldvs = vs.lda();
+    let (info, w, sdim) = T::gees_driver(want_vs, n, a.as_mut_slice(), lda, select, vs.as_mut_slice(), ldvs);
+    erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(GeesOut {
+        w,
+        vs: if want_vs { Some(vs) } else { None },
+        sdim,
+    })
+}
+
+/// Result of [`gesvd`].
+pub struct SvdOut<T: Scalar> {
+    /// Singular values, descending.
+    pub s: Vec<T::Real>,
+    /// Left singular vectors, `m × min(m,n)` (when requested).
+    pub u: Option<Mat<T>>,
+    /// Right singular vectors transposed, `min(m,n) × n` (when
+    /// requested).
+    pub vt: Option<Mat<T>>,
+}
+
+/// `CALL LA_GESVD( A, S, U=u, VT=vt, WW=ww, JOB=job, INFO=info )` —
+/// singular value decomposition. `A` is destroyed.
+///
+/// ```
+/// use la_core::mat;
+/// let mut a: la_core::Mat<f64> = mat![[3.0, 0.0], [0.0, -2.0], [0.0, 0.0]];
+/// let out = la90::gesvd(&mut a, false, false)?;
+/// assert!((out.s[0] - 3.0).abs() < 1e-12 && (out.s[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), la_core::LaError>(())
+/// ```
+pub fn gesvd<T: Scalar>(a: &mut Mat<T>, want_u: bool, want_vt: bool) -> Result<SvdOut<T>, LaError> {
+    const SRNAME: &str = "LA_GESVD";
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let lda = a.lda();
+    let (s, u, vt, info) = f77::gesvd(want_u, want_vt, m, n, a.as_mut_slice(), lda);
+    erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(SvdOut {
+        s,
+        u: if want_u {
+            Some(Mat::from_col_major(m, k, u))
+        } else {
+            None
+        },
+        vt: if want_vt {
+            Some(Mat::from_col_major(k, n, vt))
+        } else {
+            None
+        },
+    })
+}
+
+/// Result of [`geesx`].
+pub struct GeesxOut<T: Scalar> {
+    /// Schur output.
+    pub schur: GeesOut<T>,
+    /// Reciprocal condition number for the average of the selected
+    /// eigenvalues (`RCONDE`): `1/√(1 + ‖X‖_F²)` with `X` the solution
+    /// of the coupling Sylvester equation.
+    pub rconde: T::Real,
+}
+
+/// `CALL LA_GEESX( A, ω, ..., RCONDE=rconde, INFO=info )` — Schur
+/// decomposition with reordering and the condition estimate for the
+/// selected cluster (`RCONDV` via `sep` is future work, DESIGN.md).
+pub fn geesx<T: EigDriver>(
+    a: &mut Mat<T>,
+    select: &dyn Fn(Complex<T::Real>) -> bool,
+) -> Result<GeesxOut<T>, LaError> {
+    let schur = gees(a, true, Some(select))?;
+    let n = a.nrows();
+    let sdim = schur.sdim;
+    let rconde = if sdim == 0 || sdim == n {
+        T::Real::one()
+    } else {
+        // Solve T11·X − X·T22 = T12 (dense Kronecker solve — fine for the
+        // cluster sizes SELECT typically produces).
+        let p = sdim;
+        let q = n - sdim;
+        let mut kmat = vec![T::zero(); (p * q) * (p * q)];
+        let mut rhs = vec![T::zero(); p * q];
+        for c in 0..q {
+            for r in 0..p {
+                let row = r + c * p;
+                rhs[row] = a[(r, sdim + c)];
+                for c2 in 0..q {
+                    for r2 in 0..p {
+                        let col = r2 + c2 * p;
+                        let mut v = T::zero();
+                        if c == c2 {
+                            v += a[(r, r2)];
+                        }
+                        if r == r2 {
+                            v -= a[(sdim + c2, sdim + c)];
+                        }
+                        kmat[row + col * (p * q)] = v;
+                    }
+                }
+            }
+        }
+        let mut ipiv = vec![0i32; p * q];
+        let info = f77::gesv(p * q, 1, &mut kmat, p * q, &mut ipiv, &mut rhs, p * q);
+        if info != 0 {
+            T::Real::zero()
+        } else {
+            let mut fro = T::Real::zero();
+            for v in &rhs {
+                fro += v.abs_sqr();
+            }
+            T::Real::one() / (T::Real::one() + fro).rsqrt()
+        }
+    };
+    Ok(GeesxOut { schur, rconde })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::{C64, Trans};
+    use la_lapack::{Dist, Larnv};
+
+    #[test]
+    fn syev_generic_over_all_types() {
+        fn run<T: Scalar>() {
+            let n = 8;
+            let mut rng = Larnv::new(3);
+            let mut a: Mat<T> = Mat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..=j {
+                    let v: T = if i == j {
+                        T::from_real(rng.real(Dist::Uniform11))
+                    } else {
+                        rng.scalar(Dist::Uniform11)
+                    };
+                    a[(i, j)] = v;
+                    a[(j, i)] = v.conj();
+                }
+            }
+            let a0 = a.clone();
+            let w = syev(&mut a, Jobz::Vectors).unwrap();
+            let r = la_verify::eig_ratio(&a0, &a, &w);
+            assert!(r.to_f64() < 100.0, "{} residual {}", T::PREFIX, r.to_f64());
+        }
+        run::<f32>();
+        run::<f64>();
+        run::<la_core::C32>();
+        run::<C64>();
+    }
+
+    #[test]
+    fn geev_unified_interface() {
+        // Real input, complex output.
+        let n = 7;
+        let mut rng = Larnv::new(5);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(Dist::Uniform11));
+        let mut a = a0.clone();
+        let out = geev(&mut a, false, true).unwrap();
+        let vr = out.vr.unwrap();
+        for j in 0..n {
+            // A v = λ v in complex arithmetic.
+            for i in 0..n {
+                let mut av = Complex::<f64>::zero();
+                for k in 0..n {
+                    av += vr[(k, j)].scale(a0[(i, k)]);
+                }
+                let want = out.w[j] * vr[(i, j)];
+                assert!((av - want).abs() < 1e-10, "real input pair {j}");
+            }
+        }
+        // Complex input through the same name.
+        let c0: Mat<C64> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11));
+        let mut c = c0.clone();
+        let out = geev(&mut c, false, true).unwrap();
+        let vr = out.vr.unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                let mut av = C64::zero();
+                for k in 0..n {
+                    av += c0[(i, k)] * vr[(k, j)];
+                }
+                assert!((av - out.w[j] * vr[(i, j)]).abs() < 1e-10, "complex pair {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn gees_select_and_geesx() {
+        let n = 9;
+        let mut rng = Larnv::new(11);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(Dist::Uniform11));
+        let mut a = a0.clone();
+        let sel = |w: Complex<f64>| w.re > 0.0;
+        let out = geesx(&mut a, &sel).unwrap();
+        for (j, w) in out.schur.w.iter().enumerate() {
+            if j < out.schur.sdim {
+                assert!(w.re > 0.0);
+            } else {
+                assert!(w.re <= 0.0);
+            }
+        }
+        assert!(out.rconde > 0.0 && out.rconde <= 1.0);
+        // Schur relation.
+        let vs = out.schur.vs.unwrap();
+        let mut vt = vec![0.0f64; n * n];
+        la_blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, vs.as_slice(), n, a.as_slice(), n, 0.0, &mut vt, n);
+        let mut rec = vec![0.0f64; n * n];
+        la_blas::gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &vt, n, vs.as_slice(), n, 0.0, &mut rec, n);
+        for k in 0..n * n {
+            assert!((rec[k] - a0.as_slice()[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gesvd_mat_api() {
+        let (m, n) = (9usize, 5usize);
+        let mut rng = Larnv::new(17);
+        let a0: Mat<C64> = Mat::from_fn(m, n, |_, _| rng.scalar(Dist::Normal));
+        let mut a = a0.clone();
+        let out = gesvd(&mut a, true, true).unwrap();
+        let u = out.u.unwrap();
+        let vt = out.vt.unwrap();
+        let r = la_verify::svd_ratio(m, n, a0.as_slice(), m, &out.s, u.as_slice(), m, vt.as_slice(), n.min(m));
+        assert!(r < 100.0, "svd ratio = {r}");
+        let o = la_verify::orthogonality_ratio(m, m.min(n), u.as_slice(), m);
+        assert!(o < 100.0, "orthogonality = {o}");
+    }
+
+    #[test]
+    fn stev_and_variants() {
+        let n = 20;
+        let d0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin_r() * 2.0).collect();
+        let e0: Vec<f64> = (0..n - 1).map(|i| 0.5 + 0.1 * (i % 3) as f64).collect();
+        let mut d1 = d0.clone();
+        let mut e1 = e0.clone();
+        stev::<f64>(&mut d1, &mut e1, Jobz::Values).unwrap();
+        let mut d2 = d0.clone();
+        let mut e2 = e0.clone();
+        stevd::<f64>(&mut d2, &mut e2, Jobz::Values).unwrap();
+        for i in 0..n {
+            assert!((d1[i] - d2[i]).abs() < 1e-11);
+        }
+        let (w, z) = stevx(&d0, &e0, Jobz::Vectors, EigRange::Index(1, 5), 0.0).unwrap();
+        assert_eq!(w.len(), 5);
+        let z = z.unwrap();
+        assert_eq!(z.shape(), (n, 5));
+        for k in 0..5 {
+            assert!((w[k] - d1[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spev_family_consistency() {
+        let n = 10;
+        let mut rng = Larnv::new(23);
+        let dense: Mat<C64> = {
+            let mut a: Mat<C64> = Mat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..=j {
+                    let v: C64 = if i == j {
+                        C64::from_real(rng.real(Dist::Uniform11))
+                    } else {
+                        rng.scalar(Dist::Uniform11)
+                    };
+                    a[(i, j)] = v;
+                    a[(j, i)] = v.conj();
+                }
+            }
+            a
+        };
+        let mut aref = dense.clone();
+        let wref = syev(&mut aref, Jobz::Values).unwrap();
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            let mut ap = PackedMat::from_dense(&dense, uplo);
+            let (w, z) = spev(&mut ap, Jobz::Vectors).unwrap();
+            for i in 0..n {
+                assert!((w[i] - wref[i]).abs() < 1e-10, "spev {uplo:?}");
+            }
+            let r = la_verify::eig_ratio(&dense, &z.unwrap(), &w);
+            assert!(r < 100.0);
+            // D&C packed.
+            let mut ap = PackedMat::from_dense(&dense, uplo);
+            let (w, z) = spevd(&mut ap, Jobz::Vectors).unwrap();
+            for i in 0..n {
+                assert!((w[i] - wref[i]).abs() < 1e-10, "spevd {uplo:?}");
+            }
+            let r = la_verify::eig_ratio(&dense, &z.unwrap(), &w);
+            assert!(r < 100.0, "spevd residual {r}");
+            // Selected packed.
+            let mut ap = PackedMat::from_dense(&dense, uplo);
+            let (w, z) = spevx(&mut ap, Jobz::Vectors, EigRange::Index(2, 4), 0.0).unwrap();
+            assert_eq!(w.len(), 3);
+            let z = z.unwrap();
+            for (k, &lam) in w.iter().enumerate() {
+                assert!((lam - wref[k + 1]).abs() < 1e-9);
+                // Residual.
+                let mut worst: f64 = 0.0;
+                for i in 0..n {
+                    let mut av = C64::zero();
+                    for l in 0..n {
+                        av += dense[(i, l)] * z[(l, k)];
+                    }
+                    worst = worst.max((av - z[(i, k)].scale(lam)).abs());
+                }
+                assert!(worst < 1e-7, "spevx residual {worst}");
+            }
+        }
+    }
+
+    #[test]
+    fn sbev_family() {
+        let n = 12;
+        let kd = 2;
+        let mut rng = Larnv::new(29);
+        let dense: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) <= kd {
+                if i <= j {
+                    ((i * 31 + j * 17) % 13) as f64 / 13.0
+                } else {
+                    ((j * 31 + i * 17) % 13) as f64 / 13.0
+                }
+            } else {
+                0.0
+            }
+        });
+        let _ = &mut rng;
+        let mut aref = dense.clone();
+        let wref = syev(&mut aref, Jobz::Values).unwrap();
+        let ab = SymBandMat::from_dense(&dense, kd, Uplo::Upper);
+        let (w, _z) = sbev(&ab, Jobz::Values).unwrap();
+        for i in 0..n {
+            assert!((w[i] - wref[i]).abs() < 1e-11, "sbev");
+        }
+        let (w, _) = sbevd(&ab, Jobz::Values).unwrap();
+        for i in 0..n {
+            assert!((w[i] - wref[i]).abs() < 1e-11, "sbevd");
+        }
+        let (w, _) = sbevx(&ab, Jobz::Values, EigRange::Index(1, 3), 0.0).unwrap();
+        assert_eq!(w.len(), 3);
+        for k in 0..3 {
+            assert!((w[k] - wref[k]).abs() < 1e-9, "sbevx");
+        }
+    }
+
+    #[test]
+    fn geevx_condition_numbers() {
+        // A normal matrix has perfectly conditioned eigenvalues
+        // (rconde = 1); a highly non-normal one has tiny rconde.
+        let n = 5;
+        let mut a: Mat<f64> = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = (i + 1) as f64;
+        }
+        let out = geevx(&mut a).unwrap();
+        for j in 0..n {
+            assert!(out.rconde[j] > 0.99, "diagonal rconde[{j}] = {}", out.rconde[j]);
+        }
+        // Jordan-ish: large off-diagonal couples the eigenvalues.
+        let mut a: Mat<f64> = Mat::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0 + 1e-6;
+        a[(0, 1)] = 1e3;
+        let out = geevx(&mut a).unwrap();
+        assert!(out.rconde[0] < 1e-3, "ill-conditioned rconde = {}", out.rconde[0]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hermitian-named aliases (the `LA_HE*`/`LA_HP*`/`LA_HB*` spellings of
+// Appendix G; the generic routines already perform the conjugations, so
+// these are pure name aliases — exactly like the Fortran interface
+// resolving both names onto the same specific body).
+// ---------------------------------------------------------------------------
+
+/// `LA_HEEVD` — alias of [`syevd`].
+pub fn heevd<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+    syevd(a, jobz)
+}
+
+/// `LA_HEEVX` — alias of [`syevx`].
+pub fn heevx<T: Scalar>(
+    a: &mut Mat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    uplo: Uplo,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    syevx(a, jobz, range, uplo, abstol)
+}
+
+/// `LA_HPEV` — alias of [`spev`].
+pub fn hpev<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spev(ap, jobz)
+}
+
+/// `LA_HPEVD` — alias of [`spevd`].
+pub fn hpevd<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spevd(ap, jobz)
+}
+
+/// `LA_HPEVX` — alias of [`spevx`].
+pub fn hpevx<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spevx(ap, jobz, range, abstol)
+}
+
+/// `LA_HBEV` — alias of [`sbev`].
+pub fn hbev<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbev(ab, jobz)
+}
+
+/// `LA_HBEVD` — alias of [`sbevd`].
+pub fn hbevd<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbevd(ab, jobz)
+}
+
+/// `LA_HBEVX` — alias of [`sbevx`].
+pub fn hbevx<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbevx(ab, jobz, range, abstol)
+}

@@ -1,0 +1,369 @@
+//! Driver routines for generalized eigenvalue problems — Appendix G
+//! block 8: `LA_SYGV`/`LA_HEGV`, `LA_SPGV`/`LA_HPGV`, `LA_SBGV`/`LA_HBGV`
+//! and `LA_GEGV` (for regular pencils; see DESIGN.md for the QZ
+//! substitution note). `LA_GGSVD` is not provided (future work).
+
+use la_core::{erinfo, Complex, LaError, Mat, PackedMat, PositiveInfo, Scalar, SymBandMat, Uplo};
+use la_lapack as f77;
+pub use la_lapack::GvItype;
+
+use crate::eig::{EigDriver, Jobz};
+
+fn illegal(routine: &'static str, index: usize) -> LaError {
+    LaError::IllegalArg { routine, index }
+}
+
+/// `CALL LA_SYGV / LA_HEGV( A, B, W, ITYPE=itype, JOBZ=jobz, UPLO=uplo,
+/// INFO=info )` — all eigenvalues (ascending) and optionally
+/// (B-orthonormal) eigenvectors of a symmetric/Hermitian-definite
+/// generalized problem. `B` is overwritten by its Cholesky factor.
+pub fn sygv<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &mut Mat<T>,
+    jobz: Jobz,
+) -> Result<Vec<T::Real>, LaError> {
+    sygv_full(a, b, jobz, GvItype::AxLBx, Uplo::Upper)
+}
+
+/// [`sygv`] with every optional argument.
+pub fn sygv_full<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &mut Mat<T>,
+    jobz: Jobz,
+    itype: GvItype,
+    uplo: Uplo,
+) -> Result<Vec<T::Real>, LaError> {
+    const SRNAME: &str = "LA_SYGV";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if b.shape() != (n, n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let mut w = vec![T::Real::zero(); n];
+    let (lda, ldb) = (a.lda(), b.lda());
+    let linfo = f77::sygv(
+        itype,
+        jobz == Jobz::Vectors,
+        uplo,
+        n,
+        a.as_mut_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+        &mut w,
+    );
+    // info > n means B is not positive definite at minor info - n.
+    if linfo > n as i32 {
+        return Err(LaError::NotPosDef {
+            routine: SRNAME,
+            minor: (linfo - n as i32) as usize,
+        });
+    }
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(w)
+}
+
+/// `LA_HEGV` — alias of [`sygv`] (the generic routine handles the
+/// Hermitian arithmetic).
+pub fn hegv<T: Scalar>(a: &mut Mat<T>, b: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+    sygv(a, b, jobz)
+}
+
+/// `CALL LA_SPGV / LA_HPGV( AP, BP, W, ITYPE=, UPLO=, Z=z, INFO= )` —
+/// packed generalized symmetric-definite eigenproblem.
+pub fn spgv<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    bp: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SPGV";
+    let n = ap.n();
+    if bp.n() != n || bp.uplo() != ap.uplo() {
+        return Err(illegal(SRNAME, 2));
+    }
+    let uplo = ap.uplo();
+    let mut w = vec![T::Real::zero(); n];
+    if jobz == Jobz::Vectors {
+        let mut z = Mat::<T>::zeros(n, n);
+        let ldz = z.lda();
+        let linfo = f77::spgv(
+            GvItype::AxLBx,
+            true,
+            uplo,
+            n,
+            ap.as_mut_slice(),
+            bp.as_mut_slice(),
+            &mut w,
+            Some((z.as_mut_slice(), ldz)),
+        );
+        map_gv_info(SRNAME, n, linfo)?;
+        Ok((w, Some(z)))
+    } else {
+        let linfo = f77::spgv::<T>(
+            GvItype::AxLBx,
+            false,
+            uplo,
+            n,
+            ap.as_mut_slice(),
+            bp.as_mut_slice(),
+            &mut w,
+            None,
+        );
+        map_gv_info(SRNAME, n, linfo)?;
+        Ok((w, None))
+    }
+}
+
+/// `CALL LA_SBGV / LA_HBGV( AB, BB, W, UPLO=uplo, Z=z, INFO=info )` —
+/// band generalized symmetric-definite eigenproblem.
+pub fn sbgv<T: Scalar>(
+    ab: &SymBandMat<T>,
+    bb: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SBGV";
+    let n = ab.n();
+    if bb.n() != n || bb.uplo() != ab.uplo() {
+        return Err(illegal(SRNAME, 2));
+    }
+    let mut w = vec![T::Real::zero(); n];
+    if jobz == Jobz::Vectors {
+        let mut z = Mat::<T>::zeros(n, n);
+        let ldz = z.lda();
+        let linfo = f77::sbgv(
+            true,
+            ab.uplo(),
+            n,
+            ab.kd(),
+            bb.kd(),
+            ab.as_slice(),
+            ab.ldab(),
+            bb.as_slice(),
+            bb.ldab(),
+            &mut w,
+            Some((z.as_mut_slice(), ldz)),
+        );
+        map_gv_info(SRNAME, n, linfo)?;
+        Ok((w, Some(z)))
+    } else {
+        let linfo = f77::sbgv::<T>(
+            false,
+            ab.uplo(),
+            n,
+            ab.kd(),
+            bb.kd(),
+            ab.as_slice(),
+            ab.ldab(),
+            bb.as_slice(),
+            bb.ldab(),
+            &mut w,
+            None,
+        );
+        map_gv_info(SRNAME, n, linfo)?;
+        Ok((w, None))
+    }
+}
+
+fn map_gv_info(srname: &'static str, n: usize, linfo: i32) -> Result<(), LaError> {
+    if linfo > n as i32 {
+        return Err(LaError::NotPosDef {
+            routine: srname,
+            minor: (linfo - n as i32) as usize,
+        });
+    }
+    erinfo(linfo, srname, PositiveInfo::NoConvergence)
+}
+
+/// `CALL LA_GEGV( A, B, α=alpha, BETA=beta, ... )` — generalized
+/// eigenvalues of a regular pencil `(A, B)`. Returns `(alpha, beta)` with
+/// `λ_i = alpha_i / beta_i` (this implementation reports `beta_i = 1`;
+/// see DESIGN.md for the QZ substitution note — `B` must be
+/// well-conditioned).
+#[allow(clippy::type_complexity)]
+pub fn gegv<T: EigDriver>(
+    a: &mut Mat<T>,
+    b: &mut Mat<T>,
+) -> Result<(Vec<Complex<T::Real>>, Vec<Complex<T::Real>>), LaError> {
+    const SRNAME: &str = "LA_GEGV";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if b.shape() != (n, n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let (lda, ldb) = (a.lda(), b.lda());
+    let (info, alpha, beta) = T::gegv_driver(n, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
+    erinfo(info, SRNAME, PositiveInfo::Singular)?;
+    Ok((alpha, beta))
+}
+
+/// Result of [`gegs`].
+pub struct GegsOut<T: Scalar> {
+    /// Generalized eigenvalue numerators `α` (diagonal of `S`).
+    pub alpha: Vec<Complex<T::Real>>,
+    /// Denominators `β` (diagonal of `P`); `λ_i = α_i/β_i`.
+    pub beta: Vec<Complex<T::Real>>,
+    /// Left Schur vectors `Q`.
+    pub q: Mat<T>,
+    /// Right Schur vectors `Z`.
+    pub z: Mat<T>,
+}
+
+/// `CALL LA_GEGS( A, B, α=alpha, BETA=beta, VSL=vsl, VSR=vsr, INFO= )` —
+/// generalized Schur decomposition of a complex pencil via the QZ
+/// algorithm: `A = Q·S·Zᴴ`, `B = Q·P·Zᴴ` with `S`, `P` upper triangular
+/// (overwriting `a`, `b`). Real pencils: promote to complex first (the
+/// real quasi-triangular QZ is future work, DESIGN.md).
+pub fn gegs<R: la_core::RealScalar>(
+    a: &mut Mat<Complex<R>>,
+    b: &mut Mat<Complex<R>>,
+) -> Result<GegsOut<Complex<R>>, LaError> {
+    const SRNAME: &str = "LA_GEGS";
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    let n = a.nrows();
+    if b.shape() != (n, n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let (lda, ldb) = (a.lda(), b.lda());
+    let (info, out) = f77::gegs_cplx(n, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
+    erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(GegsOut {
+        alpha: out.alpha,
+        beta: out.beta,
+        q: Mat::from_col_major(n, n, out.q),
+        z: Mat::from_col_major(n, n, out.z),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::C64;
+    use la_lapack::{Dist, Larnv};
+
+    fn herm_pair(n: usize, seed: u64) -> (Mat<C64>, Mat<C64>) {
+        let mut rng = Larnv::new(seed);
+        let mut a: Mat<C64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                let v: C64 = if i == j {
+                    C64::from_real(rng.real(Dist::Uniform11))
+                } else {
+                    rng.scalar(Dist::Uniform11)
+                };
+                a[(i, j)] = v;
+                a[(j, i)] = v.conj();
+            }
+        }
+        let g: Mat<C64> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Normal));
+        let mut b: Mat<C64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = C64::zero();
+                for k in 0..n {
+                    s += g[(k, i)].conj() * g[(k, j)];
+                }
+                b[(i, j)] = s + if i == j { C64::from_real(n as f64) } else { C64::zero() };
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn sygv_and_packed_and_band_agree() {
+        let n = 8;
+        let (a0, b0) = herm_pair(n, 3);
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let w = sygv(&mut a, &mut b, Jobz::Vectors).unwrap();
+        // Residual A x = λ B x.
+        for j in 0..n {
+            for i in 0..n {
+                let mut ax = C64::zero();
+                let mut bx = C64::zero();
+                for k in 0..n {
+                    ax += a0[(i, k)] * a[(k, j)];
+                    bx += b0[(i, k)] * a[(k, j)];
+                }
+                assert!((ax - bx.scale(w[j])).abs() < 1e-9 * n as f64, "pair {j}");
+            }
+        }
+        // Packed agrees.
+        let mut ap = PackedMat::from_dense(&a0, Uplo::Upper);
+        let mut bp = PackedMat::from_dense(&b0, Uplo::Upper);
+        let (wp, _) = spgv(&mut ap, &mut bp, Jobz::Values).unwrap();
+        for i in 0..n {
+            assert!((w[i] - wp[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sygv_not_posdef_error() {
+        let n = 3;
+        let (a0, _) = herm_pair(n, 9);
+        let mut a = a0.clone();
+        let mut b: Mat<C64> = Mat::identity(n);
+        b[(1, 1)] = C64::from_real(-1.0);
+        let err = sygv(&mut a, &mut b, Jobz::Values).unwrap_err();
+        assert!(matches!(err, LaError::NotPosDef { .. }));
+    }
+
+    #[test]
+    fn gegv_unified() {
+        let n = 6;
+        let mut rng = Larnv::new(13);
+        // Real pencil.
+        let a0: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(Dist::Uniform11));
+        let b0: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            rng.real::<f64>(Dist::Uniform11) * 0.1 + if i == j { 3.0 } else { 0.0 }
+        });
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let (alpha, beta) = gegv(&mut a, &mut b).unwrap();
+        assert_eq!(alpha.len(), n);
+        assert_eq!(beta.len(), n);
+        // Complex pencil through the same generic name.
+        let a0: Mat<C64> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11));
+        let b0: Mat<C64> = Mat::from_fn(n, n, |i, j| {
+            rng.scalar::<C64>(Dist::Uniform11).scale(0.1)
+                + if i == j { C64::from_real(3.0) } else { C64::zero() }
+        });
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let (alpha, beta) = gegv(&mut a, &mut b).unwrap();
+        // det(β·A − α·B) ≈ 0 for every pair: check via σ_min.
+        for j in 0..n {
+            let mut pencil: Mat<C64> =
+                Mat::from_fn(n, n, |r, c| beta[j] * a0[(r, c)] - alpha[j] * b0[(r, c)]);
+            let out = crate::eig::gesvd(&mut pencil, false, false).unwrap();
+            assert!(
+                out.s[n - 1] < 1e-9 * out.s[0].max(1.0),
+                "pair {j}: σ_min = {}",
+                out.s[n - 1]
+            );
+        }
+    }
+}
+
+/// `LA_HPGV` — alias of [`spgv`].
+pub fn hpgv<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    bp: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spgv(ap, bp, jobz)
+}
+
+/// `LA_HBGV` — alias of [`sbgv`].
+pub fn hbgv<T: Scalar>(
+    ab: &SymBandMat<T>,
+    bb: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbgv(ab, bb, jobz)
+}

@@ -1,0 +1,56 @@
+//! # la90 — the LAPACK90 user interface
+//!
+//! This crate is the paper's contribution: the `F90_LAPACK` module as a
+//! Rust API. Every driver of the paper's Appendix G is provided with the
+//! same ergonomics the Fortran 90 interface delivers:
+//!
+//! * **one generic name** per driver covering all four type/precision
+//!   instantiations (via [`la_core::Scalar`]),
+//! * **shape dispatch** between matrix and vector right-hand sides (via
+//!   [`Rhs`], the analog of the `B(:,:)` / `B(:)` interface bodies),
+//! * **derived dimensions** — `N`, `NRHS`, `LDA`, … come from the array
+//!   shapes, never from explicit arguments,
+//! * **hidden workspace** — pivot vectors, reflector scalars and scratch
+//!   arrays are allocated internally unless the caller asks for them,
+//! * **the `ERINFO` protocol** — argument checks produce the exact
+//!   negative `INFO` indices of the Appendix-C wrappers, returned as
+//!   [`la_core::LaError`] through `Result`.
+//!
+//! ```
+//! use la_core::Mat;
+//! // The paper's Example 2 (Fig. 2): CALL LA_GESV( A, B )
+//! let mut a: Mat<f64> = Mat::from_fn(5, 5, |i, j| ((i * 5 + j * 3) % 7) as f64 + 1.0);
+//! let mut b: Vec<f64> = (0..5).map(|i| (0..5).map(|k| a[(i, k)]).sum()).collect();
+//! la90::gesv(&mut a, &mut b).unwrap();
+//! for x in &b { assert!((x - 1.0).abs() < 1e-10); }
+//! ```
+
+#![warn(missing_docs)]
+// Fortran-convention numerics: indexed loops over strided buffers, long
+// LAPACK argument lists and in-place `x = x op y` updates are the house
+// style here (they mirror the reference BLAS/LAPACK routines line for
+// line), so the corresponding pedantic lints are disabled crate-wide.
+#![allow(
+    clippy::assign_op_pattern,
+    clippy::too_many_arguments,
+    clippy::type_complexity,
+    clippy::needless_range_loop,
+    clippy::manual_memcpy,
+    clippy::manual_swap
+)]
+
+pub mod comp;
+pub mod eig;
+pub mod expert;
+pub mod gv;
+pub mod linsys;
+pub mod lstsq;
+pub mod rhs;
+
+pub use comp::*;
+pub use eig::*;
+pub use expert::*;
+pub use gv::*;
+pub use linsys::*;
+pub use lstsq::*;
+pub use rhs::Rhs;

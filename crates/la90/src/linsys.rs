@@ -1,0 +1,615 @@
+//! Driver routines for linear equations — the first block of the paper's
+//! Appendix G:
+//! `LA_GESV`, `LA_GBSV`, `LA_GTSV`, `LA_POSV`, `LA_PPSV`, `LA_PBSV`,
+//! `LA_PTSV`, `LA_SYSV`/`LA_HESV`, `LA_SPSV`/`LA_HPSV`.
+//!
+//! Each wrapper derives every dimension from the argument shapes, checks
+//! them exactly as the Appendix-C code does (producing the same negative
+//! `INFO` indices), allocates whatever workspace the computation needs,
+//! calls the substrate routine and routes the outcome through the
+//! [`erinfo`](la_core::erinfo) protocol.
+
+use la_core::{erinfo, BandMat, LaError, Mat, PackedMat, PositiveInfo, Scalar, SymBandMat, Uplo};
+use la_lapack as f77;
+
+use crate::rhs::Rhs;
+
+fn illegal(routine: &'static str, index: usize) -> LaError {
+    LaError::IllegalArg { routine, index }
+}
+
+/// `CALL LA_GESV( A, B, IPIV=ipiv, INFO=info )` — solves a general system
+/// of linear equations `A·X = B` by LU factorization with partial
+/// pivoting. `A` is overwritten by the factors, `B` by the solution.
+///
+/// Argument order for error indices: `(A, B, IPIV)`.
+///
+/// ```
+/// use la_core::mat;
+/// let mut a: la_core::Mat<f64> = mat![[4.0, 1.0], [1.0, 3.0]];
+/// let mut b: Vec<f64> = vec![9.0, 5.0]; // solution is (2, 1)ᵀ
+/// la90::gesv(&mut a, &mut b)?;
+/// assert!((b[0] - 2.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), la_core::LaError>(())
+/// ```
+pub fn gesv<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
+    gesv_ipiv_opt(a, b, None)
+}
+
+/// [`gesv`] with the optional `IPIV` output (must have length
+/// `a.nrows()`, as the Fortran wrapper requires — `INFO = -3` otherwise).
+pub fn gesv_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    ipiv: &mut [i32],
+) -> Result<(), LaError> {
+    gesv_ipiv_opt(a, b, Some(ipiv))
+}
+
+fn gesv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    ipiv: Option<&mut [i32]>,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GESV";
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    if let Some(p) = &ipiv {
+        if p.len() != n {
+            return Err(illegal(SRNAME, 3));
+        }
+    }
+    // Workspace allocation when IPIV is absent (the wrapper's LPIV).
+    let mut local;
+    let piv: &mut [i32] = match ipiv {
+        Some(p) => p,
+        None => {
+            local = vec![0i32; n];
+            &mut local
+        }
+    };
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let linfo = f77::gesv(n, nrhs, a.as_mut_slice(), lda, piv, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `CALL LA_GBSV( AB, B, KL=kl, IPIV=ipiv, INFO=info )` — solves a
+/// general band system. `AB` must be allocated with factorization fill
+/// space ([`BandMat::zeros_for_factor`] / `from_dense(.., true)`).
+pub fn gbsv<T: Scalar, B: Rhs<T> + ?Sized>(ab: &mut BandMat<T>, b: &mut B) -> Result<(), LaError> {
+    gbsv_ipiv_opt(ab, b, None)
+}
+
+/// [`gbsv`] with the optional pivot output.
+pub fn gbsv_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ab: &mut BandMat<T>,
+    b: &mut B,
+    ipiv: &mut [i32],
+) -> Result<(), LaError> {
+    gbsv_ipiv_opt(ab, b, Some(ipiv))
+}
+
+fn gbsv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
+    ab: &mut BandMat<T>,
+    b: &mut B,
+    ipiv: Option<&mut [i32]>,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GBSV";
+    let n = ab.ncols();
+    if ab.nrows() != n || !ab.has_factor_space() {
+        return Err(illegal(SRNAME, 1));
+    }
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    if let Some(p) = &ipiv {
+        if p.len() != n {
+            return Err(illegal(SRNAME, 4));
+        }
+    }
+    let mut local;
+    let piv: &mut [i32] = match ipiv {
+        Some(p) => p,
+        None => {
+            local = vec![0i32; n];
+            &mut local
+        }
+    };
+    let (kl, ku, ldab) = (ab.kl(), ab.ku(), ab.ldab());
+    let nrhs = b.nrhs();
+    let ldb = b.ldb();
+    let linfo = f77::gbsv(n, kl, ku, nrhs, ab.as_mut_slice(), ldab, piv, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `CALL LA_GTSV( DL, D, DU, B, INFO=info )` — solves a general
+/// tridiagonal system. The three diagonals are overwritten by
+/// factorization data, `B` by the solution.
+pub fn gtsv<T: Scalar, B: Rhs<T> + ?Sized>(
+    dl: &mut [T],
+    d: &mut [T],
+    du: &mut [T],
+    b: &mut B,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GTSV";
+    let n = d.len();
+    if n > 0 && dl.len() != n - 1 {
+        return Err(illegal(SRNAME, 1));
+    }
+    if n > 0 && du.len() != n - 1 {
+        return Err(illegal(SRNAME, 3));
+    }
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 4));
+    }
+    let nrhs = b.nrhs();
+    let ldb = b.ldb();
+    let linfo = f77::gtsv(n, nrhs, dl, d, du, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// `CALL LA_POSV( A, B, UPLO=uplo, INFO=info )` — solves a
+/// symmetric/Hermitian positive-definite system by Cholesky
+/// factorization.
+///
+/// ```
+/// use la_core::{mat, LaError};
+/// let mut a: la_core::Mat<f64> = mat![[2.0, 1.0], [1.0, 2.0]];
+/// let mut b: Vec<f64> = vec![3.0, 3.0];
+/// la90::posv(&mut a, &mut b)?;
+/// assert!((b[0] - 1.0).abs() < 1e-12);
+/// // An indefinite matrix is rejected with the NotPosDef info code:
+/// let mut bad: la_core::Mat<f64> = mat![[1.0, 0.0], [0.0, -1.0]];
+/// let mut b: Vec<f64> = vec![1.0, 1.0];
+/// assert!(matches!(la90::posv(&mut bad, &mut b), Err(LaError::NotPosDef { .. })));
+/// # Ok::<(), la_core::LaError>(())
+/// ```
+pub fn posv<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
+    posv_uplo(a, b, Uplo::Upper)
+}
+
+/// [`posv`] with an explicit `UPLO` (the Fortran default is `'U'`).
+pub fn posv_uplo<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    uplo: Uplo,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_POSV";
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(illegal(SRNAME, 1));
+    }
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let linfo = f77::posv(uplo, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+}
+
+/// `CALL LA_PPSV( AP, B, UPLO=uplo, INFO=info )` — packed-storage
+/// positive-definite solve (the triangle comes from the [`PackedMat`]).
+pub fn ppsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_PPSV";
+    let n = ap.n();
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    let uplo = ap.uplo();
+    let nrhs = b.nrhs();
+    let ldb = b.ldb();
+    let linfo = f77::ppsv(uplo, n, nrhs, ap.as_mut_slice(), b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+}
+
+/// `CALL LA_PBSV( AB, B, UPLO=uplo, INFO=info )` — band positive-definite
+/// solve.
+pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(ab: &mut SymBandMat<T>, b: &mut B) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_PBSV";
+    let n = ab.n();
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 2));
+    }
+    let (uplo, kd, ldab) = (ab.uplo(), ab.kd(), ab.ldab());
+    let nrhs = b.nrhs();
+    let ldb = b.ldb();
+    let linfo = f77::pbsv(uplo, n, kd, nrhs, ab.as_mut_slice(), ldab, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+}
+
+/// `CALL LA_PTSV( D, E, B, INFO=info )` — positive-definite tridiagonal
+/// solve (`D` real, `E` the sub/super-diagonal).
+pub fn ptsv<T: Scalar, B: Rhs<T> + ?Sized>(
+    d: &mut [T::Real],
+    e: &mut [T],
+    b: &mut B,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_PTSV";
+    let n = d.len();
+    if n > 0 && e.len() != n - 1 {
+        return Err(illegal(SRNAME, 2));
+    }
+    if b.nrows() != n {
+        return Err(illegal(SRNAME, 3));
+    }
+    let nrhs = b.nrhs();
+    let ldb = b.ldb();
+    let linfo = f77::ptsv(n, nrhs, d, e, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+}
+
+/// `CALL LA_SYSV( A, B, UPLO=uplo, IPIV=ipiv, INFO=info )` — solves a
+/// symmetric indefinite system (also for complex *symmetric* matrices)
+/// by Bunch–Kaufman factorization.
+pub fn sysv<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
+    sysv_full(a, b, Uplo::Upper, None)
+}
+
+/// `CALL LA_HESV( A, B, ... )` — the Hermitian variant of [`sysv`]
+/// (identical for real scalars).
+pub fn hesv<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
+    hesv_full(a, b, Uplo::Upper, None)
+}
+
+/// [`sysv`] with all optional arguments.
+pub fn sysv_full<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    uplo: Uplo,
+    ipiv: Option<&mut [i32]>,
+) -> Result<(), LaError> {
+    indefinite_solve("LA_SYSV", false, a, b, uplo, ipiv)
+}
+
+/// [`hesv`] with all optional arguments.
+pub fn hesv_full<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    uplo: Uplo,
+    ipiv: Option<&mut [i32]>,
+) -> Result<(), LaError> {
+    indefinite_solve("LA_HESV", true, a, b, uplo, ipiv)
+}
+
+fn indefinite_solve<T: Scalar, B: Rhs<T> + ?Sized>(
+    srname: &'static str,
+    herm: bool,
+    a: &mut Mat<T>,
+    b: &mut B,
+    uplo: Uplo,
+    ipiv: Option<&mut [i32]>,
+) -> Result<(), LaError> {
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(illegal(srname, 1));
+    }
+    if b.nrows() != n {
+        return Err(illegal(srname, 2));
+    }
+    if let Some(p) = &ipiv {
+        if p.len() != n {
+            return Err(illegal(srname, 4));
+        }
+    }
+    let mut local;
+    let piv: &mut [i32] = match ipiv {
+        Some(p) => p,
+        None => {
+            local = vec![0i32; n];
+            &mut local
+        }
+    };
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let linfo = f77::sysv(uplo, herm, n, nrhs, a.as_mut_slice(), lda, piv, b.as_mut_slice(), ldb);
+    erinfo(linfo, srname, PositiveInfo::Singular)
+}
+
+/// `CALL LA_SPSV( AP, B, UPLO=uplo, IPIV=ipiv, INFO=info )` — packed
+/// symmetric indefinite solve.
+pub fn spsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> Result<(), LaError> {
+    packed_indefinite("LA_SPSV", false, ap, b, None)
+}
+
+/// `CALL LA_HPSV( AP, B, ... )` — the Hermitian packed variant.
+pub fn hpsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> Result<(), LaError> {
+    packed_indefinite("LA_HPSV", true, ap, b, None)
+}
+
+/// [`spsv`] with the optional pivot output.
+pub fn spsv_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ap: &mut PackedMat<T>,
+    b: &mut B,
+    ipiv: &mut [i32],
+) -> Result<(), LaError> {
+    packed_indefinite("LA_SPSV", false, ap, b, Some(ipiv))
+}
+
+fn packed_indefinite<T: Scalar, B: Rhs<T> + ?Sized>(
+    srname: &'static str,
+    herm: bool,
+    ap: &mut PackedMat<T>,
+    b: &mut B,
+    ipiv: Option<&mut [i32]>,
+) -> Result<(), LaError> {
+    let n = ap.n();
+    if b.nrows() != n {
+        return Err(illegal(srname, 2));
+    }
+    if let Some(p) = &ipiv {
+        if p.len() != n {
+            return Err(illegal(srname, 4));
+        }
+    }
+    let mut local;
+    let piv: &mut [i32] = match ipiv {
+        Some(p) => p,
+        None => {
+            local = vec![0i32; n];
+            &mut local
+        }
+    };
+    let uplo = ap.uplo();
+    let nrhs = b.nrhs();
+    let ldb = b.ldb();
+    let linfo = f77::spsv(uplo, herm, n, nrhs, ap.as_mut_slice(), piv, b.as_mut_slice(), ldb);
+    erinfo(linfo, srname, PositiveInfo::Singular)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::mat;
+
+    #[test]
+    fn gesv_paper_example2() {
+        // The Fig. 2 program: A random, B(:,j) = rowsum·j → X(:,j) = j·e.
+        let n = 5;
+        let nrhs = 2;
+        let mut rng = f77::Larnv::new(1998);
+        let mut a: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(f77::Dist::Uniform01));
+        let b: Mat<f64> = Mat::from_fn(n, nrhs, |i, j| {
+            (0..n).map(|k| a[(i, k)]).sum::<f64>() * (j + 1) as f64
+        });
+        let mut bx = b.clone();
+        gesv(&mut a, &mut bx).unwrap();
+        for j in 0..nrhs {
+            for i in 0..n {
+                assert!(
+                    (bx[(i, j)] - (j + 1) as f64).abs() < 1e-10,
+                    "X({i},{j}) = {}",
+                    bx[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gesv_vector_shape_dispatch() {
+        // LA_GESV( A, B(:,1), IPIV, INFO ) — the Appendix E Example 2 call.
+        let mut a: Mat<f64> = mat![
+            [0., 2., 3., 5., 4.],
+            [1., 0., 5., 6., 6.],
+            [7., 6., 8., 0., 5.],
+            [4., 6., 0., 3., 9.],
+            [5., 9., 0., 0., 8.],
+        ];
+        let mut b: Vec<f64> = vec![14., 18., 26., 22., 22.];
+        let mut ipiv = vec![0i32; 5];
+        gesv_ipiv(&mut a, &mut b, &mut ipiv).unwrap();
+        // Appendix E: x = ones, IPIV = (3,5,3,4,5).
+        for &x in &b {
+            assert!((x - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(ipiv, vec![3, 5, 3, 4, 5]);
+    }
+
+    #[test]
+    fn gesv_error_exits() {
+        // The paper's "9 error exits tests" pattern: each bad argument
+        // yields INFO = -(its index).
+        let mut a: Mat<f64> = Mat::zeros(3, 4); // not square → -1
+        let mut b: Vec<f64> = vec![0.0; 3];
+        assert_eq!(gesv(&mut a, &mut b).unwrap_err().info(), -1);
+        let mut a: Mat<f64> = Mat::identity(3);
+        let mut b: Vec<f64> = vec![0.0; 2]; // wrong rows → -2
+        assert_eq!(gesv(&mut a, &mut b).unwrap_err().info(), -2);
+        let mut b: Vec<f64> = vec![0.0; 3];
+        let mut piv = vec![0i32; 2]; // wrong ipiv length → -3
+        assert_eq!(gesv_ipiv(&mut a, &mut b, &mut piv).unwrap_err().info(), -3);
+    }
+
+    #[test]
+    fn gesv_singular_reports_pivot() {
+        let mut a: Mat<f64> = mat![[1.0, 2.0], [2.0, 4.0]];
+        let mut b: Vec<f64> = vec![1.0, 2.0];
+        let err = gesv(&mut a, &mut b).unwrap_err();
+        assert_eq!(err.info(), 2);
+        assert!(format!("{err}").contains("Terminated in LAPACK90 subroutine LA_GESV"));
+    }
+
+    #[test]
+    fn all_simple_drivers_roundtrip() {
+        let n = 8;
+        let mut rng = f77::Larnv::new(7);
+        // SPD matrix for posv/ppsv/pbsv.
+        let spd: Mat<f64> = {
+            let g: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(f77::Dist::Uniform11));
+            let mut s = Mat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += g[(k, i)] * g[(k, j)];
+                    }
+                    s[(i, j)] = acc + if i == j { n as f64 } else { 0.0 };
+                }
+            }
+            s
+        };
+        let xtrue: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let rhs_for = |m: &Mat<f64>| -> Vec<f64> {
+            (0..n).map(|i| (0..n).map(|k| m[(i, k)] * xtrue[k]).sum()).collect()
+        };
+
+        // posv
+        let mut a = spd.clone();
+        let mut b = rhs_for(&spd);
+        posv(&mut a, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-9, "posv");
+        }
+        // ppsv
+        let mut ap = PackedMat::from_dense(&spd, Uplo::Lower);
+        let mut b = rhs_for(&spd);
+        ppsv(&mut ap, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-9, "ppsv");
+        }
+        // sysv on a symmetric indefinite matrix.
+        let sym: Mat<f64> = {
+            let mut s = Mat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..=j {
+                    let v = rng.real::<f64>(f77::Dist::Uniform11);
+                    s[(i, j)] = v;
+                    s[(j, i)] = v;
+                }
+            }
+            s
+        };
+        let mut a = sym.clone();
+        let mut b = rhs_for(&sym);
+        sysv(&mut a, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-8, "sysv");
+        }
+        // spsv
+        let mut ap = PackedMat::from_dense(&sym, Uplo::Upper);
+        let mut b = rhs_for(&sym);
+        spsv(&mut ap, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-8, "spsv");
+        }
+        // gbsv on a banded general matrix.
+        let band_dense: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) <= 1 {
+                rng.real::<f64>(f77::Dist::Uniform11) + if i == j { 4.0 } else { 0.0 }
+            } else {
+                0.0
+            }
+        });
+        let mut ab = BandMat::from_dense(&band_dense, 1, 1, true);
+        let mut b = rhs_for(&band_dense);
+        gbsv(&mut ab, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-9, "gbsv");
+        }
+        // pbsv on an SPD band.
+        let mut sb = SymBandMat::from_dense(&spd_band(n), 1, Uplo::Upper);
+        let bd = spd_band(n);
+        let mut b = rhs_for(&bd);
+        pbsv(&mut sb, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-9, "pbsv");
+        }
+        // gtsv / ptsv.
+        let mut dl = vec![1.0f64; n - 1];
+        let mut d = vec![5.0f64; n];
+        let mut du = vec![0.5f64; n - 1];
+        let tri: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                5.0
+            } else if i == j + 1 {
+                1.0
+            } else if j == i + 1 {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let mut b = rhs_for(&tri);
+        gtsv(&mut dl, &mut d, &mut du, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-10, "gtsv");
+        }
+        let mut d = vec![3.0f64; n];
+        let mut e = vec![1.0f64; n - 1];
+        let ptm: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0
+            } else if i.abs_diff(j) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let mut b = rhs_for(&ptm);
+        ptsv::<f64, _>(&mut d, &mut e, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-10, "ptsv");
+        }
+    }
+
+    fn spd_band(n: usize) -> Mat<f64> {
+        Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0
+            } else if i.abs_diff(j) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn posv_rejects_indefinite() {
+        let mut a: Mat<f64> = mat![[1.0, 0.0], [0.0, -1.0]];
+        let mut b: Vec<f64> = vec![1.0, 1.0];
+        let err = posv(&mut a, &mut b).unwrap_err();
+        assert_eq!(err.info(), 2);
+        assert!(matches!(err, LaError::NotPosDef { minor: 2, .. }));
+    }
+
+    #[test]
+    fn complex_gesv_all_types() {
+        fn run<T: Scalar>() {
+            let n = 6;
+            let mut rng = f77::Larnv::new(55);
+            let a0: Mat<T> = Mat::from_fn(n, n, |_, _| rng.scalar(f77::Dist::Uniform11));
+            let xtrue: Vec<T> = (0..n).map(|i| T::from_f64(1.0 + i as f64)).collect();
+            let mut b: Vec<T> = (0..n)
+                .map(|i| {
+                    let mut s = T::zero();
+                    for k in 0..n {
+                        s += a0[(i, k)] * xtrue[k];
+                    }
+                    s
+                })
+                .collect();
+            let mut a = a0.clone();
+            gesv(&mut a, &mut b).unwrap();
+            use la_core::RealScalar;
+            let tol = T::eps().to_f64() * 1e4;
+            for i in 0..n {
+                assert!(
+                    (b[i] - xtrue[i]).abs().to_f64() < tol,
+                    "{}: x[{i}]",
+                    T::PREFIX
+                );
+            }
+        }
+        run::<f32>();
+        run::<f64>();
+        run::<la_core::C32>();
+        run::<la_core::C64>();
+    }
+}

@@ -1,0 +1,250 @@
+//! Driver routines for (generalized) linear least squares problems —
+//! Appendix G blocks 3 and 4: `LA_GELS`, `LA_GELSX` (provided through the
+//! rank-revealing `gelsy` algorithm), `LA_GELSS`, `LA_GGLSE`,
+//! `LA_GGGLM`.
+
+use la_core::{erinfo, LaError, Mat, PositiveInfo, Scalar, Trans};
+use la_lapack as f77;
+
+use crate::rhs::Rhs;
+
+fn illegal(routine: &'static str, index: usize) -> LaError {
+    LaError::IllegalArg { routine, index }
+}
+
+/// `CALL LA_GELS( A, B, TRANS=trans, INFO=info )` — solves over- or
+/// under-determined systems `op(A)·X = B` by QR or LQ factorization.
+///
+/// `B` must have `max(m, n)` rows; on success its leading rows hold the
+/// solution (`n` rows for `trans = No`, `m` for the transposed problem).
+///
+/// ```
+/// use la_core::mat;
+/// // Fit y = c₀ + c₁·t through three points on the line y = 1 + 2t.
+/// let mut a: la_core::Mat<f64> = mat![[1.0, 0.0], [1.0, 1.0], [1.0, 2.0]];
+/// let mut b: Vec<f64> = vec![1.0, 3.0, 5.0];
+/// la90::gels(&mut a, &mut b)?;
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), la_core::LaError>(())
+/// ```
+pub fn gels<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
+    gels_trans(a, b, Trans::No)
+}
+
+/// [`gels`] with the optional `TRANS` argument.
+pub fn gels_trans<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    trans: Trans,
+) -> Result<(), LaError> {
+    const SRNAME: &str = "LA_GELS";
+    let (m, n) = a.shape();
+    if b.nrows() != m.max(n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let linfo = f77::gels(trans, m, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+}
+
+/// Result of the rank-revealing least-squares drivers.
+#[derive(Clone, Debug)]
+pub struct RankLsOut<R> {
+    /// Effective numerical rank.
+    pub rank: usize,
+    /// Singular values (empty for the QR-based [`gelsx`]).
+    pub s: Vec<R>,
+    /// Column permutation (1-based, empty for [`gelss`]).
+    pub jpvt: Vec<i32>,
+}
+
+/// `CALL LA_GELSX( A, B, RANK=rank, JPVT=jpvt, RCOND=rcond, INFO=info )`
+/// — minimum-norm solution by complete orthogonal factorization
+/// (computed with the `gelsy` algorithm that superseded `xGELSX`).
+/// `rcond < 0` selects machine precision.
+pub fn gelsx<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    rcond: T::Real,
+) -> Result<RankLsOut<T::Real>, LaError> {
+    const SRNAME: &str = "LA_GELSX";
+    let (m, n) = a.shape();
+    if b.nrows() != m.max(n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let mut jpvt = vec![0i32; n];
+    let (rank, linfo) = f77::gelsy(m, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, &mut jpvt, rcond);
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(RankLsOut {
+        rank,
+        s: vec![],
+        jpvt,
+    })
+}
+
+/// `CALL LA_GELSS( A, B, RANK=rank, S=s, RCOND=rcond, INFO=info )` —
+/// minimum-norm least squares via the SVD.
+pub fn gelss<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    rcond: T::Real,
+) -> Result<RankLsOut<T::Real>, LaError> {
+    const SRNAME: &str = "LA_GELSS";
+    let (m, n) = a.shape();
+    if b.nrows() != m.max(n) {
+        return Err(illegal(SRNAME, 2));
+    }
+    let nrhs = b.nrhs();
+    let (lda, ldb) = (a.lda(), b.ldb());
+    let (rank, s, linfo) = f77::gelss(m, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, rcond);
+    erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    Ok(RankLsOut {
+        rank,
+        s,
+        jpvt: vec![],
+    })
+}
+
+/// `CALL LA_GGLSE( A, B, C, D, X, INFO=info )` — linear
+/// equality-constrained least squares: minimize `‖c − A·x‖₂` subject to
+/// `B·x = d`. Returns the solution `x` (length `n`).
+pub fn gglse<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &mut Mat<T>,
+    c: &mut [T],
+    d: &mut [T],
+) -> Result<Vec<T>, LaError> {
+    const SRNAME: &str = "LA_GGLSE";
+    let (m, n) = a.shape();
+    let (p, nb) = b.shape();
+    if nb != n || p > n || n > m + p {
+        return Err(illegal(SRNAME, 2));
+    }
+    if c.len() != m {
+        return Err(illegal(SRNAME, 3));
+    }
+    if d.len() != p {
+        return Err(illegal(SRNAME, 4));
+    }
+    let mut x = vec![T::zero(); n];
+    let (lda, ldb) = (a.lda(), b.lda());
+    let linfo = f77::gglse(m, n, p, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, c, d, &mut x);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    Ok(x)
+}
+
+/// `CALL LA_GGGLM( A, B, D, X, Y, INFO=info )` — general Gauss–Markov
+/// linear model: minimize `‖y‖₂` subject to `d = A·x + B·y`. Returns
+/// `(x, y)`.
+pub fn ggglm<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &mut Mat<T>,
+    d: &mut [T],
+) -> Result<(Vec<T>, Vec<T>), LaError> {
+    const SRNAME: &str = "LA_GGGLM";
+    let (n, m) = a.shape();
+    let (nb, p) = b.shape();
+    if nb != n || m > n || n > m + p {
+        return Err(illegal(SRNAME, 2));
+    }
+    if d.len() != n {
+        return Err(illegal(SRNAME, 3));
+    }
+    let mut x = vec![T::zero(); m];
+    let mut y = vec![T::zero(); p];
+    let (lda, ldb) = (a.lda(), b.lda());
+    let linfo = f77::ggglm(n, m, p, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, d, &mut x, &mut y);
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    Ok((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_lapack::{Dist, Larnv};
+
+    #[test]
+    fn gels_overdetermined_fit() {
+        // Fit a quadratic through noisy samples; normal equations hold.
+        let (m, n) = (20usize, 3usize);
+        let mut rng = Larnv::new(3);
+        let t: Vec<f64> = (0..m).map(|i| i as f64 / (m - 1) as f64).collect();
+        let a0: Mat<f64> = Mat::from_fn(m, n, |i, j| t[i].powi(j as i32));
+        let b0: Vec<f64> = t
+            .iter()
+            .map(|&x| 1.0 + 2.0 * x - 0.5 * x * x + 1e-3 * rng.real::<f64>(Dist::Uniform11))
+            .collect();
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        gels(&mut a, &mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 0.01);
+        assert!((b[1] - 2.0).abs() < 0.05);
+        assert!((b[2] + 0.5).abs() < 0.05);
+        let r = la_verify::ls_ratio(m, n, 1, a0.as_slice(), m, &b[..n], m.max(n), &b0, m);
+        assert!(r < 100.0, "ls ratio = {r}");
+    }
+
+    #[test]
+    fn gelss_and_gelsx_agree() {
+        let (m, n) = (10usize, 6usize);
+        let mut rng = Larnv::new(9);
+        let a0: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.real(Dist::Uniform11));
+        let b0: Vec<f64> = (0..m).map(|_| rng.real(Dist::Uniform11)).collect();
+        let mut a1 = a0.clone();
+        let mut b1 = b0.clone();
+        let r1 = gelss(&mut a1, &mut b1, -1.0).unwrap();
+        let mut a2 = a0.clone();
+        let mut b2 = b0.clone();
+        let r2 = gelsx(&mut a2, &mut b2, -1.0).unwrap();
+        assert_eq!(r1.rank, n);
+        assert_eq!(r2.rank, n);
+        assert_eq!(r1.s.len(), n);
+        for i in 0..n {
+            assert!((b1[i] - b2[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gels_shape_error() {
+        let mut a: Mat<f64> = Mat::zeros(5, 3);
+        let mut b: Vec<f64> = vec![0.0; 3]; // needs max(5,3) = 5 rows
+        assert_eq!(gels(&mut a, &mut b).unwrap_err().info(), -2);
+    }
+
+    #[test]
+    fn gglse_and_ggglm_run() {
+        let mut rng = Larnv::new(21);
+        let (m, n, p) = (8usize, 5usize, 2usize);
+        let a0: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.real(Dist::Uniform11));
+        let b0: Mat<f64> = Mat::from_fn(p, n, |_, _| rng.real(Dist::Uniform11));
+        let c0: Vec<f64> = (0..m).map(|_| rng.real(Dist::Uniform11)).collect();
+        let d0: Vec<f64> = (0..p).map(|_| rng.real(Dist::Uniform11)).collect();
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let mut c = c0.clone();
+        let mut d = d0.clone();
+        let x = gglse(&mut a, &mut b, &mut c, &mut d).unwrap();
+        // Constraint.
+        for i in 0..p {
+            let bx: f64 = (0..n).map(|j| b0[(i, j)] * x[j]).sum();
+            assert!((bx - d0[i]).abs() < 1e-10);
+        }
+        // GLM.
+        let (nn, mm, pp) = (7usize, 3usize, 5usize);
+        let ag: Mat<f64> = Mat::from_fn(nn, mm, |_, _| rng.real(Dist::Uniform11));
+        let bg: Mat<f64> = Mat::from_fn(nn, pp, |_, _| rng.real(Dist::Uniform11));
+        let dg: Vec<f64> = (0..nn).map(|_| rng.real(Dist::Uniform11)).collect();
+        let mut a = ag.clone();
+        let mut b = bg.clone();
+        let mut d = dg.clone();
+        let (x, y) = ggglm(&mut a, &mut b, &mut d).unwrap();
+        for i in 0..nn {
+            let fit: f64 = (0..mm).map(|j| ag[(i, j)] * x[j]).sum::<f64>()
+                + (0..pp).map(|j| bg[(i, j)] * y[j]).sum::<f64>();
+            assert!((fit - dg[i]).abs() < 1e-10, "GLM row {i}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Right-hand-side shape dispatch — the Rust analog of the paper's
+//! `B(:,:)` vs `B(:)` generic resolution (`SGESV_F90` vs `SGESV1_F90`).
+//!
+//! In Fortran 90 the compiler picks the interface body from the array
+//! rank; here the [`Rhs`] trait is implemented for both [`Mat`] (matrix
+//! of right-hand sides) and `Vec`/slice (a single right-hand side), so
+//! one driver name covers both shapes.
+
+use la_core::{Mat, Scalar};
+
+/// A right-hand-side container accepted by every `LA_*SV`-style driver:
+/// either a matrix (`B(:,:)`, `nrhs = ncols`) or a vector (`B(:)`,
+/// `nrhs = 1`).
+pub trait Rhs<T: Scalar> {
+    /// Number of rows (`SIZE(B, 1)`).
+    fn nrows(&self) -> usize;
+    /// Number of right-hand sides (`SIZE(B, 2)` or 1).
+    fn nrhs(&self) -> usize;
+    /// Leading dimension of the underlying buffer.
+    fn ldb(&self) -> usize;
+    /// The underlying column-major buffer.
+    fn as_slice(&self) -> &[T];
+    /// The underlying column-major buffer, mutably.
+    fn as_mut_slice(&mut self) -> &mut [T];
+}
+
+impl<T: Scalar> Rhs<T> for Mat<T> {
+    fn nrows(&self) -> usize {
+        Mat::nrows(self)
+    }
+    fn nrhs(&self) -> usize {
+        self.ncols()
+    }
+    fn ldb(&self) -> usize {
+        self.lda()
+    }
+    fn as_slice(&self) -> &[T] {
+        Mat::as_slice(self)
+    }
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        Mat::as_mut_slice(self)
+    }
+}
+
+impl<T: Scalar> Rhs<T> for Vec<T> {
+    fn nrows(&self) -> usize {
+        self.len()
+    }
+    fn nrhs(&self) -> usize {
+        1
+    }
+    fn ldb(&self) -> usize {
+        self.len().max(1)
+    }
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+impl<T: Scalar> Rhs<T> for [T] {
+    fn nrows(&self) -> usize {
+        self.len()
+    }
+    fn nrhs(&self) -> usize {
+        1
+    }
+    fn ldb(&self) -> usize {
+        self.len().max(1)
+    }
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_dispatch() {
+        let m: Mat<f64> = Mat::zeros(3, 2);
+        assert_eq!(Rhs::nrows(&m), 3);
+        assert_eq!(m.nrhs(), 2);
+        let v: Vec<f64> = vec![0.0; 5];
+        assert_eq!(Rhs::nrows(&v), 5);
+        assert_eq!(Rhs::nrhs(&v), 1);
+        let s: &[f64] = &v;
+        assert_eq!(Rhs::nrows(s), 5);
+    }
+}

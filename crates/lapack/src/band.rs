@@ -1,0 +1,693 @@
+//! Band and tridiagonal LU: `gbtrf`, `gbtrs`, `gbsv`, `gbcon`, `gbrfs`
+//! and `gttrf`, `gttrs`, `gtsv`, `gtcon`.
+//!
+//! Band storage follows LAPACK: the factored array has
+//! `LDAB >= 2·KL + KU + 1` with the main diagonal at row `KL + KU`
+//! (the extra `KL` rows hold pivoting fill-in). The unfactored arrays of
+//! `gbmv`/`gbrfs` keep the diagonal at row `KU`.
+
+use la_blas::{axpy, gbmv, iamax, scal, tbsv};
+use la_core::{Diag, Scalar, Trans, Uplo};
+
+use crate::aux::lacon;
+use crate::lu::refine_generic;
+
+/// Band LU factorization with partial pivoting (`xGBTF2`/`xGBTRF`).
+///
+/// `ab` must provide the fill-space layout (`LDAB >= 2·KL+KU+1`, diagonal
+/// at row `KL+KU`). `ipiv` is 1-based. Returns LAPACK `info`.
+pub fn gbtrf<T: Scalar>(
+    m: usize,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ab: &mut [T],
+    ldab: usize,
+    ipiv: &mut [i32],
+) -> i32 {
+    let kv = kl + ku;
+    debug_assert!(ldab > kv + kl);
+    // Zero the fill-in rows (storage rows 0..kl never hold input data).
+    for j in 0..n {
+        for r in 0..kl.min(ldab) {
+            ab[r + j * ldab] = T::zero();
+        }
+    }
+    let mut info = 0i32;
+    let mut ju = 0usize; // last column affected so far
+    for j in 0..m.min(n) {
+        let km = kl.min(m.saturating_sub(j + 1)); // subdiagonals in column j
+        // Pivot search in storage rows kv..kv+km of column j.
+        let jp = iamax(km + 1, &ab[kv + j * ldab..], 1);
+        ipiv[j] = (jp + j + 1) as i32;
+        if !ab[kv + jp + j * ldab].is_zero() {
+            ju = ju.max((j + ku + jp).min(n - 1));
+            if jp != 0 {
+                // Swap logical rows j and j+jp across columns j..=ju.
+                for k in j..=ju {
+                    let a1 = kv + j - k + k * ldab;
+                    let a2 = kv + j + jp - k + k * ldab;
+                    ab.swap(a1, a2);
+                }
+            }
+            if km > 0 {
+                let inv = ab[kv + j * ldab].recip();
+                scal(km, inv, &mut ab[kv + 1 + j * ldab..], 1);
+                // Rank-1 update of the trailing band.
+                if ju > j {
+                    for k in j + 1..=ju {
+                        let t = ab[kv + j - k + k * ldab];
+                        if !t.is_zero() {
+                            // Column k, rows j+1..j+1+km.
+                            let (src_lo, dst_lo) = (kv + 1 + j * ldab, kv + j + 1 - k + k * ldab);
+                            for i in 0..km {
+                                let upd = ab[src_lo + i] * t;
+                                ab[dst_lo + i] -= upd;
+                            }
+                        }
+                    }
+                }
+            }
+        } else if info == 0 {
+            info = (j + 1) as i32;
+        }
+    }
+    info
+}
+
+/// Solves `op(A)·X = B` from the band LU factorization (`xGBTRS`).
+#[allow(clippy::too_many_arguments)]
+pub fn gbtrs<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    nrhs: usize,
+    ab: &[T],
+    ldab: usize,
+    ipiv: &[i32],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
+    let kv = kl + ku;
+    match trans {
+        Trans::No => {
+            // Forward: apply L (with swaps interleaved, as stored).
+            if kl > 0 {
+                for j in 0..n.saturating_sub(1) {
+                    let lm = kl.min(n - j - 1);
+                    let l = (ipiv[j] - 1) as usize;
+                    for r in 0..nrhs {
+                        if l != j {
+                            b.swap(l + r * ldb, j + r * ldb);
+                        }
+                        let t = b[j + r * ldb];
+                        if !t.is_zero() {
+                            for i in 0..lm {
+                                let upd = ab[kv + 1 + i + j * ldab] * t;
+                                b[j + 1 + i + r * ldb] -= upd;
+                            }
+                        }
+                    }
+                }
+            }
+            // Backward: U x = y (U has kl+ku superdiagonals incl. fill).
+            for r in 0..nrhs {
+                tbsv(
+                    Uplo::Upper,
+                    Trans::No,
+                    Diag::NonUnit,
+                    n,
+                    kv,
+                    ab,
+                    ldab,
+                    &mut b[r * ldb..r * ldb + n],
+                    1,
+                );
+            }
+        }
+        _ => {
+            // Solve op(U) y = B...
+            for r in 0..nrhs {
+                tbsv(
+                    Uplo::Upper,
+                    trans,
+                    Diag::NonUnit,
+                    n,
+                    kv,
+                    ab,
+                    ldab,
+                    &mut b[r * ldb..r * ldb + n],
+                    1,
+                );
+            }
+            // ...then op(L) with the swaps in reverse.
+            if kl > 0 {
+                let conj = trans.is_conj();
+                for j in (0..n.saturating_sub(1)).rev() {
+                    let lm = kl.min(n - j - 1);
+                    let l = (ipiv[j] - 1) as usize;
+                    for r in 0..nrhs {
+                        // b_j -= (L column j)ᵀ · b(j+1..)
+                        let mut s = T::zero();
+                        for i in 0..lm {
+                            let lij = ab[kv + 1 + i + j * ldab];
+                            let lij = if conj { lij.conj() } else { lij };
+                            s += lij * b[j + 1 + i + r * ldb];
+                        }
+                        b[j + r * ldb] -= s;
+                        if l != j {
+                            b.swap(l + r * ldb, j + r * ldb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Band driver (`xGBSV`): factor + solve.
+#[allow(clippy::too_many_arguments)]
+pub fn gbsv<T: Scalar>(
+    n: usize,
+    kl: usize,
+    ku: usize,
+    nrhs: usize,
+    ab: &mut [T],
+    ldab: usize,
+    ipiv: &mut [i32],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
+    let info = gbtrf(n, n, kl, ku, ab, ldab, ipiv);
+    if info != 0 {
+        return info;
+    }
+    gbtrs(Trans::No, n, kl, ku, nrhs, ab, ldab, ipiv, b, ldb)
+}
+
+/// Reciprocal condition estimate from the band factorization (`xGBCON`).
+#[allow(clippy::too_many_arguments)]
+pub fn gbcon<T: Scalar>(
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ab: &[T],
+    ldab: usize,
+    ipiv: &[i32],
+    anorm: T::Real,
+) -> T::Real {
+    if n == 0 {
+        return T::Real::one();
+    }
+    if anorm.is_zero() {
+        return T::Real::zero();
+    }
+    let ainvnm = lacon::<T>(n, |x, conj_t| {
+        let tr = if conj_t { Trans::ConjTrans } else { Trans::No };
+        gbtrs(tr, n, kl, ku, 1, ab, ldab, ipiv, x, n.max(1));
+    });
+    if ainvnm.is_zero() {
+        T::Real::zero()
+    } else {
+        (T::Real::one() / ainvnm) / anorm
+    }
+}
+
+/// Iterative refinement + error bounds for band systems (`xGBRFS`).
+/// `ab` holds the *original* band matrix (diagonal at row `ku`,
+/// `ldab_a >= kl+ku+1`), `afb` the factorization from [`gbtrf`].
+#[allow(clippy::too_many_arguments)]
+pub fn gbrfs<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    nrhs: usize,
+    ab: &[T],
+    ldab_a: usize,
+    afb: &[T],
+    ldafb: usize,
+    ipiv: &[i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+    ferr: &mut [T::Real],
+    berr: &mut [T::Real],
+) -> i32 {
+    let matvec = |conj_t: bool, v: &[T], y: &mut [T]| {
+        let tr = match (trans, conj_t) {
+            (Trans::No, false) => Trans::No,
+            (Trans::No, true) => Trans::ConjTrans,
+            (t, false) => t,
+            (_, true) => Trans::No,
+        };
+        y.fill(T::zero());
+        gbmv(tr, n, n, kl, ku, T::one(), ab, ldab_a, v, 1, T::zero(), y, 1);
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        for yi in y.iter_mut() {
+            *yi = T::Real::zero();
+        }
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                let aij = ab[ku + i - j + j * ldab_a].abs();
+                if trans == Trans::No {
+                    y[i] += aij * v[j];
+                } else {
+                    y[j] += aij * v[i];
+                }
+            }
+        }
+    };
+    let solve = |conj_t: bool, rhs: &mut [T]| {
+        let tr = match (trans, conj_t) {
+            (Trans::No, false) => Trans::No,
+            (Trans::No, true) => Trans::ConjTrans,
+            (t, false) => t,
+            (_, true) => Trans::No,
+        };
+        gbtrs(tr, n, kl, ku, 1, afb, ldafb, ipiv, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, ferr, berr);
+    0
+}
+
+// ---------------------------------------------------------------------------
+// General tridiagonal.
+// ---------------------------------------------------------------------------
+
+/// LU factorization of a general tridiagonal matrix with partial pivoting
+/// (`xGTTRF`). `dl`, `d`, `du` are the sub-, main and superdiagonal;
+/// `du2` (length `n-2`) receives the second superdiagonal fill-in.
+pub fn gttrf<T: Scalar>(
+    n: usize,
+    dl: &mut [T],
+    d: &mut [T],
+    du: &mut [T],
+    du2: &mut [T],
+    ipiv: &mut [i32],
+) -> i32 {
+    let mut info = 0i32;
+    for (i, p) in ipiv.iter_mut().enumerate().take(n) {
+        *p = (i + 1) as i32;
+    }
+    for i in 0..n.saturating_sub(2) {
+        du2[i] = T::zero();
+    }
+    for i in 0..n.saturating_sub(1) {
+        if dl[i].abs1() <= d[i].abs1() {
+            // No interchange.
+            if !d[i].is_zero() {
+                let fact = dl[i] / d[i];
+                dl[i] = fact;
+                d[i + 1] = d[i + 1] - fact * du[i];
+            }
+        } else {
+            // Interchange rows i and i+1.
+            let fact = d[i] / dl[i];
+            d[i] = dl[i];
+            dl[i] = fact;
+            let tmp = du[i];
+            du[i] = d[i + 1];
+            d[i + 1] = tmp - fact * d[i + 1];
+            if i + 2 < n {
+                du2[i] = du[i + 1];
+                du[i + 1] = -fact * du[i + 1];
+            }
+            ipiv[i] = (i + 2) as i32;
+        }
+    }
+    for i in 0..n {
+        if d[i].is_zero() {
+            info = (i + 1) as i32;
+            break;
+        }
+    }
+    info
+}
+
+/// Solves `op(A)·X = B` from the tridiagonal factorization (`xGTTRS`).
+#[allow(clippy::too_many_arguments)]
+pub fn gttrs<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    dl: &[T],
+    d: &[T],
+    du: &[T],
+    du2: &[T],
+    ipiv: &[i32],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
+    let conj = trans.is_conj();
+    let cj = |x: T| if conj { x.conj() } else { x };
+    for r in 0..nrhs {
+        let col = &mut b[r * ldb..r * ldb + n];
+        match trans {
+            Trans::No => {
+                // Forward with interleaved swaps.
+                for i in 0..n.saturating_sub(1) {
+                    if ipiv[i] as usize == i + 2 {
+                        col.swap(i, i + 1);
+                    }
+                    let upd = dl[i] * col[i];
+                    col[i + 1] -= upd;
+                }
+                // Back substitution with the 3-diagonal U.
+                if n > 0 {
+                    col[n - 1] = col[n - 1] / d[n - 1];
+                }
+                if n > 1 {
+                    let upd = du[n - 2] * col[n - 1];
+                    col[n - 2] = (col[n - 2] - upd) / d[n - 2];
+                }
+                for i in (0..n.saturating_sub(2)).rev() {
+                    let upd = du[i] * col[i + 1] + du2[i] * col[i + 2];
+                    col[i] = (col[i] - upd) / d[i];
+                }
+            }
+            _ => {
+                // Solve op(U) y = b.
+                if n > 0 {
+                    col[0] = col[0] / cj(d[0]);
+                }
+                if n > 1 {
+                    let upd = cj(du[0]) * col[0];
+                    col[1] = (col[1] - upd) / cj(d[1]);
+                }
+                for i in 2..n {
+                    let upd = cj(du[i - 1]) * col[i - 1] + cj(du2[i - 2]) * col[i - 2];
+                    col[i] = (col[i] - upd) / cj(d[i]);
+                }
+                // Solve op(L) x = y with swaps in reverse.
+                for i in (0..n.saturating_sub(1)).rev() {
+                    let upd = cj(dl[i]) * col[i + 1];
+                    col[i] -= upd;
+                    if ipiv[i] as usize == i + 2 {
+                        col.swap(i, i + 1);
+                    }
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Tridiagonal driver (`xGTSV`): factor + solve (the inputs are
+/// overwritten by factorization data).
+pub fn gtsv<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    dl: &mut [T],
+    d: &mut [T],
+    du: &mut [T],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
+    let mut du2 = vec![T::zero(); n.saturating_sub(2)];
+    let mut ipiv = vec![0i32; n];
+    let info = gttrf(n, dl, d, du, &mut du2, &mut ipiv);
+    if info != 0 {
+        return info;
+    }
+    gttrs(Trans::No, n, nrhs, dl, d, du, &du2, &ipiv, b, ldb)
+}
+
+/// Reciprocal condition estimate for a factored tridiagonal matrix
+/// (`xGTCON`).
+#[allow(clippy::too_many_arguments)]
+pub fn gtcon<T: Scalar>(
+    n: usize,
+    dl: &[T],
+    d: &[T],
+    du: &[T],
+    du2: &[T],
+    ipiv: &[i32],
+    anorm: T::Real,
+) -> T::Real {
+    if n == 0 {
+        return T::Real::one();
+    }
+    if anorm.is_zero() {
+        return T::Real::zero();
+    }
+    let ainvnm = lacon::<T>(n, |x, conj_t| {
+        let tr = if conj_t { Trans::ConjTrans } else { Trans::No };
+        gttrs(tr, n, 1, dl, d, du, du2, ipiv, x, n.max(1));
+    });
+    if ainvnm.is_zero() {
+        T::Real::zero()
+    } else {
+        (T::Real::one() / ainvnm) / anorm
+    }
+}
+
+/// Multiplies a general tridiagonal matrix into a vector — `xLAGTM`-lite,
+/// used by the tridiagonal refinement path and tests.
+pub fn gt_matvec<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    dl: &[T],
+    d: &[T],
+    du: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    let conj = trans.is_conj();
+    let cj = |v: T| if conj { v.conj() } else { v };
+    for i in 0..n {
+        let mut s = match trans {
+            Trans::No => d[i] * x[i],
+            _ => cj(d[i]) * x[i],
+        };
+        match trans {
+            Trans::No => {
+                if i > 0 {
+                    s += dl[i - 1] * x[i - 1];
+                }
+                if i + 1 < n {
+                    s += du[i] * x[i + 1];
+                }
+            }
+            _ => {
+                if i > 0 {
+                    s += cj(du[i - 1]) * x[i - 1];
+                }
+                if i + 1 < n {
+                    s += cj(dl[i]) * x[i + 1];
+                }
+            }
+        }
+        y[i] = s;
+    }
+    let _ = axpy::<T>; // silence unused-import lints under some cfgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::C64;
+
+    fn band_from_dense<T: Scalar>(
+        dense: &[T],
+        n: usize,
+        kl: usize,
+        ku: usize,
+    ) -> (Vec<T>, usize) {
+        let ldab = 2 * kl + ku + 1;
+        let kv = kl + ku;
+        let mut ab = vec![T::zero(); ldab * n];
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                ab[kv + i - j + j * ldab] = dense[i + j * n];
+            }
+        }
+        (ab, ldab)
+    }
+
+    #[test]
+    fn gbsv_matches_dense_gesv() {
+        let n = 12;
+        let (kl, ku) = (2, 1);
+        let mut seed = 5u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut dense = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                dense[i + j * n] = next() + if i == j { 4.0 } else { 0.0 };
+            }
+        }
+        let xtrue: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let mut b = vec![0.0f64; n];
+        la_blas::gemv(Trans::No, n, n, 1.0, &dense, n, &xtrue, 1, 0.0, &mut b, 1);
+
+        let (mut ab, ldab) = band_from_dense(&dense, n, kl, ku);
+        let mut ipiv = vec![0i32; n];
+        let mut x = b.clone();
+        assert_eq!(gbsv(n, kl, ku, 1, &mut ab, ldab, &mut ipiv, &mut x, n), 0);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn gbtrs_transposed_solves() {
+        let n = 10;
+        let (kl, ku) = (1, 2);
+        let mut dense = vec![C64::zero(); n * n];
+        let mut seed = 9u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                dense[i + j * n] =
+                    C64::new(next(), next()) + if i == j { C64::from_real(4.0) } else { C64::zero() };
+            }
+        }
+        let xtrue: Vec<C64> = (0..n).map(|i| C64::new(1.0, i as f64 * 0.1)).collect();
+        for trans in [Trans::Trans, Trans::ConjTrans] {
+            // b = op(A) x
+            let mut b = vec![C64::zero(); n];
+            la_blas::gemv(trans, n, n, C64::one(), &dense, n, &xtrue, 1, C64::zero(), &mut b, 1);
+            let (mut ab, ldab) = band_from_dense(&dense, n, kl, ku);
+            let mut ipiv = vec![0i32; n];
+            assert_eq!(gbtrf(n, n, kl, ku, &mut ab, ldab, &mut ipiv), 0);
+            assert_eq!(gbtrs(trans, n, kl, ku, 1, &ab, ldab, &ipiv, &mut b, n), 0);
+            for i in 0..n {
+                assert!((b[i] - xtrue[i]).abs() < 1e-10, "{trans:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gbtrf_singular_info() {
+        // A zero matrix: first pivot is zero.
+        let n = 4;
+        let ldab = 2 * 1 + 1 + 1;
+        let mut ab = vec![0.0f64; ldab * n];
+        let mut ipiv = vec![0i32; n];
+        let info = gbtrf(n, n, 1, 1, &mut ab, ldab, &mut ipiv);
+        assert_eq!(info, 1);
+    }
+
+    #[test]
+    fn gtsv_solves_and_pivots() {
+        let n = 14;
+        // A tridiagonal matrix that forces interchanges (tiny diagonal).
+        let mut dl: Vec<f64> = (0..n - 1).map(|i| 2.0 + (i % 3) as f64).collect();
+        let mut d: Vec<f64> = (0..n).map(|i| 0.1 + (i % 2) as f64 * 0.2).collect();
+        let mut du: Vec<f64> = (0..n - 1).map(|i| 1.0 + (i % 4) as f64 * 0.3).collect();
+        let xtrue: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut b = vec![0.0f64; n];
+        gt_matvec(Trans::No, n, &dl, &d, &du, &xtrue, &mut b);
+        assert_eq!(gtsv(n, 1, &mut dl, &mut d, &mut du, &mut b, n), 0);
+        for i in 0..n {
+            assert!((b[i] - xtrue[i]).abs() < 1e-10, "x = {b:?}");
+        }
+    }
+
+    #[test]
+    fn gttrs_all_transposes_complex() {
+        let n = 9;
+        let dl0: Vec<C64> = (0..n - 1).map(|i| C64::new(1.0 + i as f64 * 0.1, -0.4)).collect();
+        let d0: Vec<C64> = (0..n).map(|i| C64::new(3.0, 0.5 * (i % 2) as f64)).collect();
+        let du0: Vec<C64> = (0..n - 1).map(|i| C64::new(-0.7, 0.2 + i as f64 * 0.05)).collect();
+        let xtrue: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 1.0)).collect();
+        let mut dl = dl0.clone();
+        let mut d = d0.clone();
+        let mut du = du0.clone();
+        let mut du2 = vec![C64::zero(); n - 2];
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(gttrf(n, &mut dl, &mut d, &mut du, &mut du2, &mut ipiv), 0);
+        for trans in [Trans::No, Trans::Trans, Trans::ConjTrans] {
+            let mut b = vec![C64::zero(); n];
+            gt_matvec(trans, n, &dl0, &d0, &du0, &xtrue, &mut b);
+            assert_eq!(gttrs(trans, n, 1, &dl, &d, &du, &du2, &ipiv, &mut b, n), 0);
+            for i in 0..n {
+                assert!((b[i] - xtrue[i]).abs() < 1e-9, "{trans:?}: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gbcon_and_gtcon_sane() {
+        // Diagonally dominant → well conditioned.
+        let n = 10;
+        let mut dense = vec![0.0f64; n * n];
+        for i in 0..n {
+            dense[i + i * n] = 5.0;
+            if i + 1 < n {
+                dense[i + 1 + i * n] = 1.0;
+                dense[i + (i + 1) * n] = 1.0;
+            }
+        }
+        let (mut ab, ldab) = band_from_dense(&dense, n, 1, 1);
+        let mut ipiv = vec![0i32; n];
+        let anorm = 7.0; // 1-norm of the tridiagonal above
+        assert_eq!(gbtrf(n, n, 1, 1, &mut ab, ldab, &mut ipiv), 0);
+        let rc = gbcon::<f64>(n, 1, 1, &ab, ldab, &ipiv, anorm);
+        assert!(rc > 0.1, "rc = {rc}");
+
+        let mut dl = vec![1.0f64; n - 1];
+        let mut d = vec![5.0f64; n];
+        let mut du = vec![1.0f64; n - 1];
+        let mut du2 = vec![0.0f64; n - 2];
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(gttrf(n, &mut dl, &mut d, &mut du, &mut du2, &mut ipiv), 0);
+        let rc = gtcon::<f64>(n, &dl, &d, &du, &du2, &ipiv, 7.0);
+        assert!(rc > 0.1, "rc = {rc}");
+    }
+
+    #[test]
+    fn gbrfs_refines() {
+        let n = 8;
+        let (kl, ku) = (1, 1);
+        let mut dense = vec![0.0f64; n * n];
+        for i in 0..n {
+            dense[i + i * n] = 4.0 + i as f64 * 0.1;
+            if i + 1 < n {
+                dense[i + 1 + i * n] = 1.5;
+                dense[i + (i + 1) * n] = -0.5;
+            }
+        }
+        // Original band storage (diag at row ku).
+        let ldab_a = kl + ku + 1;
+        let mut ab_orig = vec![0.0f64; ldab_a * n];
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                ab_orig[ku + i - j + j * ldab_a] = dense[i + j * n];
+            }
+        }
+        let (mut afb, ldafb) = band_from_dense(&dense, n, kl, ku);
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(gbtrf(n, n, kl, ku, &mut afb, ldafb, &mut ipiv), 0);
+        let xtrue: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.3).collect();
+        let mut b = vec![0.0f64; n];
+        la_blas::gemv(Trans::No, n, n, 1.0, &dense, n, &xtrue, 1, 0.0, &mut b, 1);
+        let mut x = b.clone();
+        gbtrs(Trans::No, n, kl, ku, 1, &afb, ldafb, &ipiv, &mut x, n);
+        let mut ferr = vec![0.0f64; 1];
+        let mut berr = vec![0.0f64; 1];
+        assert_eq!(
+            gbrfs(
+                Trans::No, n, kl, ku, 1, &ab_orig, ldab_a, &afb, ldafb, &ipiv, &b, n, &mut x, n,
+                &mut ferr, &mut berr
+            ),
+            0
+        );
+        assert!(berr[0] < 1e-13);
+        assert!(ferr[0] < 1e-10);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! Divide-and-conquer symmetric tridiagonal eigensolver (Cuppen's method
+//! with deflation and a secular-equation solver): `laed4`, `stedc`, and
+//! the drivers `syevd`/`heevd` and `stevd`.
+//!
+//! The implementation follows the published algorithm: split the
+//! tridiagonal into two halves coupled by a rank-one update, recurse,
+//! deflate negligible or duplicate components, solve the secular equation
+//! for each remaining eigenvalue, and restore orthogonality through the
+//! Gu–Eisenstat reconstructed `ẑ` vector.
+
+use la_core::{RealScalar, Scalar, Uplo};
+
+use crate::eigsym::{orgtr, steqr, sytrd};
+
+/// Size below which [`stedc`] falls back to [`steqr`] (LAPACK's `SMLSIZ`).
+const SMLSIZ: usize = 25;
+
+/// Solves the secular equation `1 + ρ·Σ zᵢ²/(dᵢ − λ) = 0` for the `j`-th
+/// root (`xLAED4`). Returns `(λ, δ)` where `δᵢ = dᵢ − λ` is computed in
+/// shifted coordinates (the pole nearest the root is the origin), so the
+/// small differences that drive the eigenvector formulas keep full
+/// relative accuracy. Bisection on the monotone secular function keeps
+/// the solver simple and unconditionally convergent.
+pub fn laed4<R: RealScalar>(d: &[R], z: &[R], rho: R, j: usize) -> (R, Vec<R>) {
+    let k = d.len();
+    let two = R::one() + R::one();
+    let znorm2 = z.iter().fold(R::zero(), |a, &v| a + v * v);
+    // Interval (lo, hi) between the poles (or beyond the last pole).
+    let (lo, hi) = if j + 1 < k {
+        (d[j], d[j + 1])
+    } else {
+        (d[k - 1], d[k - 1] + rho * znorm2)
+    };
+    // Pick the shift: the pole nearest the root. For interior roots decide
+    // by the secular function's sign at the midpoint.
+    let f = |lam: R| -> R {
+        let mut s = R::one();
+        for i in 0..k {
+            s += rho * z[i] * z[i] / (d[i] - lam);
+        }
+        s
+    };
+    let shift_right = if j + 1 < k {
+        let mid = (lo + hi) / two;
+        // f increasing between the poles: f(mid) < 0 → root right of mid.
+        f(mid) < R::zero()
+    } else {
+        false
+    };
+    let sigma = if shift_right { hi } else { lo };
+    // Shifted pole positions (exact where it matters: δ0[j] = 0 or
+    // δ0[j+1] = 0).
+    let d0: Vec<R> = d.iter().map(|&di| di - sigma).collect();
+    let g = |mu: R| -> R {
+        let mut s = R::one();
+        for i in 0..k {
+            s += rho * z[i] * z[i] / (d0[i] - mu);
+        }
+        s
+    };
+    // Bisect for μ in (a, b), never evaluating at the endpoints (they are
+    // poles or unevaluated bounds); the invariant is g < 0 left of the
+    // root, g > 0 right of it.
+    let (mut a, mut b) = if shift_right {
+        (lo - sigma, R::zero())
+    } else if j + 1 < k {
+        (R::zero(), hi - sigma)
+    } else {
+        // Last root: g(b) > 0 is guaranteed by Weyl, but guard anyway.
+        let mut b = rho * znorm2 + R::EPS * rho;
+        let mut tries = 0;
+        while g(b) <= R::zero() && tries < 8 {
+            b = b * two;
+            tries += 1;
+        }
+        (R::zero(), b)
+    };
+    for _ in 0..120 {
+        let mid = (a + b) / two;
+        if mid <= a.minr(b) || mid >= a.maxr(b) || mid == a || mid == b {
+            break;
+        }
+        if g(mid) < R::zero() {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    let mu = (a + b) / two;
+    let delta: Vec<R> = d0.iter().map(|&x| x - mu).collect();
+    (sigma + mu, delta)
+}
+
+/// Divide-and-conquer eigensolver for a symmetric tridiagonal matrix
+/// (`xSTEDC` with `COMPZ='I'`). On return `d` holds the eigenvalues in
+/// ascending order and the returned `n × n` column-major matrix holds the
+/// eigenvectors.
+pub fn stedc<R: RealScalar>(n: usize, d: &mut [R], e: &mut [R]) -> Vec<R> {
+    if n == 0 {
+        return vec![];
+    }
+    if n == 1 {
+        return vec![R::one()];
+    }
+    if n <= SMLSIZ {
+        let mut z = vec![R::zero(); n * n];
+        for i in 0..n {
+            z[i + i * n] = R::one();
+        }
+        steqr::<R>(n, d, e, Some((&mut z, n)));
+        return z;
+    }
+    let m = n / 2;
+    let beta = e[m - 1];
+    if beta.is_zero() {
+        // Decoupled: recurse independently and merge-sort.
+        let (d1s, d2s) = d.split_at_mut(m);
+        let (e1s, e2s) = e.split_at_mut(m - 1);
+        let z1 = stedc(m, d1s, e1s);
+        let z2 = stedc(n - m, d2s, &mut e2s[1..]);
+        return merge_decoupled(n, m, d, &z1, &z2);
+    }
+    let rho = beta.rabs();
+    let s = if beta >= R::zero() { R::one() } else { -R::one() };
+    // Rank-one tear: subtract ρ from the two coupling diagonal entries.
+    d[m - 1] = d[m - 1] - rho;
+    d[m] = d[m] - rho;
+    let (z1, z2) = {
+        let (d1s, d2s) = d.split_at_mut(m);
+        let (e1s, e2s) = e.split_at_mut(m - 1);
+        let z1 = stedc(m, d1s, e1s);
+        let z2 = stedc(n - m, d2s, &mut e2s[1..]);
+        (z1, z2)
+    };
+    // z = Q_blkᵀ·u where u = e_m + s·e_{m+1}: last row of Z1, s × first
+    // row of Z2.
+    let mut zv = vec![R::zero(); n];
+    for j in 0..m {
+        zv[j] = z1[(m - 1) + j * m];
+    }
+    for j in 0..n - m {
+        zv[m + j] = s * z2[j * (n - m)];
+    }
+    // Q_blk: block diagonal of Z1, Z2 (n × n).
+    let mut q = vec![R::zero(); n * n];
+    for j in 0..m {
+        for i in 0..m {
+            q[i + j * n] = z1[i + j * m];
+        }
+    }
+    for j in 0..n - m {
+        for i in 0..n - m {
+            q[m + i + (m + j) * n] = z2[i + j * (n - m)];
+        }
+    }
+    // Sort (d, zv, Q columns) ascending by d.
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    let ds: Vec<R> = perm.iter().map(|&p| d[p]).collect();
+    let zs: Vec<R> = perm.iter().map(|&p| zv[p]).collect();
+    let mut qs = vec![R::zero(); n * n];
+    for (jnew, &jold) in perm.iter().enumerate() {
+        qs[jnew * n..jnew * n + n].copy_from_slice(&q[jold * n..jold * n + n]);
+    }
+    let dwork = ds;
+    let mut zwork = zs;
+    let mut qwork = qs;
+
+    // Deflation.
+    let dscale = dwork
+        .iter()
+        .fold(R::zero(), |a, &v| a.maxr(v.rabs()))
+        .maxr(rho);
+    let tol = R::EPS * R::from_usize(8) * dscale.maxr(R::sfmin());
+    let mut deflated = vec![false; n];
+    // (a) negligible z components.
+    for i in 0..n {
+        if (rho * zwork[i].rabs()) <= tol {
+            deflated[i] = true;
+            zwork[i] = R::zero();
+        }
+    }
+    // (b) nearly equal eigenvalues: rotate the pair to zero one component.
+    {
+        let mut i = 0;
+        while i < n {
+            if deflated[i] {
+                i += 1;
+                continue;
+            }
+            let mut jn = i + 1;
+            while jn < n {
+                if !deflated[jn] {
+                    break;
+                }
+                jn += 1;
+            }
+            if jn < n && (dwork[jn] - dwork[i]).rabs() <= tol {
+                // Rotate (i, jn): zero zwork[jn].
+                let r = zwork[i].hypot(zwork[jn]);
+                let c = zwork[i] / r;
+                let srot = zwork[jn] / r;
+                zwork[i] = r;
+                zwork[jn] = R::zero();
+                deflated[jn] = true;
+                for k in 0..n {
+                    let qi = qwork[k + i * n];
+                    let qj = qwork[k + jn * n];
+                    qwork[k + i * n] = qi * c + qj * srot;
+                    qwork[k + jn * n] = qj * c - qi * srot;
+                }
+                // dwork[jn] stays as the deflated eigenvalue; continue
+                // from i (more duplicates may follow).
+            } else {
+                i = jn;
+            }
+        }
+    }
+    // Collect the non-deflated subproblem.
+    let keep: Vec<usize> = (0..n).filter(|&i| !deflated[i]).collect();
+    let k = keep.len();
+    let mut lam = dwork.clone();
+    let mut vmat: Vec<R> = Vec::new(); // k × k secular eigenvectors
+    if k > 0 {
+        let dk: Vec<R> = keep.iter().map(|&i| dwork[i]).collect();
+        let zk: Vec<R> = keep.iter().map(|&i| zwork[i]).collect();
+        let mut lamk = vec![R::zero(); k];
+        let mut deltas: Vec<Vec<R>> = Vec::with_capacity(k);
+        for j in 0..k {
+            let (lam_j, delta_j) = laed4(&dk, &zk, rho, j);
+            lamk[j] = lam_j;
+            deltas.push(delta_j);
+        }
+        // Gu–Eisenstat ẑ for orthogonal eigenvectors, formed from the
+        // high-accuracy δ differences.
+        let mut zhat = vec![R::zero(); k];
+        for i in 0..k {
+            // ẑᵢ² = Π_j (λ_j − dᵢ) / Π_{j≠i} (d_j − dᵢ), with
+            // λ_j − dᵢ = −δᵢ(j).
+            let mut prod = -deltas[k - 1][i];
+            for j in 0..k - 1 {
+                let denom = if j < i { dk[j] - dk[i] } else { dk[j + 1] - dk[i] };
+                prod = prod * ((-deltas[j][i]) / denom);
+            }
+            let mag = prod.rabs().rsqrt();
+            zhat[i] = mag.sign(zk[i]);
+        }
+        vmat = vec![R::zero(); k * k];
+        for j in 0..k {
+            let mut nrm = R::zero();
+            for i in 0..k {
+                let v = zhat[i] / deltas[j][i];
+                vmat[i + j * k] = v;
+                nrm += v * v;
+            }
+            let nrm = nrm.rsqrt();
+            for i in 0..k {
+                vmat[i + j * k] = vmat[i + j * k] / nrm;
+            }
+        }
+        for (jj, &i) in keep.iter().enumerate() {
+            let _ = i;
+            lam[keep[jj]] = lamk[jj];
+        }
+    }
+    // Assemble the eigenvector matrix: deflated columns pass through;
+    // non-deflated columns are Q(:, keep)·vmat.
+    let mut znew = vec![R::zero(); n * n];
+    for i in 0..n {
+        if deflated[i] {
+            znew[i * n..i * n + n].copy_from_slice(&qwork[i * n..i * n + n]);
+        }
+    }
+    if k > 0 {
+        // Gather Q(:, keep) then multiply.
+        let mut qk = vec![R::zero(); n * k];
+        for (c, &i) in keep.iter().enumerate() {
+            qk[c * n..c * n + n].copy_from_slice(&qwork[i * n..i * n + n]);
+        }
+        let mut qv = vec![R::zero(); n * k];
+        la_blas::gemm(
+            la_core::Trans::No,
+            la_core::Trans::No,
+            n,
+            k,
+            k,
+            R::one(),
+            &qk,
+            n,
+            &vmat,
+            k,
+            R::zero(),
+            &mut qv,
+            n,
+        );
+        for (c, &i) in keep.iter().enumerate() {
+            znew[i * n..i * n + n].copy_from_slice(&qv[c * n..c * n + n]);
+        }
+    }
+    // Final ascending sort of (lam, columns).
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&a, &b| lam[a].partial_cmp(&lam[b]).unwrap());
+    for (i, &p) in perm.iter().enumerate() {
+        d[i] = lam[p];
+    }
+    let mut zout = vec![R::zero(); n * n];
+    for (jnew, &jold) in perm.iter().enumerate() {
+        zout[jnew * n..jnew * n + n].copy_from_slice(&znew[jold * n..jold * n + n]);
+    }
+    zout
+}
+
+/// Merges two decoupled halves (β = 0) by sorting.
+fn merge_decoupled<R: RealScalar>(n: usize, m: usize, d: &mut [R], z1: &[R], z2: &[R]) -> Vec<R> {
+    let mut q = vec![R::zero(); n * n];
+    for j in 0..m {
+        for i in 0..m {
+            q[i + j * n] = z1[i + j * m];
+        }
+    }
+    for j in 0..n - m {
+        for i in 0..n - m {
+            q[m + i + (m + j) * n] = z2[i + j * (n - m)];
+        }
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    let dsorted: Vec<R> = perm.iter().map(|&p| d[p]).collect();
+    d[..n].copy_from_slice(&dsorted);
+    let mut zout = vec![R::zero(); n * n];
+    for (jnew, &jold) in perm.iter().enumerate() {
+        zout[jnew * n..jnew * n + n].copy_from_slice(&q[jold * n..jold * n + n]);
+    }
+    zout
+}
+
+/// Divide-and-conquer driver for a symmetric tridiagonal matrix
+/// (`xSTEVD`): eigenvalues ascending in `d`; eigenvectors into `z` when
+/// requested.
+pub fn stevd<R: RealScalar>(
+    want_z: bool,
+    n: usize,
+    d: &mut [R],
+    e: &mut [R],
+    z: Option<(&mut [R], usize)>,
+) -> i32 {
+    if !want_z {
+        return crate::eigsym::sterf(n, d, e);
+    }
+    let zv = stedc(n, d, e);
+    if let Some((zm, ldz)) = z {
+        for j in 0..n {
+            for i in 0..n {
+                zm[i + j * ldz] = zv[i + j * n];
+            }
+        }
+    }
+    0
+}
+
+/// Divide-and-conquer driver for dense Hermitian matrices
+/// (`xSYEVD`/`xHEEVD`): all eigenvalues (ascending), optionally
+/// eigenvectors overwriting `a`.
+pub fn syevd<T: Scalar>(
+    want_z: bool,
+    uplo: Uplo,
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+    w: &mut [T::Real],
+) -> i32 {
+    if n == 0 {
+        return 0;
+    }
+    let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
+    let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
+    sytrd(uplo, n, a, lda, w, &mut e, &mut tau);
+    if !want_z {
+        return crate::eigsym::sterf(n, w, &mut e);
+    }
+    let z = stedc(n, w, &mut e);
+    // a := Q · Z (promote the real Z into T).
+    orgtr(uplo, n, a, lda, &tau);
+    let zt: Vec<T> = z.iter().map(|&x| T::from_real(x)).collect();
+    let mut out = vec![T::zero(); n * n];
+    la_blas::gemm(
+        la_core::Trans::No,
+        la_core::Trans::No,
+        n,
+        n,
+        n,
+        T::one(),
+        a,
+        lda,
+        &zt,
+        n,
+        T::zero(),
+        &mut out,
+        n,
+    );
+    crate::aux::lacpy(None, n, n, &out, n, a, lda);
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_blas::gemm;
+    use la_core::{C64, Trans};
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((self.0 >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    fn check_tridiag_eig(n: usize, d0: &[f64], e0: &[f64], w: &[f64], z: &[f64], tol: f64) {
+        // Ascending.
+        for i in 1..n {
+            assert!(w[i] >= w[i - 1] - 1e-12);
+        }
+        // T z_j = w_j z_j.
+        for j in 0..n {
+            for i in 0..n {
+                let mut tv = d0[i] * z[i + j * n];
+                if i > 0 {
+                    tv += e0[i - 1] * z[i - 1 + j * n];
+                }
+                if i + 1 < n {
+                    tv += e0[i] * z[i + 1 + j * n];
+                }
+                assert!(
+                    (tv - w[j] * z[i + j * n]).abs() < tol,
+                    "residual at ({i},{j}): {}",
+                    (tv - w[j] * z[i + j * n]).abs()
+                );
+            }
+        }
+        // Orthogonality.
+        let mut ztz = vec![0.0f64; n * n];
+        gemm(Trans::Trans, Trans::No, n, n, n, 1.0, z, n, z, n, 0.0, &mut ztz, n);
+        for j in 0..n {
+            for i in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (ztz[i + j * n] - want).abs() < tol,
+                    "orthogonality ({i},{j}): {}",
+                    ztz[i + j * n]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn laed4_simple_secular_roots() {
+        // D = diag(1, 2), rho = 1, z = (1, 1)/√2:
+        // roots of 1 + 0.5/(1-λ) + 0.5/(2-λ) = 0 → λ² − 4λ + 3.5 = 0,
+        // i.e. λ = 2 ∓ √½.
+        let d = [1.0f64, 2.0];
+        let z = [std::f64::consts::FRAC_1_SQRT_2; 2];
+        let (l0, delta0) = laed4(&d, &z, 1.0, 0);
+        let (l1, _) = laed4(&d, &z, 1.0, 1);
+        assert!((delta0[0] - (d[0] - l0)).abs() < 1e-12);
+        let r0 = 2.0 - 0.5f64.sqrt();
+        let r1 = 2.0 + 0.5f64.sqrt();
+        assert!((l0 - r0).abs() < 1e-12, "{l0} vs {r0}");
+        assert!((l1 - r1).abs() < 1e-12, "{l1} vs {r1}");
+    }
+
+    #[test]
+    fn stedc_matches_steqr_large() {
+        // n > SMLSIZ so at least one divide step happens.
+        let n = 60;
+        let mut rng = Rng(3);
+        let d0: Vec<f64> = (0..n).map(|_| rng.next() * 2.0).collect();
+        let e0: Vec<f64> = (0..n - 1).map(|_| rng.next()).collect();
+        let mut d = d0.clone();
+        let mut e = e0.clone();
+        let z = stedc(n, &mut d, &mut e);
+        check_tridiag_eig(n, &d0, &e0, &d, &z, 1e-9);
+        // Eigenvalues match steqr.
+        let mut dref = d0.clone();
+        let mut eref = e0.clone();
+        assert_eq!(steqr::<f64>(n, &mut dref, &mut eref, None), 0);
+        for i in 0..n {
+            assert!((d[i] - dref[i]).abs() < 1e-10, "λ_{i}: {} vs {}", d[i], dref[i]);
+        }
+    }
+
+    #[test]
+    fn stedc_with_heavy_deflation() {
+        // Many equal diagonal entries and zero couplings → deflation paths.
+        let n = 40;
+        let d0: Vec<f64> = (0..n).map(|i| (i % 4) as f64).collect();
+        let mut e0 = vec![0.0f64; n - 1];
+        for (i, v) in e0.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.5;
+            }
+        }
+        let mut d = d0.clone();
+        let mut e = e0.clone();
+        let z = stedc(n, &mut d, &mut e);
+        check_tridiag_eig(n, &d0, &e0, &d, &z, 1e-9);
+    }
+
+    #[test]
+    fn stedc_negative_coupling() {
+        let n = 50;
+        let d0: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1).collect();
+        let e0: Vec<f64> = (0..n - 1).map(|i| if i % 2 == 0 { -0.7 } else { 0.3 }).collect();
+        let mut d = d0.clone();
+        let mut e = e0.clone();
+        let z = stedc(n, &mut d, &mut e);
+        check_tridiag_eig(n, &d0, &e0, &d, &z, 1e-9);
+    }
+
+    #[test]
+    fn syevd_matches_syev() {
+        let n = 48;
+        let mut rng = Rng(9);
+        let mut a0 = vec![C64::zero(); n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                let v = if i == j {
+                    C64::from_real(rng.next())
+                } else {
+                    C64::new(rng.next(), rng.next())
+                };
+                a0[i + j * n] = v;
+                a0[j + i * n] = v.conj();
+            }
+        }
+        let mut aref = a0.clone();
+        let mut wref = vec![0.0; n];
+        crate::eigsym::syev(false, Uplo::Lower, n, &mut aref, n, &mut wref);
+        let mut a = a0.clone();
+        let mut w = vec![0.0; n];
+        assert_eq!(syevd(true, Uplo::Lower, n, &mut a, n, &mut w), 0);
+        for i in 0..n {
+            assert!((w[i] - wref[i]).abs() < 1e-10, "λ_{i}");
+        }
+        // Residual ‖A z − λ z‖.
+        for j in 0..n {
+            let mut az = vec![C64::zero(); n];
+            la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &a[j * n..j * n + n], 1, C64::zero(), &mut az, 1);
+            for i in 0..n {
+                assert!(
+                    (az[i] - a[i + j * n].scale(w[j])).abs() < 1e-9,
+                    "residual ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stevd_driver() {
+        let n = 30;
+        let mut d = vec![2.0f64; n];
+        let mut e = vec![-1.0f64; n - 1];
+        let mut z = vec![0.0f64; n * n];
+        assert_eq!(stevd(true, n, &mut d, &mut e, Some((&mut z, n))), 0);
+        for k in 0..n {
+            let want = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
+            assert!((d[k] - want).abs() < 1e-11, "λ_{k}");
+        }
+    }
+}

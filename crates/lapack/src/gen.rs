@@ -1,0 +1,589 @@
+//! Generalized eigenproblems: reduction of the symmetric-definite
+//! problem to standard form (`sygst`/`hegst`), the drivers
+//! `sygv`/`hegv`, packed `spgv` and band `sbgv`, and the regular-`B`
+//! substitute for `gegv` (see DESIGN.md §1 for the substitution note —
+//! full Hessenberg-triangular QZ is future work).
+
+use la_blas::trsm;
+use la_core::{Complex, Diag, RealScalar, Scalar, Side, Trans, Uplo};
+
+use crate::chol::potrf;
+use crate::eigsym::syev;
+
+/// Problem type for the symmetric-definite generalized eigenproblem.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum GvItype {
+    /// `A·x = λ·B·x` (`ITYPE = 1`).
+    #[default]
+    AxLBx,
+    /// `A·B·x = λ·x` (`ITYPE = 2`).
+    ABxLx,
+    /// `B·A·x = λ·x` (`ITYPE = 3`).
+    BAxLx,
+}
+
+/// Reduces a symmetric-definite generalized eigenproblem to standard form
+/// (`xSYGST`/`xHEGST`): given the Cholesky factor of `B` in `b`,
+/// overwrites `A` with `C` such that the standard problem `C·y = λ·y` has
+/// the same eigenvalues.
+///
+/// This implementation forms the reduction on the full (symmetrized)
+/// matrix with triangular solves/multiplies — the same arithmetic as the
+/// half-update LAPACK kernel, using the mirror triangle as workspace.
+pub fn sygst<T: Scalar>(
+    itype: GvItype,
+    uplo: Uplo,
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+) -> i32 {
+    // Symmetrize A in place (fill the mirror triangle).
+    for j in 0..n {
+        for i in 0..j {
+            match uplo {
+                Uplo::Upper => a[j + i * lda] = a[i + j * lda].conj(),
+                Uplo::Lower => a[i + j * lda] = a[j + i * lda].conj(),
+            }
+        }
+    }
+    match (itype, uplo) {
+        (GvItype::AxLBx, Uplo::Lower) => {
+            // C = L⁻¹·A·L⁻ᴴ.
+            trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::ConjTrans,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
+        }
+        (GvItype::AxLBx, Uplo::Upper) => {
+            // C = U⁻ᴴ·A·U⁻¹.
+            trsm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::ConjTrans,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
+            trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+        }
+        (_, Uplo::Lower) => {
+            // C = Lᴴ·A·L (itype 2 and 3 share the reduction).
+            la_blas::trmm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::ConjTrans,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
+            la_blas::trmm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+        }
+        (_, Uplo::Upper) => {
+            // C = U·A·Uᴴ.
+            la_blas::trmm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+            la_blas::trmm(
+                Side::Right,
+                Uplo::Upper,
+                Trans::ConjTrans,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
+        }
+    }
+    0
+}
+
+/// Symmetric-definite generalized eigen driver (`xSYGV`/`xHEGV`):
+/// eigenvalues of `A·x = λ·B·x` (or the `itype` variants) ascending in
+/// `w`; eigenvectors (B-orthonormal) overwrite `a` when requested.
+/// Returns LAPACK `info` (`n + i` if `B`'s minor `i` is not positive
+/// definite).
+pub fn sygv<T: Scalar>(
+    itype: GvItype,
+    want_z: bool,
+    uplo: Uplo,
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+    w: &mut [T::Real],
+) -> i32 {
+    let info = potrf(uplo, n, b, ldb);
+    if info != 0 {
+        return info + n as i32;
+    }
+    sygst(itype, uplo, n, a, lda, b, ldb);
+    let info = syev(want_z, uplo, n, a, lda, w);
+    if info != 0 {
+        return info;
+    }
+    if want_z {
+        match itype {
+            GvItype::AxLBx | GvItype::ABxLx => {
+                // x = L⁻ᴴ·y (lower) or U⁻¹·y (upper).
+                match uplo {
+                    Uplo::Lower => trsm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Trans::ConjTrans,
+                        Diag::NonUnit,
+                        n,
+                        n,
+                        T::one(),
+                        b,
+                        ldb,
+                        a,
+                        lda,
+                    ),
+                    Uplo::Upper => trsm(
+                        Side::Left,
+                        Uplo::Upper,
+                        Trans::No,
+                        Diag::NonUnit,
+                        n,
+                        n,
+                        T::one(),
+                        b,
+                        ldb,
+                        a,
+                        lda,
+                    ),
+                }
+            }
+            GvItype::BAxLx => {
+                // x = L·y (lower) or Uᴴ·y (upper).
+                match uplo {
+                    Uplo::Lower => la_blas::trmm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Trans::No,
+                        Diag::NonUnit,
+                        n,
+                        n,
+                        T::one(),
+                        b,
+                        ldb,
+                        a,
+                        lda,
+                    ),
+                    Uplo::Upper => la_blas::trmm(
+                        Side::Left,
+                        Uplo::Upper,
+                        Trans::ConjTrans,
+                        Diag::NonUnit,
+                        n,
+                        n,
+                        T::one(),
+                        b,
+                        ldb,
+                        a,
+                        lda,
+                    ),
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Packed symmetric-definite generalized driver (`xSPGV`/`xHPGV`),
+/// computed through dense scratch copies of the packed triangles.
+pub fn spgv<T: Scalar>(
+    itype: GvItype,
+    want_z: bool,
+    uplo: Uplo,
+    n: usize,
+    ap: &mut [T],
+    bp: &mut [T],
+    w: &mut [T::Real],
+    z: Option<(&mut [T], usize)>,
+) -> i32 {
+    let idx = |i: usize, j: usize| -> usize {
+        match uplo {
+            Uplo::Upper => i + j * (j + 1) / 2,
+            Uplo::Lower => i + j * (2 * n - j - 1) / 2,
+        }
+    };
+    let unpack = |p: &[T]| -> Vec<T> {
+        let mut m = vec![T::zero(); n * n];
+        for j in 0..n {
+            let range: Vec<usize> = match uplo {
+                Uplo::Upper => (0..=j).collect(),
+                Uplo::Lower => (j..n).collect(),
+            };
+            for i in range {
+                m[i + j * n] = p[idx(i, j)];
+            }
+        }
+        m
+    };
+    let mut a = unpack(ap);
+    let mut b = unpack(bp);
+    let info = sygv(itype, want_z, uplo, n, &mut a, n.max(1), &mut b, n.max(1), w);
+    if info != 0 {
+        return info;
+    }
+    if want_z {
+        if let Some((zm, ldz)) = z {
+            crate::aux::lacpy(None, n, n, &a, n.max(1), zm, ldz);
+        }
+    }
+    // Repack the (destroyed) inputs so callers see the factorization side
+    // effects, mirroring LAPACK's overwrite semantics.
+    for j in 0..n {
+        let range: Vec<usize> = match uplo {
+            Uplo::Upper => (0..=j).collect(),
+            Uplo::Lower => (j..n).collect(),
+        };
+        for i in range {
+            bp[idx(i, j)] = b[i + j * n];
+        }
+    }
+    0
+}
+
+/// Band symmetric-definite generalized driver (`xSBGV`/`xHBGV`),
+/// computed through dense expansion (in-band split Cholesky reduction —
+/// `xPBSTF`/`xSBGST` — is future work, see DESIGN.md).
+#[allow(clippy::too_many_arguments)]
+pub fn sbgv<T: Scalar>(
+    want_z: bool,
+    uplo: Uplo,
+    n: usize,
+    ka: usize,
+    kb: usize,
+    ab: &[T],
+    ldab: usize,
+    bb: &[T],
+    ldbb: usize,
+    w: &mut [T::Real],
+    z: Option<(&mut [T], usize)>,
+) -> i32 {
+    let expand = |m: &[T], kd: usize, ldm: usize| -> Vec<T> {
+        let mut d = vec![T::zero(); n * n];
+        for j in 0..n {
+            match uplo {
+                Uplo::Upper => {
+                    for i in j.saturating_sub(kd)..=j {
+                        d[i + j * n] = m[kd + i - j + j * ldm];
+                    }
+                }
+                Uplo::Lower => {
+                    for i in j..(j + kd + 1).min(n) {
+                        d[i + j * n] = m[i - j + j * ldm];
+                    }
+                }
+            }
+        }
+        d
+    };
+    let mut a = expand(ab, ka, ldab);
+    let mut b = expand(bb, kb, ldbb);
+    let info = sygv(GvItype::AxLBx, want_z, uplo, n, &mut a, n.max(1), &mut b, n.max(1), w);
+    if info != 0 {
+        return info;
+    }
+    if want_z {
+        if let Some((zm, ldz)) = z {
+            crate::aux::lacpy(None, n, n, &a, n.max(1), zm, ldz);
+        }
+    }
+    0
+}
+
+/// Generalized nonsymmetric eigenvalues for a *regular* pencil
+/// `(A, B)` with well-conditioned `B` (the `gegv` substitute documented
+/// in DESIGN.md): computes the eigenvalues of `B⁻¹·A` and reports them as
+/// `(alpha, beta) = (λ, 1)`. Returns `info` from the inner solves.
+#[allow(clippy::type_complexity)]
+pub fn gegv_regular_real<R: RealScalar>(
+    n: usize,
+    a: &mut [R],
+    lda: usize,
+    b: &mut [R],
+    ldb: usize,
+) -> (i32, Vec<R>, Vec<R>, Vec<R>) {
+    // C := B⁻¹ A via LU solve.
+    let mut ipiv = vec![0i32; n];
+    let info = crate::lu::getrf(n, n, b, ldb, &mut ipiv);
+    if info != 0 {
+        return (info, vec![], vec![], vec![]);
+    }
+    crate::lu::getrs(Trans::No, n, n, b, ldb, &ipiv, a, lda);
+    let (info, res) = crate::eig_real::geev(false, false, n, a, lda);
+    let beta = vec![R::one(); n];
+    (info, res.wr, res.wi, beta)
+}
+
+/// Complex variant of [`gegv_regular_real`].
+#[allow(clippy::type_complexity)]
+pub fn gegv_regular_cplx<R: RealScalar>(
+    n: usize,
+    a: &mut [Complex<R>],
+    lda: usize,
+    b: &mut [Complex<R>],
+    ldb: usize,
+) -> (i32, Vec<Complex<R>>, Vec<Complex<R>>) {
+    let mut ipiv = vec![0i32; n];
+    let info = crate::lu::getrf(n, n, b, ldb, &mut ipiv);
+    if info != 0 {
+        return (info, vec![], vec![]);
+    }
+    crate::lu::getrs(Trans::No, n, n, b, ldb, &ipiv, a, lda);
+    let (info, res) = crate::eig_cplx::geev_cplx(false, false, n, a, lda);
+    let beta = vec![Complex::one(); n];
+    (info, res.w, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::C64;
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((self.0 >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    fn rand_herm(n: usize, seed: u64) -> Vec<C64> {
+        let mut r = Rng(seed);
+        let mut a = vec![C64::zero(); n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                let v = if i == j {
+                    C64::from_real(r.next())
+                } else {
+                    C64::new(r.next(), r.next())
+                };
+                a[i + j * n] = v;
+                a[j + i * n] = v.conj();
+            }
+        }
+        a
+    }
+
+    fn rand_hpd(n: usize, seed: u64) -> Vec<C64> {
+        let g = rand_herm(n, seed);
+        let mut b = vec![C64::zero(); n * n];
+        la_blas::gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &g, n, &g, n, C64::zero(), &mut b, n);
+        for i in 0..n {
+            b[i + i * n] += C64::from_real(n as f64);
+        }
+        b
+    }
+
+    #[test]
+    fn sygv_solves_pencil_all_itypes() {
+        let n = 8;
+        let a0 = rand_herm(n, 3);
+        let b0 = rand_hpd(n, 7);
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            for itype in [GvItype::AxLBx, GvItype::ABxLx, GvItype::BAxLx] {
+                let mut a = a0.clone();
+                let mut b = b0.clone();
+                let mut w = vec![0.0; n];
+                let info = sygv(itype, true, uplo, n, &mut a, n, &mut b, n, &mut w);
+                assert_eq!(info, 0, "{itype:?} {uplo:?}");
+                for i in 1..n {
+                    assert!(w[i] >= w[i - 1]);
+                }
+                // Residual per eigenpair.
+                for j in 0..n {
+                    let x = &a[j * n..j * n + n];
+                    let mut ax = vec![C64::zero(); n];
+                    let mut bx = vec![C64::zero(); n];
+                    la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, x, 1, C64::zero(), &mut ax, 1);
+                    la_blas::gemv(Trans::No, n, n, C64::one(), &b0, n, x, 1, C64::zero(), &mut bx, 1);
+                    let mut res: f64 = 0.0;
+                    for i in 0..n {
+                        let lhs = match itype {
+                            GvItype::AxLBx => ax[i] - bx[i].scale(w[j]),
+                            GvItype::ABxLx => {
+                                // A·B·x = λ·x: check with y = B x.
+                                let mut aby = vec![C64::zero(); n];
+                                la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &bx, 1, C64::zero(), &mut aby, 1);
+                                aby[i] - x[i].scale(w[j])
+                            }
+                            GvItype::BAxLx => {
+                                let mut bay = vec![C64::zero(); n];
+                                la_blas::gemv(Trans::No, n, n, C64::one(), &b0, n, &ax, 1, C64::zero(), &mut bay, 1);
+                                bay[i] - x[i].scale(w[j])
+                            }
+                        };
+                        res = res.max(lhs.abs());
+                    }
+                    assert!(res < 1e-8 * (n as f64), "{itype:?} {uplo:?} pair {j}: {res}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sygv_detects_indefinite_b() {
+        let n = 3;
+        let mut a = rand_herm(n, 1);
+        // B with a negative eigenvalue.
+        let mut b = vec![C64::zero(); n * n];
+        b[0] = C64::from_real(1.0);
+        b[1 + n] = C64::from_real(-1.0);
+        b[2 + 2 * n] = C64::from_real(1.0);
+        let mut w = vec![0.0; n];
+        let info = sygv(GvItype::AxLBx, false, Uplo::Upper, n, &mut a, n, &mut b, n, &mut w);
+        assert_eq!(info, (n + 2) as i32);
+    }
+
+    #[test]
+    fn spgv_matches_sygv() {
+        let n = 7;
+        let a0 = rand_herm(n, 11);
+        let b0 = rand_hpd(n, 13);
+        let mut aref = a0.clone();
+        let mut bref = b0.clone();
+        let mut wref = vec![0.0; n];
+        assert_eq!(
+            sygv(GvItype::AxLBx, false, Uplo::Upper, n, &mut aref, n, &mut bref, n, &mut wref),
+            0
+        );
+        // Pack.
+        let mut ap = vec![C64::zero(); n * (n + 1) / 2];
+        let mut bp = vec![C64::zero(); n * (n + 1) / 2];
+        let mut k = 0;
+        for j in 0..n {
+            for i in 0..=j {
+                ap[k] = a0[i + j * n];
+                bp[k] = b0[i + j * n];
+                k += 1;
+            }
+        }
+        let mut w = vec![0.0; n];
+        let mut z = vec![C64::zero(); n * n];
+        assert_eq!(
+            spgv(GvItype::AxLBx, true, Uplo::Upper, n, &mut ap, &mut bp, &mut w, Some((&mut z, n))),
+            0
+        );
+        for i in 0..n {
+            assert!((w[i] - wref[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sbgv_band_pencil() {
+        let n = 10;
+        let (ka, kb) = (2usize, 1usize);
+        // Band Hermitian A, band HPD B.
+        let mut r = Rng(17);
+        let mut a0 = vec![C64::zero(); n * n];
+        let mut b0 = vec![C64::zero(); n * n];
+        for j in 0..n {
+            for i in j.saturating_sub(ka)..=j {
+                let v = if i == j {
+                    C64::from_real(r.next())
+                } else {
+                    C64::new(r.next(), r.next())
+                };
+                a0[i + j * n] = v;
+                a0[j + i * n] = v.conj();
+            }
+            for i in j.saturating_sub(kb)..=j {
+                let v = if i == j {
+                    C64::from_real(4.0 + r.next())
+                } else {
+                    C64::new(r.next() * 0.3, r.next() * 0.3)
+                };
+                b0[i + j * n] = v;
+                b0[j + i * n] = v.conj();
+            }
+        }
+        // Band storage (upper).
+        let (ldab, ldbb) = (ka + 1, kb + 1);
+        let mut ab = vec![C64::zero(); ldab * n];
+        let mut bb = vec![C64::zero(); ldbb * n];
+        for j in 0..n {
+            for i in j.saturating_sub(ka)..=j {
+                ab[ka + i - j + j * ldab] = a0[i + j * n];
+            }
+            for i in j.saturating_sub(kb)..=j {
+                bb[kb + i - j + j * ldbb] = b0[i + j * n];
+            }
+        }
+        let mut w = vec![0.0; n];
+        let mut z = vec![C64::zero(); n * n];
+        assert_eq!(
+            sbgv(true, Uplo::Upper, n, ka, kb, &ab, ldab, &bb, ldbb, &mut w, Some((&mut z, n))),
+            0
+        );
+        for j in 0..n {
+            let x = &z[j * n..j * n + n];
+            let mut ax = vec![C64::zero(); n];
+            let mut bx = vec![C64::zero(); n];
+            la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, x, 1, C64::zero(), &mut ax, 1);
+            la_blas::gemv(Trans::No, n, n, C64::one(), &b0, n, x, 1, C64::zero(), &mut bx, 1);
+            for i in 0..n {
+                assert!((ax[i] - bx[i].scale(w[j])).abs() < 1e-9 * n as f64, "pair {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn gegv_regular_matches_direct() {
+        let n = 6;
+        let mut r = Rng(23);
+        let a0: Vec<f64> = (0..n * n).map(|_| r.next()).collect();
+        // Well-conditioned B: diagonally dominant.
+        let mut b0: Vec<f64> = (0..n * n).map(|_| r.next() * 0.1).collect();
+        for i in 0..n {
+            b0[i + i * n] += 3.0;
+        }
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let (info, wr, wi, beta) = gegv_regular_real(n, &mut a, n, &mut b, n);
+        assert_eq!(info, 0);
+        assert_eq!(beta.len(), n);
+        // Verify det(A − λB) ≈ 0 via smallest singular value for a real λ.
+        for j in 0..n {
+            if wi[j] != 0.0 {
+                continue;
+            }
+            let mut pencil: Vec<f64> = (0..n * n).map(|k| a0[k] - wr[j] * b0[k]).collect();
+            let (s, _, _, sinfo) = crate::svd::gesvd(false, false, n, n, &mut pencil, n);
+            assert_eq!(sinfo, 0);
+            assert!(
+                s[n - 1] < 1e-9 * s[0].max(1.0),
+                "σ_min(A − λ_{j} B) = {}",
+                s[n - 1]
+            );
+        }
+    }
+}

@@ -1,0 +1,1003 @@
+//! LU factorization and the general linear-equation drivers:
+//! `getf2`, `getrf` (blocked), `getrs`, `getri`, `gecon`, `geequ`,
+//! `laqge`, `gerfs`, `gesv`, `gesvx`.
+//!
+//! All routines keep LAPACK's Fortran calling conventions (dimensions,
+//! leading dimensions, 1-based `ipiv`, `info` return) so the `la90` layer
+//! can wrap them exactly as the paper's `SGESV_F90` wraps `SGESV`.
+
+use la_blas::{gemm, gemv, iamax, scal, trsm, trsv};
+use la_core::{Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
+
+use crate::aux::{ilaenv_crossover, ilaenv_nb, lacon, lange, laswp};
+
+/// Unblocked LU factorization with partial pivoting (`xGETF2`).
+///
+/// On exit `A = P·L·U` with unit-diagonal `L` below and `U` on/above the
+/// diagonal; `ipiv` is 1-based. Returns `info` (LAPACK convention:
+/// `> 0` if `U(i,i)` is exactly zero).
+pub fn getf2<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
+    let mut info = 0i32;
+    for j in 0..m.min(n) {
+        // Pivot: largest |.| in column j at or below the diagonal.
+        let p = j + iamax(m - j, &a[j + j * lda..], 1);
+        ipiv[j] = (p + 1) as i32;
+        if !a[p + j * lda].is_zero() {
+            if p != j {
+                // Swap full rows j and p.
+                for k in 0..n {
+                    a.swap(j + k * lda, p + k * lda);
+                }
+            }
+            // Scale the multipliers.
+            if j + 1 < m {
+                let inv = a[j + j * lda].recip();
+                scal(m - j - 1, inv, &mut a[j + 1 + j * lda..], 1);
+            }
+        } else if info == 0 {
+            info = (j + 1) as i32;
+        }
+        // Trailing update: A(j+1.., j+1..) -= A(j+1.., j) * A(j, j+1..).
+        if j + 1 < m.min(n) || (j + 1 < m && j + 1 < n) {
+            let (col, rest) = {
+                // Split the buffer so the pivot column and trailing matrix
+                // can be borrowed disjointly: the trailing matrix starts at
+                // column j+1.
+                let split = (j + 1) * lda;
+                let (head, tail) = a.split_at_mut(split);
+                (&head[j + 1 + j * lda..j + 1 + j * lda + (m - j - 1)], tail)
+            };
+            if j + 1 < n {
+                // Row j of the trailing columns lives in `rest` at offset j.
+                // A(j+1:m, j+1:n) -= col * A(j, j+1:n)
+                let ncols = n - j - 1;
+                // Gather the row multipliers first (they live in `rest`).
+                for k in 0..ncols {
+                    let ajk = rest[j + k * lda];
+                    if !ajk.is_zero() {
+                        for i in 0..m - j - 1 {
+                            let upd = col[i] * ajk;
+                            rest[j + 1 + i + k * lda] -= upd;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    info
+}
+
+/// Blocked right-looking LU factorization with partial pivoting
+/// (`xGETRF`). Same contract as [`getf2`].
+pub fn getrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
+    let mn = m.min(n);
+    if mn == 0 {
+        return 0;
+    }
+    let nb = ilaenv_nb("getrf");
+    if mn <= ilaenv_crossover("getrf").min(nb * 2) || nb >= mn {
+        return getf2(m, n, a, lda, ipiv);
+    }
+    let mut info = 0i32;
+    let mut j = 0;
+    while j < mn {
+        let jb = nb.min(mn - j);
+        // Factor the panel A(j:m, j:j+jb).
+        let panel_info = {
+            let panel = &mut a[j + j * lda..];
+            getf2_panel(m - j, jb, panel, lda, &mut ipiv[j..j + jb])
+        };
+        if panel_info > 0 && info == 0 {
+            info = panel_info + j as i32;
+        }
+        // Adjust pivot indices to the global row numbering.
+        for k in j..j + jb {
+            ipiv[k] += j as i32;
+        }
+        // Apply interchanges to the columns left of the panel...
+        laswp(j, a, lda, j, j + jb, ipiv);
+        if j + jb < n {
+            // ...and to the right of it.
+            let right = &mut a[(j + jb) * lda..];
+            laswp(n - j - jb, right, lda, j, j + jb, ipiv);
+            // U block row: solve L11 * U12 = A12.
+            {
+                let (left, right) = a.split_at_mut((j + jb) * lda);
+                let l11 = &left[j + j * lda..];
+                trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::No,
+                    Diag::Unit,
+                    jb,
+                    n - j - jb,
+                    T::one(),
+                    l11,
+                    lda,
+                    &mut right[j..],
+                    lda,
+                );
+            }
+            // Trailing update: A22 -= L21 * U12.
+            if j + jb < m {
+                let (left, right) = a.split_at_mut((j + jb) * lda);
+                let l21 = &left[j + jb + j * lda..];
+                let ld = lda;
+                // U12 is right[j..] rows j..j+jb; A22 is right[j+jb..].
+                // They overlap within `right`, so copy U12's row block is
+                // unnecessary: gemm reads U12 (rows j..j+jb) and writes A22
+                // (rows j+jb..); disjoint row ranges of the same columns.
+                // Split manually by raw indexing through a helper buffer-free
+                // approach: safe split is per-column, so use pointers via
+                // split_at_mut on each column is costly. Instead copy U12.
+                let ncols = n - j - jb;
+                let mut u12 = vec![T::zero(); jb * ncols];
+                for c in 0..ncols {
+                    for r in 0..jb {
+                        u12[r + c * jb] = right[j + r + c * ld];
+                    }
+                }
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    m - j - jb,
+                    ncols,
+                    jb,
+                    -T::one(),
+                    l21,
+                    ld,
+                    &u12,
+                    jb,
+                    T::one(),
+                    &mut right[j + jb..],
+                    ld,
+                );
+            }
+        }
+        j += jb;
+    }
+    info
+}
+
+/// Panel factorization used by [`getrf`] — identical to [`getf2`] but the
+/// row swaps span only the panel's own columns (the caller swaps the
+/// rest via `laswp`).
+fn getf2_panel<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
+    getf2(m, n, a, lda, ipiv)
+}
+
+/// Solves `op(A)·X = B` using the LU factorization from [`getrf`]
+/// (`xGETRS`).
+pub fn getrs<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    ipiv: &[i32],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
+    if n == 0 || nrhs == 0 {
+        return 0;
+    }
+    match trans {
+        Trans::No => {
+            // B := P B; L y = B; U x = y.
+            laswp(nrhs, b, ldb, 0, n, ipiv);
+            trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, n, nrhs, T::one(), a, lda, b, ldb);
+            trsm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
+        }
+        _ => {
+            // op(A) = Aᵀ or Aᴴ: Uᵀ y = B; Lᵀ x = y; B := Pᵀ x.
+            trsm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
+            trsm(Side::Left, Uplo::Lower, trans, Diag::Unit, n, nrhs, T::one(), a, lda, b, ldb);
+            crate::aux::laswp_rev(nrhs, b, ldb, 0, n, ipiv);
+        }
+    }
+    0
+}
+
+/// Computes the inverse from the LU factorization (`xGETRI`).
+pub fn getri<T: Scalar>(n: usize, a: &mut [T], lda: usize, ipiv: &[i32]) -> i32 {
+    // Check for singular U first, as LAPACK does.
+    for i in 0..n {
+        if a[i + i * lda].is_zero() {
+            return (i + 1) as i32;
+        }
+    }
+    if n == 0 {
+        return 0;
+    }
+    // Invert U in place.
+    for j in 0..n {
+        let ajj = a[j + j * lda].recip();
+        a[j + j * lda] = ajj;
+        if j > 0 {
+            // Column j of inv(U): solve with the already-inverted leading
+            // block: a(0..j, j) := -ajj * U(0..j,0..j)^{-1} a(0..j, j).
+            // Since U(0..j,0..j) has already been inverted, multiply.
+            let (head, tail) = a.split_at_mut(j * lda);
+            let col = &mut tail[..j];
+            la_blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit, j, head, lda, col, 1);
+            scal(j, -ajj, col, 1);
+        }
+    }
+    // Solve inv(A)·L = inv(U): sweep columns right-to-left.
+    let mut work = vec![T::zero(); n];
+    for j in (0..n).rev() {
+        // Save the subdiagonal of L column j and zero it.
+        for i in j + 1..n {
+            work[i] = a[i + j * lda];
+            a[i + j * lda] = T::zero();
+        }
+        if j + 1 < n {
+            // a(:, j) -= A(:, j+1..n) * work(j+1..n)
+            let ncols = n - j - 1;
+            let mut upd = vec![T::zero(); n];
+            gemv(
+                Trans::No,
+                n,
+                ncols,
+                T::one(),
+                &a[(j + 1) * lda..],
+                lda,
+                &work[j + 1..],
+                1,
+                T::zero(),
+                &mut upd,
+                1,
+            );
+            for i in 0..n {
+                let u = upd[i];
+                a[i + j * lda] -= u;
+            }
+        }
+    }
+    // Apply column interchanges: columns j and ipiv(j) swapped, j from
+    // right to left.
+    for j in (0..n).rev() {
+        let p = (ipiv[j] - 1) as usize;
+        if p != j {
+            for i in 0..n {
+                a.swap(i + j * lda, i + p * lda);
+            }
+        }
+    }
+    0
+}
+
+/// Estimates the reciprocal condition number from the LU factorization
+/// (`xGECON`). `anorm` is the norm of the *original* matrix in the chosen
+/// norm (`One` or `Inf`).
+pub fn gecon<T: Scalar>(
+    norm: Norm,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    ipiv: &[i32],
+    anorm: T::Real,
+) -> T::Real {
+    if n == 0 {
+        return T::Real::one();
+    }
+    if anorm.is_zero() {
+        return T::Real::zero();
+    }
+    // Estimate ||A^{-1}|| in the requested norm with Higham's estimator.
+    // For the ∞-norm, estimate the 1-norm of A^{-H} instead.
+    let want_inf = norm == Norm::Inf;
+    let ainvnm = lacon::<T>(n, |x, conj_t| {
+        let solve_trans = conj_t != want_inf;
+        let tr = if solve_trans { Trans::ConjTrans } else { Trans::No };
+        getrs(tr, n, 1, a, lda, ipiv, x, n.max(1));
+    });
+    if ainvnm.is_zero() {
+        T::Real::zero()
+    } else {
+        (T::Real::one() / ainvnm) / anorm
+    }
+}
+
+/// How a system was equilibrated (`EQUED` of the expert drivers).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Equed {
+    /// No equilibration.
+    #[default]
+    None,
+    /// Row scaling only.
+    Row,
+    /// Column scaling only.
+    Col,
+    /// Both row and column scaling.
+    Both,
+}
+
+/// Computes row and column scalings to equilibrate a matrix (`xGEEQU`).
+///
+/// Returns `(rowcnd, colcnd, amax, info)`; `r`/`c` receive the scale
+/// factors.
+pub fn geequ<T: Scalar>(
+    m: usize,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    r: &mut [T::Real],
+    c: &mut [T::Real],
+) -> (T::Real, T::Real, T::Real, i32) {
+    let one = T::Real::one();
+    let zero = T::Real::zero();
+    if m == 0 || n == 0 {
+        return (one, one, zero, 0);
+    }
+    let smlnum = T::Real::sfmin();
+    let bignum = one / smlnum;
+    // Row scale factors: 1 / max_j |a_ij|.
+    for ri in r.iter_mut().take(m) {
+        *ri = zero;
+    }
+    for j in 0..n {
+        for i in 0..m {
+            r[i] = r[i].maxr(a[i + j * lda].abs());
+        }
+    }
+    let mut rcmin = bignum;
+    let mut rcmax = zero;
+    for &ri in r.iter().take(m) {
+        rcmax = rcmax.maxr(ri);
+        rcmin = rcmin.minr(ri);
+    }
+    let amax = rcmax;
+    if rcmin.is_zero() {
+        let bad = r.iter().take(m).position(|x| x.is_zero()).unwrap();
+        return (zero, zero, amax, (bad + 1) as i32);
+    }
+    for ri in r.iter_mut().take(m) {
+        *ri = one / (*ri).minr(bignum).maxr(smlnum);
+    }
+    let rowcnd = rcmin.maxr(smlnum).minr(bignum) / rcmax.minr(bignum).maxr(smlnum);
+    // Column scale factors on the row-scaled matrix.
+    for cj in c.iter_mut().take(n) {
+        *cj = zero;
+    }
+    for j in 0..n {
+        for i in 0..m {
+            c[j] = c[j].maxr(a[i + j * lda].abs() * r[i]);
+        }
+    }
+    let mut ccmin = bignum;
+    let mut ccmax = zero;
+    for &cj in c.iter().take(n) {
+        ccmax = ccmax.maxr(cj);
+        ccmin = ccmin.minr(cj);
+    }
+    if ccmin.is_zero() {
+        let bad = c.iter().take(n).position(|x| x.is_zero()).unwrap();
+        return (rowcnd, zero, amax, (m + bad + 1) as i32);
+    }
+    for cj in c.iter_mut().take(n) {
+        *cj = one / (*cj).minr(bignum).maxr(smlnum);
+    }
+    let colcnd = ccmin.maxr(smlnum).minr(bignum) / ccmax.minr(bignum).maxr(smlnum);
+    (rowcnd, colcnd, amax, 0)
+}
+
+/// Applies equilibration scalings to `A` when worthwhile (`xLAQGE`);
+/// returns how the matrix was actually scaled.
+pub fn laqge<T: Scalar>(
+    m: usize,
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+    r: &[T::Real],
+    c: &[T::Real],
+    rowcnd: T::Real,
+    colcnd: T::Real,
+    amax: T::Real,
+) -> Equed {
+    let thresh = T::Real::from_f64(0.1);
+    let small = T::Real::sfmin() / T::Real::EPS;
+    let large = T::Real::one() / small;
+    let row_bad = rowcnd < thresh || amax < small || amax > large;
+    let col_bad = colcnd < thresh;
+    match (row_bad, col_bad) {
+        (false, false) => Equed::None,
+        (false, true) => {
+            for j in 0..n {
+                for i in 0..m {
+                    a[i + j * lda] = a[i + j * lda].mul_real(c[j]);
+                }
+            }
+            Equed::Col
+        }
+        (true, false) => {
+            for j in 0..n {
+                for i in 0..m {
+                    a[i + j * lda] = a[i + j * lda].mul_real(r[i]);
+                }
+            }
+            Equed::Row
+        }
+        (true, true) => {
+            for j in 0..n {
+                for i in 0..m {
+                    a[i + j * lda] = a[i + j * lda].mul_real(r[i] * c[j]);
+                }
+            }
+            Equed::Both
+        }
+    }
+}
+
+/// Shared iterative-refinement + error-bound engine used by all the
+/// `*RFS` routines. `matvec(trans, x, y)` computes `y := op(A)·x`,
+/// `absmv(x, y)` computes `y := |A|·x`, `solve(trans, rhs)` solves with
+/// the factored matrix in place. Exposed so higher layers can assemble
+/// refinement for storage formats without a dedicated `xRFS` routine.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_generic<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    matvec: &dyn Fn(bool, &[T], &mut [T]),
+    absmv: &dyn Fn(&[T::Real], &mut [T::Real]),
+    solve: &dyn Fn(bool, &mut [T]),
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+    ferr: &mut [T::Real],
+    berr: &mut [T::Real],
+) {
+    let eps = T::Real::EPS;
+    let safmin = T::Real::sfmin();
+    let safe1 = T::Real::from_usize(n + 1) * safmin;
+    let itmax = 5;
+    let mut r = vec![T::zero(); n];
+    let mut xabs = vec![T::Real::zero(); n];
+    let mut s = vec![T::Real::zero(); n];
+    for j in 0..nrhs {
+        let bj = &b[j * ldb..j * ldb + n];
+        let mut lstres = T::Real::from_f64(3.0);
+        let mut berr_j;
+        let mut iter = 0;
+        loop {
+            // r := b - A x
+            let xj = &x[j * ldx..j * ldx + n];
+            matvec(false, xj, &mut r);
+            for i in 0..n {
+                r[i] = bj[i] - r[i];
+            }
+            // s := |A| |x| + |b|
+            for i in 0..n {
+                xabs[i] = xj[i].abs();
+            }
+            absmv(&xabs, &mut s);
+            for i in 0..n {
+                s[i] += bj[i].abs();
+            }
+            // Componentwise backward error.
+            berr_j = T::Real::zero();
+            for i in 0..n {
+                let denom = if s[i] > safe1 { s[i] } else { s[i] + safe1 };
+                berr_j = berr_j.maxr(r[i].abs() / denom);
+            }
+            // Keep iterating only while the backward error keeps halving
+            // (LAPACK's progress test; `>=` rather than `!(<)` so NaN stops
+            // the loop too).
+            if berr_j <= eps || iter >= itmax || berr_j >= lstres.div_real_half() {
+                break;
+            }
+            lstres = berr_j;
+            iter += 1;
+            // Solve A dx = r; x += dx.
+            solve(false, &mut r);
+            let xj = &mut x[j * ldx..j * ldx + n];
+            for i in 0..n {
+                let d = r[i];
+                xj[i] += d;
+            }
+        }
+        berr[j] = berr_j;
+
+        // Forward error bound: || |A^{-1}| ( |r| + (n+1) eps (|A||x|+|b|) ) ||
+        // estimated via Higham's estimator on A^{-1}·diag(w).
+        let xj = &x[j * ldx..j * ldx + n];
+        matvec(false, xj, &mut r);
+        for i in 0..n {
+            r[i] = bj[i] - r[i];
+        }
+        for i in 0..n {
+            xabs[i] = xj[i].abs();
+        }
+        absmv(&xabs, &mut s);
+        let nz = T::Real::from_usize(n + 1);
+        let mut w = vec![T::Real::zero(); n];
+        for i in 0..n {
+            let si = s[i] + bj[i].abs();
+            w[i] = r[i].abs() + nz * eps * si + if si > safe1 { T::Real::zero() } else { safe1 };
+        }
+        let est = lacon::<T>(n, |v, conj_t| {
+            if conj_t {
+                // v := (A^{-1} diag(w))^H v = diag(w) A^{-H} v
+                solve(true, v);
+                for i in 0..n {
+                    v[i] = v[i].mul_real(w[i]);
+                }
+            } else {
+                // v := A^{-1} (diag(w) v)
+                for i in 0..n {
+                    v[i] = v[i].mul_real(w[i]);
+                }
+                solve(false, v);
+            }
+        });
+        let xnorm = xj.iter().fold(T::Real::zero(), |m, v| m.maxr(v.abs()));
+        ferr[j] = if xnorm > T::Real::zero() {
+            (est / xnorm).minr(T::Real::one())
+        } else {
+            T::Real::zero()
+        };
+    }
+}
+
+/// Helper: `x/2` for real scalars without importing literals everywhere.
+trait Half {
+    fn div_real_half(self) -> Self;
+}
+impl<R: RealScalar> Half for R {
+    fn div_real_half(self) -> Self {
+        self / (R::one() + R::one())
+    }
+}
+
+/// Improves the solution of `A·X = B` by iterative refinement and returns
+/// forward/backward error bounds (`xGERFS`).
+#[allow(clippy::too_many_arguments)]
+pub fn gerfs<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    af: &[T],
+    ldaf: usize,
+    ipiv: &[i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+    ferr: &mut [T::Real],
+    berr: &mut [T::Real],
+) -> i32 {
+    let matvec = |conj_t: bool, v: &[T], y: &mut [T]| {
+        let tr = match (trans, conj_t) {
+            (Trans::No, false) => Trans::No,
+            (Trans::No, true) => Trans::ConjTrans,
+            (t, false) => t,
+            (_, true) => Trans::No,
+        };
+        y.fill(T::zero());
+        gemv(tr, n, n, T::one(), a, lda, v, 1, T::zero(), y, 1);
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        for yi in y.iter_mut() {
+            *yi = T::Real::zero();
+        }
+        // |op(A)| has the same row sums pattern as op(|A|).
+        for j in 0..n {
+            for i in 0..n {
+                let aij = if trans == Trans::No {
+                    a[i + j * lda].abs()
+                } else {
+                    a[j + i * lda].abs()
+                };
+                y[i] += aij * v[j];
+            }
+        }
+    };
+    let solve = |conj_t: bool, rhs: &mut [T]| {
+        let tr = match (trans, conj_t) {
+            (Trans::No, false) => Trans::No,
+            (Trans::No, true) => Trans::ConjTrans,
+            (t, false) => t,
+            (_, true) => Trans::No,
+        };
+        getrs(tr, n, 1, af, ldaf, ipiv, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, ferr, berr);
+    0
+}
+
+/// Simple driver: solves `A·X = B` by LU with partial pivoting (`xGESV`).
+/// `A` is overwritten by its factors, `B` by the solution.
+pub fn gesv<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &mut [T],
+    lda: usize,
+    ipiv: &mut [i32],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
+    let info = getrf(n, n, a, lda, ipiv);
+    if info != 0 {
+        return info;
+    }
+    getrs(Trans::No, n, nrhs, a, lda, ipiv, b, ldb)
+}
+
+/// Factorization mode of the expert drivers (`FACT`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Fact {
+    /// Factor the matrix (`'N'`).
+    #[default]
+    NotFactored,
+    /// `AF`/`ipiv` already contain the factorization (`'F'`).
+    Factored,
+    /// Equilibrate, then factor (`'E'`).
+    Equilibrate,
+}
+
+/// Outputs of [`gesvx`].
+#[derive(Clone, Debug, Default)]
+pub struct SvxResult<R> {
+    /// Reciprocal condition number estimate of the (equilibrated) matrix.
+    pub rcond: R,
+    /// Forward error bound per right-hand side.
+    pub ferr: Vec<R>,
+    /// Componentwise backward error per right-hand side.
+    pub berr: Vec<R>,
+    /// Reciprocal pivot growth factor (`RPVGRW`).
+    pub rpvgrw: R,
+    /// How the system was equilibrated.
+    pub equed: Equed,
+}
+
+/// Expert driver for general systems (`xGESVX`): optional equilibration,
+/// LU factorization, solution, iterative refinement, condition estimate
+/// and error bounds.
+///
+/// `a` is the input matrix (overwritten by the equilibrated matrix when
+/// equilibration is applied); `af`/`ipiv` receive (or provide, with
+/// [`Fact::Factored`]) the factorization; `x` receives the solution.
+/// Returns `(info, SvxResult)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gesvx<T: Scalar>(
+    fact: Fact,
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    a: &mut [T],
+    lda: usize,
+    af: &mut [T],
+    ldaf: usize,
+    ipiv: &mut [i32],
+    r: &mut [T::Real],
+    c: &mut [T::Real],
+    b: &mut [T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, SvxResult<T::Real>) {
+    let mut out = SvxResult {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+        rpvgrw: T::Real::zero(),
+        equed: Equed::None,
+    };
+    // Equilibrate if requested.
+    if fact == Fact::Equilibrate {
+        let (rowcnd, colcnd, amax, ieq) = geequ(n, n, a, lda, r, c);
+        if ieq == 0 {
+            out.equed = laqge(n, n, a, lda, r, c, rowcnd, colcnd, amax);
+        }
+    }
+    let row_scaled = matches!(out.equed, Equed::Row | Equed::Both);
+    let col_scaled = matches!(out.equed, Equed::Col | Equed::Both);
+    // Scale the right-hand sides.
+    for j in 0..nrhs {
+        let col = &mut b[j * ldb..j * ldb + n];
+        if trans == Trans::No {
+            if row_scaled {
+                for (i, v) in col.iter_mut().enumerate() {
+                    *v = v.mul_real(r[i]);
+                }
+            }
+        } else if col_scaled {
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = v.mul_real(c[i]);
+            }
+        }
+    }
+    // Factor (unless supplied).
+    if fact != Fact::Factored {
+        crate::aux::lacpy(None, n, n, a, lda, af, ldaf);
+        let info = getrf(n, n, af, ldaf, ipiv);
+        if info > 0 {
+            // Singular: compute pivot growth on the leading part, return.
+            out.rpvgrw = rpvgrw(n, info as usize, a, lda, af, ldaf);
+            return (info, out);
+        }
+    }
+    out.rpvgrw = rpvgrw(n, n, a, lda, af, ldaf);
+    // Condition estimate in the appropriate norm.
+    let norm = if trans == Trans::No { Norm::One } else { Norm::Inf };
+    let anorm = lange(norm, n, n, a, lda);
+    out.rcond = gecon(norm, n, af, ldaf, ipiv, anorm);
+    // Solve.
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    getrs(trans, n, nrhs, af, ldaf, ipiv, x, ldx);
+    // Refine.
+    gerfs(
+        trans, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, &mut out.ferr, &mut out.berr,
+    );
+    // Undo the solution scaling.
+    for j in 0..nrhs {
+        let col = &mut x[j * ldx..j * ldx + n];
+        if trans == Trans::No {
+            if col_scaled {
+                for (i, v) in col.iter_mut().enumerate() {
+                    *v = v.mul_real(c[i]);
+                }
+            }
+        } else if row_scaled {
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = v.mul_real(r[i]);
+            }
+        }
+    }
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Reciprocal pivot growth `max|a_ij| / max|u_ij|` over the leading
+/// `k` columns.
+fn rpvgrw<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, af: &[T], ldaf: usize) -> T::Real {
+    let amax = lange(Norm::Max, n, k, a, lda);
+    let umax = crate::aux::lantr(Norm::Max, Uplo::Upper, Diag::NonUnit, k, k, af, ldaf);
+    if umax.is_zero() || amax.is_zero() {
+        T::Real::one()
+    } else {
+        amax / umax
+    }
+}
+
+/// Solves a triangular system with scaling to prevent overflow — minimal
+/// `xLATRS` used where robustness matters more than speed. Falls back to
+/// [`trsv`] (sufficient for the well-scaled systems produced internally).
+pub fn latrs_basic<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    x: &mut [T],
+) {
+    trsv(uplo, trans, diag, n, a, lda, x, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::C64;
+
+    fn matvec_dense<T: Scalar>(n: usize, a: &[T], x: &[T]) -> Vec<T> {
+        let mut y = vec![T::zero(); n];
+        gemv(Trans::No, n, n, T::one(), a, n, x, 1, T::zero(), &mut y, 1);
+        y
+    }
+
+    #[test]
+    fn getrf_and_getrs_solve_small() {
+        // The Appendix E matrix.
+        #[rustfmt::skip]
+        let a0: Vec<f64> = vec![
+            0., 1., 7., 4., 5.,
+            2., 0., 6., 6., 9.,
+            3., 5., 8., 0., 0.,
+            5., 6., 0., 3., 0.,
+            4., 6., 5., 9., 8.,
+        ];
+        let n = 5;
+        let mut a = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        let info = getrf(n, n, &mut a, n, &mut ipiv);
+        assert_eq!(info, 0);
+        // The paper's Appendix E reports IPIV = (3,5,3,4,5).
+        assert_eq!(ipiv, vec![3, 5, 3, 4, 5]);
+        // Solve with b = row sums → x = ones.
+        let mut b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a0[i + j * n]).sum())
+            .collect();
+        getrs(Trans::No, n, 1, &a, n, &ipiv, &mut b, n);
+        for &xi in &b {
+            assert!((xi - 1.0).abs() < 1e-12, "x = {b:?}");
+        }
+    }
+
+    #[test]
+    fn getf2_reports_singularity() {
+        let mut a = vec![1.0f64, 2.0, 2.0, 4.0]; // rank 1
+        let mut ipiv = vec![0i32; 2];
+        let info = getf2(2, 2, &mut a, 2, &mut ipiv);
+        assert_eq!(info, 2);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        // n > crossover so getrf takes the blocked path.
+        let n = 200;
+        let mut rng = 1u64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a0: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a1 = a0.clone();
+        let mut p1 = vec![0i32; n];
+        assert_eq!(getrf(n, n, &mut a1, n, &mut p1), 0);
+        let mut a2 = a0.clone();
+        let mut p2 = vec![0i32; n];
+        assert_eq!(getf2(n, n, &mut a2, n, &mut p2), 0);
+        assert_eq!(p1, p2);
+        for k in 0..n * n {
+            assert!(
+                (a1[k] - a2[k]).abs() < 1e-9 * (1.0 + a2[k].abs()),
+                "mismatch at {k}: {} vs {}",
+                a1[k],
+                a2[k]
+            );
+        }
+    }
+
+    #[test]
+    fn getri_inverts() {
+        let n = 4;
+        let a0 = vec![
+            4.0f64, 1., 0., 0., 1., 4., 1., 0., 0., 1., 4., 1., 0., 0., 1., 4.,
+        ];
+        let mut a = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(getrf(n, n, &mut a, n, &mut ipiv), 0);
+        assert_eq!(getri(n, &mut a, n, &ipiv), 0);
+        // A * inv(A) = I.
+        let mut prod = vec![0.0f64; n * n];
+        gemm(Trans::No, Trans::No, n, n, n, 1.0, &a0, n, &a, n, 0.0, &mut prod, n);
+        for j in 0..n {
+            for i in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i + j * n] - want).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_solve_roundtrip() {
+        let n = 6;
+        let mut seed = 9u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a0: Vec<C64> = (0..n * n).map(|_| C64::new(next(), next())).collect();
+        let xtrue: Vec<C64> = (0..n).map(|_| C64::new(next(), next())).collect();
+        let b = matvec_dense(n, &a0, &xtrue);
+        let mut a = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        let mut x = b.clone();
+        assert_eq!(gesv(n, 1, &mut a, n, &mut ipiv, &mut x, n), 0);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gecon_sees_ill_conditioning() {
+        // Well conditioned: identity-ish.
+        let n = 8;
+        let mut a: Vec<f64> = vec![0.0; n * n];
+        for i in 0..n {
+            a[i + i * n] = 1.0;
+        }
+        let anorm = lange(Norm::One, n, n, &a, n);
+        let mut f = a.clone();
+        let mut ipiv = vec![0i32; n];
+        getrf(n, n, &mut f, n, &mut ipiv);
+        let rc = gecon(Norm::One, n, &f, n, &ipiv, anorm);
+        assert!(rc > 0.5, "identity rcond = {rc}");
+
+        // Ill conditioned: Hilbert-like.
+        let mut h: Vec<f64> = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                h[i + j * n] = 1.0 / (i + j + 1) as f64;
+            }
+        }
+        let anorm = lange(Norm::One, n, n, &h, n);
+        let mut f = h.clone();
+        getrf(n, n, &mut f, n, &mut ipiv);
+        let rc = gecon(Norm::One, n, &f, n, &ipiv, anorm);
+        assert!(rc < 1e-6, "hilbert rcond = {rc}");
+    }
+
+    #[test]
+    fn geequ_scales_badly_scaled_matrix() {
+        let n = 3;
+        // Rows of wildly different magnitude.
+        let a = vec![1e-8f64, 1.0, 1e8, 2e-8, 3.0, 2e8, 3e-8, 2.0, 1e8];
+        let mut r = vec![0.0; n];
+        let mut c = vec![0.0; n];
+        let (rowcnd, _colcnd, amax, info) = geequ(n, n, &a, n, &mut r, &mut c);
+        assert_eq!(info, 0);
+        assert!(rowcnd < 0.1);
+        assert!(amax > 1e7);
+        // After scaling, every row max should be ~1.
+        for i in 0..n {
+            let m = (0..n).map(|j| (a[i + j * n] * r[i]).abs()).fold(0.0, f64::max);
+            assert!((m - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gesvx_full_path() {
+        let n = 10;
+        let nrhs = 2;
+        let mut seed = 77u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a0: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let xtrue: Vec<f64> = (0..n * nrhs).map(|_| next()).collect();
+        let mut b = vec![0.0f64; n * nrhs];
+        gemm(Trans::No, Trans::No, n, nrhs, n, 1.0, &a0, n, &xtrue, n, 0.0, &mut b, n);
+
+        let mut a = a0.clone();
+        let mut af = vec![0.0f64; n * n];
+        let mut ipiv = vec![0i32; n];
+        let mut r = vec![0.0f64; n];
+        let mut c = vec![0.0f64; n];
+        let mut x = vec![0.0f64; n * nrhs];
+        let (info, res) = gesvx(
+            Fact::Equilibrate,
+            Trans::No,
+            n,
+            nrhs,
+            &mut a,
+            n,
+            &mut af,
+            n,
+            &mut ipiv,
+            &mut r,
+            &mut c,
+            &mut b,
+            n,
+            &mut x,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(res.rcond > 0.0 && res.rcond <= 1.0);
+        assert!(res.rpvgrw > 0.0);
+        for j in 0..nrhs {
+            assert!(res.berr[j] <= 1e-13, "berr = {:?}", res.berr);
+            assert!(res.ferr[j] < 1e-6, "ferr = {:?}", res.ferr);
+        }
+        for k in 0..n * nrhs {
+            assert!((x[k] - xtrue[k]).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,847 @@
+//! Expert drivers beyond `gesvx`/`posvx`: band (`gbsvx`), tridiagonal
+//! (`gtsvx`, `ptsvx`), symmetric indefinite (`sysvx`, packed `spsvx`),
+//! packed and band positive definite (`ppsvx`, `pbsvx`). Each follows the
+//! LAPACK expert-driver contract: factor (unless supplied), estimate the
+//! condition number, solve, refine, and return error bounds.
+
+use la_blas::{sbmv, spmv};
+use la_core::{RealScalar, Scalar, Trans, Uplo};
+
+use crate::aux::{lacon, lansp_one, lansy, langb_one, langt_one, lanst};
+use crate::band::{gbcon, gbrfs, gbtrf, gbtrs, gt_matvec, gtcon, gttrf, gttrs};
+use crate::chol::{pbtrf, pbtrs, ppcon, pptrf, pptrs, pttrf, pttrs};
+use crate::lu::{refine_generic, Fact};
+use crate::sym::{sptrf, sptrs, sycon, syrfs, sytrf, sytrs};
+
+/// Common expert-driver outputs.
+#[derive(Clone, Debug, Default)]
+pub struct XOut<R> {
+    /// Reciprocal condition number estimate.
+    pub rcond: R,
+    /// Forward error bound per right-hand side.
+    pub ferr: Vec<R>,
+    /// Componentwise backward error per right-hand side.
+    pub berr: Vec<R>,
+}
+
+/// Expert band driver (`xGBSVX`, without equilibration — `FACT='E'` is
+/// not offered; the general path covers the paper's call).
+/// `ab` holds the original band (diagonal at row `ku`), `afb` the
+/// factor-space band (`2kl+ku+1` rows). Returns `(info, out)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gbsvx<T: Scalar>(
+    fact: Fact,
+    trans: Trans,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    nrhs: usize,
+    ab: &[T],
+    ldab: usize,
+    afb: &mut [T],
+    ldafb: usize,
+    ipiv: &mut [i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        // Copy the band into factor space.
+        let kv = kl + ku;
+        for j in 0..n {
+            for r in 0..ldafb {
+                afb[r + j * ldafb] = T::zero();
+            }
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                afb[kv + i - j + j * ldafb] = ab[ku + i - j + j * ldab];
+            }
+        }
+        let info = gbtrf(n, n, kl, ku, afb, ldafb, ipiv);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    let anorm = langb_one(n, n, kl, ku, ab, ldab);
+    out.rcond = gbcon::<T>(n, kl, ku, afb, ldafb, ipiv, anorm);
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    gbtrs(trans, n, kl, ku, nrhs, afb, ldafb, ipiv, x, ldx);
+    gbrfs(
+        trans, n, kl, ku, nrhs, ab, ldab, afb, ldafb, ipiv, b, ldb, x, ldx, &mut out.ferr,
+        &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Expert tridiagonal driver (`xGTSVX`). The factor arrays
+/// (`dlf`, `df`, `duf`, `du2`, `ipiv`) are produced here unless
+/// `fact == Factored`.
+#[allow(clippy::too_many_arguments)]
+pub fn gtsvx<T: Scalar>(
+    fact: Fact,
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    dl: &[T],
+    d: &[T],
+    du: &[T],
+    dlf: &mut [T],
+    df: &mut [T],
+    duf: &mut [T],
+    du2: &mut [T],
+    ipiv: &mut [i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        dlf[..n.saturating_sub(1)].copy_from_slice(&dl[..n.saturating_sub(1)]);
+        df[..n].copy_from_slice(&d[..n]);
+        duf[..n.saturating_sub(1)].copy_from_slice(&du[..n.saturating_sub(1)]);
+        let info = gttrf(n, dlf, df, duf, du2, ipiv);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    let anorm = langt_one(n, dl, d, du);
+    out.rcond = gtcon::<T>(n, dlf, df, duf, du2, ipiv, anorm);
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    gttrs(trans, n, nrhs, dlf, df, duf, du2, ipiv, x, ldx);
+    // Refinement via the generic engine.
+    let matvec = |conj_t: bool, v: &[T], y: &mut [T]| {
+        let tr = match (trans, conj_t) {
+            (Trans::No, false) => Trans::No,
+            (Trans::No, true) => Trans::ConjTrans,
+            (t, false) => t,
+            (_, true) => Trans::No,
+        };
+        gt_matvec(tr, n, dl, d, du, v, y);
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        for i in 0..n {
+            let mut s = d[i].abs() * v[i];
+            match trans {
+                Trans::No => {
+                    if i > 0 {
+                        s += dl[i - 1].abs() * v[i - 1];
+                    }
+                    if i + 1 < n {
+                        s += du[i].abs() * v[i + 1];
+                    }
+                }
+                _ => {
+                    if i > 0 {
+                        s += du[i - 1].abs() * v[i - 1];
+                    }
+                    if i + 1 < n {
+                        s += dl[i].abs() * v[i + 1];
+                    }
+                }
+            }
+            y[i] = s;
+        }
+    };
+    let solve = |conj_t: bool, rhs: &mut [T]| {
+        let tr = match (trans, conj_t) {
+            (Trans::No, false) => Trans::No,
+            (Trans::No, true) => Trans::ConjTrans,
+            (t, false) => t,
+            (_, true) => Trans::No,
+        };
+        gttrs(tr, n, 1, dlf, df, duf, du2, ipiv, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Expert symmetric/Hermitian indefinite driver (`xSYSVX`/`xHESVX`).
+#[allow(clippy::too_many_arguments)]
+pub fn sysvx<T: Scalar>(
+    fact: Fact,
+    uplo: Uplo,
+    herm: bool,
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    af: &mut [T],
+    ldaf: usize,
+    ipiv: &mut [i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        crate::aux::lacpy(Some(uplo), n, n, a, lda, af, ldaf);
+        let info = sytrf(uplo, herm, n, af, ldaf, ipiv);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    let anorm = lansy(la_core::Norm::One, uplo, herm, n, a, lda);
+    out.rcond = sycon(uplo, herm, n, af, ldaf, ipiv, anorm);
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    sytrs(uplo, herm, n, nrhs, af, ldaf, ipiv, x, ldx);
+    syrfs(
+        uplo, herm, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, &mut out.ferr, &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Expert packed indefinite driver (`xSPSVX`/`xHPSVX`).
+#[allow(clippy::too_many_arguments)]
+pub fn spsvx<T: Scalar>(
+    fact: Fact,
+    uplo: Uplo,
+    herm: bool,
+    n: usize,
+    nrhs: usize,
+    ap: &[T],
+    afp: &mut [T],
+    ipiv: &mut [i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        afp[..ap.len()].copy_from_slice(ap);
+        let info = sptrf(uplo, herm, n, afp, ipiv);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    let anorm = lansp_one(uplo, n, ap);
+    // Condition estimate through the packed solve.
+    let ainv = lacon::<T>(n, |v, _| {
+        sptrs(uplo, herm, n, 1, afp, ipiv, v, n.max(1));
+    });
+    out.rcond = if ainv.is_zero() || anorm.is_zero() {
+        T::Real::zero()
+    } else {
+        (T::Real::one() / ainv) / anorm
+    };
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    sptrs(uplo, herm, n, nrhs, afp, ipiv, x, ldx);
+    let matvec = |_ct: bool, v: &[T], y: &mut [T]| {
+        y.fill(T::zero());
+        spmv(herm && T::IS_COMPLEX, uplo, n, T::one(), ap, v, 1, T::zero(), y, 1);
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        let idx = |i: usize, j: usize| -> usize {
+            match uplo {
+                Uplo::Upper => i + j * (j + 1) / 2,
+                Uplo::Lower => i + j * (2 * n - j - 1) / 2,
+            }
+        };
+        for yi in y.iter_mut() {
+            *yi = T::Real::zero();
+        }
+        for j in 0..n {
+            for i in 0..n {
+                let v_ij = match uplo {
+                    Uplo::Upper => {
+                        if i <= j {
+                            ap[idx(i, j)]
+                        } else {
+                            ap[idx(j, i)]
+                        }
+                    }
+                    Uplo::Lower => {
+                        if i >= j {
+                            ap[idx(i, j)]
+                        } else {
+                            ap[idx(j, i)]
+                        }
+                    }
+                };
+                y[i] += v_ij.abs() * v[j];
+            }
+        }
+    };
+    let solve = |_ct: bool, rhs: &mut [T]| {
+        sptrs(uplo, herm, n, 1, afp, ipiv, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Expert packed positive-definite driver (`xPPSVX`, without
+/// equilibration).
+#[allow(clippy::too_many_arguments)]
+pub fn ppsvx<T: Scalar>(
+    fact: Fact,
+    uplo: Uplo,
+    n: usize,
+    nrhs: usize,
+    ap: &[T],
+    afp: &mut [T],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        afp[..ap.len()].copy_from_slice(ap);
+        let info = pptrf(uplo, n, afp);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    let anorm = lansp_one(uplo, n, ap);
+    out.rcond = ppcon(uplo, n, afp, anorm);
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    pptrs(uplo, n, nrhs, afp, x, ldx);
+    let matvec = |_ct: bool, v: &[T], y: &mut [T]| {
+        y.fill(T::zero());
+        spmv(T::IS_COMPLEX, uplo, n, T::one(), ap, v, 1, T::zero(), y, 1);
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        let idx = |i: usize, j: usize| -> usize {
+            match uplo {
+                Uplo::Upper => i + j * (j + 1) / 2,
+                Uplo::Lower => i + j * (2 * n - j - 1) / 2,
+            }
+        };
+        for yi in y.iter_mut() {
+            *yi = T::Real::zero();
+        }
+        for j in 0..n {
+            for i in 0..n {
+                let v_ij = match uplo {
+                    Uplo::Upper => {
+                        if i <= j {
+                            ap[idx(i, j)]
+                        } else {
+                            ap[idx(j, i)]
+                        }
+                    }
+                    Uplo::Lower => {
+                        if i >= j {
+                            ap[idx(i, j)]
+                        } else {
+                            ap[idx(j, i)]
+                        }
+                    }
+                };
+                y[i] += v_ij.abs() * v[j];
+            }
+        }
+    };
+    let solve = |_ct: bool, rhs: &mut [T]| {
+        pptrs(uplo, n, 1, afp, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Expert band positive-definite driver (`xPBSVX`, without
+/// equilibration). `ab` is the original symmetric band; `afb` receives
+/// (or provides) the band Cholesky factor.
+#[allow(clippy::too_many_arguments)]
+pub fn pbsvx<T: Scalar>(
+    fact: Fact,
+    uplo: Uplo,
+    n: usize,
+    kd: usize,
+    nrhs: usize,
+    ab: &[T],
+    ldab: usize,
+    afb: &mut [T],
+    ldafb: usize,
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        for j in 0..n {
+            for r in 0..(kd + 1).min(ldafb) {
+                afb[r + j * ldafb] = ab[r + j * ldab];
+            }
+        }
+        let info = pbtrf(uplo, n, kd, afb, ldafb);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    // 1-norm of the symmetric band.
+    let at = |i: usize, j: usize| -> T {
+        match uplo {
+            Uplo::Upper => ab[kd + i - j + j * ldab],
+            Uplo::Lower => ab[i - j + j * ldab],
+        }
+    };
+    let mut anorm = T::Real::zero();
+    for j in 0..n {
+        let mut s = T::Real::zero();
+        for i in 0..n {
+            if i.abs_diff(j) <= kd {
+                let v = match uplo {
+                    Uplo::Upper => {
+                        if i <= j {
+                            at(i, j)
+                        } else {
+                            at(j, i)
+                        }
+                    }
+                    Uplo::Lower => {
+                        if i >= j {
+                            at(i, j)
+                        } else {
+                            at(j, i)
+                        }
+                    }
+                };
+                s += v.abs();
+            }
+        }
+        anorm = anorm.maxr(s);
+    }
+    let ainv = lacon::<T>(n, |v, _| {
+        pbtrs(uplo, n, kd, 1, afb, ldafb, v, n.max(1));
+    });
+    out.rcond = if ainv.is_zero() || anorm.is_zero() {
+        T::Real::zero()
+    } else {
+        (T::Real::one() / ainv) / anorm
+    };
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    pbtrs(uplo, n, kd, nrhs, afb, ldafb, x, ldx);
+    let matvec = |_ct: bool, v: &[T], y: &mut [T]| {
+        y.fill(T::zero());
+        sbmv(T::IS_COMPLEX, uplo, n, kd, T::one(), ab, ldab, v, 1, T::zero(), y, 1);
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        for yi in y.iter_mut() {
+            *yi = T::Real::zero();
+        }
+        for j in 0..n {
+            for i in 0..n {
+                if i.abs_diff(j) <= kd {
+                    let val = match uplo {
+                        Uplo::Upper => {
+                            if i <= j {
+                                at(i, j)
+                            } else {
+                                at(j, i)
+                            }
+                        }
+                        Uplo::Lower => {
+                            if i >= j {
+                                at(i, j)
+                            } else {
+                                at(j, i)
+                            }
+                        }
+                    };
+                    y[i] += val.abs() * v[j];
+                }
+            }
+        }
+    };
+    let solve = |_ct: bool, rhs: &mut [T]| {
+        pbtrs(uplo, n, kd, 1, afb, ldafb, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+/// Expert tridiagonal positive-definite driver (`xPTSVX`).
+#[allow(clippy::too_many_arguments)]
+pub fn ptsvx<T: Scalar>(
+    fact: Fact,
+    n: usize,
+    nrhs: usize,
+    d: &[T::Real],
+    e: &[T],
+    df: &mut [T::Real],
+    ef: &mut [T],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, XOut<T::Real>) {
+    let mut out = XOut {
+        rcond: T::Real::zero(),
+        ferr: vec![T::Real::zero(); nrhs],
+        berr: vec![T::Real::zero(); nrhs],
+    };
+    if fact != Fact::Factored {
+        df[..n].copy_from_slice(&d[..n]);
+        ef[..n.saturating_sub(1)].copy_from_slice(&e[..n.saturating_sub(1)]);
+        let info = pttrf::<T>(n, df, ef);
+        if info > 0 {
+            return (info, out);
+        }
+    }
+    // 1-norm of the Hermitian tridiagonal.
+    let eabs: Vec<T::Real> = e.iter().take(n.saturating_sub(1)).map(|v| v.abs()).collect();
+    let anorm = lanst(la_core::Norm::One, n, d, &eabs);
+    let ainv = lacon::<T>(n, |v, _| {
+        pttrs(n, 1, df, ef, v, n.max(1));
+    });
+    out.rcond = if ainv.is_zero() || anorm.is_zero() {
+        T::Real::zero()
+    } else {
+        (T::Real::one() / ainv) / anorm
+    };
+    crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
+    pttrs(n, nrhs, df, ef, x, ldx);
+    let matvec = |_ct: bool, v: &[T], y: &mut [T]| {
+        for i in 0..n {
+            let mut s = v[i].mul_real(d[i]);
+            if i > 0 {
+                s += e[i - 1] * v[i - 1];
+            }
+            if i + 1 < n {
+                s += e[i].conj() * v[i + 1];
+            }
+            y[i] = s;
+        }
+    };
+    let absmv = |v: &[T::Real], y: &mut [T::Real]| {
+        for i in 0..n {
+            let mut s = d[i].rabs() * v[i];
+            if i > 0 {
+                s += e[i - 1].abs() * v[i - 1];
+            }
+            if i + 1 < n {
+                s += e[i].abs() * v[i + 1];
+            }
+            y[i] = s;
+        }
+    };
+    let solve = |_ct: bool, rhs: &mut [T]| {
+        pttrs(n, 1, df, ef, rhs, n.max(1));
+    };
+    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
+    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    (info, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::C64;
+
+    #[test]
+    fn gbsvx_band_expert() {
+        let n = 10;
+        let (kl, ku) = (2usize, 1usize);
+        let mut dense = vec![0.0f64; n * n];
+        let mut seed = 3u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                dense[i + j * n] = next() + if i == j { 5.0 } else { 0.0 };
+            }
+        }
+        let ldab = kl + ku + 1;
+        let mut ab = vec![0.0f64; ldab * n];
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                ab[ku + i - j + j * ldab] = dense[i + j * n];
+            }
+        }
+        let xtrue: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let mut b = vec![0.0f64; n];
+        la_blas::gemv(Trans::No, n, n, 1.0, &dense, n, &xtrue, 1, 0.0, &mut b, 1);
+        let ldafb = 2 * kl + ku + 1;
+        let mut afb = vec![0.0f64; ldafb * n];
+        let mut ipiv = vec![0i32; n];
+        let mut x = vec![0.0f64; n];
+        let (info, out) = gbsvx(
+            Fact::NotFactored,
+            Trans::No,
+            n,
+            kl,
+            ku,
+            1,
+            &ab,
+            ldab,
+            &mut afb,
+            ldafb,
+            &mut ipiv,
+            &b,
+            n,
+            &mut x,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(out.rcond > 0.01);
+        assert!(out.berr[0] < 1e-13);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gtsvx_and_ptsvx() {
+        let n = 12;
+        let dl: Vec<C64> = (0..n - 1).map(|i| C64::new(0.5, 0.1 * i as f64)).collect();
+        let d: Vec<C64> = (0..n).map(|_| C64::new(4.0, 0.0)).collect();
+        let du: Vec<C64> = (0..n - 1).map(|i| C64::new(-0.3, 0.2 * (i % 2) as f64)).collect();
+        let xtrue: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 1.0)).collect();
+        let mut b = vec![C64::zero(); n];
+        gt_matvec(Trans::No, n, &dl, &d, &du, &xtrue, &mut b);
+        let mut dlf = vec![C64::zero(); n - 1];
+        let mut df = vec![C64::zero(); n];
+        let mut duf = vec![C64::zero(); n - 1];
+        let mut du2 = vec![C64::zero(); n - 2];
+        let mut ipiv = vec![0i32; n];
+        let mut x = vec![C64::zero(); n];
+        let (info, out) = gtsvx(
+            Fact::NotFactored,
+            Trans::No,
+            n,
+            1,
+            &dl,
+            &d,
+            &du,
+            &mut dlf,
+            &mut df,
+            &mut duf,
+            &mut du2,
+            &mut ipiv,
+            &b,
+            n,
+            &mut x,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(out.rcond > 0.05, "rcond = {}", out.rcond);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+
+        // SPD tridiagonal.
+        let dr: Vec<f64> = vec![3.0; n];
+        let er: Vec<C64> = (0..n - 1).map(|i| C64::new(0.4, -0.2 * (i % 3) as f64)).collect();
+        let mut bb = vec![C64::zero(); n];
+        for i in 0..n {
+            let mut s = xtrue[i].scale(dr[i]);
+            if i > 0 {
+                s += er[i - 1] * xtrue[i - 1];
+            }
+            if i + 1 < n {
+                s += er[i].conj() * xtrue[i + 1];
+            }
+            bb[i] = s;
+        }
+        let mut dfr = vec![0.0f64; n];
+        let mut efr = vec![C64::zero(); n - 1];
+        let mut x2 = vec![C64::zero(); n];
+        let (info, out) = ptsvx(
+            Fact::NotFactored,
+            n,
+            1,
+            &dr,
+            &er,
+            &mut dfr,
+            &mut efr,
+            &bb,
+            n,
+            &mut x2,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(out.rcond > 0.1);
+        for i in 0..n {
+            assert!((x2[i] - xtrue[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sysvx_and_spsvx() {
+        let n = 9;
+        let mut seed = 5u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = vec![C64::zero(); n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                let v = if i == j {
+                    C64::from_real(next())
+                } else {
+                    C64::new(next(), next())
+                };
+                a[i + j * n] = v;
+                a[j + i * n] = v.conj();
+            }
+        }
+        let xtrue: Vec<C64> = (0..n).map(|i| C64::new(1.0, -(i as f64))).collect();
+        let mut b = vec![C64::zero(); n];
+        la_blas::gemv(Trans::No, n, n, C64::one(), &a, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        let mut af = vec![C64::zero(); n * n];
+        let mut ipiv = vec![0i32; n];
+        let mut x = vec![C64::zero(); n];
+        let (info, out) = sysvx(
+            Fact::NotFactored,
+            Uplo::Lower,
+            true,
+            n,
+            1,
+            &a,
+            n,
+            &mut af,
+            n,
+            &mut ipiv,
+            &b,
+            n,
+            &mut x,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(out.rcond > 0.0);
+        assert!(out.berr[0] < 1e-12);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-9);
+        }
+        // Packed variant.
+        let mut ap = vec![C64::zero(); n * (n + 1) / 2];
+        let mut k = 0;
+        for j in 0..n {
+            for i in 0..=j {
+                ap[k] = a[i + j * n];
+                k += 1;
+            }
+        }
+        let mut afp = vec![C64::zero(); n * (n + 1) / 2];
+        let mut ipiv = vec![0i32; n];
+        let mut x = vec![C64::zero(); n];
+        let (info, out) = spsvx(
+            Fact::NotFactored,
+            Uplo::Upper,
+            true,
+            n,
+            1,
+            &ap,
+            &mut afp,
+            &mut ipiv,
+            &b,
+            n,
+            &mut x,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(out.berr[0] < 1e-12);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ppsvx_and_pbsvx() {
+        let n = 8;
+        // SPD dense, banded with kd = 2.
+        let kd = 2;
+        let mut dense = vec![C64::zero(); n * n];
+        for i in 0..n {
+            dense[i + i * n] = C64::from_real(5.0);
+            if i + 1 < n {
+                dense[i + (i + 1) * n] = C64::new(1.0, 0.5);
+                dense[i + 1 + i * n] = C64::new(1.0, -0.5);
+            }
+            if i + 2 < n {
+                dense[i + (i + 2) * n] = C64::new(0.3, -0.1);
+                dense[i + 2 + i * n] = C64::new(0.3, 0.1);
+            }
+        }
+        let xtrue: Vec<C64> = (0..n).map(|i| C64::new(0.5 * i as f64, 1.0)).collect();
+        let mut b = vec![C64::zero(); n];
+        la_blas::gemv(Trans::No, n, n, C64::one(), &dense, n, &xtrue, 1, C64::zero(), &mut b, 1);
+
+        // Packed.
+        let mut ap = vec![C64::zero(); n * (n + 1) / 2];
+        let mut k = 0;
+        for j in 0..n {
+            for i in 0..=j {
+                ap[k] = dense[i + j * n];
+                k += 1;
+            }
+        }
+        let mut afp = vec![C64::zero(); n * (n + 1) / 2];
+        let mut x = vec![C64::zero(); n];
+        let (info, out) = ppsvx(Fact::NotFactored, Uplo::Upper, n, 1, &ap, &mut afp, &b, n, &mut x, n);
+        assert_eq!(info, 0);
+        assert!(out.rcond > 0.05);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+
+        // Band.
+        let ldab = kd + 1;
+        let mut ab = vec![C64::zero(); ldab * n];
+        for j in 0..n {
+            for i in j.saturating_sub(kd)..=j {
+                ab[kd + i - j + j * ldab] = dense[i + j * n];
+            }
+        }
+        let mut afb = vec![C64::zero(); ldab * n];
+        let mut x = vec![C64::zero(); n];
+        let (info, out) = pbsvx(
+            Fact::NotFactored,
+            Uplo::Upper,
+            n,
+            kd,
+            1,
+            &ab,
+            ldab,
+            &mut afb,
+            ldab,
+            &b,
+            n,
+            &mut x,
+            n,
+        );
+        assert_eq!(info, 0);
+        assert!(out.rcond > 0.05);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-10);
+        }
+    }
+}

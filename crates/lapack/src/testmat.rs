@@ -1,0 +1,330 @@
+//! Test-matrix generators — the `xLARNV`/`xLAROR`/`xLAGGE`/`xLATMS`
+//! family the paper lists under "Matrix Manipulation Routines" and that
+//! the Appendix-F test harness needs.
+//!
+//! The random stream is a self-contained splitmix64 generator so the
+//! matrices are reproducible across platforms without external crates.
+
+use la_blas::gemm;
+use la_core::{RealScalar, Scalar, Trans};
+
+use crate::qr::{geqr2, orgqr};
+
+/// Deterministic pseudo-random stream (`xLARNV`'s role). Distribution
+/// selection mirrors LAPACK: uniform (0,1), uniform (−1,1), or standard
+/// normal via Box–Muller.
+#[derive(Clone, Debug)]
+pub struct Larnv {
+    state: u64,
+}
+
+/// Distribution selector for [`Larnv`] (`IDIST`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Dist {
+    /// Uniform on (0, 1).
+    Uniform01,
+    /// Uniform on (−1, 1).
+    Uniform11,
+    /// Standard normal.
+    Normal,
+}
+
+impl Larnv {
+    /// Creates a stream from a seed (the analog of LAPACK's `ISEED(4)`).
+    pub fn new(seed: u64) -> Self {
+        Larnv {
+            state: seed.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x2545f4914f6cdd1d,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit<R: RealScalar>(&mut self) -> R {
+        R::from_f64((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// One real sample from the chosen distribution.
+    pub fn real<R: RealScalar>(&mut self, dist: Dist) -> R {
+        match dist {
+            Dist::Uniform01 => self.unit(),
+            Dist::Uniform11 => {
+                let u: R = self.unit();
+                u + u - R::one()
+            }
+            Dist::Normal => {
+                // Box–Muller.
+                let u1: R = self.unit::<R>().maxr(R::sfmin());
+                let u2: R = self.unit();
+                let two = R::one() + R::one();
+                let tau = R::from_f64(core::f64::consts::PI) * two;
+                (-two * u1.ln()).rsqrt() * (tau * u2).cos_r()
+            }
+        }
+    }
+
+    /// One scalar sample (independent real/imaginary parts for complex).
+    pub fn scalar<T: Scalar>(&mut self, dist: Dist) -> T {
+        let re: T::Real = self.real(dist);
+        if T::IS_COMPLEX {
+            let im: T::Real = self.real(dist);
+            T::from_re_im(re, im)
+        } else {
+            T::from_real(re)
+        }
+    }
+
+    /// Fills a slice with samples (`xLARNV`).
+    pub fn fill<T: Scalar>(&mut self, dist: Dist, x: &mut [T]) {
+        for v in x.iter_mut() {
+            *v = self.scalar(dist);
+        }
+    }
+
+    /// A fresh vector of samples.
+    pub fn vec<T: Scalar>(&mut self, dist: Dist, n: usize) -> Vec<T> {
+        let mut v = vec![T::zero(); n];
+        self.fill(dist, &mut v);
+        v
+    }
+}
+
+/// Random unitary (orthogonal) matrix with Haar distribution (`xLAROR`'s
+/// generator): `Q` from the QR factorization of a Gaussian matrix, with
+/// the R-diagonal sign fix that makes the distribution exactly Haar.
+pub fn laror<T: Scalar>(rng: &mut Larnv, n: usize) -> Vec<T> {
+    let mut g = rng.vec::<T>(Dist::Normal, n * n);
+    let mut tau = vec![T::zero(); n];
+    geqr2(n, n, &mut g, n.max(1), &mut tau);
+    // Record the signs of R's diagonal before expanding Q.
+    let signs: Vec<T> = (0..n)
+        .map(|i| {
+            let d = g[i + i * n];
+            if d.abs().is_zero() {
+                T::one()
+            } else {
+                d.div_real(d.abs())
+            }
+        })
+        .collect();
+    orgqr(n, n, n, &mut g, n.max(1), &tau);
+    // Q := Q · diag(sign(r_ii)) keeps Haar measure.
+    for (j, s) in signs.iter().enumerate() {
+        for i in 0..n {
+            g[i + j * n] = g[i + j * n] * *s;
+        }
+    }
+    g
+}
+
+/// Generates a general matrix with prescribed singular values
+/// (`LA_LAGGE` of the paper / `xLATMS`-lite): `A = U·diag(d)·V` with
+/// random unitary `U` (`m × m`) and `V` (`n × n`). `d` has `min(m, n)`
+/// entries.
+pub fn lagge<T: Scalar>(rng: &mut Larnv, m: usize, n: usize, d: &[T::Real]) -> Vec<T> {
+    let k = m.min(n);
+    assert!(d.len() >= k, "need min(m,n) singular values");
+    let u = laror::<T>(rng, m);
+    let v = laror::<T>(rng, n);
+    // U·diag(d): scale the first k columns of U.
+    let mut ud = vec![T::zero(); m * k];
+    for j in 0..k {
+        for i in 0..m {
+            ud[i + j * m] = u[i + j * m].mul_real(d[j]);
+        }
+    }
+    let mut a = vec![T::zero(); m * n];
+    gemm(Trans::No, Trans::No, m, n, k, T::one(), &ud, m, &v, n, T::zero(), &mut a, m);
+    a
+}
+
+/// Singular-value / eigenvalue distributions (`xLATMS` `MODE` argument).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum SpectrumMode {
+    /// `d[0] = 1`, the rest `1/cond` (one large value).
+    OneLarge,
+    /// All `1` except the last `1/cond` (one small value).
+    OneSmall,
+    /// Geometric: `d[i] = cond^{-i/(n-1)}`.
+    Geometric,
+    /// Arithmetic: `d[i] = 1 − (i/(n−1))·(1 − 1/cond)`.
+    Arithmetic,
+}
+
+/// Builds a spectrum vector for [`lagge`]/[`latms_sym`].
+pub fn spectrum<R: RealScalar>(mode: SpectrumMode, n: usize, cond: R) -> Vec<R> {
+    if n == 0 {
+        return vec![];
+    }
+    let one = R::one();
+    let inv = one / cond;
+    match mode {
+        SpectrumMode::OneLarge => {
+            let mut d = vec![inv; n];
+            d[0] = one;
+            d
+        }
+        SpectrumMode::OneSmall => {
+            let mut d = vec![one; n];
+            d[n - 1] = inv;
+            d
+        }
+        SpectrumMode::Geometric => (0..n)
+            .map(|i| {
+                if n == 1 {
+                    one
+                } else {
+                    let t = R::from_usize(i) / R::from_usize(n - 1);
+                    // cond^{-t} = exp(-t ln cond); use powi-free form.
+                    exp_r(-t * cond.ln())
+                }
+            })
+            .collect(),
+        SpectrumMode::Arithmetic => (0..n)
+            .map(|i| {
+                if n == 1 {
+                    one
+                } else {
+                    let t = R::from_usize(i) / R::from_usize(n - 1);
+                    one - t * (one - inv)
+                }
+            })
+            .collect(),
+    }
+}
+
+/// `exp` via the identity `e^x = (e^{x/2})²` on top of `ln`'s inverse —
+/// implemented with the standard library through `f64` (adequate for
+/// generator purposes).
+fn exp_r<R: RealScalar>(x: R) -> R {
+    R::from_f64(x.to_f64().exp())
+}
+
+/// Random Hermitian matrix with prescribed eigenvalues:
+/// `A = Q·diag(d)·Qᴴ` with Haar `Q` (`xLATMS` symmetric form).
+pub fn latms_sym<T: Scalar>(rng: &mut Larnv, n: usize, d: &[T::Real]) -> Vec<T> {
+    let q = laror::<T>(rng, n);
+    let mut qd = vec![T::zero(); n * n];
+    for j in 0..n {
+        for i in 0..n {
+            qd[i + j * n] = q[i + j * n].mul_real(d[j]);
+        }
+    }
+    let mut a = vec![T::zero(); n * n];
+    gemm(Trans::No, Trans::ConjTrans, n, n, n, T::one(), &qd, n, &q, n, T::zero(), &mut a, n);
+    // Force exact Hermitian symmetry (rounding dust).
+    for j in 0..n {
+        for i in 0..j {
+            let avg = (a[i + j * n] + a[j + i * n].conj()).div_real(T::Real::one() + T::Real::one());
+            a[i + j * n] = avg;
+            a[j + i * n] = avg.conj();
+        }
+        a[j + j * n] = T::from_real(a[j + j * n].re());
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::{C64, Norm};
+
+    #[test]
+    fn larnv_distributions() {
+        let mut rng = Larnv::new(42);
+        let v: Vec<f64> = rng.vec(Dist::Uniform01, 4000);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.03, "uniform01 mean = {mean}");
+        let v: Vec<f64> = rng.vec(Dist::Uniform11, 4000);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.05, "uniform11 mean = {mean}");
+        let v: Vec<f64> = rng.vec(Dist::Normal, 4000);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.08, "normal mean = {mean}");
+        assert!((var - 1.0).abs() < 0.12, "normal var = {var}");
+    }
+
+    #[test]
+    fn laror_is_unitary() {
+        let mut rng = Larnv::new(7);
+        let n = 12;
+        let q: Vec<C64> = laror(&mut rng, n);
+        let mut qhq = vec![C64::zero(); n * n];
+        gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &q, n, &q, n, C64::zero(), &mut qhq, n);
+        for j in 0..n {
+            for i in 0..n {
+                let want = if i == j { C64::one() } else { C64::zero() };
+                assert!((qhq[i + j * n] - want).abs() < 1e-13 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn lagge_has_prescribed_singular_values() {
+        let mut rng = Larnv::new(11);
+        let (m, n) = (9usize, 6usize);
+        let d = spectrum::<f64>(SpectrumMode::Geometric, n, 100.0);
+        let a: Vec<f64> = lagge(&mut rng, m, n, &d);
+        let mut acpy = a.clone();
+        let (s, _, _, info) = crate::svd::gesvd(false, false, m, n, &mut acpy, m);
+        assert_eq!(info, 0);
+        let mut dsorted = d.clone();
+        dsorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for i in 0..n {
+            assert!((s[i] - dsorted[i]).abs() < 1e-12, "σ_{i}: {} vs {}", s[i], dsorted[i]);
+        }
+    }
+
+    #[test]
+    fn latms_sym_has_prescribed_eigenvalues() {
+        let mut rng = Larnv::new(13);
+        let n = 8;
+        let d: Vec<f64> = vec![-3.0, -1.0, 0.0, 0.5, 1.0, 2.0, 4.0, 10.0];
+        let a: Vec<C64> = latms_sym(&mut rng, n, &d);
+        // Hermitian.
+        for j in 0..n {
+            for i in 0..n {
+                assert!((a[i + j * n] - a[j + i * n].conj()).abs() < 1e-14);
+            }
+        }
+        let mut acpy = a.clone();
+        let mut w = vec![0.0; n];
+        assert_eq!(crate::eigsym::syev(false, la_core::Uplo::Lower, n, &mut acpy, n, &mut w), 0);
+        for i in 0..n {
+            assert!((w[i] - d[i]).abs() < 1e-12, "λ_{i}: {} vs {}", w[i], d[i]);
+        }
+    }
+
+    #[test]
+    fn spectrum_modes() {
+        let d = spectrum::<f64>(SpectrumMode::OneLarge, 4, 10.0);
+        assert_eq!(d, vec![1.0, 0.1, 0.1, 0.1]);
+        let d = spectrum::<f64>(SpectrumMode::OneSmall, 3, 4.0);
+        assert_eq!(d, vec![1.0, 1.0, 0.25]);
+        let d = spectrum::<f64>(SpectrumMode::Geometric, 3, 100.0);
+        assert!((d[0] - 1.0).abs() < 1e-15 && (d[2] - 0.01).abs() < 1e-12);
+        let d = spectrum::<f64>(SpectrumMode::Arithmetic, 3, 2.0);
+        assert!((d[1] - 0.75).abs() < 1e-15);
+        // Condition number of the generated matrix ≈ cond.
+        let mut rng = Larnv::new(3);
+        let n = 10;
+        let d = spectrum::<f64>(SpectrumMode::Geometric, n, 1e6);
+        let a: Vec<f64> = lagge(&mut rng, n, n, &d);
+        let anorm = crate::aux::lange(Norm::One, n, n, &a, n);
+        let mut f = a.clone();
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(crate::lu::getrf(n, n, &mut f, n, &mut ipiv), 0);
+        let rcond = crate::lu::gecon(Norm::One, n, &f, n, &ipiv, anorm);
+        let est_cond = 1.0 / rcond;
+        assert!(
+            est_cond > 1e4 && est_cond < 1e9,
+            "estimated condition {est_cond} not near 1e6"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Tests for the real nonsymmetric eigensolver stack: Schur residuals,
+//! eigenvalue correctness on known matrices, eigenvector residuals,
+//! reordering.
+
+use la_blas::gemm;
+use la_core::Trans;
+use la_lapack::eig_real::{dense_eig_residual, gees, geev, hseqr, lanv2, swap_schur_blocks, trevc};
+use la_lapack::hess::{gehd2, orghr};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((self.0 >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+    fn mat(&mut self, n: usize) -> Vec<f64> {
+        (0..n * n).map(|_| self.next()).collect()
+    }
+}
+
+/// Runs the full Schur pipeline and checks ‖A − Z·T·Zᵀ‖ and Z orthogonality.
+fn schur_check(n: usize, a0: &[f64], tol: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut h = a0.to_vec();
+    let mut tau = vec![0.0; n.max(2) - 1];
+    gehd2(n, 0, n - 1, &mut h, n, &mut tau);
+    let mut z = h.clone();
+    orghr(n, 0, n - 1, &mut z, n, &tau);
+    for j in 0..n {
+        for i in j + 2..n {
+            h[i + j * n] = 0.0;
+        }
+    }
+    let mut wr = vec![0.0; n];
+    let mut wi = vec![0.0; n];
+    let info = hseqr(n, 0, n - 1, &mut h, n, &mut wr, &mut wi, Some((&mut z, n)));
+    assert_eq!(info, 0, "hseqr failed");
+    // T quasi-triangular: no two consecutive nonzero subdiagonals.
+    for j in 0..n.saturating_sub(2) {
+        assert!(
+            h[j + 1 + j * n] == 0.0 || h[j + 2 + (j + 1) * n] == 0.0,
+            "consecutive 2x2 blocks overlap at {j}"
+        );
+    }
+    for j in 0..n {
+        for i in j + 2..n {
+            assert_eq!(h[i + j * n], 0.0, "T not Hessenberg-triangular at ({i},{j})");
+        }
+    }
+    // Z orthogonal.
+    let mut ztz = vec![0.0; n * n];
+    gemm(Trans::Trans, Trans::No, n, n, n, 1.0, &z, n, &z, n, 0.0, &mut ztz, n);
+    for j in 0..n {
+        for i in 0..n {
+            let want = if i == j { 1.0 } else { 0.0 };
+            assert!((ztz[i + j * n] - want).abs() < tol, "ZᵀZ ({i},{j})");
+        }
+    }
+    // A = Z T Zᵀ.
+    let mut zt = vec![0.0; n * n];
+    gemm(Trans::No, Trans::No, n, n, n, 1.0, &z, n, &h, n, 0.0, &mut zt, n);
+    let mut rec = vec![0.0; n * n];
+    gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &zt, n, &z, n, 0.0, &mut rec, n);
+    for k in 0..n * n {
+        assert!(
+            (rec[k] - a0[k]).abs() < tol,
+            "ZTZᵀ≠A at {k}: {} vs {}",
+            rec[k],
+            a0[k]
+        );
+    }
+    (h, z, wr, wi)
+}
+
+#[test]
+fn lanv2_cases() {
+    // Real eigenvalues.
+    let (a, b, c, d, r1r, r1i, r2r, r2i, cs, sn) = lanv2(4.0f64, 1.0, 1.0, 2.0);
+    assert_eq!(c, 0.0);
+    assert!(r1i == 0.0 && r2i == 0.0);
+    assert!((cs * cs + sn * sn - 1.0).abs() < 1e-14);
+    // Eigenvalues of [[4,1],[1,2]]: 3 ± √2.
+    let want1 = 3.0 + 2.0f64.sqrt();
+    let want2 = 3.0 - 2.0f64.sqrt();
+    assert!((r1r - want1).abs() < 1e-12 || (r1r - want2).abs() < 1e-12);
+    assert!((r1r - a).abs() < 1e-12 && (r2r - d).abs() < 1e-12);
+    let _ = b;
+    // Complex pair.
+    let (a, _b, _c, d, r1r, r1i, _r2r, r2i, cs, sn) = lanv2(1.0f64, -5.0, 2.0, 3.0);
+    assert!((a - d).abs() < 1e-12, "diagonal not equalized: {a} vs {d}");
+    assert!(r1i > 0.0 && r2i < 0.0);
+    assert!((cs * cs + sn * sn - 1.0).abs() < 1e-14);
+    // Eigenvalues of [[1,-5],[2,3]]: 2 ± 3i.
+    assert!((r1r - 2.0).abs() < 1e-12);
+    assert!((r1i - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn schur_random_matrices() {
+    let mut rng = Rng(7);
+    for &n in &[1usize, 2, 3, 5, 8, 13, 21, 40] {
+        let a0 = rng.mat(n.max(1));
+        let a0 = if n == 0 { vec![] } else { a0 };
+        let a0: Vec<f64> = (0..n * n).map(|k| a0[k % a0.len().max(1)] + rng.next()).collect();
+        if n == 0 {
+            continue;
+        }
+        schur_check(n, &a0, 1e-11 * (n as f64 + 1.0));
+    }
+}
+
+#[test]
+fn eigenvalues_of_rotation_block() {
+    // [[cosθ, -sinθ],[sinθ, cosθ]] has eigenvalues e^{±iθ}.
+    let th = 0.7f64;
+    let a = vec![th.cos(), th.sin(), -th.sin(), th.cos()];
+    let (_t, _z, wr, wi) = schur_check(2, &a, 1e-13);
+    assert!((wr[0] - th.cos()).abs() < 1e-13);
+    assert!((wi[0].abs() - th.sin()).abs() < 1e-13);
+    assert!((wi[0] + wi[1]).abs() < 1e-15);
+}
+
+#[test]
+fn eigenvalues_of_companion_matrix() {
+    // Companion matrix of p(x) = x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+    let n = 3;
+    #[rustfmt::skip]
+    let a = vec![
+        6.0f64, 1.0, 0.0,
+        -11.0, 0.0, 1.0,
+        6.0, 0.0, 0.0,
+    ];
+    let (_t, _z, mut wr, wi) = schur_check(n, &a, 1e-12);
+    for &x in &wi {
+        assert!(x.abs() < 1e-10);
+    }
+    wr.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    for (k, want) in [1.0, 2.0, 3.0].iter().enumerate() {
+        assert!((wr[k] - want).abs() < 1e-10, "λ_{k} = {}", wr[k]);
+    }
+}
+
+#[test]
+fn geev_right_and_left_vectors() {
+    let mut rng = Rng(11);
+    for &n in &[4usize, 7, 12, 25] {
+        let a0 = rng.mat(n);
+        let mut a = a0.clone();
+        let (info, res) = geev(true, true, n, &mut a, n);
+        assert_eq!(info, 0, "n={n}");
+        // Right residual via the packed convention.
+        let r = dense_eig_residual(n, &a0, &res.wr, &res.wi, &res.vr);
+        assert!(r < 1e-10 * (n as f64), "n={n} right residual = {r}");
+        // Left: yᴴA = λyᴴ ⇔ Aᵀ y = λ̄ ȳ... check ‖Aᵀ·v − conj(λ)·v‖ for
+        // v = vl_re + i·vl_im — equivalently use the residual on Aᵀ with
+        // conjugated pairing: Aᵀ (vre + i vim) = (wr − i wi)(vre + i vim).
+        let mut at = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                at[i + j * n] = a0[j + i * n];
+            }
+        }
+        // Conjugating uᴴA = λuᴴ twice: Aᵀ(vl_re + i·vl_im) = λ(vl_re + i·vl_im).
+        let rl = dense_eig_residual(n, &at, &res.wr, &res.wi, &res.vl);
+        assert!(rl < 1e-10 * (n as f64), "n={n} left residual = {rl}");
+    }
+}
+
+#[test]
+fn trevc_direct_on_triangular() {
+    // Upper triangular T: right eigenvectors are columns of the
+    // back-substituted identity-ish system; check T·(Z·x) = λ·(Z·x) with
+    // Z = I.
+    let n = 4;
+    #[rustfmt::skip]
+    let t = vec![
+        1.0f64, 0.0, 0.0, 0.0,
+        2.0, 5.0, 0.0, 0.0,
+        -1.0, 0.5, 9.0, 0.0,
+        3.0, 1.0, 2.0, -4.0,
+    ];
+    let z: Vec<f64> = {
+        let mut z = vec![0.0; n * n];
+        for i in 0..n {
+            z[i + i * n] = 1.0;
+        }
+        z
+    };
+    let wr = vec![1.0, 5.0, 9.0, -4.0];
+    let wi = vec![0.0; n];
+    let (vr, vl) = trevc(true, true, n, &t, n, &z, n, &wr, &wi);
+    for j in 0..n {
+        // Right: T v = λ v.
+        for i in 0..n {
+            let mut tv = 0.0;
+            for l in 0..n {
+                tv += t[i + l * n] * vr[l + j * n];
+            }
+            assert!((tv - wr[j] * vr[i + j * n]).abs() < 1e-12, "right ({i},{j})");
+        }
+        // Left: vᵀ T = λ vᵀ.
+        for i in 0..n {
+            let mut vt = 0.0;
+            for l in 0..n {
+                vt += vl[l + j * n] * t[l + i * n];
+            }
+            assert!((vt - wr[j] * vl[i + j * n]).abs() < 1e-12, "left ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn gees_reorders_selected_eigenvalues() {
+    let mut rng = Rng(23);
+    let n = 12;
+    let a0 = rng.mat(n);
+    let mut a = a0.clone();
+    let mut vs = vec![0.0; n * n];
+    // Select eigenvalues with positive real part.
+    let select = |wr: f64, _wi: f64| wr > 0.0;
+    let (info, res) = gees(true, n, &mut a, n, Some(&select), &mut vs, n);
+    assert_eq!(info, 0);
+    // The leading sdim eigenvalues are the selected ones, the rest not.
+    let mut j = 0;
+    while j < n {
+        let selected = res.wr[j] > 0.0;
+        if j < res.sdim {
+            assert!(selected, "eigenvalue {j} in leading block has wr = {}", res.wr[j]);
+        } else {
+            assert!(!selected, "eigenvalue {j} in trailing block has wr = {}", res.wr[j]);
+        }
+        j += 1;
+    }
+    // Schur relation still holds after reordering.
+    let mut vt = vec![0.0; n * n];
+    gemm(Trans::No, Trans::No, n, n, n, 1.0, &vs, n, &a, n, 0.0, &mut vt, n);
+    let mut rec = vec![0.0; n * n];
+    gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &vt, n, &vs, n, 0.0, &mut rec, n);
+    for k in 0..n * n {
+        assert!((rec[k] - a0[k]).abs() < 1e-10, "post-reorder ZTZᵀ≠A at {k}");
+    }
+    // Eigenvalue multiset preserved.
+    let mut a2 = a0.clone();
+    let (info2, res2) = geev(false, false, n, &mut a2, n);
+    assert_eq!(info2, 0);
+    let mut got: Vec<(f64, f64)> = res.wr.iter().zip(&res.wi).map(|(&r, &i)| (r, i)).collect();
+    let mut want: Vec<(f64, f64)> = res2.wr.iter().zip(&res2.wi).map(|(&r, &i)| (r, i)).collect();
+    let key = |p: &(f64, f64)| (p.0 * 1e6).round() as i64 * 100000 + (p.1.abs() * 1e4).round() as i64;
+    got.sort_by_key(key);
+    want.sort_by_key(key);
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g.0 - w.0).abs() < 1e-7 && (g.1.abs() - w.1.abs()).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn swap_blocks_direct() {
+    // Build a small Schur form with known blocks and swap.
+    let n = 3;
+    #[rustfmt::skip]
+    let mut t = vec![
+        2.0f64, 0.0, 0.0,
+        1.0, 5.0, 0.0,
+        0.5, -1.0, 7.0,
+    ];
+    let mut z = vec![0.0; n * n];
+    for i in 0..n {
+        z[i + i * n] = 1.0;
+    }
+    let t0 = t.clone();
+    assert_eq!(swap_schur_blocks(n, &mut t, n, &mut z, n, 0), 0);
+    // Diagonal now starts with 5.
+    assert!((t[0] - 5.0).abs() < 1e-12, "t00 = {}", t[0]);
+    assert!((t[1 + n] - 2.0).abs() < 1e-12);
+    assert_eq!(t[1], 0.0);
+    // Similarity preserved.
+    let mut zt = vec![0.0; n * n];
+    gemm(Trans::No, Trans::No, n, n, n, 1.0, &z, n, &t, n, 0.0, &mut zt, n);
+    let mut rec = vec![0.0; n * n];
+    gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &zt, n, &z, n, 0.0, &mut rec, n);
+    for k in 0..n * n {
+        assert!((rec[k] - t0[k]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn defective_matrix_jordan_block() {
+    // A Jordan block has a single eigenvalue with multiplicity n; the QR
+    // iteration must still converge (eigenvalues clustered at 2).
+    let n = 6;
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        a[i + i * n] = 2.0;
+        if i + 1 < n {
+            a[i + (i + 1) * n] = 1.0;
+        }
+    }
+    let mut acpy = a.clone();
+    let (info, res) = geev(false, false, n, &mut acpy, n);
+    assert_eq!(info, 0);
+    for j in 0..n {
+        // Eigenvalues of a perturbed Jordan block scatter like ε^(1/n):
+        // allow a loose tolerance.
+        let dist = ((res.wr[j] - 2.0).powi(2) + res.wi[j].powi(2)).sqrt();
+        assert!(dist < 1e-2, "λ_{j} = {}+{}i too far from 2", res.wr[j], res.wi[j]);
+    }
+}

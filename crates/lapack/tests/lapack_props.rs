@@ -1,0 +1,224 @@
+//! Property tests for the LAPACK substrate: every factorization must
+//! reassemble its input (to a residual bounded in units of eps), pivot
+//! structures must be valid, and decomposition invariants (orthogonality,
+//! interlacing, value ordering) must hold on arbitrary inputs.
+
+use la_blas::gemm;
+use la_core::{Trans, Uplo, C64};
+use la_lapack as f77;
+use proptest::prelude::*;
+
+fn rand_buf(len: usize, seed: u64) -> Vec<f64> {
+    let mut k = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect()
+}
+
+fn frob(n: usize, a: &[f64]) -> f64 {
+    a.iter().take(n).map(|x| x * x).sum::<f64>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qr_reassembles_any_shape(m in 1usize..12, n in 1usize..12, seed in 0u64..500) {
+        let a0 = rand_buf(m * n, seed);
+        let mut f = a0.clone();
+        let k = m.min(n);
+        let mut tau = vec![0.0f64; k];
+        f77::geqrf(m, n, &mut f, m, &mut tau);
+        let mut r = vec![0.0f64; k * n];
+        for j in 0..n {
+            for i in 0..k.min(j + 1) {
+                r[i + j * k] = f[i + j * m];
+            }
+        }
+        let mut q = f.clone();
+        f77::orgqr(m, k, k, &mut q, m, &tau);
+        let mut qr = vec![0.0f64; m * n];
+        gemm(Trans::No, Trans::No, m, n, k, 1.0, &q, m, &r, k, 0.0, &mut qr, m);
+        let scale = frob(m * n, &a0).max(1.0);
+        for idx in 0..m * n {
+            prop_assert!((qr[idx] - a0[idx]).abs() < 1e-12 * scale * (m + n) as f64);
+        }
+        // Q orthonormal.
+        let mut qtq = vec![0.0f64; k * k];
+        gemm(Trans::Trans, Trans::No, k, k, m, 1.0, &q, m, &q, m, 0.0, &mut qtq, k);
+        for j in 0..k {
+            for i in 0..k {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((qtq[i + j * k] - want).abs() < 1e-12 * (m as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn lq_reassembles_any_shape(m in 1usize..10, n in 1usize..10, seed in 0u64..500) {
+        let a0 = rand_buf(m * n, seed);
+        let mut f = a0.clone();
+        let k = m.min(n);
+        let mut tau = vec![0.0f64; k];
+        f77::gelqf(m, n, &mut f, m, &mut tau);
+        let mut l = vec![0.0f64; m * k];
+        for j in 0..k {
+            for i in j..m {
+                l[i + j * m] = f[i + j * m];
+            }
+        }
+        let mut q = f.clone();
+        f77::orglq(k, n, k, &mut q, m, &tau);
+        let mut lq = vec![0.0f64; m * n];
+        gemm(Trans::No, Trans::No, m, n, k, 1.0, &l, m, &q, m, 0.0, &mut lq, m);
+        let scale = frob(m * n, &a0).max(1.0);
+        for idx in 0..m * n {
+            prop_assert!((lq[idx] - a0[idx]).abs() < 1e-11 * scale * (m + n) as f64);
+        }
+    }
+
+    #[test]
+    fn svd_values_interlace_under_column_removal(m in 3usize..9, n in 3usize..9, seed in 0u64..300) {
+        // σ_k(A with one column removed) interlaces σ(A).
+        let a0 = rand_buf(m * n, seed);
+        let mut a = a0.clone();
+        let (s_full, _, _, info) = f77::gesvd(false, false, m, n, &mut a, m);
+        prop_assert_eq!(info, 0);
+        // Drop the last column.
+        let mut asub = a0[..m * (n - 1)].to_vec();
+        let (s_sub, _, _, info) = f77::gesvd(false, false, m, n - 1, &mut asub, m);
+        prop_assert_eq!(info, 0);
+        let kf = m.min(n);
+        let ks = m.min(n - 1);
+        for i in 0..ks.min(kf) {
+            prop_assert!(s_sub[i] <= s_full[i] + 1e-10, "interlace upper at {i}");
+        }
+        for i in 0..ks {
+            if i + 1 < kf {
+                prop_assert!(s_sub[i] + 1e-10 >= s_full[i + 1], "interlace lower at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_interlacing_bordered_matrix(n in 2usize..10, seed in 0u64..300) {
+        // Cauchy interlacing: eigenvalues of the (n-1) principal submatrix
+        // interlace those of the full symmetric matrix.
+        let raw = rand_buf(n * n, seed);
+        let mut a = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                let v = raw[i + j * n];
+                a[i + j * n] = v;
+                a[j + i * n] = v;
+            }
+        }
+        let mut afull = a.clone();
+        let mut wf = vec![0.0; n];
+        prop_assert_eq!(f77::syev(false, Uplo::Upper, n, &mut afull, n, &mut wf), 0);
+        // Principal (n-1)×(n-1).
+        let m = n - 1;
+        let mut asub = vec![0.0f64; m * m];
+        for j in 0..m {
+            for i in 0..m {
+                asub[i + j * m] = a[i + j * n];
+            }
+        }
+        let mut ws = vec![0.0; m];
+        prop_assert_eq!(f77::syev(false, Uplo::Upper, m, &mut asub, m, &mut ws), 0);
+        for i in 0..m {
+            prop_assert!(wf[i] <= ws[i] + 1e-10, "lower interlace at {i}");
+            prop_assert!(ws[i] <= wf[i + 1] + 1e-10, "upper interlace at {i}");
+        }
+    }
+
+    #[test]
+    fn bunch_kaufman_pivot_structure(n in 1usize..14, seed in 0u64..300) {
+        let raw = rand_buf(n * n, seed);
+        let mut a = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                let v = raw[i + j * n];
+                a[i + j * n] = v;
+                a[j + i * n] = v;
+            }
+        }
+        let mut ipiv = vec![0i32; n];
+        let info = f77::sytrf(Uplo::Lower, false, n, &mut a, n, &mut ipiv);
+        if info != 0 {
+            return Ok(()); // exactly singular — allowed
+        }
+        // 2×2 pivots come in adjacent equal-negative pairs.
+        let mut k = 0;
+        while k < n {
+            if ipiv[k] > 0 {
+                prop_assert!((ipiv[k] as usize) >= k + 1 && (ipiv[k] as usize) <= n);
+                k += 1;
+            } else {
+                prop_assert!(k + 1 < n, "dangling 2x2 pivot at {k}");
+                prop_assert_eq!(ipiv[k], ipiv[k + 1], "pair mismatch at {}", k);
+                k += 2;
+            }
+        }
+    }
+
+    #[test]
+    fn schur_preserves_frobenius_norm(n in 2usize..10, seed in 0u64..200) {
+        // ‖T‖_F = ‖A‖_F under an orthogonal similarity.
+        let a0 = rand_buf(n * n, seed);
+        let mut a = a0.clone();
+        let mut vs = vec![0.0f64; n * n];
+        let (info, _res) = f77::eig_real::gees(true, n, &mut a, n, None, &mut vs, n);
+        prop_assert_eq!(info, 0);
+        let nf_a = frob(n * n, &a0);
+        let nf_t = frob(n * n, &a);
+        prop_assert!((nf_a - nf_t).abs() < 1e-10 * (1.0 + nf_a) * n as f64);
+    }
+
+    #[test]
+    fn complex_qz_eigencount_and_norms(n in 2usize..8, seed in 0u64..200) {
+        let ar = rand_buf(n * n, seed);
+        let ai = rand_buf(n * n, seed.wrapping_add(77));
+        let br = rand_buf(n * n, seed.wrapping_add(154));
+        let bi = rand_buf(n * n, seed.wrapping_add(231));
+        let mut a: Vec<C64> = (0..n * n).map(|k| C64::new(ar[k], ai[k])).collect();
+        let mut b: Vec<C64> = (0..n * n).map(|k| C64::new(br[k], bi[k])).collect();
+        let (info, out) = f77::gegs_cplx(n, &mut a, n, &mut b, n);
+        prop_assert_eq!(info, 0);
+        prop_assert_eq!(out.alpha.len(), n);
+        // β must never be exactly zero here (B was regularised) and α/β
+        // finite.
+        for j in 0..n {
+            prop_assert!(out.beta[j].abs() > 0.0);
+            prop_assert!(out.alpha[j].ladiv(out.beta[j]).is_finite());
+        }
+    }
+
+    #[test]
+    fn condition_estimate_bounds_truth(n in 2usize..8, seed in 0u64..200) {
+        // gecon's estimate is a lower bound on 1/κ up to a modest factor:
+        // verify rcond ≲ true, and true ≤ ~n·rcond-estimate slack.
+        let a0raw = rand_buf(n * n, seed);
+        let mut a0 = a0raw.clone();
+        for i in 0..n {
+            a0[i + i * n] += 3.0;
+        }
+        let anorm = f77::lange(la_core::Norm::One, n, n, &a0, n);
+        let mut f = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        prop_assert_eq!(f77::getrf(n, n, &mut f, n, &mut ipiv), 0);
+        let rcond = f77::gecon(la_core::Norm::One, n, &f, n, &ipiv, anorm);
+        // True inverse norm via getri.
+        let mut inv = f.clone();
+        prop_assert_eq!(f77::getri(n, &mut inv, n, &ipiv), 0);
+        let ainvnorm = f77::lange(la_core::Norm::One, n, n, &inv, n);
+        let true_rcond = 1.0 / (anorm * ainvnorm);
+        prop_assert!(rcond <= true_rcond * (1.0 + 1e-10) * 3.0,
+                     "estimate {rcond} far above truth {true_rcond}");
+        prop_assert!(rcond * (n as f64) * 10.0 >= true_rcond,
+                     "estimate {rcond} far below truth {true_rcond}");
+    }
+}

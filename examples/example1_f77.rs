@@ -1,0 +1,37 @@
+//! The paper's Example 1 (Fig. 1): the `F77_LAPACK` path — the same
+//! computation as the quickstart, but through the low-level interface
+//! with every dimension, leading dimension, pivot array and info code
+//! spelled out, exactly as `CALL LA_GESV( N, NRHS, A, LDA, IPIV, B, LDB,
+//! INFO )` requires.
+//!
+//! Run with `cargo run --example example1_f77`.
+
+use la_lapack::{self as f77, Dist, Larnv};
+
+fn main() {
+    let (n, nrhs) = (5usize, 2usize);
+    let mut rng = Larnv::new(1998);
+    // Column-major buffers, Fortran-style.
+    let mut a: Vec<f32> = (0..n * n).map(|_| rng.real(Dist::Uniform01)).collect();
+    let mut b = vec![0.0f32; n * nrhs];
+    for j in 0..nrhs {
+        for i in 0..n {
+            let rowsum: f32 = (0..n).map(|k| a[i + k * n]).sum();
+            b[i + j * n] = rowsum * (j + 1) as f32;
+        }
+    }
+    let (lda, ldb) = (n, n);
+    let mut ipiv = vec![0i32; n];
+
+    // Statement 14 of Fig. 1.
+    let info = f77::gesv(n, nrhs, &mut a, lda, &mut ipiv, &mut b, ldb);
+    println!("INFO = {info}");
+
+    if nrhs < 6 && n < 11 {
+        println!("The solution:");
+        for j in 0..nrhs {
+            let row: String = (0..n).map(|i| format!(" {:9.3}", b[i + j * n])).collect();
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart — the paper's Example 2 (Fig. 2): the `F90_LAPACK` path.
+//!
+//! ```fortran
+//! USE LA_PRECISION, ONLY: WP => SP
+//! USE f90_LAPACK, ONLY: LA_GESV
+//! ...
+//! CALL LA_GESV( A, B )
+//! ```
+//!
+//! The program builds a random 5×5 system with `B(:,j) = j · rowsum(A)`
+//! (so the exact solution is `X(:,j) = j·(1,…,1)ᵀ`), solves it with the
+//! two-argument generic driver, and prints the solution in the paper's
+//! `'(7(1X,F9.3))'` format.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use la_core::Mat;
+use la_lapack::{Dist, Larnv};
+
+fn main() {
+    let (n, nrhs) = (5usize, 2usize);
+    // Statement 10-11 of Fig. 2: CALL RANDOM_NUMBER(A); B(:,J) = SUM(A,DIM=2)*J.
+    let mut rng = Larnv::new(1998);
+    let mut a: Mat<f32> = Mat::from_fn(n, n, |_, _| rng.real(Dist::Uniform01));
+    let mut b: Mat<f32> = Mat::from_fn(n, nrhs, |i, j| {
+        (0..n).map(|k| a[(i, k)]).sum::<f32>() * (j + 1) as f32
+    });
+
+    // Statement 12: CALL LA_GESV( A, B ) — two arguments, everything else
+    // (dimensions, pivots, workspace) derived or internal.
+    la90::gesv(&mut a, &mut b).expect("LA_GESV failed");
+
+    // Statements 13-16: print when small.
+    if nrhs < 6 && n < 11 {
+        println!("The solution:");
+        for j in 0..nrhs {
+            let row: String = (0..n).map(|i| format!(" {:9.3}", b[(i, j)])).collect();
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # lapack90 — umbrella crate
+//!
+//! Rust reproduction of *"High Performance Linear Algebra Package
+//! LAPACK90"* (Waśniewski & Dongarra, IPPS 1998). Re-exports the four
+//! layers:
+//!
+//! * [`core`](la_core) — scalars, matrices, storage schemes, the error
+//!   protocol (`LA_PRECISION`, `ERINFO`).
+//! * [`blas`](la_blas) — from-scratch generic BLAS 1/2/3.
+//! * [`lapack`](la_lapack) — the `F77_LAPACK` substrate: factorizations,
+//!   solvers, eigen/SVD computational routines with Fortran calling
+//!   conventions.
+//! * [`la90`] — the paper's contribution: generic, shape-dispatched,
+//!   optional-argument drivers over [`Mat`](la_core::Mat).
+//! * [`verify`](la_verify) — the LAPACK-test-suite residual ratios.
+
+pub use la_blas as blas;
+pub use la_core as core;
+pub use la_lapack as lapack;
+pub use la_verify as verify;
+pub use la90;
+
+pub use la_core::{mat, BandMat, Complex, LaError, Mat, PackedMat, SymBandMat, C32, C64};

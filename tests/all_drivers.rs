@@ -1,0 +1,413 @@
+//! Cross-crate integration: every Appendix-G driver family exercised
+//! through the `la90` interface, for all four scalar instantiations
+//! where the driver is generic, verified with the LAPACK-test-suite
+//! residual ratios from `la-verify`.
+
+use la_core::{BandMat, Complex, Mat, PackedMat, RealScalar, Scalar, SymBandMat, Trans, Uplo};
+use la_lapack::{Dist, Larnv};
+use la90::Jobz;
+use lapack90::verify;
+
+const THRESH: f64 = 60.0;
+
+fn tol_of<T: Scalar>(extra: f64) -> f64 {
+    // f32 residual ratios are the same scale (they are measured in units
+    // of the type's own eps); extra headroom for accumulation paths.
+    let _ = T::eps();
+    THRESH * extra
+}
+
+fn rand_gen<T: Scalar>(n: usize, seed: u64) -> Mat<T> {
+    let mut rng = Larnv::new(seed);
+    Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11))
+}
+
+fn rand_herm<T: Scalar>(n: usize, seed: u64, shift: f64) -> Mat<T> {
+    let mut rng = Larnv::new(seed);
+    let mut a: Mat<T> = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            let v: T = if i == j {
+                T::from_real(rng.real(Dist::Uniform11))
+            } else {
+                rng.scalar(Dist::Uniform11)
+            };
+            a[(i, j)] = v;
+            a[(j, i)] = v.conj();
+        }
+    }
+    for i in 0..n {
+        a[(i, i)] += T::from_f64(shift);
+    }
+    a
+}
+
+fn rand_hpd<T: Scalar>(n: usize, seed: u64) -> Mat<T> {
+    let mut rng = Larnv::new(seed);
+    let g: Mat<T> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Normal));
+    let mut a: Mat<T> = Mat::zeros(n, n);
+    la_blas::gemm(
+        Trans::ConjTrans,
+        Trans::No,
+        n,
+        n,
+        n,
+        T::one(),
+        g.as_slice(),
+        n,
+        g.as_slice(),
+        n,
+        T::zero(),
+        a.as_mut_slice(),
+        n,
+    );
+    for i in 0..n {
+        a[(i, i)] += T::from_real(T::Real::from_usize(n));
+    }
+    a
+}
+
+fn mat_rhs<T: Scalar>(a: &Mat<T>, nrhs: usize, seed: u64) -> (Mat<T>, Mat<T>) {
+    // Returns (xtrue, b = A·xtrue).
+    let n = a.nrows();
+    let mut rng = Larnv::new(seed);
+    let x: Mat<T> = Mat::from_fn(n, nrhs, |_, _| rng.scalar(Dist::Uniform11));
+    let mut b: Mat<T> = Mat::zeros(n, nrhs);
+    la_blas::gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        nrhs,
+        n,
+        T::one(),
+        a.as_slice(),
+        a.lda(),
+        x.as_slice(),
+        n,
+        T::zero(),
+        b.as_mut_slice(),
+        n,
+    );
+    (x, b)
+}
+
+fn dense_solvers_for<T: Scalar>() {
+    let n = 24;
+    let nrhs = 3;
+    // GESV.
+    let a0: Mat<T> = rand_gen(n, 1);
+    let (_, b0) = mat_rhs(&a0, nrhs, 2);
+    let mut a = a0.clone();
+    let mut x = b0.clone();
+    la90::gesv(&mut a, &mut x).unwrap();
+    let r = verify::solve_ratio(&a0, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} GESV ratio {r}", T::PREFIX);
+
+    // POSV.
+    let a0: Mat<T> = rand_hpd(n, 3);
+    let (_, b0) = mat_rhs(&a0, nrhs, 4);
+    let mut a = a0.clone();
+    let mut x = b0.clone();
+    la90::posv(&mut a, &mut x).unwrap();
+    let r = verify::solve_ratio(&a0, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} POSV ratio {r}", T::PREFIX);
+
+    // HESV (Hermitian indefinite).
+    let a0: Mat<T> = rand_herm(n, 5, 0.0);
+    let (_, b0) = mat_rhs(&a0, nrhs, 6);
+    let mut a = a0.clone();
+    let mut x = b0.clone();
+    la90::hesv(&mut a, &mut x).unwrap();
+    let r = verify::solve_ratio(&a0, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(4.0), "{} HESV ratio {r}", T::PREFIX);
+
+    // PPSV (packed SPD) + SPSV (packed indefinite via complex-symmetric /
+    // real-symmetric path).
+    let spd: Mat<T> = rand_hpd(n, 7);
+    let (_, b0) = mat_rhs(&spd, nrhs, 8);
+    for uplo in [Uplo::Upper, Uplo::Lower] {
+        let mut ap = PackedMat::from_dense(&spd, uplo);
+        let mut x = b0.clone();
+        la90::ppsv(&mut ap, &mut x).unwrap();
+        let r = verify::solve_ratio(&spd, &x, &b0).to_f64();
+        assert!(r < tol_of::<T>(1.0), "{} PPSV {uplo:?} ratio {r}", T::PREFIX);
+    }
+    let herm: Mat<T> = rand_herm(n, 9, 0.0);
+    let (_, b0) = mat_rhs(&herm, nrhs, 10);
+    let mut ap = PackedMat::from_dense(&herm, Uplo::Lower);
+    let mut x = b0.clone();
+    la90::hpsv(&mut ap, &mut x).unwrap();
+    let r = verify::solve_ratio(&herm, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(4.0), "{} HPSV ratio {r}", T::PREFIX);
+
+    // GBSV.
+    let (kl, ku) = (2usize, 1usize);
+    let band_dense: Mat<T> = {
+        let mut rng = Larnv::new(11);
+        Mat::from_fn(n, n, |i, j| {
+            if i + ku >= j && j + kl >= i {
+                let v: T = rng.scalar(Dist::Uniform11);
+                v + if i == j { T::from_f64(4.0) } else { T::zero() }
+            } else {
+                T::zero()
+            }
+        })
+    };
+    let (_, b0) = mat_rhs(&band_dense, nrhs, 12);
+    let mut ab = BandMat::from_dense(&band_dense, kl, ku, true);
+    let mut x = b0.clone();
+    la90::gbsv(&mut ab, &mut x).unwrap();
+    let r = verify::solve_ratio(&band_dense, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} GBSV ratio {r}", T::PREFIX);
+
+    // PBSV.
+    let pb_dense: Mat<T> = {
+        let base: Mat<T> = rand_hpd(n, 13);
+        Mat::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) <= 2 {
+                base[(i, j)]
+            } else {
+                T::zero()
+            }
+        })
+    };
+    let (_, b0) = mat_rhs(&pb_dense, nrhs, 14);
+    let mut sb = SymBandMat::from_dense(&pb_dense, 2, Uplo::Upper);
+    let mut x = b0.clone();
+    la90::pbsv(&mut sb, &mut x).unwrap();
+    let r = verify::solve_ratio(&pb_dense, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} PBSV ratio {r}", T::PREFIX);
+
+    // GTSV / PTSV.
+    let mut rng = Larnv::new(15);
+    let dl0: Vec<T> = rng.vec(Dist::Uniform11, n - 1);
+    let du0: Vec<T> = rng.vec(Dist::Uniform11, n - 1);
+    let d0: Vec<T> = (0..n).map(|_| rng.scalar::<T>(Dist::Uniform11) + T::from_f64(4.0)).collect();
+    let tri: Mat<T> = Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            d0[i]
+        } else if i == j + 1 {
+            dl0[j]
+        } else if j == i + 1 {
+            du0[i]
+        } else {
+            T::zero()
+        }
+    });
+    let (_, b0) = mat_rhs(&tri, nrhs, 16);
+    let (mut dl, mut d, mut du) = (dl0.clone(), d0.clone(), du0.clone());
+    let mut x = b0.clone();
+    la90::gtsv(&mut dl, &mut d, &mut du, &mut x).unwrap();
+    let r = verify::solve_ratio(&tri, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} GTSV ratio {r}", T::PREFIX);
+
+    let dr0: Vec<T::Real> = vec![T::Real::from_f64(3.0); n];
+    let er0: Vec<T> = rng.vec(Dist::Uniform11, n - 1);
+    let ptm: Mat<T> = Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            T::from_real(dr0[i])
+        } else if i == j + 1 {
+            er0[j]
+        } else if j == i + 1 {
+            er0[i].conj()
+        } else {
+            T::zero()
+        }
+    });
+    let (_, b0) = mat_rhs(&ptm, nrhs, 18);
+    let mut dr = dr0.clone();
+    let mut er = er0.clone();
+    let mut x = b0.clone();
+    la90::ptsv::<T, _>(&mut dr, &mut er, &mut x).unwrap();
+    let r = verify::solve_ratio(&ptm, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} PTSV ratio {r}", T::PREFIX);
+}
+
+#[test]
+fn linear_solvers_all_four_types() {
+    dense_solvers_for::<f32>();
+    dense_solvers_for::<f64>();
+    dense_solvers_for::<Complex<f32>>();
+    dense_solvers_for::<Complex<f64>>();
+}
+
+fn expert_drivers_for<T: Scalar>() {
+    let n = 16;
+    let nrhs = 2;
+    let a0: Mat<T> = rand_gen(n, 21);
+    let (_, b0) = mat_rhs(&a0, nrhs, 22);
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    let mut x: Mat<T> = Mat::zeros(n, nrhs);
+    let out = la90::gesvx(&mut a, &mut b, &mut x, la90::Fact::Equilibrate, Trans::No).unwrap();
+    assert!(out.rcond > T::Real::zero());
+    let r = verify::solve_ratio(&a0, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} GESVX ratio {r}", T::PREFIX);
+    for j in 0..nrhs {
+        assert!(out.berr[j].to_f64() < 10.0 * T::eps().to_f64(), "{} berr", T::PREFIX);
+    }
+
+    let spd: Mat<T> = rand_hpd(n, 23);
+    let (_, b0) = mat_rhs(&spd, nrhs, 24);
+    let mut a = spd.clone();
+    let mut b = b0.clone();
+    let mut x: Mat<T> = Mat::zeros(n, nrhs);
+    let out = la90::posvx(&mut a, &mut b, &mut x, la90::Fact::NotFactored, Uplo::Lower).unwrap();
+    assert!(out.rcond > T::Real::zero());
+    let r = verify::solve_ratio(&spd, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} POSVX ratio {r}", T::PREFIX);
+
+    let herm: Mat<T> = rand_herm(n, 25, 0.0);
+    let (_, b0) = mat_rhs(&herm, nrhs, 26);
+    let mut x: Mat<T> = Mat::zeros(n, nrhs);
+    let out = la90::sysvx(&herm, &b0, &mut x, T::IS_COMPLEX, Uplo::Lower).unwrap();
+    assert!(out.rcond > T::Real::zero());
+    let r = verify::solve_ratio(&herm, &x, &b0).to_f64();
+    assert!(r < tol_of::<T>(4.0), "{} SYSVX ratio {r}", T::PREFIX);
+}
+
+#[test]
+fn expert_drivers_all_four_types() {
+    expert_drivers_for::<f32>();
+    expert_drivers_for::<f64>();
+    expert_drivers_for::<Complex<f32>>();
+    expert_drivers_for::<Complex<f64>>();
+}
+
+fn least_squares_for<T: Scalar>() {
+    let (m, n) = (20usize, 8usize);
+    let mut rng = Larnv::new(31);
+    let a0: Mat<T> = Mat::from_fn(m, n, |_, _| rng.scalar(Dist::Uniform11));
+    let b0: Mat<T> = Mat::from_fn(m, 2, |_, _| rng.scalar(Dist::Uniform11));
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    la90::gels(&mut a, &mut b).unwrap();
+    let r = verify::ls_ratio(m, n, 2, a0.as_slice(), m, b.as_slice(), m, b0.as_slice(), m).to_f64();
+    assert!(r < tol_of::<T>(2.0), "{} GELS ratio {r}", T::PREFIX);
+
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    let out = la90::gelss(&mut a, &mut b, -T::Real::one()).unwrap();
+    assert_eq!(out.rank, n, "{}", T::PREFIX);
+    let r = verify::ls_ratio(m, n, 2, a0.as_slice(), m, b.as_slice(), m, b0.as_slice(), m).to_f64();
+    assert!(r < tol_of::<T>(2.0), "{} GELSS ratio {r}", T::PREFIX);
+
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    let out = la90::gelsx(&mut a, &mut b, -T::Real::one()).unwrap();
+    assert_eq!(out.rank, n, "{}", T::PREFIX);
+    let r = verify::ls_ratio(m, n, 2, a0.as_slice(), m, b.as_slice(), m, b0.as_slice(), m).to_f64();
+    assert!(r < tol_of::<T>(2.0), "{} GELSX ratio {r}", T::PREFIX);
+}
+
+#[test]
+fn least_squares_all_four_types() {
+    least_squares_for::<f32>();
+    least_squares_for::<f64>();
+    least_squares_for::<Complex<f32>>();
+    least_squares_for::<Complex<f64>>();
+}
+
+fn eigen_for<T: Scalar + la90::EigDriver>() {
+    let n = 18;
+    // Symmetric/Hermitian through three algorithms.
+    let a0: Mat<T> = rand_herm(n, 41, 0.0);
+    let mut a = a0.clone();
+    let w_qr = la90::syev(&mut a, Jobz::Vectors).unwrap();
+    let r = verify::eig_ratio(&a0, &a, &w_qr).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} SYEV ratio {r}", T::PREFIX);
+    let o = verify::orthogonality_ratio(n, n, a.as_slice(), n).to_f64();
+    assert!(o < tol_of::<T>(1.0), "{} SYEV orthogonality {o}", T::PREFIX);
+
+    let mut a = a0.clone();
+    let w_dc = la90::syevd(&mut a, Jobz::Vectors).unwrap();
+    let r = verify::eig_ratio(&a0, &a, &w_dc).to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} SYEVD ratio {r}", T::PREFIX);
+    for i in 0..n {
+        assert!(
+            (w_qr[i] - w_dc[i]).rabs().to_f64() < 100.0 * T::eps().to_f64(),
+            "{} λ_{i} QR vs D&C",
+            T::PREFIX
+        );
+    }
+
+    // SVD.
+    let g0: Mat<T> = rand_gen(n, 43);
+    let mut g = g0.clone();
+    let svd = la90::gesvd(&mut g, true, true).unwrap();
+    let (u, vt) = (svd.u.unwrap(), svd.vt.unwrap());
+    let r = verify::svd_ratio(n, n, g0.as_slice(), n, &svd.s, u.as_slice(), n, vt.as_slice(), n)
+        .to_f64();
+    assert!(r < tol_of::<T>(1.0), "{} GESVD ratio {r}", T::PREFIX);
+
+    // GEEV through the unified interface.
+    let mut g = g0.clone();
+    let out = la90::geev(&mut g, false, true).unwrap();
+    let vr = out.vr.unwrap();
+    let mut worst = 0.0f64;
+    for j in 0..n {
+        for i in 0..n {
+            let mut av = Complex::<T::Real>::zero();
+            for k in 0..n {
+                let aik = g0[(i, k)];
+                av += Complex::new(aik.re(), aik.im()) * vr[(k, j)];
+            }
+            worst = worst.max((av - out.w[j] * vr[(i, j)]).abs().to_f64());
+        }
+    }
+    assert!(
+        worst < 2e3 * T::eps().to_f64(),
+        "{} GEEV residual {worst}",
+        T::PREFIX
+    );
+
+    // GEES with selection.
+    let mut g = g0.clone();
+    let sel = |w: Complex<T::Real>| w.re > T::Real::zero();
+    let out = la90::gees(&mut g, true, Some(&sel)).unwrap();
+    for (j, w) in out.w.iter().enumerate() {
+        if j < out.sdim {
+            assert!(w.re > T::Real::zero(), "{} GEES order", T::PREFIX);
+        }
+    }
+
+    // Generalized Hermitian-definite.
+    let b0: Mat<T> = rand_hpd(n, 45);
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    let w = la90::sygv(&mut a, &mut b, Jobz::Vectors).unwrap();
+    for j in 0..n {
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut ax = T::zero();
+            let mut bx = T::zero();
+            for k in 0..n {
+                ax += a0[(i, k)] * a[(k, j)];
+                bx += b0[(i, k)] * a[(k, j)];
+            }
+            worst = worst.max((ax - bx.mul_real(w[j])).abs().to_f64());
+        }
+        assert!(
+            worst < 5e3 * T::eps().to_f64() * (n as f64),
+            "{} SYGV pair {j}: {worst}",
+            T::PREFIX
+        );
+    }
+}
+
+#[test]
+fn eigen_and_svd_all_four_types() {
+    eigen_for::<f32>();
+    eigen_for::<f64>();
+    eigen_for::<Complex<f32>>();
+    eigen_for::<Complex<f64>>();
+}
+
+#[test]
+fn paper_prefixes_cover_sdcz() {
+    // The generic interface property: one code path, four instantiations.
+    assert_eq!(f32::PREFIX, 'S');
+    assert_eq!(f64::PREFIX, 'D');
+    assert_eq!(Complex::<f32>::PREFIX, 'C');
+    assert_eq!(Complex::<f64>::PREFIX, 'Z');
+}

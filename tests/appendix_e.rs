@@ -1,0 +1,93 @@
+//! Locks the Appendix E worked examples as a regression test: the exact
+//! input matrix, the exact pivot sequence, the published factor entries
+//! (to the printed precision) and the solution vectors, all in single
+//! precision so the arithmetic matches the paper's `eps = 1.1921e-07`.
+
+use lapack90::{mat, Mat};
+
+fn appendix_matrix() -> Mat<f32> {
+    mat![
+        [0., 2., 3., 5., 4.],
+        [1., 0., 5., 6., 6.],
+        [7., 6., 8., 0., 5.],
+        [4., 6., 0., 3., 9.],
+        [5., 9., 0., 0., 8.],
+    ]
+}
+
+#[test]
+fn example1_matrix_rhs() {
+    let mut a = appendix_matrix();
+    let mut b: Mat<f32> = mat![
+        [14., 28., 42.],
+        [18., 36., 54.],
+        [26., 52., 78.],
+        [22., 44., 66.],
+        [22., 44., 66.],
+    ];
+    la90::gesv(&mut a, &mut b).unwrap();
+    // The paper's exit B: columns ≈ 1·e, 2·e, 3·e to single precision.
+    for j in 0..3 {
+        for i in 0..5 {
+            let want = (j + 1) as f32;
+            assert!(
+                (b[(i, j)] - want).abs() < 2e-5,
+                "X({i},{j}) = {} want {want}",
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn example2_vector_rhs_and_factors() {
+    let mut a = appendix_matrix();
+    let mut b: Vec<f32> = vec![14., 18., 26., 22., 22.];
+    let mut ipiv = vec![0i32; 5];
+    la90::gesv_ipiv(&mut a, &mut b, &mut ipiv).unwrap();
+
+    // IPIV exactly as published.
+    assert_eq!(ipiv, vec![3, 5, 3, 4, 5]);
+
+    // x = e to the printed precision.
+    for (i, &x) in b.iter().enumerate() {
+        assert!((x - 1.0).abs() < 2e-6, "x[{i}] = {x}");
+    }
+
+    // The published factored A (Appendix E, Example 2), to the 7 printed
+    // decimals.
+    #[rustfmt::skip]
+    let factors: [[f32; 5]; 5] = [
+        [7.0000000,  6.0000000,  8.0000000, 0.0000000, 5.0000000],
+        [0.7142857,  4.7142859, -5.7142859, 0.0000000, 4.4285712],
+        [0.0000000,  0.4242424,  5.4242425, 5.0000000, 2.1212122],
+        [0.5714286,  0.5454544, -0.2681566, 4.3407826, 4.2960901],
+        [0.1428571, -0.1818182,  0.5195531, 0.7837837, 1.6216215],
+    ];
+    for (i, row) in factors.iter().enumerate() {
+        for (j, &want) in row.iter().enumerate() {
+            assert!(
+                (a[(i, j)] - want).abs() < 5e-6,
+                "factor ({i},{j}): {} vs paper {want}",
+                a[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn example2_lu_reassembles_permuted_a() {
+    let a0 = appendix_matrix();
+    let mut a = a0.clone();
+    let mut b: Vec<f32> = vec![14., 18., 26., 22., 22.];
+    let mut ipiv = vec![0i32; 5];
+    la90::gesv_ipiv(&mut a, &mut b, &mut ipiv).unwrap();
+    let ratio = lapack90::verify::lu_ratio(&a0, &a, &ipiv);
+    assert!(ratio < 30.0, "LU residual ratio = {ratio}");
+}
+
+#[test]
+fn example2_machine_eps_matches_paper() {
+    // "The results below are computed with eps = 1.1921e-07."
+    assert!((f32::EPSILON - 1.1920929e-7).abs() < 1e-12);
+}

@@ -1,0 +1,141 @@
+//! The Appendix F test program as an assertion (the example binary prints
+//! the report; this locks its outcome): 3 matrices × 4 call forms at
+//! NRHS ∈ {50, 1}, biggest 300×300, single precision, plus the 9 error
+//! exits — all must pass at the paper's threshold of 10.0.
+
+use la_core::{Mat, Trans};
+use la_lapack::{self as f77, SpectrumMode};
+use la_verify::solve_ratio;
+
+fn one_case(n: usize, nrhs: usize, with_ipiv: bool, seed: u64) -> f32 {
+    let d = f77::spectrum::<f32>(SpectrumMode::Geometric, n, 200.0);
+    let mut rng = f77::Larnv::new(seed);
+    let a0 = Mat::from_col_major(n, n, f77::lagge::<f32>(&mut rng, n, n, &d));
+    let xtrue: Mat<f32> = Mat::from_fn(n, nrhs, |i, j| ((i + 2 * j) % 7) as f32 - 3.0);
+    let mut b0: Mat<f32> = Mat::zeros(n, nrhs);
+    la_blas::gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        nrhs,
+        n,
+        1.0,
+        a0.as_slice(),
+        n,
+        xtrue.as_slice(),
+        n,
+        0.0,
+        b0.as_mut_slice(),
+        n,
+    );
+    let mut a = a0.clone();
+    let mut x = b0.clone();
+    if with_ipiv {
+        let mut ipiv = vec![0i32; n];
+        la90::gesv_ipiv(&mut a, &mut x, &mut ipiv).unwrap();
+    } else {
+        la90::gesv(&mut a, &mut x).unwrap();
+    }
+    solve_ratio(&a0, &x, &b0)
+}
+
+#[test]
+fn twelve_solve_tests_pass_at_threshold_ten() {
+    let thresh = 10.0f32;
+    let mut count = 0;
+    for (mi, &n) in [10usize, 100, 300].iter().enumerate() {
+        for form in 0..4 {
+            let nrhs = if form % 2 == 0 { 50 } else { 1 };
+            let ratio = one_case(n, nrhs, form >= 2, 100 + mi as u64 * 7 + form as u64);
+            assert!(
+                ratio <= thresh,
+                "matrix {n}×{n}, nrhs={nrhs}, form {form}: ratio {ratio} > {thresh}"
+            );
+            count += 1;
+        }
+    }
+    assert_eq!(count, 12, "the paper's harness runs 12 tests");
+}
+
+#[test]
+fn nine_error_exits_pass() {
+    let mut checks = 0;
+    // Matrix-shape errors across the LA_GESV family (see Appendix C's
+    // LINFO codes).
+    {
+        let mut a: Mat<f32> = Mat::zeros(3, 4);
+        let mut b: Mat<f32> = Mat::zeros(3, 2);
+        assert_eq!(la90::gesv(&mut a, &mut b).unwrap_err().info(), -1);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::identity(3);
+        let mut b: Mat<f32> = Mat::zeros(2, 2);
+        assert_eq!(la90::gesv(&mut a, &mut b).unwrap_err().info(), -2);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::identity(3);
+        let mut b: Mat<f32> = Mat::zeros(3, 2);
+        let mut piv = vec![0i32; 1];
+        assert_eq!(la90::gesv_ipiv(&mut a, &mut b, &mut piv).unwrap_err().info(), -3);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::zeros(2, 3);
+        let mut b: Vec<f32> = vec![0.0; 2];
+        assert_eq!(la90::gesv(&mut a, &mut b).unwrap_err().info(), -1);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::identity(3);
+        let mut b: Vec<f32> = vec![0.0; 5];
+        assert_eq!(la90::gesv(&mut a, &mut b).unwrap_err().info(), -2);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::identity(3);
+        let mut b: Vec<f32> = vec![0.0; 3];
+        let mut piv = vec![0i32; 4];
+        assert_eq!(la90::gesv_ipiv(&mut a, &mut b, &mut piv).unwrap_err().info(), -3);
+        checks += 1;
+    }
+    {
+        let a: Mat<f32> = Mat::identity(3);
+        let piv = vec![1i32; 4];
+        let mut b: Vec<f32> = vec![0.0; 3];
+        assert_eq!(la90::getrs(&a, &piv, &mut b, Trans::No).unwrap_err().info(), -2);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::zeros(2, 3);
+        let piv = vec![1i32; 2];
+        assert_eq!(la90::getri(&mut a, &piv).unwrap_err().info(), -1);
+        checks += 1;
+    }
+    {
+        let mut a: Mat<f32> = Mat::identity(2);
+        let mut b: Mat<f32> = Mat::zeros(2, 2);
+        let mut x: Mat<f32> = Mat::zeros(2, 1);
+        assert_eq!(
+            la90::gesvx(&mut a, &mut b, &mut x, la90::Fact::NotFactored, Trans::No)
+                .unwrap_err()
+                .info(),
+            -3
+        );
+        checks += 1;
+    }
+    assert_eq!(checks, 9, "the paper's harness runs 9 error-exit tests");
+}
+
+#[test]
+fn singular_input_reports_like_the_paper() {
+    // "> 0 : if INFO = i, then U(i,i) = 0. A is singular and no solution
+    //  was computed."
+    let mut a: Mat<f32> = Mat::from_fn(3, 3, |i, j| ((i + 1) * (j + 1)) as f32); // rank 1
+    let mut b: Vec<f32> = vec![1.0; 3];
+    let err = la90::gesv(&mut a, &mut b).unwrap_err();
+    assert!(err.info() > 0);
+    let msg = format!("{err}");
+    assert!(msg.contains("singular"), "{msg}");
+}

@@ -1,0 +1,189 @@
+//! Degenerate-size and edge-condition coverage: 1×1 and empty problems,
+//! single right-hand sides, zero matrices, and extreme scaling — the
+//! places Fortran interface code traditionally breaks.
+
+use la_core::{Mat, Trans, C64};
+use la90::Jobz;
+
+#[test]
+fn one_by_one_everything() {
+    // Solve.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![4.0]]);
+    let mut b: Vec<f64> = vec![8.0];
+    la90::gesv(&mut a, &mut b).unwrap();
+    assert_eq!(b[0], 2.0);
+    // SPD.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![9.0]]);
+    let mut b: Vec<f64> = vec![3.0];
+    la90::posv(&mut a, &mut b).unwrap();
+    assert!((b[0] - 1.0 / 3.0).abs() < 1e-15);
+    // Eigen.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![-2.5]]);
+    let w = la90::syev(&mut a, Jobz::Vectors).unwrap();
+    assert_eq!(w, vec![-2.5]);
+    assert_eq!(a[(0, 0)], 1.0);
+    // Nonsymmetric eigen.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![7.0]]);
+    let out = la90::geev(&mut a, true, true).unwrap();
+    assert_eq!(out.w[0].re, 7.0);
+    assert_eq!(out.w[0].im, 0.0);
+    // SVD.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![-3.0]]);
+    let svd = la90::gesvd(&mut a, true, true).unwrap();
+    assert_eq!(svd.s[0], 3.0);
+    // Least squares 1×1.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![2.0]]);
+    let mut b: Vec<f64> = vec![5.0];
+    la90::gels(&mut a, &mut b).unwrap();
+    assert!((b[0] - 2.5).abs() < 1e-15);
+    // Tridiagonal with no off-diagonals.
+    let mut d = vec![2.0f64];
+    let mut e: Vec<f64> = vec![];
+    let mut dl: Vec<f64> = vec![];
+    let mut du: Vec<f64> = vec![];
+    let mut b: Vec<f64> = vec![4.0];
+    la90::gtsv(&mut dl, &mut d, &mut du, &mut b).unwrap();
+    assert_eq!(b[0], 2.0);
+    let mut dr = vec![2.0f64];
+    let mut er: Vec<f64> = vec![];
+    let mut b: Vec<f64> = vec![4.0];
+    la90::ptsv::<f64, _>(&mut dr, &mut er, &mut b).unwrap();
+    assert_eq!(b[0], 2.0);
+}
+
+#[test]
+fn empty_problems_are_legal() {
+    let mut a: Mat<f64> = Mat::zeros(0, 0);
+    let mut b: Vec<f64> = vec![];
+    la90::gesv(&mut a, &mut b).unwrap();
+    let w = la90::syev(&mut Mat::<f64>::zeros(0, 0), Jobz::Values).unwrap();
+    assert!(w.is_empty());
+    let out = la90::geev(&mut Mat::<f64>::zeros(0, 0), false, false).unwrap();
+    assert!(out.w.is_empty());
+    let svd = la90::gesvd(&mut Mat::<f64>::zeros(0, 0), false, false).unwrap();
+    assert!(svd.s.is_empty());
+}
+
+#[test]
+fn zero_matrix_paths() {
+    // Zero matrix: LU flags singularity; SVD gives zero spectrum; eigen
+    // gives zero eigenvalues.
+    let mut a: Mat<f64> = Mat::zeros(3, 3);
+    let mut b = vec![1.0f64; 3];
+    assert!(la90::gesv(&mut a, &mut b).is_err());
+    let mut a: Mat<f64> = Mat::zeros(3, 3);
+    let svd = la90::gesvd(&mut a, false, false).unwrap();
+    assert!(svd.s.iter().all(|&s| s == 0.0));
+    let mut a: Mat<f64> = Mat::zeros(3, 3);
+    let w = la90::syev(&mut a, Jobz::Values).unwrap();
+    assert!(w.iter().all(|&x| x == 0.0));
+    let mut a: Mat<f64> = Mat::zeros(4, 4);
+    let out = la90::geev(&mut a, false, false).unwrap();
+    assert!(out.w.iter().all(|w| w.abs() == 0.0));
+}
+
+#[test]
+fn extreme_scaling_survives() {
+    // Badly scaled but well-conditioned systems still solve after
+    // equilibration through the expert driver.
+    let n = 4;
+    let scales = [1e-120f64, 1.0, 1e120, 1e-60];
+    let mut a: Mat<f64> = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = scales[i] * if i == j { 3.0 } else { 0.5 };
+        }
+    }
+    let xtrue: Vec<f64> = vec![1.0, -2.0, 0.5, 3.0];
+    let mut b = vec![0.0f64; n];
+    la_blas::gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &xtrue, 1, 0.0, &mut b, 1);
+    let mut af = a.clone();
+    let mut x = vec![0.0f64; n];
+    let out = la90::gesvx(&mut af, &mut b, &mut x, la90::Fact::Equilibrate, Trans::No).unwrap();
+    assert!(matches!(out.equed, la90::Equed::Row | la90::Equed::Both));
+    for i in 0..n {
+        assert!(
+            (x[i] - xtrue[i]).abs() < 1e-8 * (1.0 + xtrue[i].abs()),
+            "x[{i}] = {} want {}",
+            x[i],
+            xtrue[i]
+        );
+    }
+}
+
+#[test]
+fn tiny_and_huge_norms_in_blas() {
+    // nrm2/lassq scale-safety end to end through a solve.
+    let n = 3;
+    let s = 1e150f64;
+    let mut a: Mat<f64> = Mat::from_fn(n, n, |i, j| if i == j { 2.0 * s } else { 0.5 * s });
+    let mut b: Vec<f64> = vec![3.0 * s; n];
+    la90::gesv(&mut a, &mut b).unwrap();
+    for &x in &b {
+        assert!((x - 1.0).abs() < 1e-12, "huge-scale solve");
+    }
+    let s = 1e-150f64;
+    let mut a: Mat<f64> = Mat::from_fn(n, n, |i, j| if i == j { 2.0 * s } else { 0.5 * s });
+    let mut b: Vec<f64> = vec![3.0 * s; n];
+    la90::gesv(&mut a, &mut b).unwrap();
+    for &x in &b {
+        assert!((x - 1.0).abs() < 1e-12, "tiny-scale solve");
+    }
+}
+
+#[test]
+fn repeated_eigenvalues_orthogonal_vectors() {
+    // Identity ⊕ scaled identity: heavy multiplicity — eigenvectors must
+    // still come out orthonormal (exercises steqr/stedc deflation).
+    let n = 12;
+    let a: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            if i < 6 {
+                1.0
+            } else {
+                2.0
+            }
+        } else {
+            0.0
+        }
+    });
+    for dc in [false, true] {
+        let mut m = a.clone();
+        let w = if dc {
+            la90::syevd(&mut m, Jobz::Vectors).unwrap()
+        } else {
+            la90::syev(&mut m, Jobz::Vectors).unwrap()
+        };
+        for i in 0..6 {
+            assert!((w[i] - 1.0).abs() < 1e-14);
+            assert!((w[i + 6] - 2.0).abs() < 1e-14);
+        }
+        let o = lapack90::verify::orthogonality_ratio(n, n, m.as_slice(), n);
+        assert!(o < 30.0, "dc={dc} orthogonality {o}");
+    }
+}
+
+#[test]
+fn single_precision_complex_full_pipeline() {
+    // C32 through solve → eigen → svd in one flow (the fourth
+    // instantiation exercised beyond the smoke level).
+    use la_core::C32;
+    let n = 8;
+    let mut rng = la_lapack::Larnv::new(77);
+    let a0: Mat<C32> = Mat::from_fn(n, n, |_, _| rng.scalar(la_lapack::Dist::Uniform11));
+    let xtrue: Vec<C32> = (0..n).map(|i| C32::new(i as f32, 1.0)).collect();
+    let mut b = vec![C32::new(0.0, 0.0); n];
+    la_blas::gemv(Trans::No, n, n, C32::new(1.0, 0.0), a0.as_slice(), n, &xtrue, 1, C32::new(0.0, 0.0), &mut b, 1);
+    let mut a = a0.clone();
+    la90::gesv(&mut a, &mut b).unwrap();
+    for i in 0..n {
+        assert!((b[i] - xtrue[i]).abs() < 1e-3, "C32 solve x[{i}]");
+    }
+    let mut a = a0.clone();
+    let out = la90::geev(&mut a, false, true).unwrap();
+    assert_eq!(out.w.len(), n);
+    let mut a = a0.clone();
+    let svd = la90::gesvd(&mut a, false, false).unwrap();
+    assert!(svd.s[0] >= svd.s[n - 1]);
+    let _ = C64::zero();
+}

@@ -1,0 +1,143 @@
+//! The paper's "error exits" test category, widened to every driver
+//! family: each shape violation must produce the ERINFO-convention
+//! `INFO = -i` for the offending argument index, and the message must
+//! carry the `LA_*` routine name exactly as the Fortran ERINFO prints it.
+
+use la_core::{BandMat, LaError, Mat, PackedMat, Trans, Uplo};
+
+fn expect_illegal<T>(r: Result<T, LaError>, routine: &str, index: i32) {
+    match r {
+        Err(e) => {
+            assert_eq!(e.info(), -index, "{routine}: wrong INFO");
+            assert_eq!(e.routine(), routine, "wrong routine name");
+            let msg = format!("{e}");
+            assert!(
+                msg.contains(&format!("Terminated in LAPACK90 subroutine {routine}")),
+                "ERINFO message shape: {msg}"
+            );
+        }
+        Ok(_) => panic!("{routine}: expected INFO = -{index}, got success"),
+    }
+}
+
+#[test]
+fn gesv_family_error_exits() {
+    // -1: A not square.
+    let mut a: Mat<f64> = Mat::zeros(3, 4);
+    let mut b: Vec<f64> = vec![0.0; 3];
+    expect_illegal(la90::gesv(&mut a, &mut b), "LA_GESV", 1);
+    // -2: B rows mismatch.
+    let mut a: Mat<f64> = Mat::identity(4);
+    let mut b: Vec<f64> = vec![0.0; 3];
+    expect_illegal(la90::gesv(&mut a, &mut b), "LA_GESV", 2);
+    // -3: IPIV length mismatch.
+    let mut b: Vec<f64> = vec![0.0; 4];
+    let mut piv = vec![0i32; 3];
+    expect_illegal(la90::gesv_ipiv(&mut a, &mut b, &mut piv), "LA_GESV", 3);
+}
+
+#[test]
+fn band_and_tridiagonal_error_exits() {
+    // GBSV: band without factor space is argument 1.
+    let mut ab: BandMat<f64> = BandMat::zeros(4, 4, 1, 1);
+    let mut b: Vec<f64> = vec![0.0; 4];
+    expect_illegal(la90::gbsv(&mut ab, &mut b), "LA_GBSV", 1);
+    // GBSV: wrong B rows.
+    let mut ab: BandMat<f64> = BandMat::zeros_for_factor(4, 4, 1, 1);
+    let mut b: Vec<f64> = vec![0.0; 3];
+    expect_illegal(la90::gbsv(&mut ab, &mut b), "LA_GBSV", 2);
+    // GTSV: wrong DL length.
+    let mut dl = vec![0.0f64; 1];
+    let mut d = vec![1.0f64; 4];
+    let mut du = vec![0.0f64; 3];
+    let mut b = vec![0.0f64; 4];
+    expect_illegal(la90::gtsv(&mut dl, &mut d, &mut du, &mut b), "LA_GTSV", 1);
+    // PTSV: wrong E length.
+    let mut d = vec![1.0f64; 4];
+    let mut e = vec![0.0f64; 1];
+    let mut b = vec![0.0f64; 4];
+    expect_illegal(la90::ptsv::<f64, _>(&mut d, &mut e, &mut b), "LA_PTSV", 2);
+}
+
+#[test]
+fn spd_and_indefinite_error_exits() {
+    let mut a: Mat<f64> = Mat::zeros(3, 4);
+    let mut b: Vec<f64> = vec![0.0; 3];
+    expect_illegal(la90::posv(&mut a, &mut b), "LA_POSV", 1);
+    let mut a: Mat<f64> = Mat::identity(3);
+    let mut b: Vec<f64> = vec![0.0; 2];
+    expect_illegal(la90::posv(&mut a, &mut b), "LA_POSV", 2);
+    expect_illegal(la90::sysv(&mut a, &mut b), "LA_SYSV", 2);
+    expect_illegal(la90::hesv(&mut a, &mut b), "LA_HESV", 2);
+    let mut ap: PackedMat<f64> = PackedMat::zeros(3, Uplo::Upper);
+    expect_illegal(la90::ppsv(&mut ap, &mut b), "LA_PPSV", 2);
+    expect_illegal(la90::spsv(&mut ap, &mut b), "LA_SPSV", 2);
+}
+
+#[test]
+fn least_squares_error_exits() {
+    let mut a: Mat<f64> = Mat::zeros(5, 3);
+    let mut b: Vec<f64> = vec![0.0; 4];
+    expect_illegal(la90::gels(&mut a, &mut b), "LA_GELS", 2);
+    expect_illegal(la90::gelss(&mut a, &mut b, -1.0), "LA_GELSS", 2);
+    expect_illegal(la90::gelsx(&mut a, &mut b, -1.0), "LA_GELSX", 2);
+    // GGLSE: dimension relations violated (p > n).
+    let mut a: Mat<f64> = Mat::zeros(4, 2);
+    let mut bb: Mat<f64> = Mat::zeros(3, 2);
+    let mut c = vec![0.0f64; 4];
+    let mut d = vec![0.0f64; 3];
+    expect_illegal(la90::gglse(&mut a, &mut bb, &mut c, &mut d), "LA_GGLSE", 2);
+}
+
+#[test]
+fn eigen_error_exits() {
+    let mut a: Mat<f64> = Mat::zeros(3, 4);
+    expect_illegal(la90::syev(&mut a, la90::Jobz::Values), "LA_SYEV", 1);
+    expect_illegal(la90::syevd(&mut a, la90::Jobz::Values), "LA_SYEVD", 1);
+    expect_illegal(la90::geev(&mut a, false, false), "LA_GEEV", 1);
+    expect_illegal(la90::gees(&mut a, false, None), "LA_GEES", 1);
+    // STEV: E too short.
+    let mut d = vec![1.0f64; 5];
+    let mut e = vec![0.0f64; 2];
+    expect_illegal(la90::stev::<f64>(&mut d, &mut e, la90::Jobz::Values), "LA_STEV", 2);
+    // SYGV: B shape.
+    let mut a: Mat<f64> = Mat::identity(3);
+    let mut b: Mat<f64> = Mat::identity(4);
+    expect_illegal(la90::sygv(&mut a, &mut b, la90::Jobz::Values), "LA_SYGV", 2);
+}
+
+#[test]
+fn computational_error_exits() {
+    let mut a: Mat<f64> = Mat::zeros(4, 3);
+    let mut piv = vec![0i32; 2];
+    expect_illegal(la90::getrf(&mut a, &mut piv), "LA_GETRF", 2);
+    let a: Mat<f64> = Mat::identity(3);
+    let piv = vec![1i32; 2];
+    let mut b = vec![0.0f64; 3];
+    expect_illegal(la90::getrs(&a, &piv, &mut b, Trans::No), "LA_GETRS", 2);
+    let mut a2: Mat<f64> = Mat::zeros(3, 2);
+    expect_illegal(la90::getri(&mut a2, &piv), "LA_GETRI", 1);
+    let mut a3: Mat<f64> = Mat::zeros(2, 3);
+    expect_illegal(la90::potrf(&mut a3, Uplo::Upper), "LA_POTRF", 1);
+    expect_illegal(la90::sytrd(&mut a3, Uplo::Upper), "LA_SYTRD", 1);
+}
+
+#[test]
+fn positive_info_variants() {
+    // Singular: the full Fortran ERINFO story incl. the U(i,i) = 0 text.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+    let mut b = vec![1.0f64, 2.0];
+    let e = la90::gesv(&mut a, &mut b).unwrap_err();
+    assert!(matches!(e, LaError::Singular { index: 2, .. }));
+    assert!(format!("{e}").contains("singular"));
+
+    // Not positive definite.
+    let mut a: Mat<f64> = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, -2.0]]);
+    let mut b = vec![1.0f64, 1.0];
+    let e = la90::posv(&mut a, &mut b).unwrap_err();
+    assert!(matches!(e, LaError::NotPosDef { minor: 2, .. }));
+
+    // Allocation-failure code path is representable.
+    let e = LaError::AllocFailed { routine: "LA_GETRI" };
+    assert_eq!(e.info(), -100);
+}

@@ -1,0 +1,217 @@
+//! Generalized-problem integration: `LA_GEGS` (QZ Schur pair),
+//! `LA_GEGV` across real/complex, the Hermitian alias surface, and the
+//! `sygv` itype variants through the high-level API.
+
+use la_core::{Complex, Mat, PackedMat, SymBandMat, Trans, Uplo, C64};
+use la_lapack::{Dist, Larnv};
+use la90::Jobz;
+
+#[test]
+fn gegs_schur_pair_relations() {
+    let n = 9;
+    let mut rng = Larnv::new(5);
+    let a0: Mat<C64> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11));
+    let b0: Mat<C64> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11));
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    let out = la90::gegs(&mut a, &mut b).unwrap();
+    // S, P triangular with the reported diagonals.
+    for j in 0..n {
+        assert_eq!(out.alpha[j], a[(j, j)]);
+        assert_eq!(out.beta[j], b[(j, j)]);
+        for i in j + 1..n {
+            assert_eq!(a[(i, j)], C64::zero());
+            assert_eq!(b[(i, j)], C64::zero());
+        }
+    }
+    // A = Q·S·Zᴴ and B = Q·P·Zᴴ.
+    for (orig, tri) in [(&a0, &a), (&b0, &b)] {
+        let mut qs = vec![C64::zero(); n * n];
+        la_blas::gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            out.q.as_slice(),
+            n,
+            tri.as_slice(),
+            n,
+            C64::zero(),
+            &mut qs,
+            n,
+        );
+        let mut rec = vec![C64::zero(); n * n];
+        la_blas::gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            n,
+            n,
+            n,
+            C64::one(),
+            &qs,
+            n,
+            out.z.as_slice(),
+            n,
+            C64::zero(),
+            &mut rec,
+            n,
+        );
+        for k in 0..n * n {
+            assert!(
+                (rec[k] - orig.as_slice()[k]).abs() < 1e-10 * n as f64,
+                "Schur pair relation broken at {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gegv_handles_singular_b() {
+    // The QZ path must survive a singular B (infinite eigenvalue) — the
+    // old B⁻¹A substitute could not.
+    let n = 3;
+    let mut a: Mat<f64> = Mat::identity(n);
+    a[(0, 1)] = 2.0;
+    a[(1, 2)] = -1.0;
+    let mut b: Mat<f64> = Mat::identity(n);
+    b[(2, 2)] = 0.0; // rank deficient
+    let (alpha, beta) = la90::gegv(&mut a, &mut b).unwrap();
+    assert_eq!(alpha.len(), n);
+    // At least one ratio must be huge (the "infinite" eigenvalue shows up
+    // as |α/β| ≫ 1 after the ε-regularisation of P's diagonal).
+    let max_ratio = (0..n)
+        .map(|j| (alpha[j].ladiv(beta[j])).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_ratio > 1e6, "expected a near-infinite eigenvalue, max |λ| = {max_ratio}");
+}
+
+#[test]
+fn hermitian_alias_surface() {
+    let n = 6;
+    let mut rng = Larnv::new(9);
+    let mut herm: Mat<C64> = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            let v: C64 = if i == j {
+                C64::from_real(rng.real(Dist::Uniform11))
+            } else {
+                rng.scalar(Dist::Uniform11)
+            };
+            herm[(i, j)] = v;
+            herm[(j, i)] = v.conj();
+        }
+    }
+    let wref = la90::syev(&mut herm.clone(), Jobz::Values).unwrap();
+    // heevd / hpev / hbev aliases produce the same spectrum.
+    let w = la90::heevd(&mut herm.clone(), Jobz::Values).unwrap();
+    for i in 0..n {
+        assert!((w[i] - wref[i]).abs() < 1e-10);
+    }
+    let mut ap = PackedMat::from_dense(&herm, Uplo::Upper);
+    let (w, _) = la90::hpev(&mut ap, Jobz::Values).unwrap();
+    for i in 0..n {
+        assert!((w[i] - wref[i]).abs() < 1e-10);
+    }
+    let ab = SymBandMat::from_dense(&herm, n - 1, Uplo::Upper);
+    let (w, _) = la90::hbev(&ab, Jobz::Values).unwrap();
+    for i in 0..n {
+        assert!((w[i] - wref[i]).abs() < 1e-10);
+    }
+    // hetrd/ungtr roundtrip.
+    let mut f = herm.clone();
+    let (_d, _e, tau) = la90::hetrd(&mut f, Uplo::Lower).unwrap();
+    la90::ungtr(&mut f, &tau, Uplo::Lower).unwrap();
+    let o = lapack90::verify::orthogonality_ratio(n, n, f.as_slice(), n);
+    assert!(o < 30.0, "ungtr orthogonality ratio {o}");
+}
+
+#[test]
+fn sygv_itype_variants_through_la90() {
+    let n = 7;
+    let mut rng = Larnv::new(13);
+    let mut a0: Mat<f64> = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            let v = rng.real::<f64>(Dist::Uniform11);
+            a0[(i, j)] = v;
+            a0[(j, i)] = v;
+        }
+    }
+    let g: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(Dist::Normal));
+    let mut b0: Mat<f64> = Mat::zeros(n, n);
+    la_blas::gemm(
+        Trans::Trans,
+        Trans::No,
+        n,
+        n,
+        n,
+        1.0,
+        g.as_slice(),
+        n,
+        g.as_slice(),
+        n,
+        0.0,
+        b0.as_mut_slice(),
+        n,
+    );
+    for i in 0..n {
+        b0[(i, i)] += n as f64;
+    }
+    use la90::GvItype;
+    for itype in [GvItype::AxLBx, GvItype::ABxLx, GvItype::BAxLx] {
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            let mut a = a0.clone();
+            let mut b = b0.clone();
+            let w = la90::sygv_full(&mut a, &mut b, Jobz::Vectors, itype, uplo).unwrap();
+            // Verify the defining equation per eigenpair.
+            for j in 0..n {
+                let x: Vec<f64> = (0..n).map(|i| a[(i, j)]).collect();
+                let mut ax = vec![0.0; n];
+                let mut bx = vec![0.0; n];
+                la_blas::gemv(Trans::No, n, n, 1.0, a0.as_slice(), n, &x, 1, 0.0, &mut ax, 1);
+                la_blas::gemv(Trans::No, n, n, 1.0, b0.as_slice(), n, &x, 1, 0.0, &mut bx, 1);
+                let worst = match itype {
+                    GvItype::AxLBx => (0..n)
+                        .map(|i| (ax[i] - w[j] * bx[i]).abs())
+                        .fold(0.0f64, f64::max),
+                    GvItype::ABxLx => {
+                        let mut abx = vec![0.0; n];
+                        la_blas::gemv(Trans::No, n, n, 1.0, a0.as_slice(), n, &bx, 1, 0.0, &mut abx, 1);
+                        (0..n).map(|i| (abx[i] - w[j] * x[i]).abs()).fold(0.0f64, f64::max)
+                    }
+                    GvItype::BAxLx => {
+                        let mut bax = vec![0.0; n];
+                        la_blas::gemv(Trans::No, n, n, 1.0, b0.as_slice(), n, &ax, 1, 0.0, &mut bax, 1);
+                        (0..n).map(|i| (bax[i] - w[j] * x[i]).abs()).fold(0.0f64, f64::max)
+                    }
+                };
+                assert!(worst < 1e-8 * n as f64, "{itype:?} {uplo:?} pair {j}: {worst}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gegv_generic_name_covers_all_types() {
+    fn run<T: la90::EigDriver>(seed: u64) {
+        let n = 5;
+        let mut rng = Larnv::new(seed);
+        let mut a: Mat<T> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11));
+        let mut b: Mat<T> = Mat::from_fn(n, n, |i, j| {
+            let v: T = rng.scalar(Dist::Uniform11);
+            v * T::from_f64(0.2) + if i == j { T::from_f64(2.0) } else { T::zero() }
+        });
+        let (alpha, beta) = la90::gegv(&mut a, &mut b).unwrap();
+        assert_eq!(alpha.len(), n);
+        assert_eq!(beta.len(), n);
+        for j in 0..n {
+            assert!(alpha[j].is_finite() && beta[j].is_finite());
+        }
+    }
+    run::<f32>(1);
+    run::<f64>(2);
+    run::<Complex<f32>>(3);
+    run::<Complex<f64>>(4);
+}

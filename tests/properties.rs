@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) on the core invariants:
+//! complex field axioms, BLAS identities, factor-reassembly residuals,
+//! pivot validity, spectra orderings, and solve-multiply roundtrips on
+//! arbitrary well-conditioned inputs.
+
+use la_core::{Complex, Mat, Trans, Uplo, C64};
+use la_lapack as f77;
+use lapack90::verify;
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    // Bounded away from the extremes so condition numbers stay sane.
+    (-1.0f64..1.0).prop_map(|x| x)
+}
+
+fn complex_val() -> impl Strategy<Value = C64> {
+    (small_f64(), small_f64()).prop_map(|(r, i)| C64::new(r, i))
+}
+
+fn square_matrix(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(small_f64(), n * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Complex arithmetic axioms.
+    // ------------------------------------------------------------------
+    #[test]
+    fn complex_field_axioms(a in complex_val(), b in complex_val(), c in complex_val()) {
+        let assoc = (a + b) + c - (a + (b + c));
+        prop_assert!(assoc.abs() < 1e-12);
+        let distr = a * (b + c) - (a * b + a * c);
+        prop_assert!(distr.abs() < 1e-12);
+        let comm = a * b - b * a;
+        prop_assert!(comm.abs() == 0.0);
+        prop_assert!((a.conj() * b.conj() - (a * b).conj()).abs() < 1e-15);
+        if a.abs() > 1e-6 {
+            prop_assert!(((b / a) * a - b).abs() < 1e-12 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn complex_modulus_properties(a in complex_val(), b in complex_val()) {
+        // Triangle inequality and multiplicativity.
+        prop_assert!((a + b).abs() <= a.abs() + b.abs() + 1e-14);
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-12);
+        // abs1 bounds: abs ≤ abs1 ≤ √2·abs.
+        prop_assert!(a.abs() <= a.abs1() + 1e-15);
+        prop_assert!(a.abs1() <= a.abs() * 2f64.sqrt() + 1e-15);
+    }
+
+    // ------------------------------------------------------------------
+    // BLAS identities.
+    // ------------------------------------------------------------------
+    #[test]
+    fn gemm_respects_transpose_identity(m in 1usize..6, n in 1usize..6, k in 1usize..6,
+                                        seed in 0u64..1000) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ.
+        let mut rng = f77::Larnv::new(seed);
+        let a: Vec<f64> = rng.vec(f77::Dist::Uniform11, m * k);
+        let b: Vec<f64> = rng.vec(f77::Dist::Uniform11, k * n);
+        let mut ab = vec![0.0; m * n];
+        la_blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, m, &b, k, 0.0, &mut ab, m);
+        let mut btat = vec![0.0; n * m];
+        la_blas::gemm(Trans::Trans, Trans::Trans, n, m, k, 1.0, &b, k, &a, m, 0.0, &mut btat, n);
+        for j in 0..n {
+            for i in 0..m {
+                prop_assert!((ab[i + j * m] - btat[j + i * n]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_trmm(n in 1usize..8, nrhs in 1usize..4, seed in 0u64..1000) {
+        let mut rng = f77::Larnv::new(seed);
+        let mut t: Vec<f64> = rng.vec(f77::Dist::Uniform11, n * n);
+        for i in 0..n {
+            t[i + i * n] = 3.0 + t[i + i * n].abs();
+        }
+        let b0: Vec<f64> = rng.vec(f77::Dist::Uniform11, n * nrhs);
+        let mut b = b0.clone();
+        la_blas::trmm(la_core::Side::Left, Uplo::Lower, Trans::No, la_core::Diag::NonUnit,
+                      n, nrhs, 1.0, &t, n, &mut b, n);
+        la_blas::trsm(la_core::Side::Left, Uplo::Lower, Trans::No, la_core::Diag::NonUnit,
+                      n, nrhs, 1.0, &t, n, &mut b, n);
+        for k in 0..n * nrhs {
+            prop_assert!((b[k] - b0[k]).abs() < 1e-10 * (1.0 + b0[k].abs()));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Factorization invariants.
+    // ------------------------------------------------------------------
+    #[test]
+    fn lu_pivots_valid_and_residual_small(n in 1usize..12, data in square_matrix(12)) {
+        let a0: Mat<f64> = Mat::from_fn(n, n, |i, j| data[i + j * 12 % (12 * 12)] + if i == j { 2.0 } else { 0.0 });
+        let mut f = a0.clone();
+        let mut ipiv = vec![0i32; n];
+        if la90::getrf(&mut f, &mut ipiv).is_ok() {
+            // Pivots are 1-based and in range [k+1, n].
+            for (k, &p) in ipiv.iter().enumerate() {
+                prop_assert!(p >= (k + 1) as i32 && p <= n as i32, "pivot {p} at {k}");
+            }
+            let r = verify::lu_ratio(&a0, &f, &ipiv);
+            prop_assert!(r < 50.0, "LU ratio {r}");
+        }
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrip(n in 1usize..10, seed in 0u64..500) {
+        let mut rng = f77::Larnv::new(seed);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            rng.real::<f64>(f77::Dist::Uniform11) + if i == j { 3.0 } else { 0.0 }
+        });
+        let xtrue: Vec<f64> = rng.vec(f77::Dist::Uniform11, n);
+        let mut b = vec![0.0; n];
+        la_blas::gemv(Trans::No, n, n, 1.0, a0.as_slice(), n, &xtrue, 1, 0.0, &mut b, 1);
+        let mut a = a0.clone();
+        la90::gesv(&mut a, &mut b).unwrap();
+        for i in 0..n {
+            prop_assert!((b[i] - xtrue[i]).abs() < 1e-9, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn cholesky_requires_posdef(n in 1usize..8, seed in 0u64..500) {
+        let mut rng = f77::Larnv::new(seed);
+        // Definitely NOT positive definite: negative diagonal somewhere.
+        let mut a: Mat<f64> = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = if i == n / 2 { -1.0 } else { 1.0 };
+            for j in 0..i {
+                let v = 0.01 * rng.real::<f64>(f77::Dist::Uniform11);
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let mut b = vec![1.0f64; n];
+        let r = la90::posv(&mut a, &mut b);
+        prop_assert!(r.is_err(), "posv accepted an indefinite matrix");
+    }
+
+    // ------------------------------------------------------------------
+    // Spectral invariants.
+    // ------------------------------------------------------------------
+    #[test]
+    fn eigenvalues_ascending_and_trace_preserved(n in 1usize..10, seed in 0u64..500) {
+        let mut rng = f77::Larnv::new(seed);
+        let mut a: Mat<f64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                let v = rng.real::<f64>(f77::Dist::Uniform11);
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let w = la90::syev(&mut a, la90::Jobz::Values).unwrap();
+        for i in 1..n {
+            prop_assert!(w[i] >= w[i - 1]);
+        }
+        let wsum: f64 = w.iter().sum();
+        prop_assert!((wsum - trace).abs() < 1e-10 * (1.0 + trace.abs()) * n as f64);
+    }
+
+    #[test]
+    fn singular_values_nonneg_descending_and_norm(m in 1usize..9, n in 1usize..9, seed in 0u64..500) {
+        let mut rng = f77::Larnv::new(seed);
+        let a0: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.real(f77::Dist::Uniform11));
+        let fro = a0.norm_fro();
+        let mut a = a0.clone();
+        let out = la90::gesvd(&mut a, false, false).unwrap();
+        let k = m.min(n);
+        prop_assert_eq!(out.s.len(), k);
+        for i in 0..k {
+            prop_assert!(out.s[i] >= 0.0);
+            if i > 0 {
+                prop_assert!(out.s[i] <= out.s[i - 1] + 1e-13);
+            }
+        }
+        // ‖A‖_F² = Σσ².
+        let ssum: f64 = out.s.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((ssum - fro).abs() < 1e-10 * (1.0 + fro));
+    }
+
+    #[test]
+    fn geev_eigenvalues_sum_to_trace(n in 2usize..9, seed in 0u64..300) {
+        let mut rng = f77::Larnv::new(seed);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(f77::Dist::Uniform11));
+        let trace: f64 = (0..n).map(|i| a0[(i, i)]).sum();
+        let mut a = a0.clone();
+        let out = la90::geev(&mut a, false, false).unwrap();
+        let wsum: Complex<f64> = out.w.iter().fold(Complex::zero(), |s, &w| s + w);
+        prop_assert!((wsum.re - trace).abs() < 1e-8 * (1.0 + trace.abs()) * n as f64,
+                     "Σλ = {} vs tr = {trace}", wsum.re);
+        prop_assert!(wsum.im.abs() < 1e-8 * n as f64);
+    }
+
+    #[test]
+    fn least_squares_never_beats_residual(m in 2usize..10, seed in 0u64..300) {
+        // The LS residual is orthogonal to range(A): any perturbation of x
+        // cannot reduce ‖b − Ax‖.
+        let n = (m / 2).max(1);
+        let mut rng = f77::Larnv::new(seed);
+        let a0: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.real(f77::Dist::Uniform11));
+        let b0: Vec<f64> = rng.vec(f77::Dist::Uniform11, m);
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        la90::gels(&mut a, &mut b).unwrap();
+        let resid = |x: &[f64]| -> f64 {
+            let mut r = b0.clone();
+            la_blas::gemv(Trans::No, m, n, -1.0, a0.as_slice(), m, x, 1, 1.0, &mut r, 1);
+            r.iter().map(|v| v * v).sum::<f64>().sqrt()
+        };
+        let base = resid(&b[..n]);
+        let mut xp = b[..n].to_vec();
+        for i in 0..n {
+            xp[i] += 1e-3;
+            prop_assert!(resid(&xp) >= base - 1e-9, "perturbation improved LS fit");
+            xp[i] -= 1e-3;
+        }
+    }
+
+    #[test]
+    fn packed_and_dense_solvers_agree(n in 1usize..10, seed in 0u64..300) {
+        let mut rng = f77::Larnv::new(seed);
+        let mut spd: Mat<f64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                let v = rng.real::<f64>(f77::Dist::Uniform11) * 0.3;
+                spd[(i, j)] = v;
+                spd[(j, i)] = v;
+            }
+            spd[(j, j)] = 2.0 + spd[(j, j)].abs();
+        }
+        let b0: Vec<f64> = rng.vec(f77::Dist::Uniform11, n);
+        let mut a = spd.clone();
+        let mut x1 = b0.clone();
+        la90::posv(&mut a, &mut x1).unwrap();
+        let mut ap = la_core::PackedMat::from_dense(&spd, Uplo::Lower);
+        let mut x2 = b0.clone();
+        la90::ppsv(&mut ap, &mut x2).unwrap();
+        for i in 0..n {
+            prop_assert!((x1[i] - x2[i]).abs() < 1e-10 * (1.0 + x1[i].abs()));
+        }
+    }
+}
