@@ -5,75 +5,98 @@
 //! Measures the Level-3 substrate directly: the naive triple loop (the
 //! memory access pattern the paper says EISPACK/LINPACK are stuck with)
 //! against this library's packed register-tiled GEMM (which also splits
-//! C's columns across threads when more than one core is available).
+//! C's columns across threads when more than one core is available),
+//! plus `trsm`/`syrk`, the operations that dominate the blocked
+//! factorizations' trailing updates.
 //!
 //! Expected shape: blocked ≫ naive once the matrices exceed the cache
 //! (≈15× at n = 512 on the single-core reference machine).
+//!
+//! Plain `harness = false` binary timed with `std::time` — no criterion,
+//! so the suite builds with no network access.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use la_bench::gemm_naive;
+use la_bench::{gemm_naive, timeit};
 use la_core::Trans;
 
-fn blas3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm_f64");
-    group.sample_size(10);
+fn main() {
+    println!("== gemm_f64: naive ijl vs blocked (GFLOP/s) ==");
     for &n in &[64usize, 128, 256, 512] {
         let a: Vec<f64> = (0..n * n).map(|k| (k % 97) as f64 / 97.0).collect();
         let b: Vec<f64> = (0..n * n).map(|k| (k % 89) as f64 / 89.0).collect();
-        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("naive_ijl", n), &n, |bch, &n| {
-            let mut cbuf = vec![0.0f64; n * n];
-            bch.iter(|| gemm_naive(n, n, n, &a, &b, &mut cbuf))
+        let flops = 2.0 * (n as f64).powi(3);
+        let reps = if n <= 128 { 10 } else { 3 };
+        let mut cbuf = vec![0.0f64; n * n];
+        let t_naive = timeit(reps, || gemm_naive(n, n, n, &a, &b, &mut cbuf));
+        let t_blocked = timeit(reps, || {
+            la_blas::gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                &a,
+                n,
+                &b,
+                n,
+                0.0,
+                &mut cbuf,
+                n,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, &n| {
-            let mut cbuf = vec![0.0f64; n * n];
-            bch.iter(|| {
-                // Stay under the parallel threshold by benchmarking a
-                // column stripe sequentially... instead just call gemm
-                // (it decides internally); the separate serial measurement
-                // comes from the small sizes below the threshold.
-                la_blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut cbuf, n)
-            })
-        });
+        println!(
+            "n={n:4}  naive {:8.2} ms ({:6.2} GF/s)   blocked {:8.2} ms ({:6.2} GF/s)   ratio {:5.1}x",
+            t_naive * 1e3,
+            flops / t_naive / 1e9,
+            t_blocked * 1e3,
+            flops / t_blocked / 1e9,
+            t_naive / t_blocked
+        );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("trsm_syrk_f64");
-    group.sample_size(10);
+    println!("== trsm / syrk f64 ==");
     for &n in &[128usize, 384] {
         let mut t: Vec<f64> = (0..n * n).map(|k| (k % 31) as f64 / 31.0).collect();
         for i in 0..n {
             t[i + i * n] = 4.0;
         }
         let b0: Vec<f64> = (0..n * n).map(|k| (k % 53) as f64 / 53.0).collect();
-        group.bench_with_input(BenchmarkId::new("trsm", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut b = b0.clone();
-                la_blas::trsm(
-                    la_core::Side::Left,
-                    la_core::Uplo::Lower,
-                    Trans::No,
-                    la_core::Diag::NonUnit,
-                    n,
-                    n,
-                    1.0,
-                    &t,
-                    n,
-                    &mut b,
-                    n,
-                );
-                b
-            })
+        let t_trsm = timeit(5, || {
+            let mut b = b0.clone();
+            la_blas::trsm(
+                la_core::Side::Left,
+                la_core::Uplo::Lower,
+                Trans::No,
+                la_core::Diag::NonUnit,
+                n,
+                n,
+                1.0,
+                &t,
+                n,
+                &mut b,
+                n,
+            );
+            b
         });
-        group.bench_with_input(BenchmarkId::new("syrk", n), &n, |bch, &n| {
-            let mut cbuf = vec![0.0f64; n * n];
-            bch.iter(|| {
-                la_blas::syrk(la_core::Uplo::Lower, Trans::No, n, n, 1.0, &b0, n, 0.0, &mut cbuf, n)
-            })
+        let mut cbuf = vec![0.0f64; n * n];
+        let t_syrk = timeit(5, || {
+            la_blas::syrk(
+                la_core::Uplo::Lower,
+                Trans::No,
+                n,
+                n,
+                1.0,
+                &b0,
+                n,
+                0.0,
+                &mut cbuf,
+                n,
+            )
         });
+        println!(
+            "n={n:4}  trsm {:8.2} ms   syrk {:8.2} ms",
+            t_trsm * 1e3,
+            t_syrk * 1e3
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, blas3);
-criterion_main!(benches);

@@ -9,74 +9,74 @@
 //! the blocked versions pull ahead and the gap widens with n — by
 //! n = 1024 blocked LU is ~2× and blocked Cholesky ~1.6× faster on this
 //! machine.
+//!
+//! Plain `harness = false` binary timed with `std::time` — no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use la_bench::{bench_matrix, bench_spd};
+use la_bench::{bench_matrix, bench_spd, timeit};
 use la_core::{Mat, Uplo};
 use la_lapack as f77;
 
-fn blocked(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lu_blocked_vs_unblocked");
-    group.sample_size(10);
+fn main() {
+    println!("== LU: getrf (blocked) vs getf2 (unblocked) ==");
     for &n in &[128usize, 256, 512, 1024] {
         let a0: Mat<f64> = bench_matrix(n, 3);
-        group.bench_with_input(BenchmarkId::new("getrf_blocked", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                let mut ipiv = vec![0i32; n];
-                f77::getrf(n, n, &mut a, n, &mut ipiv)
-            })
+        let reps = if n <= 256 { 5 } else { 2 };
+        let t_blk = timeit(reps, || {
+            let mut a = a0.clone().into_vec();
+            let mut ipiv = vec![0i32; n];
+            f77::getrf(n, n, &mut a, n, &mut ipiv)
         });
-        group.bench_with_input(BenchmarkId::new("getf2_unblocked", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                let mut ipiv = vec![0i32; n];
-                f77::getf2(n, n, &mut a, n, &mut ipiv)
-            })
+        let t_unb = timeit(reps, || {
+            let mut a = a0.clone().into_vec();
+            let mut ipiv = vec![0i32; n];
+            f77::getf2(n, n, &mut a, n, &mut ipiv)
         });
+        println!(
+            "n={n:5}  getrf {:9.2} ms   getf2 {:9.2} ms   ratio {:4.2}x",
+            t_blk * 1e3,
+            t_unb * 1e3,
+            t_unb / t_blk
+        );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("chol_blocked_vs_unblocked");
-    group.sample_size(10);
+    println!("== Cholesky: potrf (blocked) vs potf2 (unblocked) ==");
     for &n in &[128usize, 256, 512, 1024] {
         let a0: Mat<f64> = bench_spd(n, 5);
-        group.bench_with_input(BenchmarkId::new("potrf_blocked", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                f77::potrf(Uplo::Lower, n, &mut a, n)
-            })
+        let reps = if n <= 256 { 5 } else { 2 };
+        let t_blk = timeit(reps, || {
+            let mut a = a0.clone().into_vec();
+            f77::potrf(Uplo::Lower, n, &mut a, n)
         });
-        group.bench_with_input(BenchmarkId::new("potf2_unblocked", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                f77::potf2(Uplo::Lower, n, &mut a, n)
-            })
+        let t_unb = timeit(reps, || {
+            let mut a = a0.clone().into_vec();
+            f77::potf2(Uplo::Lower, n, &mut a, n)
         });
+        println!(
+            "n={n:5}  potrf {:9.2} ms   potf2 {:9.2} ms   ratio {:4.2}x",
+            t_blk * 1e3,
+            t_unb * 1e3,
+            t_unb / t_blk
+        );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("qr_blocked_vs_unblocked");
-    group.sample_size(10);
+    println!("== QR: geqrf (blocked) vs geqr2 (unblocked) ==");
     for &n in &[128usize, 256] {
         let a0: Mat<f64> = bench_matrix(n, 9);
-        group.bench_with_input(BenchmarkId::new("geqrf_blocked", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                let mut tau = vec![0.0f64; n];
-                f77::geqrf(n, n, &mut a, n, &mut tau)
-            })
+        let t_blk = timeit(5, || {
+            let mut a = a0.clone().into_vec();
+            let mut tau = vec![0.0f64; n];
+            f77::geqrf(n, n, &mut a, n, &mut tau)
         });
-        group.bench_with_input(BenchmarkId::new("geqr2_unblocked", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                let mut tau = vec![0.0f64; n];
-                f77::geqr2(n, n, &mut a, n, &mut tau)
-            })
+        let t_unb = timeit(5, || {
+            let mut a = a0.clone().into_vec();
+            let mut tau = vec![0.0f64; n];
+            f77::geqr2(n, n, &mut a, n, &mut tau)
         });
+        println!(
+            "n={n:5}  geqrf {:9.2} ms   geqr2 {:9.2} ms   ratio {:4.2}x",
+            t_blk * 1e3,
+            t_unb * 1e3,
+            t_unb / t_blk
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, blocked);
-criterion_main!(benches);

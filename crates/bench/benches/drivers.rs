@@ -8,17 +8,17 @@
 //! on an SPD matrix; `gtsv`/`ptsv` are O(n) and essentially free;
 //! `syevd` beats `syev` as n grows; `gesvd`/`geev` are the most
 //! expensive.
+//!
+//! Plain `harness = false` binary timed with `std::time` — no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use la_bench::{bench_herm, bench_matrix, bench_spd, rowsum_rhs};
-use la_core::{Mat, RealScalar, Scalar};
 use la90::Jobz;
+use la_bench::{bench_herm, bench_matrix, bench_spd, rowsum_rhs, timeit};
+use la_core::{Mat, Scalar};
 
-fn solvers<T: Scalar>(c: &mut Criterion, tag: &str) {
+fn solvers<T: Scalar>(tag: &str) {
     let n = 256usize;
     let nrhs = 4usize;
-    let mut group = c.benchmark_group(format!("solvers_{tag}_n{n}"));
-    group.sample_size(10);
+    println!("== solvers_{tag}, n={n}, nrhs={nrhs} ==");
     let gen: Mat<T> = bench_matrix(n, 3);
     let spd: Mat<T> = bench_spd(n, 5);
     let herm: Mat<T> = bench_herm(n, 7);
@@ -26,101 +26,86 @@ fn solvers<T: Scalar>(c: &mut Criterion, tag: &str) {
     let b_spd = rowsum_rhs(&spd, nrhs);
     let b_herm = rowsum_rhs(&herm, nrhs);
 
-    group.bench_function("LA_GESV", |bch| {
-        bch.iter(|| {
-            let mut a = gen.clone();
-            let mut b = b_gen.clone();
-            la90::gesv(&mut a, &mut b).unwrap();
-        })
+    let t = timeit(5, || {
+        let mut a = gen.clone();
+        let mut b = b_gen.clone();
+        la90::gesv(&mut a, &mut b).unwrap();
     });
-    group.bench_function("LA_POSV", |bch| {
-        bch.iter(|| {
-            let mut a = spd.clone();
-            let mut b = b_spd.clone();
-            la90::posv(&mut a, &mut b).unwrap();
-        })
+    println!("LA_GESV  {:9.2} ms", t * 1e3);
+    let t = timeit(5, || {
+        let mut a = spd.clone();
+        let mut b = b_spd.clone();
+        la90::posv(&mut a, &mut b).unwrap();
     });
-    group.bench_function("LA_SYSV", |bch| {
-        bch.iter(|| {
-            let mut a = herm.clone();
-            let mut b = b_herm.clone();
-            la90::hesv(&mut a, &mut b).unwrap();
-        })
+    println!("LA_POSV  {:9.2} ms", t * 1e3);
+    let t = timeit(5, || {
+        let mut a = herm.clone();
+        let mut b = b_herm.clone();
+        la90::hesv(&mut a, &mut b).unwrap();
     });
+    println!("LA_SYSV  {:9.2} ms", t * 1e3);
+
     // O(n) structured solvers.
     let dl = vec![T::from_f64(1.0); n - 1];
     let d = vec![T::from_f64(5.0); n];
     let du = vec![T::from_f64(0.5); n - 1];
-    group.bench_function("LA_GTSV", |bch| {
-        bch.iter(|| {
-            let mut dl = dl.clone();
-            let mut d = d.clone();
-            let mut du = du.clone();
-            let mut b = vec![T::from_f64(1.0); n];
-            la90::gtsv(&mut dl, &mut d, &mut du, &mut b).unwrap();
-        })
+    let t = timeit(20, || {
+        let mut dl = dl.clone();
+        let mut d = d.clone();
+        let mut du = du.clone();
+        let mut b = vec![T::from_f64(1.0); n];
+        la90::gtsv(&mut dl, &mut d, &mut du, &mut b).unwrap();
     });
+    println!("LA_GTSV  {:9.3} ms", t * 1e3);
     let dr = vec![T::Real::from_f64(3.0); n];
     let er = vec![T::from_f64(1.0); n - 1];
-    group.bench_function("LA_PTSV", |bch| {
-        bch.iter(|| {
-            let mut dr = dr.clone();
-            let mut er = er.clone();
-            let mut b = vec![T::from_f64(1.0); n];
-            la90::ptsv::<T, _>(&mut dr, &mut er, &mut b).unwrap();
-        })
+    let t = timeit(20, || {
+        let mut dr = dr.clone();
+        let mut er = er.clone();
+        let mut b = vec![T::from_f64(1.0); n];
+        la90::ptsv::<T, _>(&mut dr, &mut er, &mut b).unwrap();
     });
-    group.finish();
+    println!("LA_PTSV  {:9.3} ms", t * 1e3);
 }
 
-fn decompositions<T: Scalar + la90::EigDriver>(c: &mut Criterion, tag: &str) {
-    let mut group = c.benchmark_group(format!("decompositions_{tag}"));
-    group.sample_size(10);
+fn decompositions<T: Scalar + la90::EigDriver>(tag: &str) {
     for &n in &[64usize, 128] {
+        println!("== decompositions_{tag}, n={n} ==");
         let herm: Mat<T> = bench_herm(n, 11);
         let gen: Mat<T> = bench_matrix(n, 13);
-        group.bench_with_input(BenchmarkId::new("LA_SYEV", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut a = herm.clone();
-                la90::syev(&mut a, Jobz::Vectors).unwrap()
-            })
+        let t = timeit(3, || {
+            let mut a = herm.clone();
+            la90::syev(&mut a, Jobz::Vectors).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("LA_SYEVD", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut a = herm.clone();
-                la90::syevd(&mut a, Jobz::Vectors).unwrap()
-            })
+        println!("LA_SYEV  {:9.2} ms", t * 1e3);
+        let t = timeit(3, || {
+            let mut a = herm.clone();
+            la90::syevd(&mut a, Jobz::Vectors).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("LA_GESVD", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut a = gen.clone();
-                la90::gesvd(&mut a, true, true).unwrap()
-            })
+        println!("LA_SYEVD {:9.2} ms", t * 1e3);
+        let t = timeit(3, || {
+            let mut a = gen.clone();
+            la90::gesvd(&mut a, true, true).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("LA_GEEV", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut a = gen.clone();
-                la90::geev(&mut a, false, true).unwrap()
-            })
+        println!("LA_GESVD {:9.2} ms", t * 1e3);
+        let t = timeit(3, || {
+            let mut a = gen.clone();
+            la90::geev(&mut a, false, true).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("LA_GELS", n), &n, |bch, _| {
-            let b0 = rowsum_rhs(&gen, 4);
-            bch.iter(|| {
-                let mut a = gen.clone();
-                let mut b = b0.clone();
-                la90::gels(&mut a, &mut b).unwrap();
-            })
+        println!("LA_GEEV  {:9.2} ms", t * 1e3);
+        let b0 = rowsum_rhs(&gen, 4);
+        let t = timeit(3, || {
+            let mut a = gen.clone();
+            let mut b = b0.clone();
+            la90::gels(&mut a, &mut b).unwrap();
         });
+        println!("LA_GELS  {:9.2} ms", t * 1e3);
     }
-    group.finish();
 }
 
-fn all(c: &mut Criterion) {
-    solvers::<f32>(c, "s");
-    solvers::<f64>(c, "d");
-    decompositions::<f64>(c, "d");
-    decompositions::<la_core::C64>(c, "z");
+fn main() {
+    solvers::<f32>("s");
+    solvers::<f64>("d");
+    decompositions::<f64>("d");
+    decompositions::<la_core::C64>("z");
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

@@ -4,64 +4,51 @@
 //!
 //! Expected shape (paper): the two times are indistinguishable; the
 //! interface layer is free relative to the O(N³) factorization.
+//!
+//! Plain `harness = false` binary timed with `std::time` — no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use la_bench::{bench_matrix, rowsum_rhs};
+use la_bench::{bench_matrix, rowsum_rhs, timeit};
 use la_core::Mat;
 use la_lapack as f77;
 
-fn overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("example3_gesv_n500");
-    group.sample_size(20);
-    let n = 500usize;
-    let nrhs = 2usize;
-    let a0: Mat<f32> = bench_matrix(n, 1998);
+fn measure(n: usize, nrhs: usize, seed: u64, reps: usize) -> (f64, f64) {
+    let a0: Mat<f32> = bench_matrix(n, seed);
     let b0 = rowsum_rhs(&a0, nrhs);
-
-    group.bench_function("F77GESV", |bch| {
-        bch.iter(|| {
-            let mut a = a0.clone().into_vec();
-            let mut b = b0.clone().into_vec();
-            let mut ipiv = vec![0i32; n];
-            let info = f77::gesv(n, nrhs, &mut a, n, &mut ipiv, &mut b, n);
-            assert_eq!(info, 0);
-            b
-        })
+    let t77 = timeit(reps, || {
+        let mut a = a0.clone().into_vec();
+        let mut b = b0.clone().into_vec();
+        let mut ipiv = vec![0i32; n];
+        let info = f77::gesv(n, nrhs, &mut a, n, &mut ipiv, &mut b, n);
+        assert_eq!(info, 0);
+        b
     });
-    group.bench_function("F90GESV", |bch| {
-        bch.iter(|| {
-            let mut a = a0.clone();
-            let mut b = b0.clone();
-            la90::gesv(&mut a, &mut b).unwrap();
-            b
-        })
+    let t90 = timeit(reps, || {
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        la90::gesv(&mut a, &mut b).unwrap();
+        b
     });
-    group.finish();
-
-    // N sweep: the relative overhead shrinks as N grows.
-    let mut group = c.benchmark_group("example3_gesv_sweep");
-    group.sample_size(20);
-    for &n in &[50usize, 100, 200, 400] {
-        let a0: Mat<f32> = bench_matrix(n, 7);
-        let b0 = rowsum_rhs(&a0, nrhs);
-        group.bench_with_input(BenchmarkId::new("F77GESV", n), &n, |bch, &n| {
-            bch.iter(|| {
-                let mut a = a0.clone().into_vec();
-                let mut b = b0.clone().into_vec();
-                let mut ipiv = vec![0i32; n];
-                f77::gesv(n, nrhs, &mut a, n, &mut ipiv, &mut b, n)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("F90GESV", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut a = a0.clone();
-                let mut b = b0.clone();
-                la90::gesv(&mut a, &mut b).unwrap();
-            })
-        });
-    }
-    group.finish();
+    (t77, t90)
 }
 
-criterion_group!(benches, overhead);
-criterion_main!(benches);
+fn main() {
+    println!("== Example 3: F77GESV vs F90GESV, N=500, NRHS=2, f32 ==");
+    let (t77, t90) = measure(500, 2, 1998, 5);
+    println!(
+        "F77GESV {:8.2} ms   F90GESV {:8.2} ms   overhead {:+5.1}%",
+        t77 * 1e3,
+        t90 * 1e3,
+        (t90 / t77 - 1.0) * 100.0
+    );
+
+    println!("== N sweep (relative overhead shrinks as N grows) ==");
+    for &n in &[50usize, 100, 200, 400] {
+        let (t77, t90) = measure(n, 2, 7, 10);
+        println!(
+            "n={n:4}  F77 {:8.3} ms   F90 {:8.3} ms   overhead {:+5.1}%",
+            t77 * 1e3,
+            t90 * 1e3,
+            (t90 / t77 - 1.0) * 100.0
+        );
+    }
+}

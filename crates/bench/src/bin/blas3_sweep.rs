@@ -1,0 +1,283 @@
+//! Tuning sweep for the parallel BLAS-3 layer: measures the Level-3
+//! kernels and the blocked factorizations across thread counts and block
+//! sizes via scoped [`la_core::tune`] overrides, and emits the results as
+//! `BENCH_blas3.json` in the current directory.
+//!
+//! Every configuration is set through `tune::with` — the same mechanism
+//! callers use — so the sweep doubles as an end-to-end check that the
+//! runtime tuning actually steers the substrate.
+
+use la_bench::{bench_matrix, bench_spd, timeit};
+use la_core::{tune, Mat, Trans, Uplo};
+use la_lapack as f77;
+
+fn cfg_threads(t: usize) -> tune::TuneConfig {
+    tune::TuneConfig {
+        max_threads: t,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+struct Row {
+    op: &'static str,
+    n: usize,
+    threads: usize,
+    nb: usize,
+    ms: f64,
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let auto = tune::TuneConfig::defaults().threads();
+    println!("== blas3_sweep: {cores} core(s), auto thread budget {auto} ==");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .copied()
+        .filter(|&t| t == 1 || t <= 2 * cores)
+        .collect();
+
+    // --- Level-3 kernels across thread counts -------------------------
+    for &n in &[512usize, 1024] {
+        let a: Mat<f64> = bench_matrix(n, 3);
+        let b: Mat<f64> = bench_matrix(n, 5);
+        let mut tri = a.clone();
+        for i in 0..n {
+            tri[(i, i)] += 4.0;
+        }
+        for &t in &thread_counts {
+            let ms = timeit(3, || {
+                let mut c: Mat<f64> = Mat::zeros(n, n);
+                tune::with(cfg_threads(t), || {
+                    la_blas::gemm(
+                        Trans::No,
+                        Trans::No,
+                        n,
+                        n,
+                        n,
+                        1.0,
+                        a.as_slice(),
+                        n,
+                        b.as_slice(),
+                        n,
+                        0.0,
+                        c.as_mut_slice(),
+                        n,
+                    );
+                });
+                c
+            }) * 1e3;
+            println!("gemm   n={n:5}  threads={t}  {ms:9.2} ms");
+            rows.push(Row {
+                op: "gemm",
+                n,
+                threads: t,
+                nb: 0,
+                ms,
+            });
+
+            let ms = timeit(3, || {
+                let mut c: Mat<f64> = Mat::zeros(n, n);
+                tune::with(cfg_threads(t), || {
+                    la_blas::syrk(
+                        Uplo::Lower,
+                        Trans::No,
+                        n,
+                        n,
+                        1.0,
+                        a.as_slice(),
+                        n,
+                        0.0,
+                        c.as_mut_slice(),
+                        n,
+                    );
+                });
+                c
+            }) * 1e3;
+            println!("syrk   n={n:5}  threads={t}  {ms:9.2} ms");
+            rows.push(Row {
+                op: "syrk",
+                n,
+                threads: t,
+                nb: 0,
+                ms,
+            });
+
+            let ms = timeit(3, || {
+                let mut x = b.clone();
+                tune::with(cfg_threads(t), || {
+                    la_blas::trsm(
+                        la_core::Side::Left,
+                        Uplo::Lower,
+                        Trans::No,
+                        la_core::Diag::NonUnit,
+                        n,
+                        n,
+                        1.0,
+                        tri.as_slice(),
+                        n,
+                        x.as_mut_slice(),
+                        n,
+                    );
+                });
+                x
+            }) * 1e3;
+            println!("trsm   n={n:5}  threads={t}  {ms:9.2} ms");
+            rows.push(Row {
+                op: "trsm",
+                n,
+                threads: t,
+                nb: 0,
+                ms,
+            });
+        }
+    }
+
+    // --- Factorizations across thread counts --------------------------
+    for &n in &[512usize, 1024] {
+        let gen: Mat<f64> = bench_matrix(n, 7);
+        let spd: Mat<f64> = bench_spd(n, 9);
+        for &t in &thread_counts {
+            let ms = timeit(3, || {
+                let mut a = gen.clone();
+                let mut ipiv = vec![0i32; n];
+                tune::with(cfg_threads(t), || {
+                    assert_eq!(f77::getrf(n, n, a.as_mut_slice(), n, &mut ipiv), 0);
+                });
+                a
+            }) * 1e3;
+            println!("getrf  n={n:5}  threads={t}  {ms:9.2} ms");
+            rows.push(Row {
+                op: "getrf",
+                n,
+                threads: t,
+                nb: 0,
+                ms,
+            });
+
+            let ms = timeit(3, || {
+                let mut a = spd.clone();
+                tune::with(cfg_threads(t), || {
+                    assert_eq!(f77::potrf(Uplo::Lower, n, a.as_mut_slice(), n), 0);
+                });
+                a
+            }) * 1e3;
+            println!("potrf  n={n:5}  threads={t}  {ms:9.2} ms");
+            rows.push(Row {
+                op: "potrf",
+                n,
+                threads: t,
+                nb: 0,
+                ms,
+            });
+        }
+    }
+
+    // --- NB sweep for the blocked factorizations (auto threads) -------
+    let n = 512usize;
+    let gen: Mat<f64> = bench_matrix(n, 11);
+    let spd: Mat<f64> = bench_spd(n, 13);
+    for &nb in &[16usize, 32, 64, 96, 128] {
+        let cfg = tune::TuneConfig {
+            nb_getrf: nb,
+            nb_potrf: nb,
+            crossover: 0,
+            ..tune::TuneConfig::defaults()
+        };
+        let ms = timeit(3, || {
+            let mut a = gen.clone();
+            let mut ipiv = vec![0i32; n];
+            tune::with(cfg, || {
+                assert_eq!(f77::getrf(n, n, a.as_mut_slice(), n, &mut ipiv), 0);
+            });
+            a
+        }) * 1e3;
+        println!("getrf  n={n:5}  nb={nb:3}       {ms:9.2} ms");
+        rows.push(Row {
+            op: "getrf_nb",
+            n,
+            threads: 0,
+            nb,
+            ms,
+        });
+
+        let ms = timeit(3, || {
+            let mut a = spd.clone();
+            tune::with(cfg, || {
+                assert_eq!(f77::potrf(Uplo::Lower, n, a.as_mut_slice(), n), 0);
+            });
+            a
+        }) * 1e3;
+        println!("potrf  n={n:5}  nb={nb:3}       {ms:9.2} ms");
+        rows.push(Row {
+            op: "potrf_nb",
+            n,
+            threads: 0,
+            nb,
+            ms,
+        });
+    }
+
+    // --- Emit JSON ----------------------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"host\": {{ \"cores\": {cores}, \"auto_thread_budget\": {auto} }},\n"
+    ));
+    // Pre-PR reference (serial trailing-update substrate, single-core
+    // container): potrf/getrf wall-clock before the parallel BLAS-3 layer
+    // landed. Kept verbatim for cross-revision comparison.
+    out.push_str(
+        "  \"pre_pr_serial_baseline_ms\": { \"potrf_512\": 7.99, \"getrf_512\": 12.47, \
+         \"potrf_1024\": 54.37, \"getrf_1024\": 98.33, \"host_cores\": 1 },\n",
+    );
+    for (key, ops) in [
+        (
+            "thread_sweep",
+            &["gemm", "syrk", "trsm", "getrf", "potrf"][..],
+        ),
+        ("nb_sweep", &["getrf_nb", "potrf_nb"][..]),
+    ] {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        let sel: Vec<&Row> = rows.iter().filter(|r| ops.contains(&r.op)).collect();
+        for (i, r) in sel.iter().enumerate() {
+            let sep = if i + 1 == sel.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"op\": \"{}\", \"n\": {}, \"threads\": {}, \"nb\": {}, \"ms\": {:.3} }}{sep}\n",
+                r.op, r.n, r.threads, r.nb, r.ms
+            ));
+        }
+        out.push_str("  ],\n");
+    }
+    // Headline speedups: best parallel time over the forced-serial time.
+    out.push_str("  \"speedup_vs_serial\": {\n");
+    let mut first = true;
+    for op in ["gemm", "syrk", "trsm", "getrf", "potrf"] {
+        for &n in &[512usize, 1024] {
+            let serial = rows
+                .iter()
+                .find(|r| r.op == op && r.n == n && r.threads == 1)
+                .map(|r| r.ms);
+            let best = rows
+                .iter()
+                .filter(|r| r.op == op && r.n == n && r.threads > 1)
+                .map(|r| r.ms)
+                .fold(f64::INFINITY, f64::min);
+            if let Some(s) = serial {
+                if best.is_finite() {
+                    if !first {
+                        out.push_str(",\n");
+                    }
+                    first = false;
+                    out.push_str(&format!("    \"{op}_{n}\": {:.2}", s / best));
+                }
+            }
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    std::fs::write("BENCH_blas3.json", &out).expect("write BENCH_blas3.json");
+    println!("wrote BENCH_blas3.json");
+}

@@ -1,34 +1,90 @@
 fn main() {
     use std::time::Instant;
     for &n in &[256usize, 512] {
-        let a: Vec<f64> = (0..n*n).map(|k| (k % 97) as f64 / 97.0).collect();
-        let b: Vec<f64> = (0..n*n).map(|k| (k % 89) as f64 / 89.0).collect();
-        let mut c = vec![0.0f64; n*n];
+        let a: Vec<f64> = (0..n * n).map(|k| (k % 97) as f64 / 97.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|k| (k % 89) as f64 / 89.0).collect();
+        let mut c = vec![0.0f64; n * n];
         // warmup
-        la_blas::gemm(la_core::Trans::No, la_core::Trans::No, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n);
+        la_blas::gemm(
+            la_core::Trans::No,
+            la_core::Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            &a,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut c,
+            n,
+        );
         let reps = if n == 256 { 20 } else { 5 };
         let t = Instant::now();
         for _ in 0..reps {
-            la_blas::gemm(la_core::Trans::No, la_core::Trans::No, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n);
+            la_blas::gemm(
+                la_core::Trans::No,
+                la_core::Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                &a,
+                n,
+                &b,
+                n,
+                0.0,
+                &mut c,
+                n,
+            );
         }
         let el = t.elapsed().as_secs_f64() / reps as f64;
-        println!("gemm n={n}: {:.3} ms, {:.2} GFLOP/s", el*1e3, 2.0*(n as f64).powi(3)/el/1e9);
+        println!(
+            "gemm n={n}: {:.3} ms, {:.2} GFLOP/s",
+            el * 1e3,
+            2.0 * (n as f64).powi(3) / el / 1e9
+        );
     }
     // potrf vs potf2 at 512
     for &n in &[512usize] {
-        let g: Vec<f64> = (0..n*n).map(|k| ((k*2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
-        let mut spd = vec![0.0f64; n*n];
-        la_blas::gemm(la_core::Trans::Trans, la_core::Trans::No, n, n, n, 1.0, &g, n, &g, n, 0.0, &mut spd, n);
-        for i in 0..n { spd[i+i*n] += n as f64; }
+        let g: Vec<f64> = (0..n * n)
+            .map(|k| ((k * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
+        let mut spd = vec![0.0f64; n * n];
+        la_blas::gemm(
+            la_core::Trans::Trans,
+            la_core::Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            &g,
+            n,
+            &g,
+            n,
+            0.0,
+            &mut spd,
+            n,
+        );
+        for i in 0..n {
+            spd[i + i * n] += n as f64;
+        }
         for (name, blocked) in [("potf2", false), ("potrf", true)] {
             let t = Instant::now();
             let reps = 5;
             for _ in 0..reps {
                 let mut f = spd.clone();
-                if blocked { la_lapack::potrf(la_core::Uplo::Lower, n, &mut f, n); }
-                else { la_lapack::potf2(la_core::Uplo::Lower, n, &mut f, n); }
+                if blocked {
+                    la_lapack::potrf(la_core::Uplo::Lower, n, &mut f, n);
+                } else {
+                    la_lapack::potf2(la_core::Uplo::Lower, n, &mut f, n);
+                }
             }
-            println!("{name} n={n}: {:.2} ms", t.elapsed().as_secs_f64()/reps as f64*1e3);
+            println!(
+                "{name} n={n}: {:.2} ms",
+                t.elapsed().as_secs_f64() / reps as f64 * 1e3
+            );
         }
     }
 }

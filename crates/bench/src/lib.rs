@@ -1,9 +1,50 @@
 //! Shared helpers for the benchmark suite: deterministic test matrices of
-//! every structure class, plus a deliberately naive reference GEMM used
-//! as the "no blocking" baseline in the §1.1 experiments.
+//! every structure class, a deliberately naive reference GEMM used as the
+//! "no blocking" baseline in the §1.1 experiments, a self-contained
+//! SplitMix64 PRNG (no external `rand` — the suite must build offline),
+//! and a minimal wall-clock timing harness replacing criterion.
 
 use la_core::{Mat, RealScalar, Scalar};
 use la_lapack::{lagge, spectrum, Dist, Larnv, SpectrumMode};
+
+/// SplitMix64: tiny, deterministic, dependency-free PRNG for benchmark
+/// data. Same stream on every host, so timings are comparable run to run.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the stream; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+/// Times `f` over `reps` repetitions and returns the *minimum* wall-clock
+/// seconds per call (the usual low-noise estimator for single-threaded
+/// kernels).
+pub fn timeit<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
 
 /// A reproducible random general matrix with condition number ~100.
 pub fn bench_matrix<T: Scalar>(n: usize, seed: u64) -> Mat<T> {

@@ -249,8 +249,14 @@ mod tests {
         let y = [C64::new(2.0, 0.0), C64::new(0.0, 1.0)];
         let du = dotu(2, &x, 1, &y, 1);
         let dc = dotc(2, &x, 1, &y, 1);
-        assert_eq!(du, C64::new(1.0, 2.0) * C64::new(2.0, 0.0) + C64::new(3.0, -1.0) * C64::new(0.0, 1.0));
-        assert_eq!(dc, C64::new(1.0, -2.0) * C64::new(2.0, 0.0) + C64::new(3.0, 1.0) * C64::new(0.0, 1.0));
+        assert_eq!(
+            du,
+            C64::new(1.0, 2.0) * C64::new(2.0, 0.0) + C64::new(3.0, -1.0) * C64::new(0.0, 1.0)
+        );
+        assert_eq!(
+            dc,
+            C64::new(1.0, -2.0) * C64::new(2.0, 0.0) + C64::new(3.0, 1.0) * C64::new(0.0, 1.0)
+        );
     }
 
     #[test]

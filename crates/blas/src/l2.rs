@@ -37,7 +37,11 @@ pub fn gemv<T: Scalar>(
     if beta != T::one() {
         let mut iy = 0;
         for _ in 0..leny {
-            y[iy] = if beta.is_zero() { T::zero() } else { beta * y[iy] };
+            y[iy] = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * y[iy]
+            };
             iy += incy;
         }
     }
@@ -163,7 +167,11 @@ fn symv_impl<T: Scalar>(
     if beta != T::one() {
         let mut iy = 0;
         for _ in 0..n {
-            y[iy] = if beta.is_zero() { T::zero() } else { beta * y[iy] };
+            y[iy] = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * y[iy]
+            };
             iy += incy;
         }
     }
@@ -249,11 +257,31 @@ pub fn hemv<T: Scalar>(
     y: &mut [T],
     incy: usize,
 ) {
-    symv_impl(T::IS_COMPLEX, uplo, n, alpha, a, lda, x, incx, beta, y, incy)
+    symv_impl(
+        T::IS_COMPLEX,
+        uplo,
+        n,
+        alpha,
+        a,
+        lda,
+        x,
+        incx,
+        beta,
+        y,
+        incy,
+    )
 }
 
 /// Symmetric rank-1 update (`xSYR`): `A := alpha*x*xᵀ + A` (one triangle).
-pub fn syr<T: Scalar>(uplo: Uplo, n: usize, alpha: T, x: &[T], incx: usize, a: &mut [T], lda: usize) {
+pub fn syr<T: Scalar>(
+    uplo: Uplo,
+    n: usize,
+    alpha: T,
+    x: &[T],
+    incx: usize,
+    a: &mut [T],
+    lda: usize,
+) {
     for j in 0..n {
         let t = alpha * x[j * incx];
         if t.is_zero() {

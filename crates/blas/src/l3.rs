@@ -7,8 +7,15 @@
 //! four-column unrolled inner kernel, and optionally splits the columns of
 //! `C` across OS threads (`std::thread::scope`) for large products — the
 //! same data-parallel decomposition a Rayon `par_chunks_mut` would express.
+//!
+//! Every parallel decision point (thread budget, flop threshold) reads the
+//! runtime [`la_core::tune`] configuration, so callers can retune or force
+//! the serial path per call tree via `tune::with` without recompiling.
+//! `trsm`, `trmm`, `syrk`/`herk` and `symm` reuse the same column-striped
+//! decomposition as `gemm`: disjoint column bands of the output, one scoped
+//! thread each.
 
-use la_core::{Diag, Scalar, Side, Trans, Uplo};
+use la_core::{tune, Diag, Scalar, Side, Trans, Uplo};
 
 use crate::l1::axpy;
 
@@ -23,16 +30,46 @@ fn cj<T: Scalar>(conj: bool, x: T) -> T {
 
 /// Depth of the k-dimension cache block.
 const KC: usize = 128;
-/// Flop threshold (m·n·k) above which `gemm` goes parallel — high enough
-/// that the blocked-factorization panel updates (tall, skinny `k`) stay
-/// serial where thread startup would dominate.
-const PAR_FLOPS: usize = 200 * 200 * 200;
 
-fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8)
+/// Splits the columns of an `n`-column, leading-dimension-`ld` matrix into
+/// `stripes` contiguous bands and runs `f(j0, w, band)` on scoped threads,
+/// where `band` starts at column `j0` and holds `w` columns. The final
+/// band takes whatever tail `data` has, so `data` need only cover
+/// `ld*(n-1) + rows` elements, not a full `ld*n`.
+fn stripe_cols<T: Scalar, F>(stripes: usize, n: usize, ld: usize, data: &mut [T], f: F)
+where
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let base = n / stripes;
+    let extra = n % stripes;
+    let fref = &f;
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut j0 = 0usize;
+        for t in 0..stripes {
+            let w = base + usize::from(t < extra);
+            if w == 0 {
+                continue;
+            }
+            let take = if j0 + w >= n { rest.len() } else { ld * w };
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || fref(j0, w, mine));
+            j0 += w;
+        }
+    });
+}
+
+/// Number of column stripes worth spawning for an `n`-column output under
+/// the current tuning config, with `min_cols` columns per stripe as the
+/// granularity floor. Returns 1 (serial) when the flop count is below the
+/// configured parallel threshold or the thread budget is 1.
+fn par_stripes(cfg: &tune::TuneConfig, flops: usize, n: usize, min_cols: usize) -> usize {
+    let nt = cfg.threads();
+    if nt <= 1 || flops < cfg.par_flops {
+        return 1;
+    }
+    nt.min(n.div_ceil(min_cols.max(1))).max(1)
 }
 
 /// General matrix-matrix product (`xGEMM`):
@@ -74,9 +111,12 @@ pub fn gemm<T: Scalar>(
         return;
     }
 
-    let nt = max_threads();
-    if nt > 1 && m * n * k >= PAR_FLOPS && n >= 8 * nt && c.len() >= ldc * n {
-        gemm_striped(nt.min(n), transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    let cfg = tune::current();
+    let stripes = par_stripes(&cfg, m * n * k, n, 8);
+    if stripes > 1 {
+        gemm_striped(
+            stripes, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+        );
     } else {
         gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
     }
@@ -102,25 +142,25 @@ pub(crate) fn gemm_striped<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
-    let base = n / stripes;
-    let extra = n % stripes;
-    std::thread::scope(|s| {
-        let mut rest = &mut c[..ldc * n];
-        let mut j0 = 0usize;
-        for t in 0..stripes {
-            let w = base + usize::from(t < extra);
-            let (mine, tail) = rest.split_at_mut(ldc * w);
-            rest = tail;
-            let boff = match transb {
-                Trans::No => j0 * ldb,
-                _ => j0,
-            };
-            let bsub = &b[boff..];
-            s.spawn(move || {
-                gemm_serial(transa, transb, m, w, k, alpha, a, lda, bsub, ldb, mine, ldc);
-            });
-            j0 += w;
-        }
+    stripe_cols(stripes, n, ldc, c, |j0, w, cb| {
+        let boff = match transb {
+            Trans::No => j0 * ldb,
+            _ => j0,
+        };
+        gemm_serial(
+            transa,
+            transb,
+            m,
+            w,
+            k,
+            alpha,
+            a,
+            lda,
+            &b[boff..],
+            ldb,
+            cb,
+            ldc,
+        );
     });
 }
 
@@ -339,8 +379,8 @@ fn gemm_gebp<T: Scalar>(
                         let rows = MR.min(mb - is);
                         let cols = NR.min(nb.saturating_sub(js));
                         for (s, accr) in (0..cols).map(|s| (s, &acc)) {
-                            let col =
-                                &mut c[(jc + js + s) * ldc + ic + is..(jc + js + s) * ldc + ic + is + rows];
+                            let col = &mut c[(jc + js + s) * ldc + ic + is
+                                ..(jc + js + s) * ldc + ic + is + rows];
                             for (r, cv) in col.iter_mut().enumerate() {
                                 *cv += accr[r][s];
                             }
@@ -394,6 +434,51 @@ pub fn symm<T: Scalar>(
         }
     };
     debug_assert!(na <= lda.max(na));
+    // Large products: materialise the full symmetric A (O(na²) memory,
+    // negligible against the O(m·n·na) flops) and route through gemm so the
+    // heavy lifting gets the packed kernel and the tune-driven column
+    // striping. Same crossover as gemm's own small-product cutoff.
+    if m * n * na >= 24 * 24 * 24 {
+        let mut afull = vec![T::zero(); na * na];
+        for j in 0..na {
+            for i in 0..na {
+                afull[i + j * na] = ael(i, j);
+            }
+        }
+        match side {
+            Side::Left => gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                m,
+                alpha,
+                &afull,
+                na,
+                b,
+                ldb,
+                beta,
+                c,
+                ldc,
+            ),
+            Side::Right => gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                n,
+                alpha,
+                b,
+                ldb,
+                &afull,
+                na,
+                beta,
+                c,
+                ldc,
+            ),
+        }
+        return;
+    }
     for j in 0..n {
         for i in 0..m {
             let mut s = T::zero();
@@ -410,7 +495,11 @@ pub fn symm<T: Scalar>(
                 }
             }
             let cc = &mut c[i + j * ldc];
-            *cc = if beta.is_zero() { T::zero() } else { beta * *cc } + alpha * s;
+            *cc = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * *cc
+            } + alpha * s;
         }
     }
 }
@@ -479,141 +568,202 @@ fn syrk_impl<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
-    // Scale the target triangle by beta first, then accumulate with the
-    // rectangular bulk routed through gemm (this is what makes the blocked
-    // Cholesky actually faster than the unblocked one).
-    for j in 0..n {
-        let (lo, hi) = match uplo {
-            Uplo::Upper => (0, j + 1),
-            Uplo::Lower => (j, n),
-        };
-        for i in lo..hi {
-            let cc = &mut c[i + j * ldc];
-            *cc = if beta.is_zero() { T::zero() } else { beta * *cc };
-        }
-    }
     if alpha.is_zero() || k == 0 {
-        if conj {
-            for j in 0..n {
+        for j in 0..n {
+            let (lo, hi) = match uplo {
+                Uplo::Upper => (0, j + 1),
+                Uplo::Lower => (j, n),
+            };
+            for i in lo..hi {
+                let cc = &mut c[i + j * ldc];
+                *cc = if beta.is_zero() {
+                    T::zero()
+                } else {
+                    beta * *cc
+                };
+            }
+            if conj {
                 let cc = &mut c[j + j * ldc];
                 *cc = T::from_real(cc.re());
             }
         }
         return;
     }
-    // op(A) element (i, l) for the small diagonal triangles.
+    // The update decomposes into NB-column blocks touching disjoint column
+    // bands of C, so the blocks distribute across scoped threads with no
+    // synchronisation. Round-robin dealing balances the triangle's uneven
+    // per-block rectangle sizes. Serial and parallel paths run the exact
+    // same per-block code, in particular the same summation orders.
+    const NB: usize = 48;
+    let cfg = tune::current();
+    let workers = par_stripes(&cfg, n * n * k / 2, n, NB).min(n.div_ceil(NB));
+    if workers > 1 {
+        let mut blocks: Vec<(usize, usize, &mut [T])> = Vec::new();
+        let mut rest = c;
+        let mut j0 = 0usize;
+        while j0 < n {
+            let jb = NB.min(n - j0);
+            let take = if j0 + jb >= n { rest.len() } else { ldc * jb };
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            blocks.push((j0, jb, mine));
+            j0 += jb;
+        }
+        let mut work: Vec<Vec<(usize, usize, &mut [T])>> = Vec::new();
+        work.resize_with(workers, Vec::new);
+        for (idx, blk) in blocks.into_iter().enumerate() {
+            work[idx % workers].push(blk);
+        }
+        std::thread::scope(|s| {
+            for list in work {
+                s.spawn(move || {
+                    for (j0, jb, cb) in list {
+                        syrk_block(
+                            conj, uplo, trans, n, k, alpha, a, lda, beta, j0, jb, cb, ldc,
+                        );
+                    }
+                });
+            }
+        });
+    } else {
+        let mut j0 = 0usize;
+        while j0 < n {
+            let jb = NB.min(n - j0);
+            syrk_block(
+                conj,
+                uplo,
+                trans,
+                n,
+                k,
+                alpha,
+                a,
+                lda,
+                beta,
+                j0,
+                jb,
+                &mut c[j0 * ldc..],
+                ldc,
+            );
+            j0 += jb;
+        }
+    }
+}
+
+/// One NB-column block of a rank-k update: β-scales its triangle portion,
+/// accumulates the diagonal triangle with scalar loops, and routes the
+/// off-diagonal rectangle through the serial gemm kernel (the parallelism
+/// lives one level up, across blocks). `cb` is the column band of `C`
+/// starting at column `j0`: block-local column indexing, global rows.
+#[allow(clippy::too_many_arguments)]
+fn syrk_block<T: Scalar>(
+    conj: bool,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    j0: usize,
+    jb: usize,
+    cb: &mut [T],
+    ldc: usize,
+) {
+    for j in j0..j0 + jb {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0, j + 1),
+            Uplo::Lower => (j, n),
+        };
+        for i in lo..hi {
+            let cc = &mut cb[i + (j - j0) * ldc];
+            *cc = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * *cc
+            };
+        }
+    }
+    // op(A) element (i, l) for the small diagonal triangle.
     let ael = |i: usize, l: usize| -> T {
         match trans {
             Trans::No => a[i + l * lda],
             _ => a[l + i * lda],
         }
     };
-    const NB: usize = 48;
-    let mut j0 = 0;
-    while j0 < n {
-        let jb = NB.min(n - j0);
-        // Diagonal triangle block (jb × jb): scalar loops.
-        for j in j0..j0 + jb {
-            let (lo, hi) = match uplo {
-                Uplo::Upper => (j0, j + 1),
-                Uplo::Lower => (j, j0 + jb),
-            };
-            for i in lo..hi {
-                let mut s = T::zero();
-                if conj {
-                    if trans == Trans::No {
-                        for l in 0..k {
-                            s += ael(i, l) * ael(j, l).conj();
-                        }
-                    } else {
-                        for l in 0..k {
-                            s += ael(i, l).conj() * ael(j, l);
-                        }
+    // Diagonal triangle block (jb × jb): scalar loops.
+    for j in j0..j0 + jb {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (j0, j + 1),
+            Uplo::Lower => (j, j0 + jb),
+        };
+        for i in lo..hi {
+            let mut s = T::zero();
+            if conj {
+                if trans == Trans::No {
+                    for l in 0..k {
+                        s += ael(i, l) * ael(j, l).conj();
                     }
                 } else {
                     for l in 0..k {
-                        s += ael(i, l) * ael(j, l);
+                        s += ael(i, l).conj() * ael(j, l);
                     }
                 }
-                let cc = &mut c[i + j * ldc];
-                *cc += alpha * s;
-                if conj && i == j {
-                    *cc = T::from_real(cc.re());
+            } else {
+                for l in 0..k {
+                    s += ael(i, l) * ael(j, l);
                 }
+            }
+            let cc = &mut cb[i + (j - j0) * ldc];
+            *cc += alpha * s;
+            if conj && i == j {
+                *cc = T::from_real(cc.re());
             }
         }
-        // Off-diagonal rectangle: gemm does the heavy lifting.
-        match uplo {
-            Uplo::Lower => {
-                // Rows j0+jb..n, columns j0..j0+jb.
-                let m_rect = n - j0 - jb;
-                if m_rect > 0 {
-                    let (ta, tb, aoff_rows, aoff_cols) = match (trans, conj) {
-                        (Trans::No, false) => (Trans::No, Trans::Trans, j0 + jb, j0),
-                        (Trans::No, true) => (Trans::No, Trans::ConjTrans, j0 + jb, j0),
-                        (_, false) => (Trans::Trans, Trans::No, j0 + jb, j0),
-                        (_, true) => (Trans::ConjTrans, Trans::No, j0 + jb, j0),
-                    };
-                    // op(A) row block / column block starting offsets in the
-                    // stored A.
-                    let a_rows: &[T] = match trans {
-                        Trans::No => &a[aoff_rows..],
-                        _ => &a[aoff_rows * lda..],
-                    };
-                    let a_cols: &[T] = match trans {
-                        Trans::No => &a[aoff_cols..],
-                        _ => &a[aoff_cols * lda..],
-                    };
-                    gemm(
-                        ta,
-                        tb,
-                        m_rect,
-                        jb,
-                        k,
-                        alpha,
-                        a_rows,
-                        lda,
-                        a_cols,
-                        lda,
-                        T::one(),
-                        &mut c[j0 + jb + j0 * ldc..],
-                        ldc,
-                    );
-                }
-            }
-            Uplo::Upper => {
-                // Rows 0..j0, columns j0..j0+jb.
-                if j0 > 0 {
-                    let (ta, tb) = match (trans, conj) {
-                        (Trans::No, false) => (Trans::No, Trans::Trans),
-                        (Trans::No, true) => (Trans::No, Trans::ConjTrans),
-                        (_, false) => (Trans::Trans, Trans::No),
-                        (_, true) => (Trans::ConjTrans, Trans::No),
-                    };
-                    let a_rows: &[T] = a; // rows 0.. / cols 0..
-                    let a_cols: &[T] = match trans {
-                        Trans::No => &a[j0..],
-                        _ => &a[j0 * lda..],
-                    };
-                    gemm(
-                        ta,
-                        tb,
-                        j0,
-                        jb,
-                        k,
-                        alpha,
-                        a_rows,
-                        lda,
-                        a_cols,
-                        lda,
-                        T::one(),
-                        &mut c[j0 * ldc..],
-                        ldc,
-                    );
-                }
+    }
+    // Off-diagonal rectangle: gemm does the heavy lifting.
+    let (ta, tb) = match (trans, conj) {
+        (Trans::No, false) => (Trans::No, Trans::Trans),
+        (Trans::No, true) => (Trans::No, Trans::ConjTrans),
+        (_, false) => (Trans::Trans, Trans::No),
+        (_, true) => (Trans::ConjTrans, Trans::No),
+    };
+    // op(A) column block starting at row/column j0 of the stored A.
+    let a_cols: &[T] = match trans {
+        Trans::No => &a[j0..],
+        _ => &a[j0 * lda..],
+    };
+    match uplo {
+        Uplo::Lower => {
+            // Rows j0+jb..n, columns j0..j0+jb.
+            let m_rect = n - j0 - jb;
+            if m_rect > 0 {
+                let a_rows: &[T] = match trans {
+                    Trans::No => &a[j0 + jb..],
+                    _ => &a[(j0 + jb) * lda..],
+                };
+                gemm_serial(
+                    ta,
+                    tb,
+                    m_rect,
+                    jb,
+                    k,
+                    alpha,
+                    a_rows,
+                    lda,
+                    a_cols,
+                    lda,
+                    &mut cb[j0 + jb..],
+                    ldc,
+                );
             }
         }
-        j0 += jb;
+        Uplo::Upper => {
+            // Rows 0..j0, columns j0..j0+jb.
+            if j0 > 0 {
+                gemm_serial(ta, tb, j0, jb, k, alpha, a, lda, a_cols, lda, cb, ldc);
+            }
+        }
     }
 }
 
@@ -657,11 +807,14 @@ pub fn syr2k<T: Scalar>(
                 s += ael(i, l) * bel(j, l) + bel(i, l) * ael(j, l);
             }
             let cc = &mut c[i + j * ldc];
-            *cc = if beta.is_zero() { T::zero() } else { beta * *cc } + alpha * s;
+            *cc = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * *cc
+            } + alpha * s;
         }
     }
 }
-
 
 /// Triangular matrix-matrix product (`xTRMM`):
 /// `B := alpha*op(A)*B` (`Side::Left`) or `B := alpha*B*op(A)`
@@ -682,15 +835,17 @@ pub fn trmm<T: Scalar>(
 ) {
     match side {
         Side::Left => {
-            // Apply op(A) to each column of B.
-            for j in 0..n {
-                let col = &mut b[j * ldb..j * ldb + m];
-                crate::l2::trmv(uplo, trans, diag, m, a, lda, col, 1);
-                if alpha != T::one() {
-                    for x in col {
-                        *x *= alpha;
-                    }
-                }
+            // Columns of B are independent: op(A)·b_j per column, so the
+            // columns stripe across threads exactly like gemm's C (the
+            // per-column arithmetic is identical either way).
+            let cfg = tune::current();
+            let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
+            if stripes > 1 {
+                stripe_cols(stripes, n, ldb, b, |_, w, bb| {
+                    trmm_left_cols(uplo, trans, diag, m, w, alpha, a, lda, bb, ldb);
+                });
+            } else {
+                trmm_left_cols(uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
             }
         }
         Side::Right => {
@@ -710,7 +865,19 @@ pub fn trmm<T: Scalar>(
                     Trans::No => Trans::Trans,
                     _ => Trans::No,
                 };
-                trmm(Side::Left, uplo, ltr, diag, n, m, T::one(), a, lda, &mut bt, n);
+                trmm(
+                    Side::Left,
+                    uplo,
+                    ltr,
+                    diag,
+                    n,
+                    m,
+                    T::one(),
+                    a,
+                    lda,
+                    &mut bt,
+                    n,
+                );
                 for j in 0..n {
                     for i in 0..m {
                         let v = bt[j + i * n];
@@ -746,6 +913,31 @@ pub fn trmm<T: Scalar>(
     }
 }
 
+/// Serial left-side trmm over `n` columns of `b`: `b_j := alpha·op(A)·b_j`.
+#[allow(clippy::too_many_arguments)]
+fn trmm_left_cols<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + m];
+        crate::l2::trmv(uplo, trans, diag, m, a, lda, col, 1);
+        if alpha != T::one() {
+            for x in col {
+                *x *= alpha;
+            }
+        }
+    }
+}
+
 /// Triangular solve with multiple right-hand sides (`xTRSM`):
 /// `op(A)·X = alpha·B` (`Side::Left`) or `X·op(A) = alpha·B`
 /// (`Side::Right`); `X` overwrites `B`.
@@ -766,60 +958,33 @@ pub fn trsm<T: Scalar>(
     if alpha != T::one() {
         for j in 0..n {
             for x in &mut b[j * ldb..j * ldb + m] {
-                *x = if alpha.is_zero() { T::zero() } else { alpha * *x };
+                *x = if alpha.is_zero() {
+                    T::zero()
+                } else {
+                    alpha * *x
+                };
             }
         }
     }
     if m == 0 || n == 0 {
         return;
     }
-    let unit = diag == Diag::Unit;
     match side {
-        Side::Left => match (trans.is_transposed(), uplo) {
-            (false, Uplo::Lower) => {
-                // Forward substitution, vectorized across all right-hand
-                // sides: for each pivot k, update rows k+1.. of every column.
-                for k in 0..m {
-                    let akk = a[k + k * lda];
-                    for j in 0..n {
-                        let col = &mut b[j * ldb..j * ldb + m];
-                        if !unit {
-                            col[k] = col[k] / akk;
-                        }
-                        let t = col[k];
-                        if !t.is_zero() {
-                            for (i, ci) in col.iter_mut().enumerate().take(m).skip(k + 1) {
-                                *ci -= t * a[i + k * lda];
-                            }
-                        }
-                    }
-                }
+        Side::Left => {
+            // Each right-hand-side column solves independently against the
+            // same triangle, so the columns of B stripe across threads the
+            // same way gemm stripes C (per-column arithmetic identical to
+            // the serial path).
+            let cfg = tune::current();
+            let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
+            if stripes > 1 {
+                stripe_cols(stripes, n, ldb, b, |_, w, bb| {
+                    trsm_left_cols(uplo, trans, diag, m, w, a, lda, bb, ldb);
+                });
+            } else {
+                trsm_left_cols(uplo, trans, diag, m, n, a, lda, b, ldb);
             }
-            (false, Uplo::Upper) => {
-                for k in (0..m).rev() {
-                    let akk = a[k + k * lda];
-                    for j in 0..n {
-                        let col = &mut b[j * ldb..j * ldb + m];
-                        if !unit {
-                            col[k] = col[k] / akk;
-                        }
-                        let t = col[k];
-                        if !t.is_zero() {
-                            for (i, ci) in col.iter_mut().enumerate().take(k) {
-                                *ci -= t * a[i + k * lda];
-                            }
-                        }
-                    }
-                }
-            }
-            (true, _) => {
-                // op(A)ᵀ or op(A)ᴴ solve, column by column.
-                for j in 0..n {
-                    let col = &mut b[j * ldb..j * ldb + m];
-                    crate::l2::trsv(uplo, trans, diag, m, a, lda, col, 1);
-                }
-            }
-        },
+        }
         Side::Right => {
             if m >= 12 {
                 // Transpose, left-solve (unit-stride columns), transpose
@@ -836,7 +1001,19 @@ pub fn trsm<T: Scalar>(
                     Trans::No => Trans::Trans,
                     _ => Trans::No,
                 };
-                trsm(Side::Left, uplo, ltr, diag, n, m, T::one(), a, lda, &mut bt, n);
+                trsm(
+                    Side::Left,
+                    uplo,
+                    ltr,
+                    diag,
+                    n,
+                    m,
+                    T::one(),
+                    a,
+                    lda,
+                    &mut bt,
+                    n,
+                );
                 for j in 0..n {
                     for i in 0..m {
                         let v = bt[j + i * n];
@@ -859,6 +1036,68 @@ pub fn trsm<T: Scalar>(
                         crate::l1::lacgv(n, row, ldb);
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Serial left-side triangular solve over `n` columns of `b` (alpha
+/// already applied): `op(A)·x_j = b_j` per column.
+#[allow(clippy::too_many_arguments)]
+fn trsm_left_cols<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    let unit = diag == Diag::Unit;
+    match (trans.is_transposed(), uplo) {
+        (false, Uplo::Lower) => {
+            // Forward substitution, vectorized across all right-hand
+            // sides: for each pivot k, update rows k+1.. of every column.
+            for k in 0..m {
+                let akk = a[k + k * lda];
+                for j in 0..n {
+                    let col = &mut b[j * ldb..j * ldb + m];
+                    if !unit {
+                        col[k] = col[k] / akk;
+                    }
+                    let t = col[k];
+                    if !t.is_zero() {
+                        for (i, ci) in col.iter_mut().enumerate().take(m).skip(k + 1) {
+                            *ci -= t * a[i + k * lda];
+                        }
+                    }
+                }
+            }
+        }
+        (false, Uplo::Upper) => {
+            for k in (0..m).rev() {
+                let akk = a[k + k * lda];
+                for j in 0..n {
+                    let col = &mut b[j * ldb..j * ldb + m];
+                    if !unit {
+                        col[k] = col[k] / akk;
+                    }
+                    let t = col[k];
+                    if !t.is_zero() {
+                        for (i, ci) in col.iter_mut().enumerate().take(k) {
+                            *ci -= t * a[i + k * lda];
+                        }
+                    }
+                }
+            }
+        }
+        (true, _) => {
+            // op(A)ᵀ or op(A)ᴴ solve, column by column.
+            for j in 0..n {
+                let col = &mut b[j * ldb..j * ldb + m];
+                crate::l2::trsv(uplo, trans, diag, m, a, lda, col, 1);
             }
         }
     }
@@ -892,9 +1131,26 @@ mod striped_tests {
             gemm_serial(Trans::No, tb, m, n, k, 1.0, &a, m, &bb, ldb, &mut c1, m);
             for stripes in [2usize, 3, 5] {
                 let mut c2 = vec![0.0f64; m * n];
-                gemm_striped(stripes, Trans::No, tb, m, n, k, 1.0, &a, m, &bb, ldb, &mut c2, m);
+                gemm_striped(
+                    stripes,
+                    Trans::No,
+                    tb,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    m,
+                    &bb,
+                    ldb,
+                    &mut c2,
+                    m,
+                );
                 for idx in 0..m * n {
-                    assert!((c1[idx] - c2[idx]).abs() < 1e-12, "{tb:?} stripes={stripes} at {idx}");
+                    assert!(
+                        (c1[idx] - c2[idx]).abs() < 1e-12,
+                        "{tb:?} stripes={stripes} at {idx}"
+                    );
                 }
             }
         }

@@ -28,7 +28,9 @@ pub mod l1;
 pub mod l2;
 pub mod l3;
 
-pub use l1::{asum, axpy, copy, dotc, dotu, iamax, lacgv, lassq, nrm2, rot, rotg, rscal, scal, swap};
+pub use l1::{
+    asum, axpy, copy, dotc, dotu, iamax, lacgv, lassq, nrm2, rot, rotg, rscal, scal, swap,
+};
 pub use l2::{
     gbmv, gemv, gerc, geru, hemv, her, her2, sbmv, spmv, spr2, symv, syr, syr2, tbsv, tpmv, tpsv,
     trmv, trsv,

@@ -1,26 +1,48 @@
 //! Property-based tests for the BLAS layer: algebraic identities that
 //! must hold for any input (within roundoff), across shapes and strides.
+//!
+//! Dependency-free: each property is checked over a deterministic sweep of
+//! seeded pseudo-random cases (SplitMix64) instead of a proptest strategy,
+//! so the suite runs fully offline.
 
 use la_blas::*;
 use la_core::{Diag, Side, Trans, Uplo, C64};
-use proptest::prelude::*;
 
-fn val() -> impl Strategy<Value = f64> {
-    -1.0f64..1.0
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    /// Uniform in [-1, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+    fn vec_f64(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_f64()).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: usize = 96;
 
-    #[test]
-    fn axpy_is_linear(n in 1usize..16, a in val(), b in val(), seed in 0u64..500) {
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
-        let y0: Vec<f64> = (0..n).map(|_| next()).collect();
+#[test]
+fn axpy_is_linear() {
+    let mut rng = Rng::new(11);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 16);
+        let (a, b) = (rng.next_f64(), rng.next_f64());
+        let x = rng.vec_f64(n);
+        let y0 = rng.vec_f64(n);
         // axpy(a) then axpy(b) == axpy(a + b).
         let mut y1 = y0.clone();
         axpy(n, a, &x, 1, &mut y1, 1);
@@ -28,69 +50,84 @@ proptest! {
         let mut y2 = y0.clone();
         axpy(n, a + b, &x, 1, &mut y2, 1);
         for i in 0..n {
-            prop_assert!((y1[i] - y2[i]).abs() < 1e-12);
+            assert!((y1[i] - y2[i]).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn dot_is_bilinear_and_symmetric(n in 1usize..16, seed in 0u64..500) {
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
-        let y: Vec<f64> = (0..n).map(|_| next()).collect();
-        prop_assert!((dotu(n, &x, 1, &y, 1) - dotu(n, &y, 1, &x, 1)).abs() < 1e-13);
+#[test]
+fn dot_is_bilinear_and_symmetric() {
+    let mut rng = Rng::new(12);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 16);
+        let x = rng.vec_f64(n);
+        let y = rng.vec_f64(n);
+        assert!((dotu(n, &x, 1, &y, 1) - dotu(n, &y, 1, &x, 1)).abs() < 1e-13);
         // Cauchy–Schwarz.
         let d = dotu(n, &x, 1, &y, 1).abs();
-        prop_assert!(d <= nrm2(n, &x, 1) * nrm2(n, &y, 1) + 1e-12);
+        assert!(d <= nrm2(n, &x, 1) * nrm2(n, &y, 1) + 1e-12);
     }
+}
 
-    #[test]
-    fn nrm2_stride_invariant(n in 1usize..12, inc in 1usize..4, seed in 0u64..500) {
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let xs: Vec<f64> = (0..n * inc).map(|_| next()).collect();
+#[test]
+fn nrm2_stride_invariant() {
+    let mut rng = Rng::new(13);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 12);
+        let inc = rng.range_usize(1, 4);
+        let xs = rng.vec_f64(n * inc);
         let gathered: Vec<f64> = (0..n).map(|i| xs[i * inc]).collect();
         let a: f64 = nrm2(n, &xs, inc);
         let b: f64 = nrm2(n, &gathered, 1);
-        prop_assert!((a - b).abs() < 1e-13 * (1.0 + b));
+        assert!((a - b).abs() < 1e-13 * (1.0 + b));
     }
+}
 
-    #[test]
-    fn gemv_matches_manual(m in 1usize..10, n in 1usize..10, seed in 0u64..500) {
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let a: Vec<f64> = (0..m * n).map(|_| next()).collect();
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+#[test]
+fn gemv_matches_manual() {
+    let mut rng = Rng::new(14);
+    for _ in 0..CASES {
+        let (m, n) = (rng.range_usize(1, 10), rng.range_usize(1, 10));
+        let a = rng.vec_f64(m * n);
+        let x = rng.vec_f64(n);
         let mut y = vec![0.0f64; m];
         gemv(Trans::No, m, n, 1.0, &a, m, &x, 1, 0.0, &mut y, 1);
         for i in 0..m {
             let want: f64 = (0..n).map(|j| a[i + j * m] * x[j]).sum();
-            prop_assert!((y[i] - want).abs() < 1e-12 * (1.0 + want.abs()));
+            assert!((y[i] - want).abs() < 1e-12 * (1.0 + want.abs()));
         }
     }
+}
 
-    #[test]
-    fn gemm_associates_with_vectors(m in 1usize..7, n in 1usize..7, k1 in 1usize..7, seed in 0u64..500) {
-        // (A·B)·x == A·(B·x).
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((st >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let a: Vec<f64> = (0..m * k1).map(|_| next()).collect();
-        let b: Vec<f64> = (0..k1 * n).map(|_| next()).collect();
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+#[test]
+fn gemm_associates_with_vectors() {
+    // (A·B)·x == A·(B·x).
+    let mut rng = Rng::new(15);
+    for _ in 0..CASES {
+        let (m, n, k1) = (
+            rng.range_usize(1, 7),
+            rng.range_usize(1, 7),
+            rng.range_usize(1, 7),
+        );
+        let a = rng.vec_f64(m * k1);
+        let b = rng.vec_f64(k1 * n);
+        let x = rng.vec_f64(n);
         let mut ab = vec![0.0f64; m * n];
-        gemm(Trans::No, Trans::No, m, n, k1, 1.0, &a, m, &b, k1, 0.0, &mut ab, m);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k1,
+            1.0,
+            &a,
+            m,
+            &b,
+            k1,
+            0.0,
+            &mut ab,
+            m,
+        );
         let mut abx = vec![0.0f64; m];
         gemv(Trans::No, m, n, 1.0, &ab, m, &x, 1, 0.0, &mut abx, 1);
         let mut bx = vec![0.0f64; k1];
@@ -98,103 +135,155 @@ proptest! {
         let mut a_bx = vec![0.0f64; m];
         gemv(Trans::No, m, k1, 1.0, &a, m, &bx, 1, 0.0, &mut a_bx, 1);
         for i in 0..m {
-            prop_assert!((abx[i] - a_bx[i]).abs() < 1e-11 * (1.0 + a_bx[i].abs()));
+            assert!((abx[i] - a_bx[i]).abs() < 1e-11 * (1.0 + a_bx[i].abs()));
         }
     }
+}
 
-    #[test]
-    fn complex_gemm_conj_transpose_identity(n in 1usize..6, seed in 0u64..300) {
-        // (A·Aᴴ)ᴴ = A·Aᴴ (the product is Hermitian).
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((st >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let a: Vec<C64> = (0..n * n).map(|_| C64::new(next(), next())).collect();
+#[test]
+fn complex_gemm_conj_transpose_identity() {
+    // (A·Aᴴ)ᴴ = A·Aᴴ (the product is Hermitian).
+    let mut rng = Rng::new(16);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 6);
+        let a: Vec<C64> = (0..n * n)
+            .map(|_| C64::new(rng.next_f64(), rng.next_f64()))
+            .collect();
         let mut h = vec![C64::zero(); n * n];
-        gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &a, n, &a, n, C64::zero(), &mut h, n);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            n,
+            n,
+            n,
+            C64::one(),
+            &a,
+            n,
+            &a,
+            n,
+            C64::zero(),
+            &mut h,
+            n,
+        );
         for j in 0..n {
             for i in 0..n {
-                prop_assert!((h[i + j * n] - h[j + i * n].conj()).abs() < 1e-12);
+                assert!((h[i + j * n] - h[j + i * n].conj()).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn symm_equals_gemm_on_symmetric_input(n in 1usize..7, m in 1usize..7, seed in 0u64..300) {
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((st >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
+#[test]
+fn symm_equals_gemm_on_symmetric_input() {
+    let mut rng = Rng::new(17);
+    for _ in 0..CASES {
+        let (n, m) = (rng.range_usize(1, 7), rng.range_usize(1, 7));
         let mut s = vec![0.0f64; n * n];
         for j in 0..n {
             for i in 0..=j {
-                let v = next();
+                let v = rng.next_f64();
                 s[i + j * n] = v;
                 s[j + i * n] = v;
             }
         }
-        let b: Vec<f64> = (0..n * m).map(|_| next()).collect();
+        let b = rng.vec_f64(n * m);
         let mut c1 = vec![0.0f64; n * m];
-        symm(false, Side::Left, Uplo::Upper, n, m, 1.0, &s, n, &b, n, 0.0, &mut c1, n);
+        symm(
+            false,
+            Side::Left,
+            Uplo::Upper,
+            n,
+            m,
+            1.0,
+            &s,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut c1,
+            n,
+        );
         let mut c2 = vec![0.0f64; n * m];
-        gemm(Trans::No, Trans::No, n, m, n, 1.0, &s, n, &b, n, 0.0, &mut c2, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            m,
+            n,
+            1.0,
+            &s,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut c2,
+            n,
+        );
         for k in 0..n * m {
-            prop_assert!((c1[k] - c2[k]).abs() < 1e-11);
+            assert!((c1[k] - c2[k]).abs() < 1e-11);
         }
     }
+}
 
-    #[test]
-    fn trsv_consistent_with_trsm(n in 1usize..8, seed in 0u64..300) {
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((st >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
+#[test]
+fn trsv_consistent_with_trsm() {
+    let mut rng = Rng::new(18);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 8);
         let mut t = vec![0.0f64; n * n];
         for j in 0..n {
             for i in 0..=j {
-                t[i + j * n] = next();
+                t[i + j * n] = rng.next_f64();
             }
             t[j + j * n] = 3.0 + t[j + j * n].abs();
         }
-        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b = rng.vec_f64(n);
         let mut x1 = b.clone();
         trsv(Uplo::Upper, Trans::No, Diag::NonUnit, n, &t, n, &mut x1, 1);
         let mut x2 = b.clone();
-        trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, n, 1, 1.0, &t, n, &mut x2, n);
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            n,
+            1,
+            1.0,
+            &t,
+            n,
+            &mut x2,
+            n,
+        );
         for i in 0..n {
-            prop_assert!((x1[i] - x2[i]).abs() < 1e-12);
+            assert!((x1[i] - x2[i]).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn rot_preserves_norm(n in 1usize..10, theta in 0.0f64..6.28, seed in 0u64..300) {
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((st >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let mut x: Vec<f64> = (0..n).map(|_| next()).collect();
-        let mut y: Vec<f64> = (0..n).map(|_| next()).collect();
+#[test]
+fn rot_preserves_norm() {
+    let mut rng = Rng::new(19);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 10);
+        let theta = (rng.next_f64() + 1.0) * std::f64::consts::PI;
+        let mut x = rng.vec_f64(n);
+        let mut y = rng.vec_f64(n);
         let before = (nrm2(n, &x, 1).powi(2) + nrm2(n, &y, 1).powi(2)).sqrt();
         rot(n, &mut x, 1, &mut y, 1, theta.cos(), theta.sin());
         let after = (nrm2(n, &x, 1).powi(2) + nrm2(n, &y, 1).powi(2)).sqrt();
-        prop_assert!((before - after).abs() < 1e-12 * (1.0 + before));
+        assert!((before - after).abs() < 1e-12 * (1.0 + before));
     }
+}
 
-    #[test]
-    fn iamax_finds_maximum(n in 1usize..20, seed in 0u64..300) {
-        let mut st = seed;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((st >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+#[test]
+fn iamax_finds_maximum() {
+    let mut rng = Rng::new(20);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 20);
+        let x = rng.vec_f64(n);
         let k = iamax(n, &x, 1);
         for &v in &x {
-            prop_assert!(v.abs() <= x[k].abs() + 1e-15);
+            assert!(v.abs() <= x[k].abs() + 1e-15);
         }
     }
 }
@@ -204,10 +293,38 @@ fn gemm_zero_dimensions_are_noops() {
     let a: Vec<f64> = vec![];
     let b: Vec<f64> = vec![];
     let mut c: Vec<f64> = vec![];
-    gemm(Trans::No, Trans::No, 0, 0, 0, 1.0, &a, 1, &b, 1, 0.0, &mut c, 1);
+    gemm(
+        Trans::No,
+        Trans::No,
+        0,
+        0,
+        0,
+        1.0,
+        &a,
+        1,
+        &b,
+        1,
+        0.0,
+        &mut c,
+        1,
+    );
     // k = 0 with beta = 2: C scales only.
     let mut c = vec![1.0f64, 2.0];
-    gemm(Trans::No, Trans::No, 2, 1, 0, 1.0, &a, 2, &b, 1, 2.0, &mut c, 2);
+    gemm(
+        Trans::No,
+        Trans::No,
+        2,
+        1,
+        0,
+        1.0,
+        &a,
+        2,
+        &b,
+        1,
+        2.0,
+        &mut c,
+        2,
+    );
     assert_eq!(c, vec![2.0, 4.0]);
 }
 
@@ -217,6 +334,20 @@ fn gemm_beta_zero_overwrites_nan() {
     let a = vec![1.0f64];
     let b = vec![1.0f64];
     let mut c = vec![f64::NAN];
-    gemm(Trans::No, Trans::No, 1, 1, 1, 1.0, &a, 1, &b, 1, 0.0, &mut c, 1);
+    gemm(
+        Trans::No,
+        Trans::No,
+        1,
+        1,
+        1,
+        1.0,
+        &a,
+        1,
+        &b,
+        1,
+        0.0,
+        &mut c,
+        1,
+    );
     assert_eq!(c[0], 1.0);
 }

@@ -2,8 +2,11 @@
 //! implementation, for all four scalar instantiations (S/D/C/Z) and a grid
 //! of shapes, transposes, triangles and strides.
 
+// The reference kernels mirror the BLAS argument lists verbatim.
+#![allow(clippy::too_many_arguments)]
+
 use la_blas::*;
-use la_core::{Complex, Diag, RealScalar, Scalar, Side, Trans, Uplo, C32, C64};
+use la_core::{Diag, RealScalar, Scalar, Side, Trans, Uplo, C32, C64};
 
 /// Deterministic pseudo-random scalar stream (splitmix64-based) so tests
 /// need no external RNG and are reproducible across platforms.
@@ -37,20 +40,6 @@ impl Stream {
     }
 }
 
-trait FromF64: RealScalar {
-    fn from_f64_(x: f64) -> Self;
-}
-impl FromF64 for f32 {
-    fn from_f64_(x: f64) -> f32 {
-        x as f32
-    }
-}
-impl FromF64 for f64 {
-    fn from_f64_(x: f64) -> f64 {
-        x
-    }
-}
-
 fn tol<T: Scalar>(n: usize) -> f64 {
     T::eps().to_f64() * 50.0 * (n as f64 + 1.0)
 }
@@ -60,7 +49,10 @@ fn assert_close<T: Scalar>(got: &[T], want: &[T], scale: f64, ctx: &str) {
     let t = tol::<T>(got.len()) * scale.max(1.0);
     for (k, (&g, &w)) in got.iter().zip(want).enumerate() {
         let d = (g - w).abs().to_f64();
-        assert!(d <= t, "{ctx}: element {k}: got {g}, want {w}, |diff| = {d:.3e} > {t:.3e}");
+        assert!(
+            d <= t,
+            "{ctx}: element {k}: got {g}, want {w}, |diff| = {d:.3e} > {t:.3e}"
+        );
     }
 }
 
@@ -100,10 +92,7 @@ fn gemm_ref<T: Scalar>(
     }
 }
 
-fn gemm_suite<T: Scalar + 'static>()
-where
-    T::Real: FromF64,
-{
+fn gemm_suite<T: Scalar + 'static>() {
     let mut rng = Stream::new(42);
     for &(m, n, k) in &[(1, 1, 1), (3, 2, 4), (7, 5, 6), (16, 16, 16), (33, 17, 25)] {
         for &ta in &[Trans::No, Trans::Trans, Trans::ConjTrans] {
@@ -121,8 +110,15 @@ where
                 let mut c = c0.clone();
                 gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
                 let mut cref = c0.clone();
-                gemm_ref(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, ldc);
-                assert_close(&c, &cref, k as f64, &format!("gemm {m}x{n}x{k} {ta:?} {tb:?}"));
+                gemm_ref(
+                    ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, ldc,
+                );
+                assert_close(
+                    &c,
+                    &cref,
+                    k as f64,
+                    &format!("gemm {m}x{n}x{k} {ta:?} {tb:?}"),
+                );
             }
         }
     }
@@ -153,16 +149,41 @@ fn gemm_large_parallel_path() {
     let a = rng.vec::<f64>(m * k);
     let b = rng.vec::<f64>(k * n);
     let mut c = vec![0.0f64; m * n];
-    gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, m, &b, k, 0.0, &mut c, m);
+    gemm(
+        Trans::No,
+        Trans::No,
+        m,
+        n,
+        k,
+        1.0,
+        &a,
+        m,
+        &b,
+        k,
+        0.0,
+        &mut c,
+        m,
+    );
     let mut cref = vec![0.0f64; m * n];
-    gemm_ref(Trans::No, Trans::No, m, n, k, 1.0, &a, m, &b, k, 0.0, &mut cref, m);
+    gemm_ref(
+        Trans::No,
+        Trans::No,
+        m,
+        n,
+        k,
+        1.0,
+        &a,
+        m,
+        &b,
+        k,
+        0.0,
+        &mut cref,
+        m,
+    );
     assert_close(&c, &cref, k as f64, "parallel gemm 96^3");
 }
 
-fn gemv_suite<T: Scalar>()
-where
-    T::Real: FromF64,
-{
+fn gemv_suite<T: Scalar>() {
     let mut rng = Stream::new(3);
     for &(m, n) in &[(1, 1), (4, 3), (9, 12), (17, 5)] {
         for &tr in &[Trans::No, Trans::Trans, Trans::ConjTrans] {
@@ -180,9 +201,28 @@ where
                 let xg: Vec<T> = (0..xl).map(|i| x[i * incx]).collect();
                 let mut yg: Vec<T> = (0..yl).map(|i| y0[i * incy]).collect();
                 let (gm, gn) = if tr == Trans::No { (m, n) } else { (n, m) };
-                gemm_ref(tr, Trans::No, gm, 1, gn, alpha, &a, lda, &xg, gn.max(1), beta, &mut yg, gm.max(1));
+                gemm_ref(
+                    tr,
+                    Trans::No,
+                    gm,
+                    1,
+                    gn,
+                    alpha,
+                    &a,
+                    lda,
+                    &xg,
+                    gn.max(1),
+                    beta,
+                    &mut yg,
+                    gm.max(1),
+                );
                 let got: Vec<T> = (0..yl).map(|i| y[i * incy]).collect();
-                assert_close(&got, &yg, n as f64, &format!("gemv {m}x{n} {tr:?} incx={incx}"));
+                assert_close(
+                    &got,
+                    &yg,
+                    n as f64,
+                    &format!("gemv {m}x{n} {tr:?} incx={incx}"),
+                );
             }
         }
     }
@@ -231,7 +271,11 @@ fn herm_pair(rng: &mut Stream, n: usize, conj: bool) -> (Vec<C64>, Vec<C64>) {
     for j in 0..n {
         for i in 0..=j {
             let v: C64 = rng.scalar();
-            let v = if i == j && conj { C64::from_real(v.re) } else { v };
+            let v = if i == j && conj {
+                C64::from_real(v.re)
+            } else {
+                v
+            };
             full[i + j * n] = v;
             full[j + i * n] = if conj { v.conj() } else { v };
         }
@@ -318,7 +362,10 @@ fn rank_updates_preserve_structure() {
                     if i == j {
                         want = C64::from_real(want.re);
                     }
-                    assert!((a[i + j * n] - want).abs() < 1e-12, "her2 {uplo:?} ({i},{j})");
+                    assert!(
+                        (a[i + j * n] - want).abs() < 1e-12,
+                        "her2 {uplo:?} ({i},{j})"
+                    );
                 }
             }
         }
@@ -341,7 +388,12 @@ fn trmv_trsv_roundtrip() {
                 let mut x = x0.clone();
                 trmv(uplo, trans, diag, n, &a, n, &mut x, 1);
                 trsv(uplo, trans, diag, n, &a, n, &mut x, 1);
-                assert_close(&x, &x0, n as f64, &format!("trmv∘trsv {uplo:?} {trans:?} {diag:?}"));
+                assert_close(
+                    &x,
+                    &x0,
+                    n as f64,
+                    &format!("trmv∘trsv {uplo:?} {trans:?} {diag:?}"),
+                );
             }
         }
     }
@@ -388,25 +440,82 @@ fn syrk_herk_match_gemm() {
         let a = rng.vec::<C64>(am * an);
         // syrk vs gemm(A, A^T)
         let mut c = vec![C64::zero(); n * n];
-        syrk(Uplo::Upper, trans, n, k, C64::one(), &a, am, C64::zero(), &mut c, n);
+        syrk(
+            Uplo::Upper,
+            trans,
+            n,
+            k,
+            C64::one(),
+            &a,
+            am,
+            C64::zero(),
+            &mut c,
+            n,
+        );
         let mut cref = vec![C64::zero(); n * n];
-        let other = if trans == Trans::No { Trans::Trans } else { Trans::No };
-        gemm_ref(trans, other, n, n, k, C64::one(), &a, am, &a, am, C64::zero(), &mut cref, n);
+        let other = if trans == Trans::No {
+            Trans::Trans
+        } else {
+            Trans::No
+        };
+        gemm_ref(
+            trans,
+            other,
+            n,
+            n,
+            k,
+            C64::one(),
+            &a,
+            am,
+            &a,
+            am,
+            C64::zero(),
+            &mut cref,
+            n,
+        );
         for j in 0..n {
             for i in 0..=j {
-                assert!((c[i + j * n] - cref[i + j * n]).abs() < 1e-12, "syrk {trans:?}");
+                assert!(
+                    (c[i + j * n] - cref[i + j * n]).abs() < 1e-12,
+                    "syrk {trans:?}"
+                );
             }
         }
         // herk vs gemm(A, A^H): use ConjTrans pairing.
         let mut c = vec![C64::zero(); n * n];
         herk(Uplo::Lower, trans, n, k, 1.0, &a, am, 0.0, &mut c, n);
         let mut cref = vec![C64::zero(); n * n];
-        let other = if trans == Trans::No { Trans::ConjTrans } else { Trans::No };
-        let first = if trans == Trans::No { Trans::No } else { Trans::ConjTrans };
-        gemm_ref(first, other, n, n, k, C64::one(), &a, am, &a, am, C64::zero(), &mut cref, n);
+        let other = if trans == Trans::No {
+            Trans::ConjTrans
+        } else {
+            Trans::No
+        };
+        let first = if trans == Trans::No {
+            Trans::No
+        } else {
+            Trans::ConjTrans
+        };
+        gemm_ref(
+            first,
+            other,
+            n,
+            n,
+            k,
+            C64::one(),
+            &a,
+            am,
+            &a,
+            am,
+            C64::zero(),
+            &mut cref,
+            n,
+        );
         for j in 0..n {
             for i in j..n {
-                assert!((c[i + j * n] - cref[i + j * n]).abs() < 1e-12, "herk {trans:?}");
+                assert!(
+                    (c[i + j * n] - cref[i + j * n]).abs() < 1e-12,
+                    "herk {trans:?}"
+                );
             }
         }
     }
@@ -419,10 +528,51 @@ fn syr2k_matches_gemm_sum() {
     let a = rng.vec::<f64>(n * k);
     let b = rng.vec::<f64>(n * k);
     let mut c = vec![0.0f64; n * n];
-    syr2k(Uplo::Upper, Trans::No, n, k, 2.0, &a, n, &b, n, 0.0, &mut c, n);
+    syr2k(
+        Uplo::Upper,
+        Trans::No,
+        n,
+        k,
+        2.0,
+        &a,
+        n,
+        &b,
+        n,
+        0.0,
+        &mut c,
+        n,
+    );
     let mut cref = vec![0.0f64; n * n];
-    gemm_ref(Trans::No, Trans::Trans, n, n, k, 2.0, &a, n, &b, n, 0.0, &mut cref, n);
-    gemm_ref(Trans::No, Trans::Trans, n, n, k, 2.0, &b, n, &a, n, 1.0, &mut cref, n);
+    gemm_ref(
+        Trans::No,
+        Trans::Trans,
+        n,
+        n,
+        k,
+        2.0,
+        &a,
+        n,
+        &b,
+        n,
+        0.0,
+        &mut cref,
+        n,
+    );
+    gemm_ref(
+        Trans::No,
+        Trans::Trans,
+        n,
+        n,
+        k,
+        2.0,
+        &b,
+        n,
+        &a,
+        n,
+        1.0,
+        &mut cref,
+        n,
+    );
     for j in 0..n {
         for i in 0..=j {
             assert!((c[i + j * n] - cref[i + j * n]).abs() < 1e-12);
@@ -443,13 +593,60 @@ fn symm_matches_dense_gemm() {
         let beta = rng.scalar::<C64>();
         for uplo in [Uplo::Upper, Uplo::Lower] {
             let mut c = c0.clone();
-            symm(true, side, uplo, m, n, alpha, &full_small, na, &b, m, beta, &mut c, m);
+            symm(
+                true,
+                side,
+                uplo,
+                m,
+                n,
+                alpha,
+                &full_small,
+                na,
+                &b,
+                m,
+                beta,
+                &mut c,
+                m,
+            );
             let mut cref = c0.clone();
             match side {
-                Side::Left => gemm_ref(Trans::No, Trans::No, m, n, m, alpha, &full_small, na, &b, m, beta, &mut cref, m),
-                Side::Right => gemm_ref(Trans::No, Trans::No, m, n, n, alpha, &b, m, &full_small, na, beta, &mut cref, m),
+                Side::Left => gemm_ref(
+                    Trans::No,
+                    Trans::No,
+                    m,
+                    n,
+                    m,
+                    alpha,
+                    &full_small,
+                    na,
+                    &b,
+                    m,
+                    beta,
+                    &mut cref,
+                    m,
+                ),
+                Side::Right => gemm_ref(
+                    Trans::No,
+                    Trans::No,
+                    m,
+                    n,
+                    n,
+                    alpha,
+                    &b,
+                    m,
+                    &full_small,
+                    na,
+                    beta,
+                    &mut cref,
+                    m,
+                ),
             }
-            assert_close(&c, &cref, (m * n) as f64, &format!("hemm {side:?} {uplo:?}"));
+            assert_close(
+                &c,
+                &cref,
+                (m * n) as f64,
+                &format!("hemm {side:?} {uplo:?}"),
+            );
         }
     }
 }
@@ -473,9 +670,35 @@ fn band_routines_match_dense() {
     for trans in [Trans::No, Trans::Trans, Trans::ConjTrans] {
         let ylen = if trans == Trans::No { m } else { n };
         let mut y = vec![C64::zero(); ylen];
-        gbmv(trans, m, n, kl, ku, C64::one(), &band, ldab, &x, 1, C64::zero(), &mut y, 1);
+        gbmv(
+            trans,
+            m,
+            n,
+            kl,
+            ku,
+            C64::one(),
+            &band,
+            ldab,
+            &x,
+            1,
+            C64::zero(),
+            &mut y,
+            1,
+        );
         let mut yref = vec![C64::zero(); ylen];
-        gemv(trans, m, n, C64::one(), &dense, m, &x, 1, C64::zero(), &mut yref, 1);
+        gemv(
+            trans,
+            m,
+            n,
+            C64::one(),
+            &dense,
+            m,
+            &x,
+            1,
+            C64::zero(),
+            &mut yref,
+            1,
+        );
         assert_close(&y, &yref, n as f64, &format!("gbmv {trans:?}"));
     }
 
@@ -498,7 +721,17 @@ fn band_routines_match_dense() {
     for trans in [Trans::No, Trans::Trans, Trans::ConjTrans] {
         let x0 = rng.vec::<C64>(n);
         let mut xb = x0.clone();
-        tbsv(Uplo::Upper, trans, Diag::NonUnit, n, kd, &tband, ldab, &mut xb, 1);
+        tbsv(
+            Uplo::Upper,
+            trans,
+            Diag::NonUnit,
+            n,
+            kd,
+            &tband,
+            ldab,
+            &mut xb,
+            1,
+        );
         let mut xd = x0.clone();
         trsv(Uplo::Upper, trans, Diag::NonUnit, n, &tdense, n, &mut xd, 1);
         assert_close(&xb, &xd, n as f64, &format!("tbsv {trans:?}"));
@@ -523,9 +756,34 @@ fn band_routines_match_dense() {
     }
     let x = rng.vec::<C64>(n);
     let mut y = vec![C64::zero(); n];
-    sbmv(true, Uplo::Upper, n, kd, C64::one(), &hb, ldab, &x, 1, C64::zero(), &mut y, 1);
+    sbmv(
+        true,
+        Uplo::Upper,
+        n,
+        kd,
+        C64::one(),
+        &hb,
+        ldab,
+        &x,
+        1,
+        C64::zero(),
+        &mut y,
+        1,
+    );
     let mut yref = vec![C64::zero(); n];
-    gemv(Trans::No, n, n, C64::one(), &hd, n, &x, 1, C64::zero(), &mut yref, 1);
+    gemv(
+        Trans::No,
+        n,
+        n,
+        C64::one(),
+        &hd,
+        n,
+        &x,
+        1,
+        C64::zero(),
+        &mut yref,
+        1,
+    );
     assert_close(&y, &yref, n as f64, "hbmv");
 }
 
@@ -559,9 +817,32 @@ fn packed_routines_match_dense() {
         }
         let x = rng.vec::<C64>(n);
         let mut y = vec![C64::zero(); n];
-        spmv(true, uplo, n, C64::one(), &ap, &x, 1, C64::zero(), &mut y, 1);
+        spmv(
+            true,
+            uplo,
+            n,
+            C64::one(),
+            &ap,
+            &x,
+            1,
+            C64::zero(),
+            &mut y,
+            1,
+        );
         let mut yref = vec![C64::zero(); n];
-        gemv(Trans::No, n, n, C64::one(), &full, n, &x, 1, C64::zero(), &mut yref, 1);
+        gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &full,
+            n,
+            &x,
+            1,
+            C64::zero(),
+            &mut yref,
+            1,
+        );
         assert_close(&y, &yref, n as f64, &format!("hpmv {uplo:?}"));
 
         // tpmv/tpsv roundtrip.

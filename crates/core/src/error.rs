@@ -96,10 +96,16 @@ impl fmt::Display for LaError {
         write!(f, "Error indicator, INFO = {}", self.info())?;
         match self {
             LaError::Singular { index, .. } => {
-                write!(f, " (U({index},{index}) = 0: matrix is singular, no solution computed)")
+                write!(
+                    f,
+                    " (U({index},{index}) = 0: matrix is singular, no solution computed)"
+                )
             }
             LaError::NotPosDef { minor, .. } => {
-                write!(f, " (leading minor of order {minor} is not positive definite)")
+                write!(
+                    f,
+                    " (leading minor of order {minor} is not positive definite)"
+                )
             }
             LaError::NoConvergence { count, .. } => {
                 write!(f, " ({count} quantities failed to converge)")
@@ -183,7 +189,9 @@ mod tests {
             index: 3,
         };
         assert_eq!(e.info(), 3);
-        let e = LaError::AllocFailed { routine: "LA_GETRI" };
+        let e = LaError::AllocFailed {
+            routine: "LA_GETRI",
+        };
         assert_eq!(e.info(), -100);
     }
 

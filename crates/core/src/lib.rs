@@ -15,6 +15,10 @@
 //!   with the exact LAPACK sign conventions.
 //! * [`Uplo`], [`Trans`], [`Diag`], [`Side`], [`Norm`] — the character
 //!   flag arguments as enums.
+//! * [`tune`] — the runtime tuning subsystem (`ILAENV` as a settable
+//!   object): thread budget, parallel thresholds, per-routine block
+//!   sizes, all adjustable programmatically or via `LA_*` environment
+//!   variables.
 
 #![warn(missing_docs)]
 
@@ -24,6 +28,7 @@ pub mod error;
 pub mod mat;
 pub mod scalar;
 pub mod storage;
+pub mod tune;
 
 pub use complex::{Complex, C32, C64};
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
@@ -31,3 +36,4 @@ pub use error::{erinfo, LaError, PositiveInfo};
 pub use mat::Mat;
 pub use scalar::{RealScalar, Scalar};
 pub use storage::{BandMat, PackedMat, SymBandMat};
+pub use tune::TuneConfig;

@@ -415,6 +415,7 @@ mod tests {
     use super::*;
     use crate::complex::{C32, C64};
 
+    #[allow(clippy::eq_op)] // `one - one == zero` etc. are the axioms under test
     fn generic_axioms<T: Scalar>() {
         let one = T::one();
         let zero = T::zero();
@@ -426,7 +427,10 @@ mod tests {
         assert_eq!(one.conj().conj(), one);
         assert_eq!(T::from_f64(2.0) * T::from_f64(3.0), T::from_f64(6.0));
         let x = T::from_re_im(T::Real::from_usize(3), T::Real::from_usize(4));
-        assert!((x.abs_sqr() - x.abs() * x.abs()).rabs() <= T::Real::EPS * x.abs_sqr() * T::Real::from_usize(4));
+        assert!(
+            (x.abs_sqr() - x.abs() * x.abs()).rabs()
+                <= T::Real::EPS * x.abs_sqr() * T::Real::from_usize(4)
+        );
         assert!((x * x.recip() - one).abs() <= T::Real::EPS * T::Real::from_usize(8));
     }
 
@@ -439,6 +443,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants are the contract
     fn prefixes_match_lapack() {
         assert_eq!(f32::PREFIX, 'S');
         assert_eq!(f64::PREFIX, 'D');

@@ -1,0 +1,238 @@
+//! Runtime tuning subsystem — the `ILAENV` of this substrate, made a
+//! first-class, *runtime-settable* object instead of a compiled-in table.
+//!
+//! Every performance knob the BLAS-3 layer and the blocked factorizations
+//! consult lives in one [`TuneConfig`]: the thread budget, the flop
+//! threshold above which Level-3 operations go parallel, the per-routine
+//! block sizes (`NB`) and the blocked/unblocked crossover order. The
+//! paper's premise is that `LA_GESV(A, B)` should deliver the performance
+//! of the tuned substrate underneath with zero caller changes; this module
+//! is where that tuning happens.
+//!
+//! Three ways to set it, in increasing precedence:
+//!
+//! 1. **Environment variables** at process start: `LA_NUM_THREADS`,
+//!    `LA_PAR_FLOPS`, `LA_NB_GETRF`, `LA_NB_POTRF`, `LA_NB_GEQRF`,
+//!    `LA_NB_SYTRF`, `LA_NB_DEFAULT`, `LA_CROSSOVER`.
+//! 2. **Programmatically** for the whole process: [`set`] / [`update`].
+//! 3. **Scoped** per call tree: [`with`] installs a thread-local override
+//!    for the duration of a closure (used by benchmarks sweeping NB and by
+//!    the serial-vs-parallel equivalence tests; it never races with other
+//!    threads).
+//!
+//! ```
+//! use la_core::tune::{self, TuneConfig};
+//! // Force the serial path inside a closure, leaving the process config
+//! // untouched:
+//! let cfg = TuneConfig { max_threads: 1, ..tune::current() };
+//! let r = tune::with(cfg, || tune::current().max_threads);
+//! assert_eq!(r, 1);
+//! ```
+
+use std::cell::RefCell;
+use std::sync::{OnceLock, RwLock};
+
+/// Process-wide tuning knobs for the BLAS-3 layer and the blocked
+/// factorizations. Plain data — copy it, edit fields, hand it to [`set`]
+/// or [`with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuneConfig {
+    /// Thread budget for parallel BLAS-3. `0` means auto-detect
+    /// (`available_parallelism`, capped at 8). `1` forces every operation
+    /// serial.
+    pub max_threads: usize,
+    /// Effective-flop product (`m·n·k` for `gemm`, the analogous triple
+    /// product for the other Level-3 operations) at or above which an
+    /// operation may go parallel. `0` parallelises everything the shape
+    /// allows — useful for tests, ruinous for performance.
+    pub par_flops: usize,
+    /// Panel width for LU-family routines (`getrf`, `getri`).
+    pub nb_getrf: usize,
+    /// Panel width for the Cholesky family (`potrf`).
+    pub nb_potrf: usize,
+    /// Panel width for the orthogonal-factorization family
+    /// (`geqrf`, `gelqf`, `ormqr`).
+    pub nb_geqrf: usize,
+    /// Panel width for the symmetric-indefinite / tridiagonalization
+    /// family (`sytrf`, `sytrd`).
+    pub nb_sytrf: usize,
+    /// Panel width for any routine without a dedicated knob.
+    pub nb_default: usize,
+    /// Problem order at or below which blocked algorithms fall back to
+    /// their unblocked forms.
+    pub crossover: usize,
+}
+
+impl TuneConfig {
+    /// The compiled-in defaults (the values the seed hardcoded).
+    pub const fn defaults() -> Self {
+        TuneConfig {
+            max_threads: 0,
+            par_flops: 200 * 200 * 200,
+            nb_getrf: 32,
+            nb_potrf: 96,
+            nb_geqrf: 32,
+            nb_sytrf: 32,
+            nb_default: 32,
+            crossover: 128,
+        }
+    }
+
+    /// Defaults overlaid with any `LA_*` environment variables. Invalid
+    /// or absent variables leave the default untouched.
+    pub fn from_env() -> Self {
+        fn read(name: &str, into: &mut usize) {
+            if let Some(v) = std::env::var(name).ok().and_then(|s| s.trim().parse().ok()) {
+                *into = v;
+            }
+        }
+        let mut cfg = Self::defaults();
+        read("LA_NUM_THREADS", &mut cfg.max_threads);
+        read("LA_PAR_FLOPS", &mut cfg.par_flops);
+        read("LA_NB_GETRF", &mut cfg.nb_getrf);
+        read("LA_NB_POTRF", &mut cfg.nb_potrf);
+        read("LA_NB_GEQRF", &mut cfg.nb_geqrf);
+        read("LA_NB_SYTRF", &mut cfg.nb_sytrf);
+        read("LA_NB_DEFAULT", &mut cfg.nb_default);
+        read("LA_CROSSOVER", &mut cfg.crossover);
+        cfg
+    }
+
+    /// Resolved thread budget: `max_threads`, or the detected core count
+    /// (capped at 8) when `max_threads == 0`.
+    pub fn threads(&self) -> usize {
+        if self.max_threads > 0 {
+            return self.max_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+
+    /// Block size for `routine` (an `ILAENV(1, ...)` analog; lowercase
+    /// LAPACK routine names).
+    pub fn nb(&self, routine: &str) -> usize {
+        match routine {
+            "getrf" | "getri" => self.nb_getrf,
+            "potrf" => self.nb_potrf,
+            "geqrf" | "gelqf" | "ormqr" => self.nb_geqrf,
+            "sytrf" | "sytrd" => self.nb_sytrf,
+            _ => self.nb_default,
+        }
+        .max(1)
+    }
+
+    /// Crossover order for `routine` (an `ILAENV(2, ...)` analog). One
+    /// knob covers every family for now; the argument keeps the call sites
+    /// ready for per-routine splits.
+    pub fn crossover(&self, _routine: &str) -> usize {
+        self.crossover
+    }
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        Self::defaults()
+    }
+}
+
+fn global() -> &'static RwLock<TuneConfig> {
+    static GLOBAL: OnceLock<RwLock<TuneConfig>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(TuneConfig::from_env()))
+}
+
+thread_local! {
+    static OVERRIDE: RefCell<Vec<TuneConfig>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The configuration in effect on this thread: the innermost [`with`]
+/// override if one is active, the process-global configuration otherwise.
+pub fn current() -> TuneConfig {
+    if let Some(cfg) = OVERRIDE.with(|o| o.borrow().last().copied()) {
+        return cfg;
+    }
+    *global().read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Replaces the process-global configuration.
+pub fn set(cfg: TuneConfig) {
+    *global().write().unwrap_or_else(|e| e.into_inner()) = cfg;
+}
+
+/// Edits the process-global configuration in place:
+/// `tune::update(|c| c.max_threads = 4)`.
+pub fn update(f: impl FnOnce(&mut TuneConfig)) {
+    let mut guard = global().write().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard);
+}
+
+/// Runs `f` with `cfg` in effect on the current thread only, restoring
+/// the previous state afterwards (also on panic). Nested calls stack.
+///
+/// The override is consulted at the *decision points* of the BLAS-3 layer
+/// and the factorizations, which all run on the calling thread before any
+/// worker threads are spawned — so a scoped override fully controls a
+/// call tree even when that tree goes parallel underneath.
+pub fn with<R>(cfg: TuneConfig, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.borrow_mut().pop());
+        }
+    }
+    OVERRIDE.with(|o| o.borrow_mut().push(cfg));
+    let _guard = Guard;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_seed_constants() {
+        let d = TuneConfig::defaults();
+        assert_eq!(d.par_flops, 200 * 200 * 200);
+        assert_eq!(d.nb("getrf"), 32);
+        assert_eq!(d.nb("potrf"), 96);
+        assert_eq!(d.nb("ormqr"), 32);
+        assert_eq!(d.nb("unknown-routine"), 32);
+        assert_eq!(d.crossover("getrf"), 128);
+    }
+
+    #[test]
+    fn scoped_override_stacks_and_restores() {
+        let outer = current();
+        let a = TuneConfig {
+            max_threads: 3,
+            ..outer
+        };
+        let b = TuneConfig {
+            max_threads: 7,
+            ..outer
+        };
+        with(a, || {
+            assert_eq!(current().max_threads, 3);
+            with(b, || assert_eq!(current().max_threads, 7));
+            assert_eq!(current().max_threads, 3);
+        });
+        assert_eq!(current(), outer);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        let mut cfg = TuneConfig::defaults();
+        cfg.max_threads = 5;
+        assert_eq!(cfg.threads(), 5);
+        cfg.max_threads = 0;
+        assert!(cfg.threads() >= 1 && cfg.threads() <= 8);
+    }
+
+    #[test]
+    fn nb_never_zero() {
+        let mut cfg = TuneConfig::defaults();
+        cfg.nb_getrf = 0;
+        assert_eq!(cfg.nb("getrf"), 1);
+    }
+}

@@ -1,139 +1,196 @@
 //! Property tests for the foundation layer: Complex robustness, storage
 //! roundtrips, Mat invariants, error-code conventions.
+//!
+//! Dependency-free: each property is checked over a deterministic sweep of
+//! seeded pseudo-random cases (SplitMix64) instead of a proptest strategy,
+//! so the suite runs fully offline.
 
 use la_core::{BandMat, Complex, Mat, PackedMat, SymBandMat, Uplo, C64};
-use proptest::prelude::*;
 
-fn cval() -> impl Strategy<Value = C64> {
-    ((-1e3f64..1e3), (-1e3f64..1e3)).prop_map(|(r, i)| C64::new(r, i))
-}
+/// SplitMix64 — tiny, seedable, good enough to sweep a property space.
+struct Rng(u64);
 
-fn cval_wide() -> impl Strategy<Value = C64> {
-    // Exercise the ladiv scaling paths with extreme magnitudes.
-    ((-300i32..300), (-1.0f64..1.0), (-1.0f64..1.0)).prop_map(|(e, r, i)| {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    /// Uniform in [-1, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+    /// Uniform in [lo, hi).
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next_f64() + 1.0) * 0.5 * (hi - lo)
+    }
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+    fn cval(&mut self) -> C64 {
+        C64::new(self.range_f64(-1e3, 1e3), self.range_f64(-1e3, 1e3))
+    }
+    /// Complex value with extreme magnitude — exercises ladiv scaling paths.
+    fn cval_wide(&mut self) -> C64 {
+        let e = self.range_usize(0, 600) as i32 - 300;
         let s = 2f64.powi(e);
-        C64::new(r * s, i * s)
-    })
+        C64::new(self.next_f64() * s, self.next_f64() * s)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn ladiv_agrees_with_reconstruction(a in cval(), b in cval()) {
-        prop_assume!(b.abs() > 1e-6);
+#[test]
+fn ladiv_agrees_with_reconstruction() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let (a, b) = (rng.cval(), rng.cval());
+        if b.abs() <= 1e-6 {
+            continue;
+        }
         let q = a.ladiv(b);
         let back = q * b;
-        prop_assert!((back - a).abs() < 1e-9 * (1.0 + a.abs()));
+        assert!(
+            (back - a).abs() < 1e-9 * (1.0 + a.abs()),
+            "{a:?} / {b:?} = {q:?}"
+        );
     }
+}
 
-    #[test]
-    fn ladiv_never_nans_on_finite_nonzero(a in cval_wide(), b in cval_wide()) {
-        prop_assume!(b.abs1() > 0.0 && b.is_finite() && a.is_finite());
+#[test]
+fn ladiv_never_nans_on_finite_nonzero() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let (a, b) = (rng.cval_wide(), rng.cval_wide());
+        if !(b.abs1() > 0.0 && b.is_finite() && a.is_finite()) {
+            continue;
+        }
         let q = a.ladiv(b);
-        prop_assert!(!q.is_nan(), "{a:?} / {b:?} = {q:?}");
+        assert!(!q.is_nan(), "{a:?} / {b:?} = {q:?}");
     }
+}
 
-    #[test]
-    fn complex_sqrt_principal(z in cval()) {
+#[test]
+fn complex_sqrt_principal() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let z = rng.cval();
         let s = z.sqrt();
-        prop_assert!(s.re >= 0.0);
-        prop_assert!((s * s - z).abs() < 1e-9 * (1.0 + z.abs()));
+        assert!(s.re >= 0.0);
+        assert!((s * s - z).abs() < 1e-9 * (1.0 + z.abs()));
     }
+}
 
-    #[test]
-    fn mat_transpose_involution(m in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
-        let mut k = seed;
-        let a: Mat<f64> = Mat::from_fn(m, n, |_, _| {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        });
-        prop_assert_eq!(a.transpose().transpose(), a.clone());
-        prop_assert_eq!(a.conj_transpose().conj_transpose(), a);
+#[test]
+fn mat_transpose_involution() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let (m, n) = (rng.range_usize(1, 8), rng.range_usize(1, 8));
+        let a: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.next_f64());
+        assert_eq!(a.transpose().transpose(), a.clone());
+        assert_eq!(a.conj_transpose().conj_transpose(), a);
     }
+}
 
-    #[test]
-    fn packed_roundtrip(n in 1usize..10, upper in any::<bool>(), seed in 0u64..1000) {
-        let uplo = if upper { Uplo::Upper } else { Uplo::Lower };
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+#[test]
+fn packed_roundtrip() {
+    let mut rng = Rng::new(5);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 10);
+        let uplo = if case % 2 == 0 {
+            Uplo::Upper
+        } else {
+            Uplo::Lower
         };
-        // Symmetric dense.
         let mut d: Mat<f64> = Mat::zeros(n, n);
         for j in 0..n {
             for i in 0..=j {
-                let v = next();
+                let v = rng.next_f64();
                 d[(i, j)] = v;
                 d[(j, i)] = v;
             }
         }
         let p = PackedMat::from_dense(&d, uplo);
-        prop_assert_eq!(p.as_slice().len(), n * (n + 1) / 2);
-        prop_assert_eq!(p.to_dense_sym(), d);
+        assert_eq!(p.as_slice().len(), n * (n + 1) / 2);
+        assert_eq!(p.to_dense_sym(), d);
     }
+}
 
-    #[test]
-    fn band_roundtrip(n in 1usize..10, kl in 0usize..4, ku in 0usize..4,
-                      for_factor in any::<bool>(), seed in 0u64..1000) {
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
+#[test]
+fn band_roundtrip() {
+    let mut rng = Rng::new(6);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 10);
+        let kl = rng.range_usize(0, 4);
+        let ku = rng.range_usize(0, 4);
+        let for_factor = case % 2 == 0;
         let d: Mat<f64> = Mat::from_fn(n, n, |i, j| {
             if i + ku >= j && j + kl >= i {
-                next()
+                rng.next_f64()
             } else {
                 0.0
             }
         });
         let b = BandMat::from_dense(&d, kl, ku, for_factor);
-        prop_assert_eq!(b.to_dense(), d);
+        assert_eq!(b.to_dense(), d);
     }
+}
 
-    #[test]
-    fn sym_band_roundtrip(n in 1usize..10, kd in 0usize..4, upper in any::<bool>(), seed in 0u64..1000) {
-        let uplo = if upper { Uplo::Upper } else { Uplo::Lower };
-        let mut k = seed;
-        let mut next = move || {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+#[test]
+fn sym_band_roundtrip() {
+    let mut rng = Rng::new(7);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 10);
+        let kd = rng.range_usize(0, 4);
+        let uplo = if case % 2 == 0 {
+            Uplo::Upper
+        } else {
+            Uplo::Lower
         };
         let mut d: Mat<f64> = Mat::zeros(n, n);
         for j in 0..n {
             for i in j.saturating_sub(kd)..=j {
-                let v = next();
+                let v = rng.next_f64();
                 d[(i, j)] = v;
                 d[(j, i)] = v;
             }
         }
         let sb = SymBandMat::from_dense(&d, kd, uplo);
-        prop_assert_eq!(sb.to_dense_sym(), d);
+        assert_eq!(sb.to_dense_sym(), d);
     }
+}
 
-    #[test]
-    fn norms_are_norms(m in 1usize..7, n in 1usize..7, seed in 0u64..1000, scale in 1e-3f64..1e3) {
-        let mut k = seed;
-        let a: Mat<f64> = Mat::from_fn(m, n, |_, _| {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((k >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        });
+#[test]
+fn norms_are_norms() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let (m, n) = (rng.range_usize(1, 7), rng.range_usize(1, 7));
+        let scale = rng.range_f64(1e-3, 1e3);
+        let a: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.next_f64());
         // Homogeneity.
         let scaled = a.map(|x| x * scale);
-        prop_assert!((scaled.norm_fro() - a.norm_fro() * scale).abs() < 1e-9 * (1.0 + a.norm_fro() * scale));
+        assert!(
+            (scaled.norm_fro() - a.norm_fro() * scale).abs() < 1e-9 * (1.0 + a.norm_fro() * scale)
+        );
         // max |a_ij| ≤ fro.
-        prop_assert!(a.norm_max() <= a.norm_fro() + 1e-12);
+        assert!(a.norm_max() <= a.norm_fro() + 1e-12);
     }
+}
 
-    #[test]
-    fn complex_scalar_vs_inherent_agree(re in -10.0f64..10.0, im in -10.0f64..10.0) {
-        use la_core::Scalar;
-        let z = C64::new(re, im);
-        prop_assert_eq!(Scalar::conj(z), Complex::conj(z));
-        prop_assert!((Scalar::abs(z) - Complex::abs(z)).abs() == 0.0);
-        prop_assert_eq!(Scalar::mul_real(z, 2.5), z.scale(2.5));
+#[test]
+fn complex_scalar_vs_inherent_agree() {
+    use la_core::Scalar;
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
+        let z = C64::new(rng.range_f64(-10.0, 10.0), rng.range_f64(-10.0, 10.0));
+        assert_eq!(Scalar::conj(z), Complex::conj(z));
+        assert!((Scalar::abs(z) - Complex::abs(z)).abs() == 0.0);
+        assert_eq!(Scalar::mul_real(z, 2.5), z.scale(2.5));
     }
 }
 

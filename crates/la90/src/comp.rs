@@ -71,7 +71,16 @@ pub fn getrs<T: Scalar, B: Rhs<T> + ?Sized>(
     }
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
-    let linfo = f77::getrs(trans, n, nrhs, a.as_slice(), lda, ipiv, b.as_mut_slice(), ldb);
+    let linfo = f77::getrs(
+        trans,
+        n,
+        nrhs,
+        a.as_slice(),
+        lda,
+        ipiv,
+        b.as_mut_slice(),
+        ldb,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)
 }
 
@@ -278,6 +287,31 @@ pub fn lagge<T: Scalar>(m: usize, n: usize, d: &[T::Real], seed: u64) -> Result<
     Ok(Mat::from_col_major(m, n, a))
 }
 
+/// `LA_HEGST` — alias of [`sygst`] (the generic reduction conjugates
+/// where needed).
+pub fn hegst<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &Mat<T>,
+    itype: f77::GvItype,
+    uplo: Uplo,
+) -> Result<(), LaError> {
+    sygst(a, b, itype, uplo)
+}
+
+/// `LA_HETRD` — alias of [`sytrd`].
+#[allow(clippy::type_complexity)]
+pub fn hetrd<T: Scalar>(
+    a: &mut Mat<T>,
+    uplo: Uplo,
+) -> Result<(Vec<T::Real>, Vec<T::Real>, Vec<T>), LaError> {
+    sytrd(a, uplo)
+}
+
+/// `LA_UNGTR` — alias of [`orgtr`].
+pub fn ungtr<T: Scalar>(a: &mut Mat<T>, tau: &[T], uplo: Uplo) -> Result<(), LaError> {
+    orgtr(a, tau, uplo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,29 +453,4 @@ mod tests {
         assert_eq!(out.r.len(), 3);
         assert!(out.amax >= 1e8);
     }
-}
-
-/// `LA_HEGST` — alias of [`sygst`] (the generic reduction conjugates
-/// where needed).
-pub fn hegst<T: Scalar>(
-    a: &mut Mat<T>,
-    b: &Mat<T>,
-    itype: f77::GvItype,
-    uplo: Uplo,
-) -> Result<(), LaError> {
-    sygst(a, b, itype, uplo)
-}
-
-/// `LA_HETRD` — alias of [`sytrd`].
-#[allow(clippy::type_complexity)]
-pub fn hetrd<T: Scalar>(
-    a: &mut Mat<T>,
-    uplo: Uplo,
-) -> Result<(Vec<T::Real>, Vec<T::Real>, Vec<T>), LaError> {
-    sytrd(a, uplo)
-}
-
-/// `LA_UNGTR` — alias of [`orgtr`].
-pub fn ungtr<T: Scalar>(a: &mut Mat<T>, tau: &[T], uplo: Uplo) -> Result<(), LaError> {
-    orgtr(a, tau, uplo)
 }

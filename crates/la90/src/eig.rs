@@ -11,7 +11,9 @@
 //! instantiations (real pairs are decoded from LAPACK's packed
 //! convention).
 
-use la_core::{erinfo, Complex, LaError, Mat, PackedMat, PositiveInfo, RealScalar, Scalar, SymBandMat, Uplo};
+use la_core::{
+    erinfo, Complex, LaError, Mat, PackedMat, PositiveInfo, RealScalar, Scalar, SymBandMat, Uplo,
+};
 use la_lapack as f77;
 pub use la_lapack::EigRange;
 
@@ -56,7 +58,11 @@ pub fn syev<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaErr
 }
 
 /// [`syev`] with an explicit `UPLO`.
-pub fn syev_uplo<T: Scalar>(a: &mut Mat<T>, jobz: Jobz, uplo: Uplo) -> Result<Vec<T::Real>, LaError> {
+pub fn syev_uplo<T: Scalar>(
+    a: &mut Mat<T>,
+    jobz: Jobz,
+    uplo: Uplo,
+) -> Result<Vec<T::Real>, LaError> {
     const SRNAME: &str = "LA_SYEV";
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
@@ -82,7 +88,11 @@ pub fn syevd<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaEr
 }
 
 /// [`syevd`] with an explicit `UPLO`.
-pub fn syevd_uplo<T: Scalar>(a: &mut Mat<T>, jobz: Jobz, uplo: Uplo) -> Result<Vec<T::Real>, LaError> {
+pub fn syevd_uplo<T: Scalar>(
+    a: &mut Mat<T>,
+    jobz: Jobz,
+    uplo: Uplo,
+) -> Result<Vec<T::Real>, LaError> {
     const SRNAME: &str = "LA_SYEVD";
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
@@ -134,7 +144,14 @@ pub fn spev<T: Scalar>(
     let linfo = if jobz.wants() {
         let mut z = Mat::<T>::zeros(n, n);
         let ldz = z.lda();
-        let info = f77::spev(true, uplo, n, ap.as_mut_slice(), &mut w, Some((z.as_mut_slice(), ldz)));
+        let info = f77::spev(
+            true,
+            uplo,
+            n,
+            ap.as_mut_slice(),
+            &mut w,
+            Some((z.as_mut_slice(), ldz)),
+        );
         erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
         return Ok((w, Some(z)));
     } else {
@@ -256,7 +273,16 @@ pub fn sbev<T: Scalar>(
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
         Ok((w, Some(z)))
     } else {
-        let linfo = f77::sbev::<T>(false, ab.uplo(), n, ab.kd(), ab.as_slice(), ab.ldab(), &mut w, None);
+        let linfo = f77::sbev::<T>(
+            false,
+            ab.uplo(),
+            n,
+            ab.kd(),
+            ab.as_slice(),
+            ab.ldab(),
+            &mut w,
+            None,
+        );
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
         Ok((w, None))
     }
@@ -273,7 +299,14 @@ pub fn sbevd<T: Scalar>(
     let mut dense = ab.to_dense_sym();
     let lda = dense.lda();
     let mut w = vec![T::Real::zero(); n];
-    let linfo = f77::syevd(jobz.wants(), ab.uplo(), n, dense.as_mut_slice(), lda, &mut w);
+    let linfo = f77::syevd(
+        jobz.wants(),
+        ab.uplo(),
+        n,
+        dense.as_mut_slice(),
+        lda,
+        &mut w,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
     Ok((w, if jobz.wants() { Some(dense) } else { None }))
 }
@@ -288,7 +321,15 @@ pub fn sbevx<T: Scalar>(
     let n = ab.n();
     let mut dense = ab.to_dense_sym();
     let lda = dense.lda();
-    let (w, z) = f77::syevx(jobz.wants(), range, ab.uplo(), n, dense.as_mut_slice(), lda, abstol);
+    let (w, z) = f77::syevx(
+        jobz.wants(),
+        range,
+        ab.uplo(),
+        n,
+        dense.as_mut_slice(),
+        lda,
+        abstol,
+    );
     let m = w.len();
     let zmat = if jobz.wants() {
         Some(Mat::from_col_major(n, m, z))
@@ -450,62 +491,62 @@ fn decode_packed<R: RealScalar>(n: usize, wi: &[R], v: &[R]) -> Vec<Complex<R>> 
 macro_rules! impl_eig_driver_real {
     ($t:ty) => {
         impl EigDriver for $t {
-    fn geev_driver(
-        want_vl: bool,
-        want_vr: bool,
-        n: usize,
-        a: &mut [Self],
-        lda: usize,
-    ) -> (i32, Vec<Complex<$t>>, Vec<Complex<$t>>, Vec<Complex<$t>>) {
-        let (info, res) = f77::eig_real::geev(want_vl, want_vr, n, a, lda);
-        let w: Vec<Complex<$t>> = res
-            .wr
-            .iter()
-            .zip(&res.wi)
-            .map(|(&r, &i)| Complex::new(r, i))
-            .collect();
-        let vr = decode_packed(n, &res.wi, &res.vr);
-        let vl = decode_packed(n, &res.wi, &res.vl);
-        (info, w, vr, vl)
-    }
+            fn geev_driver(
+                want_vl: bool,
+                want_vr: bool,
+                n: usize,
+                a: &mut [Self],
+                lda: usize,
+            ) -> (i32, Vec<Complex<$t>>, Vec<Complex<$t>>, Vec<Complex<$t>>) {
+                let (info, res) = f77::eig_real::geev(want_vl, want_vr, n, a, lda);
+                let w: Vec<Complex<$t>> = res
+                    .wr
+                    .iter()
+                    .zip(&res.wi)
+                    .map(|(&r, &i)| Complex::new(r, i))
+                    .collect();
+                let vr = decode_packed(n, &res.wi, &res.vr);
+                let vl = decode_packed(n, &res.wi, &res.vl);
+                (info, w, vr, vl)
+            }
 
-    fn gees_driver(
-        want_vs: bool,
-        n: usize,
-        a: &mut [Self],
-        lda: usize,
-        select: Option<&dyn Fn(Complex<$t>) -> bool>,
-        vs: &mut [Self],
-        ldvs: usize,
-    ) -> (i32, Vec<Complex<$t>>, usize) {
-        let sel_adapt = select.map(|s| move |wr: $t, wi: $t| s(Complex::new(wr, wi)));
-        let (info, res) = match &sel_adapt {
-            Some(f) => f77::eig_real::gees(want_vs, n, a, lda, Some(f), vs, ldvs),
-            None => f77::eig_real::gees(want_vs, n, a, lda, None, vs, ldvs),
-        };
-        let w: Vec<Complex<$t>> = res
-            .wr
-            .iter()
-            .zip(&res.wi)
-            .map(|(&r, &i)| Complex::new(r, i))
-            .collect();
-        (info, w, res.sdim)
-    }
+            fn gees_driver(
+                want_vs: bool,
+                n: usize,
+                a: &mut [Self],
+                lda: usize,
+                select: Option<&dyn Fn(Complex<$t>) -> bool>,
+                vs: &mut [Self],
+                ldvs: usize,
+            ) -> (i32, Vec<Complex<$t>>, usize) {
+                let sel_adapt = select.map(|s| move |wr: $t, wi: $t| s(Complex::new(wr, wi)));
+                let (info, res) = match &sel_adapt {
+                    Some(f) => f77::eig_real::gees(want_vs, n, a, lda, Some(f), vs, ldvs),
+                    None => f77::eig_real::gees(want_vs, n, a, lda, None, vs, ldvs),
+                };
+                let w: Vec<Complex<$t>> = res
+                    .wr
+                    .iter()
+                    .zip(&res.wi)
+                    .map(|(&r, &i)| Complex::new(r, i))
+                    .collect();
+                (info, w, res.sdim)
+            }
 
-    fn gegv_driver(
-        n: usize,
-        a: &mut [Self],
-        lda: usize,
-        b: &mut [Self],
-        ldb: usize,
-    ) -> (i32, Vec<Complex<$t>>, Vec<Complex<$t>>) {
-        // Full QZ through the complex embedding (DESIGN.md §1): handles
-        // ill-conditioned and singular B, unlike the B⁻¹A fast path that
-        // remains available as `la_lapack::gegv_regular_real`.
-        let (info, alpha, beta) = f77::gegv_qz_real(n, a, lda, b, ldb);
-        (info, alpha, beta)
-    }
-}
+            fn gegv_driver(
+                n: usize,
+                a: &mut [Self],
+                lda: usize,
+                b: &mut [Self],
+                ldb: usize,
+            ) -> (i32, Vec<Complex<$t>>, Vec<Complex<$t>>) {
+                // Full QZ through the complex embedding (DESIGN.md §1): handles
+                // ill-conditioned and singular B, unlike the B⁻¹A fast path that
+                // remains available as `la_lapack::gegv_regular_real`.
+                let (info, alpha, beta) = f77::gegv_qz_real(n, a, lda, b, ldb);
+                (info, alpha, beta)
+            }
+        }
     };
 }
 
@@ -562,7 +603,11 @@ pub struct GeevOut<T: Scalar> {
 /// `CALL LA_GEEV( A, ω, VL=vl, VR=vr, INFO=info )` — eigenvalues and
 /// optionally left/right eigenvectors of a general matrix. `A` is
 /// destroyed.
-pub fn geev<T: EigDriver>(a: &mut Mat<T>, want_vl: bool, want_vr: bool) -> Result<GeevOut<T>, LaError> {
+pub fn geev<T: EigDriver>(
+    a: &mut Mat<T>,
+    want_vl: bool,
+    want_vr: bool,
+) -> Result<GeevOut<T>, LaError> {
     const SRNAME: &str = "LA_GEEV";
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
@@ -670,7 +715,15 @@ pub fn gees<T: EigDriver>(
     let lda = a.lda();
     let mut vs = Mat::<T>::zeros(if want_vs { n } else { 0 }, if want_vs { n } else { 0 });
     let ldvs = vs.lda();
-    let (info, w, sdim) = T::gees_driver(want_vs, n, a.as_mut_slice(), lda, select, vs.as_mut_slice(), ldvs);
+    let (info, w, sdim) = T::gees_driver(
+        want_vs,
+        n,
+        a.as_mut_slice(),
+        lda,
+        select,
+        vs.as_mut_slice(),
+        ldvs,
+    );
     erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
     Ok(GeesOut {
         w,
@@ -785,10 +838,85 @@ pub fn geesx<T: EigDriver>(
     Ok(GeesxOut { schur, rconde })
 }
 
+// ---------------------------------------------------------------------------
+// Hermitian-named aliases (the `LA_HE*`/`LA_HP*`/`LA_HB*` spellings of
+// Appendix G; the generic routines already perform the conjugations, so
+// these are pure name aliases — exactly like the Fortran interface
+// resolving both names onto the same specific body).
+// ---------------------------------------------------------------------------
+
+/// `LA_HEEVD` — alias of [`syevd`].
+pub fn heevd<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+    syevd(a, jobz)
+}
+
+/// `LA_HEEVX` — alias of [`syevx`].
+pub fn heevx<T: Scalar>(
+    a: &mut Mat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    uplo: Uplo,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    syevx(a, jobz, range, uplo, abstol)
+}
+
+/// `LA_HPEV` — alias of [`spev`].
+pub fn hpev<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spev(ap, jobz)
+}
+
+/// `LA_HPEVD` — alias of [`spevd`].
+pub fn hpevd<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spevd(ap, jobz)
+}
+
+/// `LA_HPEVX` — alias of [`spevx`].
+pub fn hpevx<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spevx(ap, jobz, range, abstol)
+}
+
+/// `LA_HBEV` — alias of [`sbev`].
+pub fn hbev<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbev(ab, jobz)
+}
+
+/// `LA_HBEVD` — alias of [`sbevd`].
+pub fn hbevd<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbevd(ab, jobz)
+}
+
+/// `LA_HBEVX` — alias of [`sbevx`].
+pub fn hbevx<T: Scalar>(
+    ab: &SymBandMat<T>,
+    jobz: Jobz,
+    range: EigRange<T::Real>,
+    abstol: T::Real,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbevx(ab, jobz, range, abstol)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use la_core::{C64, Trans};
+    use la_core::{Trans, C64};
     use la_lapack::{Dist, Larnv};
 
     #[test]
@@ -850,7 +978,10 @@ mod tests {
                 for k in 0..n {
                     av += c0[(i, k)] * vr[(k, j)];
                 }
-                assert!((av - out.w[j] * vr[(i, j)]).abs() < 1e-10, "complex pair {j}");
+                assert!(
+                    (av - out.w[j] * vr[(i, j)]).abs() < 1e-10,
+                    "complex pair {j}"
+                );
             }
         }
     }
@@ -874,9 +1005,37 @@ mod tests {
         // Schur relation.
         let vs = out.schur.vs.unwrap();
         let mut vt = vec![0.0f64; n * n];
-        la_blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, vs.as_slice(), n, a.as_slice(), n, 0.0, &mut vt, n);
+        la_blas::gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            vs.as_slice(),
+            n,
+            a.as_slice(),
+            n,
+            0.0,
+            &mut vt,
+            n,
+        );
         let mut rec = vec![0.0f64; n * n];
-        la_blas::gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &vt, n, vs.as_slice(), n, 0.0, &mut rec, n);
+        la_blas::gemm(
+            Trans::No,
+            Trans::Trans,
+            n,
+            n,
+            n,
+            1.0,
+            &vt,
+            n,
+            vs.as_slice(),
+            n,
+            0.0,
+            &mut rec,
+            n,
+        );
         for k in 0..n * n {
             assert!((rec[k] - a0.as_slice()[k]).abs() < 1e-10);
         }
@@ -891,7 +1050,17 @@ mod tests {
         let out = gesvd(&mut a, true, true).unwrap();
         let u = out.u.unwrap();
         let vt = out.vt.unwrap();
-        let r = la_verify::svd_ratio(m, n, a0.as_slice(), m, &out.s, u.as_slice(), m, vt.as_slice(), n.min(m));
+        let r = la_verify::svd_ratio(
+            m,
+            n,
+            a0.as_slice(),
+            m,
+            &out.s,
+            u.as_slice(),
+            m,
+            vt.as_slice(),
+            n.min(m),
+        );
         assert!(r < 100.0, "svd ratio = {r}");
         let o = la_verify::orthogonality_ratio(m, m.min(n), u.as_slice(), m);
         assert!(o < 100.0, "orthogonality = {o}");
@@ -1024,7 +1193,11 @@ mod tests {
         }
         let out = geevx(&mut a).unwrap();
         for j in 0..n {
-            assert!(out.rconde[j] > 0.99, "diagonal rconde[{j}] = {}", out.rconde[j]);
+            assert!(
+                out.rconde[j] > 0.99,
+                "diagonal rconde[{j}] = {}",
+                out.rconde[j]
+            );
         }
         // Jordan-ish: large off-diagonal couples the eigenvalues.
         let mut a: Mat<f64> = Mat::zeros(2, 2);
@@ -1032,81 +1205,10 @@ mod tests {
         a[(1, 1)] = 1.0 + 1e-6;
         a[(0, 1)] = 1e3;
         let out = geevx(&mut a).unwrap();
-        assert!(out.rconde[0] < 1e-3, "ill-conditioned rconde = {}", out.rconde[0]);
+        assert!(
+            out.rconde[0] < 1e-3,
+            "ill-conditioned rconde = {}",
+            out.rconde[0]
+        );
     }
-}
-
-// ---------------------------------------------------------------------------
-// Hermitian-named aliases (the `LA_HE*`/`LA_HP*`/`LA_HB*` spellings of
-// Appendix G; the generic routines already perform the conjugations, so
-// these are pure name aliases — exactly like the Fortran interface
-// resolving both names onto the same specific body).
-// ---------------------------------------------------------------------------
-
-/// `LA_HEEVD` — alias of [`syevd`].
-pub fn heevd<T: Scalar>(a: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
-    syevd(a, jobz)
-}
-
-/// `LA_HEEVX` — alias of [`syevx`].
-pub fn heevx<T: Scalar>(
-    a: &mut Mat<T>,
-    jobz: Jobz,
-    range: EigRange<T::Real>,
-    uplo: Uplo,
-    abstol: T::Real,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    syevx(a, jobz, range, uplo, abstol)
-}
-
-/// `LA_HPEV` — alias of [`spev`].
-pub fn hpev<T: Scalar>(
-    ap: &mut PackedMat<T>,
-    jobz: Jobz,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    spev(ap, jobz)
-}
-
-/// `LA_HPEVD` — alias of [`spevd`].
-pub fn hpevd<T: Scalar>(
-    ap: &mut PackedMat<T>,
-    jobz: Jobz,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    spevd(ap, jobz)
-}
-
-/// `LA_HPEVX` — alias of [`spevx`].
-pub fn hpevx<T: Scalar>(
-    ap: &mut PackedMat<T>,
-    jobz: Jobz,
-    range: EigRange<T::Real>,
-    abstol: T::Real,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    spevx(ap, jobz, range, abstol)
-}
-
-/// `LA_HBEV` — alias of [`sbev`].
-pub fn hbev<T: Scalar>(
-    ab: &SymBandMat<T>,
-    jobz: Jobz,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    sbev(ab, jobz)
-}
-
-/// `LA_HBEVD` — alias of [`sbevd`].
-pub fn hbevd<T: Scalar>(
-    ab: &SymBandMat<T>,
-    jobz: Jobz,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    sbevd(ab, jobz)
-}
-
-/// `LA_HBEVX` — alias of [`sbevx`].
-pub fn hbevx<T: Scalar>(
-    ab: &SymBandMat<T>,
-    jobz: Jobz,
-    range: EigRange<T::Real>,
-    abstol: T::Real,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    sbevx(ab, jobz, range, abstol)
 }

@@ -7,7 +7,9 @@
 //! *inputs* (`FACT`, `TRANS`) are plain arguments with obvious defaults
 //! available through the simple variants.
 
-use la_core::{erinfo, BandMat, LaError, Mat, PackedMat, PositiveInfo, Scalar, SymBandMat, Trans, Uplo};
+use la_core::{
+    erinfo, BandMat, LaError, Mat, PackedMat, PositiveInfo, Scalar, SymBandMat, Trans, Uplo,
+};
 use la_lapack as f77;
 pub use la_lapack::{Equed, Fact};
 
@@ -460,6 +462,25 @@ pub fn pbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     Ok(from_xout(out, T::Real::one()))
 }
 
+/// `LA_HESVX` — the Hermitian spelling of [`sysvx`].
+pub fn hesvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
+    a: &Mat<T>,
+    b: &B,
+    x: &mut X,
+    uplo: Uplo,
+) -> Result<ExpertOut<T::Real>, LaError> {
+    sysvx(a, b, x, true, uplo)
+}
+
+/// `LA_HPSVX` — the Hermitian spelling of [`spsvx`].
+pub fn hpsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
+    ap: &PackedMat<T>,
+    b: &B,
+    x: &mut X,
+) -> Result<ExpertOut<T::Real>, LaError> {
+    spsvx(ap, b, x, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,28 +593,15 @@ mod tests {
         let mut x8 = vec![0.0f64; n];
         spsvx(&ap, &bspd, &mut x8, false).unwrap();
         for i in 0..n {
-            for (name, x) in [("ptsvx", &x4), ("ppsvx", &x5), ("pbsvx", &x6), ("sysvx", &x7), ("spsvx", &x8)] {
+            for (name, x) in [
+                ("ptsvx", &x4),
+                ("ppsvx", &x5),
+                ("pbsvx", &x6),
+                ("sysvx", &x7),
+                ("spsvx", &x8),
+            ] {
                 assert!((x[i] - xtrue[i]).abs() < 1e-10, "{name}");
             }
         }
     }
-}
-
-/// `LA_HESVX` — the Hermitian spelling of [`sysvx`].
-pub fn hesvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
-    a: &Mat<T>,
-    b: &B,
-    x: &mut X,
-    uplo: Uplo,
-) -> Result<ExpertOut<T::Real>, LaError> {
-    sysvx(a, b, x, true, uplo)
-}
-
-/// `LA_HPSVX` — the Hermitian spelling of [`spsvx`].
-pub fn hpsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
-    ap: &PackedMat<T>,
-    b: &B,
-    x: &mut X,
-) -> Result<ExpertOut<T::Real>, LaError> {
-    spsvx(ap, b, x, true)
 }

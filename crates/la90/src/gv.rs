@@ -22,11 +22,11 @@ pub fn sygv<T: Scalar>(
     b: &mut Mat<T>,
     jobz: Jobz,
 ) -> Result<Vec<T::Real>, LaError> {
-    sygv_full(a, b, jobz, GvItype::AxLBx, Uplo::Upper)
+    sygv_itype_uplo(a, b, jobz, GvItype::AxLBx, Uplo::Upper)
 }
 
-/// [`sygv`] with every optional argument.
-pub fn sygv_full<T: Scalar>(
+/// [`sygv`] with every optional argument (`ITYPE` and `UPLO`).
+pub fn sygv_itype_uplo<T: Scalar>(
     a: &mut Mat<T>,
     b: &mut Mat<T>,
     jobz: Jobz,
@@ -67,7 +67,11 @@ pub fn sygv_full<T: Scalar>(
 
 /// `LA_HEGV` — alias of [`sygv`] (the generic routine handles the
 /// Hermitian arithmetic).
-pub fn hegv<T: Scalar>(a: &mut Mat<T>, b: &mut Mat<T>, jobz: Jobz) -> Result<Vec<T::Real>, LaError> {
+pub fn hegv<T: Scalar>(
+    a: &mut Mat<T>,
+    b: &mut Mat<T>,
+    jobz: Jobz,
+) -> Result<Vec<T::Real>, LaError> {
     sygv(a, b, jobz)
 }
 
@@ -240,6 +244,24 @@ pub fn gegs<R: la_core::RealScalar>(
     })
 }
 
+/// `LA_HPGV` — alias of [`spgv`].
+pub fn hpgv<T: Scalar>(
+    ap: &mut PackedMat<T>,
+    bp: &mut PackedMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    spgv(ap, bp, jobz)
+}
+
+/// `LA_HBGV` — alias of [`sbgv`].
+pub fn hbgv<T: Scalar>(
+    ab: &SymBandMat<T>,
+    bb: &SymBandMat<T>,
+    jobz: Jobz,
+) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    sbgv(ab, bb, jobz)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +290,11 @@ mod tests {
                 for k in 0..n {
                     s += g[(k, i)].conj() * g[(k, j)];
                 }
-                b[(i, j)] = s + if i == j { C64::from_real(n as f64) } else { C64::zero() };
+                b[(i, j)] = s + if i == j {
+                    C64::from_real(n as f64)
+                } else {
+                    C64::zero()
+                };
             }
         }
         (a, b)
@@ -331,7 +357,11 @@ mod tests {
         let a0: Mat<C64> = Mat::from_fn(n, n, |_, _| rng.scalar(Dist::Uniform11));
         let b0: Mat<C64> = Mat::from_fn(n, n, |i, j| {
             rng.scalar::<C64>(Dist::Uniform11).scale(0.1)
-                + if i == j { C64::from_real(3.0) } else { C64::zero() }
+                + if i == j {
+                    C64::from_real(3.0)
+                } else {
+                    C64::zero()
+                }
         });
         let mut a = a0.clone();
         let mut b = b0.clone();
@@ -348,22 +378,4 @@ mod tests {
             );
         }
     }
-}
-
-/// `LA_HPGV` — alias of [`spgv`].
-pub fn hpgv<T: Scalar>(
-    ap: &mut PackedMat<T>,
-    bp: &mut PackedMat<T>,
-    jobz: Jobz,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    spgv(ap, bp, jobz)
-}
-
-/// `LA_HBGV` — alias of [`sbgv`].
-pub fn hbgv<T: Scalar>(
-    ab: &SymBandMat<T>,
-    bb: &SymBandMat<T>,
-    jobz: Jobz,
-) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
-    sbgv(ab, bb, jobz)
 }

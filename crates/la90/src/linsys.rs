@@ -124,7 +124,17 @@ fn gbsv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     let (kl, ku, ldab) = (ab.kl(), ab.ku(), ab.ldab());
     let nrhs = b.nrhs();
     let ldb = b.ldb();
-    let linfo = f77::gbsv(n, kl, ku, nrhs, ab.as_mut_slice(), ldab, piv, b.as_mut_slice(), ldb);
+    let linfo = f77::gbsv(
+        n,
+        kl,
+        ku,
+        nrhs,
+        ab.as_mut_slice(),
+        ldab,
+        piv,
+        b.as_mut_slice(),
+        ldb,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)
 }
 
@@ -196,7 +206,10 @@ pub fn posv_uplo<T: Scalar, B: Rhs<T> + ?Sized>(
 
 /// `CALL LA_PPSV( AP, B, UPLO=uplo, INFO=info )` — packed-storage
 /// positive-definite solve (the triangle comes from the [`PackedMat`]).
-pub fn ppsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> Result<(), LaError> {
+pub fn ppsv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ap: &mut PackedMat<T>,
+    b: &mut B,
+) -> Result<(), LaError> {
     const SRNAME: &str = "LA_PPSV";
     let n = ap.n();
     if b.nrows() != n {
@@ -211,7 +224,10 @@ pub fn ppsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> 
 
 /// `CALL LA_PBSV( AB, B, UPLO=uplo, INFO=info )` — band positive-definite
 /// solve.
-pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(ab: &mut SymBandMat<T>, b: &mut B) -> Result<(), LaError> {
+pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ab: &mut SymBandMat<T>,
+    b: &mut B,
+) -> Result<(), LaError> {
     const SRNAME: &str = "LA_PBSV";
     let n = ab.n();
     if b.nrows() != n {
@@ -220,7 +236,16 @@ pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(ab: &mut SymBandMat<T>, b: &mut B) ->
     let (uplo, kd, ldab) = (ab.uplo(), ab.kd(), ab.ldab());
     let nrhs = b.nrhs();
     let ldb = b.ldb();
-    let linfo = f77::pbsv(uplo, n, kd, nrhs, ab.as_mut_slice(), ldab, b.as_mut_slice(), ldb);
+    let linfo = f77::pbsv(
+        uplo,
+        n,
+        kd,
+        nrhs,
+        ab.as_mut_slice(),
+        ldab,
+        b.as_mut_slice(),
+        ldb,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
 }
 
@@ -249,36 +274,54 @@ pub fn ptsv<T: Scalar, B: Rhs<T> + ?Sized>(
 /// symmetric indefinite system (also for complex *symmetric* matrices)
 /// by Bunch–Kaufman factorization.
 pub fn sysv<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
-    sysv_full(a, b, Uplo::Upper, None)
+    indefinite_opt("LA_SYSV", false, a, b, Uplo::Upper, None)
 }
 
 /// `CALL LA_HESV( A, B, ... )` — the Hermitian variant of [`sysv`]
 /// (identical for real scalars).
 pub fn hesv<T: Scalar, B: Rhs<T> + ?Sized>(a: &mut Mat<T>, b: &mut B) -> Result<(), LaError> {
-    hesv_full(a, b, Uplo::Upper, None)
+    indefinite_opt("LA_HESV", true, a, b, Uplo::Upper, None)
 }
 
-/// [`sysv`] with all optional arguments.
-pub fn sysv_full<T: Scalar, B: Rhs<T> + ?Sized>(
+/// [`sysv`] with the optional `UPLO` argument.
+pub fn sysv_uplo<T: Scalar, B: Rhs<T> + ?Sized>(
     a: &mut Mat<T>,
     b: &mut B,
     uplo: Uplo,
-    ipiv: Option<&mut [i32]>,
 ) -> Result<(), LaError> {
-    indefinite_solve("LA_SYSV", false, a, b, uplo, ipiv)
+    indefinite_opt("LA_SYSV", false, a, b, uplo, None)
 }
 
-/// [`hesv`] with all optional arguments.
-pub fn hesv_full<T: Scalar, B: Rhs<T> + ?Sized>(
+/// [`sysv`] with every optional argument (`UPLO` and the `IPIV` output).
+pub fn sysv_uplo_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
     a: &mut Mat<T>,
     b: &mut B,
     uplo: Uplo,
-    ipiv: Option<&mut [i32]>,
+    ipiv: &mut [i32],
 ) -> Result<(), LaError> {
-    indefinite_solve("LA_HESV", true, a, b, uplo, ipiv)
+    indefinite_opt("LA_SYSV", false, a, b, uplo, Some(ipiv))
 }
 
-fn indefinite_solve<T: Scalar, B: Rhs<T> + ?Sized>(
+/// [`hesv`] with the optional `UPLO` argument.
+pub fn hesv_uplo<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    uplo: Uplo,
+) -> Result<(), LaError> {
+    indefinite_opt("LA_HESV", true, a, b, uplo, None)
+}
+
+/// [`hesv`] with every optional argument (`UPLO` and the `IPIV` output).
+pub fn hesv_uplo_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
+    a: &mut Mat<T>,
+    b: &mut B,
+    uplo: Uplo,
+    ipiv: &mut [i32],
+) -> Result<(), LaError> {
+    indefinite_opt("LA_HESV", true, a, b, uplo, Some(ipiv))
+}
+
+fn indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     srname: &'static str,
     herm: bool,
     a: &mut Mat<T>,
@@ -308,19 +351,35 @@ fn indefinite_solve<T: Scalar, B: Rhs<T> + ?Sized>(
     };
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
-    let linfo = f77::sysv(uplo, herm, n, nrhs, a.as_mut_slice(), lda, piv, b.as_mut_slice(), ldb);
+    let linfo = f77::sysv(
+        uplo,
+        herm,
+        n,
+        nrhs,
+        a.as_mut_slice(),
+        lda,
+        piv,
+        b.as_mut_slice(),
+        ldb,
+    );
     erinfo(linfo, srname, PositiveInfo::Singular)
 }
 
 /// `CALL LA_SPSV( AP, B, UPLO=uplo, IPIV=ipiv, INFO=info )` — packed
 /// symmetric indefinite solve.
-pub fn spsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> Result<(), LaError> {
-    packed_indefinite("LA_SPSV", false, ap, b, None)
+pub fn spsv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ap: &mut PackedMat<T>,
+    b: &mut B,
+) -> Result<(), LaError> {
+    packed_indefinite_opt("LA_SPSV", false, ap, b, None)
 }
 
 /// `CALL LA_HPSV( AP, B, ... )` — the Hermitian packed variant.
-pub fn hpsv<T: Scalar, B: Rhs<T> + ?Sized>(ap: &mut PackedMat<T>, b: &mut B) -> Result<(), LaError> {
-    packed_indefinite("LA_HPSV", true, ap, b, None)
+pub fn hpsv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ap: &mut PackedMat<T>,
+    b: &mut B,
+) -> Result<(), LaError> {
+    packed_indefinite_opt("LA_HPSV", true, ap, b, None)
 }
 
 /// [`spsv`] with the optional pivot output.
@@ -329,10 +388,19 @@ pub fn spsv_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
     b: &mut B,
     ipiv: &mut [i32],
 ) -> Result<(), LaError> {
-    packed_indefinite("LA_SPSV", false, ap, b, Some(ipiv))
+    packed_indefinite_opt("LA_SPSV", false, ap, b, Some(ipiv))
 }
 
-fn packed_indefinite<T: Scalar, B: Rhs<T> + ?Sized>(
+/// [`hpsv`] with the optional pivot output.
+pub fn hpsv_ipiv<T: Scalar, B: Rhs<T> + ?Sized>(
+    ap: &mut PackedMat<T>,
+    b: &mut B,
+    ipiv: &mut [i32],
+) -> Result<(), LaError> {
+    packed_indefinite_opt("LA_HPSV", true, ap, b, Some(ipiv))
+}
+
+fn packed_indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     srname: &'static str,
     herm: bool,
     ap: &mut PackedMat<T>,
@@ -359,7 +427,16 @@ fn packed_indefinite<T: Scalar, B: Rhs<T> + ?Sized>(
     let uplo = ap.uplo();
     let nrhs = b.nrhs();
     let ldb = b.ldb();
-    let linfo = f77::spsv(uplo, herm, n, nrhs, ap.as_mut_slice(), piv, b.as_mut_slice(), ldb);
+    let linfo = f77::spsv(
+        uplo,
+        herm,
+        n,
+        nrhs,
+        ap.as_mut_slice(),
+        piv,
+        b.as_mut_slice(),
+        ldb,
+    );
     erinfo(linfo, srname, PositiveInfo::Singular)
 }
 
@@ -456,7 +533,9 @@ mod tests {
         };
         let xtrue: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
         let rhs_for = |m: &Mat<f64>| -> Vec<f64> {
-            (0..n).map(|i| (0..n).map(|k| m[(i, k)] * xtrue[k]).sum()).collect()
+            (0..n)
+                .map(|i| (0..n).map(|k| m[(i, k)] * xtrue[k]).sum())
+                .collect()
         };
 
         // posv

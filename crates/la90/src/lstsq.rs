@@ -44,7 +44,16 @@ pub fn gels_trans<T: Scalar, B: Rhs<T> + ?Sized>(
     }
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
-    let linfo = f77::gels(trans, m, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
+    let linfo = f77::gels(
+        trans,
+        m,
+        n,
+        nrhs,
+        a.as_mut_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)
 }
 
@@ -76,7 +85,17 @@ pub fn gelsx<T: Scalar, B: Rhs<T> + ?Sized>(
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let mut jpvt = vec![0i32; n];
-    let (rank, linfo) = f77::gelsy(m, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, &mut jpvt, rcond);
+    let (rank, linfo) = f77::gelsy(
+        m,
+        n,
+        nrhs,
+        a.as_mut_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+        &mut jpvt,
+        rcond,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
     Ok(RankLsOut {
         rank,
@@ -99,7 +118,16 @@ pub fn gelss<T: Scalar, B: Rhs<T> + ?Sized>(
     }
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
-    let (rank, s, linfo) = f77::gelss(m, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, rcond);
+    let (rank, s, linfo) = f77::gelss(
+        m,
+        n,
+        nrhs,
+        a.as_mut_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+        rcond,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
     Ok(RankLsOut {
         rank,
@@ -131,7 +159,18 @@ pub fn gglse<T: Scalar>(
     }
     let mut x = vec![T::zero(); n];
     let (lda, ldb) = (a.lda(), b.lda());
-    let linfo = f77::gglse(m, n, p, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, c, d, &mut x);
+    let linfo = f77::gglse(
+        m,
+        n,
+        p,
+        a.as_mut_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+        c,
+        d,
+        &mut x,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     Ok(x)
 }
@@ -156,7 +195,18 @@ pub fn ggglm<T: Scalar>(
     let mut x = vec![T::zero(); m];
     let mut y = vec![T::zero(); p];
     let (lda, ldb) = (a.lda(), b.lda());
-    let linfo = f77::ggglm(n, m, p, a.as_mut_slice(), lda, b.as_mut_slice(), ldb, d, &mut x, &mut y);
+    let linfo = f77::ggglm(
+        n,
+        m,
+        p,
+        a.as_mut_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+        d,
+        &mut x,
+        &mut y,
+    );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     Ok((x, y))
 }

@@ -7,21 +7,18 @@ use la_blas::{gemm, gemv, gerc, iamax, lacgv, lassq, nrm2, rscal, scal, trmv};
 use la_core::{Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
 
 /// Environment inquiry (`ILAENV`-lite): returns the block size used by the
-/// blocked algorithms. One knob per family is enough for this substrate.
+/// blocked algorithms. Reads the runtime [`la_core::tune`] configuration,
+/// so block sizes follow `LA_NB_*` environment variables, `tune::set`, and
+/// scoped `tune::with` overrides instead of a compiled-in table.
 pub fn ilaenv_nb(routine: &str) -> usize {
-    match routine {
-        // LU and QR panel widths.
-        "getrf" | "geqrf" | "gelqf" | "ormqr" | "getri" => 32,
-        "potrf" => 96,
-        "sytrf" | "sytrd" => 32,
-        _ => 32,
-    }
+    la_core::tune::current().nb(routine)
 }
 
 /// Crossover order below which blocked algorithms fall back to their
-/// unblocked forms.
-pub fn ilaenv_crossover(_routine: &str) -> usize {
-    128
+/// unblocked forms. Like [`ilaenv_nb`], resolved against the runtime
+/// [`la_core::tune`] configuration (`LA_CROSSOVER`).
+pub fn ilaenv_crossover(routine: &str) -> usize {
+    la_core::tune::current().crossover(routine)
 }
 
 /// Copies all or a triangle of `A` to `B` (`xLACPY`).
@@ -144,13 +141,24 @@ pub fn lange<T: Scalar>(norm: Norm, m: usize, n: usize, a: &[T], lda: usize) -> 
 
 /// Norm of a symmetric (`conj = false`) or Hermitian (`conj = true`)
 /// matrix with one stored triangle (`xLANSY`/`xLANHE`).
-pub fn lansy<T: Scalar>(norm: Norm, uplo: Uplo, conj: bool, n: usize, a: &[T], lda: usize) -> T::Real {
+pub fn lansy<T: Scalar>(
+    norm: Norm,
+    uplo: Uplo,
+    conj: bool,
+    n: usize,
+    a: &[T],
+    lda: usize,
+) -> T::Real {
     let el = |i: usize, j: usize| -> T::Real {
         let stored = match uplo {
             Uplo::Upper => i <= j,
             Uplo::Lower => i >= j,
         };
-        let v = if stored { a[i + j * lda] } else { a[j + i * lda] };
+        let v = if stored {
+            a[i + j * lda]
+        } else {
+            a[j + i * lda]
+        };
         if conj && i == j {
             v.re().rabs()
         } else {
@@ -448,7 +456,19 @@ pub fn larf<T: Scalar>(
             // w := Cᴴ v  (n-vector); C := C − tau · v · wᴴ
             let w = &mut work[..n];
             w.fill(T::zero());
-            gemv(Trans::ConjTrans, m, n, T::one(), c, ldc, v, incv, T::zero(), w, 1);
+            gemv(
+                Trans::ConjTrans,
+                m,
+                n,
+                T::one(),
+                c,
+                ldc,
+                v,
+                incv,
+                T::zero(),
+                w,
+                1,
+            );
             // C -= tau * v * w^H
             gerc(m, n, -tau, v, incv, w, 1, c, ldc);
         }
@@ -465,7 +485,15 @@ pub fn larf<T: Scalar>(
 /// Forms the upper-triangular factor `T` of a block reflector from `k`
 /// forward, columnwise-stored reflectors (`xLARFT`, `DIRECT='F'`,
 /// `STOREV='C'`): `H = H₁H₂⋯H_k = I − V·T·Vᴴ`.
-pub fn larft<T: Scalar>(n: usize, k: usize, v: &[T], ldv: usize, tau: &[T], t: &mut [T], ldt: usize) {
+pub fn larft<T: Scalar>(
+    n: usize,
+    k: usize,
+    v: &[T],
+    ldv: usize,
+    tau: &[T],
+    t: &mut [T],
+    ldt: usize,
+) {
     for i in 0..k {
         if tau[i].is_zero() {
             for j in 0..=i {
@@ -593,7 +621,11 @@ pub fn larfb<T: Scalar>(
             la_blas::trmm(
                 Side::Right,
                 Uplo::Upper,
-                if tt == Trans::No { Trans::ConjTrans } else { Trans::No },
+                if tt == Trans::No {
+                    Trans::ConjTrans
+                } else {
+                    Trans::No
+                },
                 Diag::NonUnit,
                 n,
                 k,
@@ -791,8 +823,7 @@ pub fn lacon<T: Scalar>(n: usize, mut apply: impl FnMut(&mut [T], bool)) -> T::R
     let mut sgn = T::Real::one();
     for (i, v) in alt.iter_mut().enumerate() {
         *v = T::from_real(
-            sgn * (T::Real::one()
-                + T::Real::from_usize(i) / T::Real::from_usize((n - 1).max(1))),
+            sgn * (T::Real::one() + T::Real::from_usize(i) / T::Real::from_usize((n - 1).max(1))),
         );
         sgn = -sgn;
     }
@@ -915,6 +946,6 @@ mod tests {
                 *v *= (i + 1) as f64;
             }
         });
-        assert!(est >= 4.0 && est <= 5.0 + 1e-12, "est = {est}");
+        assert!((4.0..=5.0 + 1e-12).contains(&est), "est = {est}");
     }
 }

@@ -37,7 +37,7 @@ pub fn gbtrf<T: Scalar>(
     let mut ju = 0usize; // last column affected so far
     for j in 0..m.min(n) {
         let km = kl.min(m.saturating_sub(j + 1)); // subdiagonals in column j
-        // Pivot search in storage rows kv..kv+km of column j.
+                                                  // Pivot search in storage rows kv..kv+km of column j.
         let jp = iamax(km + 1, &ab[kv + j * ldab..], 1);
         ipiv[j] = (jp + j + 1) as i32;
         if !ab[kv + jp + j * ldab].is_zero() {
@@ -245,7 +245,21 @@ pub fn gbrfs<T: Scalar>(
             (_, true) => Trans::No,
         };
         y.fill(T::zero());
-        gbmv(tr, n, n, kl, ku, T::one(), ab, ldab_a, v, 1, T::zero(), y, 1);
+        gbmv(
+            tr,
+            n,
+            n,
+            kl,
+            ku,
+            T::one(),
+            ab,
+            ldab_a,
+            v,
+            1,
+            T::zero(),
+            y,
+            1,
+        );
     };
     let absmv = |v: &[T::Real], y: &mut [T::Real]| {
         for yi in y.iter_mut() {
@@ -492,12 +506,7 @@ mod tests {
     use super::*;
     use la_core::C64;
 
-    fn band_from_dense<T: Scalar>(
-        dense: &[T],
-        n: usize,
-        kl: usize,
-        ku: usize,
-    ) -> (Vec<T>, usize) {
+    fn band_from_dense<T: Scalar>(dense: &[T], n: usize, kl: usize, ku: usize) -> (Vec<T>, usize) {
         let ldab = 2 * kl + ku + 1;
         let kv = kl + ku;
         let mut ab = vec![T::zero(); ldab * n];
@@ -549,15 +558,31 @@ mod tests {
         };
         for j in 0..n {
             for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
-                dense[i + j * n] =
-                    C64::new(next(), next()) + if i == j { C64::from_real(4.0) } else { C64::zero() };
+                dense[i + j * n] = C64::new(next(), next())
+                    + if i == j {
+                        C64::from_real(4.0)
+                    } else {
+                        C64::zero()
+                    };
             }
         }
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(1.0, i as f64 * 0.1)).collect();
         for trans in [Trans::Trans, Trans::ConjTrans] {
             // b = op(A) x
             let mut b = vec![C64::zero(); n];
-            la_blas::gemv(trans, n, n, C64::one(), &dense, n, &xtrue, 1, C64::zero(), &mut b, 1);
+            la_blas::gemv(
+                trans,
+                n,
+                n,
+                C64::one(),
+                &dense,
+                n,
+                &xtrue,
+                1,
+                C64::zero(),
+                &mut b,
+                1,
+            );
             let (mut ab, ldab) = band_from_dense(&dense, n, kl, ku);
             let mut ipiv = vec![0i32; n];
             assert_eq!(gbtrf(n, n, kl, ku, &mut ab, ldab, &mut ipiv), 0);
@@ -572,7 +597,7 @@ mod tests {
     fn gbtrf_singular_info() {
         // A zero matrix: first pivot is zero.
         let n = 4;
-        let ldab = 2 * 1 + 1 + 1;
+        let ldab = 4; // 2*kl + ku + 1 with kl = ku = 1
         let mut ab = vec![0.0f64; ldab * n];
         let mut ipiv = vec![0i32; n];
         let info = gbtrf(n, n, 1, 1, &mut ab, ldab, &mut ipiv);
@@ -598,9 +623,15 @@ mod tests {
     #[test]
     fn gttrs_all_transposes_complex() {
         let n = 9;
-        let dl0: Vec<C64> = (0..n - 1).map(|i| C64::new(1.0 + i as f64 * 0.1, -0.4)).collect();
-        let d0: Vec<C64> = (0..n).map(|i| C64::new(3.0, 0.5 * (i % 2) as f64)).collect();
-        let du0: Vec<C64> = (0..n - 1).map(|i| C64::new(-0.7, 0.2 + i as f64 * 0.05)).collect();
+        let dl0: Vec<C64> = (0..n - 1)
+            .map(|i| C64::new(1.0 + i as f64 * 0.1, -0.4))
+            .collect();
+        let d0: Vec<C64> = (0..n)
+            .map(|i| C64::new(3.0, 0.5 * (i % 2) as f64))
+            .collect();
+        let du0: Vec<C64> = (0..n - 1)
+            .map(|i| C64::new(-0.7, 0.2 + i as f64 * 0.05))
+            .collect();
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 1.0)).collect();
         let mut dl = dl0.clone();
         let mut d = d0.clone();
@@ -679,8 +710,22 @@ mod tests {
         let mut berr = vec![0.0f64; 1];
         assert_eq!(
             gbrfs(
-                Trans::No, n, kl, ku, 1, &ab_orig, ldab_a, &afb, ldafb, &ipiv, &b, n, &mut x, n,
-                &mut ferr, &mut berr
+                Trans::No,
+                n,
+                kl,
+                ku,
+                1,
+                &ab_orig,
+                ldab_a,
+                &afb,
+                ldafb,
+                &ipiv,
+                &b,
+                n,
+                &mut x,
+                n,
+                &mut ferr,
+                &mut berr
             ),
             0
         );

@@ -110,7 +110,15 @@ pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
                 Uplo::Lower => {
                     // L21 := A21 · L11⁻ᴴ, then A22 -= L21·L21ᴴ.
                     let mut l11 = vec![T::zero(); jb * jb];
-                    crate::aux::lacpy(Some(Uplo::Lower), jb, jb, &a[j + j * lda..], lda, &mut l11, jb);
+                    crate::aux::lacpy(
+                        Some(Uplo::Lower),
+                        jb,
+                        jb,
+                        &a[j + j * lda..],
+                        lda,
+                        &mut l11,
+                        jb,
+                    );
                     trsm(
                         Side::Right,
                         Uplo::Lower,
@@ -143,7 +151,15 @@ pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
                 Uplo::Upper => {
                     // U12 := U11⁻ᴴ · A12, then A22 -= U12ᴴ·U12.
                     let mut u11 = vec![T::zero(); jb * jb];
-                    crate::aux::lacpy(Some(Uplo::Upper), jb, jb, &a[j + j * lda..], lda, &mut u11, jb);
+                    crate::aux::lacpy(
+                        Some(Uplo::Upper),
+                        jb,
+                        jb,
+                        &a[j + j * lda..],
+                        lda,
+                        &mut u11,
+                        jb,
+                    );
                     trsm(
                         Side::Left,
                         Uplo::Upper,
@@ -191,12 +207,60 @@ pub fn potrs<T: Scalar>(
 ) -> i32 {
     match uplo {
         Uplo::Upper => {
-            trsm(Side::Left, Uplo::Upper, Trans::ConjTrans, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
-            trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
+            trsm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::ConjTrans,
+                Diag::NonUnit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
+            trsm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
         }
         Uplo::Lower => {
-            trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
-            trsm(Side::Left, Uplo::Lower, Trans::ConjTrans, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::ConjTrans,
+                Diag::NonUnit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
         }
     }
     0
@@ -288,7 +352,12 @@ pub fn posv<T: Scalar>(
 
 /// Computes equilibration scalings for an SPD matrix (`xPOEQU`):
 /// `s_i = 1/√a_ii`. Returns `(scond, amax, info)`.
-pub fn poequ<T: Scalar>(n: usize, a: &[T], lda: usize, s: &mut [T::Real]) -> (T::Real, T::Real, i32) {
+pub fn poequ<T: Scalar>(
+    n: usize,
+    a: &[T],
+    lda: usize,
+    s: &mut [T::Real],
+) -> (T::Real, T::Real, i32) {
     let zero = T::Real::zero();
     if n == 0 {
         return (T::Real::one(), zero, 0);
@@ -388,7 +457,9 @@ pub fn posvx<T: Scalar>(
     potrs(uplo, n, nrhs, af, ldaf, x, ldx);
     let mut ferr = vec![T::Real::zero(); nrhs];
     let mut berr = vec![T::Real::zero(); nrhs];
-    porfs(uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, &mut ferr, &mut berr);
+    porfs(
+        uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, &mut ferr, &mut berr,
+    );
     if equed {
         for j in 0..nrhs {
             for i in 0..n {
@@ -396,7 +467,11 @@ pub fn posvx<T: Scalar>(
             }
         }
     }
-    let info = if rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    let info = if rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, rcond, ferr, berr, equed)
 }
 
@@ -413,7 +488,15 @@ pub fn pptrf<T: Scalar>(uplo: Uplo, n: usize, ap: &mut [T]) -> i32 {
                 // Solve Uᴴ(0..j,0..j) · u = a(0..j, j).
                 if j > 0 {
                     let (head, tail) = ap.split_at_mut(jc);
-                    tpsv(Uplo::Upper, Trans::ConjTrans, Diag::NonUnit, j, head, &mut tail[..j], 1);
+                    tpsv(
+                        Uplo::Upper,
+                        Trans::ConjTrans,
+                        Diag::NonUnit,
+                        j,
+                        head,
+                        &mut tail[..j],
+                        1,
+                    );
                 }
                 let dot = dotc(j, &ap[jc..], 1, &ap[jc..], 1);
                 let ajj = ap[jc + j].re() - dot.re();
@@ -488,7 +571,14 @@ pub fn pptrs<T: Scalar>(
 }
 
 /// Packed SPD driver (`xPPSV`).
-pub fn ppsv<T: Scalar>(uplo: Uplo, n: usize, nrhs: usize, ap: &mut [T], b: &mut [T], ldb: usize) -> i32 {
+pub fn ppsv<T: Scalar>(
+    uplo: Uplo,
+    n: usize,
+    nrhs: usize,
+    ap: &mut [T],
+    b: &mut [T],
+    ldb: usize,
+) -> i32 {
     let info = pptrf(uplo, n, ap);
     if info != 0 {
         return info;
@@ -618,12 +708,52 @@ pub fn pbtrs<T: Scalar>(
         let col = &mut b[j * ldb..j * ldb + n];
         match uplo {
             Uplo::Upper => {
-                tbsv(Uplo::Upper, Trans::ConjTrans, Diag::NonUnit, n, kd, ab, ldab, col, 1);
-                tbsv(Uplo::Upper, Trans::No, Diag::NonUnit, n, kd, ab, ldab, col, 1);
+                tbsv(
+                    Uplo::Upper,
+                    Trans::ConjTrans,
+                    Diag::NonUnit,
+                    n,
+                    kd,
+                    ab,
+                    ldab,
+                    col,
+                    1,
+                );
+                tbsv(
+                    Uplo::Upper,
+                    Trans::No,
+                    Diag::NonUnit,
+                    n,
+                    kd,
+                    ab,
+                    ldab,
+                    col,
+                    1,
+                );
             }
             Uplo::Lower => {
-                tbsv(Uplo::Lower, Trans::No, Diag::NonUnit, n, kd, ab, ldab, col, 1);
-                tbsv(Uplo::Lower, Trans::ConjTrans, Diag::NonUnit, n, kd, ab, ldab, col, 1);
+                tbsv(
+                    Uplo::Lower,
+                    Trans::No,
+                    Diag::NonUnit,
+                    n,
+                    kd,
+                    ab,
+                    ldab,
+                    col,
+                    1,
+                );
+                tbsv(
+                    Uplo::Lower,
+                    Trans::ConjTrans,
+                    Diag::NonUnit,
+                    n,
+                    kd,
+                    ab,
+                    ldab,
+                    col,
+                    1,
+                );
             }
         }
     }
@@ -736,7 +866,21 @@ mod tests {
         };
         let b: Vec<C64> = (0..n * n).map(|_| C64::new(next(), next())).collect();
         let mut a = vec![C64::zero(); n * n];
-        la_blas::gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &b, n, &b, n, C64::zero(), &mut a, n);
+        la_blas::gemm(
+            Trans::ConjTrans,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &b,
+            n,
+            &b,
+            n,
+            C64::zero(),
+            &mut a,
+            n,
+        );
         for i in 0..n {
             a[i + i * n] += C64::from_real(n as f64);
         }
@@ -751,7 +895,21 @@ mod tests {
         };
         let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
         let mut a = vec![0.0; n * n];
-        la_blas::gemm(Trans::Trans, Trans::No, n, n, n, 1.0, &b, n, &b, n, 0.0, &mut a, n);
+        la_blas::gemm(
+            Trans::Trans,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            &b,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut a,
+            n,
+        );
         for i in 0..n {
             a[i + i * n] += n as f64;
         }
@@ -776,7 +934,21 @@ mod tests {
                             u[i + j * n] = C64::zero();
                         }
                     }
-                    la_blas::gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &u, n, &u, n, C64::zero(), &mut prod, n);
+                    la_blas::gemm(
+                        Trans::ConjTrans,
+                        Trans::No,
+                        n,
+                        n,
+                        n,
+                        C64::one(),
+                        &u,
+                        n,
+                        &u,
+                        n,
+                        C64::zero(),
+                        &mut prod,
+                        n,
+                    );
                 }
                 Uplo::Lower => {
                     let mut l = f.clone();
@@ -785,7 +957,21 @@ mod tests {
                             l[i + j * n] = C64::zero();
                         }
                     }
-                    la_blas::gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &l, n, &l, n, C64::zero(), &mut prod, n);
+                    la_blas::gemm(
+                        Trans::No,
+                        Trans::ConjTrans,
+                        n,
+                        n,
+                        n,
+                        C64::one(),
+                        &l,
+                        n,
+                        &l,
+                        n,
+                        C64::zero(),
+                        &mut prod,
+                        n,
+                    );
                 }
             }
             for k in 0..n * n {
@@ -828,9 +1014,23 @@ mod tests {
     fn posv_solves() {
         let n = 10;
         let a0 = rand_hpd(n, 17);
-        let xtrue: Vec<C64> = (0..n).map(|i| C64::new(i as f64 + 1.0, -(i as f64))).collect();
+        let xtrue: Vec<C64> = (0..n)
+            .map(|i| C64::new(i as f64 + 1.0, -(i as f64)))
+            .collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &a0,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         for uplo in [Uplo::Upper, Uplo::Lower] {
             let mut a = a0.clone();
             let mut x = b.clone();
@@ -854,7 +1054,19 @@ mod tests {
         let a0 = rand_hpd(n, 23);
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(1.0, i as f64 * 0.5)).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &a0,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         for uplo in [Uplo::Upper, Uplo::Lower] {
             // Pack the triangle.
             let mut ap = vec![C64::zero(); n * (n + 1) / 2];
@@ -904,7 +1116,19 @@ mod tests {
         }
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new((i % 3) as f64, 1.0)).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &dense, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &dense,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         for uplo in [Uplo::Upper, Uplo::Lower] {
             let ldab = kd + 1;
             let mut ab = vec![C64::zero(); ldab * n];
@@ -934,7 +1158,9 @@ mod tests {
     fn tridiagonal_spd_solves() {
         let n = 15;
         let mut d = vec![3.0f64; n];
-        let mut e: Vec<C64> = (0..n - 1).map(|i| C64::new(0.5, 0.2 * i as f64 % 0.7)).collect();
+        let mut e: Vec<C64> = (0..n - 1)
+            .map(|i| C64::new(0.5, 0.2 * i as f64 % 0.7))
+            .collect();
         // Build dense for reference.
         let mut dense = vec![C64::zero(); n * n];
         for i in 0..n {
@@ -946,7 +1172,19 @@ mod tests {
         }
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(1.0 + i as f64, -0.5)).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &dense, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &dense,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         assert_eq!(ptsv(n, 1, &mut d, &mut e, &mut b, n), 0);
         for i in 0..n {
             assert!((b[i] - xtrue[i]).abs() < 1e-10);

@@ -121,7 +121,11 @@ pub fn stedc<R: RealScalar>(n: usize, d: &mut [R], e: &mut [R]) -> Vec<R> {
         return merge_decoupled(n, m, d, &z1, &z2);
     }
     let rho = beta.rabs();
-    let s = if beta >= R::zero() { R::one() } else { -R::one() };
+    let s = if beta >= R::zero() {
+        R::one()
+    } else {
+        -R::one()
+    };
     // Rank-one tear: subtract ρ from the two coupling diagonal entries.
     d[m - 1] = d[m - 1] - rho;
     d[m] = d[m] - rho;
@@ -239,7 +243,11 @@ pub fn stedc<R: RealScalar>(n: usize, d: &mut [R], e: &mut [R]) -> Vec<R> {
             // λ_j − dᵢ = −δᵢ(j).
             let mut prod = -deltas[k - 1][i];
             for j in 0..k - 1 {
-                let denom = if j < i { dk[j] - dk[i] } else { dk[j + 1] - dk[i] };
+                let denom = if j < i {
+                    dk[j] - dk[i]
+                } else {
+                    dk[j + 1] - dk[i]
+                };
                 prod = prod * ((-deltas[j][i]) / denom);
             }
             let mag = prod.rabs().rsqrt();
@@ -406,7 +414,7 @@ pub fn syevd<T: Scalar>(
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Trans};
+    use la_core::{Trans, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -440,7 +448,21 @@ mod tests {
         }
         // Orthogonality.
         let mut ztz = vec![0.0f64; n * n];
-        gemm(Trans::Trans, Trans::No, n, n, n, 1.0, z, n, z, n, 0.0, &mut ztz, n);
+        gemm(
+            Trans::Trans,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            z,
+            n,
+            z,
+            n,
+            0.0,
+            &mut ztz,
+            n,
+        );
         for j in 0..n {
             for i in 0..n {
                 let want = if i == j { 1.0 } else { 0.0 };
@@ -485,7 +507,12 @@ mod tests {
         let mut eref = e0.clone();
         assert_eq!(steqr::<f64>(n, &mut dref, &mut eref, None), 0);
         for i in 0..n {
-            assert!((d[i] - dref[i]).abs() < 1e-10, "λ_{i}: {} vs {}", d[i], dref[i]);
+            assert!(
+                (d[i] - dref[i]).abs() < 1e-10,
+                "λ_{i}: {} vs {}",
+                d[i],
+                dref[i]
+            );
         }
     }
 
@@ -510,7 +537,9 @@ mod tests {
     fn stedc_negative_coupling() {
         let n = 50;
         let d0: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1).collect();
-        let e0: Vec<f64> = (0..n - 1).map(|i| if i % 2 == 0 { -0.7 } else { 0.3 }).collect();
+        let e0: Vec<f64> = (0..n - 1)
+            .map(|i| if i % 2 == 0 { -0.7 } else { 0.3 })
+            .collect();
         let mut d = d0.clone();
         let mut e = e0.clone();
         let z = stedc(n, &mut d, &mut e);
@@ -545,7 +574,19 @@ mod tests {
         // Residual ‖A z − λ z‖.
         for j in 0..n {
             let mut az = vec![C64::zero(); n];
-            la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &a[j * n..j * n + n], 1, C64::zero(), &mut az, 1);
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                C64::one(),
+                &a0,
+                n,
+                &a[j * n..j * n + n],
+                1,
+                C64::zero(),
+                &mut az,
+                1,
+            );
             for i in 0..n {
                 assert!(
                     (az[i] - a[i + j * n].scale(w[j])).abs() < 1e-9,

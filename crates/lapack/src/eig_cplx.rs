@@ -185,8 +185,16 @@ pub fn trevc_cplx<R: RealScalar>(
 ) -> (Vec<Complex<R>>, Vec<Complex<R>>) {
     type C<R> = Complex<R>;
     let smin = R::sfmin() / R::EPS;
-    let mut vr = if want_right { vec![C::<R>::zero(); n * n] } else { vec![] };
-    let mut vl = if want_left { vec![C::<R>::zero(); n * n] } else { vec![] };
+    let mut vr = if want_right {
+        vec![C::<R>::zero(); n * n]
+    } else {
+        vec![]
+    };
+    let mut vl = if want_left {
+        vec![C::<R>::zero(); n * n]
+    } else {
+        vec![]
+    };
     if want_right {
         for ki in (0..n).rev() {
             let lam = t[ki + ki * ldt];
@@ -457,7 +465,7 @@ pub fn gees_cplx<R: RealScalar>(
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Trans};
+    use la_core::{Trans, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -466,7 +474,9 @@ mod tests {
             ((self.0 >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         }
         fn cmat(&mut self, n: usize) -> Vec<C64> {
-            (0..n * n).map(|_| C64::new(self.next(), self.next())).collect()
+            (0..n * n)
+                .map(|_| C64::new(self.next(), self.next()))
+                .collect()
         }
     }
 
@@ -507,7 +517,21 @@ mod tests {
             }
             // Z unitary, A = Z T Zᴴ.
             let mut zhz = vec![C64::zero(); n * n];
-            gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &z, n, &z, n, C64::zero(), &mut zhz, n);
+            gemm(
+                Trans::ConjTrans,
+                Trans::No,
+                n,
+                n,
+                n,
+                C64::one(),
+                &z,
+                n,
+                &z,
+                n,
+                C64::zero(),
+                &mut zhz,
+                n,
+            );
             for j in 0..n {
                 for i in 0..n {
                     let want = if i == j { C64::one() } else { C64::zero() };
@@ -515,9 +539,37 @@ mod tests {
                 }
             }
             let mut zt = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::No, n, n, n, C64::one(), &z, n, &t, n, C64::zero(), &mut zt, n);
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                C64::one(),
+                &z,
+                n,
+                &t,
+                n,
+                C64::zero(),
+                &mut zt,
+                n,
+            );
             let mut rec = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &zt, n, &z, n, C64::zero(), &mut rec, n);
+            gemm(
+                Trans::No,
+                Trans::ConjTrans,
+                n,
+                n,
+                n,
+                C64::one(),
+                &zt,
+                n,
+                &z,
+                n,
+                C64::zero(),
+                &mut rec,
+                n,
+            );
             for k in 0..n * n {
                 assert!(
                     (rec[k] - a0[k]).abs() < 1e-11 * (n as f64 + 1.0),
@@ -539,7 +591,19 @@ mod tests {
                 // Right: A v = λ v.
                 let v = &res.vr[j * n..j * n + n];
                 let mut av = vec![C64::zero(); n];
-                la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, v, 1, C64::zero(), &mut av, 1);
+                la_blas::gemv(
+                    Trans::No,
+                    n,
+                    n,
+                    C64::one(),
+                    &a0,
+                    n,
+                    v,
+                    1,
+                    C64::zero(),
+                    &mut av,
+                    1,
+                );
                 for i in 0..n {
                     assert!(
                         (av[i] - res.w[j] * v[i]).abs() < 1e-10 * (n as f64),
@@ -549,7 +613,19 @@ mod tests {
                 // Left: uᴴ A = λ uᴴ  ⇔  Aᴴ u = λ̄ u.
                 let u = &res.vl[j * n..j * n + n];
                 let mut ahu = vec![C64::zero(); n];
-                la_blas::gemv(Trans::ConjTrans, n, n, C64::one(), &a0, n, u, 1, C64::zero(), &mut ahu, 1);
+                la_blas::gemv(
+                    Trans::ConjTrans,
+                    n,
+                    n,
+                    C64::one(),
+                    &a0,
+                    n,
+                    u,
+                    1,
+                    C64::zero(),
+                    &mut ahu,
+                    1,
+                );
                 for i in 0..n {
                     assert!(
                         (ahu[i] - res.w[j].conj() * u[i]).abs() < 1e-10 * (n as f64),
@@ -579,9 +655,37 @@ mod tests {
         }
         // Schur relation after reordering.
         let mut vt = vec![C64::zero(); n * n];
-        gemm(Trans::No, Trans::No, n, n, n, C64::one(), &vs, n, &a, n, C64::zero(), &mut vt, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &vs,
+            n,
+            &a,
+            n,
+            C64::zero(),
+            &mut vt,
+            n,
+        );
         let mut rec = vec![C64::zero(); n * n];
-        gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &vt, n, &vs, n, C64::zero(), &mut rec, n);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            n,
+            n,
+            n,
+            C64::one(),
+            &vt,
+            n,
+            &vs,
+            n,
+            C64::zero(),
+            &mut rec,
+            n,
+        );
         for k in 0..n * n {
             assert!((rec[k] - a0[k]).abs() < 1e-10, "reordered ZTZᴴ≠A at {k}");
         }
@@ -605,9 +709,37 @@ mod tests {
         assert!((t[3] - t0c.0).abs() < 1e-14);
         // Similarity: Z T Zᴴ = T_old.
         let mut zt = vec![C64::zero(); 4];
-        gemm(Trans::No, Trans::No, 2, 2, 2, C64::one(), &z, 2, &t, 2, C64::zero(), &mut zt, 2);
+        gemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
+            C64::one(),
+            &z,
+            2,
+            &t,
+            2,
+            C64::zero(),
+            &mut zt,
+            2,
+        );
         let mut rec = vec![C64::zero(); 4];
-        gemm(Trans::No, Trans::ConjTrans, 2, 2, 2, C64::one(), &zt, 2, &z, 2, C64::zero(), &mut rec, 2);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            2,
+            2,
+            2,
+            C64::one(),
+            &zt,
+            2,
+            &z,
+            2,
+            C64::zero(),
+            &mut rec,
+            2,
+        );
         for k in 0..4 {
             assert!((rec[k] - tt[k]).abs() < 1e-13);
         }

@@ -458,7 +458,11 @@ pub fn trevc<R: RealScalar>(
 ) -> (Vec<R>, Vec<R>) {
     let zero = R::zero();
     let smin = R::sfmin() / R::EPS;
-    let mut vr = if want_right { vec![zero; n * n] } else { vec![] };
+    let mut vr = if want_right {
+        vec![zero; n * n]
+    } else {
+        vec![]
+    };
     let mut vl = if want_left { vec![zero; n * n] } else { vec![] };
 
     // Helper: complex back-substitution for right eigenvectors of T at λ,
@@ -827,7 +831,14 @@ pub fn swap_schur_blocks<R: RealScalar>(
 
 /// Standardizes the 2×2 block at `(j, j)` via [`lanv2`], applying the
 /// rotation to the rest of `T` and to `Z`.
-fn standardize_2x2<R: RealScalar>(n: usize, t: &mut [R], ldt: usize, z: &mut [R], ldz: usize, j: usize) {
+fn standardize_2x2<R: RealScalar>(
+    n: usize,
+    t: &mut [R],
+    ldt: usize,
+    z: &mut [R],
+    ldz: usize,
+    j: usize,
+) {
     let (na, nb, nc, nd, _r1r, _r1i, _r2r, _r2i, cs, sn) = lanv2(
         t[j + j * ldt],
         t[j + (j + 1) * ldt],
@@ -936,7 +947,16 @@ pub fn geev<R: RealScalar>(
         }
     }
     let info = if want_vecs {
-        hseqr(n, ilo, ihi, a, lda, &mut res.wr, &mut res.wi, Some((&mut z, n)))
+        hseqr(
+            n,
+            ilo,
+            ihi,
+            a,
+            lda,
+            &mut res.wr,
+            &mut res.wi,
+            Some((&mut z, n)),
+        )
     } else {
         hseqr(n, ilo, ihi, a, lda, &mut res.wr, &mut res.wi, None)
     };
@@ -1032,7 +1052,16 @@ pub fn gees<R: RealScalar>(
             a[i + j * lda] = R::zero();
         }
     }
-    let info = hseqr(n, 0, n - 1, a, lda, &mut res.wr, &mut res.wi, Some((zslice, ldz)));
+    let info = hseqr(
+        n,
+        0,
+        n - 1,
+        a,
+        lda,
+        &mut res.wr,
+        &mut res.wi,
+        Some((zslice, ldz)),
+    );
     if info != 0 {
         return (info, res);
     }
@@ -1116,13 +1145,7 @@ fn block_eigs<R: RealScalar>(t: &[R], ldt: usize, j: usize, bs: usize) -> (R, R)
 }
 
 /// Helper re-export used by tests and the expert drivers.
-pub fn dense_eig_residual<R: RealScalar>(
-    n: usize,
-    a: &[R],
-    wr: &[R],
-    wi: &[R],
-    vr: &[R],
-) -> R {
+pub fn dense_eig_residual<R: RealScalar>(n: usize, a: &[R], wr: &[R], wi: &[R], vr: &[R]) -> R {
     // ‖A·v − λ·v‖∞ over all eigenpairs, complex pairs included.
     let zero = R::zero();
     let mut worst = zero;
@@ -1130,7 +1153,19 @@ pub fn dense_eig_residual<R: RealScalar>(
     while j < n {
         if wi[j] == zero {
             let mut av = vec![zero; n];
-            la_blas::gemv(Trans::No, n, n, R::one(), a, n, &vr[j * n..j * n + n], 1, zero, &mut av, 1);
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                R::one(),
+                a,
+                n,
+                &vr[j * n..j * n + n],
+                1,
+                zero,
+                &mut av,
+                1,
+            );
             for i in 0..n {
                 worst = worst.maxr((av[i] - wr[j] * vr[i + j * n]).rabs());
             }
@@ -1139,8 +1174,32 @@ pub fn dense_eig_residual<R: RealScalar>(
             // v = vr(:,j) + i vr(:,j+1), λ = wr[j] + i wi[j].
             let mut avr = vec![zero; n];
             let mut avi = vec![zero; n];
-            la_blas::gemv(Trans::No, n, n, R::one(), a, n, &vr[j * n..j * n + n], 1, zero, &mut avr, 1);
-            la_blas::gemv(Trans::No, n, n, R::one(), a, n, &vr[(j + 1) * n..(j + 1) * n + n], 1, zero, &mut avi, 1);
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                R::one(),
+                a,
+                n,
+                &vr[j * n..j * n + n],
+                1,
+                zero,
+                &mut avr,
+                1,
+            );
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                R::one(),
+                a,
+                n,
+                &vr[(j + 1) * n..(j + 1) * n + n],
+                1,
+                zero,
+                &mut avi,
+                1,
+            );
             for i in 0..n {
                 let re = avr[i] - (wr[j] * vr[i + j * n] - wi[j] * vr[i + (j + 1) * n]);
                 let im = avi[i] - (wr[j] * vr[i + (j + 1) * n] + wi[j] * vr[i + j * n]);

@@ -68,7 +68,17 @@ pub fn sytd2<T: Scalar>(
                         let alpha = -half * taui * dotc(nv, &w, 1, vcol, 1);
                         axpy(nv, alpha, vcol, 1, &mut w, 1);
                         // A22 -= v·wᴴ + w·vᴴ
-                        her2(Uplo::Lower, nv, -T::one(), vcol, 1, &w, 1, &mut a22[i + 1..], lda);
+                        her2(
+                            Uplo::Lower,
+                            nv,
+                            -T::one(),
+                            vcol,
+                            1,
+                            &w,
+                            1,
+                            &mut a22[i + 1..],
+                            lda,
+                        );
                     }
                 } else if T::IS_COMPLEX {
                     let idx = (i + 1) + (i + 1) * lda;
@@ -108,7 +118,18 @@ pub fn sytd2<T: Scalar>(
                         // so vcol = a(0..i, i)? The reflector from larfg has
                         // its unit element at position i-1 and tail at
                         // 0..i-1 — contiguous as stored.
-                        hemv(Uplo::Upper, nv, taui, a11, lda, vcol, 1, T::zero(), &mut w, 1);
+                        hemv(
+                            Uplo::Upper,
+                            nv,
+                            taui,
+                            a11,
+                            lda,
+                            vcol,
+                            1,
+                            T::zero(),
+                            &mut w,
+                            1,
+                        );
                         let alpha = -half * taui * dotc(nv, &w, 1, vcol, 1);
                         axpy(nv, alpha, vcol, 1, &mut w, 1);
                         her2(Uplo::Upper, nv, -T::one(), vcol, 1, &w, 1, a11, lda);
@@ -680,7 +701,17 @@ pub fn sptrd<T: Scalar>(
                         );
                         let alpha = -half * taui * dotc(nv, &w, 1, &v, 1);
                         axpy(nv, alpha, &v, 1, &mut w, 1);
-                        spr2(T::IS_COMPLEX, Uplo::Lower, nv, -T::one(), &v, 1, &w, 1, &mut ap[sub0..]);
+                        spr2(
+                            T::IS_COMPLEX,
+                            Uplo::Lower,
+                            nv,
+                            -T::one(),
+                            &v,
+                            1,
+                            &w,
+                            1,
+                            &mut ap[sub0..],
+                        );
                     }
                 }
                 ap[col0] = T::from_real(e[i]);
@@ -707,7 +738,18 @@ pub fn sptrd<T: Scalar>(
                     let mut w = vec![T::zero(); nv];
                     {
                         let v: Vec<T> = ap[col0..col0 + nv].to_vec();
-                        spmv(T::IS_COMPLEX, Uplo::Upper, nv, taui, ap, &v, 1, T::zero(), &mut w, 1);
+                        spmv(
+                            T::IS_COMPLEX,
+                            Uplo::Upper,
+                            nv,
+                            taui,
+                            ap,
+                            &v,
+                            1,
+                            T::zero(),
+                            &mut w,
+                            1,
+                        );
                         let alpha = -half * taui * dotc(nv, &w, 1, &v, 1);
                         axpy(nv, alpha, &v, 1, &mut w, 1);
                         spr2(T::IS_COMPLEX, Uplo::Upper, nv, -T::one(), &v, 1, &w, 1, ap);
@@ -827,7 +869,7 @@ pub fn sbev<T: Scalar>(
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Norm, Trans};
+    use la_core::{Norm, Trans, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -870,7 +912,21 @@ mod tests {
     /// ‖A·Z − Z·diag(w)‖ / (‖A‖·n·eps) — the LAPACK-style residual.
     fn eig_residual(n: usize, a: &[C64], z: &[C64], w: &[f64]) -> f64 {
         let mut az = vec![C64::zero(); n * n];
-        gemm(Trans::No, Trans::No, n, n, n, C64::one(), a, n, z, n, C64::zero(), &mut az, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            a,
+            n,
+            z,
+            n,
+            C64::zero(),
+            &mut az,
+            n,
+        );
         let mut worst: f64 = 0.0;
         for j in 0..n {
             for i in 0..n {
@@ -905,9 +961,37 @@ mod tests {
                 }
             }
             let mut qt = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::No, n, n, n, C64::one(), &q, n, &t, n, C64::zero(), &mut qt, n);
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                C64::one(),
+                &q,
+                n,
+                &t,
+                n,
+                C64::zero(),
+                &mut qt,
+                n,
+            );
             let mut qtqh = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &qt, n, &q, n, C64::zero(), &mut qtqh, n);
+            gemm(
+                Trans::No,
+                Trans::ConjTrans,
+                n,
+                n,
+                n,
+                C64::one(),
+                &qt,
+                n,
+                &q,
+                n,
+                C64::zero(),
+                &mut qtqh,
+                n,
+            );
             for k in 0..n * n {
                 assert!(
                     (qtqh[k] - a0[k]).abs() < 1e-12 * n as f64,
@@ -932,11 +1016,30 @@ mod tests {
         assert_eq!(steqr::<f64>(n, &mut d, &mut e, Some((&mut z, n))), 0);
         for k in 0..n {
             let want = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
-            assert!((d[k] - want).abs() < 1e-12, "λ_{k} = {} want {}", d[k], want);
+            assert!(
+                (d[k] - want).abs() < 1e-12,
+                "λ_{k} = {} want {}",
+                d[k],
+                want
+            );
         }
         // Z orthogonal.
         let mut ztz = vec![0.0f64; n * n];
-        gemm(Trans::Trans, Trans::No, n, n, n, 1.0, &z, n, &z, n, 0.0, &mut ztz, n);
+        gemm(
+            Trans::Trans,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            &z,
+            n,
+            &z,
+            n,
+            0.0,
+            &mut ztz,
+            n,
+        );
         for j in 0..n {
             for i in 0..n {
                 let want = if i == j { 1.0 } else { 0.0 };
@@ -988,7 +1091,12 @@ mod tests {
         let w = stebz(EigRange::All, n, &d0, &e0, 0.0);
         assert_eq!(w.len(), n);
         for i in 0..n {
-            assert!((w[i] - d[i]).abs() < 1e-9, "bisection λ_{i}: {} vs {}", w[i], d[i]);
+            assert!(
+                (w[i] - d[i]).abs() < 1e-9,
+                "bisection λ_{i}: {} vs {}",
+                w[i],
+                d[i]
+            );
         }
         // Index range.
         let w3 = stebz(EigRange::Index(2, 4), n, &d0, &e0, 0.0);
@@ -1039,7 +1147,19 @@ mod tests {
         for (j, &lam) in w.iter().enumerate() {
             let v = &z[j * n..j * n + n];
             let mut av = vec![C64::zero(); n];
-            la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, v, 1, C64::zero(), &mut av, 1);
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                C64::one(),
+                &a0,
+                n,
+                v,
+                1,
+                C64::zero(),
+                &mut av,
+                1,
+            );
             let mut res: f64 = 0.0;
             for i in 0..n {
                 res = res.max((av[i] - v[i].scale(lam)).abs());
@@ -1118,7 +1238,19 @@ mod tests {
         }
         let mut w = vec![0.0; n];
         let mut z = vec![C64::zero(); n * n];
-        assert_eq!(sbev(true, Uplo::Upper, n, kd, &ab, ldab, &mut w, Some((&mut z, n))), 0);
+        assert_eq!(
+            sbev(
+                true,
+                Uplo::Upper,
+                n,
+                kd,
+                &ab,
+                ldab,
+                &mut w,
+                Some((&mut z, n))
+            ),
+            0
+        );
         for i in 0..n {
             assert!((w[i] - wref[i]).abs() < 1e-10);
         }

@@ -51,7 +51,19 @@ pub fn sygst<T: Scalar>(
     match (itype, uplo) {
         (GvItype::AxLBx, Uplo::Lower) => {
             // C = L⁻¹·A·L⁻ᴴ.
-            trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
             trsm(
                 Side::Right,
                 Uplo::Lower,
@@ -81,7 +93,19 @@ pub fn sygst<T: Scalar>(
                 a,
                 lda,
             );
-            trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+            trsm(
+                Side::Right,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
         }
         (_, Uplo::Lower) => {
             // C = Lᴴ·A·L (itype 2 and 3 share the reduction).
@@ -98,11 +122,35 @@ pub fn sygst<T: Scalar>(
                 a,
                 lda,
             );
-            la_blas::trmm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+            la_blas::trmm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
         }
         (_, Uplo::Upper) => {
             // C = U·A·Uᴴ.
-            la_blas::trmm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, n, n, T::one(), b, ldb, a, lda);
+            la_blas::trmm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                n,
+                n,
+                T::one(),
+                b,
+                ldb,
+                a,
+                lda,
+            );
             la_blas::trmm(
                 Side::Right,
                 Uplo::Upper,
@@ -248,7 +296,17 @@ pub fn spgv<T: Scalar>(
     };
     let mut a = unpack(ap);
     let mut b = unpack(bp);
-    let info = sygv(itype, want_z, uplo, n, &mut a, n.max(1), &mut b, n.max(1), w);
+    let info = sygv(
+        itype,
+        want_z,
+        uplo,
+        n,
+        &mut a,
+        n.max(1),
+        &mut b,
+        n.max(1),
+        w,
+    );
     if info != 0 {
         return info;
     }
@@ -308,7 +366,17 @@ pub fn sbgv<T: Scalar>(
     };
     let mut a = expand(ab, ka, ldab);
     let mut b = expand(bb, kb, ldbb);
-    let info = sygv(GvItype::AxLBx, want_z, uplo, n, &mut a, n.max(1), &mut b, n.max(1), w);
+    let info = sygv(
+        GvItype::AxLBx,
+        want_z,
+        uplo,
+        n,
+        &mut a,
+        n.max(1),
+        &mut b,
+        n.max(1),
+        w,
+    );
     if info != 0 {
         return info;
     }
@@ -397,7 +465,21 @@ mod tests {
     fn rand_hpd(n: usize, seed: u64) -> Vec<C64> {
         let g = rand_herm(n, seed);
         let mut b = vec![C64::zero(); n * n];
-        la_blas::gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &g, n, &g, n, C64::zero(), &mut b, n);
+        la_blas::gemm(
+            Trans::ConjTrans,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &g,
+            n,
+            &g,
+            n,
+            C64::zero(),
+            &mut b,
+            n,
+        );
         for i in 0..n {
             b[i + i * n] += C64::from_real(n as f64);
         }
@@ -424,8 +506,32 @@ mod tests {
                     let x = &a[j * n..j * n + n];
                     let mut ax = vec![C64::zero(); n];
                     let mut bx = vec![C64::zero(); n];
-                    la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, x, 1, C64::zero(), &mut ax, 1);
-                    la_blas::gemv(Trans::No, n, n, C64::one(), &b0, n, x, 1, C64::zero(), &mut bx, 1);
+                    la_blas::gemv(
+                        Trans::No,
+                        n,
+                        n,
+                        C64::one(),
+                        &a0,
+                        n,
+                        x,
+                        1,
+                        C64::zero(),
+                        &mut ax,
+                        1,
+                    );
+                    la_blas::gemv(
+                        Trans::No,
+                        n,
+                        n,
+                        C64::one(),
+                        &b0,
+                        n,
+                        x,
+                        1,
+                        C64::zero(),
+                        &mut bx,
+                        1,
+                    );
                     let mut res: f64 = 0.0;
                     for i in 0..n {
                         let lhs = match itype {
@@ -433,18 +539,45 @@ mod tests {
                             GvItype::ABxLx => {
                                 // A·B·x = λ·x: check with y = B x.
                                 let mut aby = vec![C64::zero(); n];
-                                la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &bx, 1, C64::zero(), &mut aby, 1);
+                                la_blas::gemv(
+                                    Trans::No,
+                                    n,
+                                    n,
+                                    C64::one(),
+                                    &a0,
+                                    n,
+                                    &bx,
+                                    1,
+                                    C64::zero(),
+                                    &mut aby,
+                                    1,
+                                );
                                 aby[i] - x[i].scale(w[j])
                             }
                             GvItype::BAxLx => {
                                 let mut bay = vec![C64::zero(); n];
-                                la_blas::gemv(Trans::No, n, n, C64::one(), &b0, n, &ax, 1, C64::zero(), &mut bay, 1);
+                                la_blas::gemv(
+                                    Trans::No,
+                                    n,
+                                    n,
+                                    C64::one(),
+                                    &b0,
+                                    n,
+                                    &ax,
+                                    1,
+                                    C64::zero(),
+                                    &mut bay,
+                                    1,
+                                );
                                 bay[i] - x[i].scale(w[j])
                             }
                         };
                         res = res.max(lhs.abs());
                     }
-                    assert!(res < 1e-8 * (n as f64), "{itype:?} {uplo:?} pair {j}: {res}");
+                    assert!(
+                        res < 1e-8 * (n as f64),
+                        "{itype:?} {uplo:?} pair {j}: {res}"
+                    );
                 }
             }
         }
@@ -460,7 +593,17 @@ mod tests {
         b[1 + n] = C64::from_real(-1.0);
         b[2 + 2 * n] = C64::from_real(1.0);
         let mut w = vec![0.0; n];
-        let info = sygv(GvItype::AxLBx, false, Uplo::Upper, n, &mut a, n, &mut b, n, &mut w);
+        let info = sygv(
+            GvItype::AxLBx,
+            false,
+            Uplo::Upper,
+            n,
+            &mut a,
+            n,
+            &mut b,
+            n,
+            &mut w,
+        );
         assert_eq!(info, (n + 2) as i32);
     }
 
@@ -473,7 +616,17 @@ mod tests {
         let mut bref = b0.clone();
         let mut wref = vec![0.0; n];
         assert_eq!(
-            sygv(GvItype::AxLBx, false, Uplo::Upper, n, &mut aref, n, &mut bref, n, &mut wref),
+            sygv(
+                GvItype::AxLBx,
+                false,
+                Uplo::Upper,
+                n,
+                &mut aref,
+                n,
+                &mut bref,
+                n,
+                &mut wref
+            ),
             0
         );
         // Pack.
@@ -490,7 +643,16 @@ mod tests {
         let mut w = vec![0.0; n];
         let mut z = vec![C64::zero(); n * n];
         assert_eq!(
-            spgv(GvItype::AxLBx, true, Uplo::Upper, n, &mut ap, &mut bp, &mut w, Some((&mut z, n))),
+            spgv(
+                GvItype::AxLBx,
+                true,
+                Uplo::Upper,
+                n,
+                &mut ap,
+                &mut bp,
+                &mut w,
+                Some((&mut z, n))
+            ),
             0
         );
         for i in 0..n {
@@ -541,17 +703,56 @@ mod tests {
         let mut w = vec![0.0; n];
         let mut z = vec![C64::zero(); n * n];
         assert_eq!(
-            sbgv(true, Uplo::Upper, n, ka, kb, &ab, ldab, &bb, ldbb, &mut w, Some((&mut z, n))),
+            sbgv(
+                true,
+                Uplo::Upper,
+                n,
+                ka,
+                kb,
+                &ab,
+                ldab,
+                &bb,
+                ldbb,
+                &mut w,
+                Some((&mut z, n))
+            ),
             0
         );
         for j in 0..n {
             let x = &z[j * n..j * n + n];
             let mut ax = vec![C64::zero(); n];
             let mut bx = vec![C64::zero(); n];
-            la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, x, 1, C64::zero(), &mut ax, 1);
-            la_blas::gemv(Trans::No, n, n, C64::one(), &b0, n, x, 1, C64::zero(), &mut bx, 1);
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                C64::one(),
+                &a0,
+                n,
+                x,
+                1,
+                C64::zero(),
+                &mut ax,
+                1,
+            );
+            la_blas::gemv(
+                Trans::No,
+                n,
+                n,
+                C64::one(),
+                &b0,
+                n,
+                x,
+                1,
+                C64::zero(),
+                &mut bx,
+                1,
+            );
             for i in 0..n {
-                assert!((ax[i] - bx[i].scale(w[j])).abs() < 1e-9 * n as f64, "pair {j}");
+                assert!(
+                    (ax[i] - bx[i].scale(w[j])).abs() < 1e-9 * n as f64,
+                    "pair {j}"
+                );
             }
         }
     }

@@ -48,18 +48,19 @@ pub fn gebal<T: Scalar>(
         // Exchange helper: swap position j with position m, recording the
         // move (columns over rows 0..l, rows over columns k..n — xGEBAL's
         // EXC block).
-        let exchange = |a: &mut [T], scale: &mut [T::Real], j: usize, m: usize, l: usize, k: usize| {
-            scale[m] = T::Real::from_usize(j + 1);
-            if j == m {
-                return;
-            }
-            for r in 0..l {
-                a.swap(r + j * lda, r + m * lda);
-            }
-            for c in k..n {
-                a.swap(j + c * lda, m + c * lda);
-            }
-        };
+        let exchange =
+            |a: &mut [T], scale: &mut [T::Real], j: usize, m: usize, l: usize, k: usize| {
+                scale[m] = T::Real::from_usize(j + 1);
+                if j == m {
+                    return;
+                }
+                for r in 0..l {
+                    a.swap(r + j * lda, r + m * lda);
+                }
+                for c in k..n {
+                    a.swap(j + c * lda, m + c * lda);
+                }
+            };
         // Phase 1: rows whose off-diagonal part (within the window) is
         // zero → isolated eigenvalue, move to the bottom.
         'rows: loop {
@@ -225,7 +226,14 @@ pub fn gebak<T: Scalar>(
 /// Unblocked reduction to upper Hessenberg form by Householder similarity
 /// (`xGEHD2`): `Qᴴ·A·Q = H`. The reflectors stay below the first
 /// subdiagonal; `tau` receives their scalars.
-pub fn gehd2<T: Scalar>(n: usize, ilo: usize, ihi: usize, a: &mut [T], lda: usize, tau: &mut [T]) -> i32 {
+pub fn gehd2<T: Scalar>(
+    n: usize,
+    ilo: usize,
+    ihi: usize,
+    a: &mut [T],
+    lda: usize,
+    tau: &mut [T],
+) -> i32 {
     let mut work = vec![T::zero(); n];
     for i in ilo..ihi {
         // Annihilate A(i+2.., i).
@@ -241,7 +249,7 @@ pub fn gehd2<T: Scalar>(n: usize, ilo: usize, ihi: usize, a: &mut [T], lda: usiz
         tau[i] = taui;
         a[i + 1 + i * lda] = T::one();
         let nv = ihi - i; // reflector length (rows i+1..=ihi)
-        // Apply H from the right to A(0..=ihi, i+1..=ihi).
+                          // Apply H from the right to A(0..=ihi, i+1..=ihi).
         {
             let v: Vec<T> = a[i + 1 + i * lda..i + 1 + i * lda + nv].to_vec();
             larf(
@@ -274,13 +282,27 @@ pub fn gehd2<T: Scalar>(n: usize, ilo: usize, ihi: usize, a: &mut [T], lda: usiz
 }
 
 /// Blocked entry point (`xGEHRD`); delegates to [`gehd2`].
-pub fn gehrd<T: Scalar>(n: usize, ilo: usize, ihi: usize, a: &mut [T], lda: usize, tau: &mut [T]) -> i32 {
+pub fn gehrd<T: Scalar>(
+    n: usize,
+    ilo: usize,
+    ihi: usize,
+    a: &mut [T],
+    lda: usize,
+    tau: &mut [T],
+) -> i32 {
     gehd2(n, ilo, ihi, a, lda, tau)
 }
 
 /// Generates the unitary `Q` of the Hessenberg reduction
 /// (`xORGHR`/`xUNGHR`): overwrites `A` with the explicit `n × n` `Q`.
-pub fn orghr<T: Scalar>(n: usize, ilo: usize, ihi: usize, a: &mut [T], lda: usize, tau: &[T]) -> i32 {
+pub fn orghr<T: Scalar>(
+    n: usize,
+    ilo: usize,
+    ihi: usize,
+    a: &mut [T],
+    lda: usize,
+    tau: &[T],
+) -> i32 {
     if n == 0 {
         return 0;
     }
@@ -307,7 +329,7 @@ pub fn orghr<T: Scalar>(n: usize, ilo: usize, ihi: usize, a: &mut [T], lda: usiz
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Trans};
+    use la_core::{Trans, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -321,7 +343,9 @@ mod tests {
     fn hessenberg_similarity_roundtrip() {
         let n = 9;
         let mut rng = Rng(3);
-        let a0: Vec<C64> = (0..n * n).map(|_| C64::new(rng.next(), rng.next())).collect();
+        let a0: Vec<C64> = (0..n * n)
+            .map(|_| C64::new(rng.next(), rng.next()))
+            .collect();
         let mut h = a0.clone();
         let mut tau = vec![C64::zero(); n - 1];
         gehd2(n, 0, n - 1, &mut h, n, &mut tau);
@@ -336,7 +360,21 @@ mod tests {
         orghr(n, 0, n - 1, &mut q, n, &tau);
         // Q unitary.
         let mut qhq = vec![C64::zero(); n * n];
-        gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &q, n, &q, n, C64::zero(), &mut qhq, n);
+        gemm(
+            Trans::ConjTrans,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &q,
+            n,
+            &q,
+            n,
+            C64::zero(),
+            &mut qhq,
+            n,
+        );
         for j in 0..n {
             for i in 0..n {
                 let want = if i == j { C64::one() } else { C64::zero() };
@@ -351,9 +389,37 @@ mod tests {
             }
         }
         let mut qh = vec![C64::zero(); n * n];
-        gemm(Trans::No, Trans::No, n, n, n, C64::one(), &q, n, &hcl, n, C64::zero(), &mut qh, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &q,
+            n,
+            &hcl,
+            n,
+            C64::zero(),
+            &mut qh,
+            n,
+        );
         let mut rec = vec![C64::zero(); n * n];
-        gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &qh, n, &q, n, C64::zero(), &mut rec, n);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            n,
+            n,
+            n,
+            C64::one(),
+            &qh,
+            n,
+            &q,
+            n,
+            C64::zero(),
+            &mut rec,
+            n,
+        );
         for k in 0..n * n {
             assert!(
                 (rec[k] - a0[k]).abs() < 1e-12 * n as f64,
@@ -378,7 +444,10 @@ mod tests {
             1.0,    1.0, 1.0, 7.0,   // col 3: row 3 has zeros left — row-isolated
         ];
         let (ilo, ihi, scale) = gebal::<f64>(BalanceJob::Permute, n, &mut a, n);
-        assert!(ilo >= 1, "column-isolated eigenvalue not deflated: ilo={ilo}");
+        assert!(
+            ilo >= 1,
+            "column-isolated eigenvalue not deflated: ilo={ilo}"
+        );
         assert!(ihi <= 2, "row-isolated eigenvalue not deflated: ihi={ihi}");
         // Diagonal outside the window holds the isolated eigenvalues 2, 7.
         let mut outside: Vec<f64> = (0..ilo).chain(ihi + 1..n).map(|i| a[i + i * n]).collect();
@@ -402,7 +471,7 @@ mod tests {
         a[3 + n] = -1.5;
         a[4 + 3 * n] = 1.0;
         a[1 + 4 * n] = 0.7;
-        a[0 + n] = 9.0; // row 0 couples forward only
+        a[n] = 9.0; // entry (0, 1): row 0 couples forward only
         let a0 = a.clone();
         let (info, res) = crate::eig_real::geev(true, true, n, &mut a, n);
         assert_eq!(info, 0);

@@ -33,14 +33,37 @@ pub fn gels<T: Scalar>(
         match trans {
             Trans::No => {
                 // Least squares: B := Qᴴ B, then solve R X = B(0..n).
-                ormqr(Side::Left, Trans::ConjTrans, m, nrhs, n, a, lda, &tau, b, ldb);
+                ormqr(
+                    Side::Left,
+                    Trans::ConjTrans,
+                    m,
+                    nrhs,
+                    n,
+                    a,
+                    lda,
+                    &tau,
+                    b,
+                    ldb,
+                );
                 // Check for exact singularity of R.
                 for i in 0..n {
                     if a[i + i * lda].is_zero() {
                         return (i + 1) as i32;
                     }
                 }
-                trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
+                trsm(
+                    Side::Left,
+                    Uplo::Upper,
+                    Trans::No,
+                    Diag::NonUnit,
+                    n,
+                    nrhs,
+                    T::one(),
+                    a,
+                    lda,
+                    b,
+                    ldb,
+                );
             }
             _ => {
                 // Minimum-norm solution of Aᴴ X = B: Rᴴ Y = B, X = Q [Y; 0].
@@ -80,13 +103,36 @@ pub fn gels<T: Scalar>(
                         return (i + 1) as i32;
                     }
                 }
-                trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, m, nrhs, T::one(), a, lda, b, ldb);
+                trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::No,
+                    Diag::NonUnit,
+                    m,
+                    nrhs,
+                    T::one(),
+                    a,
+                    lda,
+                    b,
+                    ldb,
+                );
                 for j in 0..nrhs {
                     for i in m..n {
                         b[i + j * ldb] = T::zero();
                     }
                 }
-                ormlq(Side::Left, Trans::ConjTrans, n, nrhs, m, a, lda, &tau, b, ldb);
+                ormlq(
+                    Side::Left,
+                    Trans::ConjTrans,
+                    n,
+                    nrhs,
+                    m,
+                    a,
+                    lda,
+                    &tau,
+                    b,
+                    ldb,
+                );
             }
             _ => {
                 // Least squares for Aᴴ X = B: B := Q B, solve Lᴴ X = B(0..m).
@@ -256,7 +302,18 @@ pub fn gelsy<T: Scalar>(
     let mut ztau = vec![T::zero(); rank];
     gelqf(rank, n, &mut w, rank, &mut ztau);
     // c = (Qᴴ b)(0..rank).
-    ormqr(Side::Left, Trans::ConjTrans, m, nrhs, k, a, lda, &tau, b, ldb);
+    ormqr(
+        Side::Left,
+        Trans::ConjTrans,
+        m,
+        nrhs,
+        k,
+        a,
+        lda,
+        &tau,
+        b,
+        ldb,
+    );
     // Solve L y = c.
     for j in 0..nrhs {
         trsv(
@@ -274,7 +331,18 @@ pub fn gelsy<T: Scalar>(
         }
     }
     // x_z = Zᴴ [y; 0].
-    ormlq(Side::Left, Trans::ConjTrans, n, nrhs, rank, &w, rank, &ztau, b, ldb);
+    ormlq(
+        Side::Left,
+        Trans::ConjTrans,
+        n,
+        nrhs,
+        rank,
+        &w,
+        rank,
+        &ztau,
+        b,
+        ldb,
+    );
     // Undo the column permutation: x(jpvt[i]-1) = x_z(i).
     let mut xp = vec![T::zero(); n];
     for j in 0..nrhs {
@@ -340,7 +408,18 @@ pub fn gglse<T: Scalar>(
             x[i] = d[i];
         }
     }
-    ormlq(Side::Left, Trans::ConjTrans, n, 1, p, b, ldb, &tau, x, n.max(1));
+    ormlq(
+        Side::Left,
+        Trans::ConjTrans,
+        n,
+        1,
+        p,
+        b,
+        ldb,
+        &tau,
+        x,
+        n.max(1),
+    );
     0
 }
 
@@ -365,7 +444,18 @@ pub fn ggglm<T: Scalar>(
     let mut tau = vec![T::zero(); m.min(n)];
     geqrf(n, m, a, lda, &mut tau);
     // d̃ = Qᴴ d; B̃ = Qᴴ B.
-    ormqr(Side::Left, Trans::ConjTrans, n, 1, m, a, lda, &tau, d, n.max(1));
+    ormqr(
+        Side::Left,
+        Trans::ConjTrans,
+        n,
+        1,
+        m,
+        a,
+        lda,
+        &tau,
+        d,
+        n.max(1),
+    );
     ormqr(Side::Left, Trans::ConjTrans, n, p, m, a, lda, &tau, b, ldb);
     // Bottom block: d2 = B2·y with B2 = B̃(m.., :) ((n−m) × p):
     // minimum-norm y via gels.
@@ -387,13 +477,34 @@ pub fn ggglm<T: Scalar>(
     }
     // R·x = d1 − B1·y.
     let mut rhs1 = d[..m].to_vec();
-    gemv(Trans::No, m, p, -T::one(), b, ldb, y, 1, T::one(), &mut rhs1, 1);
+    gemv(
+        Trans::No,
+        m,
+        p,
+        -T::one(),
+        b,
+        ldb,
+        y,
+        1,
+        T::one(),
+        &mut rhs1,
+        1,
+    );
     for i in 0..m {
         if a[i + i * lda].is_zero() {
             return (i + 1) as i32;
         }
     }
-    trsv(Uplo::Upper, Trans::No, Diag::NonUnit, m, a, lda, &mut rhs1, 1);
+    trsv(
+        Uplo::Upper,
+        Trans::No,
+        Diag::NonUnit,
+        m,
+        a,
+        lda,
+        &mut rhs1,
+        1,
+    );
     x[..m].copy_from_slice(&rhs1);
     0
 }
@@ -422,9 +533,33 @@ mod tests {
     fn check_normal_eqs(m: usize, n: usize, a: &[C64], x: &[C64], b: &[C64], tol: f64) {
         let mut r = vec![C64::zero(); m];
         r.copy_from_slice(&b[..m]);
-        gemv(Trans::No, m, n, -C64::one(), a, m, x, 1, C64::one(), &mut r, 1);
+        gemv(
+            Trans::No,
+            m,
+            n,
+            -C64::one(),
+            a,
+            m,
+            x,
+            1,
+            C64::one(),
+            &mut r,
+            1,
+        );
         let mut g = vec![C64::zero(); n];
-        gemv(Trans::ConjTrans, m, n, C64::one(), a, m, &r, 1, C64::zero(), &mut g, 1);
+        gemv(
+            Trans::ConjTrans,
+            m,
+            n,
+            C64::one(),
+            a,
+            m,
+            &r,
+            1,
+            C64::zero(),
+            &mut g,
+            1,
+        );
         for (i, v) in g.iter().enumerate() {
             assert!(v.abs() < tol, "normal-equation residual {i}: {}", v.abs());
         }
@@ -455,7 +590,19 @@ mod tests {
         assert_eq!(gels(Trans::No, m, n, 1, &mut a, m, &mut b, n), 0);
         // Exact solution: A x = b.
         let mut ax = vec![C64::zero(); m];
-        gemv(Trans::No, m, n, C64::one(), &a0, m, &b[..n], 1, C64::zero(), &mut ax, 1);
+        gemv(
+            Trans::No,
+            m,
+            n,
+            C64::one(),
+            &a0,
+            m,
+            &b[..n],
+            1,
+            C64::zero(),
+            &mut ax,
+            1,
+        );
         for i in 0..m {
             assert!((ax[i] - b0[i]).abs() < 1e-11);
         }
@@ -467,13 +614,51 @@ mod tests {
         let mut z = rng.cvec(n);
         // Project z onto the nullspace: z -= Aᴴ(AAᴴ)⁻¹A z.
         let mut az = vec![C64::zero(); m];
-        gemv(Trans::No, m, n, C64::one(), &a0, m, &z, 1, C64::zero(), &mut az, 1);
+        gemv(
+            Trans::No,
+            m,
+            n,
+            C64::one(),
+            &a0,
+            m,
+            &z,
+            1,
+            C64::zero(),
+            &mut az,
+            1,
+        );
         let mut aa = vec![C64::zero(); m * m];
-        gemm(Trans::No, Trans::ConjTrans, m, m, n, C64::one(), &a0, m, &a0, m, C64::zero(), &mut aa, m);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            m,
+            m,
+            n,
+            C64::one(),
+            &a0,
+            m,
+            &a0,
+            m,
+            C64::zero(),
+            &mut aa,
+            m,
+        );
         let mut ipiv = vec![0i32; m];
         crate::lu::gesv(m, 1, &mut aa, m, &mut ipiv, &mut az, m);
         let mut corr = vec![C64::zero(); n];
-        gemv(Trans::ConjTrans, m, n, C64::one(), &a0, m, &az, 1, C64::zero(), &mut corr, 1);
+        gemv(
+            Trans::ConjTrans,
+            m,
+            n,
+            C64::one(),
+            &a0,
+            m,
+            &az,
+            1,
+            C64::zero(),
+            &mut corr,
+            1,
+        );
         for i in 0..n {
             z[i] -= corr[i];
         }
@@ -494,7 +679,19 @@ mod tests {
         b[..n].copy_from_slice(&b0);
         assert_eq!(gels(Trans::ConjTrans, m, n, 1, &mut a, m, &mut b, m), 0);
         let mut ahx = vec![C64::zero(); n];
-        gemv(Trans::ConjTrans, m, n, C64::one(), &a0, m, &b[..m], 1, C64::zero(), &mut ahx, 1);
+        gemv(
+            Trans::ConjTrans,
+            m,
+            n,
+            C64::one(),
+            &a0,
+            m,
+            &b[..m],
+            1,
+            C64::zero(),
+            &mut ahx,
+            1,
+        );
         for i in 0..n {
             assert!((ahx[i] - b0[i]).abs() < 1e-11, "Aᴴx≠b at {i}");
         }
@@ -516,7 +713,12 @@ mod tests {
         assert_eq!(rank, n);
         assert!(s[0] >= s[n - 1]);
         for i in 0..n {
-            assert!((b1[i] - b2[i]).abs() < 1e-10, "x[{i}]: {} vs {}", b1[i], b2[i]);
+            assert!(
+                (b1[i] - b2[i]).abs() < 1e-10,
+                "x[{i}]: {} vs {}",
+                b1[i],
+                b2[i]
+            );
         }
     }
 
@@ -528,7 +730,21 @@ mod tests {
         let u = rng.cvec(m * 2);
         let v = rng.cvec(n * 2);
         let mut a0 = vec![C64::zero(); m * n];
-        gemm(Trans::No, Trans::ConjTrans, m, n, 2, C64::one(), &u, m, &v, n, C64::zero(), &mut a0, m);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            m,
+            n,
+            2,
+            C64::one(),
+            &u,
+            m,
+            &v,
+            n,
+            C64::zero(),
+            &mut a0,
+            m,
+        );
         let b0 = rng.cvec(m);
         let mut a = a0.clone();
         let mut b = b0.clone();
@@ -546,7 +762,21 @@ mod tests {
         let u = rng.cvec(m * 3);
         let v = rng.cvec(n * 3);
         let mut a0 = vec![C64::zero(); m * n];
-        gemm(Trans::No, Trans::ConjTrans, m, n, 3, C64::one(), &u, m, &v, n, C64::zero(), &mut a0, m);
+        gemm(
+            Trans::No,
+            Trans::ConjTrans,
+            m,
+            n,
+            3,
+            C64::one(),
+            &u,
+            m,
+            &v,
+            n,
+            C64::zero(),
+            &mut a0,
+            m,
+        );
         let b0 = rng.cvec(m);
         let mut a1 = a0.clone();
         let mut b1 = b0.clone();
@@ -582,7 +812,10 @@ mod tests {
         let mut c = c0.clone();
         let mut d = d0.clone();
         let mut x = vec![0.0f64; n];
-        assert_eq!(gglse(m, n, p, &mut a, m, &mut b, p, &mut c, &mut d, &mut x), 0);
+        assert_eq!(
+            gglse(m, n, p, &mut a, m, &mut b, p, &mut c, &mut d, &mut x),
+            0
+        );
         // Constraint B x = d.
         let mut bx = vec![0.0f64; p];
         gemv(Trans::No, p, n, 1.0, &b0, p, &x, 1, 0.0, &mut bx, 1);
@@ -624,13 +857,21 @@ mod tests {
         let mut d = d0.clone();
         let mut x = vec![0.0f64; m];
         let mut y = vec![0.0f64; p];
-        assert_eq!(ggglm(n, m, p, &mut a, n, &mut b, n, &mut d, &mut x, &mut y), 0);
+        assert_eq!(
+            ggglm(n, m, p, &mut a, n, &mut b, n, &mut d, &mut x, &mut y),
+            0
+        );
         // d = A x + B y.
         let mut fit = vec![0.0f64; n];
         gemv(Trans::No, n, m, 1.0, &a0, n, &x, 1, 0.0, &mut fit, 1);
         gemv(Trans::No, n, p, 1.0, &b0, n, &y, 1, 1.0, &mut fit, 1);
         for i in 0..n {
-            assert!((fit[i] - d0[i]).abs() < 1e-10, "model eq {i}: {} vs {}", fit[i], d0[i]);
+            assert!(
+                (fit[i] - d0[i]).abs() < 1e-10,
+                "model eq {i}: {} vs {}",
+                fit[i],
+                d0[i]
+            );
         }
     }
 }

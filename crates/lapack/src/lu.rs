@@ -185,7 +185,19 @@ pub fn getrs<T: Scalar>(
         Trans::No => {
             // B := P B; L y = B; U x = y.
             laswp(nrhs, b, ldb, 0, n, ipiv);
-            trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, n, nrhs, T::one(), a, lda, b, ldb);
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::Unit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
             trsm(
                 Side::Left,
                 Uplo::Upper,
@@ -202,8 +214,32 @@ pub fn getrs<T: Scalar>(
         }
         _ => {
             // op(A) = Aᵀ or Aᴴ: Uᵀ y = B; Lᵀ x = y; B := Pᵀ x.
-            trsm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, n, nrhs, T::one(), a, lda, b, ldb);
-            trsm(Side::Left, Uplo::Lower, trans, Diag::Unit, n, nrhs, T::one(), a, lda, b, ldb);
+            trsm(
+                Side::Left,
+                Uplo::Upper,
+                trans,
+                Diag::NonUnit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                trans,
+                Diag::Unit,
+                n,
+                nrhs,
+                T::one(),
+                a,
+                lda,
+                b,
+                ldb,
+            );
             crate::aux::laswp_rev(nrhs, b, ldb, 0, n, ipiv);
         }
     }
@@ -301,7 +337,11 @@ pub fn gecon<T: Scalar>(
     let want_inf = norm == Norm::Inf;
     let ainvnm = lacon::<T>(n, |x, conj_t| {
         let solve_trans = conj_t != want_inf;
-        let tr = if solve_trans { Trans::ConjTrans } else { Trans::No };
+        let tr = if solve_trans {
+            Trans::ConjTrans
+        } else {
+            Trans::No
+        };
         getrs(tr, n, 1, a, lda, ipiv, x, n.max(1));
     });
     if ainvnm.is_zero() {
@@ -734,7 +774,11 @@ pub fn gesvx<T: Scalar>(
     }
     out.rpvgrw = rpvgrw(n, n, a, lda, af, ldaf);
     // Condition estimate in the appropriate norm.
-    let norm = if trans == Trans::No { Norm::One } else { Norm::Inf };
+    let norm = if trans == Trans::No {
+        Norm::One
+    } else {
+        Norm::Inf
+    };
     let anorm = lange(norm, n, n, a, lda);
     out.rcond = gecon(norm, n, af, ldaf, ipiv, anorm);
     // Solve.
@@ -742,7 +786,20 @@ pub fn gesvx<T: Scalar>(
     getrs(trans, n, nrhs, af, ldaf, ipiv, x, ldx);
     // Refine.
     gerfs(
-        trans, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, &mut out.ferr, &mut out.berr,
+        trans,
+        n,
+        nrhs,
+        a,
+        lda,
+        af,
+        ldaf,
+        ipiv,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
     );
     // Undo the solution scaling.
     for j in 0..nrhs {
@@ -759,7 +816,11 @@ pub fn gesvx<T: Scalar>(
             }
         }
     }
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -843,7 +904,9 @@ mod tests {
         let n = 200;
         let mut rng = 1u64;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a0: Vec<f64> = (0..n * n).map(|_| next()).collect();
@@ -876,7 +939,21 @@ mod tests {
         assert_eq!(getri(n, &mut a, n, &ipiv), 0);
         // A * inv(A) = I.
         let mut prod = vec![0.0f64; n * n];
-        gemm(Trans::No, Trans::No, n, n, n, 1.0, &a0, n, &a, n, 0.0, &mut prod, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            &a0,
+            n,
+            &a,
+            n,
+            0.0,
+            &mut prod,
+            n,
+        );
         for j in 0..n {
             for i in 0..n {
                 let want = if i == j { 1.0 } else { 0.0 };
@@ -947,7 +1024,9 @@ mod tests {
         assert!(amax > 1e7);
         // After scaling, every row max should be ~1.
         for i in 0..n {
-            let m = (0..n).map(|j| (a[i + j * n] * r[i]).abs()).fold(0.0, f64::max);
+            let m = (0..n)
+                .map(|j| (a[i + j * n] * r[i]).abs())
+                .fold(0.0, f64::max);
             assert!((m - 1.0).abs() < 1e-12);
         }
     }
@@ -964,7 +1043,21 @@ mod tests {
         let a0: Vec<f64> = (0..n * n).map(|_| next()).collect();
         let xtrue: Vec<f64> = (0..n * nrhs).map(|_| next()).collect();
         let mut b = vec![0.0f64; n * nrhs];
-        gemm(Trans::No, Trans::No, n, nrhs, n, 1.0, &a0, n, &xtrue, n, 0.0, &mut b, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            nrhs,
+            n,
+            1.0,
+            &a0,
+            n,
+            &xtrue,
+            n,
+            0.0,
+            &mut b,
+            n,
+        );
 
         let mut a = a0.clone();
         let mut af = vec![0.0f64; n * n];

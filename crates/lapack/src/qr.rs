@@ -83,7 +83,15 @@ pub fn geqrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [
         geqr2(m - i, ib, &mut a[i + i * lda..], lda, &mut tau[i..i + ib]);
         if i + ib < n {
             // Form T and apply Hᴴ to the trailing matrix.
-            larft(m - i, ib, &a[i + i * lda..], lda, &tau[i..i + ib], &mut t, nb);
+            larft(
+                m - i,
+                ib,
+                &a[i + i * lda..],
+                lda,
+                &tau[i..i + ib],
+                &mut t,
+                nb,
+            );
             // larfb needs V (in the panel) and C (trailing) disjoint: the
             // panel columns i..i+ib vs trailing columns i+ib.. — split.
             let (panel, trail) = a.split_at_mut((i + ib) * lda);
@@ -367,7 +375,9 @@ pub fn geqp3<T: Scalar>(
     let k = m.min(n);
     let mut work = vec![T::zero(); n];
     // Column norms (current and original, for the downdate safeguard).
-    let mut vn1: Vec<T::Real> = (0..n).map(|j| nrm2(m, &a[j * lda..j * lda + m], 1)).collect();
+    let mut vn1: Vec<T::Real> = (0..n)
+        .map(|j| nrm2(m, &a[j * lda..j * lda + m], 1))
+        .collect();
     let mut vn2 = vn1.clone();
     for (j, p) in jpvt.iter_mut().enumerate().take(n) {
         *p = (j + 1) as i32;
@@ -408,7 +418,17 @@ pub fn geqp3<T: Scalar>(
                 let (head, tail) = a.split_at_mut(split);
                 (&head[i + i * lda..i + i * lda + (m - i)], tail)
             };
-            larf(Side::Left, m - i, n - i - 1, vcol, 1, taui_c, &mut rest[i..], lda, &mut work);
+            larf(
+                Side::Left,
+                m - i,
+                n - i - 1,
+                vcol,
+                1,
+                taui_c,
+                &mut rest[i..],
+                lda,
+                &mut work,
+            );
         }
         a[i + i * lda] = T::from_real(beta);
         // Downdate the partial column norms.
@@ -442,7 +462,7 @@ pub fn geqp3<T: Scalar>(
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Trans, Uplo};
+    use la_core::{Trans, Uplo, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -456,7 +476,11 @@ mod tests {
     }
 
     fn frob_diff(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(&x, &y)| (x - y).norm_sqr()).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -480,7 +504,21 @@ mod tests {
             assert_eq!(orgqr(m, k, k, &mut q, m, &tau), 0);
             // Orthonormal columns: QᴴQ = I.
             let mut qtq = vec![C64::zero(); k * k];
-            gemm(Trans::ConjTrans, Trans::No, k, k, m, C64::one(), &q, m, &q, m, C64::zero(), &mut qtq, k);
+            gemm(
+                Trans::ConjTrans,
+                Trans::No,
+                k,
+                k,
+                m,
+                C64::one(),
+                &q,
+                m,
+                &q,
+                m,
+                C64::zero(),
+                &mut qtq,
+                k,
+            );
             for j in 0..k {
                 for i in 0..k {
                     let want = if i == j { C64::one() } else { C64::zero() };
@@ -489,8 +527,25 @@ mod tests {
             }
             // Q·R = A.
             let mut qr = vec![C64::zero(); m * n];
-            gemm(Trans::No, Trans::No, m, n, k, C64::one(), &q, m, &r, k, C64::zero(), &mut qr, m);
-            assert!(frob_diff(&qr, &a0) < 1e-12 * (m * n) as f64, "({m},{n}) QR=A");
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                C64::one(),
+                &q,
+                m,
+                &r,
+                k,
+                C64::zero(),
+                &mut qr,
+                m,
+            );
+            assert!(
+                frob_diff(&qr, &a0) < 1e-12 * (m * n) as f64,
+                "({m},{n}) QR=A"
+            );
         }
     }
 
@@ -537,8 +592,25 @@ mod tests {
             let mut c = c0.clone();
             ormqr(Side::Left, trans, m, n, k, &f, m, &tau, &mut c, m);
             let mut cref = vec![C64::zero(); m * n];
-            gemm(trans, Trans::No, m, n, m, C64::one(), &qfull, m, &c0, m, C64::zero(), &mut cref, m);
-            assert!(frob_diff(&c, &cref) < 1e-12 * (m * n) as f64, "left {trans:?}");
+            gemm(
+                trans,
+                Trans::No,
+                m,
+                n,
+                m,
+                C64::one(),
+                &qfull,
+                m,
+                &c0,
+                m,
+                C64::zero(),
+                &mut cref,
+                m,
+            );
+            assert!(
+                frob_diff(&c, &cref) < 1e-12 * (m * n) as f64,
+                "left {trans:?}"
+            );
         }
         // Right side: C is n×m.
         let c0 = rng.cvec(n * m);
@@ -546,8 +618,25 @@ mod tests {
             let mut c = c0.clone();
             ormqr(Side::Right, trans, n, m, k, &f, m, &tau, &mut c, n);
             let mut cref = vec![C64::zero(); n * m];
-            gemm(Trans::No, trans, n, m, m, C64::one(), &c0, n, &qfull, m, C64::zero(), &mut cref, n);
-            assert!(frob_diff(&c, &cref) < 1e-12 * (m * n) as f64, "right {trans:?}");
+            gemm(
+                Trans::No,
+                trans,
+                n,
+                m,
+                m,
+                C64::one(),
+                &c0,
+                n,
+                &qfull,
+                m,
+                C64::zero(),
+                &mut cref,
+                n,
+            );
+            assert!(
+                frob_diff(&c, &cref) < 1e-12 * (m * n) as f64,
+                "right {trans:?}"
+            );
         }
     }
 
@@ -571,7 +660,21 @@ mod tests {
             let mut q = f.clone();
             assert_eq!(orglq(k, n, k, &mut q, m, &tau), 0);
             let mut qqt = vec![C64::zero(); k * k];
-            gemm(Trans::No, Trans::ConjTrans, k, k, n, C64::one(), &q, m, &q, m, C64::zero(), &mut qqt, k);
+            gemm(
+                Trans::No,
+                Trans::ConjTrans,
+                k,
+                k,
+                n,
+                C64::one(),
+                &q,
+                m,
+                &q,
+                m,
+                C64::zero(),
+                &mut qqt,
+                k,
+            );
             for j in 0..k {
                 for i in 0..k {
                     let want = if i == j { C64::one() } else { C64::zero() };
@@ -583,8 +686,25 @@ mod tests {
                 }
             }
             let mut lq = vec![C64::zero(); m * n];
-            gemm(Trans::No, Trans::No, m, n, k, C64::one(), &l, m, &q, m, C64::zero(), &mut lq, m);
-            assert!(frob_diff(&lq, &a0) < 1e-11 * (m * n) as f64, "({m},{n}) LQ=A");
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                C64::one(),
+                &l,
+                m,
+                &q,
+                m,
+                C64::zero(),
+                &mut lq,
+                m,
+            );
+            assert!(
+                frob_diff(&lq, &a0) < 1e-11 * (m * n) as f64,
+                "({m},{n}) LQ=A"
+            );
         }
     }
 
@@ -610,8 +730,25 @@ mod tests {
             let mut c = c0.clone();
             ormlq(Side::Left, trans, nq, n, k, &f, k, &tau, &mut c, nq);
             let mut cref = vec![C64::zero(); nq * n];
-            gemm(trans, Trans::No, nq, n, nq, C64::one(), &qfull, nq, &c0, nq, C64::zero(), &mut cref, nq);
-            assert!(frob_diff(&c, &cref) < 1e-12 * (nq * n) as f64, "ormlq left {trans:?}");
+            gemm(
+                trans,
+                Trans::No,
+                nq,
+                n,
+                nq,
+                C64::one(),
+                &qfull,
+                nq,
+                &c0,
+                nq,
+                C64::zero(),
+                &mut cref,
+                nq,
+            );
+            assert!(
+                frob_diff(&c, &cref) < 1e-12 * (nq * n) as f64,
+                "ormlq left {trans:?}"
+            );
         }
     }
 
@@ -649,7 +786,21 @@ mod tests {
         let mut q = f.clone();
         orgqr(m, k, k, &mut q, m, &tau);
         let mut qr = vec![C64::zero(); m * n];
-        gemm(Trans::No, Trans::No, m, n, k, C64::one(), &q, m, &r, k, C64::zero(), &mut qr, m);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            C64::one(),
+            &q,
+            m,
+            &r,
+            k,
+            C64::zero(),
+            &mut qr,
+            m,
+        );
         for j in 0..n {
             let src = (jpvt[j] - 1) as usize;
             for i in 0..m {

@@ -243,10 +243,7 @@ pub fn hgeqz<R: RealScalar>(
             for k in ll..iu {
                 // Left rotation zeroing the subdiagonal bulge of (A − σB).
                 let (f, g) = if k == ll {
-                    (
-                        a[k + k * lda] - sigma * b[k + k * ldb],
-                        a[k + 1 + k * lda],
-                    )
+                    (a[k + k * lda] - sigma * b[k + k * ldb], a[k + 1 + k * lda])
                 } else {
                     (a[k + (k - 1) * lda], a[k + 1 + (k - 1) * lda])
                 };
@@ -444,7 +441,7 @@ pub fn gegv_qz_real<R: RealScalar>(
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Trans};
+    use la_core::{Trans, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -453,7 +450,9 @@ mod tests {
             ((self.0 >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         }
         fn cmat(&mut self, n: usize) -> Vec<C64> {
-            (0..n * n).map(|_| C64::new(self.next(), self.next())).collect()
+            (0..n * n)
+                .map(|_| C64::new(self.next(), self.next()))
+                .collect()
         }
     }
 
@@ -470,20 +469,65 @@ mod tests {
         // Q, Z unitary.
         for (name, m) in [("Q", q), ("Z", z)] {
             let mut g = vec![C64::zero(); n * n];
-            gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), m, n, m, n, C64::zero(), &mut g, n);
+            gemm(
+                Trans::ConjTrans,
+                Trans::No,
+                n,
+                n,
+                n,
+                C64::one(),
+                m,
+                n,
+                m,
+                n,
+                C64::zero(),
+                &mut g,
+                n,
+            );
             for j in 0..n {
                 for i in 0..n {
                     let want = if i == j { C64::one() } else { C64::zero() };
-                    assert!((g[i + j * n] - want).abs() < tol, "{name} not unitary ({i},{j})");
+                    assert!(
+                        (g[i + j * n] - want).abs() < tol,
+                        "{name} not unitary ({i},{j})"
+                    );
                 }
             }
         }
         // A = Q S Zᴴ, B = Q P Zᴴ.
         for (name, orig, tri) in [("A", a0, s), ("B", b0, p)] {
             let mut qt = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::No, n, n, n, C64::one(), q, n, tri, n, C64::zero(), &mut qt, n);
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                C64::one(),
+                q,
+                n,
+                tri,
+                n,
+                C64::zero(),
+                &mut qt,
+                n,
+            );
             let mut rec = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &qt, n, z, n, C64::zero(), &mut rec, n);
+            gemm(
+                Trans::No,
+                Trans::ConjTrans,
+                n,
+                n,
+                n,
+                C64::one(),
+                &qt,
+                n,
+                z,
+                n,
+                C64::zero(),
+                &mut rec,
+                n,
+            );
             for k in 0..n * n {
                 assert!(
                     (rec[k] - orig[k]).abs() < tol,
@@ -528,11 +572,42 @@ mod tests {
         // A = Q H Zᴴ, B = Q T Zᴴ.
         for (orig, red) in [(&a0, &a), (&b0, &b)] {
             let mut qt = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::No, n, n, n, C64::one(), &q, n, red, n, C64::zero(), &mut qt, n);
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                C64::one(),
+                &q,
+                n,
+                red,
+                n,
+                C64::zero(),
+                &mut qt,
+                n,
+            );
             let mut rec = vec![C64::zero(); n * n];
-            gemm(Trans::No, Trans::ConjTrans, n, n, n, C64::one(), &qt, n, &z, n, C64::zero(), &mut rec, n);
+            gemm(
+                Trans::No,
+                Trans::ConjTrans,
+                n,
+                n,
+                n,
+                C64::one(),
+                &qt,
+                n,
+                &z,
+                n,
+                C64::zero(),
+                &mut rec,
+                n,
+            );
             for k in 0..n * n {
-                assert!((rec[k] - orig[k]).abs() < 1e-12 * n as f64, "similarity broken at {k}");
+                assert!(
+                    (rec[k] - orig[k]).abs() < 1e-12 * n as f64,
+                    "similarity broken at {k}"
+                );
             }
         }
     }
@@ -547,7 +622,16 @@ mod tests {
             let mut b = b0.clone();
             let (info, out) = gegs_cplx(n, &mut a, n, &mut b, n);
             assert_eq!(info, 0, "n={n}");
-            check_schur_pair(n, &a0, &b0, &a, &b, &out.q, &out.z, 1e-10 * (n as f64 + 1.0));
+            check_schur_pair(
+                n,
+                &a0,
+                &b0,
+                &a,
+                &b,
+                &out.q,
+                &out.z,
+                1e-10 * (n as f64 + 1.0),
+            );
             // Eigenvalue check: det(β_j·A − α_j·B) = 0 via σ_min.
             for j in 0..n {
                 let mut pencil: Vec<C64> = (0..n * n)

@@ -433,8 +433,16 @@ pub fn gesvd<T: Scalar>(
         n,
         &mut d,
         &mut e,
-        if want_vt { Some((&mut vt[..], n, n)) } else { None },
-        if want_u { Some((&mut u[..], m, m)) } else { None },
+        if want_vt {
+            Some((&mut vt[..], n, n))
+        } else {
+            None
+        },
+        if want_u {
+            Some((&mut u[..], m, m))
+        } else {
+            None
+        },
     );
     (d, u, vt, info)
 }
@@ -443,7 +451,7 @@ pub fn gesvd<T: Scalar>(
 mod tests {
     use super::*;
     use la_blas::gemm;
-    use la_core::{C64, Trans as Tr};
+    use la_core::{Trans as Tr, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -467,14 +475,50 @@ mod tests {
         }
         // U, VT orthonormal.
         let mut uhu = vec![C64::zero(); k * k];
-        gemm(Tr::ConjTrans, Tr::No, k, k, m, C64::one(), u, m, u, m, C64::zero(), &mut uhu, k);
+        gemm(
+            Tr::ConjTrans,
+            Tr::No,
+            k,
+            k,
+            m,
+            C64::one(),
+            u,
+            m,
+            u,
+            m,
+            C64::zero(),
+            &mut uhu,
+            k,
+        );
         let mut vvh = vec![C64::zero(); k * k];
-        gemm(Tr::No, Tr::ConjTrans, k, k, n, C64::one(), vt, k, vt, k, C64::zero(), &mut vvh, k);
+        gemm(
+            Tr::No,
+            Tr::ConjTrans,
+            k,
+            k,
+            n,
+            C64::one(),
+            vt,
+            k,
+            vt,
+            k,
+            C64::zero(),
+            &mut vvh,
+            k,
+        );
         for j in 0..k {
             for i in 0..k {
                 let want = if i == j { C64::one() } else { C64::zero() };
-                assert!((uhu[i + j * k] - want).abs() < tol, "UᴴU ({i},{j}) = {}", uhu[i + j * k]);
-                assert!((vvh[i + j * k] - want).abs() < tol, "VVᴴ ({i},{j}) = {}", vvh[i + j * k]);
+                assert!(
+                    (uhu[i + j * k] - want).abs() < tol,
+                    "UᴴU ({i},{j}) = {}",
+                    uhu[i + j * k]
+                );
+                assert!(
+                    (vvh[i + j * k] - want).abs() < tol,
+                    "VVᴴ ({i},{j}) = {}",
+                    vvh[i + j * k]
+                );
             }
         }
         // U Σ Vᴴ = A.
@@ -485,7 +529,21 @@ mod tests {
             }
         }
         let mut rec = vec![C64::zero(); m * n];
-        gemm(Tr::No, Tr::No, m, n, k, C64::one(), &us, m, vt, k, C64::zero(), &mut rec, m);
+        gemm(
+            Tr::No,
+            Tr::No,
+            m,
+            n,
+            k,
+            C64::one(),
+            &us,
+            m,
+            vt,
+            k,
+            C64::zero(),
+            &mut rec,
+            m,
+        );
         for idx in 0..m * n {
             assert!(
                 (rec[idx] - a0[idx]).abs() < tol,
@@ -519,9 +577,37 @@ mod tests {
         let mut q = f.clone();
         orgbr_q(m, n, &mut q, m, &tauq);
         let mut qb = vec![C64::zero(); m * n];
-        gemm(Tr::No, Tr::No, m, n, n, C64::one(), &q, m, &b, n, C64::zero(), &mut qb, m);
+        gemm(
+            Tr::No,
+            Tr::No,
+            m,
+            n,
+            n,
+            C64::one(),
+            &q,
+            m,
+            &b,
+            n,
+            C64::zero(),
+            &mut qb,
+            m,
+        );
         let mut rec = vec![C64::zero(); m * n];
-        gemm(Tr::No, Tr::No, m, n, n, C64::one(), &qb, m, &pt, n, C64::zero(), &mut rec, m);
+        gemm(
+            Tr::No,
+            Tr::No,
+            m,
+            n,
+            n,
+            C64::one(),
+            &qb,
+            m,
+            &pt,
+            n,
+            C64::zero(),
+            &mut rec,
+            m,
+        );
         for idx in 0..m * n {
             assert!(
                 (rec[idx] - a0[idx]).abs() < 1e-12 * (m * n) as f64,
@@ -556,7 +642,11 @@ mod tests {
     fn gesvd_wide_real_via_transpose() {
         let mut rng = Rng(13);
         let (m, n) = (4usize, 9usize);
-        let a0: Vec<C64> = rng.cvec(m * n).iter().map(|z| C64::from_real(z.re)).collect();
+        let a0: Vec<C64> = rng
+            .cvec(m * n)
+            .iter()
+            .map(|z| C64::from_real(z.re))
+            .collect();
         let mut a = a0.clone();
         let (s, u, vt, info) = gesvd(true, true, m, n, &mut a, m);
         assert_eq!(info, 0);
@@ -573,12 +663,31 @@ mod tests {
         let (s, _, _, info) = gesvd(false, false, n, n, &mut a, n);
         assert_eq!(info, 0);
         let mut gram = vec![C64::zero(); n * n];
-        gemm(Tr::ConjTrans, Tr::No, n, n, n, C64::one(), &a0, n, &a0, n, C64::zero(), &mut gram, n);
+        gemm(
+            Tr::ConjTrans,
+            Tr::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &a0,
+            n,
+            &a0,
+            n,
+            C64::zero(),
+            &mut gram,
+            n,
+        );
         let mut w = vec![0.0; n];
         crate::eigsym::syev(false, la_core::Uplo::Upper, n, &mut gram, n, &mut w);
         for i in 0..n {
             let want = w[n - 1 - i].max(0.0).sqrt();
-            assert!((s[i] - want).abs() < 1e-10 * (1.0 + want), "σ_{i} = {} want {}", s[i], want);
+            assert!(
+                (s[i] - want).abs() < 1e-10 * (1.0 + want),
+                "σ_{i} = {} want {}",
+                s[i],
+                want
+            );
         }
     }
 
@@ -599,6 +708,5 @@ mod tests {
             assert!(sv < 1e-12 * s[0], "extra singular value {sv}");
         }
         check_svd(m, n, &a0, &s, &u, &vt, 1e-11 * (m * n) as f64);
-
     }
 }

@@ -7,7 +7,7 @@
 use la_blas::{sbmv, spmv};
 use la_core::{RealScalar, Scalar, Trans, Uplo};
 
-use crate::aux::{lacon, lansp_one, lansy, langb_one, langt_one, lanst};
+use crate::aux::{lacon, langb_one, langt_one, lansp_one, lanst, lansy};
 use crate::band::{gbcon, gbrfs, gbtrf, gbtrs, gt_matvec, gtcon, gttrf, gttrs};
 use crate::chol::{pbtrf, pbtrs, ppcon, pptrf, pptrs, pttrf, pttrs};
 use crate::lu::{refine_generic, Fact};
@@ -72,10 +72,28 @@ pub fn gbsvx<T: Scalar>(
     crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
     gbtrs(trans, n, kl, ku, nrhs, afb, ldafb, ipiv, x, ldx);
     gbrfs(
-        trans, n, kl, ku, nrhs, ab, ldab, afb, ldafb, ipiv, b, ldb, x, ldx, &mut out.ferr,
+        trans,
+        n,
+        kl,
+        ku,
+        nrhs,
+        ab,
+        ldab,
+        afb,
+        ldafb,
+        ipiv,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
         &mut out.berr,
     );
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -162,8 +180,24 @@ pub fn gtsvx<T: Scalar>(
         };
         gttrs(tr, n, 1, dlf, df, duf, du2, ipiv, rhs, n.max(1));
     };
-    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    refine_generic(
+        n,
+        nrhs,
+        &matvec,
+        &absmv,
+        &solve,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -202,9 +236,27 @@ pub fn sysvx<T: Scalar>(
     crate::aux::lacpy(None, n, nrhs, b, ldb, x, ldx);
     sytrs(uplo, herm, n, nrhs, af, ldaf, ipiv, x, ldx);
     syrfs(
-        uplo, herm, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, &mut out.ferr, &mut out.berr,
+        uplo,
+        herm,
+        n,
+        nrhs,
+        a,
+        lda,
+        af,
+        ldaf,
+        ipiv,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
     );
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -250,7 +302,18 @@ pub fn spsvx<T: Scalar>(
     sptrs(uplo, herm, n, nrhs, afp, ipiv, x, ldx);
     let matvec = |_ct: bool, v: &[T], y: &mut [T]| {
         y.fill(T::zero());
-        spmv(herm && T::IS_COMPLEX, uplo, n, T::one(), ap, v, 1, T::zero(), y, 1);
+        spmv(
+            herm && T::IS_COMPLEX,
+            uplo,
+            n,
+            T::one(),
+            ap,
+            v,
+            1,
+            T::zero(),
+            y,
+            1,
+        );
     };
     let absmv = |v: &[T::Real], y: &mut [T::Real]| {
         let idx = |i: usize, j: usize| -> usize {
@@ -287,8 +350,24 @@ pub fn spsvx<T: Scalar>(
     let solve = |_ct: bool, rhs: &mut [T]| {
         sptrs(uplo, herm, n, 1, afp, ipiv, rhs, n.max(1));
     };
-    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    refine_generic(
+        n,
+        nrhs,
+        &matvec,
+        &absmv,
+        &solve,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -362,8 +441,24 @@ pub fn ppsvx<T: Scalar>(
     let solve = |_ct: bool, rhs: &mut [T]| {
         pptrs(uplo, n, 1, afp, rhs, n.max(1));
     };
-    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    refine_generic(
+        n,
+        nrhs,
+        &matvec,
+        &absmv,
+        &solve,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -447,7 +542,20 @@ pub fn pbsvx<T: Scalar>(
     pbtrs(uplo, n, kd, nrhs, afb, ldafb, x, ldx);
     let matvec = |_ct: bool, v: &[T], y: &mut [T]| {
         y.fill(T::zero());
-        sbmv(T::IS_COMPLEX, uplo, n, kd, T::one(), ab, ldab, v, 1, T::zero(), y, 1);
+        sbmv(
+            T::IS_COMPLEX,
+            uplo,
+            n,
+            kd,
+            T::one(),
+            ab,
+            ldab,
+            v,
+            1,
+            T::zero(),
+            y,
+            1,
+        );
     };
     let absmv = |v: &[T::Real], y: &mut [T::Real]| {
         for yi in y.iter_mut() {
@@ -480,8 +588,24 @@ pub fn pbsvx<T: Scalar>(
     let solve = |_ct: bool, rhs: &mut [T]| {
         pbtrs(uplo, n, kd, 1, afb, ldafb, rhs, n.max(1));
     };
-    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    refine_generic(
+        n,
+        nrhs,
+        &matvec,
+        &absmv,
+        &solve,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -514,7 +638,11 @@ pub fn ptsvx<T: Scalar>(
         }
     }
     // 1-norm of the Hermitian tridiagonal.
-    let eabs: Vec<T::Real> = e.iter().take(n.saturating_sub(1)).map(|v| v.abs()).collect();
+    let eabs: Vec<T::Real> = e
+        .iter()
+        .take(n.saturating_sub(1))
+        .map(|v| v.abs())
+        .collect();
     let anorm = lanst(la_core::Norm::One, n, d, &eabs);
     let ainv = lacon::<T>(n, |v, _| {
         pttrs(n, 1, df, ef, v, n.max(1));
@@ -553,8 +681,24 @@ pub fn ptsvx<T: Scalar>(
     let solve = |_ct: bool, rhs: &mut [T]| {
         pttrs(n, 1, df, ef, rhs, n.max(1));
     };
-    refine_generic(n, nrhs, &matvec, &absmv, &solve, b, ldb, x, ldx, &mut out.ferr, &mut out.berr);
-    let info = if out.rcond < T::Real::EPS { (n + 1) as i32 } else { 0 };
+    refine_generic(
+        n,
+        nrhs,
+        &matvec,
+        &absmv,
+        &solve,
+        b,
+        ldb,
+        x,
+        ldx,
+        &mut out.ferr,
+        &mut out.berr,
+    );
+    let info = if out.rcond < T::Real::EPS {
+        (n + 1) as i32
+    } else {
+        0
+    };
     (info, out)
 }
 
@@ -622,7 +766,9 @@ mod tests {
         let n = 12;
         let dl: Vec<C64> = (0..n - 1).map(|i| C64::new(0.5, 0.1 * i as f64)).collect();
         let d: Vec<C64> = (0..n).map(|_| C64::new(4.0, 0.0)).collect();
-        let du: Vec<C64> = (0..n - 1).map(|i| C64::new(-0.3, 0.2 * (i % 2) as f64)).collect();
+        let du: Vec<C64> = (0..n - 1)
+            .map(|i| C64::new(-0.3, 0.2 * (i % 2) as f64))
+            .collect();
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 1.0)).collect();
         let mut b = vec![C64::zero(); n];
         gt_matvec(Trans::No, n, &dl, &d, &du, &xtrue, &mut b);
@@ -658,7 +804,9 @@ mod tests {
 
         // SPD tridiagonal.
         let dr: Vec<f64> = vec![3.0; n];
-        let er: Vec<C64> = (0..n - 1).map(|i| C64::new(0.4, -0.2 * (i % 3) as f64)).collect();
+        let er: Vec<C64> = (0..n - 1)
+            .map(|i| C64::new(0.4, -0.2 * (i % 3) as f64))
+            .collect();
         let mut bb = vec![C64::zero(); n];
         for i in 0..n {
             let mut s = xtrue[i].scale(dr[i]);
@@ -715,7 +863,19 @@ mod tests {
         }
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(1.0, -(i as f64))).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &a, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &a,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         let mut af = vec![C64::zero(); n * n];
         let mut ipiv = vec![0i32; n];
         let mut x = vec![C64::zero(); n];
@@ -793,7 +953,19 @@ mod tests {
         }
         let xtrue: Vec<C64> = (0..n).map(|i| C64::new(0.5 * i as f64, 1.0)).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &dense, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &dense,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
 
         // Packed.
         let mut ap = vec![C64::zero(); n * (n + 1) / 2];
@@ -806,7 +978,18 @@ mod tests {
         }
         let mut afp = vec![C64::zero(); n * (n + 1) / 2];
         let mut x = vec![C64::zero(); n];
-        let (info, out) = ppsvx(Fact::NotFactored, Uplo::Upper, n, 1, &ap, &mut afp, &b, n, &mut x, n);
+        let (info, out) = ppsvx(
+            Fact::NotFactored,
+            Uplo::Upper,
+            n,
+            1,
+            &ap,
+            &mut afp,
+            &b,
+            n,
+            &mut x,
+            n,
+        );
         assert_eq!(info, 0);
         assert!(out.rcond > 0.05);
         for i in 0..n {

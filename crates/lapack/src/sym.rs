@@ -48,8 +48,9 @@ pub fn sytf2<T: Scalar>(
     lda: usize,
     ipiv: &mut [i32],
 ) -> i32 {
-    let alpha = (T::Real::one() + T::Real::from_f64(17.0).rsqrt() * T::Real::from_f64(17.0).rsqrt())
-        .rsqrt();
+    let alpha = (T::Real::one()
+        + T::Real::from_f64(17.0).rsqrt() * T::Real::from_f64(17.0).rsqrt())
+    .rsqrt();
     // alpha = (1 + sqrt(17)) / 8 — compute cleanly:
     let alpha = {
         let _ = alpha;
@@ -754,7 +755,7 @@ pub fn spsv<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use la_core::{C64, Trans};
+    use la_core::{Trans, C64};
 
     struct Rng(u64);
     impl Rng {
@@ -775,7 +776,11 @@ mod tests {
                 } else {
                     C64::new(r.next(), 0.0)
                 };
-                let v = if herm && i == j { C64::from_real(v.re) } else { v };
+                let v = if herm && i == j {
+                    C64::from_real(v.re)
+                } else {
+                    v
+                };
                 a[i + j * n] = v;
                 a[j + i * n] = if herm { v.conj() } else { v };
             }
@@ -793,7 +798,19 @@ mod tests {
         let mut r = Rng(987);
         let xtrue: Vec<C64> = (0..n).map(|_| C64::new(r.next(), r.next())).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), a0, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            a0,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         assert_eq!(sytrs(uplo, herm, n, 1, &f, n, &ipiv, &mut b, n), 0);
         for i in 0..n {
             assert!(
@@ -835,12 +852,7 @@ mod tests {
     #[test]
     fn forces_2x2_pivots() {
         // [0 1; 1 0] requires a 2x2 pivot.
-        let a = vec![
-            C64::zero(),
-            C64::one(),
-            C64::one(),
-            C64::zero(),
-        ];
+        let a = vec![C64::zero(), C64::one(), C64::one(), C64::zero()];
         let mut f = a.clone();
         let mut ipiv = vec![0i32; 2];
         assert_eq!(sytf2(Uplo::Lower, false, 2, &mut f, 2, &mut ipiv), 0);
@@ -871,7 +883,19 @@ mod tests {
                 let mut r = Rng(55);
                 let xtrue: Vec<C64> = (0..n).map(|_| C64::new(r.next(), r.next())).collect();
                 let mut b = vec![C64::zero(); n];
-                la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &xtrue, 1, C64::zero(), &mut b, 1);
+                la_blas::gemv(
+                    Trans::No,
+                    n,
+                    n,
+                    C64::one(),
+                    &a0,
+                    n,
+                    &xtrue,
+                    1,
+                    C64::zero(),
+                    &mut b,
+                    1,
+                );
                 let mut ipiv = vec![0i32; n];
                 assert_eq!(spsv(uplo, herm, n, 1, &mut ap, &mut ipiv, &mut b, n), 0);
                 for i in 0..n {
@@ -900,7 +924,19 @@ mod tests {
         let mut r = Rng(3);
         let xtrue: Vec<C64> = (0..n).map(|_| C64::from_real(r.next())).collect();
         let mut b = vec![C64::zero(); n];
-        la_blas::gemv(Trans::No, n, n, C64::one(), &a0, n, &xtrue, 1, C64::zero(), &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            C64::one(),
+            &a0,
+            n,
+            &xtrue,
+            1,
+            C64::zero(),
+            &mut b,
+            1,
+        );
         let mut f = a0.clone();
         let mut ipiv = vec![0i32; n];
         assert_eq!(sytrf(Uplo::Upper, false, n, &mut f, n, &mut ipiv), 0);
@@ -909,7 +945,21 @@ mod tests {
         let mut ferr = vec![0.0f64];
         let mut berr = vec![0.0f64];
         syrfs(
-            Uplo::Upper, false, n, 1, &a0, n, &f, n, &ipiv, &b, n, &mut x, n, &mut ferr, &mut berr,
+            Uplo::Upper,
+            false,
+            n,
+            1,
+            &a0,
+            n,
+            &f,
+            n,
+            &ipiv,
+            &b,
+            n,
+            &mut x,
+            n,
+            &mut ferr,
+            &mut berr,
         );
         assert!(berr[0] < 1e-12);
         for i in 0..n {

@@ -139,7 +139,21 @@ pub fn lagge<T: Scalar>(rng: &mut Larnv, m: usize, n: usize, d: &[T::Real]) -> V
         }
     }
     let mut a = vec![T::zero(); m * n];
-    gemm(Trans::No, Trans::No, m, n, k, T::one(), &ud, m, &v, n, T::zero(), &mut a, m);
+    gemm(
+        Trans::No,
+        Trans::No,
+        m,
+        n,
+        k,
+        T::one(),
+        &ud,
+        m,
+        &v,
+        n,
+        T::zero(),
+        &mut a,
+        m,
+    );
     a
 }
 
@@ -216,11 +230,26 @@ pub fn latms_sym<T: Scalar>(rng: &mut Larnv, n: usize, d: &[T::Real]) -> Vec<T> 
         }
     }
     let mut a = vec![T::zero(); n * n];
-    gemm(Trans::No, Trans::ConjTrans, n, n, n, T::one(), &qd, n, &q, n, T::zero(), &mut a, n);
+    gemm(
+        Trans::No,
+        Trans::ConjTrans,
+        n,
+        n,
+        n,
+        T::one(),
+        &qd,
+        n,
+        &q,
+        n,
+        T::zero(),
+        &mut a,
+        n,
+    );
     // Force exact Hermitian symmetry (rounding dust).
     for j in 0..n {
         for i in 0..j {
-            let avg = (a[i + j * n] + a[j + i * n].conj()).div_real(T::Real::one() + T::Real::one());
+            let avg =
+                (a[i + j * n] + a[j + i * n].conj()).div_real(T::Real::one() + T::Real::one());
             a[i + j * n] = avg;
             a[j + i * n] = avg.conj();
         }
@@ -232,7 +261,7 @@ pub fn latms_sym<T: Scalar>(rng: &mut Larnv, n: usize, d: &[T::Real]) -> Vec<T> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use la_core::{C64, Norm};
+    use la_core::{Norm, C64};
 
     #[test]
     fn larnv_distributions() {
@@ -256,7 +285,21 @@ mod tests {
         let n = 12;
         let q: Vec<C64> = laror(&mut rng, n);
         let mut qhq = vec![C64::zero(); n * n];
-        gemm(Trans::ConjTrans, Trans::No, n, n, n, C64::one(), &q, n, &q, n, C64::zero(), &mut qhq, n);
+        gemm(
+            Trans::ConjTrans,
+            Trans::No,
+            n,
+            n,
+            n,
+            C64::one(),
+            &q,
+            n,
+            &q,
+            n,
+            C64::zero(),
+            &mut qhq,
+            n,
+        );
         for j in 0..n {
             for i in 0..n {
                 let want = if i == j { C64::one() } else { C64::zero() };
@@ -277,7 +320,12 @@ mod tests {
         let mut dsorted = d.clone();
         dsorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
         for i in 0..n {
-            assert!((s[i] - dsorted[i]).abs() < 1e-12, "σ_{i}: {} vs {}", s[i], dsorted[i]);
+            assert!(
+                (s[i] - dsorted[i]).abs() < 1e-12,
+                "σ_{i}: {} vs {}",
+                s[i],
+                dsorted[i]
+            );
         }
     }
 
@@ -295,7 +343,10 @@ mod tests {
         }
         let mut acpy = a.clone();
         let mut w = vec![0.0; n];
-        assert_eq!(crate::eigsym::syev(false, la_core::Uplo::Lower, n, &mut acpy, n, &mut w), 0);
+        assert_eq!(
+            crate::eigsym::syev(false, la_core::Uplo::Lower, n, &mut acpy, n, &mut w),
+            0
+        );
         for i in 0..n {
             assert!((w[i] - d[i]).abs() < 1e-12, "λ_{i}: {} vs {}", w[i], d[i]);
         }

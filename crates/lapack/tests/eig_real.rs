@@ -43,12 +43,30 @@ fn schur_check(n: usize, a0: &[f64], tol: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>,
     }
     for j in 0..n {
         for i in j + 2..n {
-            assert_eq!(h[i + j * n], 0.0, "T not Hessenberg-triangular at ({i},{j})");
+            assert_eq!(
+                h[i + j * n],
+                0.0,
+                "T not Hessenberg-triangular at ({i},{j})"
+            );
         }
     }
     // Z orthogonal.
     let mut ztz = vec![0.0; n * n];
-    gemm(Trans::Trans, Trans::No, n, n, n, 1.0, &z, n, &z, n, 0.0, &mut ztz, n);
+    gemm(
+        Trans::Trans,
+        Trans::No,
+        n,
+        n,
+        n,
+        1.0,
+        &z,
+        n,
+        &z,
+        n,
+        0.0,
+        &mut ztz,
+        n,
+    );
     for j in 0..n {
         for i in 0..n {
             let want = if i == j { 1.0 } else { 0.0 };
@@ -57,9 +75,37 @@ fn schur_check(n: usize, a0: &[f64], tol: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>,
     }
     // A = Z T Zᵀ.
     let mut zt = vec![0.0; n * n];
-    gemm(Trans::No, Trans::No, n, n, n, 1.0, &z, n, &h, n, 0.0, &mut zt, n);
+    gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        n,
+        n,
+        1.0,
+        &z,
+        n,
+        &h,
+        n,
+        0.0,
+        &mut zt,
+        n,
+    );
     let mut rec = vec![0.0; n * n];
-    gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &zt, n, &z, n, 0.0, &mut rec, n);
+    gemm(
+        Trans::No,
+        Trans::Trans,
+        n,
+        n,
+        n,
+        1.0,
+        &zt,
+        n,
+        &z,
+        n,
+        0.0,
+        &mut rec,
+        n,
+    );
     for k in 0..n * n {
         assert!(
             (rec[k] - a0[k]).abs() < tol,
@@ -100,7 +146,9 @@ fn schur_random_matrices() {
     for &n in &[1usize, 2, 3, 5, 8, 13, 21, 40] {
         let a0 = rng.mat(n.max(1));
         let a0 = if n == 0 { vec![] } else { a0 };
-        let a0: Vec<f64> = (0..n * n).map(|k| a0[k % a0.len().max(1)] + rng.next()).collect();
+        let a0: Vec<f64> = (0..n * n)
+            .map(|k| a0[k % a0.len().max(1)] + rng.next())
+            .collect();
         if n == 0 {
             continue;
         }
@@ -195,7 +243,10 @@ fn trevc_direct_on_triangular() {
             for l in 0..n {
                 tv += t[i + l * n] * vr[l + j * n];
             }
-            assert!((tv - wr[j] * vr[i + j * n]).abs() < 1e-12, "right ({i},{j})");
+            assert!(
+                (tv - wr[j] * vr[i + j * n]).abs() < 1e-12,
+                "right ({i},{j})"
+            );
         }
         // Left: vᵀ T = λ vᵀ.
         for i in 0..n {
@@ -224,17 +275,53 @@ fn gees_reorders_selected_eigenvalues() {
     while j < n {
         let selected = res.wr[j] > 0.0;
         if j < res.sdim {
-            assert!(selected, "eigenvalue {j} in leading block has wr = {}", res.wr[j]);
+            assert!(
+                selected,
+                "eigenvalue {j} in leading block has wr = {}",
+                res.wr[j]
+            );
         } else {
-            assert!(!selected, "eigenvalue {j} in trailing block has wr = {}", res.wr[j]);
+            assert!(
+                !selected,
+                "eigenvalue {j} in trailing block has wr = {}",
+                res.wr[j]
+            );
         }
         j += 1;
     }
     // Schur relation still holds after reordering.
     let mut vt = vec![0.0; n * n];
-    gemm(Trans::No, Trans::No, n, n, n, 1.0, &vs, n, &a, n, 0.0, &mut vt, n);
+    gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        n,
+        n,
+        1.0,
+        &vs,
+        n,
+        &a,
+        n,
+        0.0,
+        &mut vt,
+        n,
+    );
     let mut rec = vec![0.0; n * n];
-    gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &vt, n, &vs, n, 0.0, &mut rec, n);
+    gemm(
+        Trans::No,
+        Trans::Trans,
+        n,
+        n,
+        n,
+        1.0,
+        &vt,
+        n,
+        &vs,
+        n,
+        0.0,
+        &mut rec,
+        n,
+    );
     for k in 0..n * n {
         assert!((rec[k] - a0[k]).abs() < 1e-10, "post-reorder ZTZᵀ≠A at {k}");
     }
@@ -243,8 +330,14 @@ fn gees_reorders_selected_eigenvalues() {
     let (info2, res2) = geev(false, false, n, &mut a2, n);
     assert_eq!(info2, 0);
     let mut got: Vec<(f64, f64)> = res.wr.iter().zip(&res.wi).map(|(&r, &i)| (r, i)).collect();
-    let mut want: Vec<(f64, f64)> = res2.wr.iter().zip(&res2.wi).map(|(&r, &i)| (r, i)).collect();
-    let key = |p: &(f64, f64)| (p.0 * 1e6).round() as i64 * 100000 + (p.1.abs() * 1e4).round() as i64;
+    let mut want: Vec<(f64, f64)> = res2
+        .wr
+        .iter()
+        .zip(&res2.wi)
+        .map(|(&r, &i)| (r, i))
+        .collect();
+    let key =
+        |p: &(f64, f64)| (p.0 * 1e6).round() as i64 * 100000 + (p.1.abs() * 1e4).round() as i64;
     got.sort_by_key(key);
     want.sort_by_key(key);
     for (g, w) in got.iter().zip(&want) {
@@ -274,9 +367,37 @@ fn swap_blocks_direct() {
     assert_eq!(t[1], 0.0);
     // Similarity preserved.
     let mut zt = vec![0.0; n * n];
-    gemm(Trans::No, Trans::No, n, n, n, 1.0, &z, n, &t, n, 0.0, &mut zt, n);
+    gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        n,
+        n,
+        1.0,
+        &z,
+        n,
+        &t,
+        n,
+        0.0,
+        &mut zt,
+        n,
+    );
     let mut rec = vec![0.0; n * n];
-    gemm(Trans::No, Trans::Trans, n, n, n, 1.0, &zt, n, &z, n, 0.0, &mut rec, n);
+    gemm(
+        Trans::No,
+        Trans::Trans,
+        n,
+        n,
+        n,
+        1.0,
+        &zt,
+        n,
+        &z,
+        n,
+        0.0,
+        &mut rec,
+        n,
+    );
     for k in 0..n * n {
         assert!((rec[k] - t0[k]).abs() < 1e-12);
     }
@@ -301,6 +422,11 @@ fn defective_matrix_jordan_block() {
         // Eigenvalues of a perturbed Jordan block scatter like ε^(1/n):
         // allow a loose tolerance.
         let dist = ((res.wr[j] - 2.0).powi(2) + res.wi[j].powi(2)).sqrt();
-        assert!(dist < 1e-2, "λ_{j} = {}+{}i too far from 2", res.wr[j], res.wi[j]);
+        assert!(
+            dist < 1e-2,
+            "λ_{j} = {}+{}i too far from 2",
+            res.wr[j],
+            res.wi[j]
+        );
     }
 }

@@ -64,7 +64,21 @@ pub fn solve_ratio_raw<T: Scalar>(
             r[i + j * n] = b[i + j * ldb];
         }
     }
-    gemm(Trans::No, Trans::No, n, nrhs, n, -T::one(), a, lda, x, ldx, T::one(), &mut r, n);
+    gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        nrhs,
+        n,
+        -T::one(),
+        a,
+        lda,
+        x,
+        ldx,
+        T::one(),
+        &mut r,
+        n,
+    );
     let rnorm = one_norm(n, nrhs, &r, n);
     let anorm = one_norm(n, n, a, lda);
     let xnorm = one_norm(n, nrhs, x, ldx);
@@ -114,7 +128,11 @@ pub fn lu_ratio<T: Scalar>(a_orig: &Mat<T>, factors: &Mat<T>, ipiv: &[i32]) -> T
             Ordering::Less => T::zero(),
         }
     });
-    let u = Mat::<T>::from_fn(n, n, |i, j| if i <= j { factors[(i, j)] } else { T::zero() });
+    let u = Mat::<T>::from_fn(
+        n,
+        n,
+        |i, j| if i <= j { factors[(i, j)] } else { T::zero() },
+    );
     let mut lu = vec![T::zero(); n * n];
     gemm(
         Trans::No,
@@ -160,7 +178,21 @@ pub fn orthogonality_ratio<T: Scalar>(m: usize, n: usize, q: &[T], ldq: usize) -
         return T::Real::zero();
     }
     let mut g = vec![T::zero(); n * n];
-    gemm(Trans::ConjTrans, Trans::No, n, n, m, T::one(), q, ldq, q, ldq, T::zero(), &mut g, n);
+    gemm(
+        Trans::ConjTrans,
+        Trans::No,
+        n,
+        n,
+        m,
+        T::one(),
+        q,
+        ldq,
+        q,
+        ldq,
+        T::zero(),
+        &mut g,
+        n,
+    );
     for i in 0..n {
         g[i + i * n] -= T::one();
     }
@@ -238,7 +270,21 @@ pub fn svd_ratio<T: Scalar>(
         }
     }
     let mut rec = vec![T::zero(); m * n];
-    gemm(Trans::No, Trans::No, m, n, k, T::one(), &us, m, vt, ldvt, T::zero(), &mut rec, m);
+    gemm(
+        Trans::No,
+        Trans::No,
+        m,
+        n,
+        k,
+        T::one(),
+        &us,
+        m,
+        vt,
+        ldvt,
+        T::zero(),
+        &mut rec,
+        m,
+    );
     let mut diff = T::Real::zero();
     for j in 0..n {
         let mut sum = T::Real::zero();
@@ -271,9 +317,37 @@ pub fn ls_ratio<T: Scalar>(
             r[i + j * m] = b[i + j * ldb];
         }
     }
-    gemm(Trans::No, Trans::No, m, nrhs, n, -T::one(), a, lda, x, ldx, T::one(), &mut r, m);
+    gemm(
+        Trans::No,
+        Trans::No,
+        m,
+        nrhs,
+        n,
+        -T::one(),
+        a,
+        lda,
+        x,
+        ldx,
+        T::one(),
+        &mut r,
+        m,
+    );
     let mut g = vec![T::zero(); n * nrhs];
-    gemm(Trans::ConjTrans, Trans::No, n, nrhs, m, T::one(), a, lda, &r, m, T::zero(), &mut g, n);
+    gemm(
+        Trans::ConjTrans,
+        Trans::No,
+        n,
+        nrhs,
+        m,
+        T::one(),
+        a,
+        lda,
+        &r,
+        m,
+        T::zero(),
+        &mut g,
+        n,
+    );
     let gnorm = one_norm(n, nrhs, &g, n);
     let anorm = one_norm(m, n, a, lda);
     let xnorm = one_norm(n, nrhs, x, ldx).maxr(T::Real::one());

@@ -10,7 +10,9 @@ use la_core::{mat, Mat};
 fn print_mat(title: &str, m: &Mat<f32>) {
     println!("{title}");
     for i in 0..m.nrows() {
-        let row: String = (0..m.ncols()).map(|j| format!(" {:11.7}", m[(i, j)])).collect();
+        let row: String = (0..m.ncols())
+            .map(|j| format!(" {:11.7}", m[(i, j)]))
+            .collect();
         println!("{row}");
     }
 }

@@ -139,7 +139,10 @@ fn report(thresh: f32) {
             }
         }
     }
-    println!("{} matrices were tested with 4 tests. NRHS was 50 and one.", sizes.len());
+    println!(
+        "{} matrices were tested with 4 tests. NRHS was 50 and one.",
+        sizes.len()
+    );
     println!("The biggest tested matrix was 300 x 300");
     println!("{passed} tests passed.");
     println!("{failed} tests failed.");
@@ -161,7 +164,12 @@ fn report(thresh: f32) {
         // 3: IPIV wrong size.
         let mut b: Mat<f32> = Mat::zeros(3, 2);
         let mut piv = vec![0i32; 2];
-        v.push((la90::gesv_ipiv(&mut a, &mut b, &mut piv).unwrap_err().info(), -3));
+        v.push((
+            la90::gesv_ipiv(&mut a, &mut b, &mut piv)
+                .unwrap_err()
+                .info(),
+            -3,
+        ));
         // 4: vector rhs, A not square.
         let mut a2: Mat<f32> = Mat::zeros(4, 3);
         let mut bv: Vec<f32> = vec![0.0; 4];
@@ -172,12 +180,19 @@ fn report(thresh: f32) {
         // 6: vector rhs, IPIV wrong size.
         let mut bv: Vec<f32> = vec![0.0; 3];
         let mut piv = vec![0i32; 5];
-        v.push((la90::gesv_ipiv(&mut a, &mut bv, &mut piv).unwrap_err().info(), -3));
+        v.push((
+            la90::gesv_ipiv(&mut a, &mut bv, &mut piv)
+                .unwrap_err()
+                .info(),
+            -3,
+        ));
         // 7: LA_GETRS with wrong IPIV.
         let piv = vec![0i32; 2];
         let mut bv: Vec<f32> = vec![0.0; 3];
         v.push((
-            la90::getrs(&a, &piv, &mut bv, la_core::Trans::No).unwrap_err().info(),
+            la90::getrs(&a, &piv, &mut bv, la_core::Trans::No)
+                .unwrap_err()
+                .info(),
             -2,
         ));
         // 8: LA_GETRI on a rectangular matrix.
@@ -189,9 +204,15 @@ fn report(thresh: f32) {
         let mut b4: Mat<f32> = Mat::zeros(3, 2);
         let mut x4: Mat<f32> = Mat::zeros(3, 1);
         v.push((
-            la90::gesvx(&mut a4, &mut b4, &mut x4, la90::Fact::NotFactored, la_core::Trans::No)
-                .unwrap_err()
-                .info(),
+            la90::gesvx(
+                &mut a4,
+                &mut b4,
+                &mut x4,
+                la90::Fact::NotFactored,
+                la_core::Trans::No,
+            )
+            .unwrap_err()
+            .info(),
             -3,
         ));
         v
@@ -222,14 +243,13 @@ fn main() {
     for (mi, &n) in [10usize, 100, 300].iter().enumerate() {
         for call_form in 0..4 {
             let nrhs = if call_form % 2 == 0 { 50 } else { 1 };
-            let (r, _, _, _, _) = run_case(n, nrhs, call_form, 7 + mi as u64 * 13 + call_form as u64);
+            let (r, _, _, _, _) =
+                run_case(n, nrhs, call_form, 7 + mi as u64 * 13 + call_form as u64);
             ratios.push(r);
         }
     }
     ratios.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let thresh = 0.5 * (ratios[0] + ratios[1]);
-    println!(
-        "================ Test Partly Fails (threshold {thresh:.2}) ================\n"
-    );
+    println!("================ Test Partly Fails (threshold {thresh:.2}) ================\n");
     report(thresh);
 }

@@ -13,8 +13,8 @@
 //!
 //! Run with `cargo run --release --example eigen_svd`.
 
-use la_core::Mat;
 use la90::{EigRange, Jobz};
+use la_core::Mat;
 
 fn main() {
     // ----- Part 1: vibration modes -----------------------------------
@@ -24,9 +24,14 @@ fn main() {
     la90::stev::<f64>(&mut d, &mut e, Jobz::Values).expect("LA_STEV");
     println!("spring–mass chain, n = {n}: first 5 squared frequencies");
     println!("  {:<12} {:<12} {:<12}", "computed", "theory", "abs err");
-    for k in 0..5 {
+    for (k, dk) in d.iter().take(5).enumerate() {
         let theory = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
-        println!("  {:<12.8} {:<12.8} {:<12.3e}", d[k], theory, (d[k] - theory).abs());
+        println!(
+            "  {:<12.8} {:<12.8} {:<12.3e}",
+            dk,
+            theory,
+            (dk - theory).abs()
+        );
     }
 
     // Same spectrum through the dense symmetric drivers.
@@ -50,8 +55,14 @@ fn main() {
 
     // The three slowest modes, with mode shapes.
     let mut a = stiff.clone();
-    let (w, z) = la90::syevx(&mut a, Jobz::Vectors, EigRange::Index(1, 3), la_core::Uplo::Upper, 0.0)
-        .expect("LA_SYEVX");
+    let (w, z) = la90::syevx(
+        &mut a,
+        Jobz::Vectors,
+        EigRange::Index(1, 3),
+        la_core::Uplo::Upper,
+        0.0,
+    )
+    .expect("LA_SYEVX");
     let z = z.unwrap();
     println!("three slowest modes (LA_SYEVX):");
     for (k, lam) in w.iter().enumerate() {
@@ -62,7 +73,10 @@ fn main() {
                 sign_changes += 1;
             }
         }
-        println!("  mode {}: ω² = {lam:.8}, node count = {sign_changes}", k + 1);
+        println!(
+            "  mode {}: ω² = {lam:.8}, node count = {sign_changes}",
+            k + 1
+        );
     }
 
     // ----- Part 2: SVD compression -----------------------------------
@@ -79,7 +93,10 @@ fn main() {
     let svd = la90::gesvd(&mut a, true, true).expect("LA_GESVD");
     let (u, vt, s) = (svd.u.unwrap(), svd.vt.unwrap(), svd.s);
     println!("\nSVD compression of a {m}×{n} synthetic image:");
-    println!("  {:<6} {:<14} {:<14}", "rank", "recon error", "σ_(k+1) bound");
+    println!(
+        "  {:<6} {:<14} {:<14}",
+        "rank", "recon error", "σ_(k+1) bound"
+    );
     for &k in &[1usize, 2, 4, 8, 16] {
         // Rank-k reconstruction.
         let mut rec: Mat<f64> = Mat::zeros(m, n);

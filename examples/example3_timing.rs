@@ -29,7 +29,10 @@ fn main() {
     let t1 = Instant::now();
     let info = f77::gesv(n, nrhs, &mut a, n, &mut ipiv, &mut b, n);
     let t77 = t1.elapsed();
-    println!("INFO and CPUTIME of F77GESV {info} {:.6}s", t77.as_secs_f64());
+    println!(
+        "INFO and CPUTIME of F77GESV {info} {:.6}s",
+        t77.as_secs_f64()
+    );
 
     // F90 path (fresh data, as in the paper the second solve reuses the
     // factored A — we resolve the original system for a fair comparison).

@@ -18,13 +18,19 @@ fn main() {
     // ----- 1. Plain least squares -------------------------------------
     let m = 40usize;
     let deg = 3usize;
-    let t: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+    let t: Vec<f64> = (0..m)
+        .map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64)
+        .collect();
     let truth = [0.75f64, -1.5, 0.25, 2.0];
     let a0: Mat<f64> = Mat::from_fn(m, deg + 1, |i, j| t[i].powi(j as i32));
     let b0: Vec<f64> = t
         .iter()
         .map(|&x| {
-            truth.iter().enumerate().map(|(k, c)| c * x.powi(k as i32)).sum::<f64>()
+            truth
+                .iter()
+                .enumerate()
+                .map(|(k, c)| c * x.powi(k as i32))
+                .sum::<f64>()
                 + 1e-3 * rng.real::<f64>(Dist::Normal)
         })
         .collect();
@@ -48,8 +54,14 @@ fn main() {
     let b0: Vec<f64> = t.iter().map(|&x| 1.0 + x + 0.5 * x * x).collect();
     let mut b = b0.clone();
     let out = la90::gelss(&mut a0, &mut b, 1e-8).expect("LA_GELSS");
-    println!("\ncollinear design (LA_GELSS): effective rank = {} of {nfull}", out.rank);
-    println!("  singular values: {:?}", out.s.iter().map(|s| format!("{s:.3e}")).collect::<Vec<_>>());
+    println!(
+        "\ncollinear design (LA_GELSS): effective rank = {} of {nfull}",
+        out.rank
+    );
+    println!(
+        "  singular values: {:?}",
+        out.s.iter().map(|s| format!("{s:.3e}")).collect::<Vec<_>>()
+    );
     let mut a1: Mat<f64> = Mat::from_fn(m, nfull, |i, j| match j {
         0 => 1.0,
         1 => t[i],
@@ -58,7 +70,10 @@ fn main() {
     });
     let mut b1 = b0.clone();
     let out2 = la90::gelsx(&mut a1, &mut b1, 1e-8).expect("LA_GELSX");
-    println!("  LA_GELSX agrees: rank = {}, pivot order = {:?}", out2.rank, out2.jpvt);
+    println!(
+        "  LA_GELSX agrees: rank = {}, pivot order = {:?}",
+        out2.rank, out2.jpvt
+    );
 
     // ----- 3. Equality-constrained fit ---------------------------------
     // Fit a line but force it through (t, y) = (-1, 0) and (1, 2).
@@ -73,6 +88,13 @@ fn main() {
     let mut a = am.clone();
     let mut bb = bm.clone();
     let x = la90::gglse(&mut a, &mut bb, &mut c, &mut dv).expect("LA_GGLSE");
-    println!("\nconstrained line fit (LA_GGLSE): y = {:.6} + {:.6}·t", x[0], x[1]);
-    println!("  constraint y(-1) = {:.6} (want 0), y(1) = {:.6} (want 2)", x[0] - x[1], x[0] + x[1]);
+    println!(
+        "\nconstrained line fit (LA_GGLSE): y = {:.6} + {:.6}·t",
+        x[0], x[1]
+    );
+    println!(
+        "  constraint y(-1) = {:.6} (want 0), y(1) = {:.6} (want 2)",
+        x[0] - x[1],
+        x[0] + x[1]
+    );
 }

@@ -14,10 +14,10 @@
 //!   optional-argument drivers over [`Mat`](la_core::Mat).
 //! * [`verify`](la_verify) — the LAPACK-test-suite residual ratios.
 
+pub use la90;
 pub use la_blas as blas;
 pub use la_core as core;
 pub use la_lapack as lapack;
 pub use la_verify as verify;
-pub use la90;
 
 pub use la_core::{mat, BandMat, Complex, LaError, Mat, PackedMat, SymBandMat, C32, C64};

@@ -3,9 +3,9 @@
 //! where the driver is generic, verified with the LAPACK-test-suite
 //! residual ratios from `la-verify`.
 
+use la90::Jobz;
 use la_core::{BandMat, Complex, Mat, PackedMat, RealScalar, Scalar, SymBandMat, Trans, Uplo};
 use la_lapack::{Dist, Larnv};
-use la90::Jobz;
 use lapack90::verify;
 
 const THRESH: f64 = 60.0;
@@ -130,7 +130,11 @@ fn dense_solvers_for<T: Scalar>() {
         let mut x = b0.clone();
         la90::ppsv(&mut ap, &mut x).unwrap();
         let r = verify::solve_ratio(&spd, &x, &b0).to_f64();
-        assert!(r < tol_of::<T>(1.0), "{} PPSV {uplo:?} ratio {r}", T::PREFIX);
+        assert!(
+            r < tol_of::<T>(1.0),
+            "{} PPSV {uplo:?} ratio {r}",
+            T::PREFIX
+        );
     }
     let herm: Mat<T> = rand_herm(n, 9, 0.0);
     let (_, b0) = mat_rhs(&herm, nrhs, 10);
@@ -182,7 +186,9 @@ fn dense_solvers_for<T: Scalar>() {
     let mut rng = Larnv::new(15);
     let dl0: Vec<T> = rng.vec(Dist::Uniform11, n - 1);
     let du0: Vec<T> = rng.vec(Dist::Uniform11, n - 1);
-    let d0: Vec<T> = (0..n).map(|_| rng.scalar::<T>(Dist::Uniform11) + T::from_f64(4.0)).collect();
+    let d0: Vec<T> = (0..n)
+        .map(|_| rng.scalar::<T>(Dist::Uniform11) + T::from_f64(4.0))
+        .collect();
     let tri: Mat<T> = Mat::from_fn(n, n, |i, j| {
         if i == j {
             d0[i]
@@ -244,7 +250,11 @@ fn expert_drivers_for<T: Scalar>() {
     let r = verify::solve_ratio(&a0, &x, &b0).to_f64();
     assert!(r < tol_of::<T>(1.0), "{} GESVX ratio {r}", T::PREFIX);
     for j in 0..nrhs {
-        assert!(out.berr[j].to_f64() < 10.0 * T::eps().to_f64(), "{} berr", T::PREFIX);
+        assert!(
+            out.berr[j].to_f64() < 10.0 * T::eps().to_f64(),
+            "{} berr",
+            T::PREFIX
+        );
     }
 
     let spd: Mat<T> = rand_hpd(n, 23);
@@ -336,8 +346,18 @@ fn eigen_for<T: Scalar + la90::EigDriver>() {
     let mut g = g0.clone();
     let svd = la90::gesvd(&mut g, true, true).unwrap();
     let (u, vt) = (svd.u.unwrap(), svd.vt.unwrap());
-    let r = verify::svd_ratio(n, n, g0.as_slice(), n, &svd.s, u.as_slice(), n, vt.as_slice(), n)
-        .to_f64();
+    let r = verify::svd_ratio(
+        n,
+        n,
+        g0.as_slice(),
+        n,
+        &svd.s,
+        u.as_slice(),
+        n,
+        vt.as_slice(),
+        n,
+    )
+    .to_f64();
     assert!(r < tol_of::<T>(1.0), "{} GESVD ratio {r}", T::PREFIX);
 
     // GEEV through the unified interface.

@@ -78,7 +78,12 @@ fn nine_error_exits_pass() {
         let mut a: Mat<f32> = Mat::identity(3);
         let mut b: Mat<f32> = Mat::zeros(3, 2);
         let mut piv = vec![0i32; 1];
-        assert_eq!(la90::gesv_ipiv(&mut a, &mut b, &mut piv).unwrap_err().info(), -3);
+        assert_eq!(
+            la90::gesv_ipiv(&mut a, &mut b, &mut piv)
+                .unwrap_err()
+                .info(),
+            -3
+        );
         checks += 1;
     }
     {
@@ -97,14 +102,22 @@ fn nine_error_exits_pass() {
         let mut a: Mat<f32> = Mat::identity(3);
         let mut b: Vec<f32> = vec![0.0; 3];
         let mut piv = vec![0i32; 4];
-        assert_eq!(la90::gesv_ipiv(&mut a, &mut b, &mut piv).unwrap_err().info(), -3);
+        assert_eq!(
+            la90::gesv_ipiv(&mut a, &mut b, &mut piv)
+                .unwrap_err()
+                .info(),
+            -3
+        );
         checks += 1;
     }
     {
         let a: Mat<f32> = Mat::identity(3);
         let piv = vec![1i32; 4];
         let mut b: Vec<f32> = vec![0.0; 3];
-        assert_eq!(la90::getrs(&a, &piv, &mut b, Trans::No).unwrap_err().info(), -2);
+        assert_eq!(
+            la90::getrs(&a, &piv, &mut b, Trans::No).unwrap_err().info(),
+            -2
+        );
         checks += 1;
     }
     {

@@ -2,8 +2,8 @@
 //! single right-hand sides, zero matrices, and extreme scaling — the
 //! places Fortran interface code traditionally breaks.
 
-use la_core::{Mat, Trans, C64};
 use la90::Jobz;
+use la_core::{Mat, Trans, C64};
 
 #[test]
 fn one_by_one_everything() {
@@ -38,7 +38,6 @@ fn one_by_one_everything() {
     assert!((b[0] - 2.5).abs() < 1e-15);
     // Tridiagonal with no off-diagonals.
     let mut d = vec![2.0f64];
-    let mut e: Vec<f64> = vec![];
     let mut dl: Vec<f64> = vec![];
     let mut du: Vec<f64> = vec![];
     let mut b: Vec<f64> = vec![4.0];
@@ -96,7 +95,19 @@ fn extreme_scaling_survives() {
     }
     let xtrue: Vec<f64> = vec![1.0, -2.0, 0.5, 3.0];
     let mut b = vec![0.0f64; n];
-    la_blas::gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &xtrue, 1, 0.0, &mut b, 1);
+    la_blas::gemv(
+        Trans::No,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        &xtrue,
+        1,
+        0.0,
+        &mut b,
+        1,
+    );
     let mut af = a.clone();
     let mut x = vec![0.0f64; n];
     let out = la90::gesvx(&mut af, &mut b, &mut x, la90::Fact::Equilibrate, Trans::No).unwrap();
@@ -173,7 +184,19 @@ fn single_precision_complex_full_pipeline() {
     let a0: Mat<C32> = Mat::from_fn(n, n, |_, _| rng.scalar(la_lapack::Dist::Uniform11));
     let xtrue: Vec<C32> = (0..n).map(|i| C32::new(i as f32, 1.0)).collect();
     let mut b = vec![C32::new(0.0, 0.0); n];
-    la_blas::gemv(Trans::No, n, n, C32::new(1.0, 0.0), a0.as_slice(), n, &xtrue, 1, C32::new(0.0, 0.0), &mut b, 1);
+    la_blas::gemv(
+        Trans::No,
+        n,
+        n,
+        C32::new(1.0, 0.0),
+        a0.as_slice(),
+        n,
+        &xtrue,
+        1,
+        C32::new(0.0, 0.0),
+        &mut b,
+        1,
+    );
     let mut a = a0.clone();
     la90::gesv(&mut a, &mut b).unwrap();
     for i in 0..n {

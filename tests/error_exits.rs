@@ -99,7 +99,11 @@ fn eigen_error_exits() {
     // STEV: E too short.
     let mut d = vec![1.0f64; 5];
     let mut e = vec![0.0f64; 2];
-    expect_illegal(la90::stev::<f64>(&mut d, &mut e, la90::Jobz::Values), "LA_STEV", 2);
+    expect_illegal(
+        la90::stev::<f64>(&mut d, &mut e, la90::Jobz::Values),
+        "LA_STEV",
+        2,
+    );
     // SYGV: B shape.
     let mut a: Mat<f64> = Mat::identity(3);
     let mut b: Mat<f64> = Mat::identity(4);
@@ -138,6 +142,8 @@ fn positive_info_variants() {
     assert!(matches!(e, LaError::NotPosDef { minor: 2, .. }));
 
     // Allocation-failure code path is representable.
-    let e = LaError::AllocFailed { routine: "LA_GETRI" };
+    let e = LaError::AllocFailed {
+        routine: "LA_GETRI",
+    };
     assert_eq!(e.info(), -100);
 }

@@ -2,9 +2,9 @@
 //! `LA_GEGV` across real/complex, the Hermitian alias surface, and the
 //! `sygv` itype variants through the high-level API.
 
+use la90::Jobz;
 use la_core::{Complex, Mat, PackedMat, SymBandMat, Trans, Uplo, C64};
 use la_lapack::{Dist, Larnv};
-use la90::Jobz;
 
 #[test]
 fn gegs_schur_pair_relations() {
@@ -58,9 +58,9 @@ fn gegs_schur_pair_relations() {
             &mut rec,
             n,
         );
-        for k in 0..n * n {
+        for (k, rk) in rec.iter().enumerate() {
             assert!(
-                (rec[k] - orig.as_slice()[k]).abs() < 1e-10 * n as f64,
+                (*rk - orig.as_slice()[k]).abs() < 1e-10 * n as f64,
                 "Schur pair relation broken at {k}"
             );
         }
@@ -84,7 +84,10 @@ fn gegv_handles_singular_b() {
     let max_ratio = (0..n)
         .map(|j| (alpha[j].ladiv(beta[j])).abs())
         .fold(0.0f64, f64::max);
-    assert!(max_ratio > 1e6, "expected a near-infinite eigenvalue, max |λ| = {max_ratio}");
+    assert!(
+        max_ratio > 1e6,
+        "expected a near-infinite eigenvalue, max |λ| = {max_ratio}"
+    );
 }
 
 #[test]
@@ -164,30 +167,85 @@ fn sygv_itype_variants_through_la90() {
         for uplo in [Uplo::Upper, Uplo::Lower] {
             let mut a = a0.clone();
             let mut b = b0.clone();
-            let w = la90::sygv_full(&mut a, &mut b, Jobz::Vectors, itype, uplo).unwrap();
+            let w = la90::sygv_itype_uplo(&mut a, &mut b, Jobz::Vectors, itype, uplo).unwrap();
             // Verify the defining equation per eigenpair.
             for j in 0..n {
                 let x: Vec<f64> = (0..n).map(|i| a[(i, j)]).collect();
                 let mut ax = vec![0.0; n];
                 let mut bx = vec![0.0; n];
-                la_blas::gemv(Trans::No, n, n, 1.0, a0.as_slice(), n, &x, 1, 0.0, &mut ax, 1);
-                la_blas::gemv(Trans::No, n, n, 1.0, b0.as_slice(), n, &x, 1, 0.0, &mut bx, 1);
+                la_blas::gemv(
+                    Trans::No,
+                    n,
+                    n,
+                    1.0,
+                    a0.as_slice(),
+                    n,
+                    &x,
+                    1,
+                    0.0,
+                    &mut ax,
+                    1,
+                );
+                la_blas::gemv(
+                    Trans::No,
+                    n,
+                    n,
+                    1.0,
+                    b0.as_slice(),
+                    n,
+                    &x,
+                    1,
+                    0.0,
+                    &mut bx,
+                    1,
+                );
                 let worst = match itype {
                     GvItype::AxLBx => (0..n)
                         .map(|i| (ax[i] - w[j] * bx[i]).abs())
                         .fold(0.0f64, f64::max),
                     GvItype::ABxLx => {
                         let mut abx = vec![0.0; n];
-                        la_blas::gemv(Trans::No, n, n, 1.0, a0.as_slice(), n, &bx, 1, 0.0, &mut abx, 1);
-                        (0..n).map(|i| (abx[i] - w[j] * x[i]).abs()).fold(0.0f64, f64::max)
+                        la_blas::gemv(
+                            Trans::No,
+                            n,
+                            n,
+                            1.0,
+                            a0.as_slice(),
+                            n,
+                            &bx,
+                            1,
+                            0.0,
+                            &mut abx,
+                            1,
+                        );
+                        (0..n)
+                            .map(|i| (abx[i] - w[j] * x[i]).abs())
+                            .fold(0.0f64, f64::max)
                     }
                     GvItype::BAxLx => {
                         let mut bax = vec![0.0; n];
-                        la_blas::gemv(Trans::No, n, n, 1.0, b0.as_slice(), n, &ax, 1, 0.0, &mut bax, 1);
-                        (0..n).map(|i| (bax[i] - w[j] * x[i]).abs()).fold(0.0f64, f64::max)
+                        la_blas::gemv(
+                            Trans::No,
+                            n,
+                            n,
+                            1.0,
+                            b0.as_slice(),
+                            n,
+                            &ax,
+                            1,
+                            0.0,
+                            &mut bax,
+                            1,
+                        );
+                        (0..n)
+                            .map(|i| (bax[i] - w[j] * x[i]).abs())
+                            .fold(0.0f64, f64::max)
                     }
                 };
-                assert!(worst < 1e-8 * n as f64, "{itype:?} {uplo:?} pair {j}: {worst}");
+                assert!(
+                    worst < 1e-8 * n as f64,
+                    "{itype:?} {uplo:?} pair {j}: {worst}"
+                );
             }
         }
     }

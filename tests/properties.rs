@@ -1,132 +1,231 @@
-//! Property-based tests (proptest) on the core invariants:
-//! complex field axioms, BLAS identities, factor-reassembly residuals,
-//! pivot validity, spectra orderings, and solve-multiply roundtrips on
-//! arbitrary well-conditioned inputs.
+//! Property-based tests on the core invariants: complex field axioms,
+//! BLAS identities, factor-reassembly residuals, pivot validity, spectra
+//! orderings, and solve-multiply roundtrips on arbitrary well-conditioned
+//! inputs.
+//!
+//! Dependency-free: each property is checked over a deterministic sweep of
+//! seeded pseudo-random cases (`Larnv` plus a case grid) instead of a
+//! proptest strategy, so the suite runs fully offline.
 
 use la_core::{Complex, Mat, Trans, Uplo, C64};
 use la_lapack as f77;
 use lapack90::verify;
-use proptest::prelude::*;
 
-fn small_f64() -> impl Strategy<Value = f64> {
-    // Bounded away from the extremes so condition numbers stay sane.
-    (-1.0f64..1.0).prop_map(|x| x)
+/// Deterministic case sweep: calls `f(case_index)` for each case; `f` maps
+/// the index onto whatever shape/seed grid the property needs.
+fn sweep(cases: u64, f: impl Fn(u64)) {
+    for c in 0..cases {
+        f(c);
+    }
 }
 
-fn complex_val() -> impl Strategy<Value = C64> {
-    (small_f64(), small_f64()).prop_map(|(r, i)| C64::new(r, i))
-}
+// ----------------------------------------------------------------------
+// Complex arithmetic axioms.
+// ----------------------------------------------------------------------
 
-fn square_matrix(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(small_f64(), n * n)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    // ------------------------------------------------------------------
-    // Complex arithmetic axioms.
-    // ------------------------------------------------------------------
-    #[test]
-    fn complex_field_axioms(a in complex_val(), b in complex_val(), c in complex_val()) {
+#[test]
+fn complex_field_axioms() {
+    sweep(64, |case| {
+        let mut rng = f77::Larnv::new(case * 7 + 1);
+        let mut cval = || {
+            C64::new(
+                rng.real::<f64>(f77::Dist::Uniform11),
+                rng.real::<f64>(f77::Dist::Uniform11),
+            )
+        };
+        let (a, b, c) = (cval(), cval(), cval());
         let assoc = (a + b) + c - (a + (b + c));
-        prop_assert!(assoc.abs() < 1e-12);
+        assert!(assoc.abs() < 1e-12);
         let distr = a * (b + c) - (a * b + a * c);
-        prop_assert!(distr.abs() < 1e-12);
+        assert!(distr.abs() < 1e-12);
         let comm = a * b - b * a;
-        prop_assert!(comm.abs() == 0.0);
-        prop_assert!((a.conj() * b.conj() - (a * b).conj()).abs() < 1e-15);
+        assert!(comm.abs() == 0.0);
+        assert!((a.conj() * b.conj() - (a * b).conj()).abs() < 1e-15);
         if a.abs() > 1e-6 {
-            prop_assert!(((b / a) * a - b).abs() < 1e-12 * (1.0 + b.abs()));
+            assert!(((b / a) * a - b).abs() < 1e-12 * (1.0 + b.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn complex_modulus_properties(a in complex_val(), b in complex_val()) {
+#[test]
+fn complex_modulus_properties() {
+    sweep(64, |case| {
+        let mut rng = f77::Larnv::new(case * 11 + 2);
+        let mut cval = || {
+            C64::new(
+                rng.real::<f64>(f77::Dist::Uniform11),
+                rng.real::<f64>(f77::Dist::Uniform11),
+            )
+        };
+        let (a, b) = (cval(), cval());
         // Triangle inequality and multiplicativity.
-        prop_assert!((a + b).abs() <= a.abs() + b.abs() + 1e-14);
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-12);
+        assert!((a + b).abs() <= a.abs() + b.abs() + 1e-14);
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-12);
         // abs1 bounds: abs ≤ abs1 ≤ √2·abs.
-        prop_assert!(a.abs() <= a.abs1() + 1e-15);
-        prop_assert!(a.abs1() <= a.abs() * 2f64.sqrt() + 1e-15);
-    }
+        assert!(a.abs() <= a.abs1() + 1e-15);
+        assert!(a.abs1() <= a.abs() * 2f64.sqrt() + 1e-15);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // BLAS identities.
-    // ------------------------------------------------------------------
-    #[test]
-    fn gemm_respects_transpose_identity(m in 1usize..6, n in 1usize..6, k in 1usize..6,
-                                        seed in 0u64..1000) {
-        // (A·B)ᵀ = Bᵀ·Aᵀ.
-        let mut rng = f77::Larnv::new(seed);
+// ----------------------------------------------------------------------
+// BLAS identities.
+// ----------------------------------------------------------------------
+
+#[test]
+fn gemm_respects_transpose_identity() {
+    // (A·B)ᵀ = Bᵀ·Aᵀ.
+    sweep(64, |case| {
+        let m = 1 + (case % 5) as usize;
+        let n = 1 + ((case / 2) % 5) as usize;
+        let k = 1 + ((case / 4) % 5) as usize;
+        let mut rng = f77::Larnv::new(case * 13 + 3);
         let a: Vec<f64> = rng.vec(f77::Dist::Uniform11, m * k);
         let b: Vec<f64> = rng.vec(f77::Dist::Uniform11, k * n);
         let mut ab = vec![0.0; m * n];
-        la_blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, m, &b, k, 0.0, &mut ab, m);
+        la_blas::gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            m,
+            &b,
+            k,
+            0.0,
+            &mut ab,
+            m,
+        );
         let mut btat = vec![0.0; n * m];
-        la_blas::gemm(Trans::Trans, Trans::Trans, n, m, k, 1.0, &b, k, &a, m, 0.0, &mut btat, n);
+        la_blas::gemm(
+            Trans::Trans,
+            Trans::Trans,
+            n,
+            m,
+            k,
+            1.0,
+            &b,
+            k,
+            &a,
+            m,
+            0.0,
+            &mut btat,
+            n,
+        );
         for j in 0..n {
             for i in 0..m {
-                prop_assert!((ab[i + j * m] - btat[j + i * n]).abs() < 1e-12);
+                assert!((ab[i + j * m] - btat[j + i * n]).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn trsm_inverts_trmm(n in 1usize..8, nrhs in 1usize..4, seed in 0u64..1000) {
-        let mut rng = f77::Larnv::new(seed);
+#[test]
+fn trsm_inverts_trmm() {
+    sweep(64, |case| {
+        let n = 1 + (case % 7) as usize;
+        let nrhs = 1 + ((case / 3) % 3) as usize;
+        let mut rng = f77::Larnv::new(case * 17 + 5);
         let mut t: Vec<f64> = rng.vec(f77::Dist::Uniform11, n * n);
         for i in 0..n {
             t[i + i * n] = 3.0 + t[i + i * n].abs();
         }
         let b0: Vec<f64> = rng.vec(f77::Dist::Uniform11, n * nrhs);
         let mut b = b0.clone();
-        la_blas::trmm(la_core::Side::Left, Uplo::Lower, Trans::No, la_core::Diag::NonUnit,
-                      n, nrhs, 1.0, &t, n, &mut b, n);
-        la_blas::trsm(la_core::Side::Left, Uplo::Lower, Trans::No, la_core::Diag::NonUnit,
-                      n, nrhs, 1.0, &t, n, &mut b, n);
+        la_blas::trmm(
+            la_core::Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            la_core::Diag::NonUnit,
+            n,
+            nrhs,
+            1.0,
+            &t,
+            n,
+            &mut b,
+            n,
+        );
+        la_blas::trsm(
+            la_core::Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            la_core::Diag::NonUnit,
+            n,
+            nrhs,
+            1.0,
+            &t,
+            n,
+            &mut b,
+            n,
+        );
         for k in 0..n * nrhs {
-            prop_assert!((b[k] - b0[k]).abs() < 1e-10 * (1.0 + b0[k].abs()));
+            assert!((b[k] - b0[k]).abs() < 1e-10 * (1.0 + b0[k].abs()));
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Factorization invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn lu_pivots_valid_and_residual_small(n in 1usize..12, data in square_matrix(12)) {
-        let a0: Mat<f64> = Mat::from_fn(n, n, |i, j| data[i + j * 12 % (12 * 12)] + if i == j { 2.0 } else { 0.0 });
+// ----------------------------------------------------------------------
+// Factorization invariants.
+// ----------------------------------------------------------------------
+
+#[test]
+fn lu_pivots_valid_and_residual_small() {
+    sweep(64, |case| {
+        let n = 1 + (case % 11) as usize;
+        let mut rng = f77::Larnv::new(case * 19 + 7);
+        let a0: Mat<f64> = Mat::from_fn(n, n, |i, j| {
+            rng.real::<f64>(f77::Dist::Uniform11) + if i == j { 2.0 } else { 0.0 }
+        });
         let mut f = a0.clone();
         let mut ipiv = vec![0i32; n];
         if la90::getrf(&mut f, &mut ipiv).is_ok() {
             // Pivots are 1-based and in range [k+1, n].
             for (k, &p) in ipiv.iter().enumerate() {
-                prop_assert!(p >= (k + 1) as i32 && p <= n as i32, "pivot {p} at {k}");
+                assert!(p >= (k + 1) as i32 && p <= n as i32, "pivot {p} at {k}");
             }
             let r = verify::lu_ratio(&a0, &f, &ipiv);
-            prop_assert!(r < 50.0, "LU ratio {r}");
+            assert!(r < 50.0, "LU ratio {r}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn solve_then_multiply_roundtrip(n in 1usize..10, seed in 0u64..500) {
-        let mut rng = f77::Larnv::new(seed);
+#[test]
+fn solve_then_multiply_roundtrip() {
+    sweep(64, |case| {
+        let n = 1 + (case % 9) as usize;
+        let mut rng = f77::Larnv::new(case * 23 + 11);
         let a0: Mat<f64> = Mat::from_fn(n, n, |i, j| {
             rng.real::<f64>(f77::Dist::Uniform11) + if i == j { 3.0 } else { 0.0 }
         });
         let xtrue: Vec<f64> = rng.vec(f77::Dist::Uniform11, n);
         let mut b = vec![0.0; n];
-        la_blas::gemv(Trans::No, n, n, 1.0, a0.as_slice(), n, &xtrue, 1, 0.0, &mut b, 1);
+        la_blas::gemv(
+            Trans::No,
+            n,
+            n,
+            1.0,
+            a0.as_slice(),
+            n,
+            &xtrue,
+            1,
+            0.0,
+            &mut b,
+            1,
+        );
         let mut a = a0.clone();
         la90::gesv(&mut a, &mut b).unwrap();
         for i in 0..n {
-            prop_assert!((b[i] - xtrue[i]).abs() < 1e-9, "x[{i}]");
+            assert!((b[i] - xtrue[i]).abs() < 1e-9, "x[{i}]");
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_requires_posdef(n in 1usize..8, seed in 0u64..500) {
-        let mut rng = f77::Larnv::new(seed);
+#[test]
+fn cholesky_requires_posdef() {
+    sweep(64, |case| {
+        let n = 1 + (case % 7) as usize;
+        let mut rng = f77::Larnv::new(case * 29 + 13);
         // Definitely NOT positive definite: negative diagonal somewhere.
         let mut a: Mat<f64> = Mat::zeros(n, n);
         for i in 0..n {
@@ -139,15 +238,19 @@ proptest! {
         }
         let mut b = vec![1.0f64; n];
         let r = la90::posv(&mut a, &mut b);
-        prop_assert!(r.is_err(), "posv accepted an indefinite matrix");
-    }
+        assert!(r.is_err(), "posv accepted an indefinite matrix");
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Spectral invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn eigenvalues_ascending_and_trace_preserved(n in 1usize..10, seed in 0u64..500) {
-        let mut rng = f77::Larnv::new(seed);
+// ----------------------------------------------------------------------
+// Spectral invariants.
+// ----------------------------------------------------------------------
+
+#[test]
+fn eigenvalues_ascending_and_trace_preserved() {
+    sweep(64, |case| {
+        let n = 1 + (case % 9) as usize;
+        let mut rng = f77::Larnv::new(case * 31 + 17);
         let mut a: Mat<f64> = Mat::zeros(n, n);
         for j in 0..n {
             for i in 0..=j {
@@ -159,51 +262,64 @@ proptest! {
         let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
         let w = la90::syev(&mut a, la90::Jobz::Values).unwrap();
         for i in 1..n {
-            prop_assert!(w[i] >= w[i - 1]);
+            assert!(w[i] >= w[i - 1]);
         }
         let wsum: f64 = w.iter().sum();
-        prop_assert!((wsum - trace).abs() < 1e-10 * (1.0 + trace.abs()) * n as f64);
-    }
+        assert!((wsum - trace).abs() < 1e-10 * (1.0 + trace.abs()) * n as f64);
+    });
+}
 
-    #[test]
-    fn singular_values_nonneg_descending_and_norm(m in 1usize..9, n in 1usize..9, seed in 0u64..500) {
-        let mut rng = f77::Larnv::new(seed);
+#[test]
+fn singular_values_nonneg_descending_and_norm() {
+    sweep(64, |case| {
+        let m = 1 + (case % 8) as usize;
+        let n = 1 + ((case / 3) % 8) as usize;
+        let mut rng = f77::Larnv::new(case * 37 + 19);
         let a0: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.real(f77::Dist::Uniform11));
         let fro = a0.norm_fro();
         let mut a = a0.clone();
         let out = la90::gesvd(&mut a, false, false).unwrap();
         let k = m.min(n);
-        prop_assert_eq!(out.s.len(), k);
+        assert_eq!(out.s.len(), k);
         for i in 0..k {
-            prop_assert!(out.s[i] >= 0.0);
+            assert!(out.s[i] >= 0.0);
             if i > 0 {
-                prop_assert!(out.s[i] <= out.s[i - 1] + 1e-13);
+                assert!(out.s[i] <= out.s[i - 1] + 1e-13);
             }
         }
         // ‖A‖_F² = Σσ².
         let ssum: f64 = out.s.iter().map(|x| x * x).sum::<f64>().sqrt();
-        prop_assert!((ssum - fro).abs() < 1e-10 * (1.0 + fro));
-    }
+        assert!((ssum - fro).abs() < 1e-10 * (1.0 + fro));
+    });
+}
 
-    #[test]
-    fn geev_eigenvalues_sum_to_trace(n in 2usize..9, seed in 0u64..300) {
-        let mut rng = f77::Larnv::new(seed);
+#[test]
+fn geev_eigenvalues_sum_to_trace() {
+    sweep(48, |case| {
+        let n = 2 + (case % 7) as usize;
+        let mut rng = f77::Larnv::new(case * 41 + 23);
         let a0: Mat<f64> = Mat::from_fn(n, n, |_, _| rng.real(f77::Dist::Uniform11));
         let trace: f64 = (0..n).map(|i| a0[(i, i)]).sum();
         let mut a = a0.clone();
         let out = la90::geev(&mut a, false, false).unwrap();
         let wsum: Complex<f64> = out.w.iter().fold(Complex::zero(), |s, &w| s + w);
-        prop_assert!((wsum.re - trace).abs() < 1e-8 * (1.0 + trace.abs()) * n as f64,
-                     "Σλ = {} vs tr = {trace}", wsum.re);
-        prop_assert!(wsum.im.abs() < 1e-8 * n as f64);
-    }
+        assert!(
+            (wsum.re - trace).abs() < 1e-8 * (1.0 + trace.abs()) * n as f64,
+            "Σλ = {} vs tr = {trace}",
+            wsum.re
+        );
+        assert!(wsum.im.abs() < 1e-8 * n as f64);
+    });
+}
 
-    #[test]
-    fn least_squares_never_beats_residual(m in 2usize..10, seed in 0u64..300) {
-        // The LS residual is orthogonal to range(A): any perturbation of x
-        // cannot reduce ‖b − Ax‖.
+#[test]
+fn least_squares_never_beats_residual() {
+    // The LS residual is orthogonal to range(A): any perturbation of x
+    // cannot reduce ‖b − Ax‖.
+    sweep(48, |case| {
+        let m = 2 + (case % 8) as usize;
         let n = (m / 2).max(1);
-        let mut rng = f77::Larnv::new(seed);
+        let mut rng = f77::Larnv::new(case * 43 + 29);
         let a0: Mat<f64> = Mat::from_fn(m, n, |_, _| rng.real(f77::Dist::Uniform11));
         let b0: Vec<f64> = rng.vec(f77::Dist::Uniform11, m);
         let mut a = a0.clone();
@@ -211,21 +327,36 @@ proptest! {
         la90::gels(&mut a, &mut b).unwrap();
         let resid = |x: &[f64]| -> f64 {
             let mut r = b0.clone();
-            la_blas::gemv(Trans::No, m, n, -1.0, a0.as_slice(), m, x, 1, 1.0, &mut r, 1);
+            la_blas::gemv(
+                Trans::No,
+                m,
+                n,
+                -1.0,
+                a0.as_slice(),
+                m,
+                x,
+                1,
+                1.0,
+                &mut r,
+                1,
+            );
             r.iter().map(|v| v * v).sum::<f64>().sqrt()
         };
         let base = resid(&b[..n]);
         let mut xp = b[..n].to_vec();
         for i in 0..n {
             xp[i] += 1e-3;
-            prop_assert!(resid(&xp) >= base - 1e-9, "perturbation improved LS fit");
+            assert!(resid(&xp) >= base - 1e-9, "perturbation improved LS fit");
             xp[i] -= 1e-3;
         }
-    }
+    });
+}
 
-    #[test]
-    fn packed_and_dense_solvers_agree(n in 1usize..10, seed in 0u64..300) {
-        let mut rng = f77::Larnv::new(seed);
+#[test]
+fn packed_and_dense_solvers_agree() {
+    sweep(48, |case| {
+        let n = 1 + (case % 9) as usize;
+        let mut rng = f77::Larnv::new(case * 47 + 31);
         let mut spd: Mat<f64> = Mat::zeros(n, n);
         for j in 0..n {
             for i in 0..=j {
@@ -243,7 +374,7 @@ proptest! {
         let mut x2 = b0.clone();
         la90::ppsv(&mut ap, &mut x2).unwrap();
         for i in 0..n {
-            prop_assert!((x1[i] - x2[i]).abs() < 1e-10 * (1.0 + x1[i].abs()));
+            assert!((x1[i] - x2[i]).abs() < 1e-10 * (1.0 + x1[i].abs()));
         }
-    }
+    });
 }
