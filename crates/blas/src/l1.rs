@@ -126,10 +126,30 @@ pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: usize) -> T::Real {
 
 /// `xLASSQ`: updates `(scale, ssq)` so that
 /// `scale² · ssq = old_scale² · old_ssq + Σ |x_i|²` without overflow.
+///
+/// Exception semantics follow Demmel et al. (arXiv:2207.09281): a NaN
+/// element makes `ssq` NaN so the caller's `scale * sqrt(ssq)` is NaN; an
+/// Inf element (with no NaN anywhere) makes the result `+Inf`. NaN wins
+/// over Inf regardless of encounter order.
 pub fn lassq<T: Scalar>(n: usize, x: &[T], incx: usize, scale: &mut T::Real, ssq: &mut T::Real) {
     let mut update = |v: T::Real| {
         let a = v.rabs();
-        if a.is_zero() || a.is_nan() {
+        if a.is_nan() {
+            // Poison the sum-of-squares; `scale` stays finite (or Inf),
+            // and `scale * sqrt(NaN)` is NaN even for `scale == 0`.
+            *ssq = T::Real::nan();
+            return;
+        }
+        if !a.is_finite_r() {
+            // ±Inf: the exact sum is +Inf unless a NaN was already seen.
+            // `scale/Inf == 0` keeps later finite updates harmless.
+            *scale = a;
+            if !ssq.is_nan() {
+                *ssq = T::Real::one();
+            }
+            return;
+        }
+        if a.is_zero() {
             return;
         }
         if *scale < a {
@@ -165,12 +185,20 @@ pub fn asum<T: Scalar>(n: usize, x: &[T], incx: usize) -> T::Real {
 
 /// 0-based index of the first element with the largest `abs1` modulus
 /// (`IxAMAX`, shifted to 0-based). Returns 0 when `n == 0`.
+///
+/// NaN semantics are first-NaN-wins, per Demmel et al. (arXiv:2207.09281):
+/// the index of the first NaN element is returned, so LU-style pivoting on
+/// a poisoned column selects the NaN instead of silently skipping it (the
+/// historical `a > best` comparison ignores NaN entirely).
 pub fn iamax<T: Scalar>(n: usize, x: &[T], incx: usize) -> usize {
     let mut best = T::Real::zero();
     let mut arg = 0usize;
     let mut ix = 0;
     for k in 0..n {
         let a = x[ix].abs1();
+        if a.is_nan() {
+            return k;
+        }
         if a > best {
             best = a;
             arg = k;
@@ -283,6 +311,53 @@ mod tests {
         assert_eq!(asum(3, &x, 1), 7.0);
         assert_eq!(iamax(3, &x, 1), 1);
         assert_eq!(iamax(0, &x, 1), 0);
+    }
+
+    #[test]
+    fn reductions_propagate_nan_and_inf_all_four_types() {
+        use la_core::C32;
+
+        fn check<T: Scalar>() {
+            let nan = T::from_real(T::Real::nan());
+            let inf = T::from_real(T::Real::one() / T::Real::zero());
+            let fin = |v: f64| T::from_f64(v);
+
+            // nrm2 / lassq: NaN anywhere → NaN, Inf (no NaN) → +Inf.
+            let x = [fin(1.0), nan, fin(2.0)];
+            assert!(nrm2(3, &x, 1).is_nan(), "{}: nrm2 lost a NaN", T::PREFIX);
+            let x = [fin(1.0), inf, fin(2.0)];
+            let r = nrm2(3, &x, 1);
+            assert!(
+                !r.is_finite_r() && !r.is_nan(),
+                "{}: nrm2 of an Inf vector must be +Inf, got {r:?}",
+                T::PREFIX
+            );
+            // NaN wins over Inf in either encounter order.
+            assert!(nrm2(2, &[nan, inf], 1).is_nan());
+            assert!(nrm2(2, &[inf, nan], 1).is_nan());
+            // NaN first, before scale ever leaves zero.
+            assert!(nrm2(2, &[nan, fin(5.0)], 1).is_nan());
+            // Two Infs stay Inf.
+            let r = nrm2(2, &[inf, inf], 1);
+            assert!(!r.is_finite_r() && !r.is_nan());
+
+            // asum propagates through plain accumulation.
+            assert!(asum(3, &[fin(1.0), nan, fin(2.0)], 1).is_nan());
+            assert!(!asum(2, &[fin(1.0), inf], 1).is_finite_r());
+
+            // iamax: first NaN wins; Inf dominates finite values.
+            assert_eq!(iamax(4, &[fin(1.0), nan, fin(9.0), nan], 1), 1);
+            assert_eq!(iamax(3, &[fin(1.0), fin(9.0), inf], 1), 2);
+        }
+        check::<f32>();
+        check::<f64>();
+        check::<C32>();
+        check::<C64>();
+
+        // Complex: a NaN hiding in the imaginary part must also poison.
+        let x = [C64::new(1.0, 0.0), C64::new(0.0, f64::NAN)];
+        assert!(nrm2(2, &x, 1).is_nan());
+        assert_eq!(iamax(2, &x, 1), 1);
     }
 
     #[test]

@@ -31,6 +31,30 @@ fn cj<T: Scalar>(conj: bool, x: T) -> T {
 /// Depth of the k-dimension cache block.
 const KC: usize = 128;
 
+/// Graceful degradation of a parallel BLAS-3 operation: snapshots the
+/// output, attempts the parallel path, and — if any worker thread panics
+/// (`std::thread::scope` re-raises the first worker panic on the caller)
+/// — restores the snapshot and re-runs the operation on the serial path,
+/// so the process survives and the result is the one the serial code
+/// would have produced. The fallback is counted through
+/// [`la_core::except::note_parallel_fallback`].
+///
+/// The snapshot is O(output), negligible against the O(m·n·k) flops that
+/// put the operation above the parallel threshold in the first place.
+fn with_serial_fallback<T: Scalar>(
+    out: &mut [T],
+    parallel: impl FnOnce(&mut [T]),
+    serial: impl FnOnce(&mut [T]),
+) {
+    let snapshot = out.to_vec();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parallel(&mut *out)));
+    if attempt.is_err() {
+        out.copy_from_slice(&snapshot);
+        la_core::except::note_parallel_fallback();
+        serial(out);
+    }
+}
+
 /// Splits the columns of an `n`-column, leading-dimension-`ld` matrix into
 /// `stripes` contiguous bands and runs `f(j0, w, band)` on scoped threads,
 /// where `band` starts at column `j0` and holds `w` columns. The final
@@ -43,6 +67,11 @@ where
     let base = n / stripes;
     let extra = n % stripes;
     let fref = &f;
+    // Test-only fault injection (see `TuneConfig::fault_inject_par`): read
+    // on the calling thread — scoped tune overrides do not cross into the
+    // workers — and detonated inside the first spawned stripe so the panic
+    // takes the real cross-thread propagation path.
+    let inject = tune::current().fault_inject_par;
     std::thread::scope(|s| {
         let mut rest = data;
         let mut j0 = 0usize;
@@ -54,7 +83,13 @@ where
             let take = if j0 + w >= n { rest.len() } else { ld * w };
             let (mine, tail) = rest.split_at_mut(take);
             rest = tail;
-            s.spawn(move || fref(j0, w, mine));
+            let boom = inject && t == 0;
+            s.spawn(move || {
+                if boom {
+                    panic!("injected BLAS-3 stripe fault");
+                }
+                fref(j0, w, mine)
+            });
             j0 += w;
         }
     });
@@ -114,8 +149,14 @@ pub fn gemm<T: Scalar>(
     let cfg = tune::current();
     let stripes = par_stripes(&cfg, m * n * k, n, 8);
     if stripes > 1 {
-        gemm_striped(
-            stripes, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+        with_serial_fallback(
+            c,
+            |c| {
+                gemm_striped(
+                    stripes, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+                )
+            },
+            |c| gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc),
         );
     } else {
         gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
@@ -594,58 +635,112 @@ fn syrk_impl<T: Scalar>(
     // synchronisation. Round-robin dealing balances the triangle's uneven
     // per-block rectangle sizes. Serial and parallel paths run the exact
     // same per-block code, in particular the same summation orders.
-    const NB: usize = 48;
     let cfg = tune::current();
-    let workers = par_stripes(&cfg, n * n * k / 2, n, NB).min(n.div_ceil(NB));
+    let workers = par_stripes(&cfg, n * n * k / 2, n, SYRK_NB).min(n.div_ceil(SYRK_NB));
     if workers > 1 {
-        let mut blocks: Vec<(usize, usize, &mut [T])> = Vec::new();
-        let mut rest = c;
-        let mut j0 = 0usize;
-        while j0 < n {
-            let jb = NB.min(n - j0);
-            let take = if j0 + jb >= n { rest.len() } else { ldc * jb };
-            let (mine, tail) = rest.split_at_mut(take);
-            rest = tail;
-            blocks.push((j0, jb, mine));
-            j0 += jb;
-        }
-        let mut work: Vec<Vec<(usize, usize, &mut [T])>> = Vec::new();
-        work.resize_with(workers, Vec::new);
-        for (idx, blk) in blocks.into_iter().enumerate() {
-            work[idx % workers].push(blk);
-        }
-        std::thread::scope(|s| {
-            for list in work {
-                s.spawn(move || {
-                    for (j0, jb, cb) in list {
-                        syrk_block(
-                            conj, uplo, trans, n, k, alpha, a, lda, beta, j0, jb, cb, ldc,
-                        );
-                    }
-                });
-            }
-        });
+        with_serial_fallback(
+            c,
+            |c| {
+                syrk_blocks_par(
+                    workers, conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc,
+                )
+            },
+            |c| syrk_blocks_serial(conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc),
+        );
     } else {
-        let mut j0 = 0usize;
-        while j0 < n {
-            let jb = NB.min(n - j0);
-            syrk_block(
-                conj,
-                uplo,
-                trans,
-                n,
-                k,
-                alpha,
-                a,
-                lda,
-                beta,
-                j0,
-                jb,
-                &mut c[j0 * ldc..],
-                ldc,
-            );
-            j0 += jb;
+        syrk_blocks_serial(conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+    }
+}
+
+/// Column-block width of the rank-k update decomposition.
+const SYRK_NB: usize = 48;
+
+/// The parallel rank-k path: NB-column blocks dealt round-robin to
+/// `workers` scoped threads. Carries the same fault-injection hook as
+/// [`stripe_cols`] so the degradation path is testable here too.
+#[allow(clippy::too_many_arguments)]
+fn syrk_blocks_par<T: Scalar>(
+    workers: usize,
+    conj: bool,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let mut blocks: Vec<(usize, usize, &mut [T])> = Vec::new();
+    let mut rest = c;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let jb = SYRK_NB.min(n - j0);
+        let take = if j0 + jb >= n { rest.len() } else { ldc * jb };
+        let (mine, tail) = rest.split_at_mut(take);
+        rest = tail;
+        blocks.push((j0, jb, mine));
+        j0 += jb;
+    }
+    let mut work: Vec<Vec<(usize, usize, &mut [T])>> = Vec::new();
+    work.resize_with(workers, Vec::new);
+    for (idx, blk) in blocks.into_iter().enumerate() {
+        work[idx % workers].push(blk);
+    }
+    let inject = tune::current().fault_inject_par;
+    std::thread::scope(|s| {
+        for (t, list) in work.into_iter().enumerate() {
+            let boom = inject && t == 0;
+            s.spawn(move || {
+                if boom {
+                    panic!("injected BLAS-3 stripe fault");
+                }
+                for (j0, jb, cb) in list {
+                    syrk_block(
+                        conj, uplo, trans, n, k, alpha, a, lda, beta, j0, jb, cb, ldc,
+                    );
+                }
+            });
         }
+    });
+}
+
+/// The serial rank-k path: the same NB-column blocks, in order.
+#[allow(clippy::too_many_arguments)]
+fn syrk_blocks_serial<T: Scalar>(
+    conj: bool,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let mut j0 = 0usize;
+    while j0 < n {
+        let jb = SYRK_NB.min(n - j0);
+        syrk_block(
+            conj,
+            uplo,
+            trans,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            beta,
+            j0,
+            jb,
+            &mut c[j0 * ldc..],
+            ldc,
+        );
+        j0 += jb;
     }
 }
 
@@ -841,9 +936,15 @@ pub fn trmm<T: Scalar>(
             let cfg = tune::current();
             let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
             if stripes > 1 {
-                stripe_cols(stripes, n, ldb, b, |_, w, bb| {
-                    trmm_left_cols(uplo, trans, diag, m, w, alpha, a, lda, bb, ldb);
-                });
+                with_serial_fallback(
+                    b,
+                    |b| {
+                        stripe_cols(stripes, n, ldb, b, |_, w, bb| {
+                            trmm_left_cols(uplo, trans, diag, m, w, alpha, a, lda, bb, ldb);
+                        })
+                    },
+                    |b| trmm_left_cols(uplo, trans, diag, m, n, alpha, a, lda, b, ldb),
+                );
             } else {
                 trmm_left_cols(uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
             }
@@ -978,9 +1079,15 @@ pub fn trsm<T: Scalar>(
             let cfg = tune::current();
             let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
             if stripes > 1 {
-                stripe_cols(stripes, n, ldb, b, |_, w, bb| {
-                    trsm_left_cols(uplo, trans, diag, m, w, a, lda, bb, ldb);
-                });
+                with_serial_fallback(
+                    b,
+                    |b| {
+                        stripe_cols(stripes, n, ldb, b, |_, w, bb| {
+                            trsm_left_cols(uplo, trans, diag, m, w, a, lda, bb, ldb);
+                        })
+                    },
+                    |b| trsm_left_cols(uplo, trans, diag, m, n, a, lda, b, ldb),
+                );
             } else {
                 trsm_left_cols(uplo, trans, diag, m, n, a, lda, b, ldb);
             }

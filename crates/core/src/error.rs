@@ -61,6 +61,20 @@ pub enum LaError {
         /// Driver name.
         routine: &'static str,
     },
+    /// `INFO = -101`: a NaN or ±Inf was detected by the exception-handling
+    /// policy (see [`crate::except`]) — either in the array input named by
+    /// `argument` before any computation, or in a computed output that
+    /// would otherwise have been returned with `INFO = 0`. This extension
+    /// code mirrors the `-100` allocation convention and follows Demmel
+    /// et al. (arXiv:2207.09281).
+    NonFinite {
+        /// Driver name.
+        routine: &'static str,
+        /// 1-based index of the offending argument in the documented
+        /// argument order; `0` when the origin is unknown (e.g. the code
+        /// was reconstructed from a raw `INFO` by [`erinfo`]).
+        argument: usize,
+    },
 }
 
 impl LaError {
@@ -71,13 +85,15 @@ impl LaError {
             | LaError::Singular { routine, .. }
             | LaError::NotPosDef { routine, .. }
             | LaError::NoConvergence { routine, .. }
-            | LaError::AllocFailed { routine } => routine,
+            | LaError::AllocFailed { routine }
+            | LaError::NonFinite { routine, .. } => routine,
         }
     }
 
     /// The `INFO` code following the LAPACK convention: negative for an
     /// illegal argument, positive for a computational failure, `-100` for
-    /// allocation failure (LAPACK90's own extension, Appendix C).
+    /// allocation failure (LAPACK90's own extension, Appendix C), `-101`
+    /// for a screened non-finite value (this package's extension).
     pub fn info(&self) -> i32 {
         match self {
             LaError::IllegalArg { index, .. } => -(*index as i32),
@@ -85,6 +101,7 @@ impl LaError {
             LaError::NotPosDef { minor, .. } => *minor as i32,
             LaError::NoConvergence { count, .. } => *count as i32,
             LaError::AllocFailed { .. } => -100,
+            LaError::NonFinite { .. } => -101,
         }
     }
 }
@@ -114,6 +131,12 @@ impl fmt::Display for LaError {
                 write!(f, " (argument {index} had an illegal value)")
             }
             LaError::AllocFailed { .. } => write!(f, " (workspace allocation failed)"),
+            LaError::NonFinite { argument: 0, .. } => {
+                write!(f, " (a NaN or Inf was detected)")
+            }
+            LaError::NonFinite { argument, .. } => {
+                write!(f, " (argument {argument} contains a NaN or Inf)")
+            }
         }
     }
 }
@@ -135,6 +158,13 @@ pub fn erinfo(
         Ordering::Less => {
             if linfo == -100 {
                 Err(LaError::AllocFailed { routine: srname })
+            } else if linfo == -101 {
+                // The raw code cannot carry the argument index; `0` marks
+                // it unknown.
+                Err(LaError::NonFinite {
+                    routine: srname,
+                    argument: 0,
+                })
             } else {
                 Err(LaError::IllegalArg {
                     routine: srname,
@@ -229,5 +259,32 @@ mod tests {
                 routine: "LA_GETRI"
             })
         );
+        assert_eq!(
+            erinfo(-101, "LA_GESV", PositiveInfo::Singular),
+            Err(LaError::NonFinite {
+                routine: "LA_GESV",
+                argument: 0
+            })
+        );
+    }
+
+    #[test]
+    fn non_finite_extension_code() {
+        let e = LaError::NonFinite {
+            routine: "LA_GESV",
+            argument: 2,
+        };
+        assert_eq!(e.info(), -101);
+        assert_eq!(e.routine(), "LA_GESV");
+        let s = format!("{e}");
+        assert!(s.starts_with("Terminated in LAPACK90 subroutine LA_GESV"));
+        assert!(s.contains("INFO = -101"));
+        assert!(s.contains("argument 2 contains a NaN or Inf"));
+        // Unknown-origin shape (argument 0, as erinfo reconstructs it).
+        let e = LaError::NonFinite {
+            routine: "LA_GESV",
+            argument: 0,
+        };
+        assert!(format!("{e}").contains("a NaN or Inf was detected"));
     }
 }

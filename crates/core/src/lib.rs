@@ -19,12 +19,16 @@
 //!   object): thread budget, parallel thresholds, per-routine block
 //!   sizes, all adjustable programmatically or via `LA_*` environment
 //!   variables.
+//! * [`except`] — the exception-handling subsystem (Demmel et al.,
+//!   arXiv:2207.09281): runtime NaN/Inf screening policy (`LA_FP_CHECK`),
+//!   `all_finite` sweeps, and the `INFO = -101` non-finite extension code.
 
 #![warn(missing_docs)]
 
 pub mod complex;
 pub mod enums;
 pub mod error;
+pub mod except;
 pub mod mat;
 pub mod scalar;
 pub mod storage;
@@ -33,6 +37,7 @@ pub mod tune;
 pub use complex::{Complex, C32, C64};
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};
+pub use except::FpCheckPolicy;
 pub use mat::Mat;
 pub use scalar::{RealScalar, Scalar};
 pub use storage::{BandMat, PackedMat, SymBandMat};

@@ -203,6 +203,13 @@ impl<T: Scalar> Mat<T> {
         }
         m
     }
+
+    /// True iff every element is finite — the [`crate::except`] screening
+    /// sweep over the whole stored array (storage is dense, so the buffer
+    /// is exactly the matrix).
+    pub fn all_finite(&self) -> bool {
+        crate::except::all_finite(&self.data)
+    }
 }
 
 use crate::scalar::RealScalar;
@@ -306,6 +313,16 @@ mod tests {
         let b = a.block(1, 2, 2, 2);
         assert_eq!(b[(0, 0)], a[(1, 2)]);
         assert_eq!(b[(1, 1)], a[(2, 3)]);
+    }
+
+    #[test]
+    fn all_finite_screens_whole_buffer() {
+        let mut a: Mat<f64> = Mat::identity(5);
+        assert!(a.all_finite());
+        a[(3, 2)] = f64::NAN;
+        assert!(!a.all_finite());
+        a[(3, 2)] = f64::INFINITY;
+        assert!(!a.all_finite());
     }
 
     #[test]

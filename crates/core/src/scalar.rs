@@ -162,6 +162,9 @@ pub trait RealScalar: Scalar<Real = Self> + PartialOrd {
     fn from_usize(n: usize) -> Self;
     /// Finite test, named to avoid shadowing the inherent method.
     fn is_finite_r(self) -> bool;
+    /// A quiet NaN, for the NaN-propagating reductions of the exception
+    /// contract (`lange`, `lassq`; see `la_core::except`).
+    fn nan() -> Self;
     /// LAPACK type prefix of the *complex* type built over this real type
     /// (`C` for `f32`, `Z` for `f64`).
     const CPREFIX: char;
@@ -327,6 +330,10 @@ macro_rules! impl_real_scalar {
             #[inline(always)]
             fn is_finite_r(self) -> bool {
                 <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn nan() -> Self {
+                <$t>::NAN
             }
         }
     };

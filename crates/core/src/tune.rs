@@ -61,6 +61,12 @@ pub struct TuneConfig {
     /// Problem order at or below which blocked algorithms fall back to
     /// their unblocked forms.
     pub crossover: usize,
+    /// Test-only fault-injection hook: when `true`, the parallel BLAS-3
+    /// panics in one of its worker stripes, exercising the graceful
+    /// serial-fallback path. Never read from the environment; exists so
+    /// the degradation machinery can be tested without unsafe tricks.
+    #[doc(hidden)]
+    pub fault_inject_par: bool,
 }
 
 impl TuneConfig {
@@ -75,6 +81,7 @@ impl TuneConfig {
             nb_sytrf: 32,
             nb_default: 32,
             crossover: 128,
+            fault_inject_par: false,
         }
     }
 

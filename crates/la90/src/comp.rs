@@ -8,7 +8,7 @@ use la_core::{erinfo, LaError, Mat, Norm, PositiveInfo, Scalar, Trans, Uplo};
 use la_lapack as f77;
 pub use la_lapack::{Dist, Larnv, SpectrumMode};
 
-use crate::rhs::Rhs;
+use crate::rhs::{screen_inputs, screen_outputs, Rhs};
 
 fn illegal(routine: &'static str, index: usize) -> LaError {
     LaError::IllegalArg { routine, index }
@@ -22,9 +22,11 @@ pub fn getrf<T: Scalar>(a: &mut Mat<T>, ipiv: &mut [i32]) -> Result<(), LaError>
     if ipiv.len() != m.min(n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let linfo = f77::getrf(m, n, a.as_mut_slice(), lda, ipiv);
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 1, a.as_slice())
 }
 
 /// [`getrf`] with the optional `RCOND`/`NORM` outputs (square matrices
@@ -43,10 +45,12 @@ pub fn getrf_rcond<T: Scalar>(
     if ipiv.len() != n {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let anorm = f77::lange(norm, n, n, a.as_slice(), lda);
     let linfo = f77::getrf(n, n, a.as_mut_slice(), lda, ipiv);
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 1, a.as_slice())?;
     Ok(f77::gecon(norm, n, a.as_slice(), lda, ipiv, anorm))
 }
 
@@ -69,6 +73,7 @@ pub fn getrs<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != n {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 3 => b.as_slice());
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let linfo = f77::getrs(
@@ -81,7 +86,8 @@ pub fn getrs<T: Scalar, B: Rhs<T> + ?Sized>(
         b.as_mut_slice(),
         ldb,
     );
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 3, b.as_slice())
 }
 
 /// `CALL LA_GETRI( A, IPIV, INFO=info )` — inverse from the LU
@@ -96,9 +102,11 @@ pub fn getri<T: Scalar>(a: &mut Mat<T>, ipiv: &[i32]) -> Result<(), LaError> {
     if ipiv.len() != n {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let linfo = f77::getri(n, a.as_mut_slice(), lda, ipiv);
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 1, a.as_slice())
 }
 
 /// `CALL LA_GERFS( A, AF, IPIV, B, X, TRANS=, FERR=, BERR=, INFO= )` —
@@ -123,6 +131,7 @@ pub fn gerfs<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if b.nrows() != n || x.nrows() != n || b.nrhs() != x.nrhs() {
         return Err(illegal(SRNAME, 4));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => af.as_slice(), 4 => b.as_slice(), 5 => x.as_slice());
     let nrhs = b.nrhs();
     let mut ferr = vec![T::Real::zero(); nrhs];
     let mut berr = vec![T::Real::zero(); nrhs];
@@ -144,6 +153,7 @@ pub fn gerfs<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
         &mut berr,
     );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 5, x.as_slice())?;
     Ok((ferr, berr))
 }
 
@@ -167,10 +177,13 @@ pub struct GeequOut<R> {
 pub fn geequ<T: Scalar>(a: &Mat<T>) -> Result<GeequOut<T::Real>, LaError> {
     const SRNAME: &str = "LA_GEEQU";
     let (m, n) = a.shape();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let mut r = vec![T::Real::zero(); m];
     let mut c = vec![T::Real::zero(); n];
     let (rowcnd, colcnd, amax, linfo) = f77::geequ(m, n, a.as_slice(), a.lda(), &mut r, &mut c);
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 2, &r)?;
+    screen_outputs(SRNAME, 3, &c)?;
     Ok(GeequOut {
         r,
         c,
@@ -188,9 +201,11 @@ pub fn potrf<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<(), LaError> {
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let linfo = f77::potrf(uplo, n, a.as_mut_slice(), lda);
-    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    screen_outputs(SRNAME, 1, a.as_slice())
 }
 
 /// [`potrf`] with the optional reciprocal condition estimate.
@@ -200,10 +215,12 @@ pub fn potrf_rcond<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<T::Real, LaE
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let anorm = f77::lansy(Norm::One, uplo, T::IS_COMPLEX, n, a.as_slice(), lda);
     let linfo = f77::potrf(uplo, n, a.as_mut_slice(), lda);
     erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    screen_outputs(SRNAME, 1, a.as_slice())?;
     Ok(f77::pocon(uplo, n, a.as_slice(), lda, anorm))
 }
 
@@ -224,9 +241,11 @@ pub fn sygst<T: Scalar>(
     if b.shape() != (n, n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let (lda, ldb) = (a.lda(), b.lda());
     let linfo = f77::sygst(itype, uplo, n, a.as_mut_slice(), lda, b.as_slice(), ldb);
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 1, a.as_slice())
 }
 
 /// `CALL LA_SYTRD / LA_HETRD( A, TAU, UPLO=uplo, INFO=info )` — reduction
@@ -241,6 +260,7 @@ pub fn sytrd<T: Scalar>(
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let mut d = vec![T::Real::zero(); n];
     let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
     let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
@@ -249,6 +269,8 @@ pub fn sytrd<T: Scalar>(
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
     e.truncate(n.saturating_sub(1));
     tau.truncate(n.saturating_sub(1));
+    screen_outputs(SRNAME, 1, a.as_slice())?;
+    screen_outputs(SRNAME, 2, &tau)?;
     Ok((d, e, tau))
 }
 
@@ -263,9 +285,11 @@ pub fn orgtr<T: Scalar>(a: &mut Mat<T>, tau: &[T], uplo: Uplo) -> Result<(), LaE
     if n > 0 && tau.len() < n - 1 {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => tau);
     let lda = a.lda();
     let linfo = f77::orgtr(uplo, n, a.as_mut_slice(), lda, tau);
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 1, a.as_slice())
 }
 
 /// `VNORM = LA_LANGE( A, NORM=norm, INFO=info )` — matrix norm of a
@@ -282,8 +306,10 @@ pub fn lagge<T: Scalar>(m: usize, n: usize, d: &[T::Real], seed: u64) -> Result<
     if d.len() < m.min(n) {
         return Err(illegal(SRNAME, 4));
     }
+    screen_inputs!(SRNAME, 4 => d);
     let mut rng = Larnv::new(seed);
     let a = f77::lagge::<T>(&mut rng, m, n, d);
+    screen_outputs(SRNAME, 1, &a)?;
     Ok(Mat::from_col_major(m, n, a))
 }
 

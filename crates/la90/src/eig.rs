@@ -17,6 +17,8 @@ use la_core::{
 use la_lapack as f77;
 pub use la_lapack::EigRange;
 
+use crate::rhs::{screen_inputs, screen_outputs};
+
 fn illegal(routine: &'static str, index: usize) -> LaError {
     LaError::IllegalArg { routine, index }
 }
@@ -68,10 +70,12 @@ pub fn syev_uplo<T: Scalar>(
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let mut w = vec![T::Real::zero(); n];
     let lda = a.lda();
     let linfo = f77::syev(jobz.wants(), uplo, n, a.as_mut_slice(), lda, &mut w);
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &w)?;
     Ok(w)
 }
 
@@ -98,10 +102,12 @@ pub fn syevd_uplo<T: Scalar>(
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let mut w = vec![T::Real::zero(); n];
     let lda = a.lda();
     let linfo = f77::syevd(jobz.wants(), uplo, n, a.as_mut_slice(), lda, &mut w);
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &w)?;
     Ok(w)
 }
 
@@ -120,8 +126,12 @@ pub fn syevx<T: Scalar>(
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
-    let lda = a.lda();
-    let (w, z) = f77::syevx(jobz.wants(), range, uplo, n, a.as_mut_slice(), lda, abstol);
+    screen_inputs!(SRNAME, 1 => a.as_slice());
+    let (w, z) = {
+        let lda = a.lda();
+        f77::syevx(jobz.wants(), range, uplo, n, a.as_mut_slice(), lda, abstol)
+    };
+    screen_outputs(SRNAME, 2, &w)?;
     let m = w.len();
     let zmat = if jobz.wants() {
         Some(Mat::from_col_major(n, m, z))
@@ -139,6 +149,7 @@ pub fn spev<T: Scalar>(
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SPEV";
     let n = ap.n();
+    screen_inputs!(SRNAME, 1 => ap.as_slice());
     let uplo = ap.uplo();
     let mut w = vec![T::Real::zero(); n];
     let linfo = if jobz.wants() {
@@ -153,11 +164,13 @@ pub fn spev<T: Scalar>(
             Some((z.as_mut_slice(), ldz)),
         );
         erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 2, &w)?;
         return Ok((w, Some(z)));
     } else {
         f77::spev::<T>(false, uplo, n, ap.as_mut_slice(), &mut w, None)
     };
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &w)?;
     Ok((w, None))
 }
 
@@ -169,6 +182,7 @@ pub fn spevd<T: Scalar>(
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SPEVD";
     let n = ap.n();
+    screen_inputs!(SRNAME, 1 => ap.as_slice());
     let uplo = ap.uplo();
     let mut d = vec![T::Real::zero(); n];
     let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
@@ -177,6 +191,7 @@ pub fn spevd<T: Scalar>(
     if !jobz.wants() {
         let linfo = f77::sterf(n, &mut d, &mut e);
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 2, &d)?;
         return Ok((d, None));
     }
     let zt = f77::stedc(n, &mut d, &mut e);
@@ -201,6 +216,7 @@ pub fn spevd<T: Scalar>(
         z.as_mut_slice(),
         n.max(1),
     );
+    screen_outputs(SRNAME, 2, &d)?;
     Ok((d, Some(z)))
 }
 
@@ -212,13 +228,16 @@ pub fn spevx<T: Scalar>(
     range: EigRange<T::Real>,
     abstol: T::Real,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SPEVX";
     let n = ap.n();
+    screen_inputs!(SRNAME, 1 => ap.as_slice());
     let uplo = ap.uplo();
     let mut d = vec![T::Real::zero(); n];
     let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
     let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
     f77::sptrd(uplo, n, ap.as_mut_slice(), &mut d, &mut e, &mut tau);
     let w = f77::stebz(range, n, &d, &e, abstol);
+    screen_outputs(SRNAME, 2, &w)?;
     if !jobz.wants() || w.is_empty() {
         return Ok((w, None));
     }
@@ -256,6 +275,7 @@ pub fn sbev<T: Scalar>(
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SBEV";
     let n = ab.n();
+    screen_inputs!(SRNAME, 1 => ab.as_slice());
     let mut w = vec![T::Real::zero(); n];
     if jobz.wants() {
         let mut z = Mat::<T>::zeros(n, n);
@@ -271,6 +291,7 @@ pub fn sbev<T: Scalar>(
             Some((z.as_mut_slice(), ldz)),
         );
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 2, &w)?;
         Ok((w, Some(z)))
     } else {
         let linfo = f77::sbev::<T>(
@@ -284,6 +305,7 @@ pub fn sbev<T: Scalar>(
             None,
         );
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 2, &w)?;
         Ok((w, None))
     }
 }
@@ -296,6 +318,7 @@ pub fn sbevd<T: Scalar>(
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SBEVD";
     let n = ab.n();
+    screen_inputs!(SRNAME, 1 => ab.as_slice());
     let mut dense = ab.to_dense_sym();
     let lda = dense.lda();
     let mut w = vec![T::Real::zero(); n];
@@ -308,6 +331,7 @@ pub fn sbevd<T: Scalar>(
         &mut w,
     );
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &w)?;
     Ok((w, if jobz.wants() { Some(dense) } else { None }))
 }
 
@@ -318,7 +342,9 @@ pub fn sbevx<T: Scalar>(
     range: EigRange<T::Real>,
     abstol: T::Real,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
+    const SRNAME: &str = "LA_SBEVX";
     let n = ab.n();
+    screen_inputs!(SRNAME, 1 => ab.as_slice());
     let mut dense = ab.to_dense_sym();
     let lda = dense.lda();
     let (w, z) = f77::syevx(
@@ -330,6 +356,7 @@ pub fn sbevx<T: Scalar>(
         lda,
         abstol,
     );
+    screen_outputs(SRNAME, 2, &w)?;
     let m = w.len();
     let zmat = if jobz.wants() {
         Some(Mat::from_col_major(n, m, z))
@@ -351,15 +378,18 @@ pub fn stev<R: RealScalar>(
     if n > 0 && e.len() < n - 1 {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => &*d, 2 => &*e);
     if jobz.wants() {
         let mut z = Mat::<R>::zeros(n, n);
         let ldz = z.lda();
         let linfo = f77::stev(n, d, e, Some((z.as_mut_slice(), ldz)));
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 1, d)?;
         Ok(Some(z))
     } else {
         let linfo = f77::stev::<R>(n, d, e, None);
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 1, d)?;
         Ok(None)
     }
 }
@@ -376,15 +406,18 @@ pub fn stevd<R: RealScalar>(
     if n > 0 && e.len() < n - 1 {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => &*d, 2 => &*e);
     if jobz.wants() {
         let mut z = Mat::<R>::zeros(n, n);
         let ldz = z.lda();
         let linfo = f77::stevd(true, n, d, e, Some((z.as_mut_slice(), ldz)));
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 1, d)?;
         Ok(Some(z))
     } else {
         let linfo = f77::stevd::<R>(false, n, d, e, None);
         erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+        screen_outputs(SRNAME, 1, d)?;
         Ok(None)
     }
 }
@@ -398,8 +431,11 @@ pub fn stevx<R: RealScalar>(
     range: EigRange<R>,
     abstol: R,
 ) -> Result<(Vec<R>, Option<Mat<R>>), LaError> {
+    const SRNAME: &str = "LA_STEVX";
     let n = d.len();
+    screen_inputs!(SRNAME, 1 => d, 2 => e);
     let (w, z) = f77::stevx(jobz.wants(), range, n, d, e, abstol);
+    screen_outputs(SRNAME, 3, &w)?;
     let m = w.len();
     let zmat = if jobz.wants() {
         Some(Mat::from_col_major(n, m, z))
@@ -613,9 +649,11 @@ pub fn geev<T: EigDriver>(
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let (info, w, vr, vl) = T::geev_driver(want_vl, want_vr, n, a.as_mut_slice(), lda);
     erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &w)?;
     Ok(GeevOut {
         w,
         vr: if want_vr {
@@ -654,6 +692,7 @@ pub fn geevx<T: EigDriver>(a: &mut Mat<T>) -> Result<GeevxOut<T>, LaError> {
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     // Balancing diagnostics on a copy (the driver balances internally).
     let mut bal = a.clone();
     let ldb = bal.lda();
@@ -712,6 +751,7 @@ pub fn gees<T: EigDriver>(
         return Err(illegal(SRNAME, 1));
     }
     let n = a.nrows();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let lda = a.lda();
     let mut vs = Mat::<T>::zeros(if want_vs { n } else { 0 }, if want_vs { n } else { 0 });
     let ldvs = vs.lda();
@@ -725,6 +765,7 @@ pub fn gees<T: EigDriver>(
         ldvs,
     );
     erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &w)?;
     Ok(GeesOut {
         w,
         vs: if want_vs { Some(vs) } else { None },
@@ -756,10 +797,12 @@ pub struct SvdOut<T: Scalar> {
 pub fn gesvd<T: Scalar>(a: &mut Mat<T>, want_u: bool, want_vt: bool) -> Result<SvdOut<T>, LaError> {
     const SRNAME: &str = "LA_GESVD";
     let (m, n) = a.shape();
+    screen_inputs!(SRNAME, 1 => a.as_slice());
     let k = m.min(n);
     let lda = a.lda();
     let (s, u, vt, info) = f77::gesvd(want_u, want_vt, m, n, a.as_mut_slice(), lda);
     erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, &s)?;
     Ok(SvdOut {
         s,
         u: if want_u {

@@ -13,7 +13,7 @@ use la_core::{
 use la_lapack as f77;
 pub use la_lapack::{Equed, Fact};
 
-use crate::rhs::Rhs;
+use crate::rhs::{screen_inputs, screen_outputs, Rhs};
 
 fn illegal(routine: &'static str, index: usize) -> LaError {
     LaError::IllegalArg { routine, index }
@@ -56,6 +56,7 @@ pub fn gesvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let mut af = vec![T::zero(); n * n];
     let mut ipiv = vec![0i32; n];
@@ -84,6 +85,7 @@ pub fn gesvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(ExpertOut {
         rcond: out.rcond,
         ferr: out.ferr,
@@ -113,6 +115,7 @@ pub fn posvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let mut af = vec![T::zero(); n * n];
     let mut s = vec![T::Real::zero(); n];
@@ -135,6 +138,7 @@ pub fn posvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(ExpertOut {
         rcond,
         ferr,
@@ -173,6 +177,7 @@ pub fn gbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => ab.as_slice(), 2 => b.as_slice());
     // The original may or may not carry factor space; normalize to the
     // plain layout expected by the expert driver.
     let (kl, ku) = (ab.kl(), ab.ku());
@@ -208,6 +213,7 @@ pub fn gbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 
@@ -231,6 +237,7 @@ pub fn gtsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 5));
     }
+    screen_inputs!(SRNAME, 1 => dl, 2 => d, 3 => du, 4 => b.as_slice());
     let nrhs = b.nrhs();
     let mut dlf = vec![T::zero(); n.saturating_sub(1).max(1)];
     let mut df = vec![T::zero(); n.max(1)];
@@ -259,6 +266,7 @@ pub fn gtsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     }
+    screen_outputs(SRNAME, 5, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 
@@ -280,6 +288,7 @@ pub fn ptsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 4));
     }
+    screen_inputs!(SRNAME, 1 => d, 2 => e, 3 => b.as_slice());
     let nrhs = b.nrhs();
     let mut df = vec![T::Real::zero(); n.max(1)];
     let mut ef = vec![T::zero(); n.saturating_sub(1).max(1)];
@@ -300,6 +309,7 @@ pub fn ptsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
     }
+    screen_outputs(SRNAME, 4, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 
@@ -323,6 +333,7 @@ pub fn sysvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let mut af = vec![T::zero(); n * n];
     let mut ipiv = vec![0i32; n];
@@ -346,6 +357,7 @@ pub fn sysvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 
@@ -365,6 +377,7 @@ pub fn spsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => ap.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let mut afp = vec![T::zero(); ap.as_slice().len()];
     let mut ipiv = vec![0i32; n];
@@ -386,6 +399,7 @@ pub fn spsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 
@@ -403,6 +417,7 @@ pub fn ppsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => ap.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let mut afp = vec![T::zero(); ap.as_slice().len()];
     let (ldb, ldx) = (b.ldb(), x.ldb());
@@ -421,6 +436,7 @@ pub fn ppsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 
@@ -438,6 +454,7 @@ pub fn pbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if x.nrows() != n || x.nrhs() != b.nrhs() {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => ab.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let mut afb = vec![T::zero(); ab.as_slice().len()];
     let (ldb, ldx) = (b.ldb(), x.ldb());
@@ -459,6 +476,7 @@ pub fn pbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     if linfo != 0 && linfo != (n + 1) as i32 {
         erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
     }
+    screen_outputs(SRNAME, 3, x.as_slice())?;
     Ok(from_xout(out, T::Real::one()))
 }
 

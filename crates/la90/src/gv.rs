@@ -8,6 +8,7 @@ use la_lapack as f77;
 pub use la_lapack::GvItype;
 
 use crate::eig::{EigDriver, Jobz};
+use crate::rhs::{screen_inputs, screen_outputs};
 
 fn illegal(routine: &'static str, index: usize) -> LaError {
     LaError::IllegalArg { routine, index }
@@ -41,6 +42,7 @@ pub fn sygv_itype_uplo<T: Scalar>(
     if b.shape() != (n, n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let mut w = vec![T::Real::zero(); n];
     let (lda, ldb) = (a.lda(), b.lda());
     let linfo = f77::sygv(
@@ -62,6 +64,7 @@ pub fn sygv_itype_uplo<T: Scalar>(
         });
     }
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 3, &w)?;
     Ok(w)
 }
 
@@ -87,6 +90,7 @@ pub fn spgv<T: Scalar>(
     if bp.n() != n || bp.uplo() != ap.uplo() {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => ap.as_slice(), 2 => bp.as_slice());
     let uplo = ap.uplo();
     let mut w = vec![T::Real::zero(); n];
     if jobz == Jobz::Vectors {
@@ -103,6 +107,7 @@ pub fn spgv<T: Scalar>(
             Some((z.as_mut_slice(), ldz)),
         );
         map_gv_info(SRNAME, n, linfo)?;
+        screen_outputs(SRNAME, 3, &w)?;
         Ok((w, Some(z)))
     } else {
         let linfo = f77::spgv::<T>(
@@ -116,6 +121,7 @@ pub fn spgv<T: Scalar>(
             None,
         );
         map_gv_info(SRNAME, n, linfo)?;
+        screen_outputs(SRNAME, 3, &w)?;
         Ok((w, None))
     }
 }
@@ -132,6 +138,7 @@ pub fn sbgv<T: Scalar>(
     if bb.n() != n || bb.uplo() != ab.uplo() {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => ab.as_slice(), 2 => bb.as_slice());
     let mut w = vec![T::Real::zero(); n];
     if jobz == Jobz::Vectors {
         let mut z = Mat::<T>::zeros(n, n);
@@ -150,6 +157,7 @@ pub fn sbgv<T: Scalar>(
             Some((z.as_mut_slice(), ldz)),
         );
         map_gv_info(SRNAME, n, linfo)?;
+        screen_outputs(SRNAME, 3, &w)?;
         Ok((w, Some(z)))
     } else {
         let linfo = f77::sbgv::<T>(
@@ -166,6 +174,7 @@ pub fn sbgv<T: Scalar>(
             None,
         );
         map_gv_info(SRNAME, n, linfo)?;
+        screen_outputs(SRNAME, 3, &w)?;
         Ok((w, None))
     }
 }
@@ -198,9 +207,12 @@ pub fn gegv<T: EigDriver>(
     if b.shape() != (n, n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let (lda, ldb) = (a.lda(), b.lda());
     let (info, alpha, beta) = T::gegv_driver(n, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
     erinfo(info, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 3, &alpha)?;
+    screen_outputs(SRNAME, 4, &beta)?;
     Ok((alpha, beta))
 }
 
@@ -233,9 +245,12 @@ pub fn gegs<R: la_core::RealScalar>(
     if b.shape() != (n, n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let (lda, ldb) = (a.lda(), b.lda());
     let (info, out) = f77::gegs_cplx(n, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
     erinfo(info, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 3, &out.alpha)?;
+    screen_outputs(SRNAME, 4, &out.beta)?;
     Ok(GegsOut {
         alpha: out.alpha,
         beta: out.beta,

@@ -12,7 +12,7 @@
 use la_core::{erinfo, BandMat, LaError, Mat, PackedMat, PositiveInfo, Scalar, SymBandMat, Uplo};
 use la_lapack as f77;
 
-use crate::rhs::Rhs;
+use crate::rhs::{screen_inputs, screen_outputs, Rhs};
 
 fn illegal(routine: &'static str, index: usize) -> LaError {
     LaError::IllegalArg { routine, index }
@@ -64,6 +64,7 @@ fn gesv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
             return Err(illegal(SRNAME, 3));
         }
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     // Workspace allocation when IPIV is absent (the wrapper's LPIV).
     let mut local;
     let piv: &mut [i32] = match ipiv {
@@ -76,7 +77,8 @@ fn gesv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let linfo = f77::gesv(n, nrhs, a.as_mut_slice(), lda, piv, b.as_mut_slice(), ldb);
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 2, b.as_slice())
 }
 
 /// `CALL LA_GBSV( AB, B, KL=kl, IPIV=ipiv, INFO=info )` — solves a
@@ -113,6 +115,7 @@ fn gbsv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
             return Err(illegal(SRNAME, 4));
         }
     }
+    screen_inputs!(SRNAME, 1 => ab.as_slice(), 2 => b.as_slice());
     let mut local;
     let piv: &mut [i32] = match ipiv {
         Some(p) => p,
@@ -135,7 +138,8 @@ fn gbsv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
         b.as_mut_slice(),
         ldb,
     );
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 2, b.as_slice())
 }
 
 /// `CALL LA_GTSV( DL, D, DU, B, INFO=info )` — solves a general
@@ -158,10 +162,12 @@ pub fn gtsv<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != n {
         return Err(illegal(SRNAME, 4));
     }
+    screen_inputs!(SRNAME, 1 => &*dl, 2 => &*d, 3 => &*du, 4 => b.as_slice());
     let nrhs = b.nrhs();
     let ldb = b.ldb();
     let linfo = f77::gtsv(n, nrhs, dl, d, du, b.as_mut_slice(), ldb);
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 4, b.as_slice())
 }
 
 /// `CALL LA_POSV( A, B, UPLO=uplo, INFO=info )` — solves a
@@ -198,10 +204,12 @@ pub fn posv_uplo<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != n {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let linfo = f77::posv(uplo, n, nrhs, a.as_mut_slice(), lda, b.as_mut_slice(), ldb);
-    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    screen_outputs(SRNAME, 2, b.as_slice())
 }
 
 /// `CALL LA_PPSV( AP, B, UPLO=uplo, INFO=info )` — packed-storage
@@ -215,11 +223,13 @@ pub fn ppsv<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != n {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => ap.as_slice(), 2 => b.as_slice());
     let uplo = ap.uplo();
     let nrhs = b.nrhs();
     let ldb = b.ldb();
     let linfo = f77::ppsv(uplo, n, nrhs, ap.as_mut_slice(), b.as_mut_slice(), ldb);
-    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    screen_outputs(SRNAME, 2, b.as_slice())
 }
 
 /// `CALL LA_PBSV( AB, B, UPLO=uplo, INFO=info )` — band positive-definite
@@ -233,6 +243,7 @@ pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != n {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => ab.as_slice(), 2 => b.as_slice());
     let (uplo, kd, ldab) = (ab.uplo(), ab.kd(), ab.ldab());
     let nrhs = b.nrhs();
     let ldb = b.ldb();
@@ -246,7 +257,8 @@ pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(
         b.as_mut_slice(),
         ldb,
     );
-    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    screen_outputs(SRNAME, 2, b.as_slice())
 }
 
 /// `CALL LA_PTSV( D, E, B, INFO=info )` — positive-definite tridiagonal
@@ -264,10 +276,12 @@ pub fn ptsv<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != n {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => &*d, 2 => &*e, 3 => b.as_slice());
     let nrhs = b.nrhs();
     let ldb = b.ldb();
     let linfo = f77::ptsv(n, nrhs, d, e, b.as_mut_slice(), ldb);
-    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)
+    erinfo(linfo, SRNAME, PositiveInfo::NotPosDef)?;
+    screen_outputs(SRNAME, 3, b.as_slice())
 }
 
 /// `CALL LA_SYSV( A, B, UPLO=uplo, IPIV=ipiv, INFO=info )` — solves a
@@ -341,6 +355,7 @@ fn indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
             return Err(illegal(srname, 4));
         }
     }
+    screen_inputs!(srname, 1 => a.as_slice(), 2 => b.as_slice());
     let mut local;
     let piv: &mut [i32] = match ipiv {
         Some(p) => p,
@@ -362,7 +377,8 @@ fn indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
         b.as_mut_slice(),
         ldb,
     );
-    erinfo(linfo, srname, PositiveInfo::Singular)
+    erinfo(linfo, srname, PositiveInfo::Singular)?;
+    screen_outputs(srname, 2, b.as_slice())
 }
 
 /// `CALL LA_SPSV( AP, B, UPLO=uplo, IPIV=ipiv, INFO=info )` — packed
@@ -416,6 +432,7 @@ fn packed_indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
             return Err(illegal(srname, 4));
         }
     }
+    screen_inputs!(srname, 1 => ap.as_slice(), 2 => b.as_slice());
     let mut local;
     let piv: &mut [i32] = match ipiv {
         Some(p) => p,
@@ -437,7 +454,8 @@ fn packed_indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
         b.as_mut_slice(),
         ldb,
     );
-    erinfo(linfo, srname, PositiveInfo::Singular)
+    erinfo(linfo, srname, PositiveInfo::Singular)?;
+    screen_outputs(srname, 2, b.as_slice())
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 use la_core::{erinfo, LaError, Mat, PositiveInfo, Scalar, Trans};
 use la_lapack as f77;
 
-use crate::rhs::Rhs;
+use crate::rhs::{screen_inputs, screen_outputs, Rhs};
 
 fn illegal(routine: &'static str, index: usize) -> LaError {
     LaError::IllegalArg { routine, index }
@@ -42,6 +42,7 @@ pub fn gels_trans<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != m.max(n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let linfo = f77::gels(
@@ -54,7 +55,8 @@ pub fn gels_trans<T: Scalar, B: Rhs<T> + ?Sized>(
         b.as_mut_slice(),
         ldb,
     );
-    erinfo(linfo, SRNAME, PositiveInfo::Singular)
+    erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 2, b.as_slice())
 }
 
 /// Result of the rank-revealing least-squares drivers.
@@ -82,6 +84,7 @@ pub fn gelsx<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != m.max(n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let mut jpvt = vec![0i32; n];
@@ -97,6 +100,7 @@ pub fn gelsx<T: Scalar, B: Rhs<T> + ?Sized>(
         rcond,
     );
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, b.as_slice())?;
     Ok(RankLsOut {
         rank,
         s: vec![],
@@ -116,6 +120,7 @@ pub fn gelss<T: Scalar, B: Rhs<T> + ?Sized>(
     if b.nrows() != m.max(n) {
         return Err(illegal(SRNAME, 2));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
     let (lda, ldb) = (a.lda(), b.ldb());
     let (rank, s, linfo) = f77::gelss(
@@ -129,6 +134,7 @@ pub fn gelss<T: Scalar, B: Rhs<T> + ?Sized>(
         rcond,
     );
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;
+    screen_outputs(SRNAME, 2, b.as_slice())?;
     Ok(RankLsOut {
         rank,
         s,
@@ -157,6 +163,7 @@ pub fn gglse<T: Scalar>(
     if d.len() != p {
         return Err(illegal(SRNAME, 4));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice(), 3 => &*c, 4 => &*d);
     let mut x = vec![T::zero(); n];
     let (lda, ldb) = (a.lda(), b.lda());
     let linfo = f77::gglse(
@@ -172,6 +179,7 @@ pub fn gglse<T: Scalar>(
         &mut x,
     );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 5, &x)?;
     Ok(x)
 }
 
@@ -192,6 +200,7 @@ pub fn ggglm<T: Scalar>(
     if d.len() != n {
         return Err(illegal(SRNAME, 3));
     }
+    screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice(), 3 => &*d);
     let mut x = vec![T::zero(); m];
     let mut y = vec![T::zero(); p];
     let (lda, ldb) = (a.lda(), b.lda());
@@ -208,6 +217,8 @@ pub fn ggglm<T: Scalar>(
         &mut y,
     );
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
+    screen_outputs(SRNAME, 4, &x)?;
+    screen_outputs(SRNAME, 5, &y)?;
     Ok((x, y))
 }
 

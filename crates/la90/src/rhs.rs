@@ -6,7 +6,47 @@
 //! of right-hand sides) and `Vec`/slice (a single right-hand side), so
 //! one driver name covers both shapes.
 
-use la_core::{Mat, Scalar};
+use la_core::{except, LaError, Mat, Scalar};
+
+/// Input screening for the drivers (see [`la_core::except`]): when the
+/// thread's policy scans inputs, each listed `argument-index => slice`
+/// pair is swept with `all_finite`, and the first non-finite one aborts
+/// the driver with `LaError::NonFinite` (`INFO = -101`) before any
+/// computation touches the data.
+///
+/// ```ignore
+/// screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
+/// ```
+macro_rules! screen_inputs {
+    ($srname:expr, $($idx:expr => $data:expr),+ $(,)?) => {
+        if la_core::except::policy().scan_inputs() {
+            $(
+                if !la_core::except::all_finite($data) {
+                    return Err(la_core::LaError::NonFinite {
+                        routine: $srname,
+                        argument: $idx,
+                    });
+                }
+            )+
+        }
+    };
+}
+pub(crate) use screen_inputs;
+
+/// Output screening: called after a driver's computation succeeded, with
+/// the 1-based index and buffer of a computed output. Under an
+/// output-scanning policy a non-finite result becomes
+/// `LaError::NonFinite` instead of poison with `INFO = 0`.
+pub(crate) fn screen_outputs<T: Scalar>(
+    routine: &'static str,
+    argument: usize,
+    data: &[T],
+) -> Result<(), LaError> {
+    if except::policy().scan_outputs() && !except::all_finite(data) {
+        return Err(LaError::NonFinite { routine, argument });
+    }
+    Ok(())
+}
 
 /// A right-hand-side container accepted by every `LA_*SV`-style driver:
 /// either a matrix (`B(:,:)`, `nrhs = ncols`) or a vector (`B(:)`,

@@ -98,13 +98,22 @@ pub fn laswp_rev<T: Scalar>(n: usize, a: &mut [T], lda: usize, k1: usize, k2: us
 }
 
 /// Norm of a general rectangular matrix (`xLANGE`).
+///
+/// A NaN anywhere in the scanned part makes the result NaN in every norm
+/// (Demmel et al., arXiv:2207.09281). The `maxr` fold is NaN-ignoring (as
+/// Fortran `MAX` is), so the `Max`/`One`/`Inf` paths carry the check
+/// explicitly; `Fro` inherits propagation from `lassq`.
 pub fn lange<T: Scalar>(norm: Norm, m: usize, n: usize, a: &[T], lda: usize) -> T::Real {
     match norm {
         Norm::Max => {
             let mut v = T::Real::zero();
             for j in 0..n {
                 for i in 0..m {
-                    v = v.maxr(a[i + j * lda].abs());
+                    let x = a[i + j * lda].abs();
+                    if x.is_nan() {
+                        return T::Real::nan();
+                    }
+                    v = v.maxr(x);
                 }
             }
             v
@@ -115,6 +124,9 @@ pub fn lange<T: Scalar>(norm: Norm, m: usize, n: usize, a: &[T], lda: usize) -> 
                 let mut s = T::Real::zero();
                 for i in 0..m {
                     s += a[i + j * lda].abs();
+                }
+                if s.is_nan() {
+                    return T::Real::nan();
                 }
                 v = v.maxr(s);
             }
@@ -127,7 +139,14 @@ pub fn lange<T: Scalar>(norm: Norm, m: usize, n: usize, a: &[T], lda: usize) -> 
                     rows[i] += a[i + j * lda].abs();
                 }
             }
-            rows.into_iter().fold(T::Real::zero(), |x, y| x.maxr(y))
+            let mut v = T::Real::zero();
+            for s in rows {
+                if s.is_nan() {
+                    return T::Real::nan();
+                }
+                v = v.maxr(s);
+            }
+            v
         }
         Norm::Fro => {
             let (mut scale, mut ssq) = (T::Real::zero(), T::Real::one());
@@ -844,6 +863,30 @@ pub fn conj_row<T: Scalar>(i: usize, n: usize, a: &mut [T], lda: usize) {
 mod tests {
     use super::*;
     use la_core::C64;
+
+    #[test]
+    fn lange_propagates_nan_in_every_norm() {
+        // 3x3 with a NaN off the main diagonal; all four norm paths must
+        // return NaN rather than let the NaN-ignoring max lose it.
+        let mut a: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        a[5] = f64::NAN;
+        for norm in [Norm::Max, Norm::One, Norm::Inf, Norm::Fro] {
+            assert!(
+                lange(norm, 3, 3, &a, 3).is_nan(),
+                "lange({norm:?}) lost a NaN"
+            );
+        }
+        // Inf input (no NaN): Max/One/Inf/Fro all report +Inf.
+        a[5] = f64::INFINITY;
+        for norm in [Norm::Max, Norm::One, Norm::Inf, Norm::Fro] {
+            let v = lange(norm, 3, 3, &a, 3);
+            assert!(v.is_infinite() && v > 0.0, "lange({norm:?}) = {v}");
+        }
+        // Complex: NaN in the imaginary part counts too.
+        let mut c = vec![C64::new(1.0, 0.0); 4];
+        c[2] = C64::new(0.0, f64::NAN);
+        assert!(lange(Norm::Max, 2, 2, &c, 2).is_nan());
+    }
 
     #[test]
     fn lacpy_triangles() {

@@ -1,0 +1,242 @@
+//! Graceful degradation of the parallel BLAS-3: a panic in a scoped-thread
+//! stripe must not abort the process — the operation restores its output
+//! and re-runs on the serial path, producing bitwise-identical results.
+//!
+//! The panic is injected through the test-only `fault_inject_par` hook in
+//! the tune config, read at the parallel decision point and detonated
+//! inside a spawned worker, so the fault takes the real cross-thread
+//! propagation path (`std::thread::scope` re-raising the worker panic).
+
+use la_blas::{gemm, symm, syrk, trmm, trsm};
+use la_core::{except, tune, Diag, Scalar, Side, Trans, Uplo, C64};
+
+/// Serial reference: thread budget 1.
+fn serial() -> tune::TuneConfig {
+    tune::TuneConfig {
+        max_threads: 1,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+/// Forced-parallel with the stripe fault armed: 4 threads, every flop
+/// count above threshold, first worker panics.
+fn faulty() -> tune::TuneConfig {
+    tune::TuneConfig {
+        max_threads: 4,
+        par_flops: 0,
+        fault_inject_par: true,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+/// Silences the default "thread panicked" report for the injected faults
+/// only; genuine panics (including assertion failures) still print.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected BLAS-3 stripe fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+    fn val<T: Scalar>(&mut self) -> T {
+        let re = self.next_f64();
+        let im = if T::IS_COMPLEX { self.next_f64() } else { 0.0 };
+        T::from_re_im(T::Real::from_f64(re), T::Real::from_f64(im))
+    }
+    fn vec<T: Scalar>(&mut self, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.val()).collect()
+    }
+}
+
+/// Runs `op` twice on a copy of `out0` — once serially, once with the
+/// fault armed — and asserts the degraded run survived, fell back, and
+/// produced bitwise-identical output.
+fn check_degrades<T: Scalar>(what: &str, out0: &[T], op: impl Fn(&mut [T])) {
+    quiet_injected_panics();
+    let mut reference = out0.to_vec();
+    tune::with(serial(), || op(&mut reference));
+
+    let before = except::parallel_fallbacks();
+    let mut degraded = out0.to_vec();
+    tune::with(faulty(), || op(&mut degraded));
+    assert!(
+        except::parallel_fallbacks() > before,
+        "{what}: fault did not trigger the serial fallback"
+    );
+    assert_eq!(
+        reference, degraded,
+        "{what}: degraded result is not bitwise-identical to serial"
+    );
+    // The tune global must be left usable (no poisoned lock, no lingering
+    // override) after the panic was caught.
+    assert_eq!(tune::current(), tune::current());
+    tune::update(|_| {});
+}
+
+fn degrade_all_ops<T: Scalar>() {
+    let mut rng = Rng(7);
+    let (m, n, k) = (45usize, 67, 33);
+    let a: Vec<T> = rng.vec(m * k);
+    let b: Vec<T> = rng.vec(k * n);
+    let c0: Vec<T> = rng.vec(m * n);
+    check_degrades("gemm", &c0, |c| {
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            T::from_f64(1.25),
+            &a,
+            m,
+            &b,
+            k,
+            T::from_f64(0.5),
+            c,
+            m,
+        )
+    });
+
+    // Triangular ops: diagonally dominant A keeps the solve tame.
+    let (tm, tn) = (40usize, 30usize);
+    let mut tri: Vec<T> = rng.vec(tm * tm);
+    for i in 0..tm {
+        tri[i + i * tm] = T::from_f64(4.0);
+    }
+    let b0: Vec<T> = rng.vec(tm * tn);
+    check_degrades("trsm", &b0, |bb| {
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            tm,
+            tn,
+            T::one(),
+            &tri,
+            tm,
+            bb,
+            tm,
+        )
+    });
+    check_degrades("trmm", &b0, |bb| {
+        trmm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            tm,
+            tn,
+            T::from_f64(0.75),
+            &tri,
+            tm,
+            bb,
+            tm,
+        )
+    });
+
+    // Rank-k update: n > 2·NB so the block deal produces several workers.
+    let (sn, sk) = (100usize, 20usize);
+    let sa: Vec<T> = rng.vec(sn * sk);
+    let sc0: Vec<T> = rng.vec(sn * sn);
+    check_degrades("syrk", &sc0, |cc| {
+        syrk(
+            Uplo::Lower,
+            Trans::No,
+            sn,
+            sk,
+            T::from_f64(1.5),
+            &sa,
+            sn,
+            T::from_f64(0.25),
+            cc,
+            sn,
+        )
+    });
+
+    // symm routes its heavy path through gemm, so the same stripe fault
+    // and the same fallback cover it.
+    let (hm, hn) = (30usize, 30usize);
+    let ha: Vec<T> = rng.vec(hm * hm);
+    let hb: Vec<T> = rng.vec(hm * hn);
+    let hc0: Vec<T> = rng.vec(hm * hn);
+    check_degrades("symm", &hc0, |cc| {
+        symm(
+            false,
+            Side::Left,
+            Uplo::Upper,
+            hm,
+            hn,
+            T::from_f64(0.5),
+            &ha,
+            hm,
+            &hb,
+            hm,
+            T::from_f64(2.0),
+            cc,
+            hm,
+        )
+    });
+}
+
+// One sequential test: the fallback counter is process-global, so
+// concurrent #[test] threads would race its before/after deltas.
+#[test]
+fn injected_stripe_panic_degrades_to_serial() {
+    degrade_all_ops::<f64>();
+    degrade_all_ops::<C64>();
+    uninjected_parallel_path_does_not_fall_back();
+}
+
+fn uninjected_parallel_path_does_not_fall_back() {
+    let mut rng = Rng(11);
+    let (m, n, k) = (45usize, 67, 33);
+    let a: Vec<f64> = rng.vec(m * k);
+    let b: Vec<f64> = rng.vec(k * n);
+    let mut c: Vec<f64> = rng.vec(m * n);
+    let before = except::parallel_fallbacks();
+    let forced = tune::TuneConfig {
+        max_threads: 4,
+        par_flops: 0,
+        ..tune::TuneConfig::defaults()
+    };
+    tune::with(forced, || {
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            m,
+            &b,
+            k,
+            0.0,
+            &mut c,
+            m,
+        )
+    });
+    assert_eq!(except::parallel_fallbacks(), before);
+}

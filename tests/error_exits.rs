@@ -3,7 +3,29 @@
 //! `INFO = -i` for the offending argument index, and the message must
 //! carry the `LA_*` routine name exactly as the Fortran ERINFO prints it.
 
-use la_core::{BandMat, LaError, Mat, PackedMat, Trans, Uplo};
+use la_core::{except, BandMat, FpCheckPolicy, LaError, Mat, PackedMat, SymBandMat, Trans, Uplo};
+
+fn expect_nonfinite<T>(r: Result<T, LaError>, routine: &str, argument: usize) {
+    match r {
+        Err(e) => {
+            assert!(
+                matches!(e, LaError::NonFinite { .. }),
+                "{routine}: expected NonFinite, got {e:?}"
+            );
+            assert_eq!(e.info(), -101, "{routine}: wrong INFO extension code");
+            assert_eq!(e.routine(), routine, "wrong routine name");
+            if let LaError::NonFinite { argument: got, .. } = e {
+                assert_eq!(got, argument, "{routine}: wrong offending argument");
+            }
+            let msg = format!("{e}");
+            assert!(
+                msg.contains(&format!("Terminated in LAPACK90 subroutine {routine}")),
+                "ERINFO message shape: {msg}"
+            );
+        }
+        Ok(_) => panic!("{routine}: expected NonFinite on argument {argument}, got success"),
+    }
+}
 
 fn expect_illegal<T>(r: Result<T, LaError>, routine: &str, index: i32) {
     match r {
@@ -146,4 +168,318 @@ fn positive_info_variants() {
         routine: "LA_GETRI",
     };
     assert_eq!(e.info(), -100);
+}
+
+/// A square matrix with one NaN element.
+fn nan_mat(n: usize) -> Mat<f64> {
+    let mut a: Mat<f64> = Mat::identity(n);
+    a[(0, 0)] = f64::NAN;
+    a
+}
+
+/// A diagonally-dominant (finite) test matrix.
+fn dd_mat(n: usize) -> Mat<f64> {
+    Mat::from_fn(n, n, |i, j| if i == j { 4.0 } else { 1.0 })
+}
+
+#[test]
+fn nonfinite_screening_linear_systems() {
+    except::with_policy(FpCheckPolicy::ScanInputs, || {
+        let nan = f64::NAN;
+        // GESV: NaN in A is argument 1, NaN in B is argument 2.
+        let mut b = vec![0.0f64; 3];
+        expect_nonfinite(la90::gesv(&mut nan_mat(3), &mut b), "LA_GESV", 1);
+        let mut b = vec![0.0f64, nan, 0.0];
+        expect_nonfinite(la90::gesv(&mut dd_mat(3), &mut b), "LA_GESV", 2);
+        // GBSV.
+        let mut ab = BandMat::from_dense(&nan_mat(4), 1, 1, true);
+        let mut b = vec![0.0f64; 4];
+        expect_nonfinite(la90::gbsv(&mut ab, &mut b), "LA_GBSV", 1);
+        // GTSV: NaN in D is argument 2.
+        let mut dl = vec![0.0f64; 3];
+        let mut d = vec![1.0, nan, 1.0, 1.0];
+        let mut du = vec![0.0f64; 3];
+        let mut b = vec![0.0f64; 4];
+        expect_nonfinite(la90::gtsv(&mut dl, &mut d, &mut du, &mut b), "LA_GTSV", 2);
+        // POSV / PPSV / PBSV / PTSV.
+        let mut b = vec![0.0f64; 3];
+        expect_nonfinite(la90::posv(&mut nan_mat(3), &mut b), "LA_POSV", 1);
+        let mut ap = PackedMat::from_dense(&nan_mat(3), Uplo::Upper);
+        expect_nonfinite(la90::ppsv(&mut ap, &mut b), "LA_PPSV", 1);
+        let mut sb = SymBandMat::from_dense(&nan_mat(3), 1, Uplo::Upper);
+        expect_nonfinite(la90::pbsv(&mut sb, &mut b), "LA_PBSV", 1);
+        let mut d = vec![2.0f64, nan, 2.0];
+        let mut e = vec![0.0f64; 2];
+        expect_nonfinite(la90::ptsv::<f64, _>(&mut d, &mut e, &mut b), "LA_PTSV", 1);
+        // SYSV / SPSV: NaN in B is argument 2.
+        let mut b = vec![nan, 0.0, 0.0];
+        expect_nonfinite(la90::sysv(&mut dd_mat(3), &mut b), "LA_SYSV", 2);
+        let mut ap = PackedMat::from_dense(&dd_mat(3), Uplo::Upper);
+        expect_nonfinite(la90::spsv(&mut ap, &mut b), "LA_SPSV", 2);
+    });
+}
+
+#[test]
+fn nonfinite_screening_least_squares() {
+    except::with_policy(FpCheckPolicy::ScanInputs, || {
+        let nan = f64::NAN;
+        let mut a: Mat<f64> = Mat::from_fn(5, 3, |i, j| (i + j + 1) as f64);
+        a[(2, 1)] = nan;
+        let mut b = vec![0.0f64; 5];
+        expect_nonfinite(la90::gels(&mut a.clone(), &mut b.clone()), "LA_GELS", 1);
+        expect_nonfinite(
+            la90::gelss(&mut a.clone(), &mut b.clone(), -1.0),
+            "LA_GELSS",
+            1,
+        );
+        expect_nonfinite(la90::gelsx(&mut a, &mut b, -1.0), "LA_GELSX", 1);
+        // GGLSE: NaN in C is argument 3.
+        let mut a: Mat<f64> = Mat::from_fn(4, 3, |i, j| (i + 2 * j + 1) as f64);
+        let mut bb: Mat<f64> = Mat::from_fn(2, 3, |i, j| (i + j + 1) as f64);
+        let mut c = vec![0.0f64, nan, 0.0, 0.0];
+        let mut d = vec![0.0f64; 2];
+        expect_nonfinite(la90::gglse(&mut a, &mut bb, &mut c, &mut d), "LA_GGLSE", 3);
+        // GGGLM: NaN in D is argument 3.
+        let mut a: Mat<f64> = Mat::from_fn(4, 2, |i, j| (i + j + 1) as f64);
+        let mut bb: Mat<f64> = Mat::identity(4);
+        let mut d = vec![0.0f64, 0.0, nan, 0.0];
+        expect_nonfinite(la90::ggglm(&mut a, &mut bb, &mut d), "LA_GGGLM", 3);
+    });
+}
+
+#[test]
+fn nonfinite_screening_eigen_and_svd() {
+    except::with_policy(FpCheckPolicy::ScanInputs, || {
+        use la90::{EigRange, Jobz};
+        let nan = f64::NAN;
+        expect_nonfinite(la90::syev(&mut nan_mat(3), Jobz::Values), "LA_SYEV", 1);
+        expect_nonfinite(la90::syevd(&mut nan_mat(3), Jobz::Values), "LA_SYEVD", 1);
+        expect_nonfinite(
+            la90::syevx(
+                &mut nan_mat(3),
+                Jobz::Values,
+                EigRange::All,
+                Uplo::Upper,
+                0.0,
+            ),
+            "LA_SYEVX",
+            1,
+        );
+        let mut ap = PackedMat::from_dense(&nan_mat(3), Uplo::Upper);
+        expect_nonfinite(la90::spev(&mut ap.clone(), Jobz::Values), "LA_SPEV", 1);
+        expect_nonfinite(la90::spevd(&mut ap.clone(), Jobz::Values), "LA_SPEVD", 1);
+        expect_nonfinite(
+            la90::spevx(&mut ap, Jobz::Values, EigRange::All, 0.0),
+            "LA_SPEVX",
+            1,
+        );
+        let sb = SymBandMat::from_dense(&nan_mat(3), 1, Uplo::Upper);
+        expect_nonfinite(la90::sbev(&sb, Jobz::Values), "LA_SBEV", 1);
+        expect_nonfinite(la90::sbevd(&sb, Jobz::Values), "LA_SBEVD", 1);
+        expect_nonfinite(
+            la90::sbevx(&sb, Jobz::Values, EigRange::All, 0.0),
+            "LA_SBEVX",
+            1,
+        );
+        // STEV family: NaN in D is 1, NaN in E is 2.
+        let mut d = vec![1.0, nan, 1.0];
+        let mut e = vec![0.0f64; 2];
+        expect_nonfinite(
+            la90::stev::<f64>(&mut d, &mut e, Jobz::Values),
+            "LA_STEV",
+            1,
+        );
+        let mut d = vec![1.0f64; 3];
+        let mut e = vec![0.0, nan];
+        expect_nonfinite(
+            la90::stev::<f64>(&mut d, &mut e, Jobz::Values),
+            "LA_STEV",
+            2,
+        );
+        let mut d = vec![1.0, nan, 1.0];
+        let mut e = vec![0.0f64; 2];
+        expect_nonfinite(
+            la90::stevd::<f64>(&mut d, &mut e, Jobz::Values),
+            "LA_STEVD",
+            1,
+        );
+        expect_nonfinite(
+            la90::stevx::<f64>(&d, &e, Jobz::Values, EigRange::All, 0.0),
+            "LA_STEVX",
+            1,
+        );
+        // Nonsymmetric and SVD.
+        expect_nonfinite(la90::geev(&mut nan_mat(3), false, false), "LA_GEEV", 1);
+        expect_nonfinite(la90::geevx(&mut nan_mat(3)), "LA_GEEVX", 1);
+        expect_nonfinite(la90::gees(&mut nan_mat(3), false, None), "LA_GEES", 1);
+        expect_nonfinite(la90::gesvd(&mut nan_mat(3), false, false), "LA_GESVD", 1);
+        // Generalized: NaN in B is argument 2.
+        expect_nonfinite(
+            la90::sygv(&mut dd_mat(3), &mut nan_mat(3), Jobz::Values),
+            "LA_SYGV",
+            2,
+        );
+        let mut ap = PackedMat::from_dense(&nan_mat(3), Uplo::Upper);
+        let mut bp = PackedMat::from_dense(&dd_mat(3), Uplo::Upper);
+        expect_nonfinite(la90::spgv(&mut ap, &mut bp, Jobz::Values), "LA_SPGV", 1);
+        let sa = SymBandMat::from_dense(&nan_mat(3), 1, Uplo::Upper);
+        let sb = SymBandMat::from_dense(&dd_mat(3), 1, Uplo::Upper);
+        expect_nonfinite(la90::sbgv(&sa, &sb, Jobz::Values), "LA_SBGV", 1);
+        expect_nonfinite(la90::gegv(&mut nan_mat(3), &mut dd_mat(3)), "LA_GEGV", 1);
+        let mut ca: Mat<la_core::C64> = Mat::identity(3);
+        ca[(0, 0)] = la_core::C64::new(f64::NAN, 0.0);
+        let mut cb: Mat<la_core::C64> = Mat::identity(3);
+        expect_nonfinite(la90::gegs(&mut ca, &mut cb), "LA_GEGS", 1);
+    });
+}
+
+#[test]
+fn nonfinite_screening_computational_and_expert() {
+    except::with_policy(FpCheckPolicy::ScanInputs, || {
+        use la90::Fact;
+        let nan = f64::NAN;
+        let mut piv = vec![0i32; 3];
+        expect_nonfinite(la90::getrf(&mut nan_mat(3), &mut piv), "LA_GETRF", 1);
+        expect_nonfinite(
+            la90::getrf_rcond(&mut nan_mat(3), &mut piv, la_core::Norm::One),
+            "LA_GETRF",
+            1,
+        );
+        // GETRS: NaN in B is argument 3.
+        let a = dd_mat(3);
+        let piv = vec![1i32, 2, 3];
+        let mut b = vec![nan, 0.0, 0.0];
+        expect_nonfinite(la90::getrs(&a, &piv, &mut b, Trans::No), "LA_GETRS", 3);
+        expect_nonfinite(la90::getri(&mut nan_mat(3), &piv), "LA_GETRI", 1);
+        // GERFS: NaN in AF is argument 2.
+        let mut x = vec![0.0f64; 3];
+        let b = vec![1.0f64; 3];
+        expect_nonfinite(
+            la90::gerfs(&a, &nan_mat(3), &piv, &b, &mut x, Trans::No),
+            "LA_GERFS",
+            2,
+        );
+        expect_nonfinite(la90::geequ(&nan_mat(3)), "LA_GEEQU", 1);
+        expect_nonfinite(la90::potrf(&mut nan_mat(3), Uplo::Upper), "LA_POTRF", 1);
+        expect_nonfinite(
+            la90::potrf_rcond(&mut nan_mat(3), Uplo::Upper),
+            "LA_POTRF",
+            1,
+        );
+        expect_nonfinite(
+            la90::sygst(
+                &mut dd_mat(3),
+                &nan_mat(3),
+                la90::GvItype::AxLBx,
+                Uplo::Upper,
+            ),
+            "LA_SYGST",
+            2,
+        );
+        expect_nonfinite(la90::sytrd(&mut nan_mat(3), Uplo::Upper), "LA_SYTRD", 1);
+        // ORGTR: NaN in TAU is argument 2.
+        let tau = vec![nan, 0.0];
+        expect_nonfinite(
+            la90::orgtr(&mut dd_mat(3), &tau, Uplo::Upper),
+            "LA_ORGTR",
+            2,
+        );
+        // LAGGE: NaN in the prescribed singular values (argument 4).
+        let d = vec![1.0, nan, 0.5];
+        expect_nonfinite(la90::lagge::<f64>(3, 3, &d, 7), "LA_LAGGE", 4);
+
+        // Expert drivers.
+        let mut x = vec![0.0f64; 3];
+        let mut b = vec![nan, 0.0, 0.0];
+        expect_nonfinite(
+            la90::gesvx(&mut dd_mat(3), &mut b, &mut x, Fact::NotFactored, Trans::No),
+            "LA_GESVX",
+            2,
+        );
+        expect_nonfinite(
+            la90::posvx(
+                &mut nan_mat(3),
+                &mut vec![0.0f64; 3],
+                &mut x,
+                Fact::NotFactored,
+                Uplo::Upper,
+            ),
+            "LA_POSVX",
+            1,
+        );
+        let ab = BandMat::from_dense(&nan_mat(3), 1, 1, false);
+        expect_nonfinite(
+            la90::gbsvx(&ab, &vec![0.0f64; 3], &mut x, Trans::No),
+            "LA_GBSVX",
+            1,
+        );
+        // GTSVX: NaN in DU is argument 3.
+        let dl = vec![0.0f64; 2];
+        let d = vec![2.0f64; 3];
+        let du = vec![nan, 0.0];
+        expect_nonfinite(
+            la90::gtsvx(&dl, &d, &du, &vec![0.0f64; 3], &mut x, Trans::No),
+            "LA_GTSVX",
+            3,
+        );
+        // PTSVX: NaN in E is argument 2.
+        let dr = vec![2.0f64; 3];
+        let er = vec![nan, 0.0];
+        expect_nonfinite(
+            la90::ptsvx::<f64, _, _>(&dr, &er, &vec![0.0f64; 3], &mut x),
+            "LA_PTSVX",
+            2,
+        );
+        expect_nonfinite(
+            la90::sysvx(&nan_mat(3), &vec![0.0f64; 3], &mut x, false, Uplo::Lower),
+            "LA_SYSVX",
+            1,
+        );
+        let ap = PackedMat::from_dense(&dd_mat(3), Uplo::Upper);
+        expect_nonfinite(
+            la90::spsvx(&ap, &vec![nan, 0.0, 0.0], &mut x, false),
+            "LA_SPSVX",
+            2,
+        );
+        let ap_nan = PackedMat::from_dense(&nan_mat(3), Uplo::Upper);
+        expect_nonfinite(
+            la90::ppsvx(&ap_nan, &vec![0.0f64; 3], &mut x),
+            "LA_PPSVX",
+            1,
+        );
+        let sb_nan = SymBandMat::from_dense(&nan_mat(3), 1, Uplo::Upper);
+        expect_nonfinite(
+            la90::pbsvx(&sb_nan, &vec![0.0f64; 3], &mut x),
+            "LA_PBSVX",
+            1,
+        );
+    });
+}
+
+#[test]
+fn nonfinite_policy_gating() {
+    // Off (pinned, so the test also passes when LA_FP_CHECK is set in
+    // the environment): a NaN input flows through the LU unscreened —
+    // the driver succeeds and the poison lands in the solution, NaN-in
+    // NaN-out (the Demmel et al. consistency contract).
+    except::with_policy(FpCheckPolicy::Off, || {
+        let mut a = dd_mat(3);
+        let mut b = vec![f64::NAN, 0.0, 0.0];
+        assert_eq!(except::policy(), FpCheckPolicy::Off);
+        la90::gesv(&mut a, &mut b).unwrap();
+        assert!(b.iter().any(|x| x.is_nan()));
+    });
+
+    // ScanOutputs (and Full): finite inputs whose solution overflows are
+    // flagged on the *output* argument instead of returning Inf silently.
+    except::with_policy(FpCheckPolicy::ScanOutputs, || {
+        let mut a: Mat<f64> = Mat::from_fn(1, 1, |_, _| 1e-308);
+        let mut b = vec![1e308f64];
+        expect_nonfinite(la90::gesv(&mut a, &mut b), "LA_GESV", 2);
+    });
+    except::with_policy(FpCheckPolicy::Full, || {
+        // Full also screens inputs.
+        let mut b = vec![0.0f64; 3];
+        expect_nonfinite(la90::gesv(&mut nan_mat(3), &mut b), "LA_GESV", 1);
+    });
 }
