@@ -1,0 +1,119 @@
+//! CI performance gate: compares a fresh quick-mode sweep
+//! (`BENCH_blas3.quick.json`, from `blas3_sweep --quick`) against the
+//! checked-in baseline (`BENCH_blas3.json`) and exits non-zero if any
+//! tracked operation regressed by more than the threshold.
+//!
+//! Runner speeds vary, so raw ratios are useless: the gate first
+//! normalizes every per-row `fresh/baseline` ratio by the median ratio
+//! across all rows (the machine-speed calibration), then applies the
+//! tolerance to the normalized ratios. A uniformly slower runner shifts
+//! the median, not the verdict; a single op that got slower *relative to
+//! the others* trips the gate.
+//!
+//! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]`
+
+use la_core::json::Json;
+
+/// One measured point, keyed for cross-file matching.
+struct Point {
+    op: String,
+    n: u64,
+    threads: u64,
+    nb: u64,
+    ms: f64,
+}
+
+fn load(path: &str) -> Vec<Point> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let mut pts = Vec::new();
+    for section in ["thread_sweep", "nb_sweep"] {
+        let Some(arr) = doc.get(section).and_then(|v| v.as_arr()) else {
+            continue;
+        };
+        for row in arr {
+            let get_u = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+            let (Some(op), Some(ms)) = (
+                row.get("op").and_then(|v| v.as_str()),
+                row.get("ms").and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            pts.push(Point {
+                op: op.to_string(),
+                n: get_u("n"),
+                threads: get_u("threads"),
+                nb: get_u("nb"),
+                ms,
+            });
+        }
+    }
+    pts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 1.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().expect("--threshold needs a value");
+            threshold = v.parse().expect("bad threshold");
+        } else {
+            paths.push(a);
+        }
+    }
+    let baseline_path = paths.first().copied().unwrap_or("BENCH_blas3.json");
+    let fresh_path = paths.get(1).copied().unwrap_or("BENCH_blas3.quick.json");
+
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+
+    // Match rows on (op, n, threads, nb); the quick sweep covers a subset
+    // of the baseline grid, so the comparison runs on the intersection.
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for f in &fresh {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.op == f.op && b.n == f.n && b.threads == f.threads && b.nb == f.nb)
+        else {
+            continue;
+        };
+        if b.ms > 0.0 && f.ms > 0.0 {
+            let key = format!("{} n={} threads={} nb={}", f.op, f.n, f.threads, f.nb);
+            ratios.push((key, f.ms / b.ms));
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!("bench_gate: no comparable rows between {baseline_path} and {fresh_path}");
+        std::process::exit(2);
+    }
+
+    // Machine-speed calibration: divide out the median ratio.
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "bench_gate: {} comparable rows, median fresh/baseline ratio {median:.3} \
+         (normalizing), threshold {threshold:.2}",
+        ratios.len()
+    );
+
+    let mut failed = false;
+    for (key, r) in &ratios {
+        let norm = r / median;
+        let flag = if norm > threshold {
+            failed = true;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("  {key:<34} ratio {r:7.3}  normalized {norm:7.3}{flag}");
+    }
+    if failed {
+        eprintln!("bench_gate: tracked op regressed more than {threshold:.2}x vs baseline");
+        std::process::exit(1);
+    }
+    println!("bench_gate: OK");
+}

@@ -6,8 +6,13 @@
 //! Every configuration is set through `tune::with` — the same mechanism
 //! callers use — so the sweep doubles as an end-to-end check that the
 //! runtime tuning actually steers the substrate.
+//!
+//! `--quick` shrinks the sweep for CI (n = 512 only, still best-of-3)
+//! and writes `BENCH_blas3.quick.json` instead, leaving the checked-in
+//! baseline untouched; the `bench_gate` binary compares the two.
 
 use la_bench::{bench_matrix, bench_spd, timeit};
+use la_core::json::JsonBuf;
 use la_core::{tune, Mat, Trans, Uplo};
 use la_lapack as f77;
 
@@ -27,11 +32,18 @@ struct Row {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let auto = tune::TuneConfig::defaults().threads();
-    println!("== blas3_sweep: {cores} core(s), auto thread budget {auto} ==");
+    let mode = if quick { " (quick)" } else { "" };
+    println!("== blas3_sweep{mode}: {cores} core(s), auto thread budget {auto} ==");
+
+    // Quick mode drops the n=1024 grid but keeps best-of-3 timing:
+    // best-of-1 numbers are too noisy to gate on.
+    let reps = 3;
+    let sizes: &[usize] = if quick { &[512] } else { &[512, 1024] };
 
     let mut rows: Vec<Row> = Vec::new();
     let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
@@ -41,7 +53,7 @@ fn main() {
         .collect();
 
     // --- Level-3 kernels across thread counts -------------------------
-    for &n in &[512usize, 1024] {
+    for &n in sizes {
         let a: Mat<f64> = bench_matrix(n, 3);
         let b: Mat<f64> = bench_matrix(n, 5);
         let mut tri = a.clone();
@@ -49,7 +61,7 @@ fn main() {
             tri[(i, i)] += 4.0;
         }
         for &t in &thread_counts {
-            let ms = timeit(3, || {
+            let ms = timeit(reps, || {
                 let mut c: Mat<f64> = Mat::zeros(n, n);
                 tune::with(cfg_threads(t), || {
                     la_blas::gemm(
@@ -79,7 +91,7 @@ fn main() {
                 ms,
             });
 
-            let ms = timeit(3, || {
+            let ms = timeit(reps, || {
                 let mut c: Mat<f64> = Mat::zeros(n, n);
                 tune::with(cfg_threads(t), || {
                     la_blas::syrk(
@@ -106,7 +118,7 @@ fn main() {
                 ms,
             });
 
-            let ms = timeit(3, || {
+            let ms = timeit(reps, || {
                 let mut x = b.clone();
                 tune::with(cfg_threads(t), || {
                     la_blas::trsm(
@@ -137,11 +149,11 @@ fn main() {
     }
 
     // --- Factorizations across thread counts --------------------------
-    for &n in &[512usize, 1024] {
+    for &n in sizes {
         let gen: Mat<f64> = bench_matrix(n, 7);
         let spd: Mat<f64> = bench_spd(n, 9);
         for &t in &thread_counts {
-            let ms = timeit(3, || {
+            let ms = timeit(reps, || {
                 let mut a = gen.clone();
                 let mut ipiv = vec![0i32; n];
                 tune::with(cfg_threads(t), || {
@@ -158,7 +170,7 @@ fn main() {
                 ms,
             });
 
-            let ms = timeit(3, || {
+            let ms = timeit(reps, || {
                 let mut a = spd.clone();
                 tune::with(cfg_threads(t), || {
                     assert_eq!(f77::potrf(Uplo::Lower, n, a.as_mut_slice(), n), 0);
@@ -187,7 +199,7 @@ fn main() {
             crossover: 0,
             ..tune::TuneConfig::defaults()
         };
-        let ms = timeit(3, || {
+        let ms = timeit(reps, || {
             let mut a = gen.clone();
             let mut ipiv = vec![0i32; n];
             tune::with(cfg, || {
@@ -204,7 +216,7 @@ fn main() {
             ms,
         });
 
-        let ms = timeit(3, || {
+        let ms = timeit(reps, || {
             let mut a = spd.clone();
             tune::with(cfg, || {
                 assert_eq!(f77::potrf(Uplo::Lower, n, a.as_mut_slice(), n), 0);
@@ -222,18 +234,24 @@ fn main() {
     }
 
     // --- Emit JSON ----------------------------------------------------
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!(
-        "  \"host\": {{ \"cores\": {cores}, \"auto_thread_budget\": {auto} }},\n"
-    ));
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("host");
+    j.begin_obj();
+    j.field_uint("cores", cores as u64);
+    j.field_uint("auto_thread_budget", auto as u64);
+    j.end_obj();
     // Pre-PR reference (serial trailing-update substrate, single-core
     // container): potrf/getrf wall-clock before the parallel BLAS-3 layer
     // landed. Kept verbatim for cross-revision comparison.
-    out.push_str(
-        "  \"pre_pr_serial_baseline_ms\": { \"potrf_512\": 7.99, \"getrf_512\": 12.47, \
-         \"potrf_1024\": 54.37, \"getrf_1024\": 98.33, \"host_cores\": 1 },\n",
-    );
+    j.key("pre_pr_serial_baseline_ms");
+    j.begin_obj();
+    j.field_num("potrf_512", 7.99);
+    j.field_num("getrf_512", 12.47);
+    j.field_num("potrf_1024", 54.37);
+    j.field_num("getrf_1024", 98.33);
+    j.field_uint("host_cores", 1);
+    j.end_obj();
     for (key, ops) in [
         (
             "thread_sweep",
@@ -241,22 +259,24 @@ fn main() {
         ),
         ("nb_sweep", &["getrf_nb", "potrf_nb"][..]),
     ] {
-        out.push_str(&format!("  \"{key}\": [\n"));
-        let sel: Vec<&Row> = rows.iter().filter(|r| ops.contains(&r.op)).collect();
-        for (i, r) in sel.iter().enumerate() {
-            let sep = if i + 1 == sel.len() { "" } else { "," };
-            out.push_str(&format!(
-                "    {{ \"op\": \"{}\", \"n\": {}, \"threads\": {}, \"nb\": {}, \"ms\": {:.3} }}{sep}\n",
-                r.op, r.n, r.threads, r.nb, r.ms
-            ));
+        j.key(key);
+        j.begin_arr();
+        for r in rows.iter().filter(|r| ops.contains(&r.op)) {
+            j.begin_obj();
+            j.field_str("op", r.op);
+            j.field_uint("n", r.n as u64);
+            j.field_uint("threads", r.threads as u64);
+            j.field_uint("nb", r.nb as u64);
+            j.field_num("ms", r.ms);
+            j.end_obj();
         }
-        out.push_str("  ],\n");
+        j.end_arr();
     }
     // Headline speedups: best parallel time over the forced-serial time.
-    out.push_str("  \"speedup_vs_serial\": {\n");
-    let mut first = true;
+    j.key("speedup_vs_serial");
+    j.begin_obj();
     for op in ["gemm", "syrk", "trsm", "getrf", "potrf"] {
-        for &n in &[512usize, 1024] {
+        for &n in sizes {
             let serial = rows
                 .iter()
                 .find(|r| r.op == op && r.n == n && r.threads == 1)
@@ -268,16 +288,18 @@ fn main() {
                 .fold(f64::INFINITY, f64::min);
             if let Some(s) = serial {
                 if best.is_finite() {
-                    if !first {
-                        out.push_str(",\n");
-                    }
-                    first = false;
-                    out.push_str(&format!("    \"{op}_{n}\": {:.2}", s / best));
+                    j.field_num(&format!("{op}_{n}"), s / best);
                 }
             }
         }
     }
-    out.push_str("\n  }\n}\n");
-    std::fs::write("BENCH_blas3.json", &out).expect("write BENCH_blas3.json");
-    println!("wrote BENCH_blas3.json");
+    j.end_obj();
+    j.end_obj();
+    let path = if quick {
+        "BENCH_blas3.quick.json"
+    } else {
+        "BENCH_blas3.json"
+    };
+    std::fs::write(path, j.into_string()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
 }

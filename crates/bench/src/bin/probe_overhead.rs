@@ -1,0 +1,43 @@
+//! Measures the overhead of the `la_core::probe` policies on a real
+//! driver workload: `la90` `gesv` on a 256×256 system, repeated, under
+//! `Off`, `Counters` and `Spans`. Results feed the EXPERIMENTS.md entry
+//! that the `LA_PROFILE=off` cost is below timing noise.
+
+use la_bench::{bench_matrix, timeit};
+use la_core::probe::{self, ProbePolicy};
+use la_core::Mat;
+
+fn gesv_once(a0: &Mat<f64>, b0: &Mat<f64>) {
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    la90::gesv(&mut a, &mut b).expect("gesv");
+}
+
+fn main() {
+    let n = 256usize;
+    let reps = 20usize;
+    let a0: Mat<f64> = bench_matrix(n, 17);
+    let b0: Mat<f64> = bench_matrix(n, 19);
+    // Warm up allocators and code paths.
+    gesv_once(&a0, &b0);
+
+    println!("== probe_overhead: la90::gesv, n={n}, {reps} reps per policy ==");
+    let mut baseline = 0.0f64;
+    for (name, pol) in [
+        ("off", ProbePolicy::Off),
+        ("counters", ProbePolicy::Counters),
+        ("spans", ProbePolicy::Spans),
+    ] {
+        probe::reset();
+        let ms = probe::with_policy(pol, || timeit(reps, || gesv_once(&a0, &b0))) * 1e3;
+        if name == "off" {
+            baseline = ms;
+            println!("{name:<10} {ms:8.3} ms/solve");
+        } else {
+            let pct = (ms / baseline - 1.0) * 100.0;
+            println!("{name:<10} {ms:8.3} ms/solve  ({pct:+.1}% vs off)");
+        }
+    }
+    let rep = probe::snapshot();
+    println!("\nfinal spans-policy report:\n{}", rep.to_table());
+}

@@ -15,9 +15,15 @@
 //! decomposition as `gemm`: disjoint column bands of the output, one scoped
 //! thread each.
 
-use la_core::{tune, Diag, Scalar, Side, Trans, Uplo};
+use la_core::{probe, tune, Diag, Scalar, Side, Trans, Uplo};
 
 use crate::l1::axpy;
+
+/// Estimated bytes touched by an operation that reads `reads` elements and
+/// reads-and-writes `writes` output elements of `T`.
+fn probe_bytes<T: Scalar>(reads: usize, writes: usize) -> u64 {
+    ((reads + 2 * writes) * std::mem::size_of::<T>()) as u64
+}
 
 #[inline(always)]
 fn cj<T: Scalar>(conj: bool, x: T) -> T {
@@ -126,6 +132,12 @@ pub fn gemm<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "gemm",
+        probe::flops::gemm(m, n, k),
+        probe_bytes::<T>(m * k + k * n, m * n),
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -148,6 +160,7 @@ pub fn gemm<T: Scalar>(
 
     let cfg = tune::current();
     let stripes = par_stripes(&cfg, m * n * k, n, 8);
+    probe::note_parallelism(stripes);
     if stripes > 1 {
         with_serial_fallback(
             c,
@@ -460,6 +473,14 @@ pub fn symm<T: Scalar>(
         Side::Left => m,
         Side::Right => n,
     };
+    // Large symm routes through gemm below; the gemm span nests under this
+    // one, so counter totals are inclusive along the call tree.
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "symm",
+        probe::flops::symm(side, m, n),
+        probe_bytes::<T>(na * (na + 1) / 2 + m * n, m * n),
+    );
     // Full element of the symmetric A from its stored triangle.
     let ael = |i: usize, j: usize| -> T {
         let stored_upper = uplo == Uplo::Upper;
@@ -561,6 +582,12 @@ pub fn syrk<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "syrk",
+        probe::flops::syrk(n, k),
+        probe_bytes::<T>(n * k, n * (n + 1) / 2),
+    );
     syrk_impl(false, uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
 }
 
@@ -580,6 +607,12 @@ pub fn herk<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "herk",
+        probe::flops::syrk(n, k),
+        probe_bytes::<T>(n * k, n * (n + 1) / 2),
+    );
     syrk_impl(
         T::IS_COMPLEX,
         uplo,
@@ -637,6 +670,7 @@ fn syrk_impl<T: Scalar>(
     // same per-block code, in particular the same summation orders.
     let cfg = tune::current();
     let workers = par_stripes(&cfg, n * n * k / 2, n, SYRK_NB).min(n.div_ceil(SYRK_NB));
+    probe::note_parallelism(workers);
     if workers > 1 {
         with_serial_fallback(
             c,
@@ -879,6 +913,12 @@ pub fn syr2k<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "syr2k",
+        probe::flops::syr2k(n, k),
+        probe_bytes::<T>(2 * n * k, n * (n + 1) / 2),
+    );
     let ael = |i: usize, l: usize| -> T {
         match trans {
             Trans::No => a[i + l * lda],
@@ -928,6 +968,36 @@ pub fn trmm<T: Scalar>(
     b: &mut [T],
     ldb: usize,
 ) {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "trmm",
+        probe::flops::trmm(side, m, n),
+        probe_bytes::<T>(na * (na + 1) / 2, m * n),
+    );
+    trmm_impl(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+}
+
+/// Uninstrumented trmm body: the `Side::Right` path recurses into the
+/// left-side algorithm through this entry so the recursion does not open
+/// a second probe span for the same user-level call.
+#[allow(clippy::too_many_arguments)]
+fn trmm_impl<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
     match side {
         Side::Left => {
             // Columns of B are independent: op(A)·b_j per column, so the
@@ -935,6 +1005,7 @@ pub fn trmm<T: Scalar>(
             // per-column arithmetic is identical either way).
             let cfg = tune::current();
             let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
+            probe::note_parallelism(stripes);
             if stripes > 1 {
                 with_serial_fallback(
                     b,
@@ -966,7 +1037,7 @@ pub fn trmm<T: Scalar>(
                     Trans::No => Trans::Trans,
                     _ => Trans::No,
                 };
-                trmm(
+                trmm_impl(
                     Side::Left,
                     uplo,
                     ltr,
@@ -1056,6 +1127,36 @@ pub fn trsm<T: Scalar>(
     b: &mut [T],
     ldb: usize,
 ) {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    let _probe = probe::span(
+        probe::Layer::Blas,
+        "trsm",
+        probe::flops::trsm(side, m, n),
+        probe_bytes::<T>(na * (na + 1) / 2, m * n),
+    );
+    trsm_impl(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+}
+
+/// Uninstrumented trsm body: the `Side::Right` path recurses into the
+/// left-side algorithm through this entry so the recursion does not open
+/// a second probe span for the same user-level call.
+#[allow(clippy::too_many_arguments)]
+fn trsm_impl<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
     if alpha != T::one() {
         for j in 0..n {
             for x in &mut b[j * ldb..j * ldb + m] {
@@ -1078,6 +1179,7 @@ pub fn trsm<T: Scalar>(
             // the serial path).
             let cfg = tune::current();
             let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
+            probe::note_parallelism(stripes);
             if stripes > 1 {
                 with_serial_fallback(
                     b,
@@ -1108,7 +1210,7 @@ pub fn trsm<T: Scalar>(
                     Trans::No => Trans::Trans,
                     _ => Trans::No,
                 };
-                trsm(
+                trsm_impl(
                     Side::Left,
                     uplo,
                     ltr,

@@ -22,6 +22,12 @@
 //! * [`except`] — the exception-handling subsystem (Demmel et al.,
 //!   arXiv:2207.09281): runtime NaN/Inf screening policy (`LA_FP_CHECK`),
 //!   `all_finite` sweeps, and the `INFO = -101` non-finite extension code.
+//! * [`probe`] — the observability subsystem (`LA_PROFILE`): per-routine
+//!   counters with closed-form flop accounting, hierarchical span tracing
+//!   across the driver → factorization → BLAS-3 stack, and structured
+//!   reports.
+//! * [`json`] — the dependency-free JSON writer/parser used by [`probe`]
+//!   reports and the bench harness.
 
 #![warn(missing_docs)]
 
@@ -29,7 +35,9 @@ pub mod complex;
 pub mod enums;
 pub mod error;
 pub mod except;
+pub mod json;
 pub mod mat;
+pub mod probe;
 pub mod scalar;
 pub mod storage;
 pub mod tune;
@@ -39,6 +47,7 @@ pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};
 pub use except::FpCheckPolicy;
 pub use mat::Mat;
+pub use probe::ProbePolicy;
 pub use scalar::{RealScalar, Scalar};
 pub use storage::{BandMat, PackedMat, SymBandMat};
 pub use tune::TuneConfig;

@@ -18,6 +18,7 @@ fn illegal(routine: &'static str, index: usize) -> LaError {
 /// factorization with partial pivoting of a (rectangular) matrix.
 pub fn getrf<T: Scalar>(a: &mut Mat<T>, ipiv: &mut [i32]) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GETRF";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     if ipiv.len() != m.min(n) {
         return Err(illegal(SRNAME, 2));
@@ -38,6 +39,7 @@ pub fn getrf_rcond<T: Scalar>(
     norm: Norm,
 ) -> Result<T::Real, LaError> {
     const SRNAME: &str = "LA_GETRF";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -63,6 +65,7 @@ pub fn getrs<T: Scalar, B: Rhs<T> + ?Sized>(
     trans: Trans,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GETRS";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -95,6 +98,7 @@ pub fn getrs<T: Scalar, B: Rhs<T> + ?Sized>(
 /// `SGETRI_F90` does with its `ALLOCATE`).
 pub fn getri<T: Scalar>(a: &mut Mat<T>, ipiv: &[i32]) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GETRI";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -121,6 +125,7 @@ pub fn gerfs<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     trans: Trans,
 ) -> Result<(Vec<T::Real>, Vec<T::Real>), LaError> {
     const SRNAME: &str = "LA_GERFS";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = a.nrows();
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
@@ -176,6 +181,7 @@ pub struct GeequOut<R> {
 /// equilibration scalings.
 pub fn geequ<T: Scalar>(a: &Mat<T>) -> Result<GeequOut<T::Real>, LaError> {
     const SRNAME: &str = "LA_GEEQU";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     screen_inputs!(SRNAME, 1 => a.as_slice());
     let mut r = vec![T::Real::zero(); m];
@@ -197,6 +203,7 @@ pub fn geequ<T: Scalar>(a: &Mat<T>) -> Result<GeequOut<T::Real>, LaError> {
 /// Cholesky factorization.
 pub fn potrf<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<(), LaError> {
     const SRNAME: &str = "LA_POTRF";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -211,6 +218,7 @@ pub fn potrf<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<(), LaError> {
 /// [`potrf`] with the optional reciprocal condition estimate.
 pub fn potrf_rcond<T: Scalar>(a: &mut Mat<T>, uplo: Uplo) -> Result<T::Real, LaError> {
     const SRNAME: &str = "LA_POTRF";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -234,6 +242,7 @@ pub fn sygst<T: Scalar>(
     uplo: Uplo,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_SYGST";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -256,6 +265,7 @@ pub fn sytrd<T: Scalar>(
     uplo: Uplo,
 ) -> Result<(Vec<T::Real>, Vec<T::Real>, Vec<T>), LaError> {
     const SRNAME: &str = "LA_SYTRD";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -278,6 +288,7 @@ pub fn sytrd<T: Scalar>(
 /// the unitary `Q` of the tridiagonal reduction in place.
 pub fn orgtr<T: Scalar>(a: &mut Mat<T>, tau: &[T], uplo: Uplo) -> Result<(), LaError> {
     const SRNAME: &str = "LA_ORGTR";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -303,6 +314,7 @@ pub fn lange<T: Scalar>(a: &Mat<T>, norm: Norm) -> T::Real {
 /// values and Haar-random `U`, `V` (full bandwidth).
 pub fn lagge<T: Scalar>(m: usize, n: usize, d: &[T::Real], seed: u64) -> Result<Mat<T>, LaError> {
     const SRNAME: &str = "LA_LAGGE";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if d.len() < m.min(n) {
         return Err(illegal(SRNAME, 4));
     }

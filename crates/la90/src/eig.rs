@@ -66,6 +66,7 @@ pub fn syev_uplo<T: Scalar>(
     uplo: Uplo,
 ) -> Result<Vec<T::Real>, LaError> {
     const SRNAME: &str = "LA_SYEV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -98,6 +99,7 @@ pub fn syevd_uplo<T: Scalar>(
     uplo: Uplo,
 ) -> Result<Vec<T::Real>, LaError> {
     const SRNAME: &str = "LA_SYEVD";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -122,6 +124,7 @@ pub fn syevx<T: Scalar>(
     abstol: T::Real,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SYEVX";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -148,6 +151,7 @@ pub fn spev<T: Scalar>(
     jobz: Jobz,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SPEV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ap.n();
     screen_inputs!(SRNAME, 1 => ap.as_slice());
     let uplo = ap.uplo();
@@ -181,6 +185,7 @@ pub fn spevd<T: Scalar>(
     jobz: Jobz,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SPEVD";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ap.n();
     screen_inputs!(SRNAME, 1 => ap.as_slice());
     let uplo = ap.uplo();
@@ -229,6 +234,7 @@ pub fn spevx<T: Scalar>(
     abstol: T::Real,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SPEVX";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ap.n();
     screen_inputs!(SRNAME, 1 => ap.as_slice());
     let uplo = ap.uplo();
@@ -274,6 +280,7 @@ pub fn sbev<T: Scalar>(
     jobz: Jobz,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SBEV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ab.n();
     screen_inputs!(SRNAME, 1 => ab.as_slice());
     let mut w = vec![T::Real::zero(); n];
@@ -317,6 +324,7 @@ pub fn sbevd<T: Scalar>(
     jobz: Jobz,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SBEVD";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ab.n();
     screen_inputs!(SRNAME, 1 => ab.as_slice());
     let mut dense = ab.to_dense_sym();
@@ -343,6 +351,7 @@ pub fn sbevx<T: Scalar>(
     abstol: T::Real,
 ) -> Result<(Vec<T::Real>, Option<Mat<T>>), LaError> {
     const SRNAME: &str = "LA_SBEVX";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ab.n();
     screen_inputs!(SRNAME, 1 => ab.as_slice());
     let mut dense = ab.to_dense_sym();
@@ -374,6 +383,7 @@ pub fn stev<R: RealScalar>(
     jobz: Jobz,
 ) -> Result<Option<Mat<R>>, LaError> {
     const SRNAME: &str = "LA_STEV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = d.len();
     if n > 0 && e.len() < n - 1 {
         return Err(illegal(SRNAME, 2));
@@ -402,6 +412,7 @@ pub fn stevd<R: RealScalar>(
     jobz: Jobz,
 ) -> Result<Option<Mat<R>>, LaError> {
     const SRNAME: &str = "LA_STEVD";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = d.len();
     if n > 0 && e.len() < n - 1 {
         return Err(illegal(SRNAME, 2));
@@ -432,6 +443,7 @@ pub fn stevx<R: RealScalar>(
     abstol: R,
 ) -> Result<(Vec<R>, Option<Mat<R>>), LaError> {
     const SRNAME: &str = "LA_STEVX";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = d.len();
     screen_inputs!(SRNAME, 1 => d, 2 => e);
     let (w, z) = f77::stevx(jobz.wants(), range, n, d, e, abstol);
@@ -645,6 +657,7 @@ pub fn geev<T: EigDriver>(
     want_vr: bool,
 ) -> Result<GeevOut<T>, LaError> {
     const SRNAME: &str = "LA_GEEV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -688,6 +701,7 @@ pub struct GeevxOut<T: Scalar> {
 /// future work in DESIGN.md).
 pub fn geevx<T: EigDriver>(a: &mut Mat<T>) -> Result<GeevxOut<T>, LaError> {
     const SRNAME: &str = "LA_GEEVX";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -747,6 +761,7 @@ pub fn gees<T: EigDriver>(
     select: Option<&dyn Fn(Complex<T::Real>) -> bool>,
 ) -> Result<GeesOut<T>, LaError> {
     const SRNAME: &str = "LA_GEES";
+    let _probe = crate::rhs::driver_span(SRNAME);
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
     }
@@ -796,6 +811,7 @@ pub struct SvdOut<T: Scalar> {
 /// ```
 pub fn gesvd<T: Scalar>(a: &mut Mat<T>, want_u: bool, want_vt: bool) -> Result<SvdOut<T>, LaError> {
     const SRNAME: &str = "LA_GESVD";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     screen_inputs!(SRNAME, 1 => a.as_slice());
     let k = m.min(n);

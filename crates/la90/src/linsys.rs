@@ -7,7 +7,7 @@
 //! them exactly as the Appendix-C code does (producing the same negative
 //! `INFO` indices), allocates whatever workspace the computation needs,
 //! calls the substrate routine and routes the outcome through the
-//! [`erinfo`](la_core::erinfo) protocol.
+//! [`erinfo`](la_core::erinfo()) protocol.
 
 use la_core::{erinfo, BandMat, LaError, Mat, PackedMat, PositiveInfo, Scalar, SymBandMat, Uplo};
 use la_lapack as f77;
@@ -52,6 +52,7 @@ fn gesv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     ipiv: Option<&mut [i32]>,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GESV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = a.nrows();
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
@@ -103,6 +104,7 @@ fn gbsv_ipiv_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     ipiv: Option<&mut [i32]>,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GBSV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ab.ncols();
     if ab.nrows() != n || !ab.has_factor_space() {
         return Err(illegal(SRNAME, 1));
@@ -152,6 +154,7 @@ pub fn gtsv<T: Scalar, B: Rhs<T> + ?Sized>(
     b: &mut B,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GTSV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = d.len();
     if n > 0 && dl.len() != n - 1 {
         return Err(illegal(SRNAME, 1));
@@ -197,6 +200,7 @@ pub fn posv_uplo<T: Scalar, B: Rhs<T> + ?Sized>(
     uplo: Uplo,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_POSV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = a.nrows();
     if !a.is_square() {
         return Err(illegal(SRNAME, 1));
@@ -219,6 +223,7 @@ pub fn ppsv<T: Scalar, B: Rhs<T> + ?Sized>(
     b: &mut B,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_PPSV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ap.n();
     if b.nrows() != n {
         return Err(illegal(SRNAME, 2));
@@ -239,6 +244,7 @@ pub fn pbsv<T: Scalar, B: Rhs<T> + ?Sized>(
     b: &mut B,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_PBSV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = ab.n();
     if b.nrows() != n {
         return Err(illegal(SRNAME, 2));
@@ -269,6 +275,7 @@ pub fn ptsv<T: Scalar, B: Rhs<T> + ?Sized>(
     b: &mut B,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_PTSV";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let n = d.len();
     if n > 0 && e.len() != n - 1 {
         return Err(illegal(SRNAME, 2));
@@ -343,6 +350,7 @@ fn indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     uplo: Uplo,
     ipiv: Option<&mut [i32]>,
 ) -> Result<(), LaError> {
+    let _probe = crate::rhs::driver_span(srname);
     let n = a.nrows();
     if !a.is_square() {
         return Err(illegal(srname, 1));
@@ -423,6 +431,7 @@ fn packed_indefinite_opt<T: Scalar, B: Rhs<T> + ?Sized>(
     b: &mut B,
     ipiv: Option<&mut [i32]>,
 ) -> Result<(), LaError> {
+    let _probe = crate::rhs::driver_span(srname);
     let n = ap.n();
     if b.nrows() != n {
         return Err(illegal(srname, 2));

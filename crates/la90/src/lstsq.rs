@@ -38,6 +38,7 @@ pub fn gels_trans<T: Scalar, B: Rhs<T> + ?Sized>(
     trans: Trans,
 ) -> Result<(), LaError> {
     const SRNAME: &str = "LA_GELS";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     if b.nrows() != m.max(n) {
         return Err(illegal(SRNAME, 2));
@@ -80,6 +81,7 @@ pub fn gelsx<T: Scalar, B: Rhs<T> + ?Sized>(
     rcond: T::Real,
 ) -> Result<RankLsOut<T::Real>, LaError> {
     const SRNAME: &str = "LA_GELSX";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     if b.nrows() != m.max(n) {
         return Err(illegal(SRNAME, 2));
@@ -116,6 +118,7 @@ pub fn gelss<T: Scalar, B: Rhs<T> + ?Sized>(
     rcond: T::Real,
 ) -> Result<RankLsOut<T::Real>, LaError> {
     const SRNAME: &str = "LA_GELSS";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     if b.nrows() != m.max(n) {
         return Err(illegal(SRNAME, 2));
@@ -152,6 +155,7 @@ pub fn gglse<T: Scalar>(
     d: &mut [T],
 ) -> Result<Vec<T>, LaError> {
     const SRNAME: &str = "LA_GGLSE";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     let (p, nb) = b.shape();
     if nb != n || p > n || n > m + p {
@@ -192,6 +196,7 @@ pub fn ggglm<T: Scalar>(
     d: &mut [T],
 ) -> Result<(Vec<T>, Vec<T>), LaError> {
     const SRNAME: &str = "LA_GGGLM";
+    let _probe = crate::rhs::driver_span(SRNAME);
     let (n, m) = a.shape();
     let (nb, p) = b.shape();
     if nb != n || m > n || n > m + p {

@@ -6,7 +6,15 @@
 //! of right-hand sides) and `Vec`/slice (a single right-hand side), so
 //! one driver name covers both shapes.
 
-use la_core::{except, LaError, Mat, Scalar};
+use la_core::{except, probe, LaError, Mat, Scalar};
+
+/// Opens a driver-layer probe span named after the LAPACK90 generic
+/// interface (`LA_GESV`, `LA_SYEV`, …). Flops and bytes are left at zero:
+/// a driver's cost is the sum of its instrumented factorization and
+/// BLAS-3 children, which the span tree attributes to it directly.
+pub(crate) fn driver_span(srname: &'static str) -> probe::ProbeGuard {
+    probe::span(probe::Layer::Driver, srname, 0, 0)
+}
 
 /// Input screening for the drivers (see [`la_core::except`]): when the
 /// thread's policy scans inputs, each listed `argument-index => slice`

@@ -4,7 +4,7 @@
 //! tridiagonal (`pttrf`/`pttrs`/`ptsv`).
 
 use la_blas::{dotc, gemv, hemv, herk, rscal, scal, spmv, tbsv, tpsv, trsm};
-use la_core::{Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
+use la_core::{probe, Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
 
 use crate::aux::{ilaenv_crossover, ilaenv_nb, lacon, lansy};
 use crate::lu::refine_generic;
@@ -93,6 +93,12 @@ pub fn potf2<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
 
 /// Blocked right-looking Cholesky factorization (`xPOTRF`).
 pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "potrf",
+        probe::flops::potrf(n),
+        (n * (n + 1) * std::mem::size_of::<T>()) as u64,
+    );
     let nb = ilaenv_nb("potrf");
     if n <= ilaenv_crossover("potrf") || nb >= n {
         return potf2(uplo, n, a, lda);
@@ -205,6 +211,12 @@ pub fn potrs<T: Scalar>(
     b: &mut [T],
     ldb: usize,
 ) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "potrs",
+        probe::flops::potrs(n, nrhs),
+        ((n * (n + 1) / 2 + 2 * n * nrhs) * std::mem::size_of::<T>()) as u64,
+    );
     match uplo {
         Uplo::Upper => {
             trsm(

@@ -7,7 +7,7 @@
 //! can wrap them exactly as the paper's `SGESV_F90` wraps `SGESV`.
 
 use la_blas::{gemm, gemv, iamax, scal, trsm, trsv};
-use la_core::{Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
+use la_core::{probe, Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
 
 use crate::aux::{ilaenv_crossover, ilaenv_nb, lacon, lange, laswp};
 
@@ -70,6 +70,12 @@ pub fn getf2<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut 
 /// Blocked right-looking LU factorization with partial pivoting
 /// (`xGETRF`). Same contract as [`getf2`].
 pub fn getrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "getrf",
+        probe::flops::getrf(m, n),
+        (2 * m * n * std::mem::size_of::<T>()) as u64,
+    );
     let mn = m.min(n);
     if mn == 0 {
         return 0;
@@ -178,6 +184,12 @@ pub fn getrs<T: Scalar>(
     b: &mut [T],
     ldb: usize,
 ) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "getrs",
+        probe::flops::getrs(n, nrhs),
+        ((n * n + 2 * n * nrhs) * std::mem::size_of::<T>()) as u64,
+    );
     if n == 0 || nrhs == 0 {
         return 0;
     }
@@ -248,6 +260,12 @@ pub fn getrs<T: Scalar>(
 
 /// Computes the inverse from the LU factorization (`xGETRI`).
 pub fn getri<T: Scalar>(n: usize, a: &mut [T], lda: usize, ipiv: &[i32]) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "getri",
+        probe::flops::getri(n),
+        (2 * n * n * std::mem::size_of::<T>()) as u64,
+    );
     // Check for singular U first, as LAPACK does.
     for i in 0..n {
         if a[i + i * lda].is_zero() {

@@ -4,7 +4,7 @@
 //! are the same generic functions), and column-pivoted QR (`geqp3`).
 
 use la_blas::{lacgv, nrm2, scal};
-use la_core::{RealScalar, Scalar, Side, Trans};
+use la_core::{probe, RealScalar, Scalar, Side, Trans};
 
 use crate::aux::{ilaenv_nb, larf, larfb, larfg, larft};
 
@@ -70,6 +70,12 @@ pub fn geqr2<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [
 
 /// Blocked Householder QR (`xGEQRF`).
 pub fn geqrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [T]) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "geqrf",
+        probe::flops::geqrf(m, n),
+        (2 * m * n * std::mem::size_of::<T>()) as u64,
+    );
     let k = m.min(n);
     let nb = ilaenv_nb("geqrf");
     if k <= 2 * nb {
@@ -117,6 +123,12 @@ pub fn geqrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [
 /// Generates the explicit `m × n` matrix `Q` with orthonormal columns from
 /// the first `k` reflectors of [`geqrf`] (`xORGQR`/`xUNGQR`).
 pub fn orgqr<T: Scalar>(m: usize, n: usize, k: usize, a: &mut [T], lda: usize, tau: &[T]) -> i32 {
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "orgqr",
+        probe::flops::orgqr(m, n, k),
+        (2 * m * n * std::mem::size_of::<T>()) as u64,
+    );
     if n == 0 {
         return 0;
     }
@@ -182,6 +194,12 @@ pub fn ormqr<T: Scalar>(
         Side::Left => m,
         Side::Right => n,
     };
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "ormqr",
+        probe::flops::ormqr(side, m, n, k),
+        ((nq * k + 2 * m * n) * std::mem::size_of::<T>()) as u64,
+    );
     let mut work = vec![T::zero(); m.max(n)];
     // Order of application: Left+ConjTrans and Right+No go forward.
     let forward = matches!(
@@ -254,6 +272,13 @@ pub fn gelq2<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [
 /// LQ factorization (`xGELQF`); delegates to the unblocked kernel (LQ is
 /// only on the critical path for strongly underdetermined systems).
 pub fn gelqf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [T]) -> i32 {
+    // LQ of m×n costs what QR of the transposed n×m costs.
+    let _probe = probe::span(
+        probe::Layer::Lapack,
+        "gelqf",
+        probe::flops::geqrf(n, m),
+        (2 * m * n * std::mem::size_of::<T>()) as u64,
+    );
     gelq2(m, n, a, lda, tau)
 }
 

@@ -4,15 +4,15 @@
 //! LAPACK90"* (Waśniewski & Dongarra, IPPS 1998). Re-exports the four
 //! layers:
 //!
-//! * [`core`](la_core) — scalars, matrices, storage schemes, the error
+//! * [`core`] — scalars, matrices, storage schemes, the error
 //!   protocol (`LA_PRECISION`, `ERINFO`).
-//! * [`blas`](la_blas) — from-scratch generic BLAS 1/2/3.
-//! * [`lapack`](la_lapack) — the `F77_LAPACK` substrate: factorizations,
+//! * [`blas`] — from-scratch generic BLAS 1/2/3.
+//! * [`lapack`] — the `F77_LAPACK` substrate: factorizations,
 //!   solvers, eigen/SVD computational routines with Fortran calling
 //!   conventions.
 //! * [`la90`] — the paper's contribution: generic, shape-dispatched,
-//!   optional-argument drivers over [`Mat`](la_core::Mat).
-//! * [`verify`](la_verify) — the LAPACK-test-suite residual ratios.
+//!   optional-argument drivers over [`Mat`].
+//! * [`verify`] — the LAPACK-test-suite residual ratios.
 
 pub use la90;
 pub use la_blas as blas;
