@@ -10,7 +10,18 @@
 //! the median, not the verdict; a single op that got slower *relative to
 //! the others* trips the gate.
 //!
-//! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]`
+//! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]
+//! [--min-mixed-speedup 1.2]`
+//!
+//! The same gate covers the mixed-precision sweep (`BENCH_mixed.json` /
+//! `BENCH_mixed.quick.json` from `mixed_sweep`): rows in its
+//! `mixed_sweep` section join the normalized regression comparison, and
+//! `--min-mixed-speedup` additionally enforces an absolute floor on the
+//! baseline's recorded `speedup_mixed_vs_full` for `gesv` at n ≥ 1024 —
+//! the end-to-end win the mixed drivers exist to deliver. The floor reads
+//! the checked-in baseline (quick CI sweeps stop at n = 512), so it
+//! guards the committed measurement, while the ratio rule guards fresh
+//! runs against relative regressions.
 
 use la_core::json::Json;
 
@@ -27,7 +38,7 @@ fn load(path: &str) -> Vec<Point> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
     let mut pts = Vec::new();
-    for section in ["thread_sweep", "nb_sweep"] {
+    for section in ["thread_sweep", "nb_sweep", "mixed_sweep"] {
         let Some(arr) = doc.get(section).and_then(|v| v.as_arr()) else {
             continue;
         };
@@ -55,11 +66,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut threshold = 1.25f64;
+    let mut min_mixed: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
             let v = it.next().expect("--threshold needs a value");
             threshold = v.parse().expect("bad threshold");
+        } else if a == "--min-mixed-speedup" {
+            let v = it.next().expect("--min-mixed-speedup needs a value");
+            min_mixed = Some(v.parse().expect("bad min-mixed-speedup"));
         } else {
             paths.push(a);
         }
@@ -111,8 +126,43 @@ fn main() {
         };
         println!("  {key:<34} ratio {r:7.3}  normalized {norm:7.3}{flag}");
     }
+    // Absolute floor on the baseline's mixed-over-full speedup: the
+    // mixed drivers must keep paying for themselves end-to-end at the
+    // sizes the paper's argument rests on (gesv, n ≥ 1024).
+    if let Some(floor) = min_mixed {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+        let Some(Json::Obj(speedups)) = doc.get("speedup_mixed_vs_full") else {
+            eprintln!("bench_gate: {baseline_path} has no speedup_mixed_vs_full section");
+            std::process::exit(2);
+        };
+        let mut checked = 0usize;
+        for (key, val) in speedups {
+            let Some((family, n)) = key.rsplit_once('_') else {
+                continue;
+            };
+            let n: u64 = n.parse().unwrap_or(0);
+            if family != "gesv" || n < 1024 {
+                continue;
+            }
+            let s = val.as_f64().unwrap_or(0.0);
+            checked += 1;
+            let flag = if s < floor {
+                failed = true;
+                "  << BELOW FLOOR"
+            } else {
+                ""
+            };
+            println!("  mixed speedup {key:<23} {s:7.3}  (floor {floor:.2}){flag}");
+        }
+        if checked == 0 {
+            eprintln!("bench_gate: no gesv speedup entries at n >= 1024 in {baseline_path}");
+            std::process::exit(2);
+        }
+    }
     if failed {
-        eprintln!("bench_gate: tracked op regressed more than {threshold:.2}x vs baseline");
+        eprintln!("bench_gate: performance gate failed (threshold {threshold:.2}x)");
         std::process::exit(1);
     }
     println!("bench_gate: OK");

@@ -76,8 +76,13 @@ where
     // Test-only fault injection (see `TuneConfig::fault_inject_par`): read
     // on the calling thread — scoped tune overrides do not cross into the
     // workers — and detonated inside the first spawned stripe so the panic
-    // takes the real cross-thread propagation path.
+    // takes the real cross-thread propagation path. Compiled only into
+    // debug builds (tests run with debug assertions); release hot paths
+    // never read the flag.
+    #[cfg(debug_assertions)]
     let inject = tune::current().fault_inject_par;
+    #[cfg(not(debug_assertions))]
+    let inject = false;
     std::thread::scope(|s| {
         let mut rest = data;
         let mut j0 = 0usize;
@@ -101,13 +106,21 @@ where
     });
 }
 
+/// Dimension product for a parallel-threshold flop estimate. Computed in
+/// `u128` so extreme dimensions (`m·n·k` overflows `usize` already at
+/// ~2.6M per side on 64-bit) saturate instead of wrapping around to a
+/// small value that would silently force the serial path.
+fn flop_product(d0: usize, d1: usize, d2: usize) -> u128 {
+    d0 as u128 * d1 as u128 * d2 as u128
+}
+
 /// Number of column stripes worth spawning for an `n`-column output under
 /// the current tuning config, with `min_cols` columns per stripe as the
 /// granularity floor. Returns 1 (serial) when the flop count is below the
 /// configured parallel threshold or the thread budget is 1.
-fn par_stripes(cfg: &tune::TuneConfig, flops: usize, n: usize, min_cols: usize) -> usize {
+fn par_stripes(cfg: &tune::TuneConfig, flops: u128, n: usize, min_cols: usize) -> usize {
     let nt = cfg.threads();
-    if nt <= 1 || flops < cfg.par_flops {
+    if nt <= 1 || flops < cfg.par_flops as u128 {
         return 1;
     }
     nt.min(n.div_ceil(min_cols.max(1))).max(1)
@@ -159,7 +172,7 @@ pub fn gemm<T: Scalar>(
     }
 
     let cfg = tune::current();
-    let stripes = par_stripes(&cfg, m * n * k, n, 8);
+    let stripes = par_stripes(&cfg, flop_product(m, n, k), n, 8);
     probe::note_parallelism(stripes);
     if stripes > 1 {
         with_serial_fallback(
@@ -669,7 +682,7 @@ fn syrk_impl<T: Scalar>(
     // per-block rectangle sizes. Serial and parallel paths run the exact
     // same per-block code, in particular the same summation orders.
     let cfg = tune::current();
-    let workers = par_stripes(&cfg, n * n * k / 2, n, SYRK_NB).min(n.div_ceil(SYRK_NB));
+    let workers = par_stripes(&cfg, flop_product(n, n, k) / 2, n, SYRK_NB).min(n.div_ceil(SYRK_NB));
     probe::note_parallelism(workers);
     if workers > 1 {
         with_serial_fallback(
@@ -723,7 +736,11 @@ fn syrk_blocks_par<T: Scalar>(
     for (idx, blk) in blocks.into_iter().enumerate() {
         work[idx % workers].push(blk);
     }
+    // Gated like the `stripe_cols` hook: debug builds only.
+    #[cfg(debug_assertions)]
     let inject = tune::current().fault_inject_par;
+    #[cfg(not(debug_assertions))]
+    let inject = false;
     std::thread::scope(|s| {
         for (t, list) in work.into_iter().enumerate() {
             let boom = inject && t == 0;
@@ -1004,7 +1021,7 @@ fn trmm_impl<T: Scalar>(
             // columns stripe across threads exactly like gemm's C (the
             // per-column arithmetic is identical either way).
             let cfg = tune::current();
-            let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
+            let stripes = par_stripes(&cfg, flop_product(m, m, n) / 2, n, 4);
             probe::note_parallelism(stripes);
             if stripes > 1 {
                 with_serial_fallback(
@@ -1178,7 +1195,7 @@ fn trsm_impl<T: Scalar>(
             // same way gemm stripes C (per-column arithmetic identical to
             // the serial path).
             let cfg = tune::current();
-            let stripes = par_stripes(&cfg, m * m * n / 2, n, 4);
+            let stripes = par_stripes(&cfg, flop_product(m, m, n) / 2, n, 4);
             probe::note_parallelism(stripes);
             if stripes > 1 {
                 with_serial_fallback(
@@ -1315,6 +1332,33 @@ fn trsm_left_cols<T: Scalar>(
 #[cfg(test)]
 mod striped_tests {
     use super::*;
+
+    #[test]
+    fn flop_estimates_do_not_wrap_at_extreme_dims() {
+        // m·n·k in bare usize wraps already at ~2.6M per side on 64-bit;
+        // a wrapped estimate would land below par_flops and silently
+        // force the serial path. The u128 product must keep such sizes
+        // above any realistic threshold.
+        let huge = 1usize << 22; // (2^22)^3 = 2^66 > usize::MAX
+        let p = flop_product(huge, huge, huge);
+        assert_eq!(p, 1u128 << 66);
+        assert!(p > usize::MAX as u128);
+        // The wrapped usize computation demonstrates the old failure:
+        assert_eq!(huge.wrapping_mul(huge).wrapping_mul(huge), 0);
+
+        // And par_stripes still parallelises at those extremes (multi-
+        // thread config, default threshold) instead of reporting 1.
+        let cfg = tune::TuneConfig {
+            max_threads: 4,
+            ..tune::TuneConfig::defaults()
+        };
+        assert_eq!(
+            par_stripes(&cfg, flop_product(huge, huge, huge), huge, 8),
+            4
+        );
+        // Small products still honour the threshold.
+        assert_eq!(par_stripes(&cfg, flop_product(8, 8, 8), 8, 8), 1);
+    }
 
     #[test]
     fn striped_split_matches_serial() {

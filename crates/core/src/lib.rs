@@ -26,6 +26,9 @@
 //!   counters with closed-form flop accounting, hierarchical span tracing
 //!   across the driver → factorization → BLAS-3 stack, and structured
 //!   reports.
+//! * [`mixed`] — the precision-pairing layer ([`Demote`]/[`Promote`]):
+//!   `f64 ↔ f32` and `Complex<f64> ↔ Complex<f32>` bridges with per-pair
+//!   eps/overflow constants, for the mixed-precision refinement drivers.
 //! * [`json`] — the dependency-free JSON writer/parser used by [`probe`]
 //!   reports and the bench harness.
 
@@ -37,6 +40,7 @@ pub mod error;
 pub mod except;
 pub mod json;
 pub mod mat;
+pub mod mixed;
 pub mod probe;
 pub mod scalar;
 pub mod storage;
@@ -47,6 +51,7 @@ pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};
 pub use except::FpCheckPolicy;
 pub use mat::Mat;
+pub use mixed::{Demote, Promote};
 pub use probe::ProbePolicy;
 pub use scalar::{RealScalar, Scalar};
 pub use storage::{BandMat, PackedMat, SymBandMat};

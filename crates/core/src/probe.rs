@@ -177,12 +177,16 @@ impl Layer {
 }
 
 /// Aggregated totals for one routine (one row of [`Report::counters`]).
+/// Low-precision work (inside [`with_lo`]) aggregates into its own row,
+/// so a mixed-precision driver's flop split is visible per routine.
 #[derive(Copy, Clone, Debug)]
 pub struct CounterRow {
     /// Stack layer of the routine.
     pub layer: Layer,
     /// Routine name (`"gemm"`, `"getrf"`, `"LA_GESV"`, …).
     pub routine: &'static str,
+    /// Whether the calls ran in the demoted precision (see [`with_lo`]).
+    pub lo: bool,
     /// Number of calls recorded.
     pub calls: u64,
     /// Closed-form flops (see [`flops`]), summed over calls.
@@ -201,6 +205,10 @@ pub struct Span {
     pub layer: Layer,
     /// Routine name.
     pub routine: &'static str,
+    /// Whether the call ran in the demoted precision of a mixed-precision
+    /// driver (opened inside [`with_lo`]). Lets span trees show the
+    /// low-vs-working flop split of `gesv_mixed`/`posv_mixed`.
+    pub lo: bool,
     /// Block size the routine would read from [`tune`] (`nb(routine)`),
     /// captured at entry.
     pub nb: usize,
@@ -235,6 +243,7 @@ impl Span {
 struct Frame {
     layer: Layer,
     routine: &'static str,
+    lo: bool,
     nb: usize,
     threads: usize,
     flops: u64,
@@ -247,6 +256,27 @@ struct Frame {
 
 thread_local! {
     static ACTIVE: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    /// Nesting depth of [`with_lo`] scopes on this thread; spans opened
+    /// while it is positive are tagged low-precision.
+    static LO_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Runs `f` with every span opened on this thread tagged as
+/// *low-precision* work ([`Span::lo`] / [`CounterRow::lo`]). The
+/// mixed-precision drivers wrap their demoted factorization and solves
+/// in this scope, so reports separate the cheap low-precision flops from
+/// the working-precision refinement around them. Nests; restores on
+/// panic.
+pub fn with_lo<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            LO_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+    LO_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
 }
 
 struct Totals {
@@ -257,8 +287,8 @@ struct Totals {
     nanos: u64,
 }
 
-fn counters() -> &'static Mutex<BTreeMap<&'static str, Totals>> {
-    static C: OnceLock<Mutex<BTreeMap<&'static str, Totals>>> = OnceLock::new();
+fn counters() -> &'static Mutex<BTreeMap<(&'static str, bool), Totals>> {
+    static C: OnceLock<Mutex<BTreeMap<(&'static str, bool), Totals>>> = OnceLock::new();
     C.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
@@ -283,7 +313,7 @@ impl Drop for ProbeGuard {
         let nanos = frame.start.elapsed().as_nanos() as u64;
         {
             let mut map = counters().lock().unwrap_or_else(|e| e.into_inner());
-            let t = map.entry(frame.routine).or_insert(Totals {
+            let t = map.entry((frame.routine, frame.lo)).or_insert(Totals {
                 layer: frame.layer,
                 calls: 0,
                 flops: 0,
@@ -299,6 +329,7 @@ impl Drop for ProbeGuard {
             let span = Span {
                 layer: frame.layer,
                 routine: frame.routine,
+                lo: frame.lo,
                 nb: frame.nb,
                 threads: frame.threads,
                 flops: frame.flops,
@@ -340,10 +371,12 @@ pub fn span(layer: Layer, routine: &'static str, flops: u64, bytes: u64) -> Prob
         return ProbeGuard { active: false };
     }
     let cfg = tune::current();
+    let lo = LO_DEPTH.with(|d| d.get()) > 0;
     ACTIVE.with(|a| {
         a.borrow_mut().push(Frame {
             layer,
             routine,
+            lo,
             nb: cfg.nb(routine),
             threads: cfg.threads(),
             flops,
@@ -393,16 +426,17 @@ pub fn snapshot() -> Report {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .iter()
-        .map(|(name, t)| CounterRow {
+        .map(|(&(name, lo), t)| CounterRow {
             layer: t.layer,
             routine: name,
+            lo,
             calls: t.calls,
             flops: t.flops,
             bytes: t.bytes,
             nanos: t.nanos,
         })
         .collect();
-    rows.sort_by_key(|r| (r.layer, r.routine));
+    rows.sort_by_key(|r| (r.layer, r.routine, r.lo));
     Report {
         counters: rows,
         spans: roots().lock().unwrap_or_else(|e| e.into_inner()).clone(),
@@ -433,10 +467,15 @@ impl Report {
             } else {
                 0.0
             };
+            let name = if r.lo {
+                format!("{}[lo]", r.routine)
+            } else {
+                r.routine.to_string()
+            };
             out.push_str(&format!(
                 "{:<8} {:<10} {:>8} {:>14} {:>12} {:>10.3}  {:>8.2}\n",
                 r.layer.as_str(),
-                r.routine,
+                name,
                 r.calls,
                 r.flops,
                 r.bytes,
@@ -472,6 +511,7 @@ impl Report {
             j.begin_obj();
             j.field_str("layer", r.layer.as_str());
             j.field_str("routine", r.routine);
+            j.field_uint("lo", u64::from(r.lo));
             j.field_uint("calls", r.calls);
             j.field_uint("flops", r.flops);
             j.field_uint("bytes", r.bytes);
@@ -492,9 +532,10 @@ impl Report {
 
 fn render_span(out: &mut String, s: &Span, depth: usize) {
     out.push_str(&format!(
-        "{:indent$}{} [{}] nb={} threads={} flops={} ms={:.3}\n",
+        "{:indent$}{}{} [{}] nb={} threads={} flops={} ms={:.3}\n",
         "",
         s.routine,
+        if s.lo { "[lo]" } else { "" },
         s.layer.as_str(),
         s.nb,
         s.threads,
@@ -511,6 +552,7 @@ fn span_json(j: &mut JsonBuf, s: &Span) {
     j.begin_obj();
     j.field_str("routine", s.routine);
     j.field_str("layer", s.layer.as_str());
+    j.field_uint("lo", u64::from(s.lo));
     j.field_uint("nb", s.nb as u64);
     j.field_uint("threads", s.threads as u64);
     j.field_uint("flops", s.flops);
@@ -536,40 +578,50 @@ fn span_json(j: &mut JsonBuf, s: &Span) {
 ///
 /// Counts are type-agnostic "algorithmic" flops: a multiply-add pair is 2
 /// flops regardless of whether the scalars are real or complex.
+///
+/// Products are evaluated in `u128` and saturated to `u64::MAX` — at
+/// extreme dimensions a wrapping product could otherwise land *below* a
+/// threshold it should exceed (the `par_stripes` serialization bug this
+/// guards against).
 pub mod flops {
     use crate::enums::Side;
 
+    /// Saturates a wide product into the `u64` counter domain.
+    fn sat(v: u128) -> u64 {
+        u64::try_from(v).unwrap_or(u64::MAX)
+    }
+
     /// `C := alpha·op(A)·op(B) + beta·C` with `op(A)` m×k: `2mnk`.
     pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
-        2 * (m as u64) * (n as u64) * (k as u64)
+        sat(2 * (m as u128) * (n as u128) * (k as u128))
     }
 
     /// Symmetric/Hermitian product: `2m²n` (left) or `2mn²` (right).
     pub fn symm(side: Side, m: usize, n: usize) -> u64 {
-        let (m, n) = (m as u64, n as u64);
-        match side {
+        let (m, n) = (m as u128, n as u128);
+        sat(match side {
             Side::Left => 2 * m * m * n,
             Side::Right => 2 * m * n * n,
-        }
+        })
     }
 
     /// Rank-k update of one triangle: `k·n·(n+1)`.
     pub fn syrk(n: usize, k: usize) -> u64 {
-        (k as u64) * (n as u64) * (n as u64 + 1)
+        sat((k as u128) * (n as u128) * (n as u128 + 1))
     }
 
     /// Rank-2k update of one triangle: `2k·n·(n+1)`.
     pub fn syr2k(n: usize, k: usize) -> u64 {
-        2 * (k as u64) * (n as u64) * (n as u64 + 1)
+        sat(2 * (k as u128) * (n as u128) * (n as u128 + 1))
     }
 
     /// Triangular multiply: `m²n` (left) or `mn²` (right).
     pub fn trmm(side: Side, m: usize, n: usize) -> u64 {
-        let (m, n) = (m as u64, n as u64);
-        match side {
+        let (m, n) = (m as u128, n as u128);
+        sat(match side {
             Side::Left => m * m * n,
             Side::Right => m * n * n,
-        }
+        })
     }
 
     /// Triangular solve with `n` (left) / `m` (right) right-hand sides:
@@ -589,7 +641,7 @@ pub mod flops {
 
     /// Forward+back substitution against an LU factorization: `2n²·nrhs`.
     pub fn getrs(n: usize, nrhs: usize) -> u64 {
-        2 * (n as u64) * (n as u64) * (nrhs as u64)
+        sat(2 * (n as u128) * (n as u128) * (nrhs as u128))
     }
 
     /// Inverse from an LU factorization: `4n³/3`.
@@ -706,6 +758,56 @@ mod tests {
         assert!(table.contains("unit-test-inner"));
         let parsed = crate::json::Json::parse(&rep.to_json()).unwrap();
         assert!(parsed.get("counters").is_some());
+    }
+
+    #[test]
+    fn flop_formulas_saturate_at_extreme_dims() {
+        // 2·(2²²)³ = 2⁶⁷ overflows u64; the closed forms must saturate,
+        // not wrap (a wrapped value under-reports by orders of magnitude).
+        let huge = 1usize << 22;
+        assert_eq!(flops::gemm(huge, huge, huge), u64::MAX);
+        assert_eq!(flops::symm(crate::Side::Left, huge, huge), u64::MAX);
+        assert_eq!(flops::syrk(huge, huge << 23), u64::MAX);
+        assert_eq!(flops::syr2k(huge, huge << 22), u64::MAX);
+        assert_eq!(flops::trmm(crate::Side::Left, huge << 1, huge), u64::MAX);
+        assert_eq!(flops::getrs(huge << 1, huge << 22), u64::MAX);
+        // The f64-evaluated forms saturate through the float→int cast.
+        assert_eq!(flops::getrf(usize::MAX, usize::MAX), u64::MAX);
+        // And plausible-large sizes stay exact.
+        assert_eq!(flops::gemm(1 << 20, 1 << 20, 4), 1u64 << 43);
+    }
+
+    #[test]
+    fn lo_scope_tags_spans_and_counters() {
+        with_policy(ProbePolicy::Spans, || {
+            let _outer = span(Layer::Lapack, "unit-test-mixed", 0, 0);
+            with_lo(|| {
+                let _inner = span(Layer::Lapack, "unit-test-lofac", 64, 0);
+            });
+            let _refine = span(Layer::Blas, "unit-test-resid", 32, 0);
+        });
+        let rep = snapshot();
+        let root = rep
+            .spans
+            .iter()
+            .find(|s| s.routine == "unit-test-mixed")
+            .expect("mixed root span");
+        assert!(!root.lo, "outer span must not be tagged");
+        let fac = root.find("unit-test-lofac").expect("lo child");
+        assert!(fac.lo, "span inside with_lo must be tagged");
+        let resid = root.find("unit-test-resid").expect("hi child");
+        assert!(!resid.lo, "span after with_lo must not be tagged");
+        // Counters keep the two precisions in separate rows.
+        let lo_row = rep
+            .counters
+            .iter()
+            .find(|r| r.routine == "unit-test-lofac")
+            .expect("lo counter row");
+        assert!(lo_row.lo && lo_row.flops == 64);
+        // Rendering carries the tag.
+        assert!(rep.to_table().contains("unit-test-lofac[lo]"));
+        let json = crate::json::Json::parse(&rep.to_json()).unwrap();
+        assert!(json.get("counters").is_some());
     }
 
     #[test]

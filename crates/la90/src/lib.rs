@@ -68,6 +68,7 @@ pub mod expert;
 pub mod gv;
 pub mod linsys;
 pub mod lstsq;
+pub mod mixed;
 pub mod rhs;
 
 pub use la_core::tune;
@@ -95,6 +96,9 @@ pub use linsys::{
     posv, posv_uplo, ppsv, ptsv, spsv, spsv_ipiv, sysv, sysv_uplo, sysv_uplo_ipiv,
 };
 pub use lstsq::{gels, gels_trans, gelss, gelsx, ggglm, gglse, RankLsOut};
+pub use mixed::{
+    gesv_mixed, gesv_mixed_ipiv, gesv_mixedx, posv_mixed, posv_mixed_uplo, posv_mixedx, MixedOut,
+};
 pub use rhs::Rhs;
 
 /// Everything a typical caller needs in one import:
@@ -105,6 +109,7 @@ pub mod prelude {
     pub use crate::gv::sygv;
     pub use crate::linsys::{gbsv, gesv, gtsv, hesv, posv, ppsv, ptsv, sysv};
     pub use crate::lstsq::{gels, gelss};
+    pub use crate::mixed::{gesv_mixed, posv_mixed};
     pub use crate::rhs::Rhs;
     pub use la_core::{mat, BandMat, LaError, Mat, PackedMat, SymBandMat, C32, C64};
     pub use la_core::{Diag, Norm, Side, Trans, Uplo};

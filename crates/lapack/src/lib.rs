@@ -31,6 +31,7 @@ pub mod gen;
 pub mod hess;
 pub mod ls;
 pub mod lu;
+pub mod mixed;
 pub mod qr;
 pub mod qz;
 pub mod svd;
@@ -49,6 +50,7 @@ pub use gen::*;
 pub use hess::*;
 pub use ls::*;
 pub use lu::*;
+pub use mixed::*;
 pub use qr::*;
 pub use qz::*;
 pub use svd::*;

@@ -1,0 +1,553 @@
+//! Mixed-precision iterative-refinement solvers (`xSGESV`/`xSPOSV`
+//! lineage): factor in the demoted precision, refine in the working
+//! precision, fall back to the full-precision factorization whenever the
+//! cheap path cannot deliver working-precision backward error.
+//!
+//! The algorithm is Dongarra's `DSGESV`/`ZCGESV`: demote `A` (and `B`)
+//! through [`la_core::mixed::Demote`], run the existing generic
+//! [`getrf`]/[`potrf`] + triangular solves on the low-precision copy,
+//! promote the solution and iterate
+//!
+//! ```text
+//! r = b − A·x          (working-precision gemm/symm)
+//! A·d ≈ r              (low-precision factored solve)
+//! x = x + d
+//! ```
+//!
+//! declaring convergence when every right-hand side satisfies the
+//! `DSGESV` backward-error test `‖r‖∞ ≤ ‖x‖∞ · ‖A‖∞ · ε · √n`, for at
+//! most [`ITERMAX`] iterations.
+//!
+//! The path taken is reported through the `iter` out-parameter with the
+//! exact `DSGESV` convention:
+//!
+//! * `iter ≥ 0` — the low-precision path succeeded after `iter`
+//!   refinement steps (`0`: the first solve was already good enough);
+//! * `iter = -2` — an entry of `A`, `B` or a residual overflowed the low
+//!   precision during demotion (the `DLAG2S` failure mode);
+//! * `iter = -3` — the low-precision factorization hit a zero pivot /
+//!   non-positive-definite leading minor;
+//! * `iter = -(ITERMAX+1)` — refinement ran [`ITERMAX`] steps without
+//!   converging.
+//!
+//! Every negative `iter` means the routine transparently re-solved with
+//! the full working-precision factorization — the exact operation
+//! sequence of plain [`gesv`](crate::gesv)/[`posv`](crate::posv), so the
+//! fallback result is bitwise identical to the plain driver's.
+//!
+//! The low-precision stages run inside [`probe::with_lo`], so span trees
+//! and counters report the demoted flops separately from the
+//! working-precision refinement around them.
+
+use la_blas::{gemm, gemv, hemv, symm};
+use la_core::mixed::{demote_slice, Demote, Promote};
+use la_core::{probe, Norm, RealScalar, Scalar, Trans, Uplo};
+
+use crate::aux::{lange, lansy};
+use crate::chol::{potrf, potrs};
+use crate::lu::{getrf, getrs};
+
+/// Maximum number of refinement iterations before the driver gives up on
+/// the low-precision path (`ITERMAX` in `DSGESV`).
+pub const ITERMAX: i32 = 30;
+
+/// `BWDMAX` of `DSGESV`: multiplier on the backward-error threshold.
+const BWDMAX: f64 = 1.0;
+
+/// Demotes an `rows × cols` working-precision matrix (leading dimension
+/// `ld`) into a tight low-precision copy; `None` when an entry overflows
+/// the low precision.
+fn demote_mat<T: Demote>(rows: usize, cols: usize, a: &[T], ld: usize) -> Option<Vec<T::Lo>> {
+    let mut out = vec![T::Lo::zero(); rows * cols];
+    let mut ok = true;
+    for j in 0..cols {
+        ok &= demote_slice(
+            &a[j * ld..j * ld + rows],
+            &mut out[j * rows..(j + 1) * rows],
+        );
+    }
+    ok.then_some(out)
+}
+
+/// `x(:, j) += promote(d(:, j))` — applies a promoted low-precision
+/// correction (tight leading dimension `rows`) to the solution.
+fn add_promoted<T: Demote>(rows: usize, cols: usize, d: &[T::Lo], x: &mut [T], ldx: usize) {
+    for j in 0..cols {
+        for i in 0..rows {
+            x[i + j * ldx] += d[i + j * rows].promote();
+        }
+    }
+}
+
+/// The `DSGESV` convergence test over all right-hand sides:
+/// `‖r(:,j)‖∞ ≤ ‖x(:,j)‖∞ · cte` for every `j` (with
+/// `cte = ‖A‖∞ · ε · √n · BWDMAX`). NaNs fail the comparison, so a
+/// poisoned residual routes to the fallback instead of "converging".
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // negation is the NaN-fails-closed part
+fn converged<T: Scalar>(n: usize, nrhs: usize, r: &[T], x: &[T], ldx: usize, cte: T::Real) -> bool {
+    for j in 0..nrhs {
+        let mut rnrm = T::Real::zero();
+        for i in 0..n {
+            rnrm = rnrm.maxr(r[i + j * n].abs1());
+        }
+        let mut xnrm = T::Real::zero();
+        for i in 0..n {
+            xnrm = xnrm.maxr(x[i + j * ldx].abs1());
+        }
+        if !(rnrm <= xnrm * cte) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Attempts the low-precision solve + refinement loop. `Ok(iter)` with
+/// the converged iteration count, `Err(code)` with the `DSGESV`-style
+/// negative reason when the full-precision fallback must run.
+#[allow(clippy::too_many_arguments)]
+fn refine_lo<T: Demote>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    ipiv: &mut [i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+    cte: T::Real,
+    // Low-precision factor + solve hooks (LU vs Cholesky), and the
+    // working-precision residual `r := b − A·x`.
+    factor: impl FnOnce(&mut [T::Lo], &mut [i32]) -> i32,
+    solve: impl Fn(&[T::Lo], &[i32], &mut [T::Lo]) -> i32,
+    residual: impl Fn(&[T], &mut [T], &[T]),
+) -> Result<i32, i32> {
+    // Demote the matrix and the right-hand sides; overflow → fallback.
+    let mut sa = demote_mat(n, n, a, lda).ok_or(-2)?;
+    let mut sx = demote_mat(n, nrhs, b, ldb).ok_or(-2)?;
+
+    // Factor and solve entirely in the low precision.
+    let finfo = probe::with_lo(|| factor(&mut sa, ipiv));
+    if finfo != 0 {
+        return Err(-3);
+    }
+    probe::with_lo(|| solve(&sa, ipiv, &mut sx));
+    for j in 0..nrhs {
+        for i in 0..n {
+            x[i + j * ldx] = sx[i + j * n].promote();
+        }
+    }
+
+    // Refine against the original working-precision A.
+    let mut r = vec![T::zero(); n * nrhs];
+    residual(b, &mut r, x);
+    if converged(n, nrhs, &r, x, ldx, cte) {
+        return Ok(0);
+    }
+    for it in 1..=ITERMAX {
+        let mut sr = demote_mat(n, nrhs, &r, n).ok_or(-2)?;
+        probe::with_lo(|| solve(&sa, ipiv, &mut sr));
+        add_promoted(n, nrhs, &sr, x, ldx);
+        residual(b, &mut r, x);
+        if converged(n, nrhs, &r, x, ldx, cte) {
+            return Ok(it);
+        }
+    }
+    Err(-ITERMAX - 1)
+}
+
+/// Mixed-precision general solve (`DSGESV`/`ZCGESV`): computes
+/// `X = A⁻¹·B` by LU factorization in the demoted precision with
+/// working-precision iterative refinement, falling back to the plain
+/// working-precision [`gesv`](crate::gesv) operation sequence on any
+/// low-precision failure. `A` is preserved on the refinement path and
+/// overwritten by the `getrf` factors on the fallback path; `B` is never
+/// modified. The path taken lands in `iter` (see the module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn gesv_mixed<T: Demote>(
+    n: usize,
+    nrhs: usize,
+    a: &mut [T],
+    lda: usize,
+    ipiv: &mut [i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+    iter: &mut i32,
+) -> i32 {
+    let _probe = probe::span(probe::Layer::Lapack, "gesv_mixed", 0, 0);
+    *iter = 0;
+    if lda < n.max(1) {
+        return -4;
+    }
+    if ldb < n.max(1) {
+        return -7;
+    }
+    if ldx < n.max(1) {
+        return -9;
+    }
+    if n == 0 || nrhs == 0 {
+        return 0;
+    }
+
+    let anrm = lange(Norm::Inf, n, n, a, lda);
+    let cte = anrm * T::Real::EPS * T::Real::from_usize(n).rsqrt() * T::Real::from_f64(BWDMAX);
+
+    let lo = refine_lo(
+        n,
+        nrhs,
+        a,
+        lda,
+        ipiv,
+        b,
+        ldb,
+        x,
+        ldx,
+        cte,
+        |sa, piv| getrf(n, n, sa, n, piv),
+        |sa, piv, sb| getrs(Trans::No, n, nrhs, sa, n, piv, sb, n),
+        |b, r, x| {
+            for j in 0..nrhs {
+                r[j * n..j * n + n].copy_from_slice(&b[j * ldb..j * ldb + n]);
+            }
+            // Thin right-hand sides take the BLAS-2 path: a per-column
+            // gemv streams A once at memory bandwidth, where the BLAS-3
+            // blocked kernel has nothing to block over.
+            if nrhs <= 2 {
+                for j in 0..nrhs {
+                    gemv(
+                        Trans::No,
+                        n,
+                        n,
+                        -T::one(),
+                        a,
+                        lda,
+                        &x[j * ldx..j * ldx + n],
+                        1,
+                        T::one(),
+                        &mut r[j * n..j * n + n],
+                        1,
+                    );
+                }
+            } else {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    n,
+                    nrhs,
+                    n,
+                    -T::one(),
+                    a,
+                    lda,
+                    x,
+                    ldx,
+                    T::one(),
+                    r,
+                    n,
+                );
+            }
+        },
+    );
+    match lo {
+        Ok(it) => {
+            *iter = it;
+            0
+        }
+        Err(code) => {
+            *iter = code;
+            // Full-precision fallback: the exact plain-gesv sequence, so
+            // the result is bitwise identical to calling gesv directly.
+            let info = getrf(n, n, a, lda, ipiv);
+            if info != 0 {
+                return info;
+            }
+            for j in 0..nrhs {
+                x[j * ldx..j * ldx + n].copy_from_slice(&b[j * ldb..j * ldb + n]);
+            }
+            getrs(Trans::No, n, nrhs, a, lda, ipiv, x, ldx)
+        }
+    }
+}
+
+/// Mixed-precision symmetric/Hermitian positive-definite solve
+/// (`DSPOSV`/`ZCPOSV`): Cholesky in the demoted precision with
+/// working-precision refinement and the plain [`posv`](crate::posv)
+/// fallback. Only the `uplo` triangle of `A` is referenced; on the
+/// fallback path it is overwritten by the `potrf` factor. `iter` reports
+/// the path taken (see the module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn posv_mixed<T: Demote>(
+    uplo: Uplo,
+    n: usize,
+    nrhs: usize,
+    a: &mut [T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+    iter: &mut i32,
+) -> i32 {
+    let _probe = probe::span(probe::Layer::Lapack, "posv_mixed", 0, 0);
+    *iter = 0;
+    if lda < n.max(1) {
+        return -5;
+    }
+    if ldb < n.max(1) {
+        return -8;
+    }
+    if ldx < n.max(1) {
+        return -10;
+    }
+    if n == 0 || nrhs == 0 {
+        return 0;
+    }
+
+    let anrm = lansy(Norm::Inf, uplo, T::IS_COMPLEX, n, a, lda);
+    let cte = anrm * T::Real::EPS * T::Real::from_usize(n).rsqrt() * T::Real::from_f64(BWDMAX);
+
+    let mut unused = [0i32; 0];
+    let lo = refine_lo(
+        n,
+        nrhs,
+        a,
+        lda,
+        &mut unused,
+        b,
+        ldb,
+        x,
+        ldx,
+        cte,
+        |sa, _| potrf(uplo, n, sa, n),
+        |sa, _, sb| potrs(uplo, n, nrhs, sa, n, sb, n),
+        |b, r, x| {
+            for j in 0..nrhs {
+                r[j * n..j * n + n].copy_from_slice(&b[j * ldb..j * ldb + n]);
+            }
+            // BLAS-2 for thin right-hand sides (hemv degenerates to symv
+            // for real scalars), BLAS-3 otherwise.
+            if nrhs <= 2 {
+                for j in 0..nrhs {
+                    hemv(
+                        uplo,
+                        n,
+                        -T::one(),
+                        a,
+                        lda,
+                        &x[j * ldx..j * ldx + n],
+                        1,
+                        T::one(),
+                        &mut r[j * n..j * n + n],
+                        1,
+                    );
+                }
+            } else {
+                symm(
+                    T::IS_COMPLEX,
+                    la_core::Side::Left,
+                    uplo,
+                    n,
+                    nrhs,
+                    -T::one(),
+                    a,
+                    lda,
+                    x,
+                    ldx,
+                    T::one(),
+                    r,
+                    n,
+                );
+            }
+        },
+    );
+    match lo {
+        Ok(it) => {
+            *iter = it;
+            0
+        }
+        Err(code) => {
+            *iter = code;
+            // Full-precision fallback: the exact plain-posv sequence.
+            let info = potrf(uplo, n, a, lda);
+            if info != 0 {
+                return info;
+            }
+            for j in 0..nrhs {
+                x[j * ldx..j * ldx + n].copy_from_slice(&b[j * ldb..j * ldb + n]);
+            }
+            potrs(uplo, n, nrhs, a, lda, x, ldx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testmat::{Dist, Larnv};
+    use la_core::{C32, C64};
+
+    fn dd_system<T: Scalar>(n: usize, seed: u64) -> (Vec<T>, Vec<T>, Vec<T>) {
+        let mut rng = Larnv::new(seed);
+        let mut a = vec![T::zero(); n * n];
+        for v in a.iter_mut() {
+            *v = rng.scalar(Dist::Uniform11);
+        }
+        for i in 0..n {
+            a[i + i * n] += T::from_f64(n as f64);
+        }
+        let xt: Vec<T> = (0..n)
+            .map(|i| T::from_f64(1.0 + i as f64 / n as f64))
+            .collect();
+        let mut b = vec![T::zero(); n];
+        for i in 0..n {
+            for k in 0..n {
+                b[i] += a[i + k * n] * xt[k];
+            }
+        }
+        (a, b, xt)
+    }
+
+    #[test]
+    fn gesv_mixed_converges_on_well_conditioned() {
+        fn run<T: Demote>() {
+            let n = 48;
+            let (mut a, b, xt) = dd_system::<T>(n, 77);
+            let mut ipiv = vec![0i32; n];
+            let mut x = vec![T::zero(); n];
+            let mut iter = 0i32;
+            let info = gesv_mixed(n, 1, &mut a, n, &mut ipiv, &b, n, &mut x, n, &mut iter);
+            assert_eq!(info, 0, "{}", T::PREFIX);
+            assert!(
+                iter >= 0,
+                "{}: fallback not expected, iter={iter}",
+                T::PREFIX
+            );
+            let tol = T::Real::EPS.to_f64() * 1e4;
+            for i in 0..n {
+                assert!((x[i] - xt[i]).abs().to_f64() < tol, "{}: x[{i}]", T::PREFIX);
+            }
+        }
+        run::<f64>();
+        run::<C64>();
+    }
+
+    #[test]
+    fn posv_mixed_converges_on_spd() {
+        fn run<T: Demote>() {
+            let n = 40;
+            // SPD/HPD: GᴴG + n·I built from a random G.
+            let mut rng = Larnv::new(11);
+            let mut g = vec![T::zero(); n * n];
+            for v in g.iter_mut() {
+                *v = rng.scalar(Dist::Uniform11);
+            }
+            let mut a = vec![T::zero(); n * n];
+            for j in 0..n {
+                for i in 0..n {
+                    let mut acc = T::zero();
+                    for k in 0..n {
+                        acc += g[k + i * n].conj() * g[k + j * n];
+                    }
+                    a[i + j * n] = acc;
+                }
+                a[j + j * n] += T::from_f64(n as f64);
+            }
+            let xt: Vec<T> = (0..n).map(|i| T::from_f64(1.0 + i as f64)).collect();
+            let mut b = vec![T::zero(); n];
+            for i in 0..n {
+                for k in 0..n {
+                    b[i] += a[i + k * n] * xt[k];
+                }
+            }
+            let mut x = vec![T::zero(); n];
+            let mut iter = 0i32;
+            let info = posv_mixed(Uplo::Upper, n, 1, &mut a, n, &b, n, &mut x, n, &mut iter);
+            assert_eq!(info, 0, "{}", T::PREFIX);
+            assert!(iter >= 0, "{}: iter={iter}", T::PREFIX);
+            let tol = T::Real::EPS.to_f64() * 1e6 * n as f64;
+            for i in 0..n {
+                assert!(
+                    (x[i] - xt[i]).abs().to_f64() < tol,
+                    "{}: x[{i}] = {} vs {}",
+                    T::PREFIX,
+                    x[i],
+                    xt[i]
+                );
+            }
+        }
+        run::<f64>();
+        run::<C64>();
+    }
+
+    #[test]
+    fn demotion_overflow_takes_fallback() {
+        // An entry beyond f32::MAX cannot be demoted: iter = -2, yet the
+        // fallback still solves the (diagonal) system exactly.
+        let n = 4;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i + i * n] = 1.0;
+        }
+        a[0] = 1e300;
+        let b = vec![1e300, 2.0, 3.0, 4.0];
+        let mut ipiv = vec![0i32; n];
+        let mut x = vec![0.0f64; n];
+        let mut iter = 0i32;
+        let info = gesv_mixed(n, 1, &mut a, n, &mut ipiv, &b, n, &mut x, n, &mut iter);
+        assert_eq!(info, 0);
+        assert_eq!(iter, -2);
+        assert_eq!(x[0], 1.0);
+        assert_eq!(x[3], 4.0);
+    }
+
+    #[test]
+    fn lo_zero_pivot_takes_fallback() {
+        // Diagonal entries below the f32 *normal* range demote to 0 /
+        // subnormals: the f32 LU meets a zero pivot (iter = -3) but the
+        // f64 fallback factors fine.
+        let n = 3;
+        let mut a = vec![0.0f64; n * n];
+        a[0] = 1e-60; // demotes to +0.0f32
+        a[1 + n] = 1.0;
+        a[2 + 2 * n] = 1.0;
+        let b = vec![1e-60, 2.0, 3.0];
+        let mut ipiv = vec![0i32; n];
+        let mut x = vec![0.0f64; n];
+        let mut iter = 0i32;
+        let info = gesv_mixed(n, 1, &mut a, n, &mut ipiv, &b, n, &mut x, n, &mut iter);
+        assert_eq!(info, 0);
+        assert_eq!(iter, -3);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_returns_and_bad_ld() {
+        let mut a = [1.0f64];
+        let b = [1.0f64];
+        let mut x = [0.0f64];
+        let mut ipiv = [0i32];
+        let mut iter = 7i32;
+        assert_eq!(
+            gesv_mixed(0, 1, &mut a, 1, &mut ipiv, &b, 1, &mut x, 1, &mut iter),
+            0
+        );
+        assert_eq!(iter, 0);
+        assert_eq!(
+            gesv_mixed(2, 1, &mut a, 1, &mut ipiv, &b, 2, &mut x, 2, &mut iter),
+            -4
+        );
+        assert_eq!(
+            posv_mixed(Uplo::Upper, 2, 1, &mut a, 1, &b, 2, &mut x, 2, &mut iter),
+            -5
+        );
+    }
+
+    #[test]
+    fn c32_f32_are_valid_promote_sides() {
+        // The pairing is only implemented downward from f64/C64; the low
+        // side promotes exactly.
+        assert_eq!(1.5f32.promote(), 1.5f64);
+        assert_eq!(C32::new(1.0, -2.0).promote(), C64::new(1.0, -2.0));
+    }
+}

@@ -709,4 +709,40 @@ mod tests {
         }
         check_svd(m, n, &a0, &s, &u, &vt, 1e-11 * (m * n) as f64);
     }
+
+    #[test]
+    fn bdsqr_nonconvergence_is_bounded_and_reported() {
+        // A NaN diagonal makes every deflation and convergence test
+        // false, so the Demmel–Kahan sweep can never reduce the problem:
+        // the 6n² total-iteration cap must stop the loop in bounded time
+        // and report the number of unconverged superdiagonals as a
+        // positive info, never hang or return success.
+        let n = 5;
+        let mut d = [1.0f64, f64::NAN, 2.0, 3.0, 4.0];
+        let mut e = [1.0f64, 1.0, 1.0, 1.0];
+        let info = bdsqr::<f64>(n, &mut d, &mut e, None, None);
+        assert!(
+            info > 0,
+            "non-convergence must yield positive info, got {info}"
+        );
+        assert!(
+            info <= (n - 1) as i32,
+            "info counts superdiagonals, got {info}"
+        );
+    }
+
+    #[test]
+    fn gesvd_propagates_nonconvergence_info() {
+        // The same stall through the full driver: bidiagonalizing a NaN
+        // matrix hands bdsqr a NaN bidiagonal, and the positive info must
+        // surface through gesvd's return (the la90 wrapper turns it into
+        // the NoConvergence error).
+        let n = 4;
+        let mut a = vec![f64::NAN; n * n];
+        let (_s, _u, _vt, info) = gesvd(true, true, n, n, &mut a, n);
+        assert!(
+            info > 0,
+            "gesvd on a NaN matrix must report non-convergence, got {info}"
+        );
+    }
 }

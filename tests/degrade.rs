@@ -6,6 +6,11 @@
 //! the tune config, read at the parallel decision point and detonated
 //! inside a spawned worker, so the fault takes the real cross-thread
 //! propagation path (`std::thread::scope` re-raising the worker panic).
+//!
+//! The hook only exists in builds with debug assertions — release builds
+//! compile it out of the hot path — so this suite is gated the same way.
+
+#![cfg(debug_assertions)]
 
 use la_blas::{gemm, symm, syrk, trmm, trsm};
 use la_core::{except, tune, Diag, Scalar, Side, Trans, Uplo, C64};

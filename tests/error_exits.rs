@@ -483,3 +483,75 @@ fn nonfinite_policy_gating() {
         expect_nonfinite(la90::gesv(&mut nan_mat(3), &mut b), "LA_GESV", 1);
     });
 }
+
+#[test]
+fn mixed_driver_error_exits() {
+    // LA_GESV_MIXED argument order: (A, B, X, IPIV).
+    let mut a: Mat<f64> = Mat::zeros(3, 4); // not square → -1
+    let b = vec![0.0f64; 3];
+    let mut x = vec![0.0f64; 3];
+    expect_illegal(la90::gesv_mixed(&mut a, &b, &mut x), "LA_GESV_MIXED", 1);
+    let mut a: Mat<f64> = Mat::identity(4);
+    let b = vec![0.0f64; 3]; // wrong B rows → -2
+    let mut x = vec![0.0f64; 4];
+    expect_illegal(la90::gesv_mixed(&mut a, &b, &mut x), "LA_GESV_MIXED", 2);
+    let b = vec![0.0f64; 4];
+    let mut x = vec![0.0f64; 3]; // wrong X rows → -3
+    expect_illegal(la90::gesv_mixed(&mut a, &b, &mut x), "LA_GESV_MIXED", 3);
+    let bmat: Mat<f64> = Mat::zeros(4, 2);
+    let mut xmat: Mat<f64> = Mat::zeros(4, 3); // NRHS mismatch → -3
+    expect_illegal(
+        la90::gesv_mixed(&mut a, &bmat, &mut xmat),
+        "LA_GESV_MIXED",
+        3,
+    );
+    let mut x = vec![0.0f64; 4];
+    let mut piv = vec![0i32; 3]; // wrong IPIV length → -4
+    expect_illegal(
+        la90::gesv_mixed_ipiv(&mut a, &b, &mut x, &mut piv),
+        "LA_GESV_MIXED",
+        4,
+    );
+
+    // LA_POSV_MIXED argument order: (A, B, X, UPLO).
+    let mut a: Mat<f64> = Mat::zeros(3, 4);
+    let b = vec![0.0f64; 3];
+    let mut x = vec![0.0f64; 3];
+    expect_illegal(la90::posv_mixed(&mut a, &b, &mut x), "LA_POSV_MIXED", 1);
+    let mut a: Mat<f64> = Mat::identity(4);
+    expect_illegal(la90::posv_mixed(&mut a, &b, &mut x), "LA_POSV_MIXED", 2);
+    let b = vec![0.0f64; 4];
+    expect_illegal(la90::posv_mixed(&mut a, &b, &mut x), "LA_POSV_MIXED", 3);
+}
+
+#[test]
+fn nonfinite_screening_mixed_drivers() {
+    except::with_policy(FpCheckPolicy::ScanInputs, || {
+        let nan = f64::NAN;
+        // NaN in A is argument 1, NaN in B is argument 2 — same indices
+        // as the plain drivers, with X (argument 3) untouched by the scan.
+        let b = vec![0.0f64; 3];
+        let mut x = vec![0.0f64; 3];
+        expect_nonfinite(
+            la90::gesv_mixed(&mut nan_mat(3), &b, &mut x),
+            "LA_GESV_MIXED",
+            1,
+        );
+        expect_nonfinite(
+            la90::posv_mixed(&mut nan_mat(3), &b, &mut x),
+            "LA_POSV_MIXED",
+            1,
+        );
+        let b = vec![0.0f64, nan, 0.0];
+        expect_nonfinite(
+            la90::gesv_mixed(&mut dd_mat(3), &b, &mut x),
+            "LA_GESV_MIXED",
+            2,
+        );
+        expect_nonfinite(
+            la90::posv_mixed(&mut dd_mat(3), &b, &mut x),
+            "LA_POSV_MIXED",
+            2,
+        );
+    });
+}
