@@ -11,7 +11,7 @@
 //! the others* trips the gate.
 //!
 //! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]
-//! [--min-mixed-speedup 1.2]`
+//! [--min-mixed-speedup 1.2] [--max-abft-overhead 1.10]`
 //!
 //! The same gate covers the mixed-precision sweep (`BENCH_mixed.json` /
 //! `BENCH_mixed.quick.json` from `mixed_sweep`): rows in its
@@ -22,6 +22,12 @@
 //! the checked-in baseline (quick CI sweeps stop at n = 512), so it
 //! guards the committed measurement, while the ratio rule guards fresh
 //! runs against relative regressions.
+//!
+//! Likewise for the ABFT sweep (`BENCH_abft.json` from `abft_sweep`):
+//! its `abft_sweep` rows join the regression comparison, and
+//! `--max-abft-overhead` enforces an absolute ceiling on the baseline's
+//! recorded `abft_overhead` *verify* ratios at n ≥ 1024 — the O(n²)
+//! checksums must stay cheap relative to the O(n³) compute.
 
 use la_core::json::Json;
 
@@ -38,7 +44,7 @@ fn load(path: &str) -> Vec<Point> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
     let mut pts = Vec::new();
-    for section in ["thread_sweep", "nb_sweep", "mixed_sweep"] {
+    for section in ["thread_sweep", "nb_sweep", "mixed_sweep", "abft_sweep"] {
         let Some(arr) = doc.get(section).and_then(|v| v.as_arr()) else {
             continue;
         };
@@ -67,6 +73,7 @@ fn main() {
     let mut paths: Vec<&str> = Vec::new();
     let mut threshold = 1.25f64;
     let mut min_mixed: Option<f64> = None;
+    let mut max_abft: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
@@ -75,6 +82,9 @@ fn main() {
         } else if a == "--min-mixed-speedup" {
             let v = it.next().expect("--min-mixed-speedup needs a value");
             min_mixed = Some(v.parse().expect("bad min-mixed-speedup"));
+        } else if a == "--max-abft-overhead" {
+            let v = it.next().expect("--max-abft-overhead needs a value");
+            max_abft = Some(v.parse().expect("bad max-abft-overhead"));
         } else {
             paths.push(a);
         }
@@ -158,6 +168,42 @@ fn main() {
         }
         if checked == 0 {
             eprintln!("bench_gate: no gesv speedup entries at n >= 1024 in {baseline_path}");
+            std::process::exit(2);
+        }
+    }
+    // Absolute ceiling on the baseline's ABFT verify overhead: detection
+    // must stay an O(n²) tax on O(n³) work at the sizes that matter.
+    if let Some(ceiling) = max_abft {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+        let Some(Json::Obj(overheads)) = doc.get("abft_overhead") else {
+            eprintln!("bench_gate: {baseline_path} has no abft_overhead section");
+            std::process::exit(2);
+        };
+        let mut checked = 0usize;
+        for (key, val) in overheads {
+            // Keys are `<op>_<policy>_<n>`; the ceiling applies to the
+            // verify ratios at n ≥ 1024.
+            let Some((head, n)) = key.rsplit_once('_') else {
+                continue;
+            };
+            let n: u64 = n.parse().unwrap_or(0);
+            if !head.ends_with("_verify") || n < 1024 {
+                continue;
+            }
+            let r = val.as_f64().unwrap_or(f64::INFINITY);
+            checked += 1;
+            let flag = if r > ceiling {
+                failed = true;
+                "  << ABOVE CEILING"
+            } else {
+                ""
+            };
+            println!("  abft overhead {key:<23} {r:7.3}  (ceiling {ceiling:.2}){flag}");
+        }
+        if checked == 0 {
+            eprintln!("bench_gate: no verify overhead entries at n >= 1024 in {baseline_path}");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,825 @@
+//! Huang–Abraham checksum layer for the Level-3 operations.
+//!
+//! Algorithm-based fault tolerance (ABFT) exploits the fact that the
+//! Level-3 operations preserve linear invariants: for the update
+//! `C = α·op(A)·op(B) + β·C` the column sums satisfy
+//! `eᵀC = eᵀC₀·β + α·(eᵀop(A))·op(B)`, an O(n²) identity protecting an
+//! O(n³) computation. This module encodes the invariant before the
+//! compute kernel runs, verifies it afterwards against a norm-scaled
+//! tolerance, and — under [`AbftPolicy::Recover`] — localizes the
+//! offending column stripe, restores it from a snapshot and re-runs the
+//! exact per-stripe serial kernel, which reproduces the fault-free
+//! result bit for bit (the striped and serial paths share per-column
+//! summation order).
+//!
+//! Under [`AbftPolicy::Verify`] a persistent mismatch is parked as a
+//! pending [`la_core::abft::SoftFault`] that the driver layer surfaces
+//! as `INFO = -102` through `ERINFO`.
+//!
+//! The checks engage only for operations at or above the parallel-flop
+//! threshold (`TuneConfig::par_flops`) — the same "large operation"
+//! boundary the striping decision uses — so the per-call overhead stays
+//! a lower-order term. Non-finite discrepancies are never flagged: a
+//! NaN/Inf in the data is the province of the `except` screening layer,
+//! not a soft fault.
+
+use la_core::abft::{self, AbftPolicy};
+use la_core::{probe, tune, Diag, RealScalar, Scalar, Trans, Uplo};
+
+use crate::l3::{gemm_serial, syrk_block, trmm_left_cols, trsm_left_cols, SYRK_NB};
+
+/// Policy gate shared by every protected entry point: returns the active
+/// policy when ABFT is on *and* the operation is at or above the
+/// parallel-flop threshold.
+pub(crate) fn active(cfg: &tune::TuneConfig, flops: u128) -> Option<AbftPolicy> {
+    let p = abft::policy();
+    if p.enabled() && flops >= cfg.par_flops as u128 {
+        Some(p)
+    } else {
+        None
+    }
+}
+
+fn cjs<T: Scalar>(conj: bool, x: T) -> T {
+    if conj {
+        x.conj()
+    } else {
+        x
+    }
+}
+
+/// `max |x|₁` over the stored `rows × cols` region with leading
+/// dimension `ld`.
+fn maxabs<T: Scalar>(rows: usize, cols: usize, ld: usize, data: &[T]) -> T::Real {
+    let mut m = T::Real::zero();
+    for j in 0..cols {
+        for &x in &data[j * ld..j * ld + rows] {
+            m = m.maxr(x.abs1());
+        }
+    }
+    m
+}
+
+/// `true` when a checksum discrepancy is a genuine (finite) fault.
+fn exceeds<T: Scalar>(diff: T, tol: T::Real) -> bool {
+    let d = diff.abs1();
+    d.is_finite() && d > tol
+}
+
+/// Start column and width of stripe `t` under the same split
+/// `stripe_cols` uses.
+fn stripe_bounds(n: usize, stripes: usize, t: usize) -> (usize, usize) {
+    let base = n / stripes;
+    let extra = n % stripes;
+    (t * base + t.min(extra), base + usize::from(t < extra))
+}
+
+/// Stripe index owning column `j` (inverse of [`stripe_bounds`]).
+fn stripe_of(n: usize, stripes: usize, j: usize) -> usize {
+    let base = n / stripes;
+    let extra = n % stripes;
+    if base == 0 {
+        return j;
+    }
+    let cut = extra * (base + 1);
+    if j < cut {
+        j / (base + 1)
+    } else {
+        extra + (j - cut) / base
+    }
+}
+
+/// Indices of stripes containing at least one column whose checksum
+/// discrepancy exceeds `tol`.
+fn bad_stripes<T: Scalar>(
+    n: usize,
+    stripes: usize,
+    tol: T::Real,
+    expect: &[T],
+    actual: impl Fn(usize) -> T,
+) -> Vec<usize> {
+    let mut bad: Vec<usize> = Vec::new();
+    for (j, &e) in expect.iter().enumerate().take(n) {
+        if exceeds(actual(j) - e, tol) {
+            let t = stripe_of(n, stripes, j);
+            if bad.last() != Some(&t) {
+                bad.push(t);
+            }
+        }
+    }
+    bad
+}
+
+fn restore_cols<T: Scalar>(c: &mut [T], snap: &[T], ld: usize, rows: usize, j0: usize, w: usize) {
+    for j in j0..j0 + w {
+        c[j * ld..j * ld + rows].copy_from_slice(&snap[j * ld..j * ld + rows]);
+    }
+}
+
+/// Factor applied to the tolerance when re-verifying a recovered stripe.
+fn loose<R: RealScalar>(tol: R) -> R {
+    tol * R::from_f64(64.0)
+}
+
+/// Shared outcome bookkeeping: nothing failed → silent pass; recovery
+/// succeeded → detection + recovery counters; otherwise park a pending
+/// soft fault (which counts the detection itself).
+fn conclude(routine: &'static str, recovered: bool, still_bad: Option<usize>) {
+    match still_bad {
+        None if recovered => {
+            abft::note_detection();
+            abft::note_recovery();
+        }
+        None => {}
+        Some(block) => abft::raise(routine, block),
+    }
+}
+
+// ---------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------
+
+/// Checksum state for a column-checksummed operation: per-column expected
+/// sums, the mismatch tolerance, and (under `Recover`) a snapshot of the
+/// output as it stood when the checksum was encoded.
+pub(crate) struct ColCheck<T: Scalar> {
+    expect: Vec<T>,
+    tol: T::Real,
+    snap: Option<Vec<T>>,
+}
+
+/// Encodes the GEMM column checksum. Must be called after the β-scaling
+/// of `C` and before the product accumulates: `expect[j] = eᵀC_j +
+/// α·(eᵀop(A))·op(B)_j`.
+pub(crate) fn gemm_encode<T: Scalar>(
+    pol: AbftPolicy,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &[T],
+    ldc: usize,
+) -> ColCheck<T> {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "gemm", 0, 0);
+        let cja = transa == Trans::ConjTrans;
+        let cjb = transb == Trans::ConjTrans;
+        // v = eᵀ·op(A), length k.
+        let mut v = vec![T::zero(); k];
+        if transa == Trans::No {
+            for (l, vl) in v.iter_mut().enumerate() {
+                let mut s = T::zero();
+                for &x in &a[l * lda..l * lda + m] {
+                    s += x;
+                }
+                *vl = s;
+            }
+        } else {
+            for i in 0..m {
+                let col = &a[i * lda..i * lda + k];
+                for (l, vl) in v.iter_mut().enumerate() {
+                    *vl += cjs(cja, col[l]);
+                }
+            }
+        }
+        let mut expect = vec![T::zero(); n];
+        for (j, ej) in expect.iter_mut().enumerate() {
+            let mut cs = T::zero();
+            for &x in &c[j * ldc..j * ldc + m] {
+                cs += x;
+            }
+            let mut dot = T::zero();
+            if transb == Trans::No {
+                let col = &b[j * ldb..j * ldb + k];
+                for (l, &vl) in v.iter().enumerate() {
+                    dot += vl * col[l];
+                }
+            } else {
+                for (l, &vl) in v.iter().enumerate() {
+                    dot += vl * cjs(cjb, b[j + l * ldb]);
+                }
+            }
+            *ej = cs + alpha * dot;
+        }
+        let (ra, ca) = if transa == Trans::No { (m, k) } else { (k, m) };
+        let (rb, cb) = if transb == Trans::No { (k, n) } else { (n, k) };
+        let maxa = maxabs(ra, ca, lda, a);
+        let maxb = maxabs(rb, cb, ldb, b);
+        let maxc = maxabs(m, n, ldc, c);
+        let tol = T::Real::from_f64(32.0)
+            * T::Real::EPS
+            * T::Real::from_usize(m)
+            * (T::Real::from_usize(k) * alpha.abs1() * maxa * maxb + maxc);
+        let snap = if pol.recover() {
+            Some(c.to_vec())
+        } else {
+            None
+        };
+        ColCheck { expect, tol, snap }
+    })
+}
+
+/// Verifies the GEMM column checksum; on mismatch recovers the offending
+/// stripes (restore + serial re-run of the exact band kernel) or parks a
+/// pending soft fault, per policy.
+pub(crate) fn gemm_verify<T: Scalar>(
+    ck: ColCheck<T>,
+    stripes: usize,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "gemm", 0, 0);
+        abft::note_check();
+        let colsum = |c: &[T], j: usize| {
+            let mut s = T::zero();
+            for &x in &c[j * ldc..j * ldc + m] {
+                s += x;
+            }
+            s
+        };
+        let bad = bad_stripes(n, stripes, ck.tol, &ck.expect, |j| colsum(c, j));
+        if bad.is_empty() {
+            return;
+        }
+        let Some(snap) = ck.snap.as_deref() else {
+            abft::raise("gemm", bad[0]);
+            return;
+        };
+        for &t in &bad {
+            let (j0, w) = stripe_bounds(n, stripes, t);
+            restore_cols(c, snap, ldc, m, j0, w);
+            let boff = if transb == Trans::No { j0 * ldb } else { j0 };
+            gemm_serial(
+                transa,
+                transb,
+                m,
+                w,
+                k,
+                alpha,
+                a,
+                lda,
+                &b[boff..],
+                ldb,
+                &mut c[j0 * ldc..],
+                ldc,
+            );
+        }
+        let ltol = loose(ck.tol);
+        let still = bad.iter().copied().find(|&t| {
+            let (j0, w) = stripe_bounds(n, stripes, t);
+            (j0..j0 + w).any(|j| exceeds(colsum(c, j) - ck.expect[j], ltol))
+        });
+        conclude("gemm", true, still);
+    })
+}
+
+// ---------------------------------------------------------------------
+// SYRK / HERK
+// ---------------------------------------------------------------------
+
+/// Element of `op(A)` as `syrk_block` reads it.
+fn ael<T: Scalar>(trans: Trans, lda: usize, a: &[T], i: usize, l: usize) -> T {
+    if trans == Trans::No {
+        a[i + l * lda]
+    } else {
+        a[l + i * lda]
+    }
+}
+
+/// Encodes the rank-k update checksum over the stored triangle: for each
+/// column `j`, the sum of the updated rows must land on `β·eᵀC₀_j +
+/// α·Σ_l S_l(j)·r(j,l)` where `S_l(j)` is a running prefix (Upper) or
+/// suffix (Lower) sum over the column term and `r` the row term, with
+/// the conjugations placed exactly as `syrk_block` places them.
+pub(crate) fn syrk_encode<T: Scalar>(
+    pol: AbftPolicy,
+    conj: bool,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &[T],
+    ldc: usize,
+) -> ColCheck<T> {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "syrk", 0, 0);
+        // Column term accumulated into the running sums, and row term the
+        // sums are dotted with — conjugated as syrk_block conjugates them.
+        let colterm = |i: usize, l: usize| {
+            let x = ael(trans, lda, a, i, l);
+            cjs(conj && trans != Trans::No, x)
+        };
+        let rowterm = |j: usize, l: usize| {
+            let x = ael(trans, lda, a, j, l);
+            cjs(conj && trans == Trans::No, x)
+        };
+        // β·(sum of the updated rows of C₀), with the Hermitian case
+        // reading only the real part of the stored diagonal, as the
+        // kernel's trailing `from_real` enforces.
+        let colsum0 = |j: usize| {
+            let (lo, hi) = match uplo {
+                Uplo::Upper => (0, j + 1),
+                Uplo::Lower => (j, n),
+            };
+            let mut s = T::zero();
+            for i in lo..hi {
+                let x = c[i + j * ldc];
+                s += if conj && i == j {
+                    T::from_real(x.re())
+                } else {
+                    x
+                };
+            }
+            s
+        };
+        let mut expect = vec![T::zero(); n];
+        let mut run = vec![T::zero(); k];
+        let col = |j: usize, run: &mut [T]| {
+            for (l, rl) in run.iter_mut().enumerate() {
+                *rl += colterm(j, l);
+            }
+            let mut dot = T::zero();
+            for (l, &rl) in run.iter().enumerate() {
+                dot += rl * rowterm(j, l);
+            }
+            beta * colsum0(j) + alpha * dot
+        };
+        match uplo {
+            Uplo::Upper => {
+                for j in 0..n {
+                    expect[j] = col(j, &mut run);
+                }
+            }
+            Uplo::Lower => {
+                for j in (0..n).rev() {
+                    expect[j] = col(j, &mut run);
+                }
+            }
+        }
+        let (ra, ca) = if trans == Trans::No { (n, k) } else { (k, n) };
+        let maxa = maxabs(ra, ca, lda, a);
+        let maxc = maxabs(n, n, ldc, c);
+        let tol = T::Real::from_f64(32.0)
+            * T::Real::EPS
+            * T::Real::from_usize(n)
+            * (T::Real::from_usize(k) * alpha.abs1() * maxa * maxa + beta.abs1() * maxc);
+        let snap = if pol.recover() {
+            Some(c.to_vec())
+        } else {
+            None
+        };
+        ColCheck { expect, tol, snap }
+    })
+}
+
+/// Verifies the rank-k update checksum; recovery restores and re-runs
+/// the offending `SYRK_NB` diagonal block(s) through `syrk_block`, the
+/// same kernel both the serial and the dealt-parallel paths execute.
+pub(crate) fn syrk_verify<T: Scalar>(
+    ck: ColCheck<T>,
+    conj: bool,
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "syrk", 0, 0);
+        abft::note_check();
+        let colsum = |c: &[T], j: usize| {
+            let (lo, hi) = match uplo {
+                Uplo::Upper => (0, j + 1),
+                Uplo::Lower => (j, n),
+            };
+            let mut s = T::zero();
+            for i in lo..hi {
+                s += c[i + j * ldc];
+            }
+            s
+        };
+        let mut bad: Vec<usize> = Vec::new();
+        for j in 0..n {
+            if exceeds(colsum(c, j) - ck.expect[j], ck.tol) {
+                let blk = j / SYRK_NB;
+                if bad.last() != Some(&blk) {
+                    bad.push(blk);
+                }
+            }
+        }
+        if bad.is_empty() {
+            return;
+        }
+        let Some(snap) = ck.snap.as_deref() else {
+            abft::raise("syrk", bad[0]);
+            return;
+        };
+        for &blk in &bad {
+            let j0 = blk * SYRK_NB;
+            let jb = SYRK_NB.min(n - j0);
+            restore_cols(c, snap, ldc, n, j0, jb);
+            syrk_block(
+                conj,
+                uplo,
+                trans,
+                n,
+                k,
+                alpha,
+                a,
+                lda,
+                beta,
+                j0,
+                jb,
+                &mut c[j0 * ldc..],
+                ldc,
+            );
+        }
+        let ltol = loose(ck.tol);
+        let still = bad.iter().copied().find(|&blk| {
+            let j0 = blk * SYRK_NB;
+            let jb = SYRK_NB.min(n - j0);
+            (j0..j0 + jb).any(|j| exceeds(colsum(c, j) - ck.expect[j], ltol))
+        });
+        conclude("syrk", true, still);
+    })
+}
+
+// ---------------------------------------------------------------------
+// TRSM / TRMM (Side::Left — the Right side recurses through Left)
+// ---------------------------------------------------------------------
+
+/// `v = eᵀ·op(A)` over the stored triangle including the implicit unit
+/// diagonal — the checksum row vector shared by the triangular
+/// operations.
+fn tri_colsums<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    a: &[T],
+    lda: usize,
+) -> Vec<T> {
+    let cjt = trans == Trans::ConjTrans;
+    let mut v = vec![T::zero(); m];
+    for jcol in 0..m {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0, jcol),
+            Uplo::Lower => (jcol + 1, m),
+        };
+        for i in lo..hi {
+            let x = a[i + jcol * lda];
+            if trans == Trans::No {
+                // A[i, jcol] sits in column jcol of op(A).
+                v[jcol] += x;
+            } else {
+                // op(A)[jcol, i] = cj(A[i, jcol]) sits in column i.
+                v[i] += cjs(cjt, x);
+            }
+        }
+    }
+    for (i, vi) in v.iter_mut().enumerate() {
+        *vi += if diag == Diag::Unit {
+            T::one()
+        } else {
+            cjs(cjt, a[i + i * lda])
+        };
+    }
+    v
+}
+
+/// Checksum state for the triangular solve: `eᵀ·op(A)` and the column
+/// sums of the α-scaled right-hand sides, against which `v·x_j` is
+/// checked after the solve.
+pub(crate) struct TrsmCheck<T: Scalar> {
+    v: Vec<T>,
+    expect: Vec<T>,
+    maxa: T::Real,
+    maxb: T::Real,
+    snap: Option<Vec<T>>,
+}
+
+/// Encodes the TRSM checksum. Must be called after α has been applied to
+/// `B` and before the solve overwrites it: `op(A)·X = B` implies
+/// `(eᵀop(A))·X_j = eᵀB_j`.
+pub(crate) fn trsm_encode<T: Scalar>(
+    pol: AbftPolicy,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+) -> TrsmCheck<T> {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "trsm", 0, 0);
+        let v = tri_colsums(uplo, trans, diag, m, a, lda);
+        let mut expect = vec![T::zero(); n];
+        for (j, ej) in expect.iter_mut().enumerate() {
+            let mut s = T::zero();
+            for &x in &b[j * ldb..j * ldb + m] {
+                s += x;
+            }
+            *ej = s;
+        }
+        let maxa = maxabs(m, m, lda, a).maxr(T::Real::one());
+        let maxb = maxabs(m, n, ldb, b);
+        let snap = if pol.recover() {
+            Some(b.to_vec())
+        } else {
+            None
+        };
+        TrsmCheck {
+            v,
+            expect,
+            maxa,
+            maxb,
+            snap,
+        }
+    })
+}
+
+/// Verifies the TRSM checksum (`v·x_j` against the encoded `eᵀB_j`);
+/// recovery restores the offending stripe and re-runs `trsm_left_cols`
+/// on it.
+pub(crate) fn trsm_verify<T: Scalar>(
+    ck: TrsmCheck<T>,
+    stripes: usize,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "trsm", 0, 0);
+        abft::note_check();
+        let vx = |b: &[T], j: usize| {
+            let col = &b[j * ldb..j * ldb + m];
+            let mut s = T::zero();
+            for (i, &vi) in ck.v.iter().enumerate() {
+                s += vi * col[i];
+            }
+            s
+        };
+        // The solve's backward error is a multiple of ‖A‖·‖X‖, so the
+        // tolerance is scaled by the magnitude of the *computed* solution.
+        let maxx = maxabs(m, n, ldb, b);
+        let mr = T::Real::from_usize(m);
+        let tol = T::Real::from_f64(64.0) * T::Real::EPS * mr * (mr * ck.maxa * maxx + ck.maxb);
+        let bad = bad_stripes(n, stripes, tol, &ck.expect, |j| vx(b, j));
+        if bad.is_empty() {
+            return;
+        }
+        let Some(snap) = ck.snap.as_deref() else {
+            abft::raise("trsm", bad[0]);
+            return;
+        };
+        for &t in &bad {
+            let (j0, w) = stripe_bounds(n, stripes, t);
+            restore_cols(b, snap, ldb, m, j0, w);
+            trsm_left_cols(uplo, trans, diag, m, w, a, lda, &mut b[j0 * ldb..], ldb);
+        }
+        let ltol = loose(tol);
+        let still = bad.iter().copied().find(|&t| {
+            let (j0, w) = stripe_bounds(n, stripes, t);
+            (j0..j0 + w).any(|j| exceeds(vx(b, j) - ck.expect[j], ltol))
+        });
+        conclude("trsm", true, still);
+    })
+}
+
+/// Encodes the TRMM checksum from the *unscaled* input `B₀`:
+/// `eᵀ(α·op(A)·B₀)_j = α·(eᵀop(A))·B₀_j`, checked against the column
+/// sums of the overwritten output.
+pub(crate) fn trmm_encode<T: Scalar>(
+    pol: AbftPolicy,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+) -> ColCheck<T> {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "trmm", 0, 0);
+        let v = tri_colsums(uplo, trans, diag, m, a, lda);
+        let mut expect = vec![T::zero(); n];
+        for (j, ej) in expect.iter_mut().enumerate() {
+            let col = &b[j * ldb..j * ldb + m];
+            let mut s = T::zero();
+            for (i, &vi) in v.iter().enumerate() {
+                s += vi * col[i];
+            }
+            *ej = alpha * s;
+        }
+        let maxa = maxabs(m, m, lda, a).maxr(T::Real::one());
+        let maxb = maxabs(m, n, ldb, b);
+        let mr = T::Real::from_usize(m);
+        let tol = T::Real::from_f64(64.0) * T::Real::EPS * mr * mr * alpha.abs1() * maxa * maxb;
+        let snap = if pol.recover() {
+            Some(b.to_vec())
+        } else {
+            None
+        };
+        ColCheck { expect, tol, snap }
+    })
+}
+
+/// Verifies the TRMM column checksum; recovery restores the offending
+/// stripe and re-runs `trmm_left_cols` on it.
+pub(crate) fn trmm_verify<T: Scalar>(
+    ck: ColCheck<T>,
+    stripes: usize,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    probe::with_abft(|| {
+        let _s = probe::span(probe::Layer::Blas, "trmm", 0, 0);
+        abft::note_check();
+        let colsum = |b: &[T], j: usize| {
+            let mut s = T::zero();
+            for &x in &b[j * ldb..j * ldb + m] {
+                s += x;
+            }
+            s
+        };
+        let bad = bad_stripes(n, stripes, ck.tol, &ck.expect, |j| colsum(b, j));
+        if bad.is_empty() {
+            return;
+        }
+        let Some(snap) = ck.snap.as_deref() else {
+            abft::raise("trmm", bad[0]);
+            return;
+        };
+        for &t in &bad {
+            let (j0, w) = stripe_bounds(n, stripes, t);
+            restore_cols(b, snap, ldb, m, j0, w);
+            trmm_left_cols(
+                uplo,
+                trans,
+                diag,
+                m,
+                w,
+                alpha,
+                a,
+                lda,
+                &mut b[j0 * ldb..],
+                ldb,
+            );
+        }
+        let ltol = loose(ck.tol);
+        let still = bad.iter().copied().find(|&t| {
+            let (j0, w) = stripe_bounds(n, stripes, t);
+            (j0..j0 + w).any(|j| exceeds(colsum(b, j) - ck.expect[j], ltol))
+        });
+        conclude("trmm", true, still);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_bounds_and_inverse_agree() {
+        for &(n, stripes) in &[(7usize, 3usize), (12, 4), (5, 8), (1, 1), (64, 5)] {
+            let mut owner = vec![usize::MAX; n];
+            for t in 0..stripes {
+                let (j0, w) = stripe_bounds(n, stripes, t);
+                for j in j0..(j0 + w).min(n) {
+                    owner[j] = t;
+                }
+            }
+            for j in 0..n {
+                assert_eq!(
+                    owner[j],
+                    stripe_of(n, stripes, j),
+                    "n={n} stripes={stripes} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_discrepancies_are_not_faults() {
+        assert!(!exceeds(f64::NAN, 1e-12));
+        assert!(!exceeds(f64::INFINITY, 1e-12));
+        assert!(exceeds(1.0f64, 1e-12));
+        assert!(!exceeds(1e-13f64, 1e-12));
+    }
+
+    /// End-to-end exercise of the injection → detection → recovery path
+    /// for one representative operation; the full routine × stripe ×
+    /// policy sweep lives in the workspace `degrade` test.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn gemm_corruption_is_detected_and_recovered() {
+        use la_core::abft::inject::{arm, is_armed, CorruptKind, Corruption};
+        use la_core::abft::{clear_pending, take_pending, with_policy};
+        let (m, n, k) = (24usize, 32usize, 24usize);
+        let a: Vec<f64> = (0..m * k)
+            .map(|i| ((i * 7 % 13) as f64 - 6.0) / 3.0)
+            .collect();
+        let b: Vec<f64> = (0..k * n)
+            .map(|i| ((i * 5 % 11) as f64 - 5.0) / 4.0)
+            .collect();
+        let c0: Vec<f64> = (0..m * n)
+            .map(|i| ((i * 3 % 7) as f64 - 3.0) / 2.0)
+            .collect();
+        let cfg = tune::TuneConfig {
+            max_threads: 4,
+            par_flops: 0,
+            ..tune::current()
+        };
+        let run = |c: &mut Vec<f64>| {
+            crate::l3::gemm(Trans::No, Trans::No, m, n, k, 1.5, &a, m, &b, k, 0.5, c, m)
+        };
+        let clean = tune::with(cfg, || {
+            let mut c = c0.clone();
+            run(&mut c);
+            c
+        });
+
+        // Verify policy: the corruption survives, a soft fault is parked.
+        clear_pending();
+        let corrupted = tune::with(cfg, || {
+            with_policy(AbftPolicy::Verify, || {
+                arm(Corruption {
+                    routine: "gemm",
+                    stripe: 1,
+                    kind: CorruptKind::Scale,
+                });
+                let mut c = c0.clone();
+                run(&mut c);
+                c
+            })
+        });
+        assert!(!is_armed(), "corruption must have fired");
+        let fault = take_pending().expect("verify must park a soft fault");
+        assert_eq!(fault.routine, "gemm");
+        assert_eq!(fault.block, 1);
+        assert_ne!(clean, corrupted);
+
+        // Recover policy: the result is bit-for-bit the clean one.
+        let recovered = tune::with(cfg, || {
+            with_policy(AbftPolicy::Recover, || {
+                arm(Corruption {
+                    routine: "gemm",
+                    stripe: 1,
+                    kind: CorruptKind::FlipMantissaBit,
+                });
+                let mut c = c0.clone();
+                run(&mut c);
+                c
+            })
+        });
+        assert!(!is_armed());
+        assert!(take_pending().is_none(), "recovery must clear the fault");
+        assert_eq!(clean, recovered, "recovery must be bitwise identical");
+    }
+}

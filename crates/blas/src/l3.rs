@@ -66,22 +66,30 @@ fn with_serial_fallback<T: Scalar>(
 /// where `band` starts at column `j0` and holds `w` columns. The final
 /// band takes whatever tail `data` has, so `data` need only cover
 /// `ld*(n-1) + rows` elements, not a full `ld*n`.
-fn stripe_cols<T: Scalar, F>(stripes: usize, n: usize, ld: usize, data: &mut [T], f: F)
-where
+fn stripe_cols<T: Scalar, F>(
+    routine: &'static str,
+    stripes: usize,
+    n: usize,
+    ld: usize,
+    data: &mut [T],
+    f: F,
+) where
     F: Fn(usize, usize, &mut [T]) + Sync,
 {
     let base = n / stripes;
     let extra = n % stripes;
     let fref = &f;
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = routine;
     // Test-only fault injection (see `TuneConfig::fault_inject_par`): read
     // on the calling thread — scoped tune overrides do not cross into the
     // workers — and detonated inside the first spawned stripe so the panic
     // takes the real cross-thread propagation path. Compiled only into
-    // debug builds (tests run with debug assertions); release hot paths
-    // never read the flag.
-    #[cfg(debug_assertions)]
+    // builds with the `fault-inject` cargo feature; default builds never
+    // read the flag.
+    #[cfg(feature = "fault-inject")]
     let inject = tune::current().fault_inject_par;
-    #[cfg(not(debug_assertions))]
+    #[cfg(not(feature = "fault-inject"))]
     let inject = false;
     std::thread::scope(|s| {
         let mut rest = data;
@@ -99,7 +107,13 @@ where
                 if boom {
                     panic!("injected BLAS-3 stripe fault");
                 }
-                fref(j0, w, mine)
+                fref(j0, w, mine);
+                // Silent-corruption injection (one-shot, armed through
+                // `la_core::abft::inject`): flips one element of this
+                // worker's finished band so the checksum layer above has
+                // something real to detect.
+                #[cfg(feature = "fault-inject")]
+                la_core::abft::inject::maybe_corrupt(routine, t, &mut mine[0]);
             });
             j0 += w;
         }
@@ -174,6 +188,11 @@ pub fn gemm<T: Scalar>(
     let cfg = tune::current();
     let stripes = par_stripes(&cfg, flop_product(m, n, k), n, 8);
     probe::note_parallelism(stripes);
+    // ABFT (see `crate::abft`): encode the column checksum after the
+    // β-scaling, before the product accumulates.
+    let check = crate::abft::active(&cfg, flop_product(m, n, k)).map(|pol| {
+        crate::abft::gemm_encode(pol, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+    });
     if stripes > 1 {
         with_serial_fallback(
             c,
@@ -186,6 +205,11 @@ pub fn gemm<T: Scalar>(
         );
     } else {
         gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+    if let Some(ck) = check {
+        crate::abft::gemm_verify(
+            ck, stripes, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+        );
     }
 }
 
@@ -209,7 +233,7 @@ pub(crate) fn gemm_striped<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) {
-    stripe_cols(stripes, n, ldc, c, |j0, w, cb| {
+    stripe_cols("gemm", stripes, n, ldc, c, |j0, w, cb| {
         let boff = match transb {
             Trans::No => j0 * ldb,
             _ => j0,
@@ -235,7 +259,7 @@ pub(crate) fn gemm_striped<T: Scalar>(
 /// applied): small problems take a simple sweep; larger ones go through
 /// the packed GEBP kernel below.
 #[allow(clippy::too_many_arguments)]
-fn gemm_serial<T: Scalar>(
+pub(crate) fn gemm_serial<T: Scalar>(
     transa: Trans,
     transb: Trans,
     m: usize,
@@ -684,6 +708,11 @@ fn syrk_impl<T: Scalar>(
     let cfg = tune::current();
     let workers = par_stripes(&cfg, flop_product(n, n, k) / 2, n, SYRK_NB).min(n.div_ceil(SYRK_NB));
     probe::note_parallelism(workers);
+    // ABFT: encode over the stored triangle before the update runs (the
+    // blocks β-scale internally, so the snapshot is the pristine input).
+    let check = crate::abft::active(&cfg, flop_product(n, n, k) / 2).map(|pol| {
+        crate::abft::syrk_encode(pol, conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+    });
     if workers > 1 {
         with_serial_fallback(
             c,
@@ -697,10 +726,13 @@ fn syrk_impl<T: Scalar>(
     } else {
         syrk_blocks_serial(conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
     }
+    if let Some(ck) = check {
+        crate::abft::syrk_verify(ck, conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+    }
 }
 
 /// Column-block width of the rank-k update decomposition.
-const SYRK_NB: usize = 48;
+pub(crate) const SYRK_NB: usize = 48;
 
 /// The parallel rank-k path: NB-column blocks dealt round-robin to
 /// `workers` scoped threads. Carries the same fault-injection hook as
@@ -736,10 +768,10 @@ fn syrk_blocks_par<T: Scalar>(
     for (idx, blk) in blocks.into_iter().enumerate() {
         work[idx % workers].push(blk);
     }
-    // Gated like the `stripe_cols` hook: debug builds only.
-    #[cfg(debug_assertions)]
+    // Gated like the `stripe_cols` hook: `fault-inject` builds only.
+    #[cfg(feature = "fault-inject")]
     let inject = tune::current().fault_inject_par;
-    #[cfg(not(debug_assertions))]
+    #[cfg(not(feature = "fault-inject"))]
     let inject = false;
     std::thread::scope(|s| {
         for (t, list) in work.into_iter().enumerate() {
@@ -752,6 +784,11 @@ fn syrk_blocks_par<T: Scalar>(
                     syrk_block(
                         conj, uplo, trans, n, k, alpha, a, lda, beta, j0, jb, cb, ldc,
                     );
+                    // One-shot silent-corruption hook: hits the diagonal
+                    // element of this block (updated under either uplo),
+                    // addressed by block index so tests can aim at it.
+                    #[cfg(feature = "fault-inject")]
+                    la_core::abft::inject::maybe_corrupt("syrk", j0 / SYRK_NB, &mut cb[j0]);
                 }
             });
         }
@@ -801,7 +838,7 @@ fn syrk_blocks_serial<T: Scalar>(
 /// lives one level up, across blocks). `cb` is the column band of `C`
 /// starting at column `j0`: block-local column indexing, global rows.
 #[allow(clippy::too_many_arguments)]
-fn syrk_block<T: Scalar>(
+pub(crate) fn syrk_block<T: Scalar>(
     conj: bool,
     uplo: Uplo,
     trans: Trans,
@@ -1023,11 +1060,16 @@ fn trmm_impl<T: Scalar>(
             let cfg = tune::current();
             let stripes = par_stripes(&cfg, flop_product(m, m, n) / 2, n, 4);
             probe::note_parallelism(stripes);
+            // ABFT: encode from the unscaled input (the column kernel
+            // applies alpha itself).
+            let check = crate::abft::active(&cfg, flop_product(m, m, n) / 2).map(|pol| {
+                crate::abft::trmm_encode(pol, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+            });
             if stripes > 1 {
                 with_serial_fallback(
                     b,
                     |b| {
-                        stripe_cols(stripes, n, ldb, b, |_, w, bb| {
+                        stripe_cols("trmm", stripes, n, ldb, b, |_, w, bb| {
                             trmm_left_cols(uplo, trans, diag, m, w, alpha, a, lda, bb, ldb);
                         })
                     },
@@ -1035,6 +1077,11 @@ fn trmm_impl<T: Scalar>(
                 );
             } else {
                 trmm_left_cols(uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+            }
+            if let Some(ck) = check {
+                crate::abft::trmm_verify(
+                    ck, stripes, uplo, trans, diag, m, n, alpha, a, lda, b, ldb,
+                );
             }
         }
         Side::Right => {
@@ -1104,7 +1151,7 @@ fn trmm_impl<T: Scalar>(
 
 /// Serial left-side trmm over `n` columns of `b`: `b_j := alpha·op(A)·b_j`.
 #[allow(clippy::too_many_arguments)]
-fn trmm_left_cols<T: Scalar>(
+pub(crate) fn trmm_left_cols<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
@@ -1197,11 +1244,15 @@ fn trsm_impl<T: Scalar>(
             let cfg = tune::current();
             let stripes = par_stripes(&cfg, flop_product(m, m, n) / 2, n, 4);
             probe::note_parallelism(stripes);
+            // ABFT: alpha is already folded into B, so the column sums of
+            // B as it stands are the expected values of (eᵀop(A))·X.
+            let check = crate::abft::active(&cfg, flop_product(m, m, n) / 2)
+                .map(|pol| crate::abft::trsm_encode(pol, uplo, trans, diag, m, n, a, lda, b, ldb));
             if stripes > 1 {
                 with_serial_fallback(
                     b,
                     |b| {
-                        stripe_cols(stripes, n, ldb, b, |_, w, bb| {
+                        stripe_cols("trsm", stripes, n, ldb, b, |_, w, bb| {
                             trsm_left_cols(uplo, trans, diag, m, w, a, lda, bb, ldb);
                         })
                     },
@@ -1209,6 +1260,9 @@ fn trsm_impl<T: Scalar>(
                 );
             } else {
                 trsm_left_cols(uplo, trans, diag, m, n, a, lda, b, ldb);
+            }
+            if let Some(ck) = check {
+                crate::abft::trsm_verify(ck, stripes, uplo, trans, diag, m, n, a, lda, b, ldb);
             }
         }
         Side::Right => {
@@ -1270,7 +1324,7 @@ fn trsm_impl<T: Scalar>(
 /// Serial left-side triangular solve over `n` columns of `b` (alpha
 /// already applied): `op(A)·x_j = b_j` per column.
 #[allow(clippy::too_many_arguments)]
-fn trsm_left_cols<T: Scalar>(
+pub(crate) fn trsm_left_cols<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     diag: Diag,

@@ -24,6 +24,7 @@
     clippy::manual_swap
 )]
 
+pub(crate) mod abft;
 pub mod l1;
 pub mod l2;
 pub mod l3;

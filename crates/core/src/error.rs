@@ -75,6 +75,20 @@ pub enum LaError {
         /// was reconstructed from a raw `INFO` by [`erinfo`]).
         argument: usize,
     },
+    /// `INFO = -102`: a checksum verification in the ABFT layer (see
+    /// [`crate::abft`]) detected a silently corrupted result — a *finite*
+    /// wrong answer, the soft-error failure mode NaN screening cannot see.
+    /// Raised under `AbftPolicy::Verify` (the corrupted result is left in
+    /// place), or under `Recover` when even the recomputation failed
+    /// verification. Extends the `-100`/`-101` code family.
+    SoftFault {
+        /// Driver name.
+        routine: &'static str,
+        /// 0-based stripe/block the verifier localized the fault to;
+        /// `usize::MAX` when unknown (e.g. reconstructed from a raw
+        /// `INFO` by [`erinfo`]).
+        block: usize,
+    },
 }
 
 impl LaError {
@@ -86,14 +100,16 @@ impl LaError {
             | LaError::NotPosDef { routine, .. }
             | LaError::NoConvergence { routine, .. }
             | LaError::AllocFailed { routine }
-            | LaError::NonFinite { routine, .. } => routine,
+            | LaError::NonFinite { routine, .. }
+            | LaError::SoftFault { routine, .. } => routine,
         }
     }
 
     /// The `INFO` code following the LAPACK convention: negative for an
     /// illegal argument, positive for a computational failure, `-100` for
     /// allocation failure (LAPACK90's own extension, Appendix C), `-101`
-    /// for a screened non-finite value (this package's extension).
+    /// for a screened non-finite value, `-102` for an ABFT-detected soft
+    /// fault (this package's extensions).
     pub fn info(&self) -> i32 {
         match self {
             LaError::IllegalArg { index, .. } => -(*index as i32),
@@ -102,6 +118,7 @@ impl LaError {
             LaError::NoConvergence { count, .. } => *count as i32,
             LaError::AllocFailed { .. } => -100,
             LaError::NonFinite { .. } => -101,
+            LaError::SoftFault { .. } => -102,
         }
     }
 }
@@ -137,6 +154,15 @@ impl fmt::Display for LaError {
             LaError::NonFinite { argument, .. } => {
                 write!(f, " (argument {argument} contains a NaN or Inf)")
             }
+            LaError::SoftFault { block, .. } if *block == usize::MAX => {
+                write!(f, " (checksum verification detected a soft fault)")
+            }
+            LaError::SoftFault { block, .. } => {
+                write!(
+                    f,
+                    " (checksum verification detected a soft fault in block {block})"
+                )
+            }
         }
     }
 }
@@ -147,6 +173,10 @@ impl std::error::Error for LaError {}
 /// corresponding [`LaError`], given how that routine reports positive codes.
 ///
 /// This is the `CALL ERINFO(LINFO, SRNAME, INFO)` moment of each wrapper.
+/// It is also where pending ABFT soft faults surface: a `linfo == 0`
+/// outcome still returns [`LaError::SoftFault`] (`INFO = -102`) if the
+/// checksum layer parked one on this thread during the computation
+/// ([`crate::abft::take_pending`]); drivers clear stale faults at entry.
 pub fn erinfo(
     linfo: i32,
     srname: &'static str,
@@ -154,7 +184,19 @@ pub fn erinfo(
 ) -> Result<(), LaError> {
     use core::cmp::Ordering;
     match linfo.cmp(&0) {
-        Ordering::Equal => Ok(()),
+        Ordering::Equal => {
+            // A computation that came back clean may still have parked a
+            // soft fault (ABFT checksum mismatch that Verify policy does
+            // not repair); surface it here so every driver routes
+            // `INFO = -102` through the one protocol point.
+            if let Some(f) = crate::abft::take_pending() {
+                return Err(LaError::SoftFault {
+                    routine: srname,
+                    block: f.block,
+                });
+            }
+            Ok(())
+        }
         Ordering::Less => {
             if linfo == -100 {
                 Err(LaError::AllocFailed { routine: srname })
@@ -164,6 +206,12 @@ pub fn erinfo(
                 Err(LaError::NonFinite {
                     routine: srname,
                     argument: 0,
+                })
+            } else if linfo == -102 {
+                // The raw code cannot carry the block index.
+                Err(LaError::SoftFault {
+                    routine: srname,
+                    block: usize::MAX,
                 })
             } else {
                 Err(LaError::IllegalArg {
@@ -286,5 +334,34 @@ mod tests {
             argument: 0,
         };
         assert!(format!("{e}").contains("a NaN or Inf was detected"));
+    }
+
+    #[test]
+    fn soft_fault_extension_code() {
+        let e = LaError::SoftFault {
+            routine: "LA_GESV",
+            block: 3,
+        };
+        assert_eq!(e.info(), -102);
+        assert_eq!(e.routine(), "LA_GESV");
+        let s = format!("{e}");
+        assert!(s.starts_with("Terminated in LAPACK90 subroutine LA_GESV"));
+        assert!(s.contains("INFO = -102"));
+        assert!(s.contains("soft fault in block 3"));
+        // Unknown-block shape, as erinfo reconstructs it.
+        assert_eq!(
+            erinfo(-102, "LA_POSV", PositiveInfo::NotPosDef),
+            Err(LaError::SoftFault {
+                routine: "LA_POSV",
+                block: usize::MAX
+            })
+        );
+        let e = LaError::SoftFault {
+            routine: "LA_POSV",
+            block: usize::MAX,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("detected a soft fault"));
+        assert!(!s.contains("block"));
     }
 }

@@ -22,6 +22,10 @@
 //! * [`except`] — the exception-handling subsystem (Demmel et al.,
 //!   arXiv:2207.09281): runtime NaN/Inf screening policy (`LA_FP_CHECK`),
 //!   `all_finite` sweeps, and the `INFO = -101` non-finite extension code.
+//! * [`abft`] — algorithm-based fault tolerance (Huang–Abraham checksums):
+//!   runtime soft-fault policy (`LA_ABFT`), the `INFO = -102` soft-fault
+//!   extension code, detection/recovery counters, and (behind the
+//!   `fault-inject` feature) silent-corruption injection for tests.
 //! * [`probe`] — the observability subsystem (`LA_PROFILE`): per-routine
 //!   counters with closed-form flop accounting, hierarchical span tracing
 //!   across the driver → factorization → BLAS-3 stack, and structured
@@ -34,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod complex;
 pub mod enums;
 pub mod error;
@@ -46,6 +51,7 @@ pub mod scalar;
 pub mod storage;
 pub mod tune;
 
+pub use abft::AbftPolicy;
 pub use complex::{Complex, C32, C64};
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};

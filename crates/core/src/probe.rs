@@ -187,6 +187,10 @@ pub struct CounterRow {
     pub routine: &'static str,
     /// Whether the calls ran in the demoted precision (see [`with_lo`]).
     pub lo: bool,
+    /// Whether the calls ran inside ABFT bookkeeping (see [`with_abft`]):
+    /// checksum verification or fault recovery, as opposed to the
+    /// protected computation itself.
+    pub abft: bool,
     /// Number of calls recorded.
     pub calls: u64,
     /// Closed-form flops (see [`flops`]), summed over calls.
@@ -209,6 +213,11 @@ pub struct Span {
     /// driver (opened inside [`with_lo`]). Lets span trees show the
     /// low-vs-working flop split of `gesv_mixed`/`posv_mixed`.
     pub lo: bool,
+    /// Whether the call ran inside ABFT bookkeeping (opened inside
+    /// [`with_abft`]): checksum verification sweeps and fault-recovery
+    /// reruns carry the tag, so span trees separate the fault-tolerance
+    /// overhead from the protected computation.
+    pub abft: bool,
     /// Block size the routine would read from [`tune`] (`nb(routine)`),
     /// captured at entry.
     pub nb: usize,
@@ -244,6 +253,7 @@ struct Frame {
     layer: Layer,
     routine: &'static str,
     lo: bool,
+    abft: bool,
     nb: usize,
     threads: usize,
     flops: u64,
@@ -259,6 +269,9 @@ thread_local! {
     /// Nesting depth of [`with_lo`] scopes on this thread; spans opened
     /// while it is positive are tagged low-precision.
     static LO_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// Nesting depth of [`with_abft`] scopes on this thread; spans opened
+    /// while it is positive are tagged as ABFT bookkeeping.
+    static ABFT_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 /// Runs `f` with every span opened on this thread tagged as
@@ -279,6 +292,24 @@ pub fn with_lo<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Runs `f` with every span opened on this thread tagged as *ABFT
+/// bookkeeping* ([`Span::abft`] / [`CounterRow::abft`]). The checksum
+/// verifiers and the fault-recovery reruns of [`crate::abft`] wrap
+/// themselves in this scope, so reports separate the fault-tolerance
+/// overhead (and any recovery recomputation) from the protected
+/// computation itself. Nests; restores on panic.
+pub fn with_abft<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ABFT_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+    ABFT_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
 struct Totals {
     layer: Layer,
     calls: u64,
@@ -287,8 +318,10 @@ struct Totals {
     nanos: u64,
 }
 
-fn counters() -> &'static Mutex<BTreeMap<(&'static str, bool), Totals>> {
-    static C: OnceLock<Mutex<BTreeMap<(&'static str, bool), Totals>>> = OnceLock::new();
+type CounterKey = (&'static str, bool, bool); // (routine, lo, abft)
+
+fn counters() -> &'static Mutex<BTreeMap<CounterKey, Totals>> {
+    static C: OnceLock<Mutex<BTreeMap<CounterKey, Totals>>> = OnceLock::new();
     C.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
@@ -313,13 +346,15 @@ impl Drop for ProbeGuard {
         let nanos = frame.start.elapsed().as_nanos() as u64;
         {
             let mut map = counters().lock().unwrap_or_else(|e| e.into_inner());
-            let t = map.entry((frame.routine, frame.lo)).or_insert(Totals {
-                layer: frame.layer,
-                calls: 0,
-                flops: 0,
-                bytes: 0,
-                nanos: 0,
-            });
+            let t = map
+                .entry((frame.routine, frame.lo, frame.abft))
+                .or_insert(Totals {
+                    layer: frame.layer,
+                    calls: 0,
+                    flops: 0,
+                    bytes: 0,
+                    nanos: 0,
+                });
             t.calls += 1;
             t.flops += frame.flops;
             t.bytes += frame.bytes;
@@ -330,6 +365,7 @@ impl Drop for ProbeGuard {
                 layer: frame.layer,
                 routine: frame.routine,
                 lo: frame.lo,
+                abft: frame.abft,
                 nb: frame.nb,
                 threads: frame.threads,
                 flops: frame.flops,
@@ -372,11 +408,13 @@ pub fn span(layer: Layer, routine: &'static str, flops: u64, bytes: u64) -> Prob
     }
     let cfg = tune::current();
     let lo = LO_DEPTH.with(|d| d.get()) > 0;
+    let abft = ABFT_DEPTH.with(|d| d.get()) > 0;
     ACTIVE.with(|a| {
         a.borrow_mut().push(Frame {
             layer,
             routine,
             lo,
+            abft,
             nb: cfg.nb(routine),
             threads: cfg.threads(),
             flops,
@@ -417,6 +455,15 @@ pub struct Report {
     /// ([`crate::except::parallel_fallbacks`]); monotone, not cleared by
     /// [`reset`].
     pub parallel_fallbacks: usize,
+    /// Process-lifetime count of ABFT checksum verifications
+    /// ([`crate::abft::checks`]); monotone, not cleared by [`reset`].
+    pub abft_checks: u64,
+    /// Process-lifetime count of detected soft faults
+    /// ([`crate::abft::detections`]); monotone.
+    pub abft_detections: u64,
+    /// Process-lifetime count of successful ABFT recoveries
+    /// ([`crate::abft::recoveries`]); monotone.
+    pub abft_recoveries: u64,
 }
 
 /// Snapshots the counters and finished spans. Cheap; safe to call at any
@@ -426,21 +473,25 @@ pub fn snapshot() -> Report {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .iter()
-        .map(|(&(name, lo), t)| CounterRow {
+        .map(|(&(name, lo, abft), t)| CounterRow {
             layer: t.layer,
             routine: name,
             lo,
+            abft,
             calls: t.calls,
             flops: t.flops,
             bytes: t.bytes,
             nanos: t.nanos,
         })
         .collect();
-    rows.sort_by_key(|r| (r.layer, r.routine, r.lo));
+    rows.sort_by_key(|r| (r.layer, r.routine, r.lo, r.abft));
     Report {
         counters: rows,
         spans: roots().lock().unwrap_or_else(|e| e.into_inner()).clone(),
         parallel_fallbacks: crate::except::parallel_fallbacks(),
+        abft_checks: crate::abft::checks(),
+        abft_detections: crate::abft::detections(),
+        abft_recoveries: crate::abft::recoveries(),
     }
 }
 
@@ -467,11 +518,13 @@ impl Report {
             } else {
                 0.0
             };
-            let name = if r.lo {
-                format!("{}[lo]", r.routine)
-            } else {
-                r.routine.to_string()
-            };
+            let mut name = r.routine.to_string();
+            if r.lo {
+                name.push_str("[lo]");
+            }
+            if r.abft {
+                name.push_str("[abft]");
+            }
             out.push_str(&format!(
                 "{:<8} {:<10} {:>8} {:>14} {:>12} {:>10.3}  {:>8.2}\n",
                 r.layer.as_str(),
@@ -487,6 +540,12 @@ impl Report {
             out.push_str(&format!(
                 "parallel fallbacks: {}\n",
                 self.parallel_fallbacks
+            ));
+        }
+        if self.abft_checks > 0 {
+            out.push_str(&format!(
+                "abft: {} checks, {} detections, {} recoveries\n",
+                self.abft_checks, self.abft_detections, self.abft_recoveries
             ));
         }
         if !self.spans.is_empty() {
@@ -505,6 +564,9 @@ impl Report {
         let mut j = JsonBuf::new();
         j.begin_obj();
         j.field_uint("parallel_fallbacks", self.parallel_fallbacks as u64);
+        j.field_uint("abft_checks", self.abft_checks);
+        j.field_uint("abft_detections", self.abft_detections);
+        j.field_uint("abft_recoveries", self.abft_recoveries);
         j.key("counters");
         j.begin_arr();
         for r in &self.counters {
@@ -512,6 +574,7 @@ impl Report {
             j.field_str("layer", r.layer.as_str());
             j.field_str("routine", r.routine);
             j.field_uint("lo", u64::from(r.lo));
+            j.field_uint("abft", u64::from(r.abft));
             j.field_uint("calls", r.calls);
             j.field_uint("flops", r.flops);
             j.field_uint("bytes", r.bytes);
@@ -532,10 +595,11 @@ impl Report {
 
 fn render_span(out: &mut String, s: &Span, depth: usize) {
     out.push_str(&format!(
-        "{:indent$}{}{} [{}] nb={} threads={} flops={} ms={:.3}\n",
+        "{:indent$}{}{}{} [{}] nb={} threads={} flops={} ms={:.3}\n",
         "",
         s.routine,
         if s.lo { "[lo]" } else { "" },
+        if s.abft { "[abft]" } else { "" },
         s.layer.as_str(),
         s.nb,
         s.threads,
@@ -553,6 +617,7 @@ fn span_json(j: &mut JsonBuf, s: &Span) {
     j.field_str("routine", s.routine);
     j.field_str("layer", s.layer.as_str());
     j.field_uint("lo", u64::from(s.lo));
+    j.field_uint("abft", u64::from(s.abft));
     j.field_uint("nb", s.nb as u64);
     j.field_uint("threads", s.threads as u64);
     j.field_uint("flops", s.flops);
@@ -808,6 +873,34 @@ mod tests {
         assert!(rep.to_table().contains("unit-test-lofac[lo]"));
         let json = crate::json::Json::parse(&rep.to_json()).unwrap();
         assert!(json.get("counters").is_some());
+    }
+
+    #[test]
+    fn abft_scope_tags_spans_and_counters() {
+        with_policy(ProbePolicy::Spans, || {
+            let _outer = span(Layer::Blas, "unit-test-prot", 128, 0);
+            with_abft(|| {
+                let _inner = span(Layer::Blas, "unit-test-verify", 16, 0);
+            });
+        });
+        let rep = snapshot();
+        let root = rep
+            .spans
+            .iter()
+            .find(|s| s.routine == "unit-test-prot")
+            .expect("protected root span");
+        assert!(!root.abft, "outer span must not be tagged");
+        let v = root.find("unit-test-verify").expect("verify child");
+        assert!(v.abft, "span inside with_abft must be tagged");
+        let row = rep
+            .counters
+            .iter()
+            .find(|r| r.routine == "unit-test-verify")
+            .expect("verify counter row");
+        assert!(row.abft && row.flops == 16);
+        assert!(rep.to_table().contains("unit-test-verify[abft]"));
+        let json = crate::json::Json::parse(&rep.to_json()).unwrap();
+        assert!(json.get("abft_checks").is_some());
     }
 
     #[test]

@@ -65,9 +65,9 @@ pub struct TuneConfig {
     /// panics in one of its worker stripes, exercising the graceful
     /// serial-fallback path. Never read from the environment; exists so
     /// the degradation machinery can be tested without unsafe tricks.
-    /// Only honoured in builds with debug assertions (which tests run
-    /// under) — release builds compile the read out of the BLAS-3 hot
-    /// path entirely, so setting it there is a no-op.
+    /// Only honoured in builds with the `fault-inject` cargo feature —
+    /// default builds compile the read out of the BLAS-3 hot path
+    /// entirely, so setting it there is a no-op.
     #[doc(hidden)]
     pub fault_inject_par: bool,
 }

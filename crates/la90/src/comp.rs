@@ -138,8 +138,8 @@ pub fn gerfs<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => af.as_slice(), 4 => b.as_slice(), 5 => x.as_slice());
     let nrhs = b.nrhs();
-    let mut ferr = vec![T::Real::zero(); nrhs];
-    let mut berr = vec![T::Real::zero(); nrhs];
+    let mut ferr = crate::rhs::alloc_ws(SRNAME, nrhs, T::Real::zero())?;
+    let mut berr = crate::rhs::alloc_ws(SRNAME, nrhs, T::Real::zero())?;
     let (lda, ldaf, ldb, ldx) = (a.lda(), af.lda(), b.ldb(), x.ldb());
     let linfo = f77::gerfs(
         trans,
@@ -184,8 +184,8 @@ pub fn geequ<T: Scalar>(a: &Mat<T>) -> Result<GeequOut<T::Real>, LaError> {
     let _probe = crate::rhs::driver_span(SRNAME);
     let (m, n) = a.shape();
     screen_inputs!(SRNAME, 1 => a.as_slice());
-    let mut r = vec![T::Real::zero(); m];
-    let mut c = vec![T::Real::zero(); n];
+    let mut r = crate::rhs::alloc_ws(SRNAME, m, T::Real::zero())?;
+    let mut c = crate::rhs::alloc_ws(SRNAME, n, T::Real::zero())?;
     let (rowcnd, colcnd, amax, linfo) = f77::geequ(m, n, a.as_slice(), a.lda(), &mut r, &mut c);
     erinfo(linfo, SRNAME, PositiveInfo::Singular)?;
     screen_outputs(SRNAME, 2, &r)?;
@@ -271,9 +271,9 @@ pub fn sytrd<T: Scalar>(
     }
     let n = a.nrows();
     screen_inputs!(SRNAME, 1 => a.as_slice());
-    let mut d = vec![T::Real::zero(); n];
-    let mut e = vec![T::Real::zero(); n.saturating_sub(1).max(1)];
-    let mut tau = vec![T::zero(); n.saturating_sub(1).max(1)];
+    let mut d = crate::rhs::alloc_ws(SRNAME, n, T::Real::zero())?;
+    let mut e = crate::rhs::alloc_ws(SRNAME, n.saturating_sub(1).max(1), T::Real::zero())?;
+    let mut tau = crate::rhs::alloc_ws(SRNAME, n.saturating_sub(1).max(1), T::zero())?;
     let lda = a.lda();
     let linfo = f77::sytrd(uplo, n, a.as_mut_slice(), lda, &mut d, &mut e, &mut tau);
     erinfo(linfo, SRNAME, PositiveInfo::NoConvergence)?;

@@ -58,10 +58,10 @@ pub fn gesvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut af = vec![T::zero(); n * n];
-    let mut ipiv = vec![0i32; n];
-    let mut r = vec![T::Real::zero(); n];
-    let mut c = vec![T::Real::zero(); n];
+    let mut af = crate::rhs::alloc_ws(SRNAME, n * n, T::zero())?;
+    let mut ipiv = crate::rhs::alloc_ws(SRNAME, n, 0i32)?;
+    let mut r = crate::rhs::alloc_ws(SRNAME, n, T::Real::zero())?;
+    let mut c = crate::rhs::alloc_ws(SRNAME, n, T::Real::zero())?;
     let (lda, ldb, ldx) = (a.lda(), b.ldb(), x.ldb());
     let (linfo, out) = f77::gesvx(
         fact,
@@ -117,8 +117,8 @@ pub fn posvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut af = vec![T::zero(); n * n];
-    let mut s = vec![T::Real::zero(); n];
+    let mut af = crate::rhs::alloc_ws(SRNAME, n * n, T::zero())?;
+    let mut s = crate::rhs::alloc_ws(SRNAME, n, T::Real::zero())?;
     let (lda, ldb, ldx) = (a.lda(), b.ldb(), x.ldb());
     let (linfo, rcond, ferr, berr, _equed) = f77::posvx(
         fact,
@@ -182,15 +182,15 @@ pub fn gbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     // plain layout expected by the expert driver.
     let (kl, ku) = (ab.kl(), ab.ku());
     let ldab_plain = kl + ku + 1;
-    let mut ab_plain = vec![T::zero(); ldab_plain * n];
+    let mut ab_plain = crate::rhs::alloc_ws(SRNAME, ldab_plain * n, T::zero())?;
     for j in 0..n {
         for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
             ab_plain[ku + i - j + j * ldab_plain] = ab.get(i, j);
         }
     }
     let ldafb = 2 * kl + ku + 1;
-    let mut afb = vec![T::zero(); ldafb * n];
-    let mut ipiv = vec![0i32; n];
+    let mut afb = crate::rhs::alloc_ws(SRNAME, ldafb * n, T::zero())?;
+    let mut ipiv = crate::rhs::alloc_ws(SRNAME, n, 0i32)?;
     let nrhs = b.nrhs();
     let (ldb, ldx) = (b.ldb(), x.ldb());
     let (linfo, out) = f77::gbsvx(
@@ -239,11 +239,11 @@ pub fn gtsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => dl, 2 => d, 3 => du, 4 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut dlf = vec![T::zero(); n.saturating_sub(1).max(1)];
-    let mut df = vec![T::zero(); n.max(1)];
-    let mut duf = vec![T::zero(); n.saturating_sub(1).max(1)];
-    let mut du2 = vec![T::zero(); n.saturating_sub(2).max(1)];
-    let mut ipiv = vec![0i32; n.max(1)];
+    let mut dlf = crate::rhs::alloc_ws(SRNAME, n.saturating_sub(1).max(1), T::zero())?;
+    let mut df = crate::rhs::alloc_ws(SRNAME, n.max(1), T::zero())?;
+    let mut duf = crate::rhs::alloc_ws(SRNAME, n.saturating_sub(1).max(1), T::zero())?;
+    let mut du2 = crate::rhs::alloc_ws(SRNAME, n.saturating_sub(2).max(1), T::zero())?;
+    let mut ipiv = crate::rhs::alloc_ws(SRNAME, n.max(1), 0i32)?;
     let (ldb, ldx) = (b.ldb(), x.ldb());
     let (linfo, out) = f77::gtsvx(
         Fact::NotFactored,
@@ -290,8 +290,8 @@ pub fn ptsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => d, 2 => e, 3 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut df = vec![T::Real::zero(); n.max(1)];
-    let mut ef = vec![T::zero(); n.saturating_sub(1).max(1)];
+    let mut df = crate::rhs::alloc_ws(SRNAME, n.max(1), T::Real::zero())?;
+    let mut ef = crate::rhs::alloc_ws(SRNAME, n.saturating_sub(1).max(1), T::zero())?;
     let (ldb, ldx) = (b.ldb(), x.ldb());
     let (linfo, out) = f77::ptsvx(
         Fact::NotFactored,
@@ -335,8 +335,8 @@ pub fn sysvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => a.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut af = vec![T::zero(); n * n];
-    let mut ipiv = vec![0i32; n];
+    let mut af = crate::rhs::alloc_ws(SRNAME, n * n, T::zero())?;
+    let mut ipiv = crate::rhs::alloc_ws(SRNAME, n, 0i32)?;
     let (lda, ldb, ldx) = (a.lda(), b.ldb(), x.ldb());
     let (linfo, out) = f77::sysvx(
         Fact::NotFactored,
@@ -379,8 +379,8 @@ pub fn spsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => ap.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut afp = vec![T::zero(); ap.as_slice().len()];
-    let mut ipiv = vec![0i32; n];
+    let mut afp = crate::rhs::alloc_ws(SRNAME, ap.as_slice().len(), T::zero())?;
+    let mut ipiv = crate::rhs::alloc_ws(SRNAME, n, 0i32)?;
     let (ldb, ldx) = (b.ldb(), x.ldb());
     let (linfo, out) = f77::spsvx(
         Fact::NotFactored,
@@ -419,7 +419,7 @@ pub fn ppsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => ap.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut afp = vec![T::zero(); ap.as_slice().len()];
+    let mut afp = crate::rhs::alloc_ws(SRNAME, ap.as_slice().len(), T::zero())?;
     let (ldb, ldx) = (b.ldb(), x.ldb());
     let (linfo, out) = f77::ppsvx(
         Fact::NotFactored,
@@ -456,7 +456,7 @@ pub fn pbsvx<T: Scalar, B: Rhs<T> + ?Sized, X: Rhs<T> + ?Sized>(
     }
     screen_inputs!(SRNAME, 1 => ab.as_slice(), 2 => b.as_slice());
     let nrhs = b.nrhs();
-    let mut afb = vec![T::zero(); ab.as_slice().len()];
+    let mut afb = crate::rhs::alloc_ws(SRNAME, ab.as_slice().len(), T::zero())?;
     let (ldb, ldx) = (b.ldb(), x.ldb());
     let (linfo, out) = f77::pbsvx(
         Fact::NotFactored,

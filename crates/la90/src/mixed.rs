@@ -48,6 +48,7 @@ pub struct MixedOut<R> {
 
 /// Normwise backward error of `x` against the untouched copies `a0`/`b`.
 fn normwise_berr<T: Scalar>(
+    routine: &'static str,
     n: usize,
     nrhs: usize,
     anrm: T::Real,
@@ -58,8 +59,8 @@ fn normwise_berr<T: Scalar>(
     ldb: usize,
     x: &[T],
     ldx: usize,
-) -> T::Real {
-    let mut r = vec![T::zero(); n * nrhs];
+) -> Result<T::Real, LaError> {
+    let mut r = crate::rhs::alloc_ws(routine, n * nrhs, T::zero())?;
     for j in 0..nrhs {
         r[j * n..j * n + n].copy_from_slice(&b[j * ldb..j * ldb + n]);
     }
@@ -108,7 +109,7 @@ fn normwise_berr<T: Scalar>(
             berr = berr.maxr(rnrm / den);
         }
     }
-    berr
+    Ok(berr)
 }
 
 fn gesv_mixed_opt<T, B, X>(
@@ -145,7 +146,7 @@ where
     let piv: &mut [i32] = match ipiv {
         Some(p) => p,
         None => {
-            local = vec![0i32; n];
+            local = crate::rhs::alloc_ws(SRNAME, n, 0i32)?;
             &mut local
         }
     };
@@ -154,10 +155,9 @@ where
     // The expert form measures the achieved backward error against the
     // original matrix, which the fallback path overwrites — snapshot it.
     let (a0, anrm) = if want_berr {
-        (
-            a.as_slice().to_vec(),
-            f77::lange(Norm::Inf, n, n, a.as_slice(), lda),
-        )
+        let mut a0 = crate::rhs::alloc_ws(SRNAME, a.as_slice().len(), T::zero())?;
+        a0.copy_from_slice(a.as_slice());
+        (a0, f77::lange(Norm::Inf, n, n, a.as_slice(), lda))
     } else {
         (Vec::new(), T::Real::zero())
     };
@@ -178,6 +178,7 @@ where
     screen_outputs(SRNAME, 3, x.as_slice())?;
     let berr = if want_berr {
         normwise_berr(
+            SRNAME,
             n,
             nrhs,
             anrm,
@@ -188,7 +189,7 @@ where
             ldb,
             x.as_slice(),
             ldx,
-        )
+        )?
     } else {
         T::Real::zero()
     };
@@ -279,8 +280,10 @@ where
     let nrhs = b.nrhs();
     let (lda, ldb, ldx) = (a.lda(), b.ldb(), x.ldb());
     let (a0, anrm) = if want_berr {
+        let mut a0 = crate::rhs::alloc_ws(SRNAME, a.as_slice().len(), T::zero())?;
+        a0.copy_from_slice(a.as_slice());
         (
-            a.as_slice().to_vec(),
+            a0,
             f77::lansy(Norm::Inf, uplo, T::IS_COMPLEX, n, a.as_slice(), lda),
         )
     } else {
@@ -303,6 +306,7 @@ where
     screen_outputs(SRNAME, 3, x.as_slice())?;
     let berr = if want_berr {
         normwise_berr(
+            SRNAME,
             n,
             nrhs,
             anrm,
@@ -313,7 +317,7 @@ where
             ldb,
             x.as_slice(),
             ldx,
-        )
+        )?
     } else {
         T::Real::zero()
     };

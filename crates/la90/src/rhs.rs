@@ -12,7 +12,12 @@ use la_core::{except, probe, LaError, Mat, Scalar};
 /// interface (`LA_GESV`, `LA_SYEV`, …). Flops and bytes are left at zero:
 /// a driver's cost is the sum of its instrumented factorization and
 /// BLAS-3 children, which the span tree attributes to it directly.
+///
+/// Driver entry is also where any stale pending ABFT soft fault is
+/// discarded, so the fault a later `erinfo` surfaces is guaranteed to
+/// come from *this* driver's computation.
 pub(crate) fn driver_span(srname: &'static str) -> probe::ProbeGuard {
+    la_core::abft::clear_pending();
     probe::span(probe::Layer::Driver, srname, 0, 0)
 }
 
@@ -40,6 +45,24 @@ macro_rules! screen_inputs {
     };
 }
 pub(crate) use screen_inputs;
+
+/// Fallible workspace allocation for the drivers: `n` copies of `fill`,
+/// with allocation failure surfaced as `LaError::AllocFailed`
+/// (`INFO = -100`, the LAPACK95 workspace convention) instead of the
+/// process-aborting panic `vec![...]` produces. The reserve is exact:
+/// driver workspaces are sized once and never grown.
+pub(crate) fn alloc_ws<T: Clone>(
+    routine: &'static str,
+    n: usize,
+    fill: T,
+) -> Result<Vec<T>, LaError> {
+    let mut v = Vec::new();
+    if v.try_reserve_exact(n).is_err() {
+        return Err(LaError::AllocFailed { routine });
+    }
+    v.resize(n, fill);
+    Ok(v)
+}
 
 /// Output screening: called after a driver's computation succeeded, with
 /// the 1-based index and buffer of a computed output. Under an

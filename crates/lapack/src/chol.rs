@@ -92,6 +92,12 @@ pub fn potf2<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
 }
 
 /// Blocked right-looking Cholesky factorization (`xPOTRF`).
+///
+/// When the ABFT policy (`la_core::abft`) is enabled and the problem is
+/// at or above the parallel-flop threshold, the factor is verified
+/// against the row-sum identity `L·(Lᴴ·e) = A·e` (resp. `Uᴴ·(U·e)`) on
+/// exit; a mismatch is recovered by a serial re-run from a snapshot or
+/// surfaced as a pending soft fault, per policy.
 pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
     let _probe = probe::span(
         probe::Layer::Lapack,
@@ -99,6 +105,39 @@ pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
         probe::flops::potrf(n),
         (n * (n + 1) * std::mem::size_of::<T>()) as u64,
     );
+    let check = crate::abft::active(crate::abft::flop3(n, n, n) / 3)
+        .map(|pol| crate::abft::potrf_encode(pol, uplo, n, a, lda));
+    // The factor-level identity covers every inner BLAS-3 update, so
+    // nested per-block checksums would only stack an O(n³/nb) tax on
+    // top; run the core with ABFT off whenever the factor check is on.
+    let info = if check.is_some() {
+        la_core::abft::with_policy(la_core::abft::AbftPolicy::Off, || {
+            potrf_core(uplo, n, a, lda)
+        })
+    } else {
+        potrf_core(uplo, n, a, lda)
+    };
+    #[cfg(feature = "fault-inject")]
+    crate::abft::inject_factor("potrf", n, ilaenv_nb("potrf"), a, lda);
+    match check {
+        None => info,
+        Some(ck) => crate::abft::potrf_verify(ck, uplo, n, a, lda, info, ilaenv_nb("potrf"), |a| {
+            let serial = la_core::TuneConfig {
+                max_threads: 1,
+                ..la_core::tune::current()
+            };
+            la_core::tune::with(serial, || {
+                la_core::abft::with_policy(la_core::abft::AbftPolicy::Off, || {
+                    potrf_core(uplo, n, a, lda)
+                })
+            })
+        }),
+    }
+}
+
+/// The factorization proper, shared by the public entry and the ABFT
+/// recovery re-run.
+fn potrf_core<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
     let nb = ilaenv_nb("potrf");
     if n <= ilaenv_crossover("potrf") || nb >= n {
         return potf2(uplo, n, a, lda);

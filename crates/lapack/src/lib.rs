@@ -20,6 +20,7 @@
     clippy::manual_swap
 )]
 
+pub(crate) mod abft;
 pub mod aux;
 pub mod band;
 pub mod chol;

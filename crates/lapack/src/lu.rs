@@ -6,7 +6,7 @@
 //! leading dimensions, 1-based `ipiv`, `info` return) so the `la90` layer
 //! can wrap them exactly as the paper's `SGESV_F90` wraps `SGESV`.
 
-use la_blas::{gemm, gemv, iamax, scal, trsm, trsv};
+use la_blas::{gemm, gemv, iamax, scal, trsm};
 use la_core::{probe, Diag, Norm, RealScalar, Scalar, Side, Trans, Uplo};
 
 use crate::aux::{ilaenv_crossover, ilaenv_nb, lacon, lange, laswp};
@@ -69,6 +69,12 @@ pub fn getf2<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut 
 
 /// Blocked right-looking LU factorization with partial pivoting
 /// (`xGETRF`). Same contract as [`getf2`].
+///
+/// When the ABFT policy (`la_core::abft`) is enabled and the problem is
+/// at or above the parallel-flop threshold, the factors are verified
+/// against the row-sum identity `L·(U·e) = P·(A·e)` on exit; a mismatch
+/// is recovered by a serial re-run from a snapshot or surfaced as a
+/// pending soft fault, per policy.
 pub fn getrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
     let _probe = probe::span(
         probe::Layer::Lapack,
@@ -80,6 +86,50 @@ pub fn getrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut 
     if mn == 0 {
         return 0;
     }
+    let check = crate::abft::active(crate::abft::flop3(m, n, mn))
+        .map(|pol| crate::abft::getrf_encode(pol, m, n, a, lda));
+    // The factor-level identity covers every inner BLAS-3 update, so
+    // nested per-block checksums would only stack an O(n³/nb) tax on
+    // top; run the core with ABFT off whenever the factor check is on.
+    let info = if check.is_some() {
+        la_core::abft::with_policy(la_core::abft::AbftPolicy::Off, || {
+            getrf_core(m, n, a, lda, ipiv)
+        })
+    } else {
+        getrf_core(m, n, a, lda, ipiv)
+    };
+    #[cfg(feature = "fault-inject")]
+    crate::abft::inject_factor("getrf", mn, ilaenv_nb("getrf"), a, lda);
+    match check {
+        None => info,
+        Some(ck) => crate::abft::getrf_verify(
+            ck,
+            m,
+            n,
+            a,
+            lda,
+            ipiv,
+            info,
+            ilaenv_nb("getrf"),
+            |a, ipiv| {
+                let serial = la_core::TuneConfig {
+                    max_threads: 1,
+                    ..la_core::tune::current()
+                };
+                la_core::tune::with(serial, || {
+                    la_core::abft::with_policy(la_core::abft::AbftPolicy::Off, || {
+                        getrf_core(m, n, a, lda, ipiv)
+                    })
+                })
+            },
+        ),
+    }
+}
+
+/// The factorization proper, shared by the public entry and the ABFT
+/// recovery re-run.
+fn getrf_core<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
+    let mn = m.min(n);
     let nb = ilaenv_nb("getrf");
     if mn <= ilaenv_crossover("getrf").min(nb * 2) || nb >= mn {
         return getf2(m, n, a, lda, ipiv);
@@ -854,9 +904,19 @@ fn rpvgrw<T: Scalar>(n: usize, k: usize, a: &[T], lda: usize, af: &[T], ldaf: us
     }
 }
 
-/// Solves a triangular system with scaling to prevent overflow — minimal
-/// `xLATRS` used where robustness matters more than speed. Falls back to
-/// [`trsv`] (sufficient for the well-scaled systems produced internally).
+/// Solves the triangular system `op(A)·x = scale·b` with scaling to
+/// prevent overflow — the `xLATRS` contract in a compact row-oriented
+/// form, used where robustness matters more than speed.
+///
+/// On entry `x` holds `b` (unit stride); on exit it holds the solution of
+/// the *scaled* system, and the returned `scale ∈ [0, 1]` is the factor
+/// that was applied to the right-hand side. The solve never produces Inf
+/// or NaN from finite input, however extreme the scaling of `A` or `b`:
+/// whenever an intermediate would pass the overflow threshold, the whole
+/// solution vector (and `scale`) is scaled down instead. An exactly
+/// singular `A` (a zero diagonal in the `NonUnit` case) returns
+/// `scale = 0` with `x` a null vector of `op(A)` scaled to unit entries —
+/// the same convention as LAPACK's `xLATRS`.
 pub fn latrs_basic<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
@@ -865,13 +925,117 @@ pub fn latrs_basic<T: Scalar>(
     a: &[T],
     lda: usize,
     x: &mut [T],
-) {
-    trsv(uplo, trans, diag, n, a, lda, x, 1);
+) -> T::Real {
+    let (zero, one) = (T::Real::zero(), T::Real::one());
+    let half = T::Real::from_f64(0.5);
+    let bignum = T::Real::bignum();
+    let mut scale = one;
+    if n == 0 {
+        return scale;
+    }
+
+    // Row-oriented substitution: in solve order, the pivot update is
+    // `x_i = (x_i − Σ_k c_{ik}·x_k) / d_i` over the already-solved `k`,
+    // with `c_{ik} = op(A)[i,k]` and `d_i = op(A)[i,i]`. Ascending order
+    // when the effective (transposed) triangle is lower.
+    let fwd = (uplo == Uplo::Lower) == (trans == Trans::No);
+    let coef = |i: usize, k: usize| -> T {
+        match trans {
+            Trans::No => a[i + k * lda],
+            Trans::Trans => a[k + i * lda],
+            Trans::ConjTrans => a[k + i * lda].conj(),
+        }
+    };
+    let solved = |i: usize| if fwd { 0..i } else { i + 1..n };
+
+    // Growth bound for each dot product: the 1-norm of the off-diagonal
+    // coefficient row (`CNORM` in xLATRS).
+    let mut cnorm = vec![zero; n];
+    for (i, ci) in cnorm.iter_mut().enumerate() {
+        let mut s = zero;
+        for k in solved(i) {
+            s = s + coef(i, k).abs1();
+        }
+        // A row of near-overflow entries can push the sum itself past the
+        // threshold; clamping keeps the guard arithmetic below finite.
+        *ci = if s.is_finite() { s } else { T::Real::rmax() };
+    }
+
+    let mut xmax = zero;
+    for v in x[..n].iter() {
+        xmax = xmax.maxr(v.abs1());
+    }
+
+    let order: Box<dyn Iterator<Item = usize>> = if fwd {
+        Box::new(0..n)
+    } else {
+        Box::new((0..n).rev())
+    };
+    for i in order {
+        // Keep `xmax` small enough that every product `c_{ik}·x_k` and
+        // the running sum `x_i + cnorm_i·xmax` stay below the overflow
+        // threshold; scaling the whole vector re-targets the solve to a
+        // smaller multiple of `b`, which is exactly the contract.
+        let g = cnorm[i].maxr(one);
+        let lim = half * bignum / g;
+        if xmax > lim {
+            let s = lim / xmax; // two divisions: `g * xmax` may overflow
+            for v in x[..n].iter_mut() {
+                *v = v.mul_real(s);
+            }
+            scale = scale * s;
+            xmax = xmax * s;
+        }
+
+        let mut num = x[i];
+        for k in solved(i) {
+            num = num - coef(i, k) * x[k];
+        }
+
+        if diag == Diag::NonUnit {
+            let d = if trans == Trans::ConjTrans {
+                a[i + i * lda].conj()
+            } else {
+                a[i + i * lda]
+            };
+            let tjj = d.abs1();
+            if tjj > zero {
+                // `abs1` over-estimates a complex modulus by at most 2×;
+                // the extra `half` keeps the quotient under `bignum` even
+                // at that edge.
+                let xj = num.abs1();
+                if xj > tjj * bignum * half {
+                    let s = tjj * bignum * half / xj;
+                    for v in x[..n].iter_mut() {
+                        *v = v.mul_real(s);
+                    }
+                    scale = scale * s;
+                    xmax = xmax * s;
+                    num = num.mul_real(s);
+                }
+                x[i] = num / d;
+            } else {
+                // Singular: restart as a null-vector solve, `scale = 0`.
+                for v in x[..n].iter_mut() {
+                    *v = T::zero();
+                }
+                x[i] = T::one();
+                scale = zero;
+                xmax = one;
+                continue;
+            }
+        } else {
+            x[i] = num;
+        }
+        xmax = xmax.maxr(x[i].abs1());
+    }
+    scale
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use la_blas::trsv;
     use la_core::C64;
 
     fn matvec_dense<T: Scalar>(n: usize, a: &[T], x: &[T]) -> Vec<T> {
@@ -1109,6 +1273,212 @@ mod tests {
         }
         for k in 0..n * nrhs {
             assert!((x[k] - xtrue[k]).abs() < 1e-8);
+        }
+    }
+
+    // ----- latrs_basic: scaled triangular solves at the extremes -----
+
+    use la_core::C32;
+
+    /// `op(A)[r,c]` as an (re, im) f64 pair, honouring the stored
+    /// triangle and the unit diagonal — the reference for residuals.
+    fn op_elem<T: Scalar>(
+        uplo: Uplo,
+        trans: Trans,
+        diag: Diag,
+        a: &[T],
+        lda: usize,
+        r: usize,
+        c: usize,
+    ) -> (f64, f64) {
+        let (i, j, conj) = match trans {
+            Trans::No => (r, c, false),
+            Trans::Trans => (c, r, false),
+            Trans::ConjTrans => (c, r, true),
+        };
+        if i == j && diag == Diag::Unit {
+            return (1.0, 0.0);
+        }
+        let stored = match uplo {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        };
+        if !stored {
+            return (0.0, 0.0);
+        }
+        let v = a[i + j * lda];
+        let im = v.im().to_f64();
+        (v.re().to_f64(), if conj { -im } else { im })
+    }
+
+    /// Asserts the `xLATRS` contract on one solve: finite output,
+    /// `scale ∈ [0, 1]`, and a small componentwise residual of
+    /// `op(A)·x − scale·b`, evaluated in f64 so the check itself cannot
+    /// overflow on near-`rmax` data.
+    fn latrs_contract<T: Scalar>(
+        uplo: Uplo,
+        trans: Trans,
+        diag: Diag,
+        n: usize,
+        a: &[T],
+        lda: usize,
+        b: &[T],
+        x: &[T],
+        scale: T::Real,
+        tag: &str,
+    ) {
+        assert!(
+            x[..n].iter().all(|v| v.is_finite()),
+            "{tag}: non-finite solution"
+        );
+        let s = scale.to_f64();
+        assert!((0.0..=1.0).contains(&s), "{tag}: scale = {s}");
+        let eps = T::Real::EPS.to_f64();
+        let rmin = T::Real::rmin().to_f64();
+        for i in 0..n {
+            let (mut rre, mut rim, mut den) = (0.0f64, 0.0f64, 0.0f64);
+            let mut rowmax = 0.0f64;
+            for k in 0..n {
+                let (cre, cim) = op_elem(uplo, trans, diag, a, lda, i, k);
+                let (xre, xim) = (x[k].re().to_f64(), x[k].im().to_f64());
+                rre += cre * xre - cim * xim;
+                rim += cre * xim + cim * xre;
+                den += (cre.abs() + cim.abs()) * (xre.abs() + xim.abs());
+                rowmax = rowmax.max(cre.abs() + cim.abs());
+            }
+            let (bre, bim) = (b[i].re().to_f64(), b[i].im().to_f64());
+            rre -= s * bre;
+            rim -= s * bim;
+            den += s * (bre.abs() + bim.abs());
+            let resid = rre.abs() + rim.abs();
+            // Row-sum bound with a generous safety factor, plus the
+            // subnormal noise floor: solution entries that the rescaling
+            // pushes below `rmin` carry an absolute error up to one
+            // subnormal ulp (`rmin·eps`) each, amplified by the row's
+            // coefficients — relative accuracy is unrepresentable there.
+            let tol = eps * 16.0 * (n as f64) * den
+                + 16.0 * (n as f64) * rowmax * rmin * eps
+                + f64::MIN_POSITIVE;
+            assert!(
+                resid <= tol,
+                "{tag}: row {i} residual {resid:.3e} > tol {tol:.3e}"
+            );
+        }
+    }
+
+    /// Builds a triangular matrix with off-diagonal magnitudes ~`off`
+    /// and diagonal magnitudes ~`dia` (both may be near `sfmin` or near
+    /// the overflow threshold).
+    fn tri_extreme<T: Scalar>(
+        rng: &mut crate::testmat::Larnv,
+        n: usize,
+        off: f64,
+        dia: f64,
+    ) -> Vec<T> {
+        let mut a = vec![T::zero(); n * n];
+        for j in 0..n {
+            for i in 0..n {
+                let v: T = rng.scalar(crate::testmat::Dist::Uniform11);
+                a[i + j * n] = if i == j {
+                    // Keep the diagonal away from accidental cancellation:
+                    // magnitude exactly `dia`, random sign/phase from `v`.
+                    let u = if v.is_zero() {
+                        T::one()
+                    } else {
+                        v.div_real(v.abs1())
+                    };
+                    u.mul_real(T::Real::from_f64(dia))
+                } else {
+                    v.mul_real(T::Real::from_f64(off))
+                };
+            }
+        }
+        a
+    }
+
+    fn latrs_extremes_for<T: Scalar>() {
+        let n = 16usize;
+        let mut rng = crate::testmat::Larnv::new(42);
+        let big = T::Real::rmax().to_f64() / (4.0 * n as f64);
+        let tiny = T::Real::sfmin().to_f64();
+        // (off, dia, expect_downscale): growth cases must engage scaling.
+        let cases: [(f64, f64, bool, &str); 4] = [
+            (1.0, tiny, true, "tiny-diagonal"),
+            (big, 1.0, true, "huge-offdiagonal"),
+            (tiny, tiny, true, "all-near-sfmin"),
+            (1.0, 4.0 * n as f64, false, "well-scaled"),
+        ];
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for trans in [Trans::No, Trans::Trans, Trans::ConjTrans] {
+                for &(off, dia, downscale, name) in &cases {
+                    let a: Vec<T> = tri_extreme(&mut rng, n, off, dia);
+                    let b: Vec<T> = rng.vec(crate::testmat::Dist::Uniform11, n);
+                    let mut x = b.clone();
+                    let scale = latrs_basic(uplo, trans, Diag::NonUnit, n, &a, n, &mut x);
+                    let tag = format!("{name} {uplo:?} {trans:?} {}", T::PREFIX);
+                    latrs_contract(uplo, trans, Diag::NonUnit, n, &a, n, &b, &x, scale, &tag);
+                    if downscale {
+                        assert!(
+                            scale < T::Real::one(),
+                            "{tag}: expected a downscaled solve, got scale = 1"
+                        );
+                    } else {
+                        assert_eq!(scale.to_f64(), 1.0, "{tag}: well-scaled solve rescaled");
+                    }
+                }
+                // Unit-diagonal variant on the huge-growth case.
+                let a: Vec<T> = tri_extreme(&mut rng, n, big, 1.0);
+                let b: Vec<T> = rng.vec(crate::testmat::Dist::Uniform11, n);
+                let mut x = b.clone();
+                let scale = latrs_basic(uplo, trans, Diag::Unit, n, &a, n, &mut x);
+                let tag = format!("unit-diag {uplo:?} {trans:?} {}", T::PREFIX);
+                latrs_contract(uplo, trans, Diag::Unit, n, &a, n, &b, &x, scale, &tag);
+
+                // Exactly singular: scale = 0 and x is a finite null
+                // vector of op(A).
+                let mut a: Vec<T> = tri_extreme(&mut rng, n, 1.0, 4.0 * n as f64);
+                a[2 + 2 * n] = T::zero();
+                let b: Vec<T> = rng.vec(crate::testmat::Dist::Uniform11, n);
+                let mut x = b.clone();
+                let scale = latrs_basic(uplo, trans, Diag::NonUnit, n, &a, n, &mut x);
+                let tag = format!("singular {uplo:?} {trans:?} {}", T::PREFIX);
+                assert!(scale.is_zero(), "{tag}: scale = {scale:?}");
+                assert!(
+                    x[..n].iter().any(|v| !v.is_zero()),
+                    "{tag}: trivial null vector"
+                );
+                latrs_contract(uplo, trans, Diag::NonUnit, n, &a, n, &b, &x, scale, &tag);
+            }
+        }
+    }
+
+    #[test]
+    fn latrs_scaled_solves_at_the_extremes() {
+        latrs_extremes_for::<f32>();
+        latrs_extremes_for::<f64>();
+        latrs_extremes_for::<C32>();
+        latrs_extremes_for::<C64>();
+    }
+
+    #[test]
+    fn latrs_matches_trsv_on_tame_systems() {
+        let n = 12usize;
+        let mut rng = crate::testmat::Larnv::new(9);
+        let a: Vec<f64> = tri_extreme(&mut rng, n, 1.0, 4.0 * n as f64);
+        let b: Vec<f64> = rng.vec(crate::testmat::Dist::Uniform11, n);
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for trans in [Trans::No, Trans::Trans] {
+                let mut x = b.clone();
+                let scale = latrs_basic(uplo, trans, Diag::NonUnit, n, &a, n, &mut x);
+                assert_eq!(scale, 1.0);
+                let mut y = b.clone();
+                trsv(uplo, trans, Diag::NonUnit, n, &a, n, &mut y, 1);
+                for i in 0..n {
+                    let d = (x[i] - y[i]).abs();
+                    let m = y[i].abs().max(1.0);
+                    assert!(d <= 1e-13 * m, "{uplo:?} {trans:?} row {i}: {d:e}");
+                }
+            }
         }
     }
 }

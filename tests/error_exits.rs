@@ -168,6 +168,24 @@ fn positive_info_variants() {
         routine: "LA_GETRI",
     };
     assert_eq!(e.info(), -100);
+
+    // ABFT soft-fault code path (INFO = -102), with and without a
+    // localized block. End-to-end detection through a driver is covered
+    // by tests/degrade.rs under the `fault-inject` feature.
+    let e = LaError::SoftFault {
+        routine: "LA_GESV",
+        block: 3,
+    };
+    assert_eq!(e.info(), -102);
+    assert_eq!(e.routine(), "LA_GESV");
+    let msg = format!("{e}");
+    assert!(msg.contains("Terminated in LAPACK90 subroutine LA_GESV"));
+    assert!(msg.contains("soft fault in block 3"), "{msg}");
+    let e = LaError::SoftFault {
+        routine: "LA_POSV",
+        block: usize::MAX,
+    };
+    assert!(format!("{e}").contains("detected a soft fault)"));
 }
 
 /// A square matrix with one NaN element.
