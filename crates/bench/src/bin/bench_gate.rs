@@ -11,7 +11,15 @@
 //! the others* trips the gate.
 //!
 //! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]
-//! [--min-mixed-speedup 1.2] [--max-abft-overhead 1.10]`
+//! [--min-gemm-speedup 3.0] [--min-mixed-speedup 1.2]
+//! [--max-abft-overhead 1.10]`
+//!
+//! `--min-gemm-speedup` enforces an absolute floor on the baseline's
+//! recorded `speedup_packed_vs_prepacked` ratios for `gemm` at n ≥ 512:
+//! the packed register-blocked microkernel path must keep its headline
+//! win over the pre-packed loop-nest substrate. As with the other
+//! absolute checks, the floor reads the checked-in baseline so it guards
+//! the committed measurement; the ratio rule guards fresh runs.
 //!
 //! The same gate covers the mixed-precision sweep (`BENCH_mixed.json` /
 //! `BENCH_mixed.quick.json` from `mixed_sweep`): rows in its
@@ -72,6 +80,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut threshold = 1.25f64;
+    let mut min_gemm: Option<f64> = None;
     let mut min_mixed: Option<f64> = None;
     let mut max_abft: Option<f64> = None;
     let mut it = args.iter();
@@ -79,6 +88,9 @@ fn main() {
         if a == "--threshold" {
             let v = it.next().expect("--threshold needs a value");
             threshold = v.parse().expect("bad threshold");
+        } else if a == "--min-gemm-speedup" {
+            let v = it.next().expect("--min-gemm-speedup needs a value");
+            min_gemm = Some(v.parse().expect("bad min-gemm-speedup"));
         } else if a == "--min-mixed-speedup" {
             let v = it.next().expect("--min-mixed-speedup needs a value");
             min_mixed = Some(v.parse().expect("bad min-mixed-speedup"));
@@ -135,6 +147,42 @@ fn main() {
             ""
         };
         println!("  {key:<34} ratio {r:7.3}  normalized {norm:7.3}{flag}");
+    }
+    // Absolute floor on the baseline's packed-over-prepacked gemm
+    // speedup: the packed microkernel path must keep its headline win
+    // over the pre-packed loop-nest substrate at the sizes where the
+    // cache blocking pays (n ≥ 512).
+    if let Some(floor) = min_gemm {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+        let Some(Json::Obj(speedups)) = doc.get("speedup_packed_vs_prepacked") else {
+            eprintln!("bench_gate: {baseline_path} has no speedup_packed_vs_prepacked section");
+            std::process::exit(2);
+        };
+        let mut checked = 0usize;
+        for (key, val) in speedups {
+            let Some((family, n)) = key.rsplit_once('_') else {
+                continue;
+            };
+            let n: u64 = n.parse().unwrap_or(0);
+            if family != "gemm" || n < 512 {
+                continue;
+            }
+            let s = val.as_f64().unwrap_or(0.0);
+            checked += 1;
+            let flag = if s < floor {
+                failed = true;
+                "  << BELOW FLOOR"
+            } else {
+                ""
+            };
+            println!("  packed speedup {key:<22} {s:7.3}  (floor {floor:.2}){flag}");
+        }
+        if checked == 0 {
+            eprintln!("bench_gate: no gemm packed-speedup entries at n >= 512 in {baseline_path}");
+            std::process::exit(2);
+        }
     }
     // Absolute floor on the baseline's mixed-over-full speedup: the
     // mixed drivers must keep paying for themselves end-to-end at the

@@ -19,6 +19,10 @@ use la_lapack as f77;
 fn cfg_threads(t: usize) -> tune::TuneConfig {
     tune::TuneConfig {
         max_threads: t,
+        // The sweep measures striping behavior at the *requested* budget
+        // even when it exceeds the host cores (the committed baselines
+        // predate the host-core clamp and were taken that way).
+        oversubscribe: true,
         ..tune::TuneConfig::defaults()
     }
 }
@@ -40,9 +44,10 @@ fn main() {
     let mode = if quick { " (quick)" } else { "" };
     println!("== blas3_sweep{mode}: {cores} core(s), auto thread budget {auto} ==");
 
-    // Quick mode drops the n=1024 grid but keeps best-of-3 timing:
-    // best-of-1 numbers are too noisy to gate on.
-    let reps = 3;
+    // Quick mode drops the n=1024 grid but keeps best-of-5 timing:
+    // fewer reps are too noisy to gate on now that the packed microkernel
+    // path has made the serial n=512 rows only a few ms long.
+    let reps = 5;
     let sizes: &[usize] = if quick { &[512] } else { &[512, 1024] };
 
     let mut rows: Vec<Row> = Vec::new();
@@ -252,6 +257,17 @@ fn main() {
     j.field_num("getrf_1024", 98.33);
     j.field_uint("host_cores", 1);
     j.end_obj();
+    // Serial gemm wall-clock on the unpacked loop-nest substrate
+    // immediately before the packed register-blocked microkernel path
+    // landed, same single-core container. Kept verbatim: the
+    // `speedup_packed_vs_prepacked` section below (and the
+    // `bench_gate --min-gemm-speedup` floor) measure against it.
+    j.key("pre_packed_gemm_baseline_ms");
+    j.begin_obj();
+    j.field_num("gemm_512", 42.296);
+    j.field_num("gemm_1024", 249.516);
+    j.field_uint("host_cores", 1);
+    j.end_obj();
     for (key, ops) in [
         (
             "thread_sweep",
@@ -291,6 +307,21 @@ fn main() {
                     j.field_num(&format!("{op}_{n}"), s / best);
                 }
             }
+        }
+    }
+    j.end_obj();
+    // Packed-path headline: fresh serial gemm against the recorded
+    // pre-packed serial baseline. `bench_gate --min-gemm-speedup`
+    // enforces an absolute floor on these ratios at n ≥ 512.
+    j.key("speedup_packed_vs_prepacked");
+    j.begin_obj();
+    for (n, pre_ms) in [(512usize, 42.296f64), (1024, 249.516)] {
+        let fresh = rows
+            .iter()
+            .find(|r| r.op == "gemm" && r.n == n && r.threads == 1)
+            .map(|r| r.ms);
+        if let Some(ms) = fresh {
+            j.field_num(&format!("gemm_{n}"), pre_ms / ms);
         }
     }
     j.end_obj();

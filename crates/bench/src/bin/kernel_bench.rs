@@ -1,0 +1,78 @@
+//! Per-kernel gemm throughput table: times `dgemm` (f64, No/No) for each
+//! `LA_GEMM_KERNEL` selection at a range of sizes and prints wall-clock
+//! and GF/s. Generates the kernel comparison table in `EXPERIMENTS.md`.
+//!
+//! Usage: `kernel_bench [n ...]` — sizes default to `256 512 1024`;
+//! pass explicit sizes (e.g. `kernel_bench 256 512 1024 2048`) for the
+//! full table. Best-of-3 per point. The `simd` row only appears when the
+//! binary is built with `--features simd` (otherwise the Simd selection
+//! would silently fall back to the unrolled kernel and mislabel the row).
+//!
+//! Blocking parameters come from [`la_core::tune`], so `LA_GEMM_MC`,
+//! `LA_GEMM_KC`, and `LA_GEMM_NC` override the cache blocking for
+//! parameter sweeps.
+
+use la_core::tune::{self, GemmKernel};
+use la_core::Trans;
+use std::time::Instant;
+
+fn main() {
+    let mut sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|_| panic!("bad size {a:?}")))
+        .collect();
+    if sizes.is_empty() {
+        sizes = vec![256, 512, 1024];
+    }
+    let mut kernels = vec![GemmKernel::Scalar, GemmKernel::Unrolled];
+    if cfg!(feature = "simd") {
+        kernels.push(GemmKernel::Simd);
+    }
+    kernels.push(GemmKernel::Auto);
+    println!("== kernel_bench: dgemm best-of-3, serial, per LA_GEMM_KERNEL ==");
+    for &n in &sizes {
+        let a: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 7 % 13) as f64 - 6.0) / 7.0)
+            .collect();
+        let b: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 5 % 11) as f64 - 5.0) / 7.0)
+            .collect();
+        for &kern in &kernels {
+            let cfg = tune::TuneConfig {
+                gemm_kernel: kern,
+                ..tune::TuneConfig::defaults()
+            };
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let mut c = vec![0.0f64; n * n];
+                let t0 = Instant::now();
+                tune::with(cfg, || {
+                    la_blas::gemm(
+                        Trans::No,
+                        Trans::No,
+                        n,
+                        n,
+                        n,
+                        1.0,
+                        &a,
+                        n,
+                        &b,
+                        n,
+                        0.0,
+                        &mut c,
+                        n,
+                    );
+                });
+                best = best.min(t0.elapsed().as_secs_f64());
+                std::hint::black_box(&c);
+            }
+            let gf = 2.0 * (n as f64).powi(3) / best / 1e9;
+            println!(
+                "n={n:5} kernel={:<8} {:9.2} ms  {:6.2} GF/s",
+                format!("{kern:?}").to_lowercase(),
+                best * 1e3,
+                gf
+            );
+        }
+    }
+}

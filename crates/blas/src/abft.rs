@@ -8,9 +8,9 @@
 //! compute kernel runs, verifies it afterwards against a norm-scaled
 //! tolerance, and — under [`AbftPolicy::Recover`] — localizes the
 //! offending column stripe, restores it from a snapshot and re-runs the
-//! exact per-stripe serial kernel, which reproduces the fault-free
-//! result bit for bit (the striped and serial paths share per-column
-//! summation order).
+//! exact per-stripe serial kernel under the same [`PackedPlan`], which
+//! reproduces the fault-free result bit for bit (the striped and serial
+//! paths share per-column summation order and the same microkernel).
 //!
 //! Under [`AbftPolicy::Verify`] a persistent mismatch is parked as a
 //! pending [`la_core::abft::SoftFault`] that the driver layer surfaces
@@ -24,8 +24,9 @@
 //! not a soft fault.
 
 use la_core::abft::{self, AbftPolicy};
-use la_core::{probe, tune, Diag, RealScalar, Scalar, Trans, Uplo};
+use la_core::{probe, tune, Diag, MatMut, MatRef, RealScalar, Scalar, Trans, Uplo};
 
+use crate::kernel::PackedPlan;
 use crate::l3::{gemm_serial, syrk_block, trmm_left_cols, trsm_left_cols, SYRK_NB};
 
 /// Policy gate shared by every protected entry point: returns the active
@@ -48,12 +49,11 @@ fn cjs<T: Scalar>(conj: bool, x: T) -> T {
     }
 }
 
-/// `max |x|₁` over the stored `rows × cols` region with leading
-/// dimension `ld`.
-fn maxabs<T: Scalar>(rows: usize, cols: usize, ld: usize, data: &[T]) -> T::Real {
+/// `max |x|₁` over the stored region of a view.
+fn maxabs<T: Scalar>(a: MatRef<'_, T>) -> T::Real {
     let mut m = T::Real::zero();
-    for j in 0..cols {
-        for &x in &data[j * ld..j * ld + rows] {
+    for j in 0..a.ncols() {
+        for &x in a.col(j) {
             m = m.maxr(x.abs1());
         }
     }
@@ -110,9 +110,12 @@ fn bad_stripes<T: Scalar>(
     bad
 }
 
-fn restore_cols<T: Scalar>(c: &mut [T], snap: &[T], ld: usize, rows: usize, j0: usize, w: usize) {
+/// Restores columns `j0..j0+w` of `c` from a snapshot of its full
+/// backing slice (same layout, same lda).
+fn restore_cols<T: Scalar>(c: &mut MatMut<'_, T>, snap: &[T], j0: usize, w: usize) {
+    let (rows, ld) = (c.nrows(), c.lda());
     for j in j0..j0 + w {
-        c[j * ld..j * ld + rows].copy_from_slice(&snap[j * ld..j * ld + rows]);
+        c.col_mut(j).copy_from_slice(&snap[j * ld..j * ld + rows]);
     }
 }
 
@@ -150,24 +153,25 @@ pub(crate) struct ColCheck<T: Scalar> {
 
 /// Encodes the GEMM column checksum. Must be called after the β-scaling
 /// of `C` and before the product accumulates: `expect[j] = eᵀC_j +
-/// α·(eᵀop(A))·op(B)_j`.
+/// α·(eᵀop(A))·op(B)_j`. `a` and `b` are the *stored* operands (op maps
+/// into them via the trans flags); `c` is `m × n`.
 pub(crate) fn gemm_encode<T: Scalar>(
     pol: AbftPolicy,
     transa: Trans,
     transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &[T],
-    ldc: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatRef<'_, T>,
 ) -> ColCheck<T> {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "gemm", 0, 0);
+        let (m, n) = (c.nrows(), c.ncols());
+        let k = if transa == Trans::No {
+            a.ncols()
+        } else {
+            a.nrows()
+        };
         let cja = transa == Trans::ConjTrans;
         let cjb = transb == Trans::ConjTrans;
         // v = eᵀ·op(A), length k.
@@ -175,14 +179,14 @@ pub(crate) fn gemm_encode<T: Scalar>(
         if transa == Trans::No {
             for (l, vl) in v.iter_mut().enumerate() {
                 let mut s = T::zero();
-                for &x in &a[l * lda..l * lda + m] {
+                for &x in a.col(l) {
                     s += x;
                 }
                 *vl = s;
             }
         } else {
             for i in 0..m {
-                let col = &a[i * lda..i * lda + k];
+                let col = a.col(i);
                 for (l, vl) in v.iter_mut().enumerate() {
                     *vl += cjs(cja, col[l]);
                 }
@@ -191,33 +195,31 @@ pub(crate) fn gemm_encode<T: Scalar>(
         let mut expect = vec![T::zero(); n];
         for (j, ej) in expect.iter_mut().enumerate() {
             let mut cs = T::zero();
-            for &x in &c[j * ldc..j * ldc + m] {
+            for &x in c.col(j) {
                 cs += x;
             }
             let mut dot = T::zero();
             if transb == Trans::No {
-                let col = &b[j * ldb..j * ldb + k];
+                let col = b.col(j);
                 for (l, &vl) in v.iter().enumerate() {
                     dot += vl * col[l];
                 }
             } else {
                 for (l, &vl) in v.iter().enumerate() {
-                    dot += vl * cjs(cjb, b[j + l * ldb]);
+                    dot += vl * cjs(cjb, b.at(j, l));
                 }
             }
             *ej = cs + alpha * dot;
         }
-        let (ra, ca) = if transa == Trans::No { (m, k) } else { (k, m) };
-        let (rb, cb) = if transb == Trans::No { (k, n) } else { (n, k) };
-        let maxa = maxabs(ra, ca, lda, a);
-        let maxb = maxabs(rb, cb, ldb, b);
-        let maxc = maxabs(m, n, ldc, c);
+        let maxa = maxabs(a);
+        let maxb = maxabs(b);
+        let maxc = maxabs(c);
         let tol = T::Real::from_f64(32.0)
             * T::Real::EPS
             * T::Real::from_usize(m)
             * (T::Real::from_usize(k) * alpha.abs1() * maxa * maxb + maxc);
         let snap = if pol.recover() {
-            Some(c.to_vec())
+            Some(c.as_slice().to_vec())
         } else {
             None
         };
@@ -226,35 +228,37 @@ pub(crate) fn gemm_encode<T: Scalar>(
 }
 
 /// Verifies the GEMM column checksum; on mismatch recovers the offending
-/// stripes (restore + serial re-run of the exact band kernel) or parks a
-/// pending soft fault, per policy.
+/// stripes (restore + serial re-run of the exact band kernel under the
+/// same plan) or parks a pending soft fault, per policy.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_verify<T: Scalar>(
     ck: ColCheck<T>,
     stripes: usize,
+    plan: &PackedPlan<T>,
     transa: Trans,
     transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &mut [T],
-    ldc: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
 ) {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "gemm", 0, 0);
         abft::note_check();
-        let colsum = |c: &[T], j: usize| {
+        let (m, n) = (c.nrows(), c.ncols());
+        let k = if transa == Trans::No {
+            a.ncols()
+        } else {
+            a.nrows()
+        };
+        let colsum = |c: &MatMut<'_, T>, j: usize| {
             let mut s = T::zero();
-            for &x in &c[j * ldc..j * ldc + m] {
+            for &x in c.col(j) {
                 s += x;
             }
             s
         };
-        let bad = bad_stripes(n, stripes, ck.tol, &ck.expect, |j| colsum(c, j));
+        let bad = bad_stripes(n, stripes, ck.tol, &ck.expect, |j| colsum(&c, j));
         if bad.is_empty() {
             return;
         }
@@ -264,27 +268,25 @@ pub(crate) fn gemm_verify<T: Scalar>(
         };
         for &t in &bad {
             let (j0, w) = stripe_bounds(n, stripes, t);
-            restore_cols(c, snap, ldc, m, j0, w);
-            let boff = if transb == Trans::No { j0 * ldb } else { j0 };
+            restore_cols(&mut c, snap, j0, w);
+            let bsub = match transb {
+                Trans::No => b.subview(0, j0, k, w),
+                _ => b.subview(j0, 0, w, k),
+            };
             gemm_serial(
+                plan,
                 transa,
                 transb,
-                m,
-                w,
-                k,
                 alpha,
                 a,
-                lda,
-                &b[boff..],
-                ldb,
-                &mut c[j0 * ldc..],
-                ldc,
+                bsub,
+                c.rb().subview(0, j0, m, w),
             );
         }
         let ltol = loose(ck.tol);
         let still = bad.iter().copied().find(|&t| {
             let (j0, w) = stripe_bounds(n, stripes, t);
-            (j0..j0 + w).any(|j| exceeds(colsum(c, j) - ck.expect[j], ltol))
+            (j0..j0 + w).any(|j| exceeds(colsum(&c, j) - ck.expect[j], ltol))
         });
         conclude("gemm", true, still);
     })
@@ -295,11 +297,11 @@ pub(crate) fn gemm_verify<T: Scalar>(
 // ---------------------------------------------------------------------
 
 /// Element of `op(A)` as `syrk_block` reads it.
-fn ael<T: Scalar>(trans: Trans, lda: usize, a: &[T], i: usize, l: usize) -> T {
+fn ael<T: Scalar>(trans: Trans, a: MatRef<'_, T>, i: usize, l: usize) -> T {
     if trans == Trans::No {
-        a[i + l * lda]
+        a.at(i, l)
     } else {
-        a[l + i * lda]
+        a.at(l, i)
     }
 }
 
@@ -308,30 +310,29 @@ fn ael<T: Scalar>(trans: Trans, lda: usize, a: &[T], i: usize, l: usize) -> T {
 /// α·Σ_l S_l(j)·r(j,l)` where `S_l(j)` is a running prefix (Upper) or
 /// suffix (Lower) sum over the column term and `r` the row term, with
 /// the conjugations placed exactly as `syrk_block` places them.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn syrk_encode<T: Scalar>(
     pol: AbftPolicy,
     conj: bool,
     uplo: Uplo,
     trans: Trans,
-    n: usize,
     k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
+    a: MatRef<'_, T>,
     beta: T,
-    c: &[T],
-    ldc: usize,
+    c: MatRef<'_, T>,
 ) -> ColCheck<T> {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "syrk", 0, 0);
+        let n = c.nrows();
         // Column term accumulated into the running sums, and row term the
         // sums are dotted with — conjugated as syrk_block conjugates them.
         let colterm = |i: usize, l: usize| {
-            let x = ael(trans, lda, a, i, l);
+            let x = ael(trans, a, i, l);
             cjs(conj && trans != Trans::No, x)
         };
         let rowterm = |j: usize, l: usize| {
-            let x = ael(trans, lda, a, j, l);
+            let x = ael(trans, a, j, l);
             cjs(conj && trans == Trans::No, x)
         };
         // β·(sum of the updated rows of C₀), with the Hermitian case
@@ -344,7 +345,7 @@ pub(crate) fn syrk_encode<T: Scalar>(
             };
             let mut s = T::zero();
             for i in lo..hi {
-                let x = c[i + j * ldc];
+                let x = c.at(i, j);
                 s += if conj && i == j {
                     T::from_real(x.re())
                 } else {
@@ -377,15 +378,14 @@ pub(crate) fn syrk_encode<T: Scalar>(
                 }
             }
         }
-        let (ra, ca) = if trans == Trans::No { (n, k) } else { (k, n) };
-        let maxa = maxabs(ra, ca, lda, a);
-        let maxc = maxabs(n, n, ldc, c);
+        let maxa = maxabs(a);
+        let maxc = maxabs(c);
         let tol = T::Real::from_f64(32.0)
             * T::Real::EPS
             * T::Real::from_usize(n)
             * (T::Real::from_usize(k) * alpha.abs1() * maxa * maxa + beta.abs1() * maxc);
         let snap = if pol.recover() {
-            Some(c.to_vec())
+            Some(c.as_slice().to_vec())
         } else {
             None
         };
@@ -396,37 +396,37 @@ pub(crate) fn syrk_encode<T: Scalar>(
 /// Verifies the rank-k update checksum; recovery restores and re-runs
 /// the offending `SYRK_NB` diagonal block(s) through `syrk_block`, the
 /// same kernel both the serial and the dealt-parallel paths execute.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn syrk_verify<T: Scalar>(
     ck: ColCheck<T>,
+    plan: &PackedPlan<T>,
     conj: bool,
     uplo: Uplo,
     trans: Trans,
-    n: usize,
     k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
+    a: MatRef<'_, T>,
     beta: T,
-    c: &mut [T],
-    ldc: usize,
+    mut c: MatMut<'_, T>,
 ) {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "syrk", 0, 0);
         abft::note_check();
-        let colsum = |c: &[T], j: usize| {
+        let n = c.nrows();
+        let colsum = |c: &MatMut<'_, T>, j: usize| {
             let (lo, hi) = match uplo {
                 Uplo::Upper => (0, j + 1),
                 Uplo::Lower => (j, n),
             };
             let mut s = T::zero();
-            for i in lo..hi {
-                s += c[i + j * ldc];
+            for &x in &c.col(j)[lo..hi] {
+                s += x;
             }
             s
         };
         let mut bad: Vec<usize> = Vec::new();
         for j in 0..n {
-            if exceeds(colsum(c, j) - ck.expect[j], ck.tol) {
+            if exceeds(colsum(&c, j) - ck.expect[j], ck.tol) {
                 let blk = j / SYRK_NB;
                 if bad.last() != Some(&blk) {
                     bad.push(blk);
@@ -443,28 +443,26 @@ pub(crate) fn syrk_verify<T: Scalar>(
         for &blk in &bad {
             let j0 = blk * SYRK_NB;
             let jb = SYRK_NB.min(n - j0);
-            restore_cols(c, snap, ldc, n, j0, jb);
+            restore_cols(&mut c, snap, j0, jb);
             syrk_block(
+                plan,
                 conj,
                 uplo,
                 trans,
-                n,
                 k,
                 alpha,
                 a,
-                lda,
                 beta,
                 j0,
                 jb,
-                &mut c[j0 * ldc..],
-                ldc,
+                c.rb().subview(0, j0, n, jb),
             );
         }
         let ltol = loose(ck.tol);
         let still = bad.iter().copied().find(|&blk| {
             let j0 = blk * SYRK_NB;
             let jb = SYRK_NB.min(n - j0);
-            (j0..j0 + jb).any(|j| exceeds(colsum(c, j) - ck.expect[j], ltol))
+            (j0..j0 + jb).any(|j| exceeds(colsum(&c, j) - ck.expect[j], ltol))
         });
         conclude("syrk", true, still);
     })
@@ -477,14 +475,8 @@ pub(crate) fn syrk_verify<T: Scalar>(
 /// `v = eᵀ·op(A)` over the stored triangle including the implicit unit
 /// diagonal — the checksum row vector shared by the triangular
 /// operations.
-fn tri_colsums<T: Scalar>(
-    uplo: Uplo,
-    trans: Trans,
-    diag: Diag,
-    m: usize,
-    a: &[T],
-    lda: usize,
-) -> Vec<T> {
+fn tri_colsums<T: Scalar>(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_, T>) -> Vec<T> {
+    let m = a.nrows();
     let cjt = trans == Trans::ConjTrans;
     let mut v = vec![T::zero(); m];
     for jcol in 0..m {
@@ -493,7 +485,7 @@ fn tri_colsums<T: Scalar>(
             Uplo::Lower => (jcol + 1, m),
         };
         for i in lo..hi {
-            let x = a[i + jcol * lda];
+            let x = a.at(i, jcol);
             if trans == Trans::No {
                 // A[i, jcol] sits in column jcol of op(A).
                 v[jcol] += x;
@@ -507,7 +499,7 @@ fn tri_colsums<T: Scalar>(
         *vi += if diag == Diag::Unit {
             T::one()
         } else {
-            cjs(cjt, a[i + i * lda])
+            cjs(cjt, a.at(i, i))
         };
     }
     v
@@ -532,28 +524,25 @@ pub(crate) fn trsm_encode<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    m: usize,
-    n: usize,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
 ) -> TrsmCheck<T> {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "trsm", 0, 0);
-        let v = tri_colsums(uplo, trans, diag, m, a, lda);
+        let n = b.ncols();
+        let v = tri_colsums(uplo, trans, diag, a);
         let mut expect = vec![T::zero(); n];
         for (j, ej) in expect.iter_mut().enumerate() {
             let mut s = T::zero();
-            for &x in &b[j * ldb..j * ldb + m] {
+            for &x in b.col(j) {
                 s += x;
             }
             *ej = s;
         }
-        let maxa = maxabs(m, m, lda, a).maxr(T::Real::one());
-        let maxb = maxabs(m, n, ldb, b);
+        let maxa = maxabs(a).maxr(T::Real::one());
+        let maxb = maxabs(b);
         let snap = if pol.recover() {
-            Some(b.to_vec())
+            Some(b.as_slice().to_vec())
         } else {
             None
         };
@@ -569,25 +558,24 @@ pub(crate) fn trsm_encode<T: Scalar>(
 
 /// Verifies the TRSM checksum (`v·x_j` against the encoded `eᵀB_j`);
 /// recovery restores the offending stripe and re-runs `trsm_left_cols`
-/// on it.
+/// on it under the same plan.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn trsm_verify<T: Scalar>(
     ck: TrsmCheck<T>,
     stripes: usize,
+    plan: &PackedPlan<T>,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    m: usize,
-    n: usize,
-    a: &[T],
-    lda: usize,
-    b: &mut [T],
-    ldb: usize,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
 ) {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "trsm", 0, 0);
         abft::note_check();
-        let vx = |b: &[T], j: usize| {
-            let col = &b[j * ldb..j * ldb + m];
+        let (m, n) = (b.nrows(), b.ncols());
+        let vx = |b: &MatMut<'_, T>, j: usize| {
+            let col = b.col(j);
             let mut s = T::zero();
             for (i, &vi) in ck.v.iter().enumerate() {
                 s += vi * col[i];
@@ -596,10 +584,10 @@ pub(crate) fn trsm_verify<T: Scalar>(
         };
         // The solve's backward error is a multiple of ‖A‖·‖X‖, so the
         // tolerance is scaled by the magnitude of the *computed* solution.
-        let maxx = maxabs(m, n, ldb, b);
+        let maxx = maxabs(b.as_ref());
         let mr = T::Real::from_usize(m);
         let tol = T::Real::from_f64(64.0) * T::Real::EPS * mr * (mr * ck.maxa * maxx + ck.maxb);
-        let bad = bad_stripes(n, stripes, tol, &ck.expect, |j| vx(b, j));
+        let bad = bad_stripes(n, stripes, tol, &ck.expect, |j| vx(&b, j));
         if bad.is_empty() {
             return;
         }
@@ -609,13 +597,13 @@ pub(crate) fn trsm_verify<T: Scalar>(
         };
         for &t in &bad {
             let (j0, w) = stripe_bounds(n, stripes, t);
-            restore_cols(b, snap, ldb, m, j0, w);
-            trsm_left_cols(uplo, trans, diag, m, w, a, lda, &mut b[j0 * ldb..], ldb);
+            restore_cols(&mut b, snap, j0, w);
+            trsm_left_cols(plan, uplo, trans, diag, a, b.rb().subview(0, j0, m, w));
         }
         let ltol = loose(tol);
         let still = bad.iter().copied().find(|&t| {
             let (j0, w) = stripe_bounds(n, stripes, t);
-            (j0..j0 + w).any(|j| exceeds(vx(b, j) - ck.expect[j], ltol))
+            (j0..j0 + w).any(|j| exceeds(vx(&b, j) - ck.expect[j], ltol))
         });
         conclude("trsm", true, still);
     })
@@ -629,32 +617,29 @@ pub(crate) fn trmm_encode<T: Scalar>(
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    m: usize,
-    n: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
 ) -> ColCheck<T> {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "trmm", 0, 0);
-        let v = tri_colsums(uplo, trans, diag, m, a, lda);
+        let (m, n) = (b.nrows(), b.ncols());
+        let v = tri_colsums(uplo, trans, diag, a);
         let mut expect = vec![T::zero(); n];
         for (j, ej) in expect.iter_mut().enumerate() {
-            let col = &b[j * ldb..j * ldb + m];
+            let col = b.col(j);
             let mut s = T::zero();
             for (i, &vi) in v.iter().enumerate() {
                 s += vi * col[i];
             }
             *ej = alpha * s;
         }
-        let maxa = maxabs(m, m, lda, a).maxr(T::Real::one());
-        let maxb = maxabs(m, n, ldb, b);
+        let maxa = maxabs(a).maxr(T::Real::one());
+        let maxb = maxabs(b);
         let mr = T::Real::from_usize(m);
         let tol = T::Real::from_f64(64.0) * T::Real::EPS * mr * mr * alpha.abs1() * maxa * maxb;
         let snap = if pol.recover() {
-            Some(b.to_vec())
+            Some(b.as_slice().to_vec())
         } else {
             None
         };
@@ -663,32 +648,31 @@ pub(crate) fn trmm_encode<T: Scalar>(
 }
 
 /// Verifies the TRMM column checksum; recovery restores the offending
-/// stripe and re-runs `trmm_left_cols` on it.
+/// stripe and re-runs `trmm_left_cols` on it under the same plan.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn trmm_verify<T: Scalar>(
     ck: ColCheck<T>,
     stripes: usize,
+    plan: &PackedPlan<T>,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    m: usize,
-    n: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &mut [T],
-    ldb: usize,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
 ) {
     probe::with_abft(|| {
         let _s = probe::span(probe::Layer::Blas, "trmm", 0, 0);
         abft::note_check();
-        let colsum = |b: &[T], j: usize| {
+        let (m, n) = (b.nrows(), b.ncols());
+        let colsum = |b: &MatMut<'_, T>, j: usize| {
             let mut s = T::zero();
-            for &x in &b[j * ldb..j * ldb + m] {
+            for &x in b.col(j) {
                 s += x;
             }
             s
         };
-        let bad = bad_stripes(n, stripes, ck.tol, &ck.expect, |j| colsum(b, j));
+        let bad = bad_stripes(n, stripes, ck.tol, &ck.expect, |j| colsum(&b, j));
         if bad.is_empty() {
             return;
         }
@@ -698,24 +682,21 @@ pub(crate) fn trmm_verify<T: Scalar>(
         };
         for &t in &bad {
             let (j0, w) = stripe_bounds(n, stripes, t);
-            restore_cols(b, snap, ldb, m, j0, w);
+            restore_cols(&mut b, snap, j0, w);
             trmm_left_cols(
+                plan,
                 uplo,
                 trans,
                 diag,
-                m,
-                w,
                 alpha,
                 a,
-                lda,
-                &mut b[j0 * ldb..],
-                ldb,
+                b.rb().subview(0, j0, m, w),
             );
         }
         let ltol = loose(ck.tol);
         let still = bad.iter().copied().find(|&t| {
             let (j0, w) = stripe_bounds(n, stripes, t);
-            (j0..j0 + w).any(|j| exceeds(colsum(b, j) - ck.expect[j], ltol))
+            (j0..j0 + w).any(|j| exceeds(colsum(&b, j) - ck.expect[j], ltol))
         });
         conclude("trmm", true, still);
     })
@@ -773,6 +754,7 @@ mod tests {
             .collect();
         let cfg = tune::TuneConfig {
             max_threads: 4,
+            oversubscribe: true,
             par_flops: 0,
             ..tune::current()
         };

@@ -1,0 +1,406 @@
+//! Register-tiled microkernels for the packed BLAS-3 path.
+//!
+//! The packed gemm in [`crate::l3`] copies operand panels into contiguous
+//! buffers ([`crate::pack`]) and then drives one of the microkernels
+//! defined here over MR×NR tiles — the BLASFEO structure: all the
+//! cache-blocking and edge handling lives outside the kernel, so a kernel
+//! only ever sees full, aligned, zero-padded micro-panels and can be an
+//! unrolled straight-line register tile.
+//!
+//! Three interchangeable implementations sit behind the [`MicroKernel`]
+//! trait, selected through the `LA_GEMM_KERNEL` tune knob
+//! ([`la_core::tune::GemmKernel`]):
+//!
+//! * [`RefKernel`] — the reference triple loop. Slow; the bitwise ground
+//!   truth the equivalence tests compare everything against.
+//! * [`Unrolled`] — an explicitly unrolled register tile, generic over the
+//!   scalar type. Performs the *same additions in the same order* as
+//!   `RefKernel`, so the two are bitwise identical.
+//! * [`SimdKernel`] — x86-64 AVX2+FMA vectorized tiles for `f32`/`f64`
+//!   (behind the `simd` cargo feature, with runtime CPU detection). FMA
+//!   contracts the multiply-add rounding, so its results differ from the
+//!   scalar kernels by a few ulps; complex types and non-x86 hosts fall
+//!   back to the unrolled kernel.
+//!
+//! Every kernel for a given scalar type shares the same tile shape
+//! ([`tile_dims`]), so the packed-panel layout — and therefore the
+//! summation *grouping* — is identical across kernels.
+
+use la_core::tune::GemmKernel;
+use la_core::Scalar;
+
+/// Largest `MR·NR` over all tile shapes in [`tile_dims`]; accumulator
+/// scratch in the macro-kernel is sized by this.
+pub const MAX_TILE: usize = 64;
+
+/// The microkernel tile shape `(MR, NR)` for a scalar type. One shape per
+/// type, shared by every kernel variant so the packed layout is
+/// kernel-independent: `f32` 16×4, `f64` 8×4 (two/two AVX vectors of rows
+/// by four broadcast columns), complex types 4×2.
+pub fn tile_dims<T: Scalar>() -> (usize, usize) {
+    if T::IS_COMPLEX {
+        (4, 2)
+    } else if std::mem::size_of::<T>() == 4 {
+        (16, 4)
+    } else {
+        (8, 4)
+    }
+}
+
+/// A register-tiled microkernel: computes one MR×NR tile of
+/// `op(A)·op(B)` from packed micro-panels.
+///
+/// `ap` holds `kb` groups of `mr()` values (one A micro-panel column per
+/// depth step), `bp` holds `kb` groups of `nr()` values; both are
+/// zero-padded by the packing layer, so the kernel always computes a full
+/// tile. The result is written to `acc` in column-major order
+/// (`acc[r + s·mr()]`), *overwriting* it; the macro-kernel masks edge
+/// tiles when adding `acc` into `C`.
+pub trait MicroKernel<T: Scalar>: Sync {
+    /// Name recorded in probe spans (`"scalar"`, `"unrolled"`, `"simd"`).
+    fn name(&self) -> &'static str;
+    /// Tile height (rows of C per tile).
+    fn mr(&self) -> usize;
+    /// Tile width (columns of C per tile).
+    fn nr(&self) -> usize;
+    /// Computes the full `mr() × nr()` tile over a depth of `kb`.
+    fn tile(&self, kb: usize, ap: &[T], bp: &[T], acc: &mut [T]);
+}
+
+/// Reference triple-loop microkernel: one scalar accumulator per tile
+/// element, depth innermost. The ground truth for the bitwise
+/// kernel-equivalence tests.
+pub struct RefKernel<const MR: usize, const NR: usize>;
+
+impl<T: Scalar, const MR: usize, const NR: usize> MicroKernel<T> for RefKernel<MR, NR> {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+    fn mr(&self) -> usize {
+        MR
+    }
+    fn nr(&self) -> usize {
+        NR
+    }
+    fn tile(&self, kb: usize, ap: &[T], bp: &[T], acc: &mut [T]) {
+        for s in 0..NR {
+            for r in 0..MR {
+                let mut sum = T::zero();
+                for l in 0..kb {
+                    sum += ap[l * MR + r] * bp[l * NR + s];
+                }
+                acc[r + s * MR] = sum;
+            }
+        }
+    }
+}
+
+/// Explicitly unrolled register-tiled microkernel: the whole MR×NR
+/// accumulator block lives in a const-sized array the compiler keeps in
+/// registers, with the depth loop outermost. Each accumulator sees the
+/// same products in the same order as [`RefKernel`], so results are
+/// bitwise identical.
+pub struct Unrolled<const MR: usize, const NR: usize>;
+
+impl<T: Scalar, const MR: usize, const NR: usize> MicroKernel<T> for Unrolled<MR, NR> {
+    fn name(&self) -> &'static str {
+        "unrolled"
+    }
+    fn mr(&self) -> usize {
+        MR
+    }
+    fn nr(&self) -> usize {
+        NR
+    }
+    fn tile(&self, kb: usize, ap: &[T], bp: &[T], acc: &mut [T]) {
+        let mut c = [[T::zero(); MR]; NR];
+        for l in 0..kb {
+            let av = &ap[l * MR..l * MR + MR];
+            let bv = &bp[l * NR..l * NR + NR];
+            for (s, cs) in c.iter_mut().enumerate() {
+                let bs = bv[s];
+                for (r, cv) in cs.iter_mut().enumerate() {
+                    *cv += av[r] * bs;
+                }
+            }
+        }
+        for (s, cs) in c.iter().enumerate() {
+            acc[s * MR..s * MR + MR].copy_from_slice(cs);
+        }
+    }
+}
+
+/// AVX2+FMA microkernel for real types (`simd` cargo feature). The
+/// generic [`MicroKernel`] impl dispatches by scalar type at runtime;
+/// complex types — and hosts without AVX2/FMA — run the unrolled tile
+/// instead, so selecting `simd` is always safe.
+#[cfg(feature = "simd")]
+pub struct SimdKernel;
+
+#[cfg(feature = "simd")]
+mod simd {
+    /// Whether the host supports the AVX2+FMA paths (checked once).
+    pub(super) fn host_supported() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static OK: OnceLock<bool> = OnceLock::new();
+            *OK.get_or_init(|| {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// 8×4 f64 tile: rows in two 4-lane AVX vectors, four broadcast
+    /// columns — eight independent FMA accumulator registers.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices hold
+    /// `kb·8` / `kb·4` / `32` elements respectively.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn tile_f64_8x4(kb: usize, ap: &[f64], bp: &[f64], acc: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut c0 = [_mm256_setzero_pd(); 4];
+        let mut c1 = [_mm256_setzero_pd(); 4];
+        for l in 0..kb {
+            let a0 = _mm256_loadu_pd(a.add(l * 8));
+            let a1 = _mm256_loadu_pd(a.add(l * 8 + 4));
+            for s in 0..4 {
+                let bv = _mm256_set1_pd(*b.add(l * 4 + s));
+                c0[s] = _mm256_fmadd_pd(a0, bv, c0[s]);
+                c1[s] = _mm256_fmadd_pd(a1, bv, c1[s]);
+            }
+        }
+        let out = acc.as_mut_ptr();
+        for s in 0..4 {
+            _mm256_storeu_pd(out.add(s * 8), c0[s]);
+            _mm256_storeu_pd(out.add(s * 8 + 4), c1[s]);
+        }
+    }
+
+    /// 16×4 f32 tile: rows in two 8-lane AVX vectors, four broadcast
+    /// columns.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and the slices hold
+    /// `kb·16` / `kb·4` / `64` elements respectively.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn tile_f32_16x4(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut c0 = [_mm256_setzero_ps(); 4];
+        let mut c1 = [_mm256_setzero_ps(); 4];
+        for l in 0..kb {
+            let a0 = _mm256_loadu_ps(a.add(l * 16));
+            let a1 = _mm256_loadu_ps(a.add(l * 16 + 8));
+            for s in 0..4 {
+                let bv = _mm256_set1_ps(*b.add(l * 4 + s));
+                c0[s] = _mm256_fmadd_ps(a0, bv, c0[s]);
+                c1[s] = _mm256_fmadd_ps(a1, bv, c1[s]);
+            }
+        }
+        let out = acc.as_mut_ptr();
+        for s in 0..4 {
+            _mm256_storeu_ps(out.add(s * 16), c0[s]);
+            _mm256_storeu_ps(out.add(s * 16 + 8), c1[s]);
+        }
+    }
+}
+
+#[cfg(feature = "simd")]
+impl<T: Scalar> MicroKernel<T> for SimdKernel {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+    fn mr(&self) -> usize {
+        tile_dims::<T>().0
+    }
+    fn nr(&self) -> usize {
+        tile_dims::<T>().1
+    }
+    fn tile(&self, kb: usize, ap: &[T], bp: &[T], acc: &mut [T]) {
+        #[cfg(target_arch = "x86_64")]
+        if simd::host_supported() {
+            use std::any::TypeId;
+            let t = TypeId::of::<T>();
+            // The TypeId check proves T == f64 (resp. f32), so the
+            // slice reinterpretation is an identity cast.
+            if t == TypeId::of::<f64>() {
+                unsafe {
+                    let ap = &*(ap as *const [T] as *const [f64]);
+                    let bp = &*(bp as *const [T] as *const [f64]);
+                    let acc = &mut *(acc as *mut [T] as *mut [f64]);
+                    simd::tile_f64_8x4(kb, ap, bp, acc);
+                }
+                return;
+            }
+            if t == TypeId::of::<f32>() {
+                unsafe {
+                    let ap = &*(ap as *const [T] as *const [f32]);
+                    let bp = &*(bp as *const [T] as *const [f32]);
+                    let acc = &mut *(acc as *mut [T] as *mut [f32]);
+                    simd::tile_f32_16x4(kb, ap, bp, acc);
+                }
+                return;
+            }
+        }
+        fallback_tile::<T>(kb, ap, bp, acc);
+    }
+}
+
+/// The unrolled tile at this type's shape — the fallback body for
+/// [`SimdKernel`] on unsupported types/hosts.
+#[cfg(feature = "simd")]
+fn fallback_tile<T: Scalar>(kb: usize, ap: &[T], bp: &[T], acc: &mut [T]) {
+    match tile_dims::<T>() {
+        (16, 4) => MicroKernel::<T>::tile(&Unrolled::<16, 4>, kb, ap, bp, acc),
+        (8, 4) => MicroKernel::<T>::tile(&Unrolled::<8, 4>, kb, ap, bp, acc),
+        _ => MicroKernel::<T>::tile(&Unrolled::<4, 2>, kb, ap, bp, acc),
+    }
+}
+
+/// Resolves a [`GemmKernel`] selection to a concrete kernel for `T`.
+/// `Auto` (and `Simd` without support) resolve to the fastest applicable
+/// kernel; the returned reference is a promoted ZST, so this is free.
+pub fn kernel_for<T: Scalar>(sel: GemmKernel) -> &'static dyn MicroKernel<T> {
+    match sel {
+        GemmKernel::Scalar => match tile_dims::<T>() {
+            (16, 4) => &RefKernel::<16, 4>,
+            (8, 4) => &RefKernel::<8, 4>,
+            _ => &RefKernel::<4, 2>,
+        },
+        GemmKernel::Unrolled => unrolled_for::<T>(),
+        GemmKernel::Simd | GemmKernel::Auto => {
+            #[cfg(feature = "simd")]
+            {
+                if !T::IS_COMPLEX && simd::host_supported() {
+                    return &SimdKernel;
+                }
+            }
+            unrolled_for::<T>()
+        }
+    }
+}
+
+fn unrolled_for<T: Scalar>() -> &'static dyn MicroKernel<T> {
+    match tile_dims::<T>() {
+        (16, 4) => &Unrolled::<16, 4>,
+        (8, 4) => &Unrolled::<8, 4>,
+        _ => &Unrolled::<4, 2>,
+    }
+}
+
+/// Default cache-blocking sizes for the packed path, used when the
+/// corresponding [`la_core::tune::TuneConfig`] knob is 0. `MC×KC` panels
+/// of A (~256 KiB of f64) target L2; `KC×NC` panels of B target L3.
+pub const DEFAULT_MC: usize = 128;
+/// Default k-depth of a packed panel (see [`DEFAULT_MC`]).
+pub const DEFAULT_KC: usize = 256;
+/// Default column width of a packed B panel (see [`DEFAULT_MC`]).
+pub const DEFAULT_NC: usize = 512;
+
+/// A resolved packed-gemm execution plan: the concrete microkernel plus
+/// the cache-blocking sizes, captured *once* on the calling thread (where
+/// scoped `tune::with` overrides are visible) and passed down through the
+/// stripe workers and the ABFT recovery reruns so every path computes
+/// with the same kernel.
+#[derive(Clone, Copy)]
+pub struct PackedPlan<T: Scalar> {
+    /// The microkernel to drive.
+    pub kern: &'static dyn MicroKernel<T>,
+    /// Row block of packed A panels.
+    pub mc: usize,
+    /// Depth block of packed panels.
+    pub kc: usize,
+    /// Column block of packed B panels.
+    pub nc: usize,
+    /// When true (an explicit, non-`Auto` kernel selection), even small
+    /// products go through the packed path — the equivalence tests use
+    /// this to pin the exact code path under test.
+    pub force: bool,
+}
+
+impl<T: Scalar> PackedPlan<T> {
+    /// Builds the plan from a tuning configuration.
+    pub fn from_cfg(cfg: &la_core::TuneConfig) -> Self {
+        let pick = |v: usize, d: usize| if v == 0 { d } else { v };
+        PackedPlan {
+            kern: kernel_for::<T>(cfg.gemm_kernel),
+            mc: pick(cfg.gemm_mc, DEFAULT_MC).max(1),
+            kc: pick(cfg.gemm_kc, DEFAULT_KC).max(1),
+            nc: pick(cfg.gemm_nc, DEFAULT_NC).max(1),
+            force: cfg.gemm_kernel != GemmKernel::Auto,
+        }
+    }
+
+    /// Builds the plan from the current thread's tuning configuration.
+    pub fn current() -> Self {
+        Self::from_cfg(&la_core::tune::current())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_shapes_fit_the_accumulator_scratch() {
+        fn check<T: Scalar>() {
+            let (mr, nr) = tile_dims::<T>();
+            assert!(mr * nr <= MAX_TILE);
+            for sel in [GemmKernel::Scalar, GemmKernel::Unrolled, GemmKernel::Simd] {
+                let k = kernel_for::<T>(sel);
+                assert_eq!((k.mr(), k.nr()), (mr, nr), "{} shape", k.name());
+            }
+        }
+        check::<f32>();
+        check::<f64>();
+        check::<la_core::C32>();
+        check::<la_core::C64>();
+    }
+
+    #[test]
+    fn scalar_and_unrolled_tiles_are_bitwise_identical() {
+        let (mr, nr) = tile_dims::<f64>();
+        let kb = 7usize;
+        let ap: Vec<f64> = (0..kb * mr).map(|i| (i as f64).sin()).collect();
+        let bp: Vec<f64> = (0..kb * nr).map(|i| (i as f64).cos()).collect();
+        let mut acc1 = vec![0.0; mr * nr];
+        let mut acc2 = vec![1.0; mr * nr];
+        kernel_for::<f64>(GemmKernel::Scalar).tile(kb, &ap, &bp, &mut acc1);
+        kernel_for::<f64>(GemmKernel::Unrolled).tile(kb, &ap, &bp, &mut acc2);
+        assert_eq!(acc1, acc2);
+    }
+
+    #[test]
+    fn simd_selection_matches_scalar_to_ulp_tolerance() {
+        // With the feature off this degenerates to unrolled-vs-scalar
+        // (bitwise); with it on, FMA contraction allows a small relative
+        // error.
+        let (mr, nr) = tile_dims::<f64>();
+        let kb = 33usize;
+        let ap: Vec<f64> = (0..kb * mr)
+            .map(|i| ((i * 37 % 101) as f64) - 50.0)
+            .collect();
+        let bp: Vec<f64> = (0..kb * nr)
+            .map(|i| ((i * 53 % 97) as f64) - 48.0)
+            .collect();
+        let mut want = vec![0.0; mr * nr];
+        let mut got = vec![0.0; mr * nr];
+        kernel_for::<f64>(GemmKernel::Scalar).tile(kb, &ap, &bp, &mut want);
+        kernel_for::<f64>(GemmKernel::Simd).tile(kb, &ap, &bp, &mut got);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() <= 1e-9 * (1.0 + w.abs()), "{w} vs {g}");
+        }
+    }
+}

@@ -3,21 +3,33 @@
 //! `gemm` is the workhorse the LAPACK blocked algorithms lean on (the
 //! paper's §1.1: "LAPACK addresses this problem by reorganizing the
 //! algorithms to use block matrix operations ... in the innermost loops").
-//! The implementation here uses three-level cache blocking with a
-//! four-column unrolled inner kernel, and optionally splits the columns of
-//! `C` across OS threads (`std::thread::scope`) for large products — the
-//! same data-parallel decomposition a Rayon `par_chunks_mut` would express.
+//! The implementation is a BLASFEO-style packed path: operand panels are
+//! copied once into contiguous zero-padded buffers ([`crate::pack`]) and a
+//! register-tiled microkernel ([`crate::kernel`]) does the flops, with the
+//! MC/KC/NC cache blocking and the kernel choice read from the runtime
+//! [`la_core::tune`] configuration. Large products additionally split the
+//! columns of `C` across OS threads (`std::thread::scope`) — the same
+//! data-parallel decomposition a Rayon `par_chunks_mut` would express.
 //!
-//! Every parallel decision point (thread budget, flop threshold) reads the
-//! runtime [`la_core::tune`] configuration, so callers can retune or force
-//! the serial path per call tree via `tune::with` without recompiling.
+//! Every decision point (thread budget, flop threshold, kernel, blocking)
+//! reads [`la_core::tune`] on the *calling* thread and travels down into
+//! the workers as a resolved [`PackedPlan`], so callers can retune or
+//! force paths per call tree via `tune::with` without recompiling.
 //! `trsm`, `trmm`, `syrk`/`herk` and `symm` reuse the same column-striped
-//! decomposition as `gemm`: disjoint column bands of the output, one scoped
-//! thread each.
+//! decomposition as `gemm` and route their inner updates through the same
+//! packed serial gemm, so the microkernel carries the flops of the blocked
+//! factorizations above as well.
+//!
+//! Internally the whole call chain — striping, packing, the macro-kernel,
+//! the ABFT checksum passes — passes typed [`MatRef`]/[`MatMut`] views
+//! instead of raw `(&[T], lda, offset)` triples; the public signatures
+//! keep the Fortran-style slice interface.
 
-use la_core::{probe, tune, Diag, Scalar, Side, Trans, Uplo};
+use la_core::{probe, tune, Diag, MatMut, MatRef, Scalar, Side, Trans, Uplo};
 
+use crate::kernel::{self, PackedPlan};
 use crate::l1::axpy;
+use crate::pack;
 
 /// Estimated bytes touched by an operation that reads `reads` elements and
 /// reads-and-writes `writes` output elements of `T`.
@@ -33,9 +45,6 @@ fn cj<T: Scalar>(conj: bool, x: T) -> T {
         x
     }
 }
-
-/// Depth of the k-dimension cache block.
-const KC: usize = 128;
 
 /// Graceful degradation of a parallel BLAS-3 operation: snapshots the
 /// output, attempts the parallel path, and — if any worker thread panics
@@ -61,21 +70,16 @@ fn with_serial_fallback<T: Scalar>(
     }
 }
 
-/// Splits the columns of an `n`-column, leading-dimension-`ld` matrix into
-/// `stripes` contiguous bands and runs `f(j0, w, band)` on scoped threads,
-/// where `band` starts at column `j0` and holds `w` columns. The final
-/// band takes whatever tail `data` has, so `data` need only cover
-/// `ld*(n-1) + rows` elements, not a full `ld*n`.
-fn stripe_cols<T: Scalar, F>(
-    routine: &'static str,
-    stripes: usize,
-    n: usize,
-    ld: usize,
-    data: &mut [T],
-    f: F,
-) where
-    F: Fn(usize, usize, &mut [T]) + Sync,
+/// Splits the columns of `c` into `stripes` contiguous bands and runs
+/// `f(j0, band)` on scoped threads, where `band` starts at column `j0`.
+/// [`MatMut::split_at_col`] hands each worker a disjoint view, so the
+/// split needs no manual length bookkeeping (the final band may be
+/// unpadded, per the view contract).
+fn stripe_cols<T: Scalar, F>(routine: &'static str, stripes: usize, c: MatMut<'_, T>, f: F)
+where
+    F: Fn(usize, MatMut<'_, T>) + Sync,
 {
+    let n = c.ncols();
     let base = n / stripes;
     let extra = n % stripes;
     let fref = &f;
@@ -92,28 +96,30 @@ fn stripe_cols<T: Scalar, F>(
     #[cfg(not(feature = "fault-inject"))]
     let inject = false;
     std::thread::scope(|s| {
-        let mut rest = data;
+        let mut rest = c;
         let mut j0 = 0usize;
         for t in 0..stripes {
             let w = base + usize::from(t < extra);
             if w == 0 {
                 continue;
             }
-            let take = if j0 + w >= n { rest.len() } else { ld * w };
-            let (mine, tail) = rest.split_at_mut(take);
+            let (mine, tail) = rest.split_at_col(w);
             rest = tail;
             let boom = inject && t == 0;
             s.spawn(move || {
+                let mut mine = mine;
                 if boom {
                     panic!("injected BLAS-3 stripe fault");
                 }
-                fref(j0, w, mine);
+                fref(j0, mine.rb());
                 // Silent-corruption injection (one-shot, armed through
                 // `la_core::abft::inject`): flips one element of this
                 // worker's finished band so the checksum layer above has
                 // something real to detect.
                 #[cfg(feature = "fault-inject")]
-                la_core::abft::inject::maybe_corrupt(routine, t, &mut mine[0]);
+                la_core::abft::inject::maybe_corrupt(routine, t, &mut mine.as_mut_slice()[0]);
+                #[cfg(not(feature = "fault-inject"))]
+                let _ = &mut mine;
             });
             j0 += w;
         }
@@ -138,6 +144,14 @@ fn par_stripes(cfg: &tune::TuneConfig, flops: u128, n: usize, min_cols: usize) -
         return 1;
     }
     nt.min(n.div_ceil(min_cols.max(1))).max(1)
+}
+
+/// Depth (`k`) extent of op(A) given its stored view.
+fn op_k<T: Scalar>(transa: Trans, a: &MatRef<'_, T>) -> usize {
+    match transa {
+        Trans::No => a.ncols(),
+        _ => a.nrows(),
+    }
 }
 
 /// General matrix-matrix product (`xGEMM`):
@@ -186,29 +200,80 @@ pub fn gemm<T: Scalar>(
     }
 
     let cfg = tune::current();
+    let plan = PackedPlan::<T>::from_cfg(&cfg);
     let stripes = par_stripes(&cfg, flop_product(m, n, k), n, 8);
     probe::note_parallelism(stripes);
+    probe::note_kernel(if !plan.force && m * n * k < SMALL_CROSSOVER {
+        "small"
+    } else {
+        plan.kern.name()
+    });
+    let (ar, ac) = if transa == Trans::No { (m, k) } else { (k, m) };
+    let (br, bc) = if transb == Trans::No { (k, n) } else { (n, k) };
+    let av = MatRef::new(a, ar, ac, lda);
+    let bv = MatRef::new(b, br, bc, ldb);
     // ABFT (see `crate::abft`): encode the column checksum after the
     // β-scaling, before the product accumulates.
     let check = crate::abft::active(&cfg, flop_product(m, n, k)).map(|pol| {
-        crate::abft::gemm_encode(pol, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+        crate::abft::gemm_encode(
+            pol,
+            transa,
+            transb,
+            alpha,
+            av,
+            bv,
+            MatRef::new(c, m, n, ldc),
+        )
     });
     if stripes > 1 {
         with_serial_fallback(
             c,
             |c| {
                 gemm_striped(
-                    stripes, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+                    stripes,
+                    &plan,
+                    transa,
+                    transb,
+                    alpha,
+                    av,
+                    bv,
+                    MatMut::new(c, m, n, ldc),
                 )
             },
-            |c| gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc),
+            |c| {
+                gemm_serial(
+                    &plan,
+                    transa,
+                    transb,
+                    alpha,
+                    av,
+                    bv,
+                    MatMut::new(c, m, n, ldc),
+                )
+            },
         );
     } else {
-        gemm_serial(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+        gemm_serial(
+            &plan,
+            transa,
+            transb,
+            alpha,
+            av,
+            bv,
+            MatMut::new(c, m, n, ldc),
+        );
     }
     if let Some(ck) = check {
         crate::abft::gemm_verify(
-            ck, stripes, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+            ck,
+            stripes,
+            &plan,
+            transa,
+            transb,
+            alpha,
+            av,
+            bv,
+            MatMut::new(c, m, n, ldc),
         );
     }
 }
@@ -220,99 +285,83 @@ pub fn gemm<T: Scalar>(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_striped<T: Scalar>(
     stripes: usize,
+    plan: &PackedPlan<T>,
     transa: Trans,
     transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &mut [T],
-    ldc: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
 ) {
-    stripe_cols("gemm", stripes, n, ldc, c, |j0, w, cb| {
-        let boff = match transb {
-            Trans::No => j0 * ldb,
-            _ => j0,
+    let k = op_k(transa, &a);
+    stripe_cols("gemm", stripes, c, |j0, cb| {
+        let w = cb.ncols();
+        let bsub = match transb {
+            Trans::No => b.subview(0, j0, k, w),
+            _ => b.subview(j0, 0, w, k),
         };
-        gemm_serial(
-            transa,
-            transb,
-            m,
-            w,
-            k,
-            alpha,
-            a,
-            lda,
-            &b[boff..],
-            ldb,
-            cb,
-            ldc,
-        );
+        gemm_serial(plan, transa, transb, alpha, a, bsub, cb);
     });
 }
 
+/// Products below this `m·n·k` run the unpacked sweep under an `Auto`
+/// kernel selection (packing overhead dominates); an explicit kernel
+/// selection forces the packed path at every size.
+const SMALL_CROSSOVER: usize = 24 * 24 * 24;
+
 /// Serial gemm accumulating `alpha*op(A)*op(B)` into `C` (beta already
-/// applied): small problems take a simple sweep; larger ones go through
-/// the packed GEBP kernel below.
-#[allow(clippy::too_many_arguments)]
+/// applied): small problems take a simple sweep; larger ones — or any
+/// problem under a forced kernel choice — go through the packed
+/// microkernel path.
 pub(crate) fn gemm_serial<T: Scalar>(
+    plan: &PackedPlan<T>,
     transa: Trans,
     transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &mut [T],
-    ldc: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
 ) {
-    if m * n * k >= 24 * 24 * 24 {
-        gemm_gebp(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    let (m, n) = (c.nrows(), c.ncols());
+    let k = op_k(transa, &a);
+    if m == 0 || n == 0 || k == 0 || alpha.is_zero() {
+        return;
+    }
+    if plan.force || m * n * k >= SMALL_CROSSOVER {
+        gemm_packed(plan, transa, transb, alpha, a, b, c);
     } else {
-        gemm_small(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+        gemm_small(transa, transb, alpha, a, b, c);
     }
 }
 
-/// Straightforward sweep used for small products and as the reference
-/// shape for the packed kernel.
-#[allow(clippy::too_many_arguments)]
+/// Straightforward sweep used for small products, where packing overhead
+/// would dominate.
 fn gemm_small<T: Scalar>(
     transa: Trans,
     transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &mut [T],
-    ldc: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
 ) {
+    let (m, n) = (c.nrows(), c.ncols());
+    let k = op_k(transa, &a);
     let cja = transa.is_conj();
     let cjb = transb.is_conj();
     let bel = |l: usize, j: usize| -> T {
         match transb {
-            Trans::No => b[l + j * ldb],
-            _ => cj(cjb, b[j + l * ldb]),
+            Trans::No => b.at(l, j),
+            _ => cj(cjb, b.at(j, l)),
         }
     };
     match transa {
         Trans::No => {
             for j in 0..n {
-                let ccol = &mut c[j * ldc..j * ldc + m];
+                let ccol = c.col_mut(j);
                 for l in 0..k {
                     let t = alpha * bel(l, j);
                     if !t.is_zero() {
-                        axpy(m, t, &a[l * lda..l * lda + m], 1, ccol, 1);
+                        axpy(m, t, a.col(l), 1, ccol, 1);
                     }
                 }
             }
@@ -320,11 +369,11 @@ fn gemm_small<T: Scalar>(
         _ => {
             for j in 0..n {
                 for i in 0..m {
-                    let acol = &a[i * lda..i * lda + k];
+                    let acol = a.col(i);
                     let mut s = T::zero();
                     match transb {
                         Trans::No => {
-                            let bcol = &b[j * ldb..j * ldb + k];
+                            let bcol = b.col(j);
                             if cja {
                                 for l in 0..k {
                                     s += acol[l].conj() * bcol[l];
@@ -337,153 +386,89 @@ fn gemm_small<T: Scalar>(
                         }
                         _ => {
                             for l in 0..k {
-                                s += cj(cja, acol[l]) * cj(cjb, b[j + l * ldb]);
+                                s += cj(cja, acol[l]) * cj(cjb, b.at(j, l));
                             }
                         }
                     }
-                    c[i + j * ldc] += alpha * s;
+                    *c.at_mut(i, j) += alpha * s;
                 }
             }
         }
     }
 }
 
-/// Micro-tile height (rows of C held in registers).
-const MR: usize = 4;
-/// Micro-tile width (columns of C held in registers).
-const NR: usize = 4;
-/// Row-block of the packed A panel.
-const MC: usize = 192;
-/// Column-block of the packed B panel.
-const NCB: usize = 96;
-
-/// Packed GEBP gemm (Goto-style): op(A) blocks are packed into MR-row
-/// micro-panels contiguous in `l`, op(B) into column stripes contiguous
-/// in `l`, and a register-tiled MR×NR microkernel does the flops — this
-/// is the "block matrix operations in the innermost loops" the paper's
-/// §1.1 attributes LAPACK's portability-with-performance to.
-#[allow(clippy::too_many_arguments)]
-fn gemm_gebp<T: Scalar>(
+/// Packed gemm (Goto/BLASFEO GEBP): op(B) panels of `KC×NC` and op(A)
+/// blocks of `MC×KC` are packed once into the thread-local arena, and the
+/// plan's microkernel computes full MR×NR register tiles; ragged edges
+/// are zero-padded in the panels and masked at write-back, so every
+/// kernel invocation is a full tile and results are deterministic for a
+/// given plan.
+fn gemm_packed<T: Scalar>(
+    plan: &PackedPlan<T>,
     transa: Trans,
     transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &mut [T],
-    ldc: usize,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
 ) {
-    let cja = transa.is_conj();
-    let cjb = transb.is_conj();
-    // Element accessors for op(A) (i, l) and op(B) (l, j).
-    let ael = |i: usize, l: usize| -> T {
-        match transa {
-            Trans::No => a[i + l * lda],
-            _ => cj(cja, a[l + i * lda]),
-        }
-    };
-    let bel = |l: usize, j: usize| -> T {
-        match transb {
-            Trans::No => b[l + j * ldb],
-            _ => cj(cjb, b[j + l * ldb]),
-        }
-    };
-
-    let mut apack = vec![T::zero(); MC.min(m).div_ceil(MR) * MR * KC.min(k)];
-    let mut bpack = vec![T::zero(); NCB.min(n).div_ceil(NR) * NR * KC.min(k)];
-
-    let mut jc = 0;
-    while jc < n {
-        let nb = NCB.min(n - jc);
-        let nb_pad = nb.div_ceil(NR) * NR;
-        let mut lc = 0;
-        while lc < k {
-            let kb = KC.min(k - lc);
-            // Pack op(B)(lc..lc+kb, jc..jc+nb): stripe of NR columns,
-            // interleaved per l: bpack[stripe][(l*NR + r)].
-            for js in (0..nb_pad).step_by(NR) {
-                let base = js * kb;
-                for l in 0..kb {
-                    for r in 0..NR {
-                        let j = jc + js + r;
-                        bpack[base + l * NR + r] = if js + r < nb {
-                            alpha * bel(lc + l, j)
-                        } else {
-                            T::zero()
-                        };
-                    }
-                }
-            }
-            let mut ic = 0;
-            while ic < m {
-                let mb = MC.min(m - ic);
-                let mb_pad = mb.div_ceil(MR) * MR;
-                // Pack op(A)(ic..ic+mb, lc..lc+kb): micro-panels of MR
-                // rows, interleaved per l: apack[panel][(l*MR + r)].
-                for is in (0..mb_pad).step_by(MR) {
-                    let base = is * kb;
-                    match (transa, is + MR <= mb) {
-                        (Trans::No, true) => {
-                            // Contiguous gather from MR consecutive rows.
-                            for l in 0..kb {
-                                let src = ic + is + (lc + l) * lda;
-                                apack[base + l * MR..base + l * MR + MR]
-                                    .copy_from_slice(&a[src..src + MR]);
-                            }
-                        }
-                        _ => {
-                            for l in 0..kb {
-                                for r in 0..MR {
-                                    apack[base + l * MR + r] = if is + r < mb {
-                                        ael(ic + is + r, lc + l)
-                                    } else {
-                                        T::zero()
-                                    };
+    let (m, n) = (c.nrows(), c.ncols());
+    let k = op_k(transa, &a);
+    let kern = plan.kern;
+    let (mr, nr) = (kern.mr(), kern.nr());
+    let (mc, kc, nc) = (plan.mc, plan.kc, plan.nc);
+    let a_cap = mc.min(m).div_ceil(mr) * mr * kc.min(k);
+    let b_cap = nc.min(n).div_ceil(nr) * nr * kc.min(k);
+    pack::with_arena::<T, _>(a_cap, b_cap, |apack, bpack| {
+        let mut acc = [T::zero(); kernel::MAX_TILE];
+        let acc = &mut acc[..mr * nr];
+        let mut jc = 0;
+        while jc < n {
+            let nb = nc.min(n - jc);
+            let nb_pad = nb.div_ceil(nr) * nr;
+            let mut lc = 0;
+            while lc < k {
+                let kb = kc.min(k - lc);
+                pack::pack_b(
+                    &mut bpack[..nb_pad * kb],
+                    b,
+                    transb,
+                    lc,
+                    kb,
+                    jc,
+                    nb,
+                    nr,
+                    alpha,
+                );
+                let mut ic = 0;
+                while ic < m {
+                    let mb = mc.min(m - ic);
+                    let mb_pad = mb.div_ceil(mr) * mr;
+                    pack::pack_a(&mut apack[..mb_pad * kb], a, transa, ic, mb, lc, kb, mr);
+                    for js in (0..nb_pad).step_by(nr) {
+                        let bp = &bpack[js * kb..js * kb + kb * nr];
+                        let cols = nr.min(nb - js);
+                        for is in (0..mb_pad).step_by(mr) {
+                            let ap = &apack[is * kb..is * kb + kb * mr];
+                            kern.tile(kb, ap, bp, acc);
+                            // Masked write-back of the valid tile part.
+                            let rows = mr.min(mb - is);
+                            for s in 0..cols {
+                                let col = c.col_mut(jc + js + s);
+                                let col = &mut col[ic + is..ic + is + rows];
+                                for (r, cv) in col.iter_mut().enumerate() {
+                                    *cv += acc[r + s * mr];
                                 }
                             }
                         }
                     }
+                    ic += mb;
                 }
-                // Macro-kernel: register-tiled micro-multiplications.
-                for js in (0..nb_pad).step_by(NR) {
-                    let bbase = js * kb;
-                    for is in (0..mb_pad).step_by(MR) {
-                        let abase = is * kb;
-                        // MR×NR accumulator in registers.
-                        let mut acc = [[T::zero(); NR]; MR];
-                        let ap = &apack[abase..abase + kb * MR];
-                        let bp = &bpack[bbase..bbase + kb * NR];
-                        for l in 0..kb {
-                            let av = &ap[l * MR..l * MR + MR];
-                            let bv = &bp[l * NR..l * NR + NR];
-                            for (r, &ar) in av.iter().enumerate() {
-                                for (s, &bs) in bv.iter().enumerate() {
-                                    acc[r][s] += ar * bs;
-                                }
-                            }
-                        }
-                        // Write back the valid part of the tile.
-                        let rows = MR.min(mb - is);
-                        let cols = NR.min(nb.saturating_sub(js));
-                        for (s, accr) in (0..cols).map(|s| (s, &acc)) {
-                            let col = &mut c[(jc + js + s) * ldc + ic + is
-                                ..(jc + js + s) * ldc + ic + is + rows];
-                            for (r, cv) in col.iter_mut().enumerate() {
-                                *cv += accr[r][s];
-                            }
-                        }
-                    }
-                }
-                ic += mb;
+                lc += kb;
             }
-            lc += kb;
+            jc += nb;
         }
-        jc += nb;
-    }
+    });
 }
 
 /// Symmetric (`xSYMM`, `conj = false`) or Hermitian (`xHEMM`,
@@ -537,7 +522,7 @@ pub fn symm<T: Scalar>(
     // negligible against the O(m·n·na) flops) and route through gemm so the
     // heavy lifting gets the packed kernel and the tune-driven column
     // striping. Same crossover as gemm's own small-product cutoff.
-    if m * n * na >= 24 * 24 * 24 {
+    if m * n * na >= SMALL_CROSSOVER {
         let mut afull = vec![T::zero(); na * na];
         for j in 0..na {
             for i in 0..na {
@@ -706,28 +691,87 @@ fn syrk_impl<T: Scalar>(
     // per-block rectangle sizes. Serial and parallel paths run the exact
     // same per-block code, in particular the same summation orders.
     let cfg = tune::current();
+    let plan = PackedPlan::<T>::from_cfg(&cfg);
     let workers = par_stripes(&cfg, flop_product(n, n, k) / 2, n, SYRK_NB).min(n.div_ceil(SYRK_NB));
     probe::note_parallelism(workers);
+    probe::note_kernel(plan.kern.name());
+    let (ar, ac) = if trans == Trans::No { (n, k) } else { (k, n) };
+    let av = MatRef::new(a, ar, ac, lda);
     // ABFT: encode over the stored triangle before the update runs (the
     // blocks β-scale internally, so the snapshot is the pristine input).
     let check = crate::abft::active(&cfg, flop_product(n, n, k) / 2).map(|pol| {
-        crate::abft::syrk_encode(pol, conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+        crate::abft::syrk_encode(
+            pol,
+            conj,
+            uplo,
+            trans,
+            k,
+            alpha,
+            av,
+            beta,
+            MatRef::new(c, n, n, ldc),
+        )
     });
     if workers > 1 {
         with_serial_fallback(
             c,
             |c| {
                 syrk_blocks_par(
-                    workers, conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc,
+                    workers,
+                    &plan,
+                    conj,
+                    uplo,
+                    trans,
+                    n,
+                    k,
+                    alpha,
+                    av,
+                    beta,
+                    MatMut::new(c, n, n, ldc),
                 )
             },
-            |c| syrk_blocks_serial(conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc),
+            |c| {
+                syrk_blocks_serial(
+                    &plan,
+                    conj,
+                    uplo,
+                    trans,
+                    n,
+                    k,
+                    alpha,
+                    av,
+                    beta,
+                    MatMut::new(c, n, n, ldc),
+                )
+            },
         );
     } else {
-        syrk_blocks_serial(conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+        syrk_blocks_serial(
+            &plan,
+            conj,
+            uplo,
+            trans,
+            n,
+            k,
+            alpha,
+            av,
+            beta,
+            MatMut::new(c, n, n, ldc),
+        );
     }
     if let Some(ck) = check {
-        crate::abft::syrk_verify(ck, conj, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+        crate::abft::syrk_verify(
+            ck,
+            &plan,
+            conj,
+            uplo,
+            trans,
+            k,
+            alpha,
+            av,
+            beta,
+            MatMut::new(c, n, n, ldc),
+        );
     }
 }
 
@@ -740,30 +784,28 @@ pub(crate) const SYRK_NB: usize = 48;
 #[allow(clippy::too_many_arguments)]
 fn syrk_blocks_par<T: Scalar>(
     workers: usize,
+    plan: &PackedPlan<T>,
     conj: bool,
     uplo: Uplo,
     trans: Trans,
     n: usize,
     k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
+    a: MatRef<'_, T>,
     beta: T,
-    c: &mut [T],
-    ldc: usize,
+    c: MatMut<'_, T>,
 ) {
-    let mut blocks: Vec<(usize, usize, &mut [T])> = Vec::new();
+    let mut blocks: Vec<(usize, usize, MatMut<'_, T>)> = Vec::new();
     let mut rest = c;
     let mut j0 = 0usize;
     while j0 < n {
         let jb = SYRK_NB.min(n - j0);
-        let take = if j0 + jb >= n { rest.len() } else { ldc * jb };
-        let (mine, tail) = rest.split_at_mut(take);
+        let (mine, tail) = rest.split_at_col(jb);
         rest = tail;
         blocks.push((j0, jb, mine));
         j0 += jb;
     }
-    let mut work: Vec<Vec<(usize, usize, &mut [T])>> = Vec::new();
+    let mut work: Vec<Vec<(usize, usize, MatMut<'_, T>)>> = Vec::new();
     work.resize_with(workers, Vec::new);
     for (idx, blk) in blocks.into_iter().enumerate() {
         work[idx % workers].push(blk);
@@ -780,15 +822,19 @@ fn syrk_blocks_par<T: Scalar>(
                 if boom {
                     panic!("injected BLAS-3 stripe fault");
                 }
-                for (j0, jb, cb) in list {
-                    syrk_block(
-                        conj, uplo, trans, n, k, alpha, a, lda, beta, j0, jb, cb, ldc,
-                    );
+                for (j0, jb, mut cb) in list {
+                    syrk_block(plan, conj, uplo, trans, k, alpha, a, beta, j0, jb, cb.rb());
                     // One-shot silent-corruption hook: hits the diagonal
                     // element of this block (updated under either uplo),
                     // addressed by block index so tests can aim at it.
                     #[cfg(feature = "fault-inject")]
-                    la_core::abft::inject::maybe_corrupt("syrk", j0 / SYRK_NB, &mut cb[j0]);
+                    la_core::abft::inject::maybe_corrupt(
+                        "syrk",
+                        j0 / SYRK_NB,
+                        &mut cb.as_mut_slice()[j0],
+                    );
+                    #[cfg(not(feature = "fault-inject"))]
+                    let _ = (jb, &mut cb);
                 }
             });
         }
@@ -798,68 +844,56 @@ fn syrk_blocks_par<T: Scalar>(
 /// The serial rank-k path: the same NB-column blocks, in order.
 #[allow(clippy::too_many_arguments)]
 fn syrk_blocks_serial<T: Scalar>(
+    plan: &PackedPlan<T>,
     conj: bool,
     uplo: Uplo,
     trans: Trans,
     n: usize,
     k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
+    a: MatRef<'_, T>,
     beta: T,
-    c: &mut [T],
-    ldc: usize,
+    c: MatMut<'_, T>,
 ) {
+    let mut rest = c;
     let mut j0 = 0usize;
     while j0 < n {
         let jb = SYRK_NB.min(n - j0);
-        syrk_block(
-            conj,
-            uplo,
-            trans,
-            n,
-            k,
-            alpha,
-            a,
-            lda,
-            beta,
-            j0,
-            jb,
-            &mut c[j0 * ldc..],
-            ldc,
-        );
+        let (mine, tail) = rest.split_at_col(jb);
+        rest = tail;
+        syrk_block(plan, conj, uplo, trans, k, alpha, a, beta, j0, jb, mine);
         j0 += jb;
     }
 }
 
 /// One NB-column block of a rank-k update: β-scales its triangle portion,
-/// accumulates the diagonal triangle with scalar loops, and routes the
-/// off-diagonal rectangle through the serial gemm kernel (the parallelism
-/// lives one level up, across blocks). `cb` is the column band of `C`
-/// starting at column `j0`: block-local column indexing, global rows.
+/// computes the diagonal block through the packed gemm into a scratch
+/// square (folding only the stored triangle back), and routes the
+/// off-diagonal rectangle through the serial gemm directly — so nearly
+/// all the flops run on the microkernel. `cb` is the column band of `C`
+/// starting at column `j0` (full `n` rows, `jb` columns).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn syrk_block<T: Scalar>(
+    plan: &PackedPlan<T>,
     conj: bool,
     uplo: Uplo,
     trans: Trans,
-    n: usize,
     k: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
+    a: MatRef<'_, T>,
     beta: T,
     j0: usize,
     jb: usize,
-    cb: &mut [T],
-    ldc: usize,
+    mut cb: MatMut<'_, T>,
 ) {
+    let n = cb.nrows();
     for j in j0..j0 + jb {
         let (lo, hi) = match uplo {
             Uplo::Upper => (0, j + 1),
             Uplo::Lower => (j, n),
         };
-        for i in lo..hi {
-            let cc = &mut cb[i + (j - j0) * ldc];
+        let col = cb.col_mut(j - j0);
+        for cc in &mut col[lo..hi] {
             *cc = if beta.is_zero() {
                 T::zero()
             } else {
@@ -867,84 +901,74 @@ pub(crate) fn syrk_block<T: Scalar>(
             };
         }
     }
-    // op(A) element (i, l) for the small diagonal triangle.
-    let ael = |i: usize, l: usize| -> T {
-        match trans {
-            Trans::No => a[i + l * lda],
-            _ => a[l + i * lda],
-        }
-    };
-    // Diagonal triangle block (jb × jb): scalar loops.
-    for j in j0..j0 + jb {
-        let (lo, hi) = match uplo {
-            Uplo::Upper => (j0, j + 1),
-            Uplo::Lower => (j, j0 + jb),
-        };
-        for i in lo..hi {
-            let mut s = T::zero();
-            if conj {
-                if trans == Trans::No {
-                    for l in 0..k {
-                        s += ael(i, l) * ael(j, l).conj();
-                    }
-                } else {
-                    for l in 0..k {
-                        s += ael(i, l).conj() * ael(j, l);
-                    }
-                }
-            } else {
-                for l in 0..k {
-                    s += ael(i, l) * ael(j, l);
-                }
-            }
-            let cc = &mut cb[i + (j - j0) * ldc];
-            *cc += alpha * s;
-            if conj && i == j {
-                *cc = T::from_real(cc.re());
-            }
-        }
-    }
-    // Off-diagonal rectangle: gemm does the heavy lifting.
     let (ta, tb) = match (trans, conj) {
         (Trans::No, false) => (Trans::No, Trans::Trans),
         (Trans::No, true) => (Trans::No, Trans::ConjTrans),
         (_, false) => (Trans::Trans, Trans::No),
         (_, true) => (Trans::ConjTrans, Trans::No),
     };
-    // op(A) column block starting at row/column j0 of the stored A.
-    let a_cols: &[T] = match trans {
-        Trans::No => &a[j0..],
-        _ => &a[j0 * lda..],
+    // op(A) rows j0..j0+jb as a stored subview.
+    let a_blk = match trans {
+        Trans::No => a.subview(j0, 0, jb, k),
+        _ => a.subview(0, j0, k, jb),
     };
+    // Diagonal block: full jb×jb product into scratch, stored triangle
+    // folded back (the Hermitian case keeps the diagonal real, as the
+    // kernel contract requires).
+    let mut diag = vec![T::zero(); jb * jb];
+    gemm_serial(
+        plan,
+        ta,
+        tb,
+        alpha,
+        a_blk,
+        a_blk,
+        MatMut::new(&mut diag, jb, jb, jb),
+    );
+    for j in j0..j0 + jb {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (j0, j + 1),
+            Uplo::Lower => (j, j0 + jb),
+        };
+        let dcol = &diag[(j - j0) * jb..(j - j0) * jb + jb];
+        let ccol = cb.col_mut(j - j0);
+        for i in lo..hi {
+            let cc = &mut ccol[i];
+            *cc += dcol[i - j0];
+            if conj && i == j {
+                *cc = T::from_real(cc.re());
+            }
+        }
+    }
+    // Off-diagonal rectangle: gemm does the heavy lifting.
     match uplo {
         Uplo::Lower => {
             // Rows j0+jb..n, columns j0..j0+jb.
             let m_rect = n - j0 - jb;
             if m_rect > 0 {
-                let a_rows: &[T] = match trans {
-                    Trans::No => &a[j0 + jb..],
-                    _ => &a[(j0 + jb) * lda..],
+                let a_rows = match trans {
+                    Trans::No => a.subview(j0 + jb, 0, m_rect, k),
+                    _ => a.subview(0, j0 + jb, k, m_rect),
                 };
                 gemm_serial(
+                    plan,
                     ta,
                     tb,
-                    m_rect,
-                    jb,
-                    k,
                     alpha,
                     a_rows,
-                    lda,
-                    a_cols,
-                    lda,
-                    &mut cb[j0 + jb..],
-                    ldc,
+                    a_blk,
+                    cb.subview(j0 + jb, 0, m_rect, jb),
                 );
             }
         }
         Uplo::Upper => {
             // Rows 0..j0, columns j0..j0+jb.
             if j0 > 0 {
-                gemm_serial(ta, tb, j0, jb, k, alpha, a, lda, a_cols, lda, cb, ldc);
+                let a_rows = match trans {
+                    Trans::No => a.subview(0, 0, j0, k),
+                    _ => a.subview(0, 0, k, j0),
+                };
+                gemm_serial(plan, ta, tb, alpha, a_rows, a_blk, cb.subview(0, 0, j0, jb));
             }
         }
     }
@@ -973,6 +997,28 @@ pub fn syr2k<T: Scalar>(
         probe::flops::syr2k(n, k),
         probe_bytes::<T>(2 * n * k, n * (n + 1) / 2),
     );
+    if n == 0 {
+        return;
+    }
+    let cfg = tune::current();
+    let plan = PackedPlan::<T>::from_cfg(&cfg);
+    // Large updates decompose like syrk: NB-column blocks whose diagonal
+    // squares and off-diagonal rectangles route through the packed gemm
+    // (two accumulations, one per product term).
+    if !alpha.is_zero() && k > 0 && (plan.force || n * n * k >= SMALL_CROSSOVER) {
+        probe::note_kernel(plan.kern.name());
+        let (r, cdim) = if trans == Trans::No { (n, k) } else { (k, n) };
+        let av = MatRef::new(a, r, cdim, lda);
+        let bv = MatRef::new(b, r, cdim, ldb);
+        let mut cv = MatMut::new(c, n, n, ldc);
+        let mut j0 = 0usize;
+        while j0 < n {
+            let jb = SYRK_NB.min(n - j0);
+            syr2k_block(&plan, uplo, trans, k, alpha, av, bv, beta, j0, jb, cv.rb());
+            j0 += jb;
+        }
+        return;
+    }
     let ael = |i: usize, l: usize| -> T {
         match trans {
             Trans::No => a[i + l * lda],
@@ -1004,6 +1050,135 @@ pub fn syr2k<T: Scalar>(
         }
     }
 }
+
+/// One NB-column block of the rank-2k update (see [`syrk_block`] for the
+/// decomposition): the two product terms accumulate through the packed
+/// gemm. `cv` is the whole `n × n` output view; this block updates its
+/// columns `j0..j0+jb`.
+#[allow(clippy::too_many_arguments)]
+fn syr2k_block<T: Scalar>(
+    plan: &PackedPlan<T>,
+    uplo: Uplo,
+    trans: Trans,
+    k: usize,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    j0: usize,
+    jb: usize,
+    cv: MatMut<'_, T>,
+) {
+    let n = cv.nrows();
+    let mut cb = cv.subview(0, j0, n, jb);
+    for j in j0..j0 + jb {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0, j + 1),
+            Uplo::Lower => (j, n),
+        };
+        let col = cb.col_mut(j - j0);
+        for cc in &mut col[lo..hi] {
+            *cc = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * *cc
+            };
+        }
+    }
+    // syr2k is symmetric (never conjugating): any transposed op maps to
+    // a plain transpose in the gemm terms.
+    let t = if trans == Trans::No {
+        Trans::No
+    } else {
+        Trans::Trans
+    };
+    let (ta, tb) = match t {
+        Trans::No => (Trans::No, Trans::Trans),
+        _ => (Trans::Trans, Trans::No),
+    };
+    fn rows_of<'s, T: Scalar>(
+        src: MatRef<'s, T>,
+        t: Trans,
+        k: usize,
+        r0: usize,
+        rb: usize,
+    ) -> MatRef<'s, T> {
+        match t {
+            Trans::No => src.subview(r0, 0, rb, k),
+            _ => src.subview(0, r0, k, rb),
+        }
+    }
+    let a_blk = rows_of(a, t, k, j0, jb);
+    let b_blk = rows_of(b, t, k, j0, jb);
+    // Diagonal block: alpha·(op(A)op(B)ᵀ + op(B)op(A)ᵀ) into scratch,
+    // triangle folded back.
+    let mut diag = vec![T::zero(); jb * jb];
+    gemm_serial(
+        plan,
+        ta,
+        tb,
+        alpha,
+        a_blk,
+        b_blk,
+        MatMut::new(&mut diag, jb, jb, jb),
+    );
+    gemm_serial(
+        plan,
+        ta,
+        tb,
+        alpha,
+        b_blk,
+        a_blk,
+        MatMut::new(&mut diag, jb, jb, jb),
+    );
+    for j in j0..j0 + jb {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (j0, j + 1),
+            Uplo::Lower => (j, j0 + jb),
+        };
+        let dcol = &diag[(j - j0) * jb..(j - j0) * jb + jb];
+        let ccol = cb.col_mut(j - j0);
+        for i in lo..hi {
+            ccol[i] += dcol[i - j0];
+        }
+    }
+    // Off-diagonal rectangle, two accumulations.
+    let (r0, rb) = match uplo {
+        Uplo::Lower => (j0 + jb, n - j0 - jb),
+        Uplo::Upper => (0, j0),
+    };
+    if rb > 0 {
+        let a_rows = rows_of(a, t, k, r0, rb);
+        let b_rows = rows_of(b, t, k, r0, rb);
+        let dst0 = match uplo {
+            Uplo::Lower => j0 + jb,
+            Uplo::Upper => 0,
+        };
+        gemm_serial(
+            plan,
+            ta,
+            tb,
+            alpha,
+            a_rows,
+            b_blk,
+            cb.rb().subview(dst0, 0, rb, jb),
+        );
+        gemm_serial(
+            plan,
+            ta,
+            tb,
+            alpha,
+            b_rows,
+            a_blk,
+            cb.rb().subview(dst0, 0, rb, jb),
+        );
+    }
+}
+
+/// Order at or below which the triangular kernels stay on their
+/// per-column Level-2 forms; above it they go blocked, with the
+/// off-diagonal updates on the packed gemm.
+const TRX_NB: usize = 48;
 
 /// Triangular matrix-matrix product (`xTRMM`):
 /// `B := alpha*op(A)*B` (`Side::Left`) or `B := alpha*B*op(A)`
@@ -1054,33 +1229,72 @@ fn trmm_impl<T: Scalar>(
 ) {
     match side {
         Side::Left => {
-            // Columns of B are independent: op(A)·b_j per column, so the
-            // columns stripe across threads exactly like gemm's C (the
-            // per-column arithmetic is identical either way).
+            if m == 0 || n == 0 {
+                return;
+            }
+            // Column bands of B are independent: band := alpha·op(A)·band,
+            // so the columns stripe across threads exactly like gemm's C.
             let cfg = tune::current();
+            let plan = PackedPlan::<T>::from_cfg(&cfg);
             let stripes = par_stripes(&cfg, flop_product(m, m, n) / 2, n, 4);
             probe::note_parallelism(stripes);
+            probe::note_kernel(plan.kern.name());
+            let av = MatRef::new(a, m, m, lda);
             // ABFT: encode from the unscaled input (the column kernel
             // applies alpha itself).
             let check = crate::abft::active(&cfg, flop_product(m, m, n) / 2).map(|pol| {
-                crate::abft::trmm_encode(pol, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+                crate::abft::trmm_encode(
+                    pol,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    av,
+                    MatRef::new(b, m, n, ldb),
+                )
             });
             if stripes > 1 {
                 with_serial_fallback(
                     b,
                     |b| {
-                        stripe_cols("trmm", stripes, n, ldb, b, |_, w, bb| {
-                            trmm_left_cols(uplo, trans, diag, m, w, alpha, a, lda, bb, ldb);
+                        stripe_cols("trmm", stripes, MatMut::new(b, m, n, ldb), |_, bb| {
+                            trmm_left_cols(&plan, uplo, trans, diag, alpha, av, bb);
                         })
                     },
-                    |b| trmm_left_cols(uplo, trans, diag, m, n, alpha, a, lda, b, ldb),
+                    |b| {
+                        trmm_left_cols(
+                            &plan,
+                            uplo,
+                            trans,
+                            diag,
+                            alpha,
+                            av,
+                            MatMut::new(b, m, n, ldb),
+                        )
+                    },
                 );
             } else {
-                trmm_left_cols(uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+                trmm_left_cols(
+                    &plan,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    av,
+                    MatMut::new(b, m, n, ldb),
+                );
             }
             if let Some(ck) = check {
                 crate::abft::trmm_verify(
-                    ck, stripes, uplo, trans, diag, m, n, alpha, a, lda, b, ldb,
+                    ck,
+                    stripes,
+                    &plan,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    av,
+                    MatMut::new(b, m, n, ldb),
                 );
             }
         }
@@ -1149,27 +1363,92 @@ fn trmm_impl<T: Scalar>(
     }
 }
 
-/// Serial left-side trmm over `n` columns of `b`: `b_j := alpha·op(A)·b_j`.
-#[allow(clippy::too_many_arguments)]
+/// Serial left-side trmm: `b := alpha·op(A)·b` over every column of the
+/// band. Small orders run a trmv per column; larger ones go blocked —
+/// per diagonal block, the triangular part stays a trmv while the
+/// off-diagonal contribution comes from the packed gemm into a scratch
+/// panel (the scratch sidesteps aliasing between the read and written
+/// row ranges of `b`).
 pub(crate) fn trmm_left_cols<T: Scalar>(
+    plan: &PackedPlan<T>,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    m: usize,
-    n: usize,
     alpha: T,
-    a: &[T],
-    lda: usize,
-    b: &mut [T],
-    ldb: usize,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
 ) {
-    for j in 0..n {
-        let col = &mut b[j * ldb..j * ldb + m];
-        crate::l2::trmv(uplo, trans, diag, m, a, lda, col, 1);
-        if alpha != T::one() {
-            for x in col {
-                *x *= alpha;
+    let m = b.nrows();
+    let w = b.ncols();
+    if m == 0 || w == 0 {
+        return;
+    }
+    if m <= TRX_NB {
+        for j in 0..w {
+            let col = b.col_mut(j);
+            crate::l2::trmv(uplo, trans, diag, m, a.as_slice(), a.lda(), col, 1);
+            if alpha != T::one() {
+                for x in col {
+                    *x *= alpha;
+                }
             }
+        }
+        return;
+    }
+    // Whether op(A) acts as a *lower* triangular factor (row i draws on
+    // rows ≤ i): stored-lower untransposed, or stored-upper transposed.
+    let eff_lower = (uplo == Uplo::Lower) != trans.is_transposed();
+    let nblk = m.div_ceil(TRX_NB);
+    let mut tmp = vec![T::zero(); TRX_NB * w];
+    let mut step = |i0: usize, ib: usize| {
+        // Off-diagonal contribution op(A)[block, rest]·B[rest] into tmp.
+        let (r0, rb) = if eff_lower {
+            (0, i0)
+        } else {
+            (i0 + ib, m - i0 - ib)
+        };
+        let use_tmp = rb > 0;
+        if use_tmp {
+            tmp[..ib * w].fill(T::zero());
+            let (asub, ta) = match (uplo, eff_lower) {
+                (Uplo::Lower, true) => (a.subview(i0, 0, ib, i0), Trans::No),
+                (Uplo::Upper, true) => (a.subview(0, i0, i0, ib), trans),
+                (Uplo::Upper, false) => (a.subview(i0, i0 + ib, ib, rb), Trans::No),
+                (Uplo::Lower, false) => (a.subview(i0 + ib, i0, rb, ib), trans),
+            };
+            gemm_serial(
+                plan,
+                ta,
+                Trans::No,
+                T::one(),
+                asub,
+                b.as_ref().subview(r0, 0, rb, w),
+                MatMut::new(&mut tmp[..ib * w], ib, w, ib),
+            );
+        }
+        // Diagonal block in place, then combine and scale.
+        let ad = a.subview(i0, i0, ib, ib);
+        for j in 0..w {
+            let seg = &mut b.col_mut(j)[i0..i0 + ib];
+            crate::l2::trmv(uplo, trans, diag, ib, ad.as_slice(), ad.lda(), seg, 1);
+            let tcol = &tmp[j * ib..j * ib + ib];
+            for (x, &t) in seg.iter_mut().zip(tcol) {
+                let v = if use_tmp { *x + t } else { *x };
+                *x = if alpha == T::one() { v } else { alpha * v };
+            }
+        }
+    };
+    if eff_lower {
+        // Descending: each block reads the still-unmodified rows above it.
+        for bi in (0..nblk).rev() {
+            let i0 = bi * TRX_NB;
+            step(i0, TRX_NB.min(m - i0));
+        }
+    } else {
+        // Ascending: each block reads the still-unmodified rows below it.
+        for bi in 0..nblk {
+            let i0 = bi * TRX_NB;
+            step(i0, TRX_NB.min(m - i0));
         }
     }
 }
@@ -1242,27 +1521,40 @@ fn trsm_impl<T: Scalar>(
             // same way gemm stripes C (per-column arithmetic identical to
             // the serial path).
             let cfg = tune::current();
+            let plan = PackedPlan::<T>::from_cfg(&cfg);
             let stripes = par_stripes(&cfg, flop_product(m, m, n) / 2, n, 4);
             probe::note_parallelism(stripes);
+            probe::note_kernel(plan.kern.name());
+            let av = MatRef::new(a, m, m, lda);
             // ABFT: alpha is already folded into B, so the column sums of
             // B as it stands are the expected values of (eᵀop(A))·X.
-            let check = crate::abft::active(&cfg, flop_product(m, m, n) / 2)
-                .map(|pol| crate::abft::trsm_encode(pol, uplo, trans, diag, m, n, a, lda, b, ldb));
+            let check = crate::abft::active(&cfg, flop_product(m, m, n) / 2).map(|pol| {
+                crate::abft::trsm_encode(pol, uplo, trans, diag, av, MatRef::new(b, m, n, ldb))
+            });
             if stripes > 1 {
                 with_serial_fallback(
                     b,
                     |b| {
-                        stripe_cols("trsm", stripes, n, ldb, b, |_, w, bb| {
-                            trsm_left_cols(uplo, trans, diag, m, w, a, lda, bb, ldb);
+                        stripe_cols("trsm", stripes, MatMut::new(b, m, n, ldb), |_, bb| {
+                            trsm_left_cols(&plan, uplo, trans, diag, av, bb);
                         })
                     },
-                    |b| trsm_left_cols(uplo, trans, diag, m, n, a, lda, b, ldb),
+                    |b| trsm_left_cols(&plan, uplo, trans, diag, av, MatMut::new(b, m, n, ldb)),
                 );
             } else {
-                trsm_left_cols(uplo, trans, diag, m, n, a, lda, b, ldb);
+                trsm_left_cols(&plan, uplo, trans, diag, av, MatMut::new(b, m, n, ldb));
             }
             if let Some(ck) = check {
-                crate::abft::trsm_verify(ck, stripes, uplo, trans, diag, m, n, a, lda, b, ldb);
+                crate::abft::trsm_verify(
+                    ck,
+                    stripes,
+                    &plan,
+                    uplo,
+                    trans,
+                    diag,
+                    av,
+                    MatMut::new(b, m, n, ldb),
+                );
             }
         }
         Side::Right => {
@@ -1321,36 +1613,108 @@ fn trsm_impl<T: Scalar>(
     }
 }
 
-/// Serial left-side triangular solve over `n` columns of `b` (alpha
-/// already applied): `op(A)·x_j = b_j` per column.
-#[allow(clippy::too_many_arguments)]
+/// Serial left-side triangular solve over the columns of `b` (alpha
+/// already applied): `op(A)·x_j = b_j`. Small orders run the unblocked
+/// substitution; larger ones solve TRX_NB diagonal blocks and push the
+/// rank-`kb` updates of the remaining rows through the packed gemm (the
+/// solved block is staged in a scratch panel to keep the gemm operands
+/// non-overlapping).
 pub(crate) fn trsm_left_cols<T: Scalar>(
+    plan: &PackedPlan<T>,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    m: usize,
-    n: usize,
-    a: &[T],
-    lda: usize,
-    b: &mut [T],
-    ldb: usize,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
 ) {
+    let m = b.nrows();
+    let w = b.ncols();
+    if m == 0 || w == 0 {
+        return;
+    }
+    if m <= TRX_NB {
+        trsm_cols_unblocked(uplo, trans, diag, a, b);
+        return;
+    }
+    let eff_lower = (uplo == Uplo::Lower) != trans.is_transposed();
+    let nblk = m.div_ceil(TRX_NB);
+    let mut tmp = vec![T::zero(); TRX_NB * w];
+    let mut step = |k0: usize, kb: usize| {
+        // Solve the diagonal block.
+        let ad = a.subview(k0, k0, kb, kb);
+        trsm_cols_unblocked(uplo, trans, diag, ad, b.rb().subview(k0, 0, kb, w));
+        // Eliminate the solved block from the remaining rows.
+        let (r0, rb) = if eff_lower {
+            (k0 + kb, m - k0 - kb)
+        } else {
+            (0, k0)
+        };
+        if rb == 0 {
+            return;
+        }
+        for j in 0..w {
+            tmp[j * kb..j * kb + kb].copy_from_slice(&b.col(j)[k0..k0 + kb]);
+        }
+        let (asub, ta) = match (uplo, eff_lower) {
+            (Uplo::Lower, true) => (a.subview(k0 + kb, k0, rb, kb), Trans::No),
+            (Uplo::Upper, true) => (a.subview(k0, k0 + kb, kb, rb), trans),
+            (Uplo::Upper, false) => (a.subview(0, k0, k0, kb), Trans::No),
+            (Uplo::Lower, false) => (a.subview(k0, 0, kb, k0), trans),
+        };
+        gemm_serial(
+            plan,
+            ta,
+            Trans::No,
+            -T::one(),
+            asub,
+            MatRef::new(&tmp[..kb * w], kb, w, kb),
+            b.rb().subview(r0, 0, rb, w),
+        );
+    };
+    if eff_lower {
+        // Forward: ascending blocks.
+        for bi in 0..nblk {
+            let k0 = bi * TRX_NB;
+            step(k0, TRX_NB.min(m - k0));
+        }
+    } else {
+        // Backward: descending blocks.
+        for bi in (0..nblk).rev() {
+            let k0 = bi * TRX_NB;
+            step(k0, TRX_NB.min(m - k0));
+        }
+    }
+}
+
+/// Unblocked left-side solve over the columns of `b`: vectorized
+/// forward/backward substitution for the untransposed cases, a trsv per
+/// column otherwise.
+fn trsm_cols_unblocked<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let m = b.nrows();
+    let n = b.ncols();
     let unit = diag == Diag::Unit;
     match (trans.is_transposed(), uplo) {
         (false, Uplo::Lower) => {
             // Forward substitution, vectorized across all right-hand
             // sides: for each pivot k, update rows k+1.. of every column.
             for k in 0..m {
-                let akk = a[k + k * lda];
+                let acol = a.col(k);
+                let akk = acol[k];
                 for j in 0..n {
-                    let col = &mut b[j * ldb..j * ldb + m];
+                    let col = b.col_mut(j);
                     if !unit {
                         col[k] = col[k] / akk;
                     }
                     let t = col[k];
                     if !t.is_zero() {
-                        for (i, ci) in col.iter_mut().enumerate().take(m).skip(k + 1) {
-                            *ci -= t * a[i + k * lda];
+                        for (ci, &aik) in col[k + 1..m].iter_mut().zip(&acol[k + 1..m]) {
+                            *ci -= t * aik;
                         }
                     }
                 }
@@ -1358,16 +1722,17 @@ pub(crate) fn trsm_left_cols<T: Scalar>(
         }
         (false, Uplo::Upper) => {
             for k in (0..m).rev() {
-                let akk = a[k + k * lda];
+                let acol = a.col(k);
+                let akk = acol[k];
                 for j in 0..n {
-                    let col = &mut b[j * ldb..j * ldb + m];
+                    let col = b.col_mut(j);
                     if !unit {
                         col[k] = col[k] / akk;
                     }
                     let t = col[k];
                     if !t.is_zero() {
-                        for (i, ci) in col.iter_mut().enumerate().take(k) {
-                            *ci -= t * a[i + k * lda];
+                        for (ci, &aik) in col[..k].iter_mut().zip(&acol[..k]) {
+                            *ci -= t * aik;
                         }
                     }
                 }
@@ -1376,8 +1741,8 @@ pub(crate) fn trsm_left_cols<T: Scalar>(
         (true, _) => {
             // op(A)ᵀ or op(A)ᴴ solve, column by column.
             for j in 0..n {
-                let col = &mut b[j * ldb..j * ldb + m];
-                crate::l2::trsv(uplo, trans, diag, m, a, lda, col, 1);
+                let col = b.col_mut(j);
+                crate::l2::trsv(uplo, trans, diag, m, a.as_slice(), a.lda(), col, 1);
             }
         }
     }
@@ -1401,9 +1766,12 @@ mod striped_tests {
         assert_eq!(huge.wrapping_mul(huge).wrapping_mul(huge), 0);
 
         // And par_stripes still parallelises at those extremes (multi-
-        // thread config, default threshold) instead of reporting 1.
+        // thread config — oversubscribed on purpose, since this host may
+        // have a single core — and the default threshold) instead of
+        // reporting 1.
         let cfg = tune::TuneConfig {
             max_threads: 4,
+            oversubscribe: true,
             ..tune::TuneConfig::defaults()
         };
         assert_eq!(
@@ -1418,8 +1786,10 @@ mod striped_tests {
     fn striped_split_matches_serial() {
         // Exercises the thread-stripe bookkeeping even on one core.
         let (m, n, k) = (13usize, 23usize, 9usize);
+        let plan = PackedPlan::<f64>::from_cfg(&tune::TuneConfig::defaults());
         let a: Vec<f64> = (0..m * k).map(|x| (x % 17) as f64 - 8.0).collect();
         let b: Vec<f64> = (0..k * n).map(|x| (x % 13) as f64 - 6.0).collect();
+        let av = MatRef::new(&a, m, k, m);
         for &tb in &[Trans::No, Trans::Trans] {
             let bb: Vec<f64> = if tb == Trans::No {
                 b.clone()
@@ -1433,25 +1803,32 @@ mod striped_tests {
                 }
                 t
             };
-            let ldb = if tb == Trans::No { k } else { n };
+            let bv = if tb == Trans::No {
+                MatRef::new(&bb, k, n, k)
+            } else {
+                MatRef::new(&bb, n, k, n)
+            };
             let mut c1 = vec![0.0f64; m * n];
-            gemm_serial(Trans::No, tb, m, n, k, 1.0, &a, m, &bb, ldb, &mut c1, m);
+            gemm_serial(
+                &plan,
+                Trans::No,
+                tb,
+                1.0,
+                av,
+                bv,
+                MatMut::new(&mut c1, m, n, m),
+            );
             for stripes in [2usize, 3, 5] {
                 let mut c2 = vec![0.0f64; m * n];
                 gemm_striped(
                     stripes,
+                    &plan,
                     Trans::No,
                     tb,
-                    m,
-                    n,
-                    k,
                     1.0,
-                    &a,
-                    m,
-                    &bb,
-                    ldb,
-                    &mut c2,
-                    m,
+                    av,
+                    bv,
+                    MatMut::new(&mut c2, m, n, m),
                 );
                 for idx in 0..m * n {
                     assert!(

@@ -1,0 +1,251 @@
+//! Panel packing for the packed BLAS-3 path.
+//!
+//! The Goto/BLASFEO decomposition copies each operand block *once* into a
+//! contiguous, zero-padded buffer laid out exactly the way the microkernel
+//! reads it:
+//!
+//! * **A panels** ([`pack_a`]): `op(A)(ic.., lc..)` as MR-row micro-panels,
+//!   each interleaved by depth — `apack[panel·mr·kb + l·mr + r]` — so the
+//!   kernel loads `mr` consecutive rows per depth step.
+//! * **B panels** ([`pack_b`]): `op(B)(lc.., jc..)` as NR-column
+//!   micro-panels interleaved the same way, with `alpha` folded in during
+//!   the copy (one pass instead of a separate scale).
+//!
+//! Transposition and conjugation happen during the copy, so the kernel
+//! never sees a stride or a flag; ragged edges are zero-padded to the full
+//! tile, so the kernel never sees a partial tile either. Buffers come from
+//! a per-thread arena ([`with_arena`]) reused across calls — packing
+//! allocates only when a bigger panel than ever before is requested.
+
+use std::cell::RefCell;
+
+use la_core::{MatRef, Scalar, Trans};
+
+/// Runs `f` with two per-thread scratch buffers able to hold `a_len` and
+/// `b_len` elements of `T` — the packing arena. The buffers keep their
+/// high-water capacity for the life of the thread, so steady-state packed
+/// gemm does no allocation.
+///
+/// The backing store is `u64`-aligned raw bytes reinterpreted per call,
+/// which lets one arena serve all four scalar types.
+pub fn with_arena<T: Scalar, R>(
+    a_len: usize,
+    b_len: usize,
+    f: impl FnOnce(&mut [T], &mut [T]) -> R,
+) -> R {
+    thread_local! {
+        static ARENA: RefCell<(Vec<u64>, Vec<u64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+    ARENA.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (buf_a, buf_b) = &mut *guard;
+        let words = |len: usize| (len * std::mem::size_of::<T>()).div_ceil(8);
+        if buf_a.len() < words(a_len) {
+            buf_a.resize(words(a_len), 0);
+        }
+        if buf_b.len() < words(b_len) {
+            buf_b.resize(words(b_len), 0);
+        }
+        // SAFETY: every `Scalar` type here (f32/f64/Complex<f32>/
+        // Complex<f64>) is plain-old-data with alignment ≤ 8, any bit
+        // pattern is a valid value, and the `u64` backing is initialized
+        // (resize zero-fills). The two reborrows are disjoint.
+        let a = unsafe { std::slice::from_raw_parts_mut(buf_a.as_mut_ptr() as *mut T, a_len) };
+        let b = unsafe { std::slice::from_raw_parts_mut(buf_b.as_mut_ptr() as *mut T, b_len) };
+        f(a, b)
+    })
+}
+
+#[inline(always)]
+fn cj<T: Scalar>(conj: bool, x: T) -> T {
+    if conj {
+        x.conj()
+    } else {
+        x
+    }
+}
+
+/// Packs the `mb × kb` block of `op(A)` with top-left corner `(ic, lc)`
+/// (coordinates in op(A) space) into `buf` as zero-padded `mr`-row
+/// micro-panels. `a` is the *stored* matrix; `trans` says how `op` maps
+/// into it. `buf` must hold `ceil(mb/mr)·mr·kb` elements.
+pub fn pack_a<T: Scalar>(
+    buf: &mut [T],
+    a: MatRef<'_, T>,
+    trans: Trans,
+    ic: usize,
+    mb: usize,
+    lc: usize,
+    kb: usize,
+    mr: usize,
+) {
+    let conj = trans.is_conj();
+    let mb_pad = mb.div_ceil(mr) * mr;
+    match trans {
+        Trans::No => {
+            for is in (0..mb_pad).step_by(mr) {
+                let base = is * kb;
+                let rows = mr.min(mb - is);
+                for l in 0..kb {
+                    let col = a.col(lc + l);
+                    let dst = &mut buf[base + l * mr..base + l * mr + mr];
+                    dst[..rows].copy_from_slice(&col[ic + is..ic + is + rows]);
+                    dst[rows..].fill(T::zero());
+                }
+            }
+        }
+        _ => {
+            // op(A)(i, l) = conj?(a[l, i]): walk stored columns (one per
+            // op-row) and scatter into the depth-interleaved layout.
+            for is in (0..mb_pad).step_by(mr) {
+                let base = is * kb;
+                let rows = mr.min(mb - is);
+                for r in 0..rows {
+                    let col = a.col(ic + is + r);
+                    for l in 0..kb {
+                        buf[base + l * mr + r] = cj(conj, col[lc + l]);
+                    }
+                }
+                for r in rows..mr {
+                    for l in 0..kb {
+                        buf[base + l * mr + r] = T::zero();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kb × nb` block of `op(B)` with top-left corner `(lc, jc)`
+/// (coordinates in op(B) space) into `buf` as zero-padded `nr`-column
+/// micro-panels, scaling by `alpha` during the copy. `buf` must hold
+/// `ceil(nb/nr)·nr·kb` elements.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b<T: Scalar>(
+    buf: &mut [T],
+    b: MatRef<'_, T>,
+    trans: Trans,
+    lc: usize,
+    kb: usize,
+    jc: usize,
+    nb: usize,
+    nr: usize,
+    alpha: T,
+) {
+    let conj = trans.is_conj();
+    let nb_pad = nb.div_ceil(nr) * nr;
+    match trans {
+        Trans::No => {
+            for js in (0..nb_pad).step_by(nr) {
+                let base = js * kb;
+                let cols = nr.min(nb - js);
+                for s in 0..cols {
+                    let col = b.col(jc + js + s);
+                    for l in 0..kb {
+                        buf[base + l * nr + s] = alpha * col[lc + l];
+                    }
+                }
+                for s in cols..nr {
+                    for l in 0..kb {
+                        buf[base + l * nr + s] = T::zero();
+                    }
+                }
+            }
+        }
+        _ => {
+            // op(B)(l, j) = conj?(b[j, l]): stored column lc+l holds the
+            // whole depth step, contiguous in j.
+            for js in (0..nb_pad).step_by(nr) {
+                let base = js * kb;
+                let cols = nr.min(nb - js);
+                for l in 0..kb {
+                    let col = b.col(lc + l);
+                    let dst = &mut buf[base + l * nr..base + l * nr + nr];
+                    for s in 0..cols {
+                        dst[s] = alpha * cj(conj, col[jc + js + s]);
+                    }
+                    dst[cols..].fill(T::zero());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_reuses_capacity_and_serves_both_buffers() {
+        with_arena::<f64, _>(8, 4, |a, b| {
+            assert_eq!((a.len(), b.len()), (8, 4));
+            a.fill(1.5);
+            b.fill(-2.5);
+            assert!(a.iter().all(|&x| x == 1.5));
+        });
+        // A second, larger request on the same thread still works (grow),
+        // as does a different scalar type over the same backing store.
+        with_arena::<la_core::C64, _>(16, 16, |a, b| {
+            a[15] = la_core::C64::new(1.0, -1.0);
+            b[0] = a[15];
+            assert_eq!(b[0].im, -1.0);
+        });
+    }
+
+    #[test]
+    fn pack_a_layout_matches_op_a() {
+        // 5×3 op(A) packed at mr=4: two panels, second padded.
+        let m = 5;
+        let k = 3;
+        let data: Vec<f64> = (0..m * k).map(|x| x as f64).collect();
+        let a = MatRef::new(&data, m, k, m);
+        let mr = 4;
+        let mut buf = vec![-1.0; m.div_ceil(mr) * mr * k];
+        pack_a(&mut buf, a, Trans::No, 0, m, 0, k, mr);
+        for l in 0..k {
+            for i in 0..m {
+                let panel = i / mr;
+                let r = i % mr;
+                assert_eq!(buf[panel * mr * k + l * mr + r], a.at(i, l));
+            }
+            // Padding rows are zero.
+            assert_eq!(buf[mr * k + l * mr + 3], 0.0);
+        }
+        // Transposed pack of the same block: op(A) = stored(k×m)ᵀ.
+        let stored: Vec<f64> = (0..k * m).map(|x| (x * 7 % 11) as f64).collect();
+        let at = MatRef::new(&stored, k, m, k);
+        pack_a(&mut buf, at, Trans::Trans, 0, m, 0, k, mr);
+        for l in 0..k {
+            for i in 0..m {
+                let panel = i / mr;
+                let r = i % mr;
+                assert_eq!(buf[panel * mr * k + l * mr + r], at.at(l, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_folds_alpha_and_conjugates() {
+        use la_core::C64;
+        let k = 3;
+        let n = 3;
+        let data: Vec<C64> = (0..n * k)
+            .map(|x| C64::new(x as f64, -(x as f64)))
+            .collect();
+        // Stored n×k, used as op(B) = Bᴴ (k×n).
+        let b = MatRef::new(&data, n, k, n);
+        let nr = 2;
+        let alpha = C64::new(2.0, 0.0);
+        let mut buf = vec![C64::new(9.0, 9.0); n.div_ceil(nr) * nr * k];
+        pack_b(&mut buf, b, Trans::ConjTrans, 0, k, 0, n, nr, alpha);
+        for l in 0..k {
+            for j in 0..n {
+                let panel = j / nr;
+                let s = j % nr;
+                assert_eq!(buf[panel * nr * k + l * nr + s], alpha * b.at(j, l).conj());
+            }
+            // Padded column of the last panel is zeroed.
+            assert_eq!(buf[nr * k + l * nr + 1], C64::new(0.0, 0.0));
+        }
+    }
+}

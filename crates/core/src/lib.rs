@@ -9,6 +9,9 @@
 //!   (`xLADIV`) and principal square root.
 //! * [`Mat`] — the assumed-shape 2-D array: column-major dense storage from
 //!   which the drivers derive `N`, `NRHS`, `LDA`, … by shape inspection.
+//! * [`MatRef`] / [`MatMut`] — borrowed column-major views
+//!   (`ptr/rows/cols/lda` with subview/split helpers): the typed currency
+//!   of the BLAS-3 packing, microkernel, and stripe-dispatch internals.
 //! * [`BandMat`], [`SymBandMat`], [`PackedMat`] — LAPACK band and packed
 //!   storage schemes for the `GB`/`SB`/`PB`/`SP`/`PP` drivers.
 //! * [`LaError`] / [`erinfo`] — the `ERINFO` error protocol: `INFO` codes
@@ -56,7 +59,7 @@ pub use complex::{Complex, C32, C64};
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};
 pub use except::FpCheckPolicy;
-pub use mat::Mat;
+pub use mat::{Mat, MatMut, MatRef};
 pub use mixed::{Demote, Promote};
 pub use probe::ProbePolicy;
 pub use scalar::{RealScalar, Scalar};

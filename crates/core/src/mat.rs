@@ -212,6 +212,331 @@ impl<T: Scalar> Mat<T> {
     }
 }
 
+impl<T: Scalar> Mat<T> {
+    /// An immutable view of the whole matrix (`lda == nrows`).
+    #[inline]
+    pub fn view(&self) -> MatRef<'_, T> {
+        MatRef::new(&self.data, self.nrows, self.ncols, self.lda())
+    }
+
+    /// A mutable view of the whole matrix (`lda == nrows`).
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_, T> {
+        let (m, n) = (self.nrows, self.ncols);
+        let lda = self.lda();
+        MatMut::new(&mut self.data, m, n, lda)
+    }
+}
+
+/// An immutable view of a column-major matrix region: a borrowed slice
+/// plus `(nrows, ncols, lda)`. This is the typed replacement for the raw
+/// `(&[T], lda, offset)` triples the BLAS internals used to pass around —
+/// the dimensions travel with the pointer, and subviews/splits are
+/// checked once at construction instead of re-derived at every indexing
+/// site.
+///
+/// The backing slice must hold at least `lda·(ncols−1) + nrows` elements
+/// (the Fortran convention: the final column need not be padded out to
+/// `lda`), with `lda ≥ max(1, nrows)`.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a, T> {
+    data: &'a [T],
+    nrows: usize,
+    ncols: usize,
+    lda: usize,
+}
+
+impl<'a, T: Scalar> MatRef<'a, T> {
+    /// Wraps a column-major buffer region.
+    ///
+    /// # Panics
+    /// Panics if `lda < max(1, nrows)` or the buffer is too short for the
+    /// stated shape.
+    #[inline]
+    pub fn new(data: &'a [T], nrows: usize, ncols: usize, lda: usize) -> Self {
+        assert!(lda >= nrows.max(1), "lda {lda} < max(1, nrows {nrows})");
+        if ncols > 0 {
+            assert!(
+                data.len() >= lda * (ncols - 1) + nrows,
+                "buffer of {} too short for {nrows}x{ncols} lda {lda}",
+                data.len()
+            );
+        }
+        MatRef {
+            data,
+            nrows,
+            ncols,
+            lda,
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension of the backing buffer.
+    #[inline(always)]
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// The backing slice (length `≥ lda·(ncols−1) + nrows`).
+    #[inline(always)]
+    pub fn as_slice(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Element `(i, j)`, by value.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i + j * self.lda]
+    }
+
+    /// Column `j` as a contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [T] {
+        let start = j * self.lda;
+        &self.data[start..start + self.nrows]
+    }
+
+    /// The `m × n` sub-view with top-left corner `(r0, c0)`, sharing the
+    /// parent's leading dimension.
+    #[inline]
+    pub fn subview(&self, r0: usize, c0: usize, m: usize, n: usize) -> MatRef<'a, T> {
+        assert!(
+            r0 + m <= self.nrows && c0 + n <= self.ncols,
+            "subview ({r0},{c0})+{m}x{n} out of {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        if m == 0 || n == 0 {
+            return MatRef {
+                data: &[],
+                nrows: m,
+                ncols: n,
+                lda: self.lda,
+            };
+        }
+        let start = r0 + c0 * self.lda;
+        let end = start + self.lda * (n - 1) + m;
+        MatRef {
+            data: &self.data[start..end],
+            nrows: m,
+            ncols: n,
+            lda: self.lda,
+        }
+    }
+
+    /// Splits into columns `[0, j)` and `[j, ncols)`.
+    #[inline]
+    pub fn split_at_col(self, j: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        assert!(j <= self.ncols);
+        let left_end = if j == 0 {
+            0
+        } else {
+            self.lda * (j - 1) + self.nrows
+        };
+        let right_start = (j * self.lda).min(self.data.len());
+        (
+            MatRef {
+                data: &self.data[..left_end],
+                nrows: self.nrows,
+                ncols: j,
+                lda: self.lda,
+            },
+            MatRef {
+                data: &self.data[right_start..],
+                nrows: self.nrows,
+                ncols: self.ncols - j,
+                lda: self.lda,
+            },
+        )
+    }
+}
+
+/// The mutable counterpart of [`MatRef`]: a uniquely borrowed column-major
+/// region. Splitting ([`MatMut::split_at_col`]) hands disjoint column
+/// bands to worker threads without raw-pointer arithmetic, which is what
+/// the striped BLAS-3 dispatch is built on.
+pub struct MatMut<'a, T> {
+    data: &'a mut [T],
+    nrows: usize,
+    ncols: usize,
+    lda: usize,
+}
+
+impl<'a, T: Scalar> MatMut<'a, T> {
+    /// Wraps a column-major buffer region mutably.
+    ///
+    /// # Panics
+    /// Panics if `lda < max(1, nrows)` or the buffer is too short for the
+    /// stated shape.
+    #[inline]
+    pub fn new(data: &'a mut [T], nrows: usize, ncols: usize, lda: usize) -> Self {
+        assert!(lda >= nrows.max(1), "lda {lda} < max(1, nrows {nrows})");
+        if ncols > 0 {
+            assert!(
+                data.len() >= lda * (ncols - 1) + nrows,
+                "buffer of {} too short for {nrows}x{ncols} lda {lda}",
+                data.len()
+            );
+        }
+        MatMut {
+            data,
+            nrows,
+            ncols,
+            lda,
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension of the backing buffer.
+    #[inline(always)]
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// The backing slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        self.data
+    }
+
+    /// The backing slice, mutably.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.data
+    }
+
+    /// Element `(i, j)`, by value.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i + j * self.lda]
+    }
+
+    /// Element `(i, j)`, mutably.
+    #[inline(always)]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.lda]
+    }
+
+    /// Column `j` as a contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        let start = j * self.lda;
+        &self.data[start..start + self.nrows]
+    }
+
+    /// Column `j` as a mutable contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        let start = j * self.lda;
+        &mut self.data[start..start + self.nrows]
+    }
+
+    /// A shared view of the same region.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            data: self.data,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            lda: self.lda,
+        }
+    }
+
+    /// Reborrows: a mutable view with a shorter lifetime, leaving `self`
+    /// usable afterwards.
+    #[inline]
+    pub fn rb(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            data: self.data,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            lda: self.lda,
+        }
+    }
+
+    /// Consumes the view, returning the `m × n` sub-view with top-left
+    /// corner `(r0, c0)` and the parent's leading dimension. Use
+    /// `v.rb().subview(..)` to keep `v` usable.
+    #[inline]
+    pub fn subview(self, r0: usize, c0: usize, m: usize, n: usize) -> MatMut<'a, T> {
+        assert!(
+            r0 + m <= self.nrows && c0 + n <= self.ncols,
+            "subview ({r0},{c0})+{m}x{n} out of {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        if m == 0 || n == 0 {
+            return MatMut {
+                data: &mut [],
+                nrows: m,
+                ncols: n,
+                lda: self.lda,
+            };
+        }
+        let start = r0 + c0 * self.lda;
+        let end = start + self.lda * (n - 1) + m;
+        MatMut {
+            data: &mut self.data[start..end],
+            nrows: m,
+            ncols: n,
+            lda: self.lda,
+        }
+    }
+
+    /// Splits into disjoint mutable column bands `[0, j)` and
+    /// `[j, ncols)` — the primitive under the striped parallel dispatch.
+    #[inline]
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(j <= self.ncols);
+        let left_end = if j == 0 {
+            0
+        } else {
+            self.lda * (j - 1) + self.nrows
+        };
+        let right_start = (j * self.lda).min(self.data.len());
+        let (left_raw, right) = self.data.split_at_mut(right_start);
+        (
+            MatMut {
+                data: &mut left_raw[..left_end],
+                nrows: self.nrows,
+                ncols: j,
+                lda: self.lda,
+            },
+            MatMut {
+                data: right,
+                nrows: self.nrows,
+                ncols: self.ncols - j,
+                lda: self.lda,
+            },
+        )
+    }
+}
+
 use crate::scalar::RealScalar;
 
 impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
@@ -336,5 +661,67 @@ mod tests {
     #[should_panic]
     fn from_rows_rejects_ragged() {
         let _: Mat<f64> = Mat::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn views_index_like_the_matrix() {
+        let mut a: Mat<f64> = Mat::from_fn(4, 3, |i, j| (i + 10 * j) as f64);
+        let v = a.view();
+        assert_eq!((v.nrows(), v.ncols(), v.lda()), (4, 3, 4));
+        assert_eq!(v.at(2, 1), a[(2, 1)]);
+        assert_eq!(v.col(2), a.col(2));
+        let expect = a[(3, 0)];
+        let mut m = a.view_mut();
+        *m.at_mut(1, 2) = 99.0;
+        assert_eq!(m.at(1, 2), 99.0);
+        assert_eq!(m.as_ref().at(3, 0), expect);
+        assert_eq!(a[(1, 2)], 99.0);
+    }
+
+    #[test]
+    fn subviews_share_the_parent_lda() {
+        let a: Mat<f64> = Mat::from_fn(5, 5, |i, j| (i + 10 * j) as f64);
+        let s = a.view().subview(1, 2, 3, 2);
+        assert_eq!((s.nrows(), s.ncols(), s.lda()), (3, 2, 5));
+        assert_eq!(s.at(0, 0), a[(1, 2)]);
+        assert_eq!(s.at(2, 1), a[(3, 3)]);
+        let e = s.subview(1, 1, 0, 1);
+        assert_eq!((e.nrows(), e.ncols()), (0, 1));
+    }
+
+    #[test]
+    fn split_at_col_yields_disjoint_bands() {
+        let mut a: Mat<f64> = Mat::from_fn(3, 4, |i, j| (i + 10 * j) as f64);
+        let want_left = a.block(0, 0, 3, 1);
+        let (mut l, mut r) = a.view_mut().split_at_col(1);
+        assert_eq!((l.ncols(), r.ncols()), (1, 3));
+        assert_eq!(l.at(2, 0), want_left[(2, 0)]);
+        l.col_mut(0)[0] = -1.0;
+        r.col_mut(2)[2] = -2.0;
+        assert_eq!(a[(0, 0)], -1.0);
+        assert_eq!(a[(2, 3)], -2.0);
+        // Degenerate splits stay legal.
+        let (l, r) = a.view().split_at_col(0);
+        assert_eq!((l.ncols(), r.ncols()), (0, 4));
+        let (l, r) = a.view().split_at_col(4);
+        assert_eq!((l.ncols(), r.ncols()), (4, 0));
+    }
+
+    #[test]
+    fn views_accept_unpadded_final_column() {
+        // Fortran convention: the buffer may stop at lda*(n-1)+m.
+        let data = vec![0.0f64; 5 * 2 + 3];
+        let v: MatRef<'_, f64> = MatRef::new(&data, 3, 3, 5);
+        assert_eq!(v.col(2).len(), 3);
+        let (_, tail) = v.split_at_col(2);
+        assert_eq!(tail.ncols(), 1);
+        assert_eq!(tail.col(0).len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matref_rejects_short_buffers() {
+        let data = vec![0.0f64; 5];
+        let _ = MatRef::new(&data, 3, 2, 3);
     }
 }

@@ -225,6 +225,12 @@ pub struct Span {
     /// *actual* stripe count via [`note_parallelism`] by the parallel
     /// BLAS-3 decision points.
     pub threads: usize,
+    /// Microkernel the packed BLAS-3 path actually ran for this call,
+    /// recorded via [`note_kernel`] after the [`tune`] kernel choice is
+    /// resolved (`"simd"`, `"unrolled"`, `"scalar"`, or `"small"` for the
+    /// unpacked small-product path). Empty for routines with no
+    /// microkernel decision.
+    pub kernel: &'static str,
     /// Closed-form flops for this call.
     pub flops: u64,
     /// Estimated bytes touched by this call.
@@ -256,6 +262,7 @@ struct Frame {
     abft: bool,
     nb: usize,
     threads: usize,
+    kernel: &'static str,
     flops: u64,
     bytes: u64,
     start: Instant,
@@ -368,6 +375,7 @@ impl Drop for ProbeGuard {
                 abft: frame.abft,
                 nb: frame.nb,
                 threads: frame.threads,
+                kernel: frame.kernel,
                 flops: frame.flops,
                 bytes: frame.bytes,
                 nanos,
@@ -417,6 +425,7 @@ pub fn span(layer: Layer, routine: &'static str, flops: u64, bytes: u64) -> Prob
             abft,
             nb: cfg.nb(routine),
             threads: cfg.threads(),
+            kernel: "",
             flops,
             bytes,
             start: Instant::now(),
@@ -434,6 +443,18 @@ pub fn note_parallelism(threads: usize) {
     ACTIVE.with(|a| {
         if let Some(f) = a.borrow_mut().last_mut() {
             f.threads = threads;
+        }
+    });
+}
+
+/// Records the microkernel a packed BLAS-3 routine *actually* ran (after
+/// the [`tune::GemmKernel`] choice was resolved against compiled features
+/// and host support) on the innermost active span of this thread. No-op
+/// when no span is active.
+pub fn note_kernel(kernel: &'static str) {
+    ACTIVE.with(|a| {
+        if let Some(f) = a.borrow_mut().last_mut() {
+            f.kernel = kernel;
         }
     });
 }
@@ -595,7 +616,7 @@ impl Report {
 
 fn render_span(out: &mut String, s: &Span, depth: usize) {
     out.push_str(&format!(
-        "{:indent$}{}{}{} [{}] nb={} threads={} flops={} ms={:.3}\n",
+        "{:indent$}{}{}{} [{}] nb={} threads={}{} flops={} ms={:.3}\n",
         "",
         s.routine,
         if s.lo { "[lo]" } else { "" },
@@ -603,6 +624,11 @@ fn render_span(out: &mut String, s: &Span, depth: usize) {
         s.layer.as_str(),
         s.nb,
         s.threads,
+        if s.kernel.is_empty() {
+            String::new()
+        } else {
+            format!(" kernel={}", s.kernel)
+        },
         s.flops,
         s.nanos as f64 / 1e6,
         indent = depth * 2
@@ -620,6 +646,9 @@ fn span_json(j: &mut JsonBuf, s: &Span) {
     j.field_uint("abft", u64::from(s.abft));
     j.field_uint("nb", s.nb as u64);
     j.field_uint("threads", s.threads as u64);
+    if !s.kernel.is_empty() {
+        j.field_str("kernel", s.kernel);
+    }
     j.field_uint("flops", s.flops);
     j.field_uint("bytes", s.bytes);
     j.field_num("ms", s.nanos as f64 / 1e6);

@@ -13,7 +13,9 @@
 //!
 //! 1. **Environment variables** at process start: `LA_NUM_THREADS`,
 //!    `LA_PAR_FLOPS`, `LA_NB_GETRF`, `LA_NB_POTRF`, `LA_NB_GEQRF`,
-//!    `LA_NB_SYTRF`, `LA_NB_DEFAULT`, `LA_CROSSOVER`.
+//!    `LA_NB_SYTRF`, `LA_NB_DEFAULT`, `LA_CROSSOVER`, and for the packed
+//!    BLAS-3 path `LA_GEMM_KERNEL={auto,scalar,unrolled,simd}` plus the
+//!    cache-blocking sizes `LA_GEMM_MC`, `LA_GEMM_KC`, `LA_GEMM_NC`.
 //! 2. **Programmatically** for the whole process: [`set`] / [`update`].
 //! 3. **Scoped** per call tree: [`with`] installs a thread-local override
 //!    for the duration of a closure (used by benchmarks sweeping NB and by
@@ -31,6 +33,54 @@
 
 use std::cell::RefCell;
 use std::sync::{OnceLock, RwLock};
+
+/// Which microkernel the packed BLAS-3 path drives. Selected through the
+/// `gemm_kernel` field of [`TuneConfig`] (env var `LA_GEMM_KERNEL`); the
+/// BLAS crate resolves `Auto` to the fastest kernel compiled in and
+/// supported by the host.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Heuristic: the SIMD kernel when the `simd` cargo feature is
+    /// compiled in and the host supports it, the unrolled kernel
+    /// otherwise. Small products may skip the packed path entirely.
+    #[default]
+    Auto,
+    /// Reference triple-loop microkernel — slow, used as the bitwise
+    /// ground truth by the kernel-equivalence tests. Forces the packed
+    /// path at every size.
+    Scalar,
+    /// Explicitly unrolled register-tiled microkernel (portable). Forces
+    /// the packed path at every size.
+    Unrolled,
+    /// Vectorized microkernel (x86-64 AVX2+FMA, `simd` cargo feature).
+    /// Falls back to [`GemmKernel::Unrolled`] when the feature is not
+    /// compiled in, the host lacks AVX2/FMA, or the scalar type is
+    /// complex. Forces the packed path at every size.
+    Simd,
+}
+
+impl GemmKernel {
+    /// Parses the `LA_GEMM_KERNEL` spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(GemmKernel::Auto),
+            "scalar" => Some(GemmKernel::Scalar),
+            "unrolled" => Some(GemmKernel::Unrolled),
+            "simd" => Some(GemmKernel::Simd),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`GemmKernel::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GemmKernel::Auto => "auto",
+            GemmKernel::Scalar => "scalar",
+            GemmKernel::Unrolled => "unrolled",
+            GemmKernel::Simd => "simd",
+        }
+    }
+}
 
 /// Process-wide tuning knobs for the BLAS-3 layer and the blocked
 /// factorizations. Plain data — copy it, edit fields, hand it to [`set`]
@@ -70,6 +120,25 @@ pub struct TuneConfig {
     /// entirely, so setting it there is a no-op.
     #[doc(hidden)]
     pub fault_inject_par: bool,
+    /// Microkernel the packed BLAS-3 path runs (`LA_GEMM_KERNEL`).
+    pub gemm_kernel: GemmKernel,
+    /// Packed-gemm row block: rows of A packed per cache block
+    /// (`LA_GEMM_MC`). `0` falls back to the compiled-in default.
+    pub gemm_mc: usize,
+    /// Packed-gemm depth block: the k-extent packed per panel
+    /// (`LA_GEMM_KC`). `0` falls back to the compiled-in default.
+    pub gemm_kc: usize,
+    /// Packed-gemm column block: columns of B packed per cache block
+    /// (`LA_GEMM_NC`). `0` falls back to the compiled-in default.
+    pub gemm_nc: usize,
+    /// Permit a thread budget above the detected core count. Off by
+    /// default: oversubscribing a host measurably *slows* BLAS-3 (the
+    /// committed thread sweep shows threads=2 slower than threads=1 on a
+    /// 1-core host), so [`TuneConfig::threads`] clamps to the core count
+    /// unless this is set. Equivalence tests and the bench sweeps set it
+    /// to exercise the striped dispatch machinery regardless of host
+    /// size.
+    pub oversubscribe: bool,
 }
 
 impl TuneConfig {
@@ -85,6 +154,11 @@ impl TuneConfig {
             nb_default: 32,
             crossover: 128,
             fault_inject_par: false,
+            gemm_kernel: GemmKernel::Auto,
+            gemm_mc: 0,
+            gemm_kc: 0,
+            gemm_nc: 0,
+            oversubscribe: false,
         }
     }
 
@@ -105,19 +179,35 @@ impl TuneConfig {
         read("LA_NB_SYTRF", &mut cfg.nb_sytrf);
         read("LA_NB_DEFAULT", &mut cfg.nb_default);
         read("LA_CROSSOVER", &mut cfg.crossover);
+        read("LA_GEMM_MC", &mut cfg.gemm_mc);
+        read("LA_GEMM_KC", &mut cfg.gemm_kc);
+        read("LA_GEMM_NC", &mut cfg.gemm_nc);
+        if let Some(k) = std::env::var("LA_GEMM_KERNEL")
+            .ok()
+            .and_then(|s| GemmKernel::parse(&s))
+        {
+            cfg.gemm_kernel = k;
+        }
         cfg
     }
 
     /// Resolved thread budget: `max_threads`, or the detected core count
-    /// (capped at 8) when `max_threads == 0`.
+    /// (capped at 8) when `max_threads == 0`. Never exceeds the detected
+    /// core count unless [`TuneConfig::oversubscribe`] is set — running
+    /// more BLAS-3 stripes than cores only adds scheduling overhead (the
+    /// committed BENCH_blas3.json thread sweep shows threads=2 *slower*
+    /// than threads=1 on a 1-core host).
     pub fn threads(&self) -> usize {
-        if self.max_threads > 0 {
-            return self.max_threads;
-        }
-        std::thread::available_parallelism()
+        let host = std::thread::available_parallelism()
             .map(|p| p.get())
-            .unwrap_or(1)
-            .min(8)
+            .unwrap_or(1);
+        if self.max_threads > 0 {
+            if self.oversubscribe {
+                return self.max_threads;
+            }
+            return self.max_threads.min(host);
+        }
+        host.min(8)
     }
 
     /// Block size for `routine` (an `ILAENV(1, ...)` analog; lowercase
@@ -232,11 +322,47 @@ mod tests {
 
     #[test]
     fn threads_resolution() {
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let mut cfg = TuneConfig::defaults();
         cfg.max_threads = 5;
+        assert_eq!(cfg.threads(), 5.min(host));
+        cfg.oversubscribe = true;
         assert_eq!(cfg.threads(), 5);
         cfg.max_threads = 0;
+        cfg.oversubscribe = false;
         assert!(cfg.threads() >= 1 && cfg.threads() <= 8);
+    }
+
+    #[test]
+    fn thread_budget_refuses_to_oversubscribe() {
+        // Regression: the committed thread sweep showed threads=2 slower
+        // than threads=1 on a 1-core host. A budget above the core count
+        // must clamp to the core count unless explicitly overridden.
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let mut cfg = TuneConfig::defaults();
+        cfg.max_threads = host * 4;
+        assert_eq!(cfg.threads(), host);
+        cfg.oversubscribe = true;
+        assert_eq!(cfg.threads(), host * 4);
+    }
+
+    #[test]
+    fn gemm_kernel_parses_and_round_trips() {
+        for k in [
+            GemmKernel::Auto,
+            GemmKernel::Scalar,
+            GemmKernel::Unrolled,
+            GemmKernel::Simd,
+        ] {
+            assert_eq!(GemmKernel::parse(k.as_str()), Some(k));
+            assert_eq!(GemmKernel::parse(&k.as_str().to_uppercase()), Some(k));
+        }
+        assert_eq!(GemmKernel::parse("fancy"), None);
+        assert_eq!(TuneConfig::defaults().gemm_kernel, GemmKernel::Auto);
     }
 
     #[test]

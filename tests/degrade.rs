@@ -37,6 +37,7 @@ fn serial() -> tune::TuneConfig {
 fn faulty() -> tune::TuneConfig {
     tune::TuneConfig {
         max_threads: 4,
+        oversubscribe: true,
         par_flops: 0,
         fault_inject_par: true,
         ..tune::TuneConfig::defaults()
@@ -48,6 +49,7 @@ fn faulty() -> tune::TuneConfig {
 fn forced() -> tune::TuneConfig {
     tune::TuneConfig {
         max_threads: 4,
+        oversubscribe: true,
         par_flops: 0,
         nb_getrf: 8,
         nb_potrf: 8,
@@ -251,6 +253,7 @@ fn uninjected_parallel_path_does_not_fall_back() {
     let before = except::parallel_fallbacks();
     let forced = tune::TuneConfig {
         max_threads: 4,
+        oversubscribe: true,
         par_flops: 0,
         ..tune::TuneConfig::defaults()
     };

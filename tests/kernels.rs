@@ -1,0 +1,349 @@
+//! Kernel-equivalence sweep for the packed BLAS-3 path.
+//!
+//! Every microkernel behind `LA_GEMM_KERNEL` must compute the same gemm:
+//!
+//! * an exhaustive edge-size sweep (each dimension over
+//!   `{0, 1, tile−1, tile, tile+1, 97}`, per scalar type's tile shape)
+//!   compares every kernel against a naive triple-loop reference — and
+//!   the `scalar` and `unrolled` kernels against each other *bitwise*
+//!   (they perform the same additions in the same order by contract);
+//! * the SIMD kernel (when compiled in) matches to rounding tolerance
+//!   only, since FMA contracts the multiply-add rounding;
+//! * serial and column-striped parallel execution are bitwise identical
+//!   for a fixed kernel (the packed path blocks `k` identically in both),
+//!   including under `AbftPolicy::Verify` checksums;
+//! * the probe span records which kernel actually ran.
+//!
+//! An explicit (non-`Auto`) kernel selection forces the packed path at
+//! every size, so the sweep drives the pack/macro-kernel edge masking at
+//! degenerate shapes — empty matrices, single vectors, ragged tiles —
+//! for all four scalar types.
+
+use la_blas::gemm;
+use la_blas::kernel::tile_dims;
+use la_core::tune::{self, GemmKernel};
+use la_core::{RealScalar, Scalar, Trans, C32, C64};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+    fn val<T: Scalar>(&mut self) -> T {
+        let re = self.next_f64();
+        let im = if T::IS_COMPLEX { self.next_f64() } else { 0.0 };
+        T::from_re_im(T::Real::from_f64(re), T::Real::from_f64(im))
+    }
+    fn vec<T: Scalar>(&mut self, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.val()).collect()
+    }
+}
+
+/// Element of `op(X)` from the stored matrix.
+fn op_el<T: Scalar>(t: Trans, x: &[T], ld: usize, i: usize, l: usize) -> T {
+    match t {
+        Trans::No => x[i + l * ld],
+        Trans::Trans => x[l + i * ld],
+        Trans::ConjTrans => x[l + i * ld].conj(),
+    }
+}
+
+/// Naive triple-loop gemm reference (tight storage, lda = rows).
+#[allow(clippy::too_many_arguments)]
+fn naive_gemm<T: Scalar>(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    let lda = if ta == Trans::No { m.max(1) } else { k.max(1) };
+    let ldb = if tb == Trans::No { k.max(1) } else { n.max(1) };
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = T::zero();
+            for l in 0..k {
+                s += op_el(ta, a, lda, i, l) * op_el(tb, b, ldb, l, j);
+            }
+            let cc = &mut c[i + j * m.max(1)];
+            *cc = if beta.is_zero() {
+                T::zero()
+            } else {
+                beta * *cc
+            } + alpha * s;
+        }
+    }
+}
+
+fn kernel_cfg(kern: GemmKernel) -> tune::TuneConfig {
+    tune::TuneConfig {
+        gemm_kernel: kern,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+/// Runs the public gemm entry under a pinned kernel on tightly-stored
+/// operands and returns the output.
+#[allow(clippy::too_many_arguments)]
+fn run_gemm<T: Scalar>(
+    kern: GemmKernel,
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c0: &[T],
+) -> Vec<T> {
+    let lda = if ta == Trans::No { m.max(1) } else { k.max(1) };
+    let ldb = if tb == Trans::No { k.max(1) } else { n.max(1) };
+    let mut c = c0.to_vec();
+    tune::with(kernel_cfg(kern), || {
+        gemm(
+            ta,
+            tb,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            b,
+            ldb,
+            beta,
+            &mut c,
+            m.max(1),
+        );
+    });
+    c
+}
+
+/// Edge sizes for one tile extent: both sides of the tile boundary plus a
+/// many-tile ragged size.
+fn edge_sizes(tile: usize) -> Vec<usize> {
+    let mut v = vec![0, 1, tile - 1, tile, tile + 1, 97];
+    v.dedup();
+    v
+}
+
+fn edge_sweep<T: Scalar>(eps: f64) {
+    let (mr, nr) = tile_dims::<T>();
+    let mut rng = Rng(0x5eed ^ mr as u64);
+    // Generous upper bounds so one allocation serves every size.
+    let cap = 97 * 97;
+    let abuf: Vec<T> = rng.vec(cap);
+    let bbuf: Vec<T> = rng.vec(cap);
+    let cbuf: Vec<T> = rng.vec(cap);
+    let alpha = T::from_f64(1.25);
+    let beta = T::from_f64(-0.5);
+    let pairs: &[(Trans, Trans)] = if T::IS_COMPLEX {
+        &[
+            (Trans::No, Trans::No),
+            (Trans::Trans, Trans::No),
+            (Trans::No, Trans::ConjTrans),
+            (Trans::ConjTrans, Trans::Trans),
+        ]
+    } else {
+        &[
+            (Trans::No, Trans::No),
+            (Trans::Trans, Trans::No),
+            (Trans::No, Trans::Trans),
+        ]
+    };
+    for &(ta, tb) in pairs {
+        for &m in &edge_sizes(mr) {
+            for &n in &edge_sizes(nr) {
+                for &k in &edge_sizes(mr) {
+                    let a = &abuf[..m.max(k) * k.max(m).max(1)];
+                    let b = &bbuf[..k.max(n) * n.max(k).max(1)];
+                    let c0 = &cbuf[..m * n];
+                    let mut reference = c0.to_vec();
+                    naive_gemm(ta, tb, m, n, k, alpha, a, b, beta, &mut reference);
+                    let scalar =
+                        run_gemm(GemmKernel::Scalar, ta, tb, m, n, k, alpha, a, b, beta, c0);
+                    let unrolled =
+                        run_gemm(GemmKernel::Unrolled, ta, tb, m, n, k, alpha, a, b, beta, c0);
+                    let tag = format!("{ta:?}/{tb:?} m={m} n={n} k={k}");
+                    // scalar ↔ unrolled: same additions, same order — bitwise.
+                    assert_eq!(scalar, unrolled, "{tag}: scalar vs unrolled not bitwise");
+                    // every kernel ↔ naive reference: rounding tolerance.
+                    let tol = eps * 16.0 * (k as f64 + 1.0);
+                    for (idx, (&s, &r)) in scalar.iter().zip(&reference).enumerate() {
+                        let d = (s - r).abs().to_f64();
+                        let scale = 1.0 + r.abs().to_f64();
+                        assert!(d <= tol * scale, "{tag}: scalar[{idx}] off by {d}");
+                    }
+                    #[cfg(feature = "simd")]
+                    {
+                        let simd =
+                            run_gemm(GemmKernel::Simd, ta, tb, m, n, k, alpha, a, b, beta, c0);
+                        for (idx, (&s, &r)) in simd.iter().zip(&reference).enumerate() {
+                            let d = (s - r).abs().to_f64();
+                            let scale = 1.0 + r.abs().to_f64();
+                            assert!(d <= tol * scale, "{tag}: simd[{idx}] off by {d}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_sweep_f32() {
+    edge_sweep::<f32>(f32::EPSILON as f64);
+}
+
+#[test]
+fn edge_sweep_f64() {
+    edge_sweep::<f64>(f64::EPSILON);
+}
+
+#[test]
+fn edge_sweep_c32() {
+    edge_sweep::<C32>(f32::EPSILON as f64 * 2.0);
+}
+
+#[test]
+fn edge_sweep_c64() {
+    edge_sweep::<C64>(f64::EPSILON * 2.0);
+}
+
+/// For a fixed kernel, the column-striped parallel path and the serial
+/// path must produce bitwise-identical results: stripes only partition
+/// the columns of C, and the packed path blocks `k` the same way in
+/// both, so every output element sees the same additions in the same
+/// order. Verified with ABFT checksums armed, which must stay silent.
+fn striped_matches_serial<T: Scalar>() {
+    use la_core::abft::{self, AbftPolicy};
+    let (m, n, k) = (61usize, 97, 53);
+    let mut rng = Rng(0xab5eed);
+    let a: Vec<T> = rng.vec(m * k);
+    let b: Vec<T> = rng.vec(k * n);
+    let c0: Vec<T> = rng.vec(m * n);
+    let alpha = T::from_f64(1.5);
+    let beta = T::from_f64(0.25);
+    let mut kernels = vec![GemmKernel::Scalar, GemmKernel::Unrolled, GemmKernel::Auto];
+    if cfg!(feature = "simd") {
+        kernels.push(GemmKernel::Simd);
+    }
+    for kern in kernels {
+        let serial_cfg = tune::TuneConfig {
+            max_threads: 1,
+            gemm_kernel: kern,
+            ..tune::TuneConfig::defaults()
+        };
+        let striped_cfg = tune::TuneConfig {
+            max_threads: 4,
+            oversubscribe: true,
+            par_flops: 0,
+            gemm_kernel: kern,
+            ..tune::TuneConfig::defaults()
+        };
+        let run = |cfg: tune::TuneConfig| {
+            let mut c = c0.clone();
+            tune::with(cfg, || {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    &a,
+                    m,
+                    &b,
+                    k,
+                    beta,
+                    &mut c,
+                    m,
+                )
+            });
+            c
+        };
+        let serial = run(serial_cfg);
+        // Striped + ABFT verify: checksums run over the striped result
+        // and must not flag a fault on a clean computation.
+        abft::clear_pending();
+        let striped = abft::with_policy(AbftPolicy::Verify, || run(striped_cfg));
+        assert!(
+            abft::take_pending().is_none(),
+            "{kern:?}: ABFT flagged a clean striped gemm"
+        );
+        assert_eq!(
+            serial, striped,
+            "{kern:?}: striped result not bitwise-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn striped_matches_serial_all_types() {
+    striped_matches_serial::<f32>();
+    striped_matches_serial::<f64>();
+    striped_matches_serial::<C32>();
+    striped_matches_serial::<C64>();
+}
+
+/// The probe span for gemm records the kernel that actually ran: the
+/// pinned kernel's name on the packed path, `"small"` for the unpacked
+/// small-product sweep under `Auto`.
+#[test]
+fn probe_span_records_the_kernel() {
+    use la_core::probe::{self, ProbePolicy};
+    let n = 32usize;
+    let mut rng = Rng(0x9b0e);
+    let a: Vec<f64> = rng.vec(n * n);
+    let b: Vec<f64> = rng.vec(n * n);
+    let run = |cfg: tune::TuneConfig, m: usize| {
+        probe::reset();
+        probe::with_policy(ProbePolicy::Spans, || {
+            let mut c = vec![0.0f64; m * m];
+            tune::with(cfg, || {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    m,
+                    m,
+                    m,
+                    1.0,
+                    &a[..m * m],
+                    m,
+                    &b[..m * m],
+                    m,
+                    0.0,
+                    &mut c,
+                    m,
+                )
+            });
+        });
+        let report = probe::snapshot();
+        let span = report
+            .spans
+            .iter()
+            .find(|s| s.routine == "gemm")
+            .expect("gemm span")
+            .clone();
+        span.kernel
+    };
+    assert_eq!(run(kernel_cfg(GemmKernel::Unrolled), n), "unrolled");
+    assert_eq!(run(kernel_cfg(GemmKernel::Scalar), n), "scalar");
+    // Auto on a tiny product takes the unpacked small path.
+    assert_eq!(run(kernel_cfg(GemmKernel::Auto), 4), "small");
+    #[cfg(feature = "simd")]
+    assert_eq!(run(kernel_cfg(GemmKernel::Simd), n), "simd");
+}

@@ -16,10 +16,13 @@ fn serial() -> tune::TuneConfig {
     }
 }
 
-/// Forced-parallel: 4 threads, every flop count above threshold.
+/// Forced-parallel: 4 threads (oversubscribed if the host has fewer
+/// cores, so the decomposition runs even on single-core machines), every
+/// flop count above threshold.
 fn forced() -> tune::TuneConfig {
     tune::TuneConfig {
         max_threads: 4,
+        oversubscribe: true,
         par_flops: 0,
         ..tune::TuneConfig::defaults()
     }
