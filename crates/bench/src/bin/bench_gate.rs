@@ -36,6 +36,17 @@
 //! `--max-abft-overhead` enforces an absolute ceiling on the baseline's
 //! recorded `abft_overhead` *verify* ratios at n ≥ 1024 — the O(n²)
 //! checksums must stay cheap relative to the O(n³) compute.
+//!
+//! The serving sweep (`BENCH_serve.json` from `serve_load`) is gated by
+//! `--max-p99-ms` (ceiling on the clean-mode p99 latencies recorded in
+//! the baseline's `serve_sweep` rows) and `--min-goodput` (floor on the
+//! clean-mode jobs/s); whenever the serve baseline is present, every row
+//! must also record `wrong == 0` and `pool_poisonings == 0` — the
+//! service never serves a wrong answer and no panic ever escapes a job
+//! boundary. A missing `BENCH_serve.json` is tolerated with a clear
+//! message (first run: no baseline committed yet), so the gate can land
+//! before the baseline does. `--serve-baseline <path>` overrides the
+//! default path.
 
 use la_core::json::Json;
 
@@ -83,6 +94,9 @@ fn main() {
     let mut min_gemm: Option<f64> = None;
     let mut min_mixed: Option<f64> = None;
     let mut max_abft: Option<f64> = None;
+    let mut max_p99: Option<f64> = None;
+    let mut min_goodput: Option<f64> = None;
+    let mut serve_path = "BENCH_serve.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
@@ -97,6 +111,15 @@ fn main() {
         } else if a == "--max-abft-overhead" {
             let v = it.next().expect("--max-abft-overhead needs a value");
             max_abft = Some(v.parse().expect("bad max-abft-overhead"));
+        } else if a == "--max-p99-ms" {
+            let v = it.next().expect("--max-p99-ms needs a value");
+            max_p99 = Some(v.parse().expect("bad max-p99-ms"));
+        } else if a == "--min-goodput" {
+            let v = it.next().expect("--min-goodput needs a value");
+            min_goodput = Some(v.parse().expect("bad min-goodput"));
+        } else if a == "--serve-baseline" {
+            let v = it.next().expect("--serve-baseline needs a value");
+            serve_path = v.clone();
         } else {
             paths.push(a);
         }
@@ -253,6 +276,77 @@ fn main() {
         if checked == 0 {
             eprintln!("bench_gate: no verify overhead entries at n >= 1024 in {baseline_path}");
             std::process::exit(2);
+        }
+    }
+    // Serving gate: latency ceiling and goodput floor over the clean-mode
+    // rows of the committed serve baseline, plus the unconditional
+    // robustness invariants (zero wrong answers, zero pool poisonings)
+    // across every row — clean and chaos alike. A missing baseline is
+    // tolerated: the gate can land before the first `serve_load` run is
+    // committed.
+    if max_p99.is_some() || min_goodput.is_some() {
+        match std::fs::read_to_string(&serve_path) {
+            Err(_) => {
+                println!(
+                    "bench_gate: no serve baseline committed at {serve_path} \
+                     (first run) — skipping serve checks"
+                );
+            }
+            Ok(text) => {
+                let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {serve_path}: {e}"));
+                let Some(rows) = doc.get("serve_sweep").and_then(|v| v.as_arr()) else {
+                    eprintln!("bench_gate: {serve_path} has no serve_sweep section");
+                    std::process::exit(2);
+                };
+                let mut checked = 0usize;
+                for row in rows {
+                    let get_s = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+                    let get_f = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+                    let key = format!(
+                        "{} {} c={}",
+                        get_s("op"),
+                        get_s("mode"),
+                        get_f("concurrency") as u64
+                    );
+                    let wrong = get_f("wrong");
+                    let poisonings = get_f("pool_poisonings");
+                    if !(wrong == 0.0 && poisonings == 0.0) {
+                        failed = true;
+                        println!(
+                            "  serve {key:<28} wrong {wrong} poisonings {poisonings}  \
+                             << INVARIANT VIOLATED"
+                        );
+                    }
+                    if get_s("mode") != "clean" {
+                        continue;
+                    }
+                    checked += 1;
+                    let p99 = get_f("p99_ms");
+                    let goodput = get_f("goodput_jps");
+                    let mut flag = "";
+                    // NaN (absent field) fails the check rather than
+                    // slipping past a `<` comparison.
+                    if let Some(ceiling) = max_p99 {
+                        if p99.is_nan() || p99 > ceiling {
+                            failed = true;
+                            flag = "  << P99 ABOVE CEILING";
+                        }
+                    }
+                    if let Some(floor) = min_goodput {
+                        if flag.is_empty() && (goodput.is_nan() || goodput < floor) {
+                            failed = true;
+                            flag = "  << GOODPUT BELOW FLOOR";
+                        }
+                    }
+                    println!(
+                        "  serve {key:<28} p99 {p99:8.3} ms  goodput {goodput:9.1} jobs/s{flag}"
+                    );
+                }
+                if checked == 0 {
+                    eprintln!("bench_gate: no clean serve_sweep rows in {serve_path}");
+                    std::process::exit(2);
+                }
+            }
         }
     }
     if failed {

@@ -1,0 +1,521 @@
+//! Load generator for the `la-serve` solve service: emits
+//! `BENCH_serve.json` with p50/p99 latency and goodput versus client
+//! concurrency, clean mode and (with `--chaos`, `fault-inject` builds
+//! only) a chaos soak that injects silent corruption, worker panics,
+//! NaN-poisoned inputs and expired deadlines into live traffic.
+//!
+//! The chaos soak enforces the serving invariants and exits non-zero on
+//! violation: **zero wrong answers served** (every served answer is
+//! independently residual-checked here, outside the service), **zero
+//! pool poisonings** (no panic ever escapes a job boundary), and every
+//! job resolves — completed or a typed rejection, nothing hangs.
+//!
+//! `--quick` shrinks the sweep for CI and writes
+//! `BENCH_serve.quick.json`, leaving the checked-in baseline untouched.
+
+use std::time::Instant;
+
+use la_bench::{bench_matrix, bench_spd, rowsum_rhs};
+use la_core::json::JsonBuf;
+use la_core::{Mat, RealScalar, Scalar, Trans};
+use la_serve::{JobSpec, Rejection, ServeConfig, Service, SolveOp};
+
+/// Independent residual check (the soak's own notion of "wrong", applied
+/// to the data actually submitted): `‖b − A·x‖∞ ≤ 64·n·ε·(n·max|A|·‖x‖∞
+/// + ‖b‖∞)` per column, NaN answers always wrong.
+fn plausible(a: &Mat<f64>, b: &Mat<f64>, x: &Mat<f64>) -> bool {
+    let n = a.nrows();
+    let nrhs = b.ncols();
+    let mut r = b.clone();
+    let rld = r.lda();
+    la_blas::gemm(
+        Trans::No,
+        Trans::No,
+        n,
+        nrhs,
+        n,
+        -1.0,
+        a.as_slice(),
+        a.lda(),
+        x.as_slice(),
+        x.lda(),
+        1.0,
+        r.as_mut_slice(),
+        rld,
+    );
+    let mut amax = 0.0f64;
+    for v in a.as_slice() {
+        amax = amax.maxr(v.abs1());
+    }
+    let tol = f64::EPS * 64.0 * n as f64;
+    for j in 0..nrhs {
+        let (mut rn, mut xn, mut bn) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..n {
+            rn = rn.maxr(r[(i, j)].abs());
+            xn = xn.maxr(x[(i, j)].abs());
+            bn = bn.maxr(b[(i, j)].abs());
+        }
+        if !rn.is_finite() || !xn.is_finite() {
+            return false;
+        }
+        let den = n as f64 * amax * xn + bn;
+        if den > 0.0 && rn / den > tol {
+            return false;
+        }
+    }
+    true
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+struct SweepRow {
+    op: String,
+    mode: &'static str,
+    concurrency: usize,
+    n: usize,
+    jobs: u64,
+    completed: u64,
+    rejected: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    goodput_jps: f64,
+    wrong: u64,
+    pool_poisonings: u64,
+}
+
+/// Submits with bounded retry on backpressure — a closed-loop client
+/// never gives up on shed, it backs off and resubmits.
+fn submit_with_retry(
+    svc: &Service<f64>,
+    mut make: impl FnMut() -> JobSpec<f64>,
+) -> la_serve::JobHandle<f64> {
+    loop {
+        match svc.submit(make()) {
+            Ok(h) => return h,
+            Err(Rejection::Overloaded { .. }) => {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            Err(other) => panic!("serve_load: unexpected submit rejection: {other}"),
+        }
+    }
+}
+
+/// One clean-mode cell: `concurrency` closed-loop clients, each running
+/// `jobs_per_client` solves of `op` at size `n` against a service with
+/// `concurrency` workers.
+fn run_clean(op: SolveOp, concurrency: usize, n: usize, jobs_per_client: u64) -> SweepRow {
+    let svc: Service<f64> = Service::start(ServeConfig {
+        workers: concurrency,
+        queue_depth: 4 * concurrency.max(1),
+        ..ServeConfig::default()
+    });
+    let gen: Mat<f64> = bench_matrix(n, 17);
+    let spd: Mat<f64> = bench_spd(n, 23);
+    let a = match op {
+        SolveOp::Gesv | SolveOp::GesvMixed => &gen,
+        SolveOp::Posv(_) | SolveOp::PosvMixed(_) => &spd,
+    };
+    let b = rowsum_rhs(a, 2);
+    let t0 = Instant::now();
+    let (mut lats, mut wrong, mut rejected) = (Vec::new(), 0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let svc = &svc;
+                let (a, b) = (a, &b);
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(jobs_per_client as usize);
+                    let (mut wrong, mut rejected) = (0u64, 0u64);
+                    for _ in 0..jobs_per_client {
+                        let t = Instant::now();
+                        let h = submit_with_retry(svc, || JobSpec::new(op, a.clone(), b.clone()));
+                        match h.wait() {
+                            Ok(out) => {
+                                lats.push(t.elapsed().as_secs_f64() * 1e3);
+                                if !plausible(a, b, &out.x) {
+                                    wrong += 1;
+                                }
+                            }
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (lats, wrong, rejected)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (l, w, r) = h.join().expect("client thread");
+            lats.extend(l);
+            wrong += w;
+            rejected += r;
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = svc.stats();
+    svc.shutdown();
+    lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let jobs = concurrency as u64 * jobs_per_client;
+    SweepRow {
+        op: op.as_str().to_string(),
+        mode: "clean",
+        concurrency,
+        n,
+        jobs,
+        completed: stats.completed,
+        rejected,
+        p50_ms: percentile(&lats, 0.50),
+        p99_ms: percentile(&lats, 0.99),
+        goodput_jps: stats.completed as f64 / wall.max(1e-9),
+        wrong,
+        pool_poisonings: stats.pool_poisonings,
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod chaos_run {
+    use super::*;
+    use la_serve::chaos::{chaos_tune, quiet_chaos_panics, ChaosEvent, ChaosPlan};
+
+    pub struct ChaosOutcome {
+        pub row: SweepRow,
+        pub events: [(&'static str, u64); 5],
+        pub rejections: Vec<(&'static str, u64)>,
+        pub degraded: u64,
+        pub panics_isolated: u64,
+        pub unresolved: u64,
+        /// p50 of submit → typed `Panicked` rejection round trips: the
+        /// measured end-to-end cost of panic isolation.
+        pub panic_p50_ms: f64,
+    }
+
+    /// The chaos soak: `clients` closed-loop clients driving `jobs` total
+    /// jobs (ops rotating over all four drivers) while a deterministic
+    /// chaos plan injects faults. Runs under [`chaos_tune`] so the
+    /// ABFT-protected blocked paths engage at soak sizes.
+    pub fn run(clients: usize, n: usize, jobs: u64, seed: u64) -> ChaosOutcome {
+        quiet_chaos_panics();
+        let svc: Service<f64> = la_core::tune::with(chaos_tune(), || {
+            Service::start(ServeConfig {
+                workers: clients,
+                queue_depth: 4 * clients.max(1),
+                max_attempts: 3,
+                ..ServeConfig::default()
+            })
+        });
+        let gen: Mat<f64> = bench_matrix(n, 31);
+        let spd: Mat<f64> = bench_spd(n, 37);
+        let bg = rowsum_rhs(&gen, 2);
+        let bs = rowsum_rhs(&spd, 2);
+        const OPS: [SolveOp; 4] = [
+            SolveOp::Gesv,
+            SolveOp::Posv(la_core::Uplo::Upper),
+            SolveOp::GesvMixed,
+            SolveOp::PosvMixed(la_core::Uplo::Upper),
+        ];
+        let t0 = Instant::now();
+        let per_client = jobs / clients as u64;
+        type ClientOut = (Vec<f64>, u64, [u64; 5], Vec<(&'static str, u64)>, Vec<f64>);
+        let (mut lats, mut wrong) = (Vec::new(), 0u64);
+        let mut panic_lats: Vec<f64> = Vec::new();
+        let mut events = [0u64; 5];
+        let mut rej_kinds: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|ci| {
+                    let svc = &svc;
+                    let (gen, spd, bg, bs) = (&gen, &spd, &bg, &bs);
+                    s.spawn(move || -> ClientOut {
+                        let mut plan = ChaosPlan::new(seed.wrapping_add(ci as u64));
+                        let mut lats = Vec::new();
+                        let mut wrong = 0u64;
+                        let mut events = [0u64; 5];
+                        let mut rejs: Vec<(&'static str, u64)> = Vec::new();
+                        let mut panic_lats: Vec<f64> = Vec::new();
+                        let bump = |rejs: &mut Vec<(&'static str, u64)>, k| match rejs
+                            .iter_mut()
+                            .find(|(name, _)| *name == k)
+                        {
+                            Some((_, c)) => *c += 1,
+                            None => rejs.push((k, 1)),
+                        };
+                        for i in 0..per_client {
+                            let op = OPS[((ci as u64 + i) % 4) as usize];
+                            let (a0, b0) = match op {
+                                SolveOp::Gesv | SolveOp::GesvMixed => (gen, bg),
+                                _ => (spd, bs),
+                            };
+                            let ev = plan.next_event();
+                            events[match ev {
+                                ChaosEvent::Clean => 0,
+                                ChaosEvent::SoftFault => 1,
+                                ChaosEvent::WorkerPanic => 2,
+                                ChaosEvent::Poison => 3,
+                                ChaosEvent::PastDeadline => 4,
+                            }] += 1;
+                            let spec = plan.apply(
+                                ev,
+                                JobSpec::new(op, a0.clone(), b0.clone()).tenant(match ev {
+                                    ChaosEvent::Clean => "steady",
+                                    _ => "chaotic",
+                                }),
+                            );
+                            // Keep what was actually submitted for the
+                            // independent wrongness check (Poison mutates A).
+                            let (a_sub, b_sub) = (spec_a(&spec), b0.clone());
+                            let t = Instant::now();
+                            let h = {
+                                let mut spec = Some(spec);
+                                submit_with_retry(svc, || spec.take().expect("one submit"))
+                            };
+                            match h.wait() {
+                                Ok(out) => {
+                                    lats.push(t.elapsed().as_secs_f64() * 1e3);
+                                    if !plausible(&a_sub, &b_sub, &out.x) {
+                                        wrong += 1;
+                                    }
+                                }
+                                Err(r) => {
+                                    if matches!(r, Rejection::Panicked { .. }) {
+                                        panic_lats.push(t.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                    bump(
+                                        &mut rejs,
+                                        match r {
+                                            Rejection::Overloaded { .. } => "overloaded",
+                                            Rejection::DeadlineExceeded => "deadline_exceeded",
+                                            Rejection::Failed(_) => "failed",
+                                            Rejection::Panicked { .. } => "panicked",
+                                            Rejection::ResidualRejected { .. } => {
+                                                "residual_rejected"
+                                            }
+                                            Rejection::ShuttingDown => "shutting_down",
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        (lats, wrong, events, rejs, panic_lats)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (l, w, ev, rj, pl) = h.join().expect("chaos client");
+                lats.extend(l);
+                wrong += w;
+                for (i, c) in ev.iter().enumerate() {
+                    events[i] += c;
+                }
+                for (k, c) in rj {
+                    *rej_kinds.entry(k).or_insert(0) += c;
+                }
+                panic_lats.extend(pl);
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        // Disarm any corruption that never found a matching stripe so it
+        // cannot leak into later runs in the same process.
+        la_core::abft::inject::disarm();
+        let stats = svc.stats();
+        svc.shutdown();
+        lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        panic_lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let total = per_client * clients as u64;
+        let rejected: u64 = rej_kinds.values().sum();
+        let unresolved = total - stats.completed - rejected;
+        ChaosOutcome {
+            row: SweepRow {
+                op: "all".to_string(),
+                mode: "chaos",
+                concurrency: clients,
+                n,
+                jobs: total,
+                completed: stats.completed,
+                rejected,
+                p50_ms: percentile(&lats, 0.50),
+                p99_ms: percentile(&lats, 0.99),
+                goodput_jps: stats.completed as f64 / wall.max(1e-9),
+                wrong,
+                pool_poisonings: stats.pool_poisonings,
+            },
+            events: [
+                ("clean", events[0]),
+                ("soft_fault", events[1]),
+                ("worker_panic", events[2]),
+                ("poison", events[3]),
+                ("past_deadline", events[4]),
+            ],
+            rejections: rej_kinds.into_iter().collect(),
+            degraded: stats.degraded,
+            panics_isolated: stats.panics_isolated,
+            unresolved,
+            panic_p50_ms: percentile(&panic_lats, 0.50),
+        }
+    }
+
+    /// The spec's matrix, cloned (fields are crate-private to la-serve, so
+    /// the soak reconstructs the submitted A from the event semantics).
+    fn spec_a(spec: &JobSpec<f64>) -> Mat<f64> {
+        spec.matrix().clone()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mode = if quick { " (quick)" } else { "" };
+    println!("== serve_load{mode}: {cores} core(s) ==");
+
+    #[cfg(not(feature = "fault-inject"))]
+    if chaos {
+        eprintln!("serve_load: --chaos requires building with --features fault-inject");
+        std::process::exit(2);
+    }
+
+    let n = if quick { 48 } else { 96 };
+    let jobs_per_client = if quick { 12 } else { 25 };
+    let concurrencies: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let ops = [
+        SolveOp::Gesv,
+        SolveOp::Posv(la_core::Uplo::Upper),
+        SolveOp::GesvMixed,
+    ];
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &c in concurrencies {
+        for op in ops {
+            let row = run_clean(op, c, n, jobs_per_client);
+            println!(
+                "  {:<11} c={:<2} n={:<4} jobs={:<4} p50 {:8.3} ms  p99 {:8.3} ms  {:8.1} jobs/s",
+                row.op, row.concurrency, row.n, row.jobs, row.p50_ms, row.p99_ms, row.goodput_jps
+            );
+            assert_eq!(row.wrong, 0, "clean mode served a wrong answer");
+            assert_eq!(row.pool_poisonings, 0, "clean mode poisoned the pool");
+            rows.push(row);
+        }
+    }
+
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+    let mut failed = false;
+    #[cfg(feature = "fault-inject")]
+    let chaos_outcome = if chaos {
+        let (clients, cn, jobs) = if quick { (4, 24, 400) } else { (4, 32, 1500) };
+        println!("-- chaos soak: {jobs} jobs, {clients} clients, n={cn} --");
+        let out = chaos_run::run(clients, cn, jobs, 0xC0FFEE);
+        let r = &out.row;
+        println!(
+            "  chaos       c={:<2} n={:<4} jobs={:<4} p50 {:8.3} ms  p99 {:8.3} ms  {:8.1} jobs/s",
+            r.concurrency, r.n, r.jobs, r.p50_ms, r.p99_ms, r.goodput_jps
+        );
+        println!(
+            "  served {} / rejected {} (degraded {}, panics isolated {}, \
+             panic-isolation p50 {:.3} ms)",
+            r.completed, r.rejected, out.degraded, out.panics_isolated, out.panic_p50_ms
+        );
+        for (k, v) in &out.events {
+            println!("    event {k:<14} {v}");
+        }
+        for (k, v) in &out.rejections {
+            println!("    rejection {k:<18} {v}");
+        }
+        if r.wrong > 0 {
+            eprintln!("  CHAOS VIOLATION: {} wrong answer(s) served", r.wrong);
+            failed = true;
+        }
+        if r.pool_poisonings > 0 {
+            eprintln!(
+                "  CHAOS VIOLATION: {} panic(s) escaped a job boundary",
+                r.pool_poisonings
+            );
+            failed = true;
+        }
+        if out.unresolved > 0 {
+            eprintln!(
+                "  CHAOS VIOLATION: {} job(s) neither served nor rejected",
+                out.unresolved
+            );
+            failed = true;
+        }
+        Some(out)
+    } else {
+        None
+    };
+
+    // --- Emit JSON ----------------------------------------------------
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("host");
+    j.begin_obj();
+    j.field_uint("cores", cores as u64);
+    j.end_obj();
+    j.key("serve_sweep");
+    j.begin_arr();
+    #[cfg(feature = "fault-inject")]
+    let rows_iter = rows.iter().chain(chaos_outcome.as_ref().map(|o| &o.row));
+    #[cfg(not(feature = "fault-inject"))]
+    let rows_iter = rows.iter();
+    for r in rows_iter {
+        j.begin_obj();
+        j.field_str("op", &r.op);
+        j.field_str("mode", r.mode);
+        j.field_uint("concurrency", r.concurrency as u64);
+        j.field_uint("n", r.n as u64);
+        j.field_uint("jobs", r.jobs);
+        j.field_uint("completed", r.completed);
+        j.field_uint("rejected", r.rejected);
+        j.field_num("p50_ms", r.p50_ms);
+        j.field_num("p99_ms", r.p99_ms);
+        j.field_num("goodput_jps", r.goodput_jps);
+        j.field_uint("wrong", r.wrong);
+        j.field_uint("pool_poisonings", r.pool_poisonings);
+        j.end_obj();
+    }
+    j.end_arr();
+    #[cfg(feature = "fault-inject")]
+    if let Some(out) = &chaos_outcome {
+        j.key("chaos_summary");
+        j.begin_obj();
+        j.field_uint("jobs", out.row.jobs);
+        j.field_uint("completed", out.row.completed);
+        j.field_uint("rejected", out.row.rejected);
+        j.field_uint("wrong", out.row.wrong);
+        j.field_uint("pool_poisonings", out.row.pool_poisonings);
+        j.field_uint("unresolved", out.unresolved);
+        j.field_uint("degraded", out.degraded);
+        j.field_uint("panics_isolated", out.panics_isolated);
+        j.field_num("panic_isolation_p50_ms", out.panic_p50_ms);
+        j.key("events");
+        j.begin_obj();
+        for (k, v) in &out.events {
+            j.field_uint(k, *v);
+        }
+        j.end_obj();
+        j.key("rejections");
+        j.begin_obj();
+        for (k, v) in &out.rejections {
+            j.field_uint(k, *v);
+        }
+        j.end_obj();
+        j.end_obj();
+    }
+    j.end_obj();
+    let path = if quick {
+        "BENCH_serve.quick.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(path, j.into_string()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+    if failed {
+        std::process::exit(1);
+    }
+}

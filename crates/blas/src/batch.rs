@@ -1,0 +1,232 @@
+//! Batched Level-3 BLAS — many independent products dispatched across
+//! the work-stealing pool of [`la_core::batch`].
+//!
+//! The batch workload (BLASFEO, arXiv:1902.08115) is many independent
+//! small-to-medium problems; looping over [`crate::gemm`] serially leaves
+//! the pool idle, while spawning the striped path per product
+//! oversubscribes it. [`gemm_batch`] threads the middle: one worker pool,
+//! one product per job, each job inheriting the caller's scoped policies
+//! and running with panic isolation and per-job ABFT fault scoping (a
+//! corrupted product surfaces as *that item's* `INFO = -102`, never a
+//! sibling's).
+
+use la_core::batch::run_batch;
+use la_core::{Scalar, Trans};
+
+/// One `C := alpha·op(A)·op(B) + beta·C` product of a [`gemm_batch`]
+/// call. Owns borrowed views only; the caller keeps ownership of the
+/// buffers.
+#[derive(Debug)]
+pub struct GemmJob<'a, T> {
+    /// Op applied to `A` (`op(A)` is `m × k`).
+    pub transa: Trans,
+    /// Op applied to `B` (`op(B)` is `k × n`).
+    pub transb: Trans,
+    /// Rows of `op(A)` and of `C`.
+    pub m: usize,
+    /// Columns of `op(B)` and of `C`.
+    pub n: usize,
+    /// Columns of `op(A)` / rows of `op(B)`.
+    pub k: usize,
+    /// Scale on the product.
+    pub alpha: T,
+    /// Left operand, column-major with leading dimension `lda`.
+    pub a: &'a [T],
+    /// Leading dimension of `a`.
+    pub lda: usize,
+    /// Right operand, column-major with leading dimension `ldb`.
+    pub b: &'a [T],
+    /// Leading dimension of `b`.
+    pub ldb: usize,
+    /// Scale on the existing `C`.
+    pub beta: T,
+    /// Output, column-major with leading dimension `ldc`; updated in
+    /// place.
+    pub c: &'a mut [T],
+    /// Leading dimension of `c`.
+    pub ldc: usize,
+}
+
+/// Validates one job's dimensions the way the LAPACK argument screen
+/// would: returns the negated 1-based index of the first bad argument
+/// (counting the [`GemmJob`] fields in declaration order), 0 when clean.
+fn screen<T: Scalar>(j: &GemmJob<'_, T>) -> i32 {
+    let (ar, ac) = match j.transa {
+        Trans::No => (j.m, j.k),
+        _ => (j.k, j.m),
+    };
+    let (br, bc) = match j.transb {
+        Trans::No => (j.k, j.n),
+        _ => (j.n, j.k),
+    };
+    if j.lda < ar.max(1) {
+        return -8;
+    }
+    if j.a.len() + 1 < ac * j.lda + ar.min(1) {
+        return -7;
+    }
+    if j.ldb < br.max(1) {
+        return -10;
+    }
+    if j.b.len() + 1 < bc * j.ldb + br.min(1) {
+        return -9;
+    }
+    if j.ldc < j.m.max(1) {
+        return -13;
+    }
+    if j.c.len() + 1 < j.n * j.ldc + j.m.min(1) {
+        return -12;
+    }
+    0
+}
+
+/// Runs every product of `jobs` across the work-stealing pool and returns
+/// one `INFO` code per job, position-matched: `0` on success, a negated
+/// argument index when the job's dimensions don't fit its buffers,
+/// `-102` for an unrepaired soft fault detected in that job, `-103` when
+/// the inherited cancel token tripped before the job ran, `-104` when the
+/// job panicked (isolated — siblings are unaffected).
+///
+/// Each job runs the full [`crate::gemm`] path, so the scoped
+/// [`la_core::tune`] / [`la_core::abft`] / [`la_core::except`] policies
+/// of the calling thread govern every product, and per-worker thread
+/// budgets are clamped so `workers × stripes` never exceeds the host.
+pub fn gemm_batch<T: Scalar>(jobs: &mut [GemmJob<'_, T>]) -> Vec<i32> {
+    run_batch(jobs, |_, j| {
+        let bad = screen(j);
+        if bad != 0 {
+            return bad;
+        }
+        crate::gemm(
+            j.transa, j.transb, j.m, j.n, j.k, j.alpha, j.a, j.lda, j.b, j.ldb, j.beta, j.c, j.ldc,
+        );
+        0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use la_core::tune;
+
+    fn naive_gemm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+        for jj in 0..n {
+            for ii in 0..m {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[ii + kk * m] * b[kk + jj * k];
+                }
+                c[ii + jj * m] += s;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_products() {
+        let sizes = [(3usize, 4usize, 5usize), (8, 8, 8), (1, 7, 2), (16, 3, 9)];
+        let mk = |len: usize, seed: u64| -> Vec<f64> {
+            let mut s = seed;
+            (0..len)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+                .collect()
+        };
+        let a: Vec<Vec<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, _, k))| mk(m * k, i as u64 + 1))
+            .collect();
+        let b: Vec<Vec<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, n, k))| mk(k * n, i as u64 + 100))
+            .collect();
+        let mut c: Vec<Vec<f64>> = sizes.iter().map(|&(m, n, _)| vec![0.0; m * n]).collect();
+        let mut want = c.clone();
+        for (i, &(m, n, k)) in sizes.iter().enumerate() {
+            naive_gemm(m, n, k, &a[i], &b[i], &mut want[i]);
+        }
+        let mut jobs: Vec<GemmJob<'_, f64>> = sizes
+            .iter()
+            .zip(a.iter().zip(b.iter().zip(c.iter_mut())))
+            .map(|(&(m, n, k), (a, (b, c)))| GemmJob {
+                transa: Trans::No,
+                transb: Trans::No,
+                m,
+                n,
+                k,
+                alpha: 1.0,
+                a,
+                lda: m,
+                b,
+                ldb: k,
+                beta: 1.0,
+                c,
+                ldc: m,
+            })
+            .collect();
+        let cfg = tune::TuneConfig {
+            max_threads: 3,
+            oversubscribe: true,
+            ..tune::TuneConfig::defaults()
+        };
+        let infos = tune::with(cfg, || gemm_batch(&mut jobs));
+        assert_eq!(infos, vec![0; sizes.len()]);
+        drop(jobs);
+        for (i, (got, want)) in c.iter().zip(want.iter()).enumerate() {
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!((g - w).abs() <= 1e-12, "product {i} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_dimensions_fail_only_their_job() {
+        let a = [1.0f64; 4];
+        let b = [1.0f64; 4];
+        let mut c_ok = [0.0f64; 4];
+        let mut c_short = [0.0f64; 2]; // too small for a 2×2 output
+        let mut jobs = vec![
+            GemmJob {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 2,
+                n: 2,
+                k: 2,
+                alpha: 1.0,
+                a: &a,
+                lda: 2,
+                b: &b,
+                ldb: 2,
+                beta: 0.0,
+                c: &mut c_ok,
+                ldc: 2,
+            },
+            GemmJob {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 2,
+                n: 2,
+                k: 2,
+                alpha: 1.0,
+                a: &a,
+                lda: 2,
+                b: &b,
+                ldb: 2,
+                beta: 0.0,
+                c: &mut c_short,
+                ldc: 2,
+            },
+        ];
+        let infos = gemm_batch(&mut jobs);
+        assert_eq!(infos[0], 0);
+        assert_eq!(infos[1], -12);
+        drop(jobs);
+        assert_eq!(c_ok, [2.0; 4], "sibling job computed normally");
+        assert_eq!(c_short, [0.0; 2], "bad job never touched its output");
+    }
+}

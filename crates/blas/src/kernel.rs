@@ -16,7 +16,7 @@
 //! * [`Unrolled`] — an explicitly unrolled register tile, generic over the
 //!   scalar type. Performs the *same additions in the same order* as
 //!   `RefKernel`, so the two are bitwise identical.
-//! * [`SimdKernel`] — x86-64 AVX2+FMA vectorized tiles for `f32`/`f64`
+//! * `SimdKernel` — x86-64 AVX2+FMA vectorized tiles for `f32`/`f64`
 //!   (behind the `simd` cargo feature, with runtime CPU detection). FMA
 //!   contracts the multiply-add rounding, so its results differ from the
 //!   scalar kernels by a few ulps; complex types and non-x86 hosts fall

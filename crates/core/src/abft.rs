@@ -104,7 +104,14 @@ fn global() -> &'static RwLock<AbftPolicy> {
 thread_local! {
     static OVERRIDE: std::cell::RefCell<Vec<AbftPolicy>> =
         const { std::cell::RefCell::new(Vec::new()) };
-    static PENDING: Cell<Option<SoftFault>> = const { Cell::new(None) };
+    /// The parked fault is stamped with the job epoch it was raised in,
+    /// so a fault from job A can never be collected by job B (see
+    /// [`job_scope`]).
+    static PENDING: Cell<Option<(SoftFault, u64)>> = const { Cell::new(None) };
+    /// Monotone per-thread job epoch; bumped at [`job_scope`] entry *and*
+    /// exit (exit included on panic), so work outside any scope can never
+    /// share an epoch with work inside one.
+    static EPOCH: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The policy in effect on this thread: the innermost [`with_policy`]
@@ -159,9 +166,10 @@ pub struct SoftFault {
 /// fails verification.
 pub fn raise(routine: &'static str, block: usize) {
     note_detection();
+    let epoch = EPOCH.with(|e| e.get());
     PENDING.with(|p| {
         if p.get().is_none() {
-            p.set(Some(SoftFault { routine, block }));
+            p.set(Some((SoftFault { routine, block }, epoch)));
         }
     });
 }
@@ -169,8 +177,18 @@ pub fn raise(routine: &'static str, block: usize) {
 /// Takes and clears the pending soft fault, if any. The `la90` drivers
 /// call this on exit to turn a parked fault into
 /// `LaError::SoftFault` (`INFO = -102`).
+///
+/// A fault parked in an *earlier job epoch* (a [`job_scope`] that has
+/// since exited — e.g. a cancelled or panicked job that never reached its
+/// own `erinfo`) is silently discarded instead of returned: cross-job
+/// fault leakage on a reused worker thread was a real bug, and the epoch
+/// stamp is what closes it.
 pub fn take_pending() -> Option<SoftFault> {
-    PENDING.with(|p| p.take())
+    let epoch = EPOCH.with(|e| e.get());
+    PENDING.with(|p| match p.take() {
+        Some((f, e)) if e == epoch => Some(f),
+        _ => None,
+    })
 }
 
 /// Clears any stale pending fault without reporting it. Called at driver
@@ -178,6 +196,30 @@ pub fn take_pending() -> Option<SoftFault> {
 /// BLAS call outside any driver) cannot leak into an unrelated call.
 pub fn clear_pending() {
     PENDING.with(|p| p.set(None));
+}
+
+/// Runs `f` as an isolated *job*: the per-thread fault epoch is bumped at
+/// entry and again at exit (panic included), and any stale pending fault
+/// is dropped at entry. Inside the scope, [`raise`] / [`take_pending`]
+/// behave as usual; a fault the job leaves behind — because it was
+/// cancelled, panicked, or simply never consulted `erinfo` — is dead on
+/// scope exit and can never surface as `INFO = -102` in a later job that
+/// happens to run on the same worker thread.
+///
+/// The batch dispatchers (`la-blas`/`la-lapack` `*_batch`) and the
+/// `la-serve` workers wrap every job in this scope.
+pub fn job_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            // Exit bump: whatever the job parked is now unreachable.
+            EPOCH.with(|e| e.set(e.get().wrapping_add(1)));
+        }
+    }
+    EPOCH.with(|e| e.set(e.get().wrapping_add(1)));
+    clear_pending();
+    let _guard = Guard;
+    f()
 }
 
 static CHECKS: AtomicU64 = AtomicU64::new(0);
@@ -401,6 +443,41 @@ mod tests {
         raise("syrk", 1);
         clear_pending();
         assert_eq!(take_pending(), None);
+    }
+
+    #[test]
+    fn job_scope_kills_cross_job_fault_leakage() {
+        clear_pending();
+        // Job A detects a fault but is abandoned (cancelled/panicked)
+        // before any driver drains it...
+        job_scope(|| {
+            raise("gemm", 3);
+            // ...inside its own scope the fault is visible as usual:
+            assert_eq!(
+                take_pending(),
+                Some(SoftFault {
+                    routine: "gemm",
+                    block: 3
+                })
+            );
+            raise("getrf", 1); // park another one and *leave it behind*
+        });
+        // Job B on the same thread must not inherit A's fault — neither
+        // bare...
+        assert_eq!(take_pending(), None);
+        // ...nor inside its own scope:
+        job_scope(|| assert_eq!(take_pending(), None));
+
+        // A panicking job still retires its epoch (Drop guard), so the
+        // fault it left behind stays dead.
+        let _ = std::panic::catch_unwind(|| {
+            job_scope(|| {
+                raise("potrf", 0);
+                panic!("job died mid-flight");
+            })
+        });
+        assert_eq!(take_pending(), None);
+        job_scope(|| assert_eq!(take_pending(), None));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Cooperative cancellation — per-call-tree deadlines and cancel tokens
+//! for long-running factorizations.
+//!
+//! A production solve service cannot afford a job that ignores its
+//! deadline: an `n = 4096` factorization holds a worker for seconds, and
+//! the only alternatives to cooperation are killing threads (unsound in
+//! Rust) or letting the deadline pass silently. This module provides the
+//! cooperative half of the contract:
+//!
+//! * [`CancelToken`] — a cheap, cloneable handle carrying an optional
+//!   absolute deadline and a manual cancel flag.
+//! * [`with_token`] — installs a token on the current thread for the
+//!   duration of a closure, exactly like [`crate::tune::with`]. Nested
+//!   calls stack; the innermost token governs.
+//! * [`cancelled`] — the checkpoint the blocked factorizations poll at
+//!   panel boundaries (`getrf`/`potrf` check once per `NB`-column step,
+//!   so a cancel lands within one panel's worth of work, not after the
+//!   whole O(n³)). With no token installed it is a single thread-local
+//!   read returning `false` — the hot path of non-service callers is
+//!   untouched.
+//!
+//! A routine that observes cancellation abandons its computation and
+//! returns [`INFO_CANCELLED`] (`-103`); the output buffers are left in a
+//! valid-but-unspecified partially-factored state. The `la90` drivers
+//! route the code through `ERINFO` as [`crate::LaError::Cancelled`].
+//!
+//! ```
+//! use la_core::cancel::{self, CancelToken};
+//! let token = CancelToken::new();
+//! token.cancel();
+//! let seen = cancel::with_token(token, cancel::cancelled);
+//! assert!(seen);
+//! assert!(!cancel::cancelled()); // token uninstalled on exit
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `INFO` code returned by a computational routine that abandoned its
+/// work at a cancellation checkpoint (deadline passed or token
+/// cancelled). Maps to [`crate::LaError::Cancelled`] through `ERINFO`.
+pub const INFO_CANCELLED: i32 = -103;
+
+/// `INFO` code recorded for a batch job whose worker panicked; the panic
+/// was isolated to that job (caught at the job boundary) and its output
+/// is unspecified. Maps to [`crate::LaError::Panicked`] through `ERINFO`.
+pub const INFO_PANICKED: i32 = -104;
+
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cancellation handle: cloneable, sendable, observed by whichever
+/// thread has it installed via [`with_token`].
+///
+/// Cancellation is level-triggered and sticky — once [`CancelToken::cancel`]
+/// fires or the deadline passes, every subsequent [`cancelled`] check on
+/// a thread carrying this token reports `true`.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; trips only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has fired or the deadline has
+    /// passed. The deadline comparison reads the monotonic clock, so call
+    /// it at *checkpoints*, not in inner loops.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                // Latch, so later checks skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The absolute deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static TOKENS: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `token` installed on the current thread, restoring the
+/// previous state afterwards (also on panic). Nested calls stack; the
+/// innermost token is the one [`cancelled`] consults.
+///
+/// Worker threads do not inherit the caller's token automatically — a
+/// dispatcher fanning a call tree out across threads must capture
+/// [`current`] and re-install it in each worker, the same way scoped
+/// [`crate::tune`] overrides travel.
+pub fn with_token<R>(token: CancelToken, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            TOKENS.with(|t| t.borrow_mut().pop());
+        }
+    }
+    TOKENS.with(|t| t.borrow_mut().push(token));
+    let _guard = Guard;
+    f()
+}
+
+/// The token installed on this thread, if any (innermost [`with_token`]).
+pub fn current() -> Option<CancelToken> {
+    TOKENS.with(|t| t.borrow().last().cloned())
+}
+
+/// Cancellation checkpoint: `true` when the innermost installed token has
+/// been cancelled or its deadline has passed. With no token installed
+/// this is a single thread-local borrow returning `false`.
+pub fn cancelled() -> bool {
+    TOKENS.with(|t| {
+        t.borrow()
+            .last()
+            .map(|tok| tok.is_cancelled())
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn no_token_means_never_cancelled() {
+        assert!(!cancelled());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn manual_cancel_trips_and_uninstalls() {
+        let tok = CancelToken::new();
+        let clone = tok.clone();
+        let seen = with_token(tok, || {
+            assert!(!cancelled());
+            clone.cancel();
+            cancelled()
+        });
+        assert!(seen);
+        assert!(!cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_and_latches() {
+        let tok = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(tok.is_cancelled());
+        assert!(tok.is_cancelled(), "deadline cancellation must latch");
+        let fresh = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!fresh.is_cancelled());
+        assert!(fresh.deadline().is_some());
+    }
+
+    #[test]
+    fn nested_tokens_stack() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        inner.cancel();
+        with_token(outer, || {
+            assert!(!cancelled());
+            with_token(inner.clone(), || assert!(cancelled()));
+            assert!(!cancelled(), "outer token must govern again");
+        });
+    }
+
+    #[test]
+    fn token_crosses_threads_via_reinstall() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let seen = std::thread::scope(|s| {
+            let t = tok.clone();
+            s.spawn(move || with_token(t, cancelled)).join().unwrap()
+        });
+        assert!(seen);
+    }
+}

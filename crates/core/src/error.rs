@@ -89,6 +89,23 @@ pub enum LaError {
         /// `INFO` by [`erinfo`]).
         block: usize,
     },
+    /// `INFO = -103`: the computation abandoned its work at a cooperative
+    /// cancellation checkpoint (see [`crate::cancel`]) — the installed
+    /// token was cancelled or its deadline passed. The output buffers are
+    /// in a valid-but-unspecified partially-computed state. Extends the
+    /// `-100`..`-102` code family.
+    Cancelled {
+        /// Driver name.
+        routine: &'static str,
+    },
+    /// `INFO = -104`: a batch job's worker panicked; the panic was caught
+    /// at the job boundary (poisoning only that job, never the pool) and
+    /// the job's output is unspecified. Extends the `-100`..`-103` code
+    /// family.
+    Panicked {
+        /// Driver name.
+        routine: &'static str,
+    },
 }
 
 impl LaError {
@@ -101,7 +118,9 @@ impl LaError {
             | LaError::NoConvergence { routine, .. }
             | LaError::AllocFailed { routine }
             | LaError::NonFinite { routine, .. }
-            | LaError::SoftFault { routine, .. } => routine,
+            | LaError::SoftFault { routine, .. }
+            | LaError::Cancelled { routine }
+            | LaError::Panicked { routine } => routine,
         }
     }
 
@@ -119,6 +138,8 @@ impl LaError {
             LaError::AllocFailed { .. } => -100,
             LaError::NonFinite { .. } => -101,
             LaError::SoftFault { .. } => -102,
+            LaError::Cancelled { .. } => -103,
+            LaError::Panicked { .. } => -104,
         }
     }
 }
@@ -162,6 +183,15 @@ impl fmt::Display for LaError {
                     f,
                     " (checksum verification detected a soft fault in block {block})"
                 )
+            }
+            LaError::Cancelled { .. } => {
+                write!(
+                    f,
+                    " (cancelled at a checkpoint: deadline passed or job cancelled)"
+                )
+            }
+            LaError::Panicked { .. } => {
+                write!(f, " (worker panicked; the panic was isolated to this job)")
             }
         }
     }
@@ -213,6 +243,10 @@ pub fn erinfo(
                     routine: srname,
                     block: usize::MAX,
                 })
+            } else if linfo == crate::cancel::INFO_CANCELLED {
+                Err(LaError::Cancelled { routine: srname })
+            } else if linfo == crate::cancel::INFO_PANICKED {
+                Err(LaError::Panicked { routine: srname })
             } else {
                 Err(LaError::IllegalArg {
                     routine: srname,
@@ -334,6 +368,26 @@ mod tests {
             argument: 0,
         };
         assert!(format!("{e}").contains("a NaN or Inf was detected"));
+    }
+
+    #[test]
+    fn cancelled_and_panicked_extension_codes() {
+        let e = LaError::Cancelled { routine: "LA_GESV" };
+        assert_eq!(e.info(), -103);
+        assert_eq!(e.routine(), "LA_GESV");
+        assert!(format!("{e}").contains("INFO = -103"));
+        assert!(format!("{e}").contains("cancelled at a checkpoint"));
+        assert_eq!(
+            erinfo(-103, "LA_GESV", PositiveInfo::Singular),
+            Err(LaError::Cancelled { routine: "LA_GESV" })
+        );
+        let e = LaError::Panicked { routine: "LA_POSV" };
+        assert_eq!(e.info(), -104);
+        assert!(format!("{e}").contains("isolated to this job"));
+        assert_eq!(
+            erinfo(-104, "LA_POSV", PositiveInfo::NotPosDef),
+            Err(LaError::Panicked { routine: "LA_POSV" })
+        );
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //!   runtime soft-fault policy (`LA_ABFT`), the `INFO = -102` soft-fault
 //!   extension code, detection/recovery counters, and (behind the
 //!   `fault-inject` feature) silent-corruption injection for tests.
+//! * [`batch`] — the work-stealing batched-job dispatcher: panic
+//!   isolation, per-job fault scoping, policy inheritance and the
+//!   no-oversubscription clamp under every `*_batch` entry point.
+//! * [`cancel`] — cooperative cancellation: [`CancelToken`] deadlines and
+//!   the `INFO = -103` (cancelled) / `-104` (worker panicked) extension
+//!   codes consumed by the batch dispatchers and the `la-serve` queue.
 //! * [`probe`] — the observability subsystem (`LA_PROFILE`): per-routine
 //!   counters with closed-form flop accounting, hierarchical span tracing
 //!   across the driver → factorization → BLAS-3 stack, and structured
@@ -42,6 +48,8 @@
 #![warn(missing_docs)]
 
 pub mod abft;
+pub mod batch;
+pub mod cancel;
 pub mod complex;
 pub mod enums;
 pub mod error;
@@ -55,6 +63,7 @@ pub mod storage;
 pub mod tune;
 
 pub use abft::AbftPolicy;
+pub use cancel::CancelToken;
 pub use complex::{Complex, C32, C64};
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};

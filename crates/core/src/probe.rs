@@ -332,6 +332,76 @@ fn counters() -> &'static Mutex<BTreeMap<CounterKey, Totals>> {
     C.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+thread_local! {
+    /// Stack of per-job counter maps (see [`job_scope`]); every finished
+    /// span also accumulates into the innermost map of this thread.
+    static JOB_STACK: RefCell<Vec<BTreeMap<CounterKey, Totals>>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn rows_from(map: &BTreeMap<CounterKey, Totals>) -> Vec<CounterRow> {
+    let mut rows: Vec<CounterRow> = map
+        .iter()
+        .map(|(&(name, lo, abft), t)| CounterRow {
+            layer: t.layer,
+            routine: name,
+            lo,
+            abft,
+            calls: t.calls,
+            flops: t.flops,
+            bytes: t.bytes,
+            nanos: t.nanos,
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.layer, r.routine, r.lo, r.abft));
+    rows
+}
+
+/// Runs `f` as a *job* and returns its result together with the counter
+/// rows recorded by this thread **inside the scope only** — the per-job
+/// slice of the process-global table that [`snapshot`] can never separate
+/// once jobs from many tenants interleave on shared workers.
+///
+/// The global counters still accumulate exactly as before (a job's work
+/// is real work); nested scopes stack, and an inner job's rows also fold
+/// into the enclosing job's on exit, panic included. The `la-serve`
+/// workers wrap each job in this scope to attribute flops and wall time
+/// to the tenant that submitted it. Under [`ProbePolicy::Off`] the
+/// returned rows are empty — the probe layer records nothing to slice.
+pub fn job_scope<R>(f: impl FnOnce() -> R) -> (R, Vec<CounterRow>) {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            // Pop this job's map and fold it into the parent job, if any —
+            // also on panic, so an enclosing job's accounting stays whole.
+            JOB_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let Some(map) = stack.pop() else { return };
+                if let Some(parent) = stack.last_mut() {
+                    for (k, t) in map {
+                        let e = parent.entry(k).or_insert(Totals {
+                            layer: t.layer,
+                            calls: 0,
+                            flops: 0,
+                            bytes: 0,
+                            nanos: 0,
+                        });
+                        e.calls += t.calls;
+                        e.flops += t.flops;
+                        e.bytes += t.bytes;
+                        e.nanos += t.nanos;
+                    }
+                }
+            });
+        }
+    }
+    JOB_STACK.with(|s| s.borrow_mut().push(BTreeMap::new()));
+    let _guard = Guard;
+    let r = f();
+    let rows = JOB_STACK.with(|s| s.borrow().last().map(rows_from).unwrap_or_default());
+    (r, rows)
+}
+
 fn roots() -> &'static Mutex<Vec<Span>> {
     static R: OnceLock<Mutex<Vec<Span>>> = OnceLock::new();
     R.get_or_init(|| Mutex::new(Vec::new()))
@@ -367,6 +437,23 @@ impl Drop for ProbeGuard {
             t.bytes += frame.bytes;
             t.nanos += nanos;
         }
+        JOB_STACK.with(|s| {
+            if let Some(job) = s.borrow_mut().last_mut() {
+                let t = job
+                    .entry((frame.routine, frame.lo, frame.abft))
+                    .or_insert(Totals {
+                        layer: frame.layer,
+                        calls: 0,
+                        flops: 0,
+                        bytes: 0,
+                        nanos: 0,
+                    });
+                t.calls += 1;
+                t.flops += frame.flops;
+                t.bytes += frame.bytes;
+                t.nanos += nanos;
+            }
+        });
         if frame.tree {
             let span = Span {
                 layer: frame.layer,
@@ -930,6 +1017,49 @@ mod tests {
         assert!(rep.to_table().contains("unit-test-verify[abft]"));
         let json = crate::json::Json::parse(&rep.to_json()).unwrap();
         assert!(json.get("abft_checks").is_some());
+    }
+
+    #[test]
+    fn job_scope_slices_counters_per_job() {
+        with_policy(ProbePolicy::Counters, || {
+            // Work *outside* any job must not be attributed to one.
+            drop(span(Layer::Blas, "unit-test-outside", 5, 0));
+            let ((), rows_a) = job_scope(|| {
+                drop(span(Layer::Blas, "unit-test-joba", 100, 7));
+                drop(span(Layer::Blas, "unit-test-joba", 100, 7));
+            });
+            let ((), rows_b) = job_scope(|| {
+                drop(span(Layer::Lapack, "unit-test-jobb", 40, 0));
+            });
+            assert_eq!(rows_a.len(), 1);
+            assert_eq!(rows_a[0].routine, "unit-test-joba");
+            assert_eq!(rows_a[0].calls, 2);
+            assert_eq!(rows_a[0].flops, 200);
+            assert_eq!(rows_a[0].bytes, 14);
+            // Job B sees neither the outside span nor job A's rows.
+            assert_eq!(rows_b.len(), 1);
+            assert_eq!(rows_b[0].routine, "unit-test-jobb");
+            // Nested jobs fold into the enclosing job on exit.
+            let ((), outer) = job_scope(|| {
+                drop(span(Layer::Driver, "unit-test-outerjob", 1, 0));
+                let ((), inner) = job_scope(|| {
+                    drop(span(Layer::Blas, "unit-test-innerjob", 8, 0));
+                });
+                assert_eq!(inner.len(), 1);
+                assert_eq!(inner[0].routine, "unit-test-innerjob");
+            });
+            let names: Vec<_> = outer.iter().map(|r| r.routine).collect();
+            assert!(names.contains(&"unit-test-outerjob"));
+            assert!(names.contains(&"unit-test-innerjob"));
+            // The global table still has everything, including the
+            // outside-any-job span.
+            let rep = snapshot();
+            assert!(rep
+                .counters
+                .iter()
+                .any(|r| r.routine == "unit-test-outside"));
+            assert!(rep.counters.iter().any(|r| r.routine == "unit-test-joba"));
+        });
     }
 
     #[test]

@@ -197,17 +197,33 @@ impl TuneConfig {
     /// more BLAS-3 stripes than cores only adds scheduling overhead (the
     /// committed BENCH_blas3.json thread sweep shows threads=2 *slower*
     /// than threads=1 on a 1-core host).
+    ///
+    /// On a thread that is itself one of `W` siblings of an enclosing
+    /// worker pool (see [`in_pool_worker`]), the clamp tightens to
+    /// `host / W`: a batch dispatcher fanning `W` jobs out, each of which
+    /// opens striped BLAS-3, would otherwise put `W × stripes` runnable
+    /// threads on `host` cores. `oversubscribe` bypasses this clamp too —
+    /// the equivalence tests and bench sweeps that force wide striping on
+    /// small hosts keep working unchanged.
     pub fn threads(&self) -> usize {
         let host = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        if self.max_threads > 0 {
-            if self.oversubscribe {
-                return self.max_threads;
-            }
-            return self.max_threads.min(host);
+        if self.max_threads > 0 && self.oversubscribe {
+            return self.max_threads;
         }
-        host.min(8)
+        // Each of the `share` pool siblings running on this host gets an
+        // equal slice of the cores (at least one).
+        let share = POOL_SIBLINGS.with(|s| s.get()).max(1);
+        let host_share = if self.oversubscribe {
+            host
+        } else {
+            (host / share).max(1)
+        };
+        if self.max_threads > 0 {
+            return self.max_threads.min(host_share);
+        }
+        host_share.min(8)
     }
 
     /// Block size for `routine` (an `ILAENV(1, ...)` analog; lowercase
@@ -244,6 +260,33 @@ fn global() -> &'static RwLock<TuneConfig> {
 
 thread_local! {
     static OVERRIDE: RefCell<Vec<TuneConfig>> = const { RefCell::new(Vec::new()) };
+    /// How many sibling pool workers share this host with the current
+    /// thread (1 = not a pool worker). Multiplicative across nested pools.
+    static POOL_SIBLINGS: std::cell::Cell<usize> = const { std::cell::Cell::new(1) };
+}
+
+/// Declares the current thread to be one of `siblings` concurrently
+/// running workers of an enclosing pool for the duration of `f`, so that
+/// [`TuneConfig::threads`] hands each worker `host / siblings` cores
+/// instead of all of them. Nested pools multiply: a 2-worker pool inside
+/// a 4-worker pool leaves each leaf `host / 8`.
+///
+/// The batch dispatchers (`la-blas`/`la-lapack` `*_batch`) and the
+/// `la-serve` workers call this around each job; without it, `W` jobs
+/// each opening `host`-way striped BLAS-3 puts `W × host` runnable
+/// threads on `host` cores. Restores the previous share on exit, panic
+/// included. [`TuneConfig::oversubscribe`] bypasses the clamp.
+pub fn in_pool_worker<R>(siblings: usize, f: impl FnOnce() -> R) -> R {
+    struct Guard(usize);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            POOL_SIBLINGS.with(|s| s.set(self.0));
+        }
+    }
+    let prev = POOL_SIBLINGS.with(|s| s.get());
+    let _guard = Guard(prev);
+    POOL_SIBLINGS.with(|s| s.set(prev.saturating_mul(siblings.max(1))));
+    f()
 }
 
 /// The configuration in effect on this thread: the innermost [`with`]
@@ -348,6 +391,42 @@ mod tests {
         assert_eq!(cfg.threads(), host);
         cfg.oversubscribe = true;
         assert_eq!(cfg.threads(), host * 4);
+    }
+
+    #[test]
+    fn pool_workers_split_the_host_budget() {
+        // Regression: a batch worker invoking striped BLAS-3 must not
+        // oversubscribe — worker-count × stripe-count ≤ host cores unless
+        // `oversubscribe` is set.
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let cfg = TuneConfig {
+            max_threads: host * 2, // ask for plenty; the clamp decides
+            ..TuneConfig::defaults()
+        };
+        assert_eq!(cfg.threads(), host);
+        in_pool_worker(4, || {
+            assert_eq!(cfg.threads(), (host / 4).max(1));
+            // Nested pools multiply the share.
+            in_pool_worker(2, || {
+                assert_eq!(cfg.threads(), (host / 8).max(1));
+            });
+            assert_eq!(cfg.threads(), (host / 4).max(1));
+            // Auto-detect (max_threads = 0) honours the share too.
+            let auto = TuneConfig::defaults();
+            assert_eq!(auto.threads(), (host / 4).clamp(1, 8));
+            // Explicit oversubscribe bypasses the clamp entirely.
+            let over = TuneConfig {
+                oversubscribe: true,
+                ..cfg
+            };
+            assert_eq!(over.threads(), host * 2);
+        });
+        assert_eq!(cfg.threads(), host, "share restored on scope exit");
+        // Restored on panic as well.
+        let _ = std::panic::catch_unwind(|| in_pool_worker(16, || panic!("boom")));
+        assert_eq!(cfg.threads(), host);
     }
 
     #[test]

@@ -117,6 +117,12 @@ pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
     } else {
         potrf_core(uplo, n, a, lda)
     };
+    // A cancelled factorization left the buffers partially updated; there
+    // is nothing meaningful to verify (or corrupt), so surface the code
+    // as-is.
+    if info == la_core::cancel::INFO_CANCELLED {
+        return info;
+    }
     #[cfg(feature = "fault-inject")]
     crate::abft::inject_factor("potrf", n, ilaenv_nb("potrf"), a, lda);
     match check {
@@ -144,6 +150,12 @@ fn potrf_core<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
     }
     let mut j = 0;
     while j < n {
+        // Cooperative cancellation checkpoint: one cheap thread-local
+        // read per panel step, so a deadline lands within one panel's
+        // O(n²·nb) of work instead of after the whole O(n³).
+        if la_core::cancel::cancelled() {
+            return la_core::cancel::INFO_CANCELLED;
+        }
         let jb = nb.min(n - j);
         let info = potf2(uplo, jb, &mut a[j + j * lda..], lda);
         if info != 0 {

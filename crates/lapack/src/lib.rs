@@ -23,6 +23,7 @@
 pub(crate) mod abft;
 pub mod aux;
 pub mod band;
+pub mod batch;
 pub mod chol;
 pub mod dc;
 pub mod eig_cplx;
@@ -42,6 +43,7 @@ pub mod testmat;
 
 pub use aux::*;
 pub use band::*;
+pub use batch::{gesv_batch, posv_batch, GesvJob, PosvJob};
 pub use chol::*;
 pub use dc::*;
 pub use eig_cplx::*;

@@ -98,6 +98,12 @@ pub fn getrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut 
     } else {
         getrf_core(m, n, a, lda, ipiv)
     };
+    // A cancelled factorization left the buffers partially updated; there
+    // is nothing meaningful to verify (or corrupt), so surface the code
+    // as-is.
+    if info == la_core::cancel::INFO_CANCELLED {
+        return info;
+    }
     #[cfg(feature = "fault-inject")]
     crate::abft::inject_factor("getrf", mn, ilaenv_nb("getrf"), a, lda);
     match check {
@@ -137,6 +143,12 @@ fn getrf_core<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut
     let mut info = 0i32;
     let mut j = 0;
     while j < mn {
+        // Cooperative cancellation checkpoint: one cheap thread-local
+        // read per panel step, so a deadline lands within one panel's
+        // O(n²·nb) of work instead of after the whole O(n³).
+        if la_core::cancel::cancelled() {
+            return la_core::cancel::INFO_CANCELLED;
+        }
         let jb = nb.min(mn - j);
         // Factor the panel A(j:m, j:j+jb).
         let panel_info = {

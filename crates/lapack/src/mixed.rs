@@ -128,6 +128,12 @@ fn refine_lo<T: Demote>(
 
     // Factor and solve entirely in the low precision.
     let finfo = probe::with_lo(|| factor(&mut sa, ipiv));
+    if finfo == la_core::cancel::INFO_CANCELLED {
+        // Cancellation is not a low-precision *failure* — the caller's
+        // deadline passed. Burning it further on a full-precision
+        // fallback would be exactly backwards; propagate instead.
+        return Err(finfo);
+    }
     if finfo != 0 {
         return Err(-3);
     }
@@ -254,6 +260,7 @@ pub fn gesv_mixed<T: Demote>(
             *iter = it;
             0
         }
+        Err(code) if code == la_core::cancel::INFO_CANCELLED => code,
         Err(code) => {
             *iter = code;
             // Full-precision fallback: the exact plain-gesv sequence, so
@@ -366,6 +373,7 @@ pub fn posv_mixed<T: Demote>(
             *iter = it;
             0
         }
+        Err(code) if code == la_core::cancel::INFO_CANCELLED => code,
         Err(code) => {
             *iter = code;
             // Full-precision fallback: the exact plain-posv sequence.

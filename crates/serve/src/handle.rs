@@ -1,0 +1,159 @@
+//! Job completion handle — a blocking future that is also a
+//! [`std::future::Future`].
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use la_core::cancel::CancelToken;
+use la_core::mixed::Demote;
+
+use crate::{Rejection, SolveOutput};
+
+/// The slot a worker fulfills and a caller drains.
+struct Slot<T: Demote> {
+    result: Option<Result<SolveOutput<T>, Rejection>>,
+    waker: Option<Waker>,
+}
+
+/// Shared completion state between the service and the handle.
+pub(crate) struct Shared<T: Demote> {
+    slot: Mutex<Slot<T>>,
+    cv: Condvar,
+}
+
+impl<T: Demote> Shared<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                result: None,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Delivers the job's outcome: wakes blocking waiters and any parked
+    /// async waker. Second fulfillment is ignored (first wins — e.g. a
+    /// drain racing the worker that already responded).
+    pub(crate) fn fulfill(&self, r: Result<SolveOutput<T>, Rejection>) {
+        let waker = {
+            let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.result.is_some() {
+                return;
+            }
+            slot.result = Some(r);
+            slot.waker.take()
+        };
+        self.cv.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Completion handle for one submitted job.
+///
+/// Consume it with blocking [`JobHandle::wait`] / [`JobHandle::wait_for`],
+/// or `.await` it — the handle implements [`Future`] directly (the worker
+/// wakes the stored waker on fulfillment), so it drops into any executor
+/// without the service carrying one. [`JobHandle::cancel`] requests
+/// cooperative cancellation of the job wherever it is (queued or at the
+/// next panel checkpoint).
+pub struct JobHandle<T: Demote> {
+    pub(crate) shared: Arc<Shared<T>>,
+    pub(crate) token: CancelToken,
+}
+
+impl<T: Demote> JobHandle<T> {
+    /// Requests cancellation: a queued job is rejected when it reaches a
+    /// worker; an in-flight factorization abandons at its next panel
+    /// checkpoint. The outcome becomes [`Rejection::DeadlineExceeded`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The job's cancel token (cloneable; share it to gang-cancel).
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Blocks until the job completes and returns its outcome.
+    pub fn wait(self) -> Result<SolveOutput<T>, Rejection> {
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = slot.result.take() {
+                return r;
+            }
+            slot = self.shared.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks up to `timeout` for completion; `Err(self)` gives the
+    /// handle back on timeout so the caller can keep waiting or cancel.
+    pub fn wait_for(self, timeout: Duration) -> Result<Result<SolveOutput<T>, Rejection>, Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(r) = slot.result.take() {
+                    return Ok(r);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (s, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(slot, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                slot = s;
+            }
+        }
+        Err(self)
+    }
+
+    /// Non-blocking probe: the outcome if the job has completed.
+    pub fn try_take(&self) -> Option<Result<SolveOutput<T>, Rejection>> {
+        self.shared
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .result
+            .take()
+    }
+}
+
+impl<T: Demote> Future for JobHandle<T> {
+    type Output = Result<SolveOutput<T>, Rejection>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.result.take() {
+            Some(r) => Poll::Ready(r),
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T: Demote> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self
+            .shared
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .result
+            .is_some();
+        f.debug_struct("JobHandle")
+            .field("completed", &done)
+            .field("cancelled", &self.token.is_cancelled())
+            .finish()
+    }
+}

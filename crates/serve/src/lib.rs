@@ -1,0 +1,287 @@
+//! # la-serve — a fault-isolated solve service over the batched substrate
+//!
+//! The ROADMAP's north star is linear-algebra traffic served to many
+//! concurrent callers; what turns the library underneath into a *service*
+//! is robustness, not speed. This crate is the serving layer: a bounded
+//! job queue (request → admit → solve → respond) over the `la90` drivers
+//! and the work-stealing pool of [`la_core::batch`], converting the
+//! substrate's typed failure taxonomy (Demmel et al., arXiv:2207.09281:
+//! `INFO` −100…−104) into retries, fallbacks and graceful degradation.
+//!
+//! The robustness contract, per job:
+//!
+//! * **Admission control / backpressure** — the queue is bounded
+//!   ([`ServeConfig::queue_depth`]); a submit against a full queue is shed
+//!   immediately with a typed [`Rejection::Overloaded`], never blocked.
+//! * **Deadlines** — each job carries an optional absolute deadline; an
+//!   expired job is rejected before it starts, and an in-flight
+//!   factorization abandons at its next panel checkpoint via
+//!   [`la_core::cancel`] (`INFO = -103` → [`Rejection::DeadlineExceeded`]).
+//! * **Panic isolation** — a worker panic is caught at the job boundary:
+//!   it fails (or retries) *that job* and never poisons the pool. A
+//!   sentinel counts any panic that would escape a worker thread;
+//!   the chaos soak asserts the count stays zero.
+//! * **Retry with degradation** — the ladder in [`mod@self`] (see
+//!   [`Service`] docs): a detected soft fault (`−102`) retries under
+//!   [`la_core::abft::AbftPolicy::Recover`]; an un-pinpointed NaN/Inf
+//!   (`−101`) retries under the full [`la_core::except`] screen to name
+//!   the offending argument; mixed-precision non-convergence already
+//!   falls back to the bitwise full-precision sequence inside the driver;
+//!   repeated faults from one tenant demote that tenant's gemm kernel
+//!   simd → unrolled → scalar through a per-tenant circuit breaker.
+//! * **Answer verification** — completed solves are residual-checked
+//!   (`‖b − A·x‖∞` against a norm-scaled bound) before they are returned;
+//!   a failing answer is retried under `Recover` and, if still wrong,
+//!   rejected rather than served.
+//! * **Per-job state scoping** — every job runs inside
+//!   [`la_core::abft::job_scope`] and [`la_core::probe::job_scope`], so a
+//!   fault or counter from an abandoned job can never leak into a
+//!   sibling, and per-tenant flop/time accounting is exact.
+//! * **No oversubscription** — workers register with
+//!   [`la_core::tune::in_pool_worker`], so striped BLAS-3 inside a job
+//!   divides the host cores by the worker count.
+//!
+//! Completion is exposed as a [`JobHandle`] that is both a blocking
+//! future ([`JobHandle::wait`]) and a [`std::future::Future`], so the
+//! service drops into async executors without carrying one.
+//!
+//! ```
+//! use la_core::{mat, Mat};
+//! use la_serve::{JobSpec, ServeConfig, Service, SolveOp};
+//!
+//! let service: Service<f64> = Service::start(ServeConfig::default());
+//! let a: Mat<f64> = mat![[4.0, 1.0], [1.0, 3.0]];
+//! let b = Mat::from_col_major(2, 1, vec![9.0, 5.0]);
+//! let handle = service.submit(JobSpec::new(SolveOp::Gesv, a, b)).unwrap();
+//! let out = handle.wait().unwrap();
+//! assert!((out.x[(0, 0)] - 2.0).abs() < 1e-10);
+//! assert!((out.x[(1, 0)] - 1.0).abs() < 1e-10);
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod handle;
+mod ladder;
+mod service;
+mod tenant;
+
+#[cfg(feature = "fault-inject")]
+pub mod chaos;
+
+pub use handle::JobHandle;
+pub use service::{ServeStats, Service};
+pub use tenant::TenantReport;
+
+use la_core::mixed::Demote;
+use la_core::{LaError, Mat, Uplo};
+use std::time::{Duration, Instant};
+
+/// Which driver a job runs. The mixed variants take the demoted-precision
+/// refinement path with the bitwise full-precision fallback built into
+/// the driver.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolveOp {
+    /// General `A·X = B` by LU with partial pivoting (`LA_GESV`).
+    Gesv,
+    /// Symmetric/Hermitian positive-definite `A·X = B` by Cholesky
+    /// (`LA_POSV`), reading the given triangle.
+    Posv(Uplo),
+    /// Mixed-precision general solve (`LA_GESV_MIXED`).
+    GesvMixed,
+    /// Mixed-precision positive-definite solve (`LA_POSV_MIXED`).
+    PosvMixed(Uplo),
+}
+
+impl SolveOp {
+    /// Lowercase name used in stats and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveOp::Gesv => "gesv",
+            SolveOp::Posv(_) => "posv",
+            SolveOp::GesvMixed => "gesv_mixed",
+            SolveOp::PosvMixed(_) => "posv_mixed",
+        }
+    }
+}
+
+/// One solve request: the operation, the owned problem data, and the
+/// serving metadata (tenant, deadline). Build with [`JobSpec::new`] and
+/// the chained setters.
+#[derive(Debug)]
+pub struct JobSpec<T: Demote> {
+    pub(crate) op: SolveOp,
+    pub(crate) a: Mat<T>,
+    pub(crate) b: Mat<T>,
+    pub(crate) tenant: String,
+    pub(crate) deadline: Option<Instant>,
+    /// Chaos hook: the job panics inside the worker (after admission,
+    /// before the solve) — exercising panic isolation end-to-end.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) chaos_panic: bool,
+}
+
+impl<T: Demote> JobSpec<T> {
+    /// A request to solve `a·X = b` with `op`, for the default tenant,
+    /// with no deadline of its own (the service default applies).
+    pub fn new(op: SolveOp, a: Mat<T>, b: Mat<T>) -> Self {
+        JobSpec {
+            op,
+            a,
+            b,
+            tenant: String::from("default"),
+            deadline: None,
+            #[cfg(feature = "fault-inject")]
+            chaos_panic: false,
+        }
+    }
+
+    /// Attributes the job to `tenant` (circuit breaker + probe counters).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets an absolute deadline; the job is cancelled at its next panel
+    /// checkpoint once it passes.
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `budget` from now.
+    pub fn deadline_in(self, budget: Duration) -> Self {
+        self.deadline_at(Instant::now() + budget)
+    }
+
+    /// The coefficient matrix as it will be submitted — load generators
+    /// use this to keep an independent copy for answer verification
+    /// (chaos events may mutate the data after [`JobSpec::new`]).
+    pub fn matrix(&self) -> &Mat<T> {
+        &self.a
+    }
+
+    /// The right-hand side as it will be submitted.
+    pub fn rhs(&self) -> &Mat<T> {
+        &self.b
+    }
+
+    /// Arms the chaos panic: the worker processing this job panics before
+    /// the solve, exercising panic isolation. `fault-inject` builds only.
+    #[cfg(feature = "fault-inject")]
+    pub fn chaos_panic(mut self) -> Self {
+        self.chaos_panic = true;
+        self
+    }
+}
+
+/// A completed solve.
+#[derive(Debug)]
+pub struct SolveOutput<T: Demote> {
+    /// The solution `X` (`n × nrhs`).
+    pub x: Mat<T>,
+    /// Mixed-path refinement iterations (`DSGESV` convention: ≥ 0 on the
+    /// low-precision path, negative when the driver fell back to full
+    /// precision). `0` for the direct operations.
+    pub iter: i32,
+    /// Ladder attempts consumed (1 = clean first try).
+    pub attempts: u32,
+    /// `true` when the answer needed the degradation ladder (retry under
+    /// `Recover`, a re-pinpointing pass, or a kernel demotion) — the
+    /// serving analog of a corrected error.
+    pub degraded: bool,
+}
+
+/// Why the service did not return an answer — every rejection is typed so
+/// callers can distinguish load shedding from data problems from faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// The bounded queue was full at submit time; the job was shed
+    /// without blocking. Resubmit later or to another instance.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        depth: usize,
+    },
+    /// The job's deadline passed — before it started, or observed by an
+    /// in-flight factorization at a cancellation checkpoint.
+    DeadlineExceeded,
+    /// The solve failed with a definitive typed error (singular matrix,
+    /// non-finite input, illegal dimensions, allocation failure …);
+    /// retrying cannot help, the ladder has already done what it could.
+    Failed(LaError),
+    /// The job panicked on every attempt the ladder was willing to make;
+    /// the panics were isolated to this job.
+    Panicked {
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The computed answer failed the residual check on every attempt —
+    /// the service refuses to serve a wrong answer.
+    ResidualRejected {
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The service is shutting down; queued jobs are drained with this
+    /// rejection instead of silently dropped.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Overloaded { depth } => {
+                write!(f, "queue full (bound {depth}); job shed, resubmit later")
+            }
+            Rejection::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Rejection::Failed(e) => write!(f, "solve failed: {e}"),
+            Rejection::Panicked { attempts } => {
+                write!(f, "job panicked on all {attempts} attempt(s); isolated")
+            }
+            Rejection::ResidualRejected { attempts } => write!(
+                f,
+                "answer failed residual verification on all {attempts} attempt(s)"
+            ),
+            Rejection::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Service configuration: pool size, queue bound, deadline and ladder
+/// knobs. Plain data; start with [`ServeConfig::default`] and edit
+/// fields.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads. `0` resolves to the [`la_core::tune`] thread
+    /// budget at start time.
+    pub workers: usize,
+    /// Queue bound; a submit when this many jobs are already queued is
+    /// rejected [`Rejection::Overloaded`]. Must be ≥ 1.
+    pub queue_depth: usize,
+    /// Deadline applied to jobs that don't carry their own. `None`: no
+    /// default deadline.
+    pub default_deadline: Option<Duration>,
+    /// Maximum solve attempts per job across the degradation ladder
+    /// (≥ 1; the first attempt counts).
+    pub max_attempts: u32,
+    /// Consecutive per-tenant faults (panics, soft faults, residual
+    /// failures) before the tenant's gemm kernel is demoted one level
+    /// (simd → unrolled → scalar).
+    pub breaker_threshold: u32,
+    /// Verify every completed solve's residual before returning it.
+    pub verify_residual: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            default_deadline: None,
+            max_attempts: 3,
+            breaker_threshold: 3,
+            verify_residual: true,
+        }
+    }
+}

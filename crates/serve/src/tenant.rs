@@ -1,0 +1,185 @@
+//! Per-tenant bookkeeping: fault-streak circuit breaker (gemm kernel
+//! demotion) and accounting snapshots.
+
+use la_core::tune::GemmKernel;
+
+/// One step down the kernel ladder. `Scalar` is the floor — the reference
+/// triple loop has no SIMD, no unrolling, and no further fallback.
+fn demote_kernel(k: GemmKernel) -> GemmKernel {
+    match k {
+        GemmKernel::Auto | GemmKernel::Simd => GemmKernel::Unrolled,
+        GemmKernel::Unrolled | GemmKernel::Scalar => GemmKernel::Scalar,
+    }
+}
+
+/// Mutable per-tenant state the service keeps under its tenants lock.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    /// Kernel override for this tenant; `None` means the ambient tuning
+    /// config's kernel (no demotion has happened yet).
+    kernel: Option<GemmKernel>,
+    /// Consecutive faulty jobs (panic / soft fault / residual failure /
+    /// re-screened NaN). A clean completion resets it.
+    streak: u32,
+    demotions: u32,
+    completed: u64,
+    rejected: u64,
+    degraded: u64,
+    flops: u64,
+    nanos: u64,
+}
+
+impl TenantState {
+    pub(crate) fn new() -> Self {
+        TenantState {
+            kernel: None,
+            streak: 0,
+            demotions: 0,
+            completed: 0,
+            rejected: 0,
+            degraded: 0,
+            flops: 0,
+            nanos: 0,
+        }
+    }
+
+    /// The kernel override currently applied to this tenant's jobs.
+    pub(crate) fn kernel(&self) -> Option<GemmKernel> {
+        self.kernel
+    }
+
+    /// Folds a job's probe counters into the tenant's totals.
+    pub(crate) fn account(&mut self, rows: &[la_core::probe::CounterRow]) {
+        for r in rows {
+            self.flops += r.flops;
+            self.nanos += r.nanos;
+        }
+    }
+
+    /// Records a served answer. A faulty-but-recovered job (`degraded`)
+    /// still counts toward the breaker streak: the tenant's workload is
+    /// provoking faults even when the ladder absorbs them.
+    pub(crate) fn record_completed(&mut self, degraded: bool, threshold: u32) {
+        self.completed += 1;
+        if degraded {
+            self.degraded += 1;
+            self.bump_streak(threshold);
+        } else {
+            self.streak = 0;
+        }
+    }
+
+    /// Records a rejection; `faulty` marks the fault-streak kinds (panic,
+    /// residual rejection, unrecovered soft fault) as opposed to load
+    /// shedding or deadline misses, which say nothing about the tenant's
+    /// numerics.
+    pub(crate) fn record_rejected(&mut self, faulty: bool, threshold: u32) {
+        self.rejected += 1;
+        if faulty {
+            self.bump_streak(threshold);
+        }
+    }
+
+    /// Breaker: `threshold` consecutive faults demote one kernel level
+    /// and restart the streak, so a persistently faulty tenant walks
+    /// simd → unrolled → scalar rather than jumping to the floor.
+    fn bump_streak(&mut self, threshold: u32) {
+        self.streak += 1;
+        if threshold > 0 && self.streak >= threshold {
+            let from = self.kernel.unwrap_or(la_core::tune::current().gemm_kernel);
+            let to = demote_kernel(from);
+            if to != from {
+                self.kernel = Some(to);
+                self.demotions += 1;
+            }
+            self.streak = 0;
+        }
+    }
+
+    pub(crate) fn report(&self, tenant: &str) -> TenantReport {
+        TenantReport {
+            tenant: tenant.to_string(),
+            completed: self.completed,
+            rejected: self.rejected,
+            degraded: self.degraded,
+            kernel: self.kernel,
+            demotions: self.demotions,
+            fault_streak: self.streak,
+            flops: self.flops,
+            nanos: self.nanos,
+        }
+    }
+}
+
+/// Snapshot of one tenant's serving history, from
+/// [`crate::Service::tenant_report`] / [`crate::Service::tenant_reports`].
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant name (the [`crate::JobSpec::tenant`] key).
+    pub tenant: String,
+    /// Jobs answered (including degraded ones).
+    pub completed: u64,
+    /// Jobs rejected, for any [`crate::Rejection`] reason.
+    pub rejected: u64,
+    /// Answered jobs that needed the degradation ladder.
+    pub degraded: u64,
+    /// Kernel override in force (`None`: never demoted — ambient config).
+    pub kernel: Option<GemmKernel>,
+    /// Times the circuit breaker stepped the kernel down a level.
+    pub demotions: u32,
+    /// Current consecutive-fault count toward the next demotion.
+    pub fault_streak: u32,
+    /// Probe-counted flops attributed to this tenant's jobs (0 unless a
+    /// counting [`la_core::probe`] policy is active).
+    pub flops: u64,
+    /// Probe-counted wall nanoseconds attributed to this tenant's jobs.
+    pub nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_walks_the_kernel_ladder_one_level_per_streak() {
+        let mut t = TenantState::new();
+        // Ambient kernel is Auto (test processes don't set LA_GEMM_KERNEL),
+        // so the first demotion lands on Unrolled.
+        for _ in 0..3 {
+            t.record_rejected(true, 3);
+        }
+        assert_eq!(t.kernel(), Some(GemmKernel::Unrolled));
+        assert_eq!(t.report("x").demotions, 1);
+        // Second streak: Unrolled → Scalar.
+        for _ in 0..3 {
+            t.record_completed(true, 3);
+        }
+        assert_eq!(t.kernel(), Some(GemmKernel::Scalar));
+        // Floor: further faults don't count as demotions.
+        for _ in 0..6 {
+            t.record_rejected(true, 3);
+        }
+        assert_eq!(t.kernel(), Some(GemmKernel::Scalar));
+        assert_eq!(t.report("x").demotions, 2);
+    }
+
+    #[test]
+    fn clean_jobs_and_load_shedding_do_not_trip_the_breaker() {
+        let mut t = TenantState::new();
+        t.record_rejected(true, 3);
+        t.record_rejected(true, 3);
+        t.record_completed(false, 3); // clean answer resets the streak
+        t.record_rejected(true, 3);
+        t.record_rejected(true, 3);
+        assert_eq!(t.kernel(), None, "streak was reset; no demotion");
+        // Overload/deadline rejections are not faults.
+        for _ in 0..10 {
+            t.record_rejected(false, 3);
+        }
+        assert_eq!(t.kernel(), None);
+        let r = t.report("acme");
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.rejected, 14);
+        assert_eq!(r.fault_streak, 2);
+    }
+}

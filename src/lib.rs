@@ -12,12 +12,15 @@
 //!   conventions.
 //! * [`la90`] — the paper's contribution: generic, shape-dispatched,
 //!   optional-argument drivers over [`Mat`].
+//! * [`serve`] — the fault-isolated solve service: bounded queue,
+//!   deadlines, retry-with-degradation, typed backpressure.
 //! * [`verify`] — the LAPACK-test-suite residual ratios.
 
 pub use la90;
 pub use la_blas as blas;
 pub use la_core as core;
 pub use la_lapack as lapack;
+pub use la_serve as serve;
 pub use la_verify as verify;
 
 pub use la_core::{mat, BandMat, Complex, LaError, Mat, PackedMat, SymBandMat, C32, C64};

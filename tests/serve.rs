@@ -1,0 +1,366 @@
+//! Robustness of the serving substrate end-to-end, exercised through the
+//! test-only injection hooks:
+//!
+//! 1. **Batched entry points × ABFT policy**: `gemm_batch`, `gesv_batch`
+//!    and `posv_batch` run a one-shot corruption under each of
+//!    `AbftPolicy::{Off, Verify, Recover}`, asserting the per-job
+//!    contract — the fault is *detected in exactly the job it struck*
+//!    (`INFO = -102`, siblings clean and bitwise-untouched), *repaired
+//!    bitwise-identically* under `Recover`, and *silently local* under
+//!    `Off` (exactly one job's output differs; no counter movement leaks
+//!    to siblings).
+//! 2. **Service chaos soak**: a mini version of the `serve_load --chaos`
+//!    invariants — a `Service` fed a deterministic mix of clean jobs,
+//!    silent corruption, worker panics, NaN-poisoned inputs and expired
+//!    deadlines must resolve every job (answer or typed rejection),
+//!    serve zero wrong answers, and never let a panic poison the pool.
+//!
+//! Injection arming and the ABFT counters are process-global, so the
+//! whole suite runs as one sequential `#[test]` (the same discipline as
+//! `tests/degrade.rs`).
+
+#![cfg(feature = "fault-inject")]
+
+use la_blas::batch::{gemm_batch, GemmJob};
+use la_core::abft::inject::{arm, is_armed, CorruptKind, Corruption};
+use la_core::abft::{self, AbftPolicy};
+use la_core::cancel::{INFO_CANCELLED, INFO_PANICKED};
+use la_core::{tune, Mat, Trans, Uplo};
+use la_lapack::batch::{gesv_batch, posv_batch, GesvJob, PosvJob};
+use la_serve::chaos::{answer_is_plausible, chaos_tune, quiet_chaos_panics, ChaosPlan};
+use la_serve::{JobSpec, Rejection, ServeConfig, Service, SolveOp};
+
+/// Forced-parallel with small factorization blocks so the protected
+/// blocked paths engage at test sizes (mirrors `tests/degrade.rs`).
+fn forced() -> tune::TuneConfig {
+    tune::TuneConfig {
+        max_threads: 4,
+        oversubscribe: true,
+        par_flops: 0,
+        nb_getrf: 8,
+        nb_potrf: 8,
+        crossover: 8,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+    fn vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_f64()).collect()
+    }
+}
+
+// One sequential test: the injection arming slot and the ABFT counters
+// are process-global, so concurrent #[test] threads would consume each
+// other's armed corruption.
+#[test]
+fn batched_faults_stay_per_job_and_the_service_survives_chaos() {
+    batched_gesv_abft_contract();
+    batched_posv_abft_contract();
+    batched_gemm_abft_contract();
+    service_chaos_soak();
+}
+
+// ---------------------------------------------------------------------
+// Batched entry points × ABFT policy
+// ---------------------------------------------------------------------
+
+/// Runs `run_clean_then_armed` under every policy and checks the per-job
+/// sweep contract on the returned `(infos, outputs)` against the clean
+/// reference outputs.
+fn check_batch_contract(
+    what: &str,
+    routine: &'static str,
+    clean: &[Vec<f64>],
+    mut run: impl FnMut() -> (Vec<i32>, Vec<Vec<f64>>),
+) {
+    for (pi, policy) in [AbftPolicy::Off, AbftPolicy::Verify, AbftPolicy::Recover]
+        .into_iter()
+        .enumerate()
+    {
+        let kind = if pi % 2 == 0 {
+            CorruptKind::FlipMantissaBit
+        } else {
+            CorruptKind::Scale
+        };
+        abft::clear_pending();
+        let (infos, outs) = tune::with(forced(), || {
+            abft::with_policy(policy, || {
+                arm(Corruption {
+                    routine,
+                    stripe: 1,
+                    kind,
+                });
+                run()
+            })
+        });
+        let tag = format!("{what}/{policy:?}");
+        assert!(!is_armed(), "{tag}: corruption did not fire");
+        assert!(
+            abft::take_pending().is_none(),
+            "{tag}: a pending fault leaked out of the batch"
+        );
+        let dirty: Vec<usize> = (0..clean.len()).filter(|&j| outs[j] != clean[j]).collect();
+        match policy {
+            AbftPolicy::Off => {
+                // Undetected but local: every job "succeeds", exactly one
+                // output silently differs.
+                assert_eq!(infos, vec![0; clean.len()], "{tag}: Off must not flag");
+                assert_eq!(
+                    dirty.len(),
+                    1,
+                    "{tag}: corruption must land in exactly one job (dirty: {dirty:?})"
+                );
+            }
+            AbftPolicy::Verify => {
+                // Detected in exactly the job it struck; siblings clean
+                // and bitwise-untouched.
+                let flagged: Vec<usize> = (0..infos.len()).filter(|&j| infos[j] == -102).collect();
+                assert_eq!(
+                    flagged.len(),
+                    1,
+                    "{tag}: exactly one job must report -102 (infos: {infos:?})"
+                );
+                for (j, info) in infos.iter().enumerate() {
+                    if j != flagged[0] {
+                        assert_eq!(*info, 0, "{tag}: sibling {j} flagged");
+                        assert_eq!(outs[j], clean[j], "{tag}: sibling {j} output touched");
+                    }
+                }
+            }
+            AbftPolicy::Recover => {
+                // Repaired bitwise-identically, all jobs clean.
+                assert_eq!(infos, vec![0; clean.len()], "{tag}: Recover must succeed");
+                assert!(
+                    dirty.is_empty(),
+                    "{tag}: recovery not bitwise-identical (dirty: {dirty:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Diagonally dominant general system with solution fixed by `b = A·x`.
+fn dd_system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Rng(seed);
+    let mut a = rng.vec(n * n);
+    for i in 0..n {
+        a[i + i * n] = 8.0;
+    }
+    let mut b = vec![0.0f64; n];
+    for j in 0..n {
+        for i in 0..n {
+            b[i] += a[i + j * n] * (1.0 + j as f64 / n as f64);
+        }
+    }
+    (a, b)
+}
+
+/// Symmetric positive definite (diagonally dominant) system.
+fn spd_system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Rng(seed);
+    let mut a = vec![0.0f64; n * n];
+    for j in 0..n {
+        for i in 0..j {
+            let v = rng.next_f64() / (1.0 + (j - i) as f64);
+            a[i + j * n] = v;
+            a[j + i * n] = v;
+        }
+        a[j + j * n] = 2.0 * n as f64;
+    }
+    let mut b = vec![0.0f64; n];
+    for j in 0..n {
+        for i in 0..n {
+            b[i] += a[i + j * n];
+        }
+    }
+    (a, b)
+}
+
+fn batched_gesv_abft_contract() {
+    let n = 32usize;
+    let bases: Vec<(Vec<f64>, Vec<f64>)> = (0..4).map(|i| dd_system(n, 100 + i)).collect();
+    let run = || {
+        let mut mats: Vec<(Vec<f64>, Vec<f64>)> = bases.clone();
+        let mut ipivs: Vec<Vec<i32>> = (0..4).map(|_| vec![0i32; n]).collect();
+        let mut jobs: Vec<GesvJob<'_, f64>> = mats
+            .iter_mut()
+            .zip(ipivs.iter_mut())
+            .map(|((a, b), ipiv)| GesvJob {
+                n,
+                nrhs: 1,
+                a,
+                lda: n,
+                ipiv,
+                b,
+                ldb: n,
+            })
+            .collect();
+        let infos = gesv_batch(&mut jobs);
+        drop(jobs);
+        (infos, mats.into_iter().map(|(_, b)| b).collect::<Vec<_>>())
+    };
+    let (infos, clean) = tune::with(forced(), run);
+    assert_eq!(infos, vec![0; 4], "clean gesv_batch reference failed");
+    check_batch_contract("gesv_batch", "getrf", &clean, run);
+}
+
+fn batched_posv_abft_contract() {
+    let n = 32usize;
+    let bases: Vec<(Vec<f64>, Vec<f64>)> = (0..4).map(|i| spd_system(n, 200 + i)).collect();
+    let run = || {
+        let mut mats: Vec<(Vec<f64>, Vec<f64>)> = bases.clone();
+        let mut jobs: Vec<PosvJob<'_, f64>> = mats
+            .iter_mut()
+            .map(|(a, b)| PosvJob {
+                uplo: Uplo::Lower,
+                n,
+                nrhs: 1,
+                a,
+                lda: n,
+                b,
+                ldb: n,
+            })
+            .collect();
+        let infos = posv_batch(&mut jobs);
+        drop(jobs);
+        (infos, mats.into_iter().map(|(_, b)| b).collect::<Vec<_>>())
+    };
+    let (infos, clean) = tune::with(forced(), run);
+    assert_eq!(infos, vec![0; 4], "clean posv_batch reference failed");
+    check_batch_contract("posv_batch", "potrf", &clean, run);
+}
+
+fn batched_gemm_abft_contract() {
+    let (m, n, k) = (45usize, 67, 33);
+    let mut rng = Rng(300);
+    let bases: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..4)
+        .map(|_| (rng.vec(m * k), rng.vec(k * n), rng.vec(m * n)))
+        .collect();
+    let run = || {
+        let mut cs: Vec<Vec<f64>> = bases.iter().map(|(_, _, c)| c.clone()).collect();
+        let mut jobs: Vec<GemmJob<'_, f64>> = bases
+            .iter()
+            .zip(cs.iter_mut())
+            .map(|((a, b, _), c)| GemmJob {
+                transa: Trans::No,
+                transb: Trans::No,
+                m,
+                n,
+                k,
+                alpha: 1.25,
+                a,
+                lda: m,
+                b,
+                ldb: k,
+                beta: 0.5,
+                c,
+                ldc: m,
+            })
+            .collect();
+        let infos = gemm_batch(&mut jobs);
+        drop(jobs);
+        (infos, cs)
+    };
+    let (infos, clean) = tune::with(forced(), run);
+    assert_eq!(infos, vec![0; 4], "clean gemm_batch reference failed");
+    check_batch_contract("gemm_batch", "gemm", &clean, run);
+}
+
+// ---------------------------------------------------------------------
+// Service chaos soak (mini)
+// ---------------------------------------------------------------------
+
+fn service_chaos_soak() {
+    quiet_chaos_panics();
+    let svc: Service<f64> = tune::with(chaos_tune(), || {
+        abft::with_policy(AbftPolicy::Recover, || {
+            Service::start(ServeConfig {
+                workers: 2,
+                queue_depth: 16,
+                max_attempts: 3,
+                ..ServeConfig::default()
+            })
+        })
+    });
+    let n = 24usize;
+    let (ga, gb) = dd_system(n, 400);
+    let (sa, sb) = spd_system(n, 500);
+    let gen = Mat::from_col_major(n, n, ga);
+    let gb = Mat::from_col_major(n, 1, gb);
+    let spd = Mat::from_col_major(n, n, sa);
+    let sb = Mat::from_col_major(n, 1, sb);
+
+    let mut plan = ChaosPlan::new(42);
+    let total = 80usize;
+    let mut pending = Vec::with_capacity(total);
+    for i in 0..total {
+        let op = if i % 2 == 0 {
+            SolveOp::Gesv
+        } else {
+            SolveOp::Posv(Uplo::Lower)
+        };
+        let (a0, b0) = if i % 2 == 0 { (&gen, &gb) } else { (&spd, &sb) };
+        let ev = plan.next_event();
+        let spec = plan.apply(ev, JobSpec::new(op, a0.clone(), b0.clone()));
+        let (a_sub, b_sub) = (spec.matrix().clone(), spec.rhs().clone());
+        // Closed-loop: back off and resubmit on shed, never drop a job.
+        let mut spec = Some(spec);
+        let handle = loop {
+            match svc.submit(spec.take().expect("one submit")) {
+                Ok(h) => break h,
+                Err(Rejection::Overloaded { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    let op2 = op;
+                    let (a2, b2) = (a_sub.clone(), b_sub.clone());
+                    spec = Some(JobSpec::new(op2, a2, b2));
+                }
+                Err(other) => panic!("unexpected submit rejection: {other}"),
+            }
+        };
+        pending.push((a_sub, b_sub, handle));
+    }
+    let (mut served, mut rejected, mut wrong) = (0usize, 0usize, 0usize);
+    for (a_sub, b_sub, handle) in pending {
+        match handle.wait() {
+            Ok(out) => {
+                served += 1;
+                if !answer_is_plausible(&a_sub, &b_sub, &out.x) {
+                    wrong += 1;
+                }
+            }
+            Err(
+                Rejection::DeadlineExceeded
+                | Rejection::Failed(_)
+                | Rejection::Panicked { .. }
+                | Rejection::ResidualRejected { .. },
+            ) => rejected += 1,
+            Err(other) => panic!("soak job resolved with {other}"),
+        }
+    }
+    // Stray one-shot corruption must not leak into later suites.
+    la_core::abft::inject::disarm();
+    let stats = svc.stats();
+    svc.shutdown();
+    assert_eq!(served + rejected, total, "every job must resolve");
+    assert_eq!(wrong, 0, "the service served {wrong} wrong answer(s)");
+    assert_eq!(
+        stats.pool_poisonings, 0,
+        "a panic escaped a job boundary ({} poisonings)",
+        stats.pool_poisonings
+    );
+    assert!(served > 0, "chaos mix starved every job");
+    // The INFO codes the service maps rejections from stay reserved.
+    assert_eq!(INFO_CANCELLED, -103);
+    assert_eq!(INFO_PANICKED, -104);
+}
