@@ -12,7 +12,7 @@
 //!
 //! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]
 //! [--min-gemm-speedup 3.0] [--min-mixed-speedup 1.2]
-//! [--max-abft-overhead 1.10]`
+//! [--max-abft-overhead 1.10] [--min-dag-speedup 1.15]`
 //!
 //! `--min-gemm-speedup` enforces an absolute floor on the baseline's
 //! recorded `speedup_packed_vs_prepacked` ratios for `gemm` at n ≥ 512:
@@ -37,6 +37,22 @@
 //! recorded `abft_overhead` *verify* ratios at n ≥ 1024 — the O(n²)
 //! checksums must stay cheap relative to the O(n³) compute.
 //!
+//! The tile-dag sweep (`BENCH_dag.json` / `BENCH_dag.quick.json` from
+//! `dag_sweep`) follows the same pattern: rows in its `dag_sweep`
+//! section join the normalized regression comparison, and
+//! `--min-dag-speedup` enforces an absolute floor on the baseline's
+//! recorded `speedup_dag_vs_blocked` at n ≥ 2048 — the task-graph
+//! runtime must keep beating the fork-join blocked path on at least one
+//! of `getrf`/`potrf` (the routines whose trailing updates the dag
+//! overlaps across panel steps).
+//!
+//! Every check tolerates a missing *baseline* file uniformly: the first
+//! run of a new sweep has nothing committed yet, so the gate prints a
+//! clear "no baseline committed" message and passes instead of erroring,
+//! letting the gate land before the baseline does. A present-but-
+//! malformed baseline (missing section, no matching entries) still exits
+//! non-zero — that is a config error, not a first run.
+//!
 //! The serving sweep (`BENCH_serve.json` from `serve_load`) is gated by
 //! `--max-p99-ms` (ceiling on the clean-mode p99 latencies recorded in
 //! the baseline's `serve_sweep` rows) and `--min-goodput` (floor on the
@@ -59,11 +75,20 @@ struct Point {
     ms: f64,
 }
 
-fn load(path: &str) -> Vec<Point> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+/// Load every tracked sweep row from `path`. `None` means the file does
+/// not exist (first run, nothing committed yet); parse errors on a
+/// present file still panic — corrupt data should never pass silently.
+fn load(path: &str) -> Option<Vec<Point>> {
+    let text = std::fs::read_to_string(path).ok()?;
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
     let mut pts = Vec::new();
-    for section in ["thread_sweep", "nb_sweep", "mixed_sweep", "abft_sweep"] {
+    for section in [
+        "thread_sweep",
+        "nb_sweep",
+        "mixed_sweep",
+        "abft_sweep",
+        "dag_sweep",
+    ] {
         let Some(arr) = doc.get(section).and_then(|v| v.as_arr()) else {
             continue;
         };
@@ -84,7 +109,15 @@ fn load(path: &str) -> Vec<Point> {
             });
         }
     }
-    pts
+    Some(pts)
+}
+
+/// Parse the committed baseline for an absolute floor/ceiling check.
+/// `None` means the file is absent — the caller prints the uniform
+/// "first run" message and skips the check.
+fn load_baseline_doc(path: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}")))
 }
 
 fn main() {
@@ -94,6 +127,7 @@ fn main() {
     let mut min_gemm: Option<f64> = None;
     let mut min_mixed: Option<f64> = None;
     let mut max_abft: Option<f64> = None;
+    let mut min_dag: Option<f64> = None;
     let mut max_p99: Option<f64> = None;
     let mut min_goodput: Option<f64> = None;
     let mut serve_path = "BENCH_serve.json".to_string();
@@ -108,6 +142,9 @@ fn main() {
         } else if a == "--min-mixed-speedup" {
             let v = it.next().expect("--min-mixed-speedup needs a value");
             min_mixed = Some(v.parse().expect("bad min-mixed-speedup"));
+        } else if a == "--min-dag-speedup" {
+            let v = it.next().expect("--min-dag-speedup needs a value");
+            min_dag = Some(v.parse().expect("bad min-dag-speedup"));
         } else if a == "--max-abft-overhead" {
             let v = it.next().expect("--max-abft-overhead needs a value");
             max_abft = Some(v.parse().expect("bad max-abft-overhead"));
@@ -128,57 +165,77 @@ fn main() {
     let fresh_path = paths.get(1).copied().unwrap_or("BENCH_blas3.quick.json");
 
     let baseline = load(baseline_path);
-    let fresh = load(fresh_path);
-
-    // Match rows on (op, n, threads, nb); the quick sweep covers a subset
-    // of the baseline grid, so the comparison runs on the intersection.
-    let mut ratios: Vec<(String, f64)> = Vec::new();
-    for f in &fresh {
-        let Some(b) = baseline
-            .iter()
-            .find(|b| b.op == f.op && b.n == f.n && b.threads == f.threads && b.nb == f.nb)
-        else {
-            continue;
-        };
-        if b.ms > 0.0 && f.ms > 0.0 {
-            let key = format!("{} n={} threads={} nb={}", f.op, f.n, f.threads, f.nb);
-            ratios.push((key, f.ms / b.ms));
-        }
-    }
-    if ratios.is_empty() {
-        eprintln!("bench_gate: no comparable rows between {baseline_path} and {fresh_path}");
+    let fresh = load(fresh_path).unwrap_or_else(|| {
+        eprintln!("bench_gate: missing fresh sweep {fresh_path} (run the sweep first)");
         std::process::exit(2);
-    }
-
-    // Machine-speed calibration: divide out the median ratio.
-    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = sorted[sorted.len() / 2];
-    println!(
-        "bench_gate: {} comparable rows, median fresh/baseline ratio {median:.3} \
-         (normalizing), threshold {threshold:.2}",
-        ratios.len()
-    );
+    });
 
     let mut failed = false;
-    for (key, r) in &ratios {
-        let norm = r / median;
-        let flag = if norm > threshold {
-            failed = true;
-            "  << REGRESSION"
-        } else {
-            ""
-        };
-        println!("  {key:<34} ratio {r:7.3}  normalized {norm:7.3}{flag}");
+    if let Some(baseline) = &baseline {
+        // Match rows on (op, n, threads, nb); the quick sweep covers a
+        // subset of the baseline grid, so the comparison runs on the
+        // intersection.
+        let mut ratios: Vec<(String, f64)> = Vec::new();
+        for f in &fresh {
+            let Some(b) = baseline
+                .iter()
+                .find(|b| b.op == f.op && b.n == f.n && b.threads == f.threads && b.nb == f.nb)
+            else {
+                continue;
+            };
+            if b.ms > 0.0 && f.ms > 0.0 {
+                let key = format!("{} n={} threads={} nb={}", f.op, f.n, f.threads, f.nb);
+                ratios.push((key, f.ms / b.ms));
+            }
+        }
+        if ratios.is_empty() {
+            eprintln!("bench_gate: no comparable rows between {baseline_path} and {fresh_path}");
+            std::process::exit(2);
+        }
+
+        // Machine-speed calibration: divide out the median ratio.
+        let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "bench_gate: {} comparable rows, median fresh/baseline ratio {median:.3} \
+             (normalizing), threshold {threshold:.2}",
+            ratios.len()
+        );
+
+        for (key, r) in &ratios {
+            let norm = r / median;
+            let flag = if norm > threshold {
+                failed = true;
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            println!("  {key:<34} ratio {r:7.3}  normalized {norm:7.3}{flag}");
+        }
+    } else {
+        println!(
+            "bench_gate: no baseline committed at {baseline_path} (first run) — \
+             skipping regression comparison"
+        );
     }
+    // The absolute floors/ceilings below all read the committed baseline;
+    // parse it once. `None` (file absent) makes every check print the
+    // uniform first-run message and pass.
+    let base_doc = load_baseline_doc(baseline_path);
+    let skip = |check: &str| {
+        println!(
+            "bench_gate: no baseline committed at {baseline_path} (first run) — skipping {check}"
+        );
+    };
     // Absolute floor on the baseline's packed-over-prepacked gemm
     // speedup: the packed microkernel path must keep its headline win
     // over the pre-packed loop-nest substrate at the sizes where the
     // cache blocking pays (n ≥ 512).
-    if let Some(floor) = min_gemm {
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
-        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+    if min_gemm.is_some() && base_doc.is_none() {
+        skip("gemm-speedup floor");
+    }
+    if let (Some(floor), Some(doc)) = (min_gemm, &base_doc) {
         let Some(Json::Obj(speedups)) = doc.get("speedup_packed_vs_prepacked") else {
             eprintln!("bench_gate: {baseline_path} has no speedup_packed_vs_prepacked section");
             std::process::exit(2);
@@ -210,10 +267,10 @@ fn main() {
     // Absolute floor on the baseline's mixed-over-full speedup: the
     // mixed drivers must keep paying for themselves end-to-end at the
     // sizes the paper's argument rests on (gesv, n ≥ 1024).
-    if let Some(floor) = min_mixed {
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
-        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+    if min_mixed.is_some() && base_doc.is_none() {
+        skip("mixed-speedup floor");
+    }
+    if let (Some(floor), Some(doc)) = (min_mixed, &base_doc) {
         let Some(Json::Obj(speedups)) = doc.get("speedup_mixed_vs_full") else {
             eprintln!("bench_gate: {baseline_path} has no speedup_mixed_vs_full section");
             std::process::exit(2);
@@ -244,10 +301,10 @@ fn main() {
     }
     // Absolute ceiling on the baseline's ABFT verify overhead: detection
     // must stay an O(n²) tax on O(n³) work at the sizes that matter.
-    if let Some(ceiling) = max_abft {
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
-        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+    if max_abft.is_some() && base_doc.is_none() {
+        skip("abft-overhead ceiling");
+    }
+    if let (Some(ceiling), Some(doc)) = (max_abft, &base_doc) {
         let Some(Json::Obj(overheads)) = doc.get("abft_overhead") else {
             eprintln!("bench_gate: {baseline_path} has no abft_overhead section");
             std::process::exit(2);
@@ -276,6 +333,46 @@ fn main() {
         if checked == 0 {
             eprintln!("bench_gate: no verify overhead entries at n >= 1024 in {baseline_path}");
             std::process::exit(2);
+        }
+    }
+    // Absolute floor on the baseline's dag-over-blocked speedup: the
+    // tile task-graph runtime must keep beating the fork-join blocked
+    // path at the sizes where inter-step overlap pays (n ≥ 2048), on at
+    // least one of getrf/potrf — the routines whose trailing updates
+    // the dag pipelines across panel steps.
+    if min_dag.is_some() && base_doc.is_none() {
+        skip("dag-speedup floor");
+    }
+    if let (Some(floor), Some(doc)) = (min_dag, &base_doc) {
+        let Some(Json::Obj(speedups)) = doc.get("speedup_dag_vs_blocked") else {
+            eprintln!("bench_gate: {baseline_path} has no speedup_dag_vs_blocked section");
+            std::process::exit(2);
+        };
+        let mut checked = 0usize;
+        let mut best = 0.0f64;
+        for (key, val) in speedups {
+            let Some((family, n)) = key.rsplit_once('_') else {
+                continue;
+            };
+            let n: u64 = n.parse().unwrap_or(0);
+            if !(family == "getrf" || family == "potrf") || n < 2048 {
+                continue;
+            }
+            let s = val.as_f64().unwrap_or(0.0);
+            checked += 1;
+            best = best.max(s);
+            let flag = if s < floor { "  (below floor)" } else { "" };
+            println!("  dag speedup {key:<25} {s:7.3}  (floor {floor:.2}){flag}");
+        }
+        if checked == 0 {
+            eprintln!(
+                "bench_gate: no getrf/potrf dag-speedup entries at n >= 2048 in {baseline_path}"
+            );
+            std::process::exit(2);
+        }
+        if best < floor {
+            failed = true;
+            println!("  dag speedup: best getrf/potrf ratio {best:.3} << BELOW FLOOR {floor:.2}");
         }
     }
     // Serving gate: latency ceiling and goodput floor over the clean-mode

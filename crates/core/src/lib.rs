@@ -32,6 +32,12 @@
 //! * [`batch`] — the work-stealing batched-job dispatcher: panic
 //!   isolation, per-job fault scoping, policy inheritance and the
 //!   no-oversubscription clamp under every `*_batch` entry point.
+//! * [`dag`] — the dependency-tracked task-graph runtime (PLASMA-style
+//!   sequential-task-flow scheduling) under the tiled factorizations,
+//!   with the same per-task robustness contract as [`batch`].
+//! * [`tile`] — [`TileMat`], the tile-major store the dag algorithms
+//!   operate on: copy-in/copy-out from column-major [`Mat`] layout,
+//!   one allocation per tile so a memory-mapped backing can follow.
 //! * [`cancel`] — cooperative cancellation: [`CancelToken`] deadlines and
 //!   the `INFO = -103` (cancelled) / `-104` (worker panicked) extension
 //!   codes consumed by the batch dispatchers and the `la-serve` queue.
@@ -51,6 +57,7 @@ pub mod abft;
 pub mod batch;
 pub mod cancel;
 pub mod complex;
+pub mod dag;
 pub mod enums;
 pub mod error;
 pub mod except;
@@ -60,11 +67,13 @@ pub mod mixed;
 pub mod probe;
 pub mod scalar;
 pub mod storage;
+pub mod tile;
 pub mod tune;
 
 pub use abft::AbftPolicy;
 pub use cancel::CancelToken;
 pub use complex::{Complex, C32, C64};
+pub use dag::{Builder as DagBuilder, GraphStats};
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};
 pub use except::FpCheckPolicy;
@@ -73,4 +82,5 @@ pub use mixed::{Demote, Promote};
 pub use probe::ProbePolicy;
 pub use scalar::{RealScalar, Scalar};
 pub use storage::{BandMat, PackedMat, SymBandMat};
+pub use tile::TileMat;
 pub use tune::TuneConfig;

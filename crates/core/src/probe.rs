@@ -237,8 +237,28 @@ pub struct Span {
     pub bytes: u64,
     /// Wall nanoseconds, inclusive of children.
     pub nanos: u64,
+    /// Task-graph shape, when the call executed a [`crate::dag`] graph
+    /// (recorded via [`note_dag`]); `None` for every other routine.
+    pub dag: Option<DagShape>,
     /// Instrumented calls made by this call, in execution order.
     pub children: Vec<Span>,
+}
+
+/// Shape of a task graph executed under a span, recorded by the
+/// [`crate::dag`] runtime via [`note_dag`]: how the tiled factorization
+/// decomposed into tasks and how well the worker pool was kept busy.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct DagShape {
+    /// Tasks in the graph.
+    pub tasks: u64,
+    /// Dependency edges the builder inferred.
+    pub edges: u64,
+    /// Longest dependency chain, in tasks.
+    pub critical_path: u64,
+    /// Workers the scheduler ran.
+    pub workers: u64,
+    /// Busy fraction of the pool: `Σ task time / (workers · wall)`.
+    pub occupancy: f64,
 }
 
 impl Span {
@@ -266,6 +286,7 @@ struct Frame {
     flops: u64,
     bytes: u64,
     start: Instant,
+    dag: Option<DagShape>,
     /// Whether the span tree is being built (policy was `Spans` at entry).
     tree: bool,
     children: Vec<Span>,
@@ -466,6 +487,7 @@ impl Drop for ProbeGuard {
                 flops: frame.flops,
                 bytes: frame.bytes,
                 nanos,
+                dag: frame.dag,
                 children: frame.children,
             };
             let attached = ACTIVE.with(|a| {
@@ -516,6 +538,7 @@ pub fn span(layer: Layer, routine: &'static str, flops: u64, bytes: u64) -> Prob
             flops,
             bytes,
             start: Instant::now(),
+            dag: None,
             tree: p == ProbePolicy::Spans,
             children: Vec::new(),
         })
@@ -542,6 +565,18 @@ pub fn note_kernel(kernel: &'static str) {
     ACTIVE.with(|a| {
         if let Some(f) = a.borrow_mut().last_mut() {
             f.kernel = kernel;
+        }
+    });
+}
+
+/// Records the shape of a task graph the routine executed (task count,
+/// edges, critical-path length, worker occupancy) on the innermost
+/// active span of this thread. Called by [`crate::dag::Builder::run`]
+/// after every graph execution; no-op when no span is active.
+pub fn note_dag(shape: DagShape) {
+    ACTIVE.with(|a| {
+        if let Some(f) = a.borrow_mut().last_mut() {
+            f.dag = Some(shape);
         }
     });
 }
@@ -703,7 +738,7 @@ impl Report {
 
 fn render_span(out: &mut String, s: &Span, depth: usize) {
     out.push_str(&format!(
-        "{:indent$}{}{}{} [{}] nb={} threads={}{} flops={} ms={:.3}\n",
+        "{:indent$}{}{}{} [{}] nb={} threads={}{}{} flops={} ms={:.3}\n",
         "",
         s.routine,
         if s.lo { "[lo]" } else { "" },
@@ -715,6 +750,16 @@ fn render_span(out: &mut String, s: &Span, depth: usize) {
             String::new()
         } else {
             format!(" kernel={}", s.kernel)
+        },
+        match &s.dag {
+            None => String::new(),
+            Some(d) => format!(
+                " dag[tasks={} edges={} cp={} occupancy={:.0}%]",
+                d.tasks,
+                d.edges,
+                d.critical_path,
+                d.occupancy * 100.0
+            ),
         },
         s.flops,
         s.nanos as f64 / 1e6,
@@ -735,6 +780,16 @@ fn span_json(j: &mut JsonBuf, s: &Span) {
     j.field_uint("threads", s.threads as u64);
     if !s.kernel.is_empty() {
         j.field_str("kernel", s.kernel);
+    }
+    if let Some(d) = &s.dag {
+        j.key("dag");
+        j.begin_obj();
+        j.field_uint("tasks", d.tasks);
+        j.field_uint("edges", d.edges);
+        j.field_uint("critical_path", d.critical_path);
+        j.field_uint("workers", d.workers);
+        j.field_num("occupancy", d.occupancy);
+        j.end_obj();
     }
     j.field_uint("flops", s.flops);
     j.field_uint("bytes", s.bytes);

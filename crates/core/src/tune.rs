@@ -82,6 +82,42 @@ impl GemmKernel {
     }
 }
 
+/// Which algorithm family the dense factorizations (`getrf`, `potrf`,
+/// `geqrf`) run. Selected through the `factor` field of [`TuneConfig`]
+/// (env var `LA_FACTOR`); the blocked path stays the default until the
+/// bench gate proves the DAG wins on the host at hand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FactorAlgo {
+    /// Fork-join blocked factorization (panel + striped BLAS-3 trailing
+    /// update), the classic LAPACK shape. Default.
+    #[default]
+    Blocked,
+    /// Tile task-graph factorization (`la_core::dag` + `TileMat`):
+    /// dependency-tracked tasks over `LA_TILE_NB`-order tiles, so panel
+    /// factor, triangular solves and trailing updates of different steps
+    /// overlap. Falls back to the blocked path below the crossover order.
+    Dag,
+}
+
+impl FactorAlgo {
+    /// Parses the `LA_FACTOR` spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "blocked" => Some(FactorAlgo::Blocked),
+            "dag" => Some(FactorAlgo::Dag),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`FactorAlgo::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FactorAlgo::Blocked => "blocked",
+            FactorAlgo::Dag => "dag",
+        }
+    }
+}
+
 /// Process-wide tuning knobs for the BLAS-3 layer and the blocked
 /// factorizations. Plain data — copy it, edit fields, hand it to [`set`]
 /// or [`with`].
@@ -131,6 +167,13 @@ pub struct TuneConfig {
     /// Packed-gemm column block: columns of B packed per cache block
     /// (`LA_GEMM_NC`). `0` falls back to the compiled-in default.
     pub gemm_nc: usize,
+    /// Algorithm family for the dense factorizations (`LA_FACTOR`):
+    /// fork-join blocked (default) or the tile task-graph runtime.
+    pub factor: FactorAlgo,
+    /// Tile order for the task-graph factorizations (`LA_TILE_NB`).
+    /// `0` falls back to the compiled-in default (see
+    /// [`TuneConfig::tile_size`]).
+    pub tile_nb: usize,
     /// Permit a thread budget above the detected core count. Off by
     /// default: oversubscribing a host measurably *slows* BLAS-3 (the
     /// committed thread sweep shows threads=2 slower than threads=1 on a
@@ -158,6 +201,8 @@ impl TuneConfig {
             gemm_mc: 0,
             gemm_kc: 0,
             gemm_nc: 0,
+            factor: FactorAlgo::Blocked,
+            tile_nb: 0,
             oversubscribe: false,
         }
     }
@@ -182,11 +227,25 @@ impl TuneConfig {
         read("LA_GEMM_MC", &mut cfg.gemm_mc);
         read("LA_GEMM_KC", &mut cfg.gemm_kc);
         read("LA_GEMM_NC", &mut cfg.gemm_nc);
+        read("LA_TILE_NB", &mut cfg.tile_nb);
         if let Some(k) = std::env::var("LA_GEMM_KERNEL")
             .ok()
             .and_then(|s| GemmKernel::parse(&s))
         {
             cfg.gemm_kernel = k;
+        }
+        if let Some(f) = std::env::var("LA_FACTOR")
+            .ok()
+            .and_then(|s| FactorAlgo::parse(&s))
+        {
+            cfg.factor = f;
+        }
+        // `LA_OVERSUBSCRIBE=1` lifts the host-core clamp on the thread
+        // budget — the TSan stress job uses it to run many more workers
+        // than cores and shake out ordering bugs in dependency release.
+        if let Ok(v) = std::env::var("LA_OVERSUBSCRIBE") {
+            let v = v.trim().to_ascii_lowercase();
+            cfg.oversubscribe = matches!(v.as_str(), "1" | "true" | "yes" | "on");
         }
         cfg
     }
@@ -244,6 +303,19 @@ impl TuneConfig {
     /// ready for per-routine splits.
     pub fn crossover(&self, _routine: &str) -> usize {
         self.crossover
+    }
+
+    /// Resolved tile order for the task-graph factorizations:
+    /// `tile_nb`, or the compiled-in default when `tile_nb == 0`. The
+    /// default (192) gives each tile task a few million flops — large
+    /// enough to amortize scheduling, small enough for lookahead overlap
+    /// at n ≥ 2048.
+    pub fn tile_size(&self) -> usize {
+        if self.tile_nb > 0 {
+            self.tile_nb
+        } else {
+            192
+        }
     }
 }
 
@@ -449,5 +521,27 @@ mod tests {
         let mut cfg = TuneConfig::defaults();
         cfg.nb_getrf = 0;
         assert_eq!(cfg.nb("getrf"), 1);
+    }
+
+    #[test]
+    fn factor_algo_parses_and_round_trips() {
+        for f in [FactorAlgo::Blocked, FactorAlgo::Dag] {
+            assert_eq!(FactorAlgo::parse(f.as_str()), Some(f));
+            assert_eq!(FactorAlgo::parse(&f.as_str().to_uppercase()), Some(f));
+        }
+        assert_eq!(FactorAlgo::parse("magic"), None);
+        assert_eq!(
+            TuneConfig::defaults().factor,
+            FactorAlgo::Blocked,
+            "blocked stays the default until the gate proves the DAG wins"
+        );
+    }
+
+    #[test]
+    fn tile_size_resolves_default_and_override() {
+        let mut cfg = TuneConfig::defaults();
+        assert_eq!(cfg.tile_size(), 192);
+        cfg.tile_nb = 96;
+        assert_eq!(cfg.tile_size(), 96);
     }
 }

@@ -141,9 +141,15 @@ pub fn potrf<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
     }
 }
 
-/// The factorization proper, shared by the public entry and the ABFT
-/// recovery re-run.
-fn potrf_core<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
+/// The factorization proper, shared by the public entry, the ABFT
+/// recovery re-run, and the tiled-dag diagonal tasks.
+pub(crate) fn potrf_core<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
+    // LA_FACTOR=dag: hand problems spanning more than one tile to the
+    // task-graph runtime (same factor and info codes).
+    let cfg = la_core::tune::current();
+    if cfg.factor == la_core::tune::FactorAlgo::Dag && n > cfg.tile_size() {
+        return crate::tiled::potrf_dag(uplo, n, a, lda);
+    }
     let nb = ilaenv_nb("potrf");
     if n <= ilaenv_crossover("potrf") || nb >= n {
         return potf2(uplo, n, a, lda);

@@ -40,6 +40,7 @@ pub mod svd;
 pub mod svx;
 pub mod sym;
 pub mod testmat;
+pub mod tiled;
 
 pub use aux::*;
 pub use band::*;
@@ -60,3 +61,4 @@ pub use svd::*;
 pub use svx::*;
 pub use sym::*;
 pub use testmat::*;
+pub use tiled::{geqrf_dag, getrf_dag, potrf_dag};

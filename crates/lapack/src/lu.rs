@@ -132,10 +132,22 @@ pub fn getrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut 
     }
 }
 
-/// The factorization proper, shared by the public entry and the ABFT
-/// recovery re-run.
-fn getrf_core<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, ipiv: &mut [i32]) -> i32 {
+/// The factorization proper, shared by the public entry, the ABFT
+/// recovery re-run, and the tiled-dag panel tasks.
+pub(crate) fn getrf_core<T: Scalar>(
+    m: usize,
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+    ipiv: &mut [i32],
+) -> i32 {
     let mn = m.min(n);
+    // LA_FACTOR=dag: hand problems spanning more than one tile to the
+    // task-graph runtime (same factors, pivots and info codes).
+    let cfg = la_core::tune::current();
+    if cfg.factor == la_core::tune::FactorAlgo::Dag && mn > cfg.tile_size() {
+        return crate::tiled::getrf_dag(m, n, a, lda, ipiv);
+    }
     let nb = ilaenv_nb("getrf");
     if mn <= ilaenv_crossover("getrf").min(nb * 2) || nb >= mn {
         return getf2(m, n, a, lda, ipiv);

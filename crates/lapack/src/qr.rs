@@ -77,6 +77,12 @@ pub fn geqrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [
         (2 * m * n * std::mem::size_of::<T>()) as u64,
     );
     let k = m.min(n);
+    // LA_FACTOR=dag: hand problems spanning more than one tile to the
+    // task-graph runtime (same compact-WY output and info codes).
+    let cfg = la_core::tune::current();
+    if cfg.factor == la_core::tune::FactorAlgo::Dag && k > cfg.tile_size() {
+        return crate::tiled::geqrf_dag(m, n, a, lda, tau);
+    }
     let nb = ilaenv_nb("geqrf");
     if k <= 2 * nb {
         return geqr2(m, n, a, lda, tau);
@@ -84,6 +90,12 @@ pub fn geqrf<T: Scalar>(m: usize, n: usize, a: &mut [T], lda: usize, tau: &mut [
     let mut t = vec![T::zero(); nb * nb];
     let mut i = 0;
     while i < k {
+        // Cooperative cancellation checkpoint: one cheap thread-local
+        // read per panel step, so a deadline lands within one panel's
+        // O(n²·nb) of work instead of after the whole O(n³).
+        if la_core::cancel::cancelled() {
+            return la_core::cancel::INFO_CANCELLED;
+        }
         let ib = nb.min(k - i);
         // Factor the panel.
         geqr2(m - i, ib, &mut a[i + i * lda..], lda, &mut tau[i..i + ib]);

@@ -1,0 +1,504 @@
+//! Dag-vs-blocked equivalence for the tiled task-graph factorizations,
+//! across all four scalar types, plus the robustness contract of the dag
+//! runtime: tile-store losslessness, `INFO` extension-code attribution
+//! (`-102` soft fault, `-103` cancelled, `-104` panicked) and the probe
+//! record of the executed graph shape against closed-form task counts.
+//!
+//! The dag paths are forced on by a scoped `tune::with` override
+//! (`factor: Dag`, small `tile_nb`, oversubscribed thread budget), so the
+//! task decomposition and the concurrent scheduler run even on small
+//! matrices and single-core hosts.
+
+use la_core::tile::TileMat;
+use la_core::{tune, RealScalar, Scalar, Uplo, C32, C64};
+use la_lapack as f77;
+
+/// Serial blocked reference: thread budget 1, default factor algorithm.
+fn blocked() -> tune::TuneConfig {
+    tune::TuneConfig {
+        max_threads: 1,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+/// Forced dag: 4 workers (oversubscribed if the host has fewer cores),
+/// small tiles so test-sized matrices decompose into real graphs.
+fn dag(tile_nb: usize) -> tune::TuneConfig {
+    tune::TuneConfig {
+        factor: tune::FactorAlgo::Dag,
+        tile_nb,
+        max_threads: 4,
+        oversubscribe: true,
+        ..tune::TuneConfig::defaults()
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+    fn val<T: Scalar>(&mut self) -> T {
+        let re = self.next_f64();
+        let im = if T::IS_COMPLEX { self.next_f64() } else { 0.0 };
+        T::from_re_im(T::Real::from_f64(re), T::Real::from_f64(im))
+    }
+    fn vec<T: Scalar>(&mut self, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.val()).collect()
+    }
+}
+
+fn assert_close<T: Scalar>(reference: &[T], dagged: &[T], tol: f64, what: &str) {
+    assert_eq!(reference.len(), dagged.len());
+    for (idx, (&r, &d)) in reference.iter().zip(dagged).enumerate() {
+        let diff = (r - d).abs().to_f64();
+        let scale = 1.0 + r.abs().to_f64();
+        assert!(
+            diff <= tol * scale,
+            "{what}: element {idx} differs by {diff:.3e}"
+        );
+    }
+}
+
+/// Hermitian positive definite test matrix: `B·Bᴴ + n·I`.
+fn spd<T: Scalar>(rng: &mut Rng, n: usize) -> Vec<T> {
+    let b: Vec<T> = rng.vec(n * n);
+    let mut a = vec![T::zero(); n * n];
+    la_blas::gemm(
+        la_core::Trans::No,
+        la_core::Trans::ConjTrans,
+        n,
+        n,
+        n,
+        T::one(),
+        &b,
+        n,
+        &b,
+        n,
+        T::zero(),
+        &mut a,
+        n,
+    );
+    for i in 0..n {
+        a[i + i * n] += T::from_f64(n as f64);
+    }
+    a
+}
+
+fn getrf_equiv<T: Scalar>(tol: f64) {
+    for &(m, n) in &[(120usize, 120usize), (144, 96), (96, 144), (130, 110)] {
+        let mut rng = Rng(5);
+        let a0: Vec<T> = rng.vec(m * n);
+        let mn = m.min(n);
+        let mut ar = a0.clone();
+        let mut pr = vec![0i32; mn];
+        let ir = tune::with(blocked(), || f77::getrf(m, n, &mut ar, m, &mut pr));
+        let mut ad = a0.clone();
+        let mut pd = vec![0i32; mn];
+        let id = tune::with(dag(40), || f77::getrf(m, n, &mut ad, m, &mut pd));
+        assert_eq!(ir, id, "getrf {m}x{n} {}", T::PREFIX);
+        assert_eq!(pr, pd, "getrf pivots {m}x{n} {}", T::PREFIX);
+        assert_close(&ar, &ad, tol, &format!("getrf {m}x{n} {}", T::PREFIX));
+    }
+}
+
+fn potrf_equiv<T: Scalar>(tol: f64) {
+    let n = 120usize;
+    let mut rng = Rng(9);
+    let a0: Vec<T> = spd(&mut rng, n);
+    for uplo in [Uplo::Lower, Uplo::Upper] {
+        let mut ar = a0.clone();
+        let ir = tune::with(blocked(), || f77::potrf(uplo, n, &mut ar, n));
+        let mut ad = a0.clone();
+        let id = tune::with(dag(40), || f77::potrf(uplo, n, &mut ad, n));
+        assert_eq!(ir, 0, "potrf blocked {uplo:?} {}", T::PREFIX);
+        assert_eq!(id, 0, "potrf dag {uplo:?} {}", T::PREFIX);
+        // Compare the factored triangle only (the other half is not
+        // referenced by either algorithm).
+        for j in 0..n {
+            for i in 0..n {
+                let in_tri = match uplo {
+                    Uplo::Lower => i >= j,
+                    Uplo::Upper => i <= j,
+                };
+                if in_tri {
+                    let (r, d) = (ar[i + j * n], ad[i + j * n]);
+                    let diff = (r - d).abs().to_f64();
+                    assert!(
+                        diff <= tol * (1.0 + r.abs().to_f64()),
+                        "potrf {uplo:?} {} ({i},{j}): {diff:.3e}",
+                        T::PREFIX
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn geqrf_equiv<T: Scalar>(tol: f64) {
+    for &(m, n) in &[(120usize, 120usize), (150, 90), (90, 130)] {
+        let mut rng = Rng(13);
+        let a0: Vec<T> = rng.vec(m * n);
+        let k = m.min(n);
+        let mut ar = a0.clone();
+        let mut tr = vec![T::zero(); k];
+        let ir = tune::with(blocked(), || f77::geqrf(m, n, &mut ar, m, &mut tr));
+        let mut ad = a0.clone();
+        let mut td = vec![T::zero(); k];
+        let id = tune::with(dag(40), || f77::geqrf(m, n, &mut ad, m, &mut td));
+        assert_eq!(ir, id, "geqrf {m}x{n} {}", T::PREFIX);
+        assert_close(&ar, &ad, tol, &format!("geqrf {m}x{n} {}", T::PREFIX));
+        assert_close(&tr, &td, tol, &format!("geqrf tau {m}x{n} {}", T::PREFIX));
+    }
+}
+
+#[test]
+fn dag_matches_blocked_f32() {
+    getrf_equiv::<f32>(5e-3);
+    potrf_equiv::<f32>(5e-3);
+    geqrf_equiv::<f32>(5e-3);
+}
+
+#[test]
+fn dag_matches_blocked_f64() {
+    getrf_equiv::<f64>(1e-9);
+    potrf_equiv::<f64>(1e-9);
+    geqrf_equiv::<f64>(1e-9);
+}
+
+#[test]
+fn dag_matches_blocked_c32() {
+    getrf_equiv::<C32>(5e-3);
+    potrf_equiv::<C32>(5e-3);
+    geqrf_equiv::<C32>(5e-3);
+}
+
+#[test]
+fn dag_matches_blocked_c64() {
+    getrf_equiv::<C64>(1e-9);
+    potrf_equiv::<C64>(1e-9);
+    geqrf_equiv::<C64>(1e-9);
+}
+
+#[test]
+fn tile_copy_round_trip_is_bitwise() {
+    // Values chosen to be representation-sensitive: subnormals, negative
+    // zero, huge magnitudes — a lossy copy path would perturb them.
+    let specials = [
+        f64::MIN_POSITIVE / 4.0,
+        -0.0,
+        1.0e300,
+        -3.5e-200,
+        f64::MAX,
+        1.0 + f64::EPSILON,
+    ];
+    for &(m, n, nb) in &[(37usize, 29usize, 8usize), (64, 64, 16), (5, 90, 32)] {
+        let a: Vec<f64> = (0..m * n)
+            .map(|k| specials[k % specials.len()] * (1.0 + k as f64))
+            .collect();
+        let t = TileMat::from_col_major(m, n, &a, m, nb);
+        let mut back = vec![0.0f64; m * n];
+        t.copy_out(&mut back, m);
+        for k in 0..m * n {
+            assert_eq!(
+                a[k].to_bits(),
+                back[k].to_bits(),
+                "m={m} n={n} nb={nb} at {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancelled_token_reports_info_minus_103() {
+    let token = la_core::CancelToken::new();
+    token.cancel();
+    let n = 96usize;
+    let mut rng = Rng(21);
+    let a0: Vec<f64> = rng.vec(n * n);
+
+    let mut a = a0.clone();
+    let mut piv = vec![0i32; n];
+    let info = tune::with(dag(32), || {
+        la_core::cancel::with_token(token.clone(), || f77::getrf(n, n, &mut a, n, &mut piv))
+    });
+    assert_eq!(info, la_core::cancel::INFO_CANCELLED);
+    // A cancelled run must still leave a valid (identity-extended)
+    // permutation so callers that ignore info cannot index out of range.
+    for (j, &p) in piv.iter().enumerate() {
+        assert!(p >= 1 && p as usize <= n, "ipiv[{j}] = {p} out of range");
+    }
+
+    let mut a: Vec<f64> = spd(&mut rng, n);
+    let info = tune::with(dag(32), || {
+        la_core::cancel::with_token(token.clone(), || f77::potrf(Uplo::Lower, n, &mut a, n))
+    });
+    assert_eq!(info, la_core::cancel::INFO_CANCELLED);
+
+    let mut a = a0;
+    let mut tau = vec![0.0f64; n];
+    let info = tune::with(dag(32), || {
+        la_core::cancel::with_token(token, || f77::geqrf(n, n, &mut a, n, &mut tau))
+    });
+    assert_eq!(info, la_core::cancel::INFO_CANCELLED);
+}
+
+/// Closed-form task counts for evenly tiled problems (`nb | n`).
+mod task_counts {
+    /// Lower Cholesky on a `t × t` tile grid: per step `k` one `potf2`,
+    /// `t−k−1` `trsm`, `t−k−1` `herk` and `C(t−k−1, 2)` `gemm` tasks.
+    pub fn potrf(t: usize) -> u64 {
+        (0..t)
+            .map(|k| {
+                let r = (t - k - 1) as u64;
+                1 + 2 * r + r * r.saturating_sub(1) / 2
+            })
+            .sum()
+    }
+
+    /// Square LU on a `t × t` tile grid: per step `k` one panel, `k`
+    /// left-swap tasks, `t−k−1` swap+trsm tasks and `(t−k−1)²` gemm
+    /// tasks.
+    pub fn getrf(t: usize) -> u64 {
+        (0..t)
+            .map(|k| {
+                let r = (t - k - 1) as u64;
+                1 + k as u64 + r + r * r
+            })
+            .sum()
+    }
+
+    /// Square QR on a `t × t` tile grid: per step one panel and `t−k−1`
+    /// block-reflector applies.
+    pub fn geqrf(t: usize) -> u64 {
+        (0..t).map(|k| 1 + (t - k - 1) as u64).sum()
+    }
+}
+
+#[test]
+fn probe_task_counts_match_closed_form() {
+    use la_core::probe::{self, ProbePolicy};
+    let n = 128usize; // 4 × 4 grid at tile_nb = 32
+    let t = 4usize;
+    let mut rng = Rng(33);
+    let a0: Vec<f64> = rng.vec(n * n);
+    let spd0: Vec<f64> = spd(&mut rng, n);
+
+    let shape_of = |routine: &str, f: &mut dyn FnMut()| -> probe::DagShape {
+        probe::reset();
+        probe::with_policy(ProbePolicy::Spans, || tune::with(dag(32), f));
+        let report = probe::snapshot();
+        let span = report
+            .spans
+            .iter()
+            .find_map(|s| s.find(routine))
+            .unwrap_or_else(|| panic!("{routine} span missing"));
+        span.dag
+            .unwrap_or_else(|| panic!("{routine} has no dag shape"))
+    };
+
+    let shape = shape_of("getrf_dag", &mut || {
+        let mut a = a0.clone();
+        let mut piv = vec![0i32; n];
+        assert_eq!(f77::getrf(n, n, &mut a, n, &mut piv), 0);
+    });
+    assert_eq!(shape.tasks, task_counts::getrf(t), "getrf task count");
+    assert!(shape.critical_path >= t as u64, "getrf critical path");
+    assert!(shape.occupancy > 0.0 && shape.occupancy <= 1.0);
+
+    let shape = shape_of("potrf_dag", &mut || {
+        let mut a = spd0.clone();
+        assert_eq!(f77::potrf(Uplo::Lower, n, &mut a, n), 0);
+    });
+    assert_eq!(shape.tasks, task_counts::potrf(t), "potrf task count");
+    assert!(shape.critical_path >= t as u64, "potrf critical path");
+
+    let shape = shape_of("geqrf_dag", &mut || {
+        let mut a = a0.clone();
+        let mut tau = vec![0.0f64; n];
+        assert_eq!(f77::geqrf(n, n, &mut a, n, &mut tau), 0);
+    });
+    assert_eq!(shape.tasks, task_counts::geqrf(t), "geqrf task count");
+    assert_eq!(
+        shape.critical_path,
+        (2 * t - 1) as u64,
+        "geqrf critical path"
+    );
+}
+
+/// Fault attribution through the dag runtime: a panicking task surfaces
+/// `-104` on its own slot (dependents skipped), and an ABFT-detected
+/// soft fault surfaces `-102` through the driver stack with the dag
+/// routing active.
+#[cfg(feature = "fault-inject")]
+mod fault_attribution {
+    use super::*;
+    use la_core::abft::inject::{arm, disarm, CorruptKind, Corruption};
+    use la_core::abft::{self, AbftPolicy};
+    use la_core::{DagBuilder, LaError, Mat};
+
+    /// Silences the intentional test panic only; everything else still
+    /// prints.
+    fn quiet_test_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let ours = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected dag task fault"));
+                if !ours {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panicking_task_is_attributed_minus_104() {
+        quiet_test_panics();
+        let n = 8usize;
+        let a: Vec<f64> = (0..n * n).map(|k| k as f64).collect();
+        let tm = TileMat::from_col_major(n, n, &a, n, 4);
+        let result = tune::with(dag(4), || {
+            let mut g = DagBuilder::new();
+            let t00 = tm.tile_id(0, 0);
+            let t11 = tm.tile_id(1, 1);
+            g.task("ok", &[], &[t00], || 0);
+            g.task("boom", &[t00], &[t11], || panic!("injected dag task fault"));
+            g.task("dependent", &[t11], &[t00], || 7);
+            g.run()
+        });
+        assert_eq!(result.infos[0], 0);
+        assert_eq!(result.infos[1], -104, "panic attributed to its own task");
+        assert_eq!(result.infos[2], 0, "dependent skipped after abort");
+        assert_eq!(result.info(), -104);
+    }
+
+    #[test]
+    fn soft_fault_surfaces_minus_102_through_dag_routing() {
+        let mut rng = Rng(31);
+        let n = 96usize;
+        let mut a0: Mat<f64> = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                a0[(i, j)] = if i == j { 8.0 } else { rng.next_f64() };
+            }
+        }
+        let b0: Vec<f64> = rng.vec(n);
+
+        // Same dag routing, with the ABFT flop threshold at zero so the
+        // factor-level checksum engages at test size.
+        let dag_abft = |nb: usize| tune::TuneConfig {
+            par_flops: 0,
+            ..dag(nb)
+        };
+
+        abft::clear_pending();
+        let err = tune::with(dag_abft(32), || {
+            abft::with_policy(AbftPolicy::Verify, || {
+                arm(Corruption {
+                    routine: "getrf",
+                    stripe: 1,
+                    kind: CorruptKind::Scale,
+                });
+                let mut a = a0.clone();
+                let mut b = b0.clone();
+                la90::gesv(&mut a, &mut b)
+            })
+        })
+        .expect_err("corrupted dag factorization must fail under Verify");
+        disarm();
+        match err {
+            LaError::SoftFault { routine, .. } => assert_eq!(routine, "LA_GESV"),
+            other => panic!("expected SoftFault, got {other:?}"),
+        }
+        assert_eq!(err.info(), -102);
+        assert!(
+            abft::take_pending().is_none(),
+            "erinfo must drain the pending fault"
+        );
+
+        // Recover policy: same corruption, clean solve.
+        let solved = tune::with(dag_abft(32), || {
+            abft::with_policy(AbftPolicy::Recover, || {
+                arm(Corruption {
+                    routine: "getrf",
+                    stripe: 1,
+                    kind: CorruptKind::Scale,
+                });
+                let mut a = a0.clone();
+                let mut b = b0.clone();
+                la90::gesv(&mut a, &mut b).map(|_| b)
+            })
+        })
+        .expect("recovery must produce a clean solution");
+        disarm();
+        // Residual check: A·x = b.
+        let mut r = b0.clone();
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a0[(i, j)] * solved[j];
+            }
+            r[i] -= s;
+        }
+        let resid = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(resid < 1e-8, "recovered residual {resid:e}");
+    }
+}
+
+/// Oversubscribed scheduler stress: many repeated runs at a high worker
+/// count on small tiles, checking dag-vs-blocked equality every time.
+/// Ignored by default (slow); the CI TSan job runs it with
+/// `--ignored` under `LA_NUM_THREADS=16 LA_OVERSUBSCRIBE=1`.
+#[test]
+#[ignore = "stress loop; run explicitly (CI TSan job does)"]
+fn oversubscribed_stress_repeated_seeds() {
+    let iters: usize = std::env::var("LA_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let n = 128usize;
+    let stress = tune::TuneConfig {
+        factor: tune::FactorAlgo::Dag,
+        tile_nb: 16,
+        max_threads: 16,
+        oversubscribe: true,
+        ..tune::TuneConfig::defaults()
+    };
+    for it in 0..iters {
+        let mut rng = Rng(1000 + it as u64);
+        let a0: Vec<f64> = rng.vec(n * n);
+        let mut ar = a0.clone();
+        let mut pr = vec![0i32; n];
+        let ir = tune::with(blocked(), || f77::getrf(n, n, &mut ar, n, &mut pr));
+        let mut ad = a0.clone();
+        let mut pd = vec![0i32; n];
+        let id = tune::with(stress, || f77::getrf(n, n, &mut ad, n, &mut pd));
+        assert_eq!(ir, id, "iter {it}");
+        assert_eq!(pr, pd, "iter {it} pivots");
+        assert_close(&ar, &ad, 1e-9, &format!("stress getrf iter {it}"));
+
+        let spd0: Vec<f64> = spd(&mut rng, n);
+        let mut ar = spd0.clone();
+        assert_eq!(
+            tune::with(blocked(), || f77::potrf(Uplo::Lower, n, &mut ar, n)),
+            0
+        );
+        let mut ad = spd0;
+        assert_eq!(
+            tune::with(stress, || f77::potrf(Uplo::Lower, n, &mut ad, n)),
+            0
+        );
+        assert_close(&ar, &ad, 1e-9, &format!("stress potrf iter {it}"));
+    }
+}
