@@ -1,0 +1,43 @@
+//! f32-accumulation reroute for the software half-precision types.
+//!
+//! `F16`/`Bf16` (see `la_core::half`) are storage formats, not compute
+//! formats: every arithmetic op round-trips through f32 in software, so
+//! running the packed BLAS-3 loop nest natively on them would be both
+//! slow (a conversion per flop) and inaccurate (each partial sum rounded
+//! to an 8–11-bit significand — an O(k·eps_half) error the half-precision
+//! literature works hard to avoid). Instead, the Level-3 entry points
+//! consult [`Scalar::IS_HALF`] — a const the compiler folds per
+//! instantiation — and reroute: widen the operands to f32 once, run the
+//! full packed/striped/SIMD f32 machinery, and round the output back
+//! once. One rounding on the way out instead of one per multiply-add,
+//! and the half types ride the fast path for free.
+//!
+//! The widening is exact (every half value is an f32 value), so the
+//! result equals "true f32 accumulation of half inputs" — the semantics
+//! GPU tensor cores give f16 gemm, and the accuracy model the
+//! mixed-precision refinement drivers assume for their lo-precision
+//! factorizations.
+
+use la_core::{RealScalar, Scalar};
+
+/// Widens one half-precision scalar to f32 (exact). Only meaningful for
+/// `T::IS_HALF` types — the `re().to_f64()` path is how a generic
+/// context extracts the value without naming the concrete type.
+#[inline(always)]
+pub(crate) fn to_f32<T: Scalar>(x: T) -> f32 {
+    debug_assert!(T::IS_HALF);
+    x.re().to_f64() as f32
+}
+
+/// Widens a half-precision slice to a fresh f32 buffer (exact).
+pub(crate) fn widen<T: Scalar>(src: &[T]) -> Vec<f32> {
+    src.iter().map(|&x| to_f32(x)).collect()
+}
+
+/// Rounds an f32 buffer back into the half-precision slice (one rounding
+/// per element — the only narrowing in the rerouted operation).
+pub(crate) fn narrow<T: Scalar>(src: &[f32], dst: &mut [T]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = T::from_f64(s as f64);
+    }
+}

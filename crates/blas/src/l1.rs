@@ -121,7 +121,7 @@ pub fn dotc<T: Scalar>(n: usize, x: &[T], incx: usize, y: &[T], incy: usize) -> 
 pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: usize) -> T::Real {
     let (mut scale, mut ssq) = (T::Real::zero(), T::Real::one());
     lassq(n, x, incx, &mut scale, &mut ssq);
-    scale * ssq.rsqrt()
+    scale * ssq.sqrt_r()
 }
 
 /// `xLASSQ`: updates `(scale, ssq)` so that

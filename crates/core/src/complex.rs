@@ -138,15 +138,15 @@ impl<T: RealScalar> Complex<T> {
     pub fn sqrt(self) -> Self {
         if self.im == T::zero() {
             if self.re >= T::zero() {
-                Complex::new(self.re.rsqrt(), T::zero())
+                Complex::new(self.re.sqrt_r(), T::zero())
             } else {
-                Complex::new(T::zero(), (-self.re).rsqrt())
+                Complex::new(T::zero(), (-self.re).sqrt_r())
             }
         } else {
             let m = self.abs();
             let two = T::one() + T::one();
-            let u = ((m + self.re) / two).rsqrt();
-            let v = ((m - self.re) / two).rsqrt();
+            let u = ((m + self.re) / two).sqrt_r();
+            let v = ((m - self.re) / two).sqrt_r();
             if self.im >= T::zero() {
                 Complex::new(u, v)
             } else {

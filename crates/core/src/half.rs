@@ -1,0 +1,580 @@
+//! Software half-precision storage types — the narrow end of the
+//! precision lattice.
+//!
+//! [`F16`] is IEEE 754 binary16 (1+5+10 bits, range ±65504, unit roundoff
+//! 2⁻¹¹); [`Bf16`] is bfloat16 (1+8+7 bits, the f32 range with an 8-bit
+//! significand). Neither is a compute format here: they exist as
+//! **demotion targets** for the mixed-precision refinement drivers — the
+//! MPLAPACK/GMRES-IR regime where the O(n³) factorization runs in a
+//! narrow format and working-precision refinement recovers full accuracy
+//! (PAPERS.md, arXiv:2109.13406).
+//!
+//! Both types implement [`Scalar`] and [`RealScalar`] completely, so
+//! every generic BLAS/LAPACK routine monomorphises over them unchanged.
+//! Elementwise arithmetic converts to `f32`, operates, and rounds back
+//! (round-to-nearest-even, the IEEE default); the BLAS-3 layer recognises
+//! `IS_HALF` and instead accumulates whole `gemm`/`trsm`/`syrk` calls in
+//! f32, rounding only the stored results — the "f32 accumulation" scheme
+//! every practical half-precision GEMM uses, and the accuracy model the
+//! three-precision refinement loop assumes.
+//!
+//! The conversions are bit-exact software implementations (no hardware
+//! `F16C` dependency): round-to-nearest-even on narrowing, exact on
+//! widening, subnormals handled at both ends.
+//!
+//! ```
+//! use la_core::half::{Bf16, F16};
+//! use la_core::{RealScalar, Scalar};
+//! assert_eq!(F16::from_f32(1.0 + f32::EPSILON).to_f32(), 1.0); // rounds
+//! assert_eq!(F16::rmax().to_f32(), 65504.0);
+//! assert!(Bf16::from_f32(1e30).to_f32().is_finite()); // bf16 keeps f32 range
+//! assert_eq!(F16::from_f32(2.0).sqrt_r(), F16::from_f32(2.0f32.sqrt()));
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::scalar::{RealScalar, Scalar};
+
+// --- binary16 <-> f32 bit conversions --------------------------------
+
+/// Narrows an `f32` to binary16 bits, round-to-nearest-even, with
+/// overflow to ±∞ and gradual underflow to subnormals/±0.
+fn f32_to_f16_bits(v: f32) -> u16 {
+    let x = v.to_bits();
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let absx = x & 0x7fff_ffff;
+    if absx >= 0x7f80_0000 {
+        // Inf propagates; any NaN becomes a quiet NaN.
+        return if absx > 0x7f80_0000 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+    // Biased binary16 exponent: f32 bias 127 → f16 bias 15.
+    let e = (absx >> 23) as i32 - 112;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow → ±∞
+    }
+    if e <= 0 {
+        // Subnormal range (or rounds to zero below it).
+        if e < -10 {
+            return sign;
+        }
+        let man = (absx & 0x7f_ffff) | 0x80_0000; // implicit bit restored
+        let shift = (14 - e) as u32; // 14..=24
+        let half = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let up = (rem > halfway) as u32 + ((rem == halfway) as u32 & (half & 1));
+        return sign | (half + up) as u16;
+    }
+    let man = absx & 0x7f_ffff;
+    let half = ((e as u32) << 10) | (man >> 13);
+    let rem = man & 0x1fff;
+    // Round to nearest even; a carry may ripple into the exponent (and
+    // from the largest normal into ∞), which is exactly right.
+    let up = (rem > 0x1000) as u32 + ((rem == 0x1000) as u32 & (half & 1));
+    sign | (half + up) as u16
+}
+
+/// Widens binary16 bits to `f32` (exact — every binary16 value is an f32
+/// value).
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let man = (h & 0x3ff) as u32;
+    match exp {
+        0x1f => f32::from_bits(sign | 0x7f80_0000 | (man << 13) | ((man != 0) as u32) << 22),
+        0 => {
+            // Subnormal: man · 2⁻²⁴ exactly (2⁻²⁴ = f32 bits 0x3380_0000).
+            let mag = man as f32 * f32::from_bits(0x3380_0000);
+            if sign != 0 {
+                -mag
+            } else {
+                mag
+            }
+        }
+        _ => f32::from_bits(sign | ((exp as u32 + 112) << 23) | (man << 13)),
+    }
+}
+
+// --- bfloat16 <-> f32 bit conversions --------------------------------
+
+/// Narrows an `f32` to bfloat16 bits (truncate-with-round-to-nearest-even
+/// on bit 16). bfloat16 has no subnormal surprises beyond f32's own.
+fn f32_to_bf16_bits(v: f32) -> u16 {
+    let x = v.to_bits();
+    if v.is_nan() {
+        // Keep the sign, force a quiet NaN that survives the truncation.
+        return ((x >> 16) as u16) | 0x0040;
+    }
+    let round = ((x >> 16) & 1) + 0x7fff;
+    ((x + round) >> 16) as u16
+}
+
+/// Widens bfloat16 bits to `f32` (exact: the low 16 mantissa bits are
+/// zero-filled).
+fn bf16_bits_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+macro_rules! impl_half_type {
+    ($name:ident, $doc:literal, $prefix:expr, $cprefix:expr,
+     $to_f32:ident, $from_f32:ident,
+     eps_bits: $eps:expr, rmin_bits: $rmin:expr, rmax_bits: $rmax:expr,
+     nan_bits: $nan:expr, inf_bits: $inf:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Copy, Default, PartialEq)]
+        #[repr(transparent)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// The raw bit pattern.
+            #[inline(always)]
+            pub const fn to_bits(self) -> u16 {
+                self.0
+            }
+            /// Builds from a raw bit pattern.
+            #[inline(always)]
+            pub const fn from_bits(bits: u16) -> Self {
+                Self(bits)
+            }
+            /// Widens to `f32` (exact).
+            #[inline(always)]
+            pub fn to_f32(self) -> f32 {
+                $to_f32(self.0)
+            }
+            /// Rounds an `f32` to nearest-even.
+            #[inline(always)]
+            pub fn from_f32(v: f32) -> Self {
+                Self($from_f32(v))
+            }
+        }
+
+        impl PartialOrd for $name {
+            #[inline(always)]
+            fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+                self.to_f32().partial_cmp(&other.to_f32())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.to_f32())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.to_f32(), f)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, o: Self) -> Self {
+                Self::from_f32(self.to_f32() + o.to_f32())
+            }
+        }
+        impl Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, o: Self) -> Self {
+                Self::from_f32(self.to_f32() - o.to_f32())
+            }
+        }
+        impl Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, o: Self) -> Self {
+                Self::from_f32(self.to_f32() * o.to_f32())
+            }
+        }
+        impl Div for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn div(self, o: Self) -> Self {
+                Self::from_f32(self.to_f32() / o.to_f32())
+            }
+        }
+        impl Neg for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn neg(self) -> Self {
+                Self(self.0 ^ 0x8000)
+            }
+        }
+        impl AddAssign for $name {
+            #[inline(always)]
+            fn add_assign(&mut self, o: Self) {
+                *self = *self + o;
+            }
+        }
+        impl SubAssign for $name {
+            #[inline(always)]
+            fn sub_assign(&mut self, o: Self) {
+                *self = *self - o;
+            }
+        }
+        impl MulAssign for $name {
+            #[inline(always)]
+            fn mul_assign(&mut self, o: Self) {
+                *self = *self * o;
+            }
+        }
+        impl DivAssign for $name {
+            #[inline(always)]
+            fn div_assign(&mut self, o: Self) {
+                *self = *self / o;
+            }
+        }
+        impl Sum for $name {
+            /// Accumulates in `f32` and rounds once at the end — matching
+            /// the f32-accumulation contract of the half BLAS paths.
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self::from_f32(iter.map(|v| v.to_f32()).sum())
+            }
+        }
+
+        impl Scalar for $name {
+            type Real = $name;
+            const IS_COMPLEX: bool = false;
+            const IS_HALF: bool = true;
+            const PREFIX: char = $prefix;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                Self(0)
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                Self::from_f32(1.0)
+            }
+            #[inline(always)]
+            fn from_real(re: Self) -> Self {
+                re
+            }
+            #[inline(always)]
+            fn from_re_im(re: Self, _im: Self) -> Self {
+                re
+            }
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                // Via f32: double rounding can differ from direct f64
+                // rounding only on exact f32 ties, which a demotion
+                // target tolerates (the refinement loop absorbs it).
+                Self::from_f32(x as f32)
+            }
+            #[inline(always)]
+            fn re(self) -> Self {
+                self
+            }
+            #[inline(always)]
+            fn im(self) -> Self {
+                Self(0)
+            }
+            #[inline(always)]
+            fn conj(self) -> Self {
+                self
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                Self(self.0 & 0x7fff)
+            }
+            #[inline(always)]
+            fn abs1(self) -> Self {
+                Self(self.0 & 0x7fff)
+            }
+            #[inline(always)]
+            fn abs_sqr(self) -> Self {
+                let v = self.to_f32();
+                Self::from_f32(v * v)
+            }
+            #[inline(always)]
+            fn mul_real(self, r: Self) -> Self {
+                self * r
+            }
+            #[inline(always)]
+            fn div_real(self, r: Self) -> Self {
+                self / r
+            }
+            #[inline(always)]
+            fn recip(self) -> Self {
+                Self::from_f32(1.0 / self.to_f32())
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                Self::from_f32(self.to_f32().sqrt())
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                (self.0 & 0x7fff) < $inf
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                (self.0 & 0x7fff) > $inf
+            }
+        }
+
+        impl RealScalar for $name {
+            const EPS: Self = Self($eps);
+            const CPREFIX: char = $cprefix;
+
+            #[inline(always)]
+            fn sfmin() -> Self {
+                // Smallest positive normal; its reciprocal is finite in
+                // both formats.
+                Self($rmin)
+            }
+            #[inline(always)]
+            fn rmin() -> Self {
+                Self($rmin)
+            }
+            #[inline(always)]
+            fn rmax() -> Self {
+                Self($rmax)
+            }
+            #[inline(always)]
+            fn rabs(self) -> Self {
+                Self(self.0 & 0x7fff)
+            }
+            #[inline(always)]
+            fn sqrt_r(self) -> Self {
+                Self::from_f32(self.to_f32().sqrt())
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                Self::from_f32(self.to_f32().hypot(other.to_f32()))
+            }
+            #[inline(always)]
+            fn atan2(self, other: Self) -> Self {
+                Self::from_f32(self.to_f32().atan2(other.to_f32()))
+            }
+            #[inline(always)]
+            fn sin_r(self) -> Self {
+                Self::from_f32(self.to_f32().sin())
+            }
+            #[inline(always)]
+            fn cos_r(self) -> Self {
+                Self::from_f32(self.to_f32().cos())
+            }
+            #[inline(always)]
+            fn maxr(self, other: Self) -> Self {
+                if self >= other {
+                    self
+                } else {
+                    other
+                }
+            }
+            #[inline(always)]
+            fn minr(self, other: Self) -> Self {
+                if self <= other {
+                    self
+                } else {
+                    other
+                }
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                Self::from_f32(self.to_f32().powi(n))
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                Self::from_f32(self.to_f32().ln())
+            }
+            #[inline(always)]
+            fn log10(self) -> Self {
+                Self::from_f32(self.to_f32().log10())
+            }
+            #[inline(always)]
+            fn round_r(self) -> Self {
+                Self::from_f32(self.to_f32().round())
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self.to_f32() as f64
+            }
+            #[inline(always)]
+            fn from_usize(n: usize) -> Self {
+                Self::from_f32(n as f32)
+            }
+            #[inline(always)]
+            fn is_finite_r(self) -> bool {
+                Scalar::is_finite(self)
+            }
+            #[inline(always)]
+            fn nan() -> Self {
+                Self($nan)
+            }
+        }
+    };
+}
+
+impl_half_type!(
+    F16,
+    "IEEE 754 binary16: 1 sign + 5 exponent + 10 significand bits. \
+     Range ±65504, smallest positive normal 2⁻¹⁴ ≈ 6.1e-5, machine \
+     epsilon 2⁻¹⁰ ≈ 9.8e-4. The speed end of the precision lattice — \
+     and the reason [`crate::mixed::demote_slice`] flags underflow as \
+     well as overflow.",
+    'H',
+    'h',
+    f16_bits_to_f32,
+    f32_to_f16_bits,
+    eps_bits: 0x1400,  // 2^-10
+    rmin_bits: 0x0400, // 2^-14
+    rmax_bits: 0x7bff, // 65504
+    nan_bits: 0x7e00,
+    inf_bits: 0x7c00
+);
+
+impl_half_type!(
+    Bf16,
+    "bfloat16: 1 sign + 8 exponent + 7 significand bits — the top half \
+     of an `f32`. Keeps the f32 exponent range (±3.4e38, smallest \
+     positive normal 2⁻¹²⁶), trading significand for range: machine \
+     epsilon 2⁻⁷ ≈ 7.8e-3. Demotion rarely overflows or underflows, but \
+     a factorization carries only ~2 decimal digits — exactly the regime \
+     three-precision iterative refinement exists for.",
+    'B',
+    'b',
+    bf16_bits_to_f32,
+    f32_to_bf16_bits,
+    eps_bits: 0x3c00,  // 2^-7
+    rmin_bits: 0x0080, // 2^-126
+    rmax_bits: 0x7f7f, // ~3.39e38
+    nan_bits: 0x7fc0,
+    inf_bits: 0x7f80
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_conversion_round_trips_every_bit_pattern() {
+        // Exhaustive: widening then narrowing is the identity on every
+        // finite binary16 value, NaNs stay NaN, infinities stay infinite.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let w = h.to_f32();
+            let back = F16::from_f32(w);
+            if h.is_nan() {
+                assert!(w.is_nan() && back.is_nan(), "bits {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} via {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_conversion_round_trips_every_bit_pattern() {
+        for bits in 0..=u16::MAX {
+            let h = Bf16::from_bits(bits);
+            let w = h.to_f32();
+            let back = Bf16::from_f32(w);
+            if h.is_nan() {
+                assert!(w.is_nan() && back.is_nan(), "bits {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} via {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1 and 1 + 2^-10: ties to
+        // even → 1. One ulp above the tie rounds up.
+        assert_eq!(F16::from_f32(1.0 + 0.000_488_281_25).to_f32(), 1.0);
+        let next = 1.0 + 2.0f32.powi(-10);
+        // One f32 ulp above the tie is no longer a tie: rounds up.
+        let above_tie = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-23);
+        assert_eq!(F16::from_f32(above_tie).to_f32(), next);
+        // And the tie above an odd significand rounds *up* to even.
+        assert_eq!(
+            F16::from_f32(next + 0.000_488_281_25).to_f32(),
+            1.0 + 2.0 * 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn f16_overflow_underflow_edges() {
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7bff);
+        assert!(!F16::from_f32(65520.0).is_finite()); // rounds to ∞
+        assert!(F16::from_f32(65519.9).is_finite()); // rounds to 65504
+        assert_eq!(F16::from_f32(-65504.0).to_f32(), -65504.0);
+        // Gradual underflow: smallest subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        assert_eq!(F16::from_f32(tiny * 0.49).to_f32(), 0.0);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn bf16_keeps_f32_range() {
+        assert!(Bf16::from_f32(1e38).is_finite());
+        // f32::MAX sits above bf16's rmax and rounds up to infinity.
+        assert!(!Bf16::from_f32(f32::MAX).is_finite());
+        // Subnormal f32s truncate to subnormal bf16s (coarsely: only the
+        // top 7 significand bits survive), they don't flush to zero.
+        let sub = Bf16::from_f32(1e-38).to_f32();
+        assert!(sub > 0.0 && (sub - 1e-38).abs() < 1e-38 * 0.01, "{sub:e}");
+        assert_eq!(Bf16::rmax().to_f32(), f32::from_bits(0x7f7f_0000));
+    }
+
+    #[test]
+    fn machine_params_match_the_formats() {
+        assert_eq!(F16::EPS.to_f32(), 2.0f32.powi(-10));
+        assert_eq!(F16::rmin().to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::rmax().to_f32(), 65504.0);
+        assert_eq!(Bf16::EPS.to_f32(), 2.0f32.powi(-7));
+        assert_eq!(Bf16::rmin().to_f32(), 2.0f32.powi(-126));
+        // sfmin's reciprocal must stay finite (the xLAMCH('S') contract).
+        assert!(Scalar::is_finite(F16::sfmin().recip()));
+        assert!(Scalar::is_finite(Bf16::sfmin().recip()));
+    }
+
+    #[test]
+    fn scalar_ops_route_through_f32() {
+        fn check<H: RealScalar>() {
+            let two = H::from_f64(2.0);
+            let three = H::from_f64(3.0);
+            assert_eq!(two + three, H::from_f64(5.0));
+            assert_eq!(two * three, H::from_f64(6.0));
+            assert_eq!((-two).rabs(), two);
+            assert_eq!(H::from_f64(4.0).sqrt_r(), two);
+            assert_eq!(H::from_f64(4.0).rsqrt(), H::from_f64(0.5));
+            assert!(H::nan().is_nan());
+            assert!(!Scalar::is_finite(H::nan()));
+            assert!(two < three && three >= two);
+            // Sum accumulates in f32: adding 4096 copies of eps/2 to 1
+            // would stall entirely in pure-f16 arithmetic; via f32 it
+            // lands at ~3 (f16) — the accumulation really is wider.
+            let n = 4096usize;
+            let e = H::EPS.to_f64() * 0.5;
+            let total: H = std::iter::once(H::one())
+                .chain((0..n).map(|_| H::from_f64(e)))
+                .sum();
+            assert!(
+                (total.to_f64() - (1.0 + n as f64 * e)).abs()
+                    < 64.0 * e * n as f64 * H::EPS.to_f64() + H::EPS.to_f64() * 4.0,
+                "sum {} vs {}",
+                total.to_f64(),
+                1.0 + n as f64 * e
+            );
+        }
+        check::<F16>();
+        check::<Bf16>();
+    }
+
+    #[test]
+    fn prefixes_are_distinct_from_the_classic_four() {
+        assert_eq!(F16::PREFIX, 'H');
+        assert_eq!(Bf16::PREFIX, 'B');
+        const _: () = assert!(F16::IS_HALF && Bf16::IS_HALF);
+    }
+}

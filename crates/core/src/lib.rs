@@ -45,9 +45,17 @@
 //!   counters with closed-form flop accounting, hierarchical span tracing
 //!   across the driver → factorization → BLAS-3 stack, and structured
 //!   reports.
-//! * [`mixed`] — the precision-pairing layer ([`Demote`]/[`Promote`]):
-//!   `f64 ↔ f32` and `Complex<f64> ↔ Complex<f32>` bridges with per-pair
-//!   eps/overflow constants, for the mixed-precision refinement drivers.
+//! * [`mixed`] — the precision lattice ([`Demote`]/[`Promote`] plus the
+//!   multi-target [`mixed::DemoteTo`]): `f64 ↔ {f32, f16, bf16}`,
+//!   `Complex<f64> ↔ Complex<f32>` and `f32 ↔ {f16, bf16}` bridges with
+//!   per-edge eps/overflow/underflow constants, for the mixed-precision
+//!   refinement drivers.
+//! * [`half`] — software [`F16`]/[`Bf16`] storage types (full [`Scalar`]
+//!   implementations; BLAS-3 on them accumulates in f32), the demotion
+//!   targets at the speed end of the lattice.
+//! * [`dd`] — [`Dd`], double-double extended precision (~31 decimal
+//!   digits) implementing [`Scalar`]/[`RealScalar`], the residual
+//!   precision at the accuracy end of the lattice.
 //! * [`json`] — the dependency-free JSON writer/parser used by [`probe`]
 //!   reports and the bench harness.
 
@@ -58,9 +66,11 @@ pub mod batch;
 pub mod cancel;
 pub mod complex;
 pub mod dag;
+pub mod dd;
 pub mod enums;
 pub mod error;
 pub mod except;
+pub mod half;
 pub mod json;
 pub mod mat;
 pub mod mixed;
@@ -74,9 +84,11 @@ pub use abft::AbftPolicy;
 pub use cancel::CancelToken;
 pub use complex::{Complex, C32, C64};
 pub use dag::{Builder as DagBuilder, GraphStats};
+pub use dd::Dd;
 pub use enums::{Diag, Norm, Side, Trans, Uplo};
 pub use error::{erinfo, LaError, PositiveInfo};
 pub use except::FpCheckPolicy;
+pub use half::{Bf16, F16};
 pub use mat::{Mat, MatMut, MatRef};
 pub use mixed::{Demote, Promote};
 pub use probe::ProbePolicy;

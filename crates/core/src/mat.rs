@@ -191,7 +191,7 @@ impl<T: Scalar> Mat<T> {
         for &x in &self.data {
             s += x.abs_sqr();
         }
-        s.rsqrt()
+        s.sqrt_r()
     }
 
     /// Maximum `abs1` over all elements (a cheap `max |a_ij|`-style norm).

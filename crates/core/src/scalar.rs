@@ -45,6 +45,14 @@ pub trait Scalar:
     /// `true` for the complex instantiations (`C`/`Z`), `false` for `S`/`D`.
     const IS_COMPLEX: bool;
 
+    /// `true` for the software half-precision storage types
+    /// ([`crate::half::F16`] / [`crate::half::Bf16`]). The BLAS-3 layer
+    /// consults this (it const-folds per instantiation) to route
+    /// half-precision `gemm`/`trsm`/`syrk` through f32-accumulating
+    /// conversion paths instead of rounding every partial sum to the
+    /// 8–11-bit significand.
+    const IS_HALF: bool = false;
+
     /// Single-letter LAPACK type prefix: `S`, `D`, `C` or `Z`.
     const PREFIX: char;
 
@@ -124,8 +132,26 @@ pub trait RealScalar: Scalar<Real = Self> + PartialOrd {
 
     /// Absolute value. Named `rabs` to avoid shadowing the inherent method.
     fn rabs(self) -> Self;
-    /// Square root. Named `rsqrt` to avoid shadowing the inherent method.
-    fn rsqrt(self) -> Self;
+    /// Square root. Named `sqrt_r` to avoid shadowing the inherent method
+    /// (and, since the rename, to avoid any confusion with [`rsqrt`]).
+    ///
+    /// History note: this method used to be called `rsqrt` while computing
+    /// a plain square root — a naming trap where a caller wanting
+    /// reciprocal-sqrt silently got sqrt. The plain square root is now
+    /// `sqrt_r` (matching the `sin_r`/`cos_r`/`round_r` convention) and
+    /// [`rsqrt`] really is `1/√x`.
+    ///
+    /// [`rsqrt`]: RealScalar::rsqrt
+    fn sqrt_r(self) -> Self;
+    /// Reciprocal square root, `1/√x`. Unlike the historic mis-named
+    /// method (see [`sqrt_r`]), this genuinely computes the reciprocal:
+    /// `rsqrt(4) == 0.5`, `rsqrt(0) == +∞`, `rsqrt(+∞) == 0`.
+    ///
+    /// [`sqrt_r`]: RealScalar::sqrt_r
+    #[inline]
+    fn rsqrt(self) -> Self {
+        Self::one() / self.sqrt_r()
+    }
     /// `sqrt(self² + other²)` without spurious overflow (`xLAPY2`).
     fn hypot(self, other: Self) -> Self;
     /// Four-quadrant arctangent.
@@ -268,7 +294,7 @@ macro_rules! impl_real_scalar {
                 <$t>::abs(self)
             }
             #[inline(always)]
-            fn rsqrt(self) -> Self {
+            fn sqrt_r(self) -> Self {
                 <$t>::sqrt(self)
             }
             #[inline(always)]
@@ -478,5 +504,29 @@ mod tests {
     fn real_abs1_equals_abs() {
         assert_eq!(Scalar::abs1(-2.5f64), 2.5);
         assert_eq!(Scalar::abs(-2.5f64), 2.5);
+    }
+
+    #[test]
+    fn sqrt_r_and_rsqrt_semantics_locked() {
+        // The naming trap this test guards against: `rsqrt` was once a
+        // plain square root. `sqrt_r` is √x, `rsqrt` is 1/√x — forever.
+        fn check<R: RealScalar>() {
+            assert_eq!(R::from_usize(4).sqrt_r(), R::from_usize(2));
+            assert_eq!(
+                R::from_usize(4).rsqrt(),
+                R::from_usize(1) / R::from_usize(2)
+            );
+            assert_eq!(R::from_usize(1).rsqrt(), R::one());
+            // rsqrt(0) diverges instead of returning 0 — the reciprocal
+            // really is taken.
+            assert!(!R::zero().rsqrt().is_finite_r());
+            let x = R::from_f64(2.0);
+            assert!(
+                (x.rsqrt() * x.sqrt_r() - R::one()).rabs() <= R::EPS * R::from_usize(4),
+                "rsqrt·sqrt_r must be ~1"
+            );
+        }
+        check::<f32>();
+        check::<f64>();
     }
 }

@@ -13,9 +13,19 @@
 //!
 //! 1. **Environment variables** at process start: `LA_NUM_THREADS`,
 //!    `LA_PAR_FLOPS`, `LA_NB_GETRF`, `LA_NB_POTRF`, `LA_NB_GEQRF`,
-//!    `LA_NB_SYTRF`, `LA_NB_DEFAULT`, `LA_CROSSOVER`, and for the packed
+//!    `LA_NB_SYTRF`, `LA_NB_DEFAULT`, `LA_CROSSOVER`, for the packed
 //!    BLAS-3 path `LA_GEMM_KERNEL={auto,scalar,unrolled,simd}` plus the
-//!    cache-blocking sizes `LA_GEMM_MC`, `LA_GEMM_KC`, `LA_GEMM_NC`.
+//!    cache-blocking sizes `LA_GEMM_MC`, `LA_GEMM_KC`, `LA_GEMM_NC`, and
+//!    for the mixed-precision drivers the lattice knobs
+//!    `LA_GESV_MIXED={f32,f16,bf16}` and `LA_REFINE={working,dd}`.
+//!
+//!    A malformed value is **rejected, not silently dropped**: the
+//!    default is used and a one-time warning naming the variable, the
+//!    offending value and the fallback goes to stderr. Zero is rejected
+//!    for the block-size variables (`LA_NB_*`, `LA_TILE_NB`) where it
+//!    would be meaningless; it stays a valid "auto"/"default" spelling
+//!    for `LA_NUM_THREADS`, `LA_PAR_FLOPS`, `LA_GEMM_{MC,KC,NC}` and
+//!    `LA_CROSSOVER`.
 //! 2. **Programmatically** for the whole process: [`set`] / [`update`].
 //! 3. **Scoped** per call tree: [`with`] installs a thread-local override
 //!    for the duration of a closure (used by benchmarks sweeping NB and by
@@ -118,6 +128,79 @@ impl FactorAlgo {
     }
 }
 
+/// Demotion level of the mixed-precision iterative-refinement drivers —
+/// which precision the O(n³) factorization runs in. Selected through the
+/// `mixed_lo` field of [`TuneConfig`] (env var `LA_GESV_MIXED`). Complex
+/// working types resolve every level to `Complex<f32>`: half-precision
+/// complex demotion is not in the lattice (see `la_core::mixed`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MixedLo {
+    /// Classic DSGESV pairing: factor in f32. Default.
+    #[default]
+    F32,
+    /// Factor in software IEEE binary16 (eps 2⁻¹⁰, range ±65504 — the
+    /// narrow range makes the `iter = -2` demotion fallback routine on
+    /// unscaled data).
+    F16,
+    /// Factor in software bfloat16 (eps 2⁻⁷, full f32 range — coarse but
+    /// demotion-safe).
+    Bf16,
+}
+
+impl MixedLo {
+    /// Parses the `LA_GESV_MIXED` spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" | "single" => Some(MixedLo::F32),
+            "f16" | "half" => Some(MixedLo::F16),
+            "bf16" | "bfloat16" => Some(MixedLo::Bf16),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`MixedLo::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MixedLo::F32 => "f32",
+            MixedLo::F16 => "f16",
+            MixedLo::Bf16 => "bf16",
+        }
+    }
+}
+
+/// Residual precision of the refinement loops. Selected through the
+/// `refine` field of [`TuneConfig`] (env var `LA_REFINE`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RefineMode {
+    /// Residuals in the working precision — the classic DSGESV regime.
+    /// Default.
+    #[default]
+    Working,
+    /// Residuals accumulated in double-double (`la_core::dd`) — the
+    /// three-precision GMRES-IR regime and the engine of the `*_x`
+    /// extra-precise refinement drivers (xGERFSX semantics).
+    Dd,
+}
+
+impl RefineMode {
+    /// Parses the `LA_REFINE` spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "working" | "off" => Some(RefineMode::Working),
+            "dd" | "double-double" => Some(RefineMode::Dd),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`RefineMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RefineMode::Working => "working",
+            RefineMode::Dd => "dd",
+        }
+    }
+}
+
 /// Process-wide tuning knobs for the BLAS-3 layer and the blocked
 /// factorizations. Plain data — copy it, edit fields, hand it to [`set`]
 /// or [`with`].
@@ -174,6 +257,13 @@ pub struct TuneConfig {
     /// `0` falls back to the compiled-in default (see
     /// [`TuneConfig::tile_size`]).
     pub tile_nb: usize,
+    /// Demotion level for the mixed-precision drivers (`LA_GESV_MIXED`):
+    /// which precision `gesv_mixed`/`posv_mixed` factor in.
+    pub mixed_lo: MixedLo,
+    /// Residual precision for the refinement loops (`LA_REFINE`):
+    /// working precision (classic) or double-double (three-precision
+    /// GMRES-IR regime).
+    pub refine: RefineMode,
     /// Permit a thread budget above the detected core count. Off by
     /// default: oversubscribing a host measurably *slows* BLAS-3 (the
     /// committed thread sweep shows threads=2 slower than threads=1 on a
@@ -203,51 +293,130 @@ impl TuneConfig {
             gemm_nc: 0,
             factor: FactorAlgo::Blocked,
             tile_nb: 0,
+            mixed_lo: MixedLo::F32,
+            refine: RefineMode::Working,
             oversubscribe: false,
         }
     }
 
-    /// Defaults overlaid with any `LA_*` environment variables. Invalid
-    /// or absent variables leave the default untouched.
+    /// Defaults overlaid with any `LA_*` environment variables. A
+    /// malformed value (non-numeric where a number is expected, zero for
+    /// a block-size knob, an unknown enum spelling) keeps the default and
+    /// emits a one-time stderr warning naming the variable, the rejected
+    /// value and the fallback — misconfiguration is surfaced, never
+    /// silently absorbed.
     pub fn from_env() -> Self {
-        fn read(name: &str, into: &mut usize) {
-            if let Some(v) = std::env::var(name).ok().and_then(|s| s.trim().parse().ok()) {
-                *into = v;
+        let (cfg, warnings) = Self::from_env_with(|name| std::env::var(name).ok());
+        for w in &warnings {
+            warn_once(w);
+        }
+        cfg
+    }
+
+    /// [`TuneConfig::from_env`] with an injectable variable source and
+    /// the rejection diagnostics returned instead of printed — the
+    /// testable core of the env parsing (process-env mutation races with
+    /// parallel tests; a closure does not).
+    pub fn from_env_with(get: impl Fn(&str) -> Option<String>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        // `zero_ok`: whether 0 is a meaningful spelling ("auto"/"default")
+        // rather than a degenerate block size.
+        let read = |name: &str, into: &mut usize, zero_ok: bool, warnings: &mut Vec<String>| {
+            let Some(raw) = get(name) else { return };
+            match raw.trim().parse::<usize>() {
+                Ok(0) if !zero_ok => warnings.push(format!(
+                    "{name}: zero is not a valid block size; using default {into}"
+                )),
+                Ok(v) => *into = v,
+                Err(_) => warnings.push(format!(
+                    "{name}: invalid value {raw:?} (expected a non-negative integer); \
+                     using default {into}"
+                )),
+            }
+        };
+        let mut cfg = Self::defaults();
+        read("LA_NUM_THREADS", &mut cfg.max_threads, true, &mut warnings);
+        read("LA_PAR_FLOPS", &mut cfg.par_flops, true, &mut warnings);
+        read("LA_NB_GETRF", &mut cfg.nb_getrf, false, &mut warnings);
+        read("LA_NB_POTRF", &mut cfg.nb_potrf, false, &mut warnings);
+        read("LA_NB_GEQRF", &mut cfg.nb_geqrf, false, &mut warnings);
+        read("LA_NB_SYTRF", &mut cfg.nb_sytrf, false, &mut warnings);
+        read("LA_NB_DEFAULT", &mut cfg.nb_default, false, &mut warnings);
+        read("LA_CROSSOVER", &mut cfg.crossover, true, &mut warnings);
+        read("LA_GEMM_MC", &mut cfg.gemm_mc, true, &mut warnings);
+        read("LA_GEMM_KC", &mut cfg.gemm_kc, true, &mut warnings);
+        read("LA_GEMM_NC", &mut cfg.gemm_nc, true, &mut warnings);
+        read("LA_TILE_NB", &mut cfg.tile_nb, false, &mut warnings);
+
+        fn read_enum<E: Copy>(
+            get: impl Fn(&str) -> Option<String>,
+            name: &str,
+            into: &mut E,
+            parse: impl Fn(&str) -> Option<E>,
+            allowed: &str,
+            fallback: &str,
+            warnings: &mut Vec<String>,
+        ) {
+            let Some(raw) = get(name) else { return };
+            match parse(&raw) {
+                Some(v) => *into = v,
+                None => warnings.push(format!(
+                    "{name}: unknown value {raw:?} (expected one of {allowed}); \
+                     using default {fallback}"
+                )),
             }
         }
-        let mut cfg = Self::defaults();
-        read("LA_NUM_THREADS", &mut cfg.max_threads);
-        read("LA_PAR_FLOPS", &mut cfg.par_flops);
-        read("LA_NB_GETRF", &mut cfg.nb_getrf);
-        read("LA_NB_POTRF", &mut cfg.nb_potrf);
-        read("LA_NB_GEQRF", &mut cfg.nb_geqrf);
-        read("LA_NB_SYTRF", &mut cfg.nb_sytrf);
-        read("LA_NB_DEFAULT", &mut cfg.nb_default);
-        read("LA_CROSSOVER", &mut cfg.crossover);
-        read("LA_GEMM_MC", &mut cfg.gemm_mc);
-        read("LA_GEMM_KC", &mut cfg.gemm_kc);
-        read("LA_GEMM_NC", &mut cfg.gemm_nc);
-        read("LA_TILE_NB", &mut cfg.tile_nb);
-        if let Some(k) = std::env::var("LA_GEMM_KERNEL")
-            .ok()
-            .and_then(|s| GemmKernel::parse(&s))
-        {
-            cfg.gemm_kernel = k;
-        }
-        if let Some(f) = std::env::var("LA_FACTOR")
-            .ok()
-            .and_then(|s| FactorAlgo::parse(&s))
-        {
-            cfg.factor = f;
-        }
+        read_enum(
+            &get,
+            "LA_GEMM_KERNEL",
+            &mut cfg.gemm_kernel,
+            GemmKernel::parse,
+            "auto|scalar|unrolled|simd",
+            GemmKernel::Auto.as_str(),
+            &mut warnings,
+        );
+        read_enum(
+            &get,
+            "LA_FACTOR",
+            &mut cfg.factor,
+            FactorAlgo::parse,
+            "blocked|dag",
+            FactorAlgo::Blocked.as_str(),
+            &mut warnings,
+        );
+        read_enum(
+            &get,
+            "LA_GESV_MIXED",
+            &mut cfg.mixed_lo,
+            MixedLo::parse,
+            "f32|f16|bf16",
+            MixedLo::F32.as_str(),
+            &mut warnings,
+        );
+        read_enum(
+            &get,
+            "LA_REFINE",
+            &mut cfg.refine,
+            RefineMode::parse,
+            "working|dd",
+            RefineMode::Working.as_str(),
+            &mut warnings,
+        );
         // `LA_OVERSUBSCRIBE=1` lifts the host-core clamp on the thread
         // budget — the TSan stress job uses it to run many more workers
         // than cores and shake out ordering bugs in dependency release.
-        if let Ok(v) = std::env::var("LA_OVERSUBSCRIBE") {
-            let v = v.trim().to_ascii_lowercase();
-            cfg.oversubscribe = matches!(v.as_str(), "1" | "true" | "yes" | "on");
+        if let Some(v) = get("LA_OVERSUBSCRIBE") {
+            let t = v.trim().to_ascii_lowercase();
+            match t.as_str() {
+                "1" | "true" | "yes" | "on" => cfg.oversubscribe = true,
+                "0" | "false" | "no" | "off" | "" => cfg.oversubscribe = false,
+                _ => warnings.push(format!(
+                    "LA_OVERSUBSCRIBE: unknown value {v:?} (expected a boolean like 1/0); \
+                     using default off"
+                )),
+            }
         }
-        cfg
+        (cfg, warnings)
     }
 
     /// Resolved thread budget: `max_threads`, or the detected core count
@@ -322,6 +491,21 @@ impl TuneConfig {
 impl Default for TuneConfig {
     fn default() -> Self {
         Self::defaults()
+    }
+}
+
+/// Prints `msg` to stderr once per distinct message for the process
+/// lifetime — the delivery channel for env-var rejection diagnostics.
+/// Repeated [`TuneConfig::from_env`] calls (the global config plus any
+/// bench binary re-reading the environment) don't spam.
+fn warn_once(msg: &str) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = warned.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.insert(msg.to_string()) {
+        eprintln!("la-core tune: {msg}");
     }
 }
 
@@ -543,5 +727,98 @@ mod tests {
         assert_eq!(cfg.tile_size(), 192);
         cfg.tile_nb = 96;
         assert_eq!(cfg.tile_size(), 96);
+    }
+
+    #[test]
+    fn mixed_lattice_knobs_parse_and_round_trip() {
+        for m in [MixedLo::F32, MixedLo::F16, MixedLo::Bf16] {
+            assert_eq!(MixedLo::parse(m.as_str()), Some(m));
+            assert_eq!(MixedLo::parse(&m.as_str().to_uppercase()), Some(m));
+        }
+        assert_eq!(MixedLo::parse("fp8"), None);
+        for r in [RefineMode::Working, RefineMode::Dd] {
+            assert_eq!(RefineMode::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(RefineMode::parse("quad"), None);
+        let d = TuneConfig::defaults();
+        assert_eq!(d.mixed_lo, MixedLo::F32);
+        assert_eq!(d.refine, RefineMode::Working);
+    }
+
+    fn env_of<'a>(vars: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            vars.iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn malformed_env_values_are_rejected_with_diagnostics() {
+        // The silent-drop regression: each of these used to vanish in an
+        // `.ok()` chain, leaving the user tuning a knob that wasn't
+        // connected. Now every rejection names the variable and fallback.
+        let (cfg, warnings) = TuneConfig::from_env_with(env_of(&[
+            ("LA_GEMM_KERNEL", "fancy"),
+            ("LA_TILE_NB", "0"),
+            ("LA_NUM_THREADS", "three"),
+            ("LA_GESV_MIXED", "fp8"),
+            ("LA_REFINE", "quad"),
+            ("LA_OVERSUBSCRIBE", "maybe"),
+        ]));
+        // All six fall back to defaults...
+        assert_eq!(cfg, TuneConfig::defaults());
+        // ...and all six are reported, naming variable and fallback.
+        assert_eq!(warnings.len(), 6);
+        for (var, fallback) in [
+            ("LA_GEMM_KERNEL", "auto"),
+            ("LA_TILE_NB", "0"),
+            ("LA_NUM_THREADS", "0"),
+            ("LA_GESV_MIXED", "f32"),
+            ("LA_REFINE", "working"),
+            ("LA_OVERSUBSCRIBE", "off"),
+        ] {
+            let w = warnings
+                .iter()
+                .find(|w| w.starts_with(var))
+                .unwrap_or_else(|| panic!("no warning for {var}: {warnings:?}"));
+            assert!(
+                w.contains(fallback),
+                "{w:?} should name fallback {fallback}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_env_values_apply_without_diagnostics() {
+        let (cfg, warnings) = TuneConfig::from_env_with(env_of(&[
+            ("LA_NUM_THREADS", "0"), // zero is a valid "auto" here
+            ("LA_NB_GETRF", "64"),
+            ("LA_TILE_NB", "128"),
+            ("LA_GEMM_KERNEL", "scalar"),
+            ("LA_GESV_MIXED", "bf16"),
+            ("LA_REFINE", "dd"),
+        ]));
+        assert!(warnings.is_empty(), "unexpected warnings: {warnings:?}");
+        assert_eq!(cfg.max_threads, 0);
+        assert_eq!(cfg.nb_getrf, 64);
+        assert_eq!(cfg.tile_nb, 128);
+        assert_eq!(cfg.gemm_kernel, GemmKernel::Scalar);
+        assert_eq!(cfg.mixed_lo, MixedLo::Bf16);
+        assert_eq!(cfg.refine, RefineMode::Dd);
+    }
+
+    #[test]
+    fn zero_block_sizes_rejected_zero_autos_kept() {
+        let (cfg, warnings) = TuneConfig::from_env_with(env_of(&[
+            ("LA_NB_POTRF", "0"),
+            ("LA_GEMM_MC", "0"),
+            ("LA_PAR_FLOPS", "0"),
+        ]));
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].starts_with("LA_NB_POTRF"));
+        assert_eq!(cfg.nb_potrf, TuneConfig::defaults().nb_potrf);
+        assert_eq!(cfg.gemm_mc, 0);
+        assert_eq!(cfg.par_flops, 0);
     }
 }

@@ -727,7 +727,7 @@ pub fn geevx<T: EigDriver>(a: &mut Mat<T>) -> Result<GeevxOut<T>, LaError> {
             nx += vr[(i, j)].norm_sqr();
             ny += vl[(i, j)].norm_sqr();
         }
-        let denom = (nx.rsqrt()) * (ny.rsqrt());
+        let denom = (nx.sqrt_r()) * (ny.sqrt_r());
         rconde[j] = if denom > T::Real::zero() {
             dot.abs() / denom
         } else {
@@ -891,7 +891,7 @@ pub fn geesx<T: EigDriver>(
             for v in &rhs {
                 fro += v.abs_sqr();
             }
-            T::Real::one() / (T::Real::one() + fro).rsqrt()
+            T::Real::one() / (T::Real::one() + fro).sqrt_r()
         }
     };
     Ok(GeesxOut { schur, rconde })

@@ -97,7 +97,8 @@ pub use linsys::{
 };
 pub use lstsq::{gels, gels_trans, gelss, gelsx, ggglm, gglse, RankLsOut};
 pub use mixed::{
-    gesv_mixed, gesv_mixed_ipiv, gesv_mixedx, posv_mixed, posv_mixed_uplo, posv_mixedx, MixedOut,
+    gesv_mixed, gesv_mixed_ipiv, gesv_mixedx, gesvxx, posv_mixed, posv_mixed_uplo, posv_mixedx,
+    posvxx, MixedOut, RfsxOut,
 };
 pub use rhs::Rhs;
 

@@ -153,7 +153,7 @@ pub fn lange<T: Scalar>(norm: Norm, m: usize, n: usize, a: &[T], lda: usize) -> 
             for j in 0..n {
                 lassq(m, &a[j * lda..j * lda + m], 1, &mut scale, &mut ssq);
             }
-            scale * ssq.rsqrt()
+            scale * ssq.sqrt_r()
         }
     }
 }
@@ -214,7 +214,7 @@ pub fn lansy<T: Scalar>(
                     s += v * v;
                 }
             }
-            s.rsqrt()
+            s.sqrt_r()
         }
     }
 }
@@ -282,7 +282,7 @@ pub fn lantr<T: Scalar>(
                     s += v * v;
                 }
             }
-            s.rsqrt()
+            s.sqrt_r()
         }
     }
 }
@@ -318,7 +318,7 @@ pub fn lanst<R: RealScalar>(norm: Norm, n: usize, d: &[R], e: &[R]) -> R {
             for &x in e.iter().take(n - 1) {
                 s += (x * x) * (R::one() + R::one());
             }
-            s.rsqrt()
+            s.sqrt_r()
         }
     }
 }

@@ -22,7 +22,7 @@ pub fn potf2<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
                 if ajj <= T::Real::zero() || !ajj.is_finite_r() {
                     return (j + 1) as i32;
                 }
-                let ajj = ajj.rsqrt();
+                let ajj = ajj.sqrt_r();
                 a[j + j * lda] = T::from_real(ajj);
                 if j + 1 < n {
                     // Row j of U to the right: a(j, j+1..) := (a(j, j+1..)
@@ -61,7 +61,7 @@ pub fn potf2<T: Scalar>(uplo: Uplo, n: usize, a: &mut [T], lda: usize) -> i32 {
                 if ajj <= T::Real::zero() || !ajj.is_finite_r() {
                     return (j + 1) as i32;
                 }
-                let ajj = ajj.rsqrt();
+                let ajj = ajj.sqrt_r();
                 a[j + j * lda] = T::from_real(ajj);
                 if j + 1 < n {
                     // a(j+1.., j) := (a(j+1.., j) − A(j+1.., 0..j)·conj(a(j, 0..j)ᵀ)) / ajj
@@ -444,9 +444,9 @@ pub fn poequ<T: Scalar>(
         return (zero, amax, (bad + 1) as i32);
     }
     for si in s.iter_mut().take(n) {
-        *si = T::Real::one() / si.rsqrt();
+        *si = T::Real::one() / si.sqrt_r();
     }
-    let scond = smin.rsqrt() / amax.rsqrt();
+    let scond = smin.sqrt_r() / amax.sqrt_r();
     (scond, amax, 0)
 }
 
@@ -572,7 +572,7 @@ pub fn pptrf<T: Scalar>(uplo: Uplo, n: usize, ap: &mut [T]) -> i32 {
                 if ajj <= T::Real::zero() || !ajj.is_finite_r() {
                     return (j + 1) as i32;
                 }
-                ap[jc + j] = T::from_real(ajj.rsqrt());
+                ap[jc + j] = T::from_real(ajj.sqrt_r());
             }
         }
         Uplo::Lower => {
@@ -582,7 +582,7 @@ pub fn pptrf<T: Scalar>(uplo: Uplo, n: usize, ap: &mut [T]) -> i32 {
                 if ajj <= T::Real::zero() || !ajj.is_finite_r() {
                     return (j + 1) as i32;
                 }
-                let ajj = ajj.rsqrt();
+                let ajj = ajj.sqrt_r();
                 ap[jj] = T::from_real(ajj);
                 if j + 1 < n {
                     let (col, rest) = ap[jj..].split_at_mut(n - j);
@@ -696,7 +696,7 @@ pub fn pbtrf<T: Scalar>(uplo: Uplo, n: usize, kd: usize, ab: &mut [T], ldab: usi
                 if ajj <= T::Real::zero() || !ajj.is_finite_r() {
                     return (j + 1) as i32;
                 }
-                let ajj = ajj.rsqrt();
+                let ajj = ajj.sqrt_r();
                 ab[kd + j * ldab] = T::from_real(ajj);
                 let kn = kd.min(n - j - 1);
                 if kn > 0 {
@@ -731,7 +731,7 @@ pub fn pbtrf<T: Scalar>(uplo: Uplo, n: usize, kd: usize, ab: &mut [T], ldab: usi
                 if ajj <= T::Real::zero() || !ajj.is_finite_r() {
                     return (j + 1) as i32;
                 }
-                let ajj = ajj.rsqrt();
+                let ajj = ajj.sqrt_r();
                 ab[j * ldab] = T::from_real(ajj);
                 let kn = kd.min(n - j - 1);
                 if kn > 0 {

@@ -250,7 +250,7 @@ pub fn stedc<R: RealScalar>(n: usize, d: &mut [R], e: &mut [R]) -> Vec<R> {
                 };
                 prod = prod * ((-deltas[j][i]) / denom);
             }
-            let mag = prod.rabs().rsqrt();
+            let mag = prod.rabs().sqrt_r();
             zhat[i] = mag.sign(zk[i]);
         }
         vmat = vec![R::zero(); k * k];
@@ -261,7 +261,7 @@ pub fn stedc<R: RealScalar>(n: usize, d: &mut [R], e: &mut [R]) -> Vec<R> {
                 vmat[i + j * k] = v;
                 nrm += v * v;
             }
-            let nrm = nrm.rsqrt();
+            let nrm = nrm.sqrt_r();
             for i in 0..k {
                 vmat[i + j * k] = vmat[i + j * k] / nrm;
             }

@@ -223,7 +223,7 @@ pub fn trevc_cplx<R: RealScalar>(
                 vr[r + ki * n] = s;
                 nrm2 += s.norm_sqr();
             }
-            let nrm = nrm2.rsqrt();
+            let nrm = nrm2.sqrt_r();
             if nrm > R::zero() {
                 for r in 0..n {
                     vr[r + ki * n] = vr[r + ki * n].unscale(nrm);
@@ -259,7 +259,7 @@ pub fn trevc_cplx<R: RealScalar>(
                 vl[r + ki * n] = s;
                 nrm2 += s.norm_sqr();
             }
-            let nrm = nrm2.rsqrt();
+            let nrm = nrm2.sqrt_r();
             if nrm > R::zero() {
                 for r in 0..n {
                     vl[r + ki * n] = vl[r + ki * n].unscale(nrm);
@@ -393,7 +393,7 @@ fn normalize_c<R: RealScalar>(col: &mut [Complex<R>]) {
     for v in col.iter() {
         ss += v.norm_sqr();
     }
-    let nrm = ss.rsqrt();
+    let nrm = ss.sqrt_r();
     if nrm > R::zero() {
         for v in col.iter_mut() {
             *v = v.unscale(nrm);

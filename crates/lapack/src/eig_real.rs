@@ -31,14 +31,14 @@ pub fn lanv2<R: RealScalar>(a: R, b: R, c: R, d: R) -> (R, R, R, R, R, R, R, R, 
         return (d, -c, zero, a, d, zero, a, zero, zero, one);
     }
     if (a - d).is_zero() && b.sign(one) != c.sign(one) {
-        let rti = (b.rabs() * c.rabs()).rsqrt();
+        let rti = (b.rabs() * c.rabs()).sqrt_r();
         return (a, b, c, d, a, rti, d, -rti, one, zero);
     }
     let p = (a - d) / two;
     let disc = p * p + b * c;
     if disc >= zero {
         // Real eigenvalues: λ₁ = d + z with z = p + sign(√disc, p).
-        let z = p + disc.rsqrt().sign(p);
+        let z = p + disc.sqrt_r().sign(p);
         let lam1 = d + z;
         let lam2 = d - (b * c) / z;
         // Rotation from the eigenvector (z, c).
@@ -54,14 +54,14 @@ pub fn lanv2<R: RealScalar>(a: R, b: R, c: R, d: R) -> (R, R, R, R, R, R, R, R, 
         let t = -(a - d);
         let u = b + c;
         let (cs, sn) = if u.is_zero() {
-            let h = (one / two).rsqrt();
+            let h = (one / two).sqrt_r();
             (h, h)
         } else {
             let rr = t.hypot(u);
             let cos2 = u / rr;
             let sin2 = t / rr;
             // Half-angle with the branch cos θ ≥ 0.
-            let cs = ((one + cos2.rabs()) / two).rsqrt();
+            let cs = ((one + cos2.rabs()) / two).sqrt_r();
             let sn0 = sin2 / (two * cs);
             if cos2 >= zero {
                 (cs, sn0)
@@ -76,7 +76,7 @@ pub fn lanv2<R: RealScalar>(a: R, b: R, c: R, d: R) -> (R, R, R, R, R, R, R, R, 
         let mid = (na + nd) / two;
         let prod = nb * nc;
         let rti = if prod < zero {
-            (-prod).rsqrt()
+            (-prod).sqrt_r()
         } else {
             // Rounding pushed the product nonnegative: treat as (nearly)
             // equal real eigenvalues.
@@ -226,7 +226,7 @@ pub fn hseqr<R: RealScalar>(
                 let h22 = h22 / s;
                 let tr = (h11 + h22) / (one + one);
                 let det = (h11 - tr) * (h22 - tr) - h12 * h21;
-                let rtdisc = det.rabs().rsqrt();
+                let rtdisc = det.rabs().sqrt_r();
                 if det >= zero {
                     // Complex conjugate shifts.
                     rt1r = tr * s;
@@ -676,7 +676,7 @@ fn normalize_pair<R: RealScalar>(v: &mut [R], n: usize, p: usize, k: usize) {
     for r in 0..n {
         ss += v[r + p * n] * v[r + p * n] + v[r + k * n] * v[r + k * n];
     }
-    let nrm = ss.rsqrt();
+    let nrm = ss.sqrt_r();
     if nrm > R::zero() {
         for r in 0..n {
             v[r + p * n] = v[r + p * n] / nrm;

@@ -419,7 +419,7 @@ pub fn geqp3<T: Scalar>(
     for (j, p) in jpvt.iter_mut().enumerate().take(n) {
         *p = (j + 1) as i32;
     }
-    let tol3z = T::Real::EPS.rsqrt();
+    let tol3z = T::Real::EPS.sqrt_r();
     for i in 0..k {
         // Pick the column with the largest remaining norm.
         let mut pvt = i;
@@ -487,7 +487,7 @@ pub fn geqp3<T: Scalar>(
                         vn2[j] = T::Real::zero();
                     }
                 } else {
-                    vn1[j] = vn1[j] * t.rsqrt();
+                    vn1[j] = vn1[j] * t.sqrt_r();
                 }
             }
         }

@@ -328,7 +328,7 @@ pub fn tgevc_right<R: RealScalar>(
             v[row + j * n] = acc;
             nrm2 += acc.norm_sqr();
         }
-        let nrm = nrm2.rsqrt();
+        let nrm = nrm2.sqrt_r();
         if nrm > R::zero() {
             for row in 0..n {
                 v[row + j * n] = v[row + j * n].unscale(nrm);

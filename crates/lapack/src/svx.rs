@@ -702,6 +702,293 @@ pub fn ptsvx<T: Scalar>(
     (info, out)
 }
 
+// ---------------------------------------------------------------------
+// Extra-precise refinement (xGERFSX/xPORFSX semantics): double-double
+// residuals drive the refinement of an already-factored solve down to
+// working-precision accuracy even on badly conditioned systems, and the
+// loop's own convergence history yields componentwise and normwise
+// error bounds for the caller.
+// ---------------------------------------------------------------------
+
+use crate::chol::potrs;
+use crate::lu::getrs;
+use crate::mixed::{residual_dd, MixedOp};
+
+/// Outputs of the extra-precise refinement drivers [`gerfsx`]/[`porfsx`],
+/// one entry per right-hand side.
+#[derive(Clone, Debug, Default)]
+pub struct RfsxOut<R> {
+    /// Componentwise backward error: `max_i |r_i| / (|A|·|x| + |b|)_i`
+    /// with the classic `xGERFS` small-denominator guard.
+    pub berr: Vec<R>,
+    /// Normwise backward error: `‖r‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)`.
+    pub nberr: Vec<R>,
+    /// Normwise forward error estimate `‖x − x*‖∞ / ‖x‖∞`, from the
+    /// final correction size amplified by the observed contraction rate.
+    pub ferr: Vec<R>,
+    /// Componentwise forward error estimate `max_i |x_i − x*_i| / |x_i|`.
+    pub ferr_comp: Vec<R>,
+    /// Refinement steps taken (0 = the input `x` was already converged).
+    pub niter: Vec<i32>,
+}
+
+/// `ITHRESH` of `xGERFSX`: the refinement iteration cap.
+const RFSX_ITHRESH: usize = 10;
+
+/// `(|op(A)|·|x| + |b|)_i` for the backward-error denominator, honoring
+/// the same storage convention as the residual.
+fn abs_denom<T: Scalar>(
+    op: MixedOp,
+    trans: la_core::Trans,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    x: &[T],
+) -> Vec<T::Real> {
+    let elem = |i: usize, k: usize| -> T::Real {
+        match op {
+            MixedOp::Lu => match trans {
+                la_core::Trans::No => a[i + k * lda].abs1(),
+                _ => a[k + i * lda].abs1(),
+            },
+            MixedOp::Chol(uplo) => {
+                let direct = match uplo {
+                    Uplo::Upper => i <= k,
+                    Uplo::Lower => i >= k,
+                };
+                if direct {
+                    a[i + k * lda].abs1()
+                } else {
+                    a[k + i * lda].abs1()
+                }
+            }
+        }
+    };
+    (0..n)
+        .map(|i| {
+            let mut acc = b[i].abs1();
+            for k in 0..n {
+                acc = acc + elem(i, k) * x[k].abs1();
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The shared extra-precise refinement engine: per right-hand side, loop
+/// `r := round_dd(b − op(A)·x); solve op(A)·d = r; x += d` until the
+/// correction falls below `ε·‖x‖` (converged), stagnates (contraction
+/// ratio ≥ ½), or [`RFSX_ITHRESH`] steps pass — then convert the final
+/// double-double residual and correction history into error bounds.
+#[allow(clippy::too_many_arguments)]
+fn rfsx_engine<T: Scalar>(
+    op: MixedOp,
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    solve: &dyn Fn(&mut [T]),
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> RfsxOut<T::Real> {
+    let eps = T::Real::EPS;
+    let safe1 = T::Real::sfmin() * T::Real::from_usize(n + 1);
+    let mut out = RfsxOut {
+        berr: vec![T::Real::zero(); nrhs],
+        nberr: vec![T::Real::zero(); nrhs],
+        ferr: vec![T::Real::one(); nrhs],
+        ferr_comp: vec![T::Real::one(); nrhs],
+        niter: vec![0; nrhs],
+    };
+    if n == 0 {
+        for j in 0..nrhs {
+            out.ferr[j] = T::Real::zero();
+            out.ferr_comp[j] = T::Real::zero();
+        }
+        return out;
+    }
+    let mut r = vec![T::zero(); n];
+    for j in 0..nrhs {
+        let bj = &b[j * ldb..j * ldb + n];
+        let mut dx_prev = T::Real::zero();
+        let mut have_prev = false;
+        let mut rate = T::Real::zero();
+        let mut dx_final = T::Real::zero();
+        let mut dxc_final = T::Real::zero();
+        for it in 1..=RFSX_ITHRESH {
+            {
+                let xj = &x[j * ldx..j * ldx + n];
+                residual_dd(op, trans, n, 1, a, lda, bj, n, xj, n, &mut r);
+            }
+            solve(&mut r); // r becomes the correction d
+            let mut dxnrm = T::Real::zero();
+            let mut dxcomp = T::Real::zero();
+            let mut xnrm = T::Real::zero();
+            for i in 0..n {
+                dxnrm = dxnrm.maxr(r[i].abs1());
+                let xa = x[i + j * ldx].abs1();
+                xnrm = xnrm.maxr(xa);
+                if xa > T::Real::zero() {
+                    dxcomp = dxcomp.maxr(r[i].abs1() / xa);
+                }
+            }
+            for i in 0..n {
+                x[i + j * ldx] += r[i];
+            }
+            out.niter[j] = it as i32;
+            dx_final = dxnrm;
+            dxc_final = dxcomp;
+            if dxnrm <= eps * xnrm {
+                break; // converged to working precision
+            }
+            if have_prev {
+                rate = dxnrm / dx_prev;
+                if rate >= T::Real::from_f64(0.5) {
+                    break; // stagnated: bounds below report honestly
+                }
+            }
+            have_prev = true;
+            dx_prev = dxnrm;
+        }
+        // Final extended-precision residual → backward errors.
+        let xj = &x[j * ldx..j * ldx + n];
+        residual_dd(op, trans, n, 1, a, lda, bj, n, xj, n, &mut r);
+        let denom = abs_denom(op, trans, n, a, lda, bj, xj);
+        let mut berr = T::Real::zero();
+        let mut rnrm = T::Real::zero();
+        let mut xnrm = T::Real::zero();
+        let mut bnrm = T::Real::zero();
+        let mut anrm_row = T::Real::zero();
+        for i in 0..n {
+            let ra = r[i].abs1();
+            rnrm = rnrm.maxr(ra);
+            xnrm = xnrm.maxr(xj[i].abs1());
+            bnrm = bnrm.maxr(bj[i].abs1());
+            // Row sums of |op(A)| are denom − |b| + nothing: recover ∞-norm.
+            anrm_row = anrm_row.maxr(denom[i] - bj[i].abs1());
+            berr = berr.maxr(if denom[i] > safe1 {
+                ra / denom[i]
+            } else {
+                (ra + safe1) / (denom[i] + safe1)
+            });
+        }
+        out.berr[j] = berr;
+        let nden = anrm_row + bnrm;
+        out.nberr[j] = if nden > T::Real::zero() {
+            rnrm / nden
+        } else {
+            T::Real::zero()
+        };
+        // Forward bounds: last correction, amplified by 1/(1 − rate) when
+        // the contraction rate was observed (capped at the ½ stagnation
+        // threshold), floored at ε.
+        let amp = T::Real::one() / (T::Real::one() - rate.minr(T::Real::from_f64(0.5)));
+        out.ferr[j] = if xnrm > T::Real::zero() {
+            ((dx_final / xnrm) * amp).maxr(eps)
+        } else {
+            T::Real::zero()
+        };
+        out.ferr_comp[j] = (dxc_final * amp).maxr(eps);
+    }
+    out
+}
+
+/// Extra-precise iterative refinement for a general factored system
+/// (`xGERFSX` semantics, without equilibration): improves `X` — an
+/// existing solve of `op(A)·X = B` — using the `getrf` factors in
+/// `af`/`ipiv` and double-double residuals, and returns componentwise and
+/// normwise backward errors plus forward error estimates per right-hand
+/// side. With extended residuals the refined solution reaches
+/// working-precision backward error even on badly conditioned systems
+/// where the plain solve's componentwise error is large.
+#[allow(clippy::too_many_arguments)]
+pub fn gerfsx<T: Scalar>(
+    trans: Trans,
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    af: &[T],
+    ldaf: usize,
+    ipiv: &[i32],
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, RfsxOut<T::Real>) {
+    if lda < n.max(1) {
+        return (-5, RfsxOut::default());
+    }
+    if ldaf < n.max(1) {
+        return (-7, RfsxOut::default());
+    }
+    if ldb < n.max(1) {
+        return (-10, RfsxOut::default());
+    }
+    if ldx < n.max(1) {
+        return (-12, RfsxOut::default());
+    }
+    let solve = |rhs: &mut [T]| {
+        getrs(trans, n, 1, af, ldaf, ipiv, rhs, n.max(1));
+    };
+    let out = rfsx_engine(MixedOp::Lu, trans, n, nrhs, a, lda, &solve, b, ldb, x, ldx);
+    (0, out)
+}
+
+/// Extra-precise iterative refinement for a symmetric/Hermitian
+/// positive-definite factored system (`xPORFSX` semantics): improves `X`
+/// using the `potrf` factor in `af` and double-double residuals. Only the
+/// `uplo` triangle of `a`/`af` is referenced. Returns the same bounds as
+/// [`gerfsx`].
+#[allow(clippy::too_many_arguments)]
+pub fn porfsx<T: Scalar>(
+    uplo: Uplo,
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    af: &[T],
+    ldaf: usize,
+    b: &[T],
+    ldb: usize,
+    x: &mut [T],
+    ldx: usize,
+) -> (i32, RfsxOut<T::Real>) {
+    if lda < n.max(1) {
+        return (-5, RfsxOut::default());
+    }
+    if ldaf < n.max(1) {
+        return (-7, RfsxOut::default());
+    }
+    if ldb < n.max(1) {
+        return (-9, RfsxOut::default());
+    }
+    if ldx < n.max(1) {
+        return (-11, RfsxOut::default());
+    }
+    let solve = |rhs: &mut [T]| {
+        potrs(uplo, n, 1, af, ldaf, rhs, n.max(1));
+    };
+    let out = rfsx_engine(
+        MixedOp::Chol(uplo),
+        Trans::No,
+        n,
+        nrhs,
+        a,
+        lda,
+        &solve,
+        b,
+        ldb,
+        x,
+        ldx,
+    );
+    (0, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1026,5 +1313,165 @@ mod tests {
         for i in 0..n {
             assert!((x[i] - xtrue[i]).abs() < 1e-10);
         }
+    }
+
+    fn hilbert(n: usize) -> Vec<f64> {
+        let mut a = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                a[i + j * n] = 1.0 / (i + j + 1) as f64;
+            }
+        }
+        a
+    }
+
+    /// Componentwise backward error of `x` for `A·x = b`, with the
+    /// residual evaluated in double-double so the measurement itself is
+    /// trustworthy at the ε level.
+    fn comp_berr(n: usize, a: &[f64], b: &[f64], x: &[f64]) -> f64 {
+        let mut berr = 0.0f64;
+        for i in 0..n {
+            let mut acc = la_core::dd::Dd::from_f64(b[i]);
+            let mut denom = b[i].abs();
+            for k in 0..n {
+                acc = acc.fma_acc(-a[i + k * n], x[k]);
+                denom += (a[i + k * n] * x[k]).abs();
+            }
+            if denom > 0.0 {
+                berr = berr.max(acc.to_f64().abs() / denom);
+            }
+        }
+        berr
+    }
+
+    #[test]
+    fn gerfsx_fixes_hilbert_backward_error() {
+        // Hilbert matrices up to n = 12: condition number up to ~1e16.
+        // Double-double-residual refinement must hold the componentwise
+        // backward error at ≤ 4ε (the acceptance bound) without being
+        // destabilized by the extreme conditioning. (The growth-matrix
+        // integration test covers the case where the plain solve fails
+        // the bound outright.)
+        for n in [6usize, 9, 12] {
+            let a = hilbert(n);
+            let b: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let mut af = a.clone();
+            let mut ipiv = vec![0i32; n];
+            assert_eq!(crate::getrf(n, n, &mut af, n, &mut ipiv), 0);
+            let mut x = b.clone();
+            crate::getrs(Trans::No, n, 1, &af, n, &ipiv, &mut x, n);
+            let plain = comp_berr(n, &a, &b, &x);
+
+            let (info, out) = gerfsx(Trans::No, n, 1, &a, n, &af, n, &ipiv, &b, n, &mut x, n);
+            assert_eq!(info, 0);
+            let refined = comp_berr(n, &a, &b, &x);
+            let bound = 4.0 * f64::EPSILON;
+            assert!(
+                refined <= bound,
+                "n={n}: refined berr {refined:e} > 4ε ({bound:e})"
+            );
+            assert!(
+                refined < plain || plain <= bound,
+                "n={n}: refinement did not improve ({plain:e} -> {refined:e})"
+            );
+            // The driver's own reported bounds agree in magnitude.
+            assert!(
+                out.berr[0] <= 16.0 * f64::EPSILON,
+                "n={n}: {:e}",
+                out.berr[0]
+            );
+            assert!(
+                out.nberr[0] <= 4.0 * f64::EPSILON,
+                "n={n}: {:e}",
+                out.nberr[0]
+            );
+            assert!(out.niter[0] >= 1);
+            assert!(out.ferr[0] >= f64::EPSILON && out.ferr[0] <= 1.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gerfsx_transposed_system() {
+        // Aᵀ·x = b on a nonsymmetric matrix: the trans plumbing must
+        // reach both the residual and the factored solve.
+        let n = 5;
+        let mut a = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                a[i + j * n] = 1.0 / (1 + 2 * i + j) as f64;
+            }
+            a[j + j * n] += 2.0;
+        }
+        let xt: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let mut b = vec![0.0f64; n];
+        for i in 0..n {
+            for k in 0..n {
+                b[i] += a[k + i * n] * xt[k]; // Aᵀ·xt
+            }
+        }
+        let mut af = a.clone();
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(crate::getrf(n, n, &mut af, n, &mut ipiv), 0);
+        let mut x = b.clone();
+        crate::getrs(Trans::Trans, n, 1, &af, n, &ipiv, &mut x, n);
+        let (info, out) = gerfsx(Trans::Trans, n, 1, &a, n, &af, n, &ipiv, &b, n, &mut x, n);
+        assert_eq!(info, 0);
+        assert!(out.berr[0] <= 16.0 * f64::EPSILON);
+        for i in 0..n {
+            assert!((x[i] - xt[i]).abs() < 1e-12, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn porfsx_spd_hilbert_and_complex() {
+        // Hilbert is SPD: the Cholesky variant must hit the same bound
+        // reading only one triangle.
+        let n = 9;
+        let a = hilbert(n);
+        let b = vec![1.0f64; n];
+        let mut af = a.clone();
+        assert_eq!(crate::potrf(Uplo::Lower, n, &mut af, n), 0);
+        let mut x = b.clone();
+        crate::potrs(Uplo::Lower, n, 1, &af, n, &mut x, n);
+        let (info, out) = porfsx(Uplo::Lower, n, 1, &a, n, &af, n, &b, n, &mut x, n);
+        assert_eq!(info, 0);
+        assert!(out.berr[0] <= 16.0 * f64::EPSILON, "{:e}", out.berr[0]);
+        assert!(comp_berr(n, &a, &b, &x) <= 4.0 * f64::EPSILON);
+
+        // Complex HPD sanity: diagonally dominant, converges immediately.
+        let nc = 4;
+        let mut ac = vec![C64::zero(); nc * nc];
+        for j in 0..nc {
+            for i in 0..nc {
+                ac[i + j * nc] = if i == j {
+                    C64::new(4.0, 0.0)
+                } else {
+                    C64::new(0.3, if i < j { 0.2 } else { -0.2 })
+                };
+            }
+        }
+        let bc: Vec<C64> = (0..nc).map(|i| C64::new(1.0 + i as f64, -0.5)).collect();
+        let mut afc = ac.clone();
+        assert_eq!(crate::potrf(Uplo::Upper, nc, &mut afc, nc), 0);
+        let mut xc = bc.clone();
+        crate::potrs(Uplo::Upper, nc, 1, &afc, nc, &mut xc, nc);
+        let (info, out) = porfsx(Uplo::Upper, nc, 1, &ac, nc, &afc, nc, &bc, nc, &mut xc, nc);
+        assert_eq!(info, 0);
+        assert!(out.berr[0] <= 16.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn rfsx_quick_returns_and_bad_ld() {
+        let a = [1.0f64];
+        let ipiv = [1i32];
+        let b = [1.0f64];
+        let mut x = [1.0f64];
+        let (info, out) = gerfsx(Trans::No, 0, 1, &a, 1, &a, 1, &ipiv, &b, 1, &mut x, 1);
+        assert_eq!(info, 0);
+        assert_eq!(out.niter, vec![0]);
+        let (info, _) = gerfsx(Trans::No, 2, 1, &a, 1, &a, 2, &ipiv, &b, 2, &mut x, 2);
+        assert_eq!(info, -5);
+        let (info, _) = porfsx(Uplo::Upper, 2, 1, &a, 1, &a, 2, &b, 2, &mut x, 2);
+        assert_eq!(info, -5);
     }
 }

@@ -49,12 +49,12 @@ pub fn sytf2<T: Scalar>(
     ipiv: &mut [i32],
 ) -> i32 {
     let alpha = (T::Real::one()
-        + T::Real::from_f64(17.0).rsqrt() * T::Real::from_f64(17.0).rsqrt())
-    .rsqrt();
+        + T::Real::from_f64(17.0).sqrt_r() * T::Real::from_f64(17.0).sqrt_r())
+    .sqrt_r();
     // alpha = (1 + sqrt(17)) / 8 — compute cleanly:
     let alpha = {
         let _ = alpha;
-        (T::Real::one() + T::Real::from_f64(17.0).rsqrt()) / T::Real::from_f64(8.0)
+        (T::Real::one() + T::Real::from_f64(17.0).sqrt_r()) / T::Real::from_f64(8.0)
     };
     let mut info = 0i32;
     match uplo {

@@ -63,7 +63,7 @@ impl Larnv {
                 let u2: R = self.unit();
                 let two = R::one() + R::one();
                 let tau = R::from_f64(core::f64::consts::PI) * two;
-                (-two * u1.ln()).rsqrt() * (tau * u2).cos_r()
+                (-two * u1.ln()).sqrt_r() * (tau * u2).cos_r()
             }
         }
     }

@@ -73,8 +73,8 @@ pub use handle::JobHandle;
 pub use service::{ServeStats, Service};
 pub use tenant::TenantReport;
 
-use la_core::mixed::Demote;
 use la_core::{LaError, Mat, Uplo};
+use la_lapack::Lattice;
 use std::time::{Duration, Instant};
 
 /// Which driver a job runs. The mixed variants take the demoted-precision
@@ -109,7 +109,7 @@ impl SolveOp {
 /// serving metadata (tenant, deadline). Build with [`JobSpec::new`] and
 /// the chained setters.
 #[derive(Debug)]
-pub struct JobSpec<T: Demote> {
+pub struct JobSpec<T: Lattice> {
     pub(crate) op: SolveOp,
     pub(crate) a: Mat<T>,
     pub(crate) b: Mat<T>,
@@ -121,7 +121,7 @@ pub struct JobSpec<T: Demote> {
     pub(crate) chaos_panic: bool,
 }
 
-impl<T: Demote> JobSpec<T> {
+impl<T: Lattice> JobSpec<T> {
     /// A request to solve `a·X = b` with `op`, for the default tenant,
     /// with no deadline of its own (the service default applies).
     pub fn new(op: SolveOp, a: Mat<T>, b: Mat<T>) -> Self {
@@ -177,7 +177,7 @@ impl<T: Demote> JobSpec<T> {
 
 /// A completed solve.
 #[derive(Debug)]
-pub struct SolveOutput<T: Demote> {
+pub struct SolveOutput<T: Lattice> {
     /// The solution `X` (`n × nrhs`).
     pub x: Mat<T>,
     /// Mixed-path refinement iterations (`DSGESV` convention: ≥ 0 on the

@@ -8,15 +8,15 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use la_core::cancel::CancelToken;
-use la_core::mixed::Demote;
 use la_core::{abft, cancel, except, probe, tune};
+use la_lapack::Lattice;
 
 use crate::handle::Shared;
 use crate::tenant::TenantState;
 use crate::{ladder, JobHandle, JobSpec, Rejection, ServeConfig, TenantReport};
 
 /// One admitted, not-yet-processed job.
-struct Queued<T: Demote> {
+struct Queued<T: Lattice> {
     spec: JobSpec<T>,
     shared: Arc<Shared<T>>,
     token: CancelToken,
@@ -63,7 +63,7 @@ pub struct ServeStats {
     pub queued: usize,
 }
 
-struct Inner<T: Demote> {
+struct Inner<T: Lattice> {
     cfg: ServeConfig,
     workers: usize,
     queue: Mutex<VecDeque<Queued<T>>>,
@@ -77,7 +77,7 @@ struct Inner<T: Demote> {
 /// see [`ServeConfig`] for the knobs. Start one with [`Service::start`],
 /// feed it with [`Service::submit`], stop it with [`Service::shutdown`]
 /// (also run by `Drop`).
-pub struct Service<T: Demote> {
+pub struct Service<T: Lattice> {
     inner: Arc<Inner<T>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -85,11 +85,11 @@ pub struct Service<T: Demote> {
 /// Counts a panic escaping the worker loop itself — by construction that
 /// should be impossible (every job runs under `catch_unwind`), and the
 /// chaos soak asserts the count stays zero.
-struct PoisonSentinel<T: Demote> {
+struct PoisonSentinel<T: Lattice> {
     inner: Arc<Inner<T>>,
 }
 
-impl<T: Demote> Drop for PoisonSentinel<T> {
+impl<T: Lattice> Drop for PoisonSentinel<T> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.inner
@@ -100,7 +100,7 @@ impl<T: Demote> Drop for PoisonSentinel<T> {
     }
 }
 
-impl<T: Demote> Service<T> {
+impl<T: Lattice> Service<T> {
     /// Starts the worker pool and returns the running service.
     ///
     /// The scoped thread-local policies in effect on the *calling* thread
@@ -271,7 +271,7 @@ impl<T: Demote> Service<T> {
     }
 }
 
-fn tenant_mut<T: Demote, R>(
+fn tenant_mut<T: Lattice, R>(
     inner: &Inner<T>,
     tenant: &str,
     f: impl FnOnce(&mut TenantState, u32) -> R,
@@ -283,13 +283,13 @@ fn tenant_mut<T: Demote, R>(
     f(state, inner.cfg.breaker_threshold)
 }
 
-impl<T: Demote> Drop for Service<T> {
+impl<T: Lattice> Drop for Service<T> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn worker_loop<T: Demote>(inner: Arc<Inner<T>>) {
+fn worker_loop<T: Lattice>(inner: Arc<Inner<T>>) {
     let _sentinel = PoisonSentinel {
         inner: Arc::clone(&inner),
     };
@@ -316,7 +316,7 @@ fn worker_loop<T: Demote>(inner: Arc<Inner<T>>) {
 /// Runs one job through the full robustness pipeline and fulfills its
 /// handle. Never lets a panic escape: the outer `catch_unwind` is the
 /// job boundary the crate docs promise.
-fn process<T: Demote>(inner: &Inner<T>, job: Queued<T>) {
+fn process<T: Lattice>(inner: &Inner<T>, job: Queued<T>) {
     let Queued {
         spec,
         shared,
