@@ -13,7 +13,9 @@
 //! Usage: `bench_gate [baseline.json] [fresh.json] [--threshold 1.25]
 //! [--min-gemm-speedup 3.0] [--min-mixed-speedup 1.2]
 //! [--min-lattice-speedup 0.3] [--max-dd-berr 8.9e-16]
-//! [--max-abft-overhead 1.10] [--min-dag-speedup 1.15]`
+//! [--max-abft-overhead 1.10] [--min-dag-speedup 1.15]
+//! [--max-p99-ms 50] [--min-goodput 500]
+//! [--max-overload-p99-ms 120] [--min-overload-goodput 300]`
 //!
 //! `--min-gemm-speedup` enforces an absolute floor on the baseline's
 //! recorded `speedup_packed_vs_prepacked` ratios for `gemm` at n ≥ 512:
@@ -72,6 +74,18 @@
 //! message (first run: no baseline committed yet), so the gate can land
 //! before the baseline does. `--serve-baseline <path>` overrides the
 //! default path.
+//!
+//! The overload comparison (`serve_load --overload`, the baseline's
+//! `overload` section) is gated by `--max-overload-p99-ms` (ceiling on
+//! the *adaptive* row's served-job p99 — the admission controller must
+//! keep latency bounded where the fixed-depth row is allowed to blow
+//! past it) and `--min-overload-goodput` (floor on the adaptive row's
+//! jobs/s under 2× oversubscription). Every overload row — fixed and
+//! adaptive — must also record `wrong == 0`, `pool_poisonings == 0` and
+//! `unresolved == 0`: overload may shed, it may never corrupt, poison,
+//! or hang. A baseline without an `overload` section (not yet
+//! committed) is tolerated with a clear message, same as a missing
+//! file.
 
 use la_core::json::Json;
 
@@ -141,6 +155,8 @@ fn main() {
     let mut min_dag: Option<f64> = None;
     let mut max_p99: Option<f64> = None;
     let mut min_goodput: Option<f64> = None;
+    let mut max_ov_p99: Option<f64> = None;
+    let mut min_ov_goodput: Option<f64> = None;
     let mut serve_path = "BENCH_serve.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -171,6 +187,12 @@ fn main() {
         } else if a == "--min-goodput" {
             let v = it.next().expect("--min-goodput needs a value");
             min_goodput = Some(v.parse().expect("bad min-goodput"));
+        } else if a == "--max-overload-p99-ms" {
+            let v = it.next().expect("--max-overload-p99-ms needs a value");
+            max_ov_p99 = Some(v.parse().expect("bad max-overload-p99-ms"));
+        } else if a == "--min-overload-goodput" {
+            let v = it.next().expect("--min-overload-goodput needs a value");
+            min_ov_goodput = Some(v.parse().expect("bad min-overload-goodput"));
         } else if a == "--serve-baseline" {
             let v = it.next().expect("--serve-baseline needs a value");
             serve_path = v.clone();
@@ -459,7 +481,9 @@ fn main() {
     // across every row — clean and chaos alike. A missing baseline is
     // tolerated: the gate can land before the first `serve_load` run is
     // committed.
-    if max_p99.is_some() || min_goodput.is_some() {
+    let want_serve = max_p99.is_some() || min_goodput.is_some();
+    let want_overload = max_ov_p99.is_some() || min_ov_goodput.is_some();
+    if want_serve || want_overload {
         match std::fs::read_to_string(&serve_path) {
             Err(_) => {
                 println!(
@@ -469,57 +493,128 @@ fn main() {
             }
             Ok(text) => {
                 let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {serve_path}: {e}"));
-                let Some(rows) = doc.get("serve_sweep").and_then(|v| v.as_arr()) else {
-                    eprintln!("bench_gate: {serve_path} has no serve_sweep section");
-                    std::process::exit(2);
-                };
-                let mut checked = 0usize;
-                for row in rows {
-                    let get_s = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("?");
-                    let get_f = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
-                    let key = format!(
-                        "{} {} c={}",
-                        get_s("op"),
-                        get_s("mode"),
-                        get_f("concurrency") as u64
-                    );
-                    let wrong = get_f("wrong");
-                    let poisonings = get_f("pool_poisonings");
-                    if !(wrong == 0.0 && poisonings == 0.0) {
-                        failed = true;
+                if want_serve {
+                    let Some(rows) = doc.get("serve_sweep").and_then(|v| v.as_arr()) else {
+                        eprintln!("bench_gate: {serve_path} has no serve_sweep section");
+                        std::process::exit(2);
+                    };
+                    let mut checked = 0usize;
+                    for row in rows {
+                        let get_s = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+                        let get_f =
+                            |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+                        let key = format!(
+                            "{} {} c={}",
+                            get_s("op"),
+                            get_s("mode"),
+                            get_f("concurrency") as u64
+                        );
+                        let wrong = get_f("wrong");
+                        let poisonings = get_f("pool_poisonings");
+                        if !(wrong == 0.0 && poisonings == 0.0) {
+                            failed = true;
+                            println!(
+                                "  serve {key:<28} wrong {wrong} poisonings {poisonings}  \
+                                 << INVARIANT VIOLATED"
+                            );
+                        }
+                        if get_s("mode") != "clean" {
+                            continue;
+                        }
+                        checked += 1;
+                        let p99 = get_f("p99_ms");
+                        let goodput = get_f("goodput_jps");
+                        let mut flag = "";
+                        // NaN (absent field) fails the check rather than
+                        // slipping past a `<` comparison.
+                        if let Some(ceiling) = max_p99 {
+                            if p99.is_nan() || p99 > ceiling {
+                                failed = true;
+                                flag = "  << P99 ABOVE CEILING";
+                            }
+                        }
+                        if let Some(floor) = min_goodput {
+                            if flag.is_empty() && (goodput.is_nan() || goodput < floor) {
+                                failed = true;
+                                flag = "  << GOODPUT BELOW FLOOR";
+                            }
+                        }
                         println!(
-                            "  serve {key:<28} wrong {wrong} poisonings {poisonings}  \
-                             << INVARIANT VIOLATED"
+                            "  serve {key:<28} p99 {p99:8.3} ms  goodput {goodput:9.1} jobs/s{flag}"
                         );
                     }
-                    if get_s("mode") != "clean" {
-                        continue;
+                    if checked == 0 {
+                        eprintln!("bench_gate: no clean serve_sweep rows in {serve_path}");
+                        std::process::exit(2);
                     }
-                    checked += 1;
-                    let p99 = get_f("p99_ms");
-                    let goodput = get_f("goodput_jps");
-                    let mut flag = "";
-                    // NaN (absent field) fails the check rather than
-                    // slipping past a `<` comparison.
-                    if let Some(ceiling) = max_p99 {
-                        if p99.is_nan() || p99 > ceiling {
-                            failed = true;
-                            flag = "  << P99 ABOVE CEILING";
-                        }
-                    }
-                    if let Some(floor) = min_goodput {
-                        if flag.is_empty() && (goodput.is_nan() || goodput < floor) {
-                            failed = true;
-                            flag = "  << GOODPUT BELOW FLOOR";
-                        }
-                    }
-                    println!(
-                        "  serve {key:<28} p99 {p99:8.3} ms  goodput {goodput:9.1} jobs/s{flag}"
-                    );
                 }
-                if checked == 0 {
-                    eprintln!("bench_gate: no clean serve_sweep rows in {serve_path}");
-                    std::process::exit(2);
+                // Overload comparison: robustness invariants on every
+                // row; the latency ceiling and goodput floor bind on the
+                // adaptive row, the one the admission controller owns.
+                // An absent section is the pre-commit state, not an
+                // error — warn and pass, like a missing baseline file.
+                if want_overload {
+                    match doc.get("overload").and_then(|v| v.as_arr()) {
+                        None => {
+                            println!(
+                                "bench_gate: {serve_path} has no overload section \
+                                 (not yet committed) — skipping overload checks"
+                            );
+                        }
+                        Some(rows) => {
+                            let mut checked = 0usize;
+                            for row in rows {
+                                let get_s =
+                                    |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+                                let get_f = |k: &str| {
+                                    row.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+                                };
+                                let mode = get_s("mode");
+                                let wrong = get_f("wrong");
+                                let poisonings = get_f("pool_poisonings");
+                                let unresolved = get_f("unresolved");
+                                if !(wrong == 0.0 && poisonings == 0.0 && unresolved == 0.0) {
+                                    failed = true;
+                                    println!(
+                                        "  overload {mode:<9} wrong {wrong} poisonings \
+                                         {poisonings} unresolved {unresolved}  \
+                                         << INVARIANT VIOLATED"
+                                    );
+                                }
+                                let p99 = get_f("p99_ms");
+                                let goodput = get_f("goodput_jps");
+                                let mut flag = "";
+                                if mode == "adaptive" {
+                                    checked += 1;
+                                    if let Some(ceiling) = max_ov_p99 {
+                                        if p99.is_nan() || p99 > ceiling {
+                                            failed = true;
+                                            flag = "  << P99 ABOVE CEILING";
+                                        }
+                                    }
+                                    if let Some(floor) = min_ov_goodput {
+                                        if flag.is_empty() && (goodput.is_nan() || goodput < floor)
+                                        {
+                                            failed = true;
+                                            flag = "  << GOODPUT BELOW FLOOR";
+                                        }
+                                    }
+                                }
+                                println!(
+                                    "  overload {mode:<9} p99 {p99:8.3} ms  goodput \
+                                     {goodput:9.1} jobs/s  shed {}{flag}",
+                                    get_f("shed")
+                                );
+                            }
+                            if checked == 0 {
+                                eprintln!(
+                                    "bench_gate: overload section in {serve_path} has no \
+                                     adaptive row"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                    }
                 }
             }
         }

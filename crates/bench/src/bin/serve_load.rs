@@ -10,6 +10,14 @@
 //! pool poisonings** (no panic ever escapes a job boundary), and every
 //! job resolves — completed or a typed rejection, nothing hangs.
 //!
+//! `--overload` adds the open-loop overload comparison: the same
+//! arrival schedule, paced at 2× measured capacity (wedged workers and
+//! bursts injected on top with `--chaos`), runs against the fixed-depth
+//! queue bound and against the adaptive admission controller, and both
+//! rows land in an `"overload"` JSON section for `bench_gate` to hold
+//! the line on (`--max-overload-p99-ms`, `--min-overload-goodput`).
+//! The same invariants apply, plus: every *admitted* job must resolve.
+//!
 //! `--quick` shrinks the sweep for CI and writes
 //! `BENCH_serve.quick.json`, leaving the checked-in baseline untouched.
 
@@ -184,10 +192,12 @@ mod chaos_run {
 
     pub struct ChaosOutcome {
         pub row: SweepRow,
-        pub events: [(&'static str, u64); 5],
+        pub events: [(&'static str, u64); 7],
         pub rejections: Vec<(&'static str, u64)>,
         pub degraded: u64,
         pub panics_isolated: u64,
+        pub stuck: u64,
+        pub respawned: u64,
         pub unresolved: u64,
         /// p50 of submit → typed `Panicked` rejection round trips: the
         /// measured end-to-end cost of panic isolation.
@@ -205,6 +215,9 @@ mod chaos_run {
                 workers: clients,
                 queue_depth: 4 * clients.max(1),
                 max_attempts: 3,
+                // The plan injects wedged workers: the watchdog is what
+                // resolves them, so the soak runs with it armed.
+                watchdog: Some(std::time::Duration::from_millis(150)),
                 ..ServeConfig::default()
             })
         });
@@ -220,10 +233,10 @@ mod chaos_run {
         ];
         let t0 = Instant::now();
         let per_client = jobs / clients as u64;
-        type ClientOut = (Vec<f64>, u64, [u64; 5], Vec<(&'static str, u64)>, Vec<f64>);
+        type ClientOut = (Vec<f64>, u64, [u64; 7], Vec<(&'static str, u64)>, Vec<f64>);
         let (mut lats, mut wrong) = (Vec::new(), 0u64);
         let mut panic_lats: Vec<f64> = Vec::new();
-        let mut events = [0u64; 5];
+        let mut events = [0u64; 7];
         let mut rej_kinds: std::collections::BTreeMap<&'static str, u64> = Default::default();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..clients)
@@ -234,7 +247,7 @@ mod chaos_run {
                         let mut plan = ChaosPlan::new(seed.wrapping_add(ci as u64));
                         let mut lats = Vec::new();
                         let mut wrong = 0u64;
-                        let mut events = [0u64; 5];
+                        let mut events = [0u64; 7];
                         let mut rejs: Vec<(&'static str, u64)> = Vec::new();
                         let mut panic_lats: Vec<f64> = Vec::new();
                         let bump = |rejs: &mut Vec<(&'static str, u64)>, k| match rejs
@@ -257,6 +270,8 @@ mod chaos_run {
                                 ChaosEvent::WorkerPanic => 2,
                                 ChaosEvent::Poison => 3,
                                 ChaosEvent::PastDeadline => 4,
+                                ChaosEvent::WedgedWorker => 5,
+                                ChaosEvent::Burst => 6,
                             }] += 1;
                             let spec = plan.apply(
                                 ev,
@@ -294,6 +309,7 @@ mod chaos_run {
                                             Rejection::ResidualRejected { .. } => {
                                                 "residual_rejected"
                                             }
+                                            Rejection::Stuck { .. } => "stuck",
                                             Rejection::ShuttingDown => "shutting_down",
                                         },
                                     );
@@ -349,10 +365,14 @@ mod chaos_run {
                 ("worker_panic", events[2]),
                 ("poison", events[3]),
                 ("past_deadline", events[4]),
+                ("wedged_worker", events[5]),
+                ("burst", events[6]),
             ],
             rejections: rej_kinds.into_iter().collect(),
             degraded: stats.degraded,
             panics_isolated: stats.panics_isolated,
+            stuck: stats.stuck,
+            respawned: stats.respawned,
             unresolved,
             panic_p50_ms: percentile(&panic_lats, 0.50),
         }
@@ -365,10 +385,237 @@ mod chaos_run {
     }
 }
 
+/// Open-loop overload mode (`--overload`): arrivals are paced at a fixed
+/// multiple of the measured service capacity and shed arrivals are
+/// *lost*, never retried — the regime a closed-loop client cannot
+/// produce and the one admission control exists for. The same offered
+/// schedule runs twice, against the fixed-depth bound and against the
+/// adaptive controller (target-delay admission + brownout), so the two
+/// rows in the JSON are directly comparable. With `--chaos`
+/// (`fault-inject` builds), wedged workers and arrival bursts are
+/// injected on top.
+mod overload {
+    use super::*;
+    use la_serve::Priority;
+    use std::time::Duration;
+
+    pub struct OverloadRow {
+        pub mode: &'static str,
+        pub workers: usize,
+        pub n: usize,
+        /// Queueing-delay target handed to the adaptive controller
+        /// (recorded on the fixed row too, for comparison).
+        pub target_ms: f64,
+        pub offered_jps: f64,
+        pub jobs: u64,
+        pub served: u64,
+        pub shed: u64,
+        pub rejected: u64,
+        pub stuck: u64,
+        pub respawned: u64,
+        pub brownout_served: u64,
+        pub p50_ms: f64,
+        pub p99_ms: f64,
+        pub goodput_jps: f64,
+        pub wrong: u64,
+        pub pool_poisonings: u64,
+        pub unresolved: u64,
+    }
+
+    /// Median closed-loop solve latency on an idle one-worker service:
+    /// the per-job service time the open-loop pacing is derived from.
+    pub fn calibrate_service_ms(n: usize) -> f64 {
+        let svc: Service<f64> = Service::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let a: Mat<f64> = bench_matrix(n, 17);
+        let b = rowsum_rhs(&a, 2);
+        let mut lats = Vec::new();
+        for _ in 0..12 {
+            let t = Instant::now();
+            let h = submit_with_retry(&svc, || JobSpec::new(SolveOp::Gesv, a.clone(), b.clone()));
+            h.wait().expect("calibration solve failed");
+            lats.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        svc.shutdown();
+        lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        lats[lats.len() / 2]
+    }
+
+    /// Pacing that survives coarse OS sleep granularity: sleep for the
+    /// bulk of the gap, spin the last stretch.
+    fn pace_until(next: Instant) {
+        loop {
+            let now = Instant::now();
+            if now >= next {
+                return;
+            }
+            let gap = next - now;
+            if gap > Duration::from_millis(1) {
+                std::thread::sleep(gap - Duration::from_millis(1));
+            } else {
+                // Yield, don't spin: on a small box a spinning generator
+                // starves the very workers it is trying to overload.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// One overload scenario: both admission modes run against the
+    /// same copy of these parameters so the comparison is apples to
+    /// apples.
+    #[derive(Clone, Copy)]
+    pub struct Scenario {
+        pub workers: usize,
+        pub n: usize,
+        pub jobs: u64,
+        pub service_ms: f64,
+        pub stall: Duration,
+        pub oversub: f64,
+    }
+
+    pub fn run(adaptive: bool, chaos: bool, sc: Scenario) -> OverloadRow {
+        let Scenario {
+            workers,
+            n,
+            jobs,
+            service_ms,
+            stall,
+            oversub,
+        } = sc;
+        // Target queueing delay: a few service times, floored at an
+        // absolute SLO so the target stays meaningful against OS
+        // scheduling quanta when single solves are microseconds. The
+        // fixed baseline gets no target — its only defence is the
+        // depth bound.
+        let target_ms = (4.0 * service_ms).max(5.0);
+        let svc: Service<f64> = Service::start(ServeConfig {
+            workers,
+            queue_depth: 256,
+            target_delay: if adaptive {
+                Some(Duration::from_secs_f64(target_ms / 1e3))
+            } else {
+                None
+            },
+            brownout: adaptive,
+            watchdog: Some(stall),
+            ..ServeConfig::default()
+        });
+        let gen: Mat<f64> = bench_matrix(n, 17);
+        let b = rowsum_rhs(&gen, 2);
+        // Seed the admission controller's service-time EWMA so the
+        // adaptive bound is in force from the first paced arrival
+        // (a cold controller admits up to the depth cap).
+        for _ in 0..8 {
+            submit_with_retry(&svc, || JobSpec::new(SolveOp::Gesv, gen.clone(), b.clone()))
+                .wait()
+                .expect("overload warmup solve failed");
+        }
+        let interval = Duration::from_secs_f64(service_ms / 1e3 / (workers as f64 * oversub));
+        let offered_jps = 1.0 / interval.as_secs_f64();
+        const PRIOS: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+        // Handles stream to a concurrent collector that waits them in
+        // admission (≈ completion) order *while the generator keeps
+        // submitting* — waiting after the fact would fold the rest of
+        // the submission window into every early job's measured latency.
+        // Residual checks are deferred so the collector never lags the
+        // completion rate.
+        let (tx, rx) = std::sync::mpsc::channel::<(Instant, la_serve::JobHandle<f64>)>();
+        let mut shed = 0u64;
+        let t0 = Instant::now();
+        let (served_outs, rejected, unresolved) = std::thread::scope(|s| {
+            let collector = s.spawn(move || {
+                let mut outs: Vec<(f64, la_serve::SolveOutput<f64>)> = Vec::new();
+                let (mut rejected, mut unresolved) = (0u64, 0u64);
+                for (t, h) in rx {
+                    match h.wait_for(Duration::from_secs(120)) {
+                        Ok(Ok(out)) => outs.push((t.elapsed().as_secs_f64() * 1e3, out)),
+                        Ok(Err(_)) => rejected += 1,
+                        Err(_) => unresolved += 1,
+                    }
+                }
+                (outs, rejected, unresolved)
+            });
+            let mut next = Instant::now();
+            for i in 0..jobs {
+                // A burst compresses a handful of arrivals onto one
+                // instant; every other arrival is paced at the offered
+                // rate. The generator never waits for an answer (open
+                // loop).
+                let in_burst = chaos && i % 50 < 4;
+                if !in_burst {
+                    pace_until(next);
+                }
+                next += interval;
+                #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+                let mut spec = JobSpec::new(SolveOp::Gesv, gen.clone(), b.clone())
+                    .priority(PRIOS[(i % 3) as usize]);
+                #[cfg(feature = "fault-inject")]
+                if chaos && i % 2000 == 7 {
+                    spec = spec.chaos_wedge(if i % 4000 == 7 {
+                        la_serve::chaos::WedgeKind::Hard
+                    } else {
+                        la_serve::chaos::WedgeKind::Cooperative
+                    });
+                }
+                match svc.submit(spec) {
+                    Ok(h) => tx.send((Instant::now(), h)).expect("collector alive"),
+                    Err(Rejection::Overloaded { retry_after, .. }) => {
+                        shed += 1;
+                        // The arrival is lost, but the hint must be sane.
+                        assert!(
+                            retry_after > Duration::ZERO,
+                            "overload shed without a retry_after hint"
+                        );
+                    }
+                    Err(other) => panic!("overload submit: unexpected rejection: {other}"),
+                }
+            }
+            drop(tx);
+            collector.join().expect("collector thread")
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let served = served_outs.len() as u64;
+        let mut wrong = 0u64;
+        let mut lats: Vec<f64> = Vec::with_capacity(served_outs.len());
+        for (lat, out) in &served_outs {
+            lats.push(*lat);
+            if !plausible(&gen, &b, &out.x) {
+                wrong += 1;
+            }
+        }
+        let stats = svc.stats();
+        svc.shutdown();
+        lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        OverloadRow {
+            mode: if adaptive { "adaptive" } else { "fixed" },
+            workers,
+            n,
+            target_ms,
+            offered_jps,
+            jobs,
+            served,
+            shed,
+            rejected,
+            stuck: stats.stuck,
+            respawned: stats.respawned,
+            brownout_served: stats.brownout_served,
+            p50_ms: percentile(&lats, 0.50),
+            p99_ms: percentile(&lats, 0.99),
+            goodput_jps: served as f64 / wall.max(1e-9),
+            wrong,
+            pool_poisonings: stats.pool_poisonings,
+            unresolved,
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let do_overload = args.iter().any(|a| a == "--overload");
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -404,7 +651,6 @@ fn main() {
         }
     }
 
-    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
     let mut failed = false;
     #[cfg(feature = "fault-inject")]
     let chaos_outcome = if chaos {
@@ -418,8 +664,14 @@ fn main() {
         );
         println!(
             "  served {} / rejected {} (degraded {}, panics isolated {}, \
-             panic-isolation p50 {:.3} ms)",
-            r.completed, r.rejected, out.degraded, out.panics_isolated, out.panic_p50_ms
+             stuck {}, respawned {}, panic-isolation p50 {:.3} ms)",
+            r.completed,
+            r.rejected,
+            out.degraded,
+            out.panics_isolated,
+            out.stuck,
+            out.respawned,
+            out.panic_p50_ms
         );
         for (k, v) in &out.events {
             println!("    event {k:<14} {v}");
@@ -448,6 +700,74 @@ fn main() {
         Some(out)
     } else {
         None
+    };
+
+    let overload_rows: Vec<overload::OverloadRow> = if do_overload {
+        // Enough arrivals that the run is *sustained* overload — many
+        // multiples of the controller's reaction window — not one
+        // transient burst.
+        let (oworkers, on, ojobs, stall_ms) = if quick {
+            (2, 96, 6000, 15)
+        } else {
+            (2, 128, 16000, 20)
+        };
+        let sc = overload::Scenario {
+            workers: oworkers,
+            n: on,
+            jobs: ojobs,
+            service_ms: overload::calibrate_service_ms(on),
+            stall: std::time::Duration::from_millis(stall_ms),
+            oversub: 2.0,
+        };
+        println!(
+            "-- overload: open loop at {:.1}x capacity (service ~{:.3} ms, \
+             {oworkers} workers, n={on}, {ojobs} arrivals{}) --",
+            sc.oversub,
+            sc.service_ms,
+            if chaos { ", chaos wedges+bursts" } else { "" }
+        );
+        let mut rows = Vec::new();
+        for adaptive in [false, true] {
+            let r = overload::run(adaptive, chaos, sc);
+            println!(
+                "  {:<9} offered {:7.1}/s  goodput {:7.1}/s  p50 {:8.3} ms  p99 {:8.3} ms  \
+                 shed {:<4} stuck {:<3} respawned {:<2} brownout-served {}",
+                r.mode,
+                r.offered_jps,
+                r.goodput_jps,
+                r.p50_ms,
+                r.p99_ms,
+                r.shed,
+                r.stuck,
+                r.respawned,
+                r.brownout_served
+            );
+            if r.wrong > 0 {
+                eprintln!(
+                    "  OVERLOAD VIOLATION ({}): {} wrong answer(s) served",
+                    r.mode, r.wrong
+                );
+                failed = true;
+            }
+            if r.pool_poisonings > 0 {
+                eprintln!(
+                    "  OVERLOAD VIOLATION ({}): {} panic(s) escaped a job boundary",
+                    r.mode, r.pool_poisonings
+                );
+                failed = true;
+            }
+            if r.unresolved > 0 {
+                eprintln!(
+                    "  OVERLOAD VIOLATION ({}): {} admitted job(s) never resolved",
+                    r.mode, r.unresolved
+                );
+                failed = true;
+            }
+            rows.push(r);
+        }
+        rows
+    } else {
+        Vec::new()
     };
 
     // --- Emit JSON ----------------------------------------------------
@@ -492,6 +812,8 @@ fn main() {
         j.field_uint("unresolved", out.unresolved);
         j.field_uint("degraded", out.degraded);
         j.field_uint("panics_isolated", out.panics_isolated);
+        j.field_uint("stuck", out.stuck);
+        j.field_uint("respawned", out.respawned);
         j.field_num("panic_isolation_p50_ms", out.panic_p50_ms);
         j.key("events");
         j.begin_obj();
@@ -506,6 +828,33 @@ fn main() {
         }
         j.end_obj();
         j.end_obj();
+    }
+    if !overload_rows.is_empty() {
+        j.key("overload");
+        j.begin_arr();
+        for r in &overload_rows {
+            j.begin_obj();
+            j.field_str("mode", r.mode);
+            j.field_uint("workers", r.workers as u64);
+            j.field_uint("n", r.n as u64);
+            j.field_num("target_ms", r.target_ms);
+            j.field_num("offered_jps", r.offered_jps);
+            j.field_uint("jobs", r.jobs);
+            j.field_uint("served", r.served);
+            j.field_uint("shed", r.shed);
+            j.field_uint("rejected", r.rejected);
+            j.field_uint("stuck", r.stuck);
+            j.field_uint("respawned", r.respawned);
+            j.field_uint("brownout_served", r.brownout_served);
+            j.field_num("p50_ms", r.p50_ms);
+            j.field_num("p99_ms", r.p99_ms);
+            j.field_num("goodput_jps", r.goodput_jps);
+            j.field_uint("wrong", r.wrong);
+            j.field_uint("pool_poisonings", r.pool_poisonings);
+            j.field_uint("unresolved", r.unresolved);
+            j.end_obj();
+        }
+        j.end_arr();
     }
     j.end_obj();
     let path = if quick {

@@ -107,6 +107,7 @@ where
     let ap = abft::policy();
     let pp = probe::policy();
     let token = cancel::current();
+    let beat = cancel::heartbeat();
 
     let queue = Mutex::new(items.iter_mut().zip(infos.iter_mut()).enumerate());
     std::thread::scope(|s| {
@@ -114,6 +115,7 @@ where
             let queue = &queue;
             let run_one = &run_one;
             let token = token.clone();
+            let beat = beat.clone();
             s.spawn(move || {
                 let drain = || {
                     tune::in_pool_worker(workers, || loop {
@@ -127,6 +129,12 @@ where
                 let with_cancel = || match token.clone() {
                     Some(t) => cancel::with_token(t, drain),
                     None => drain(),
+                };
+                // Re-install the caller's heartbeat too, so a watchdog
+                // sampling it keeps seeing beats while the batch fans out.
+                let with_cancel = || match beat.clone() {
+                    Some(h) => cancel::with_heartbeat(h, with_cancel),
+                    None => with_cancel(),
                 };
                 tune::with(cfg, || {
                     except::with_policy(fp, || {
@@ -220,6 +228,21 @@ mod tests {
         });
         assert_eq!(infos, vec![cancel::INFO_CANCELLED; 8]);
         assert_eq!(items, vec![0usize; 8], "cancelled jobs never ran");
+    }
+
+    #[test]
+    fn workers_stamp_the_callers_heartbeat() {
+        let hb = cancel::Heartbeat::new();
+        let mut items = vec![(); 12];
+        cancel::with_heartbeat(hb.clone(), || {
+            tune::with(wide(), || run_batch(&mut items, |_, _| 0))
+        });
+        assert!(
+            hb.beats() >= 12,
+            "every item's cancel checkpoint stamps the inherited heartbeat \
+             (saw {} beats for 12 items)",
+            hb.beats()
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! ```
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -128,8 +128,54 @@ impl Default for CancelToken {
     }
 }
 
+/// A liveness counter for watchdogs: a monotonically increasing beat
+/// count stamped by [`cancelled`] every time the carrying thread passes a
+/// cancellation checkpoint.
+///
+/// The blocked factorizations already poll [`cancelled`] once per
+/// `NB`-column panel, so a thread with a heartbeat installed (via
+/// [`with_heartbeat`]) proves forward progress as a side effect of the
+/// checkpoints it was polling anyway — no extra instrumentation in the
+/// compute kernels. A monitor that samples [`Heartbeat::beats`] and sees
+/// the count stand still across its interval knows the thread is wedged
+/// (stuck in a non-cooperative loop or blocked outside the library), not
+/// merely slow: a slow panel still beats at its boundary.
+#[derive(Clone, Default)]
+pub struct Heartbeat {
+    beats: Arc<AtomicU64>,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat with a beat count of zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of checkpoints passed since creation. Monotonic;
+    /// sampled by watchdog monitors, stamped by [`cancelled`].
+    pub fn beats(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+
+    /// Records one checkpoint passage. Public so dispatchers can stamp at
+    /// their own boundaries (e.g. between batch items) in addition to the
+    /// implicit stamps from [`cancelled`].
+    pub fn stamp(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Heartbeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heartbeat")
+            .field("beats", &self.beats())
+            .finish()
+    }
+}
+
 thread_local! {
     static TOKENS: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+    static HEARTBEATS: RefCell<Vec<Heartbeat>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Runs `f` with `token` installed on the current thread, restoring the
@@ -157,10 +203,42 @@ pub fn current() -> Option<CancelToken> {
     TOKENS.with(|t| t.borrow().last().cloned())
 }
 
+/// Runs `f` with `hb` installed as the current thread's heartbeat,
+/// restoring the previous state afterwards (also on panic). Nested calls
+/// stack; the innermost heartbeat is the one [`cancelled`] stamps.
+///
+/// Like cancel tokens, heartbeats do not cross into spawned workers on
+/// their own — a dispatcher must capture [`heartbeat`] and re-install it
+/// in each worker for the monitor to keep seeing beats.
+pub fn with_heartbeat<R>(hb: Heartbeat, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            HEARTBEATS.with(|h| h.borrow_mut().pop());
+        }
+    }
+    HEARTBEATS.with(|h| h.borrow_mut().push(hb));
+    let _guard = Guard;
+    f()
+}
+
+/// The heartbeat installed on this thread, if any (innermost
+/// [`with_heartbeat`]).
+pub fn heartbeat() -> Option<Heartbeat> {
+    HEARTBEATS.with(|h| h.borrow().last().cloned())
+}
+
 /// Cancellation checkpoint: `true` when the innermost installed token has
-/// been cancelled or its deadline has passed. With no token installed
-/// this is a single thread-local borrow returning `false`.
+/// been cancelled or its deadline has passed. Also stamps the innermost
+/// installed [`Heartbeat`], proving liveness to any watchdog sampling it.
+/// With no token and no heartbeat installed this is two thread-local
+/// borrows returning `false`.
 pub fn cancelled() -> bool {
+    HEARTBEATS.with(|h| {
+        if let Some(hb) = h.borrow().last() {
+            hb.stamp();
+        }
+    });
     TOKENS.with(|t| {
         t.borrow()
             .last()
@@ -213,6 +291,47 @@ mod tests {
             with_token(inner.clone(), || assert!(cancelled()));
             assert!(!cancelled(), "outer token must govern again");
         });
+    }
+
+    #[test]
+    fn checkpoints_stamp_the_innermost_heartbeat() {
+        let hb = Heartbeat::new();
+        assert_eq!(hb.beats(), 0);
+        assert!(heartbeat().is_none());
+        with_heartbeat(hb.clone(), || {
+            assert!(!cancelled()); // no token: false, but the beat lands
+            assert!(!cancelled());
+            let inner = Heartbeat::new();
+            with_heartbeat(inner.clone(), || {
+                assert!(!cancelled());
+                assert_eq!(inner.beats(), 1, "innermost heartbeat governs");
+            });
+            assert_eq!(
+                heartbeat().map(|h| h.beats()),
+                Some(2),
+                "outer heartbeat reinstated"
+            );
+        });
+        assert_eq!(hb.beats(), 2);
+        assert!(heartbeat().is_none(), "heartbeat uninstalled on exit");
+        cancelled(); // no heartbeat installed: no stamp, no panic
+        assert_eq!(hb.beats(), 2);
+    }
+
+    #[test]
+    fn heartbeat_crosses_threads_via_reinstall() {
+        let hb = Heartbeat::new();
+        std::thread::scope(|s| {
+            let h = hb.clone();
+            s.spawn(move || {
+                with_heartbeat(h, || {
+                    assert!(!cancelled());
+                })
+            })
+            .join()
+            .unwrap();
+        });
+        assert_eq!(hb.beats(), 1, "beats are visible across threads");
     }
 
     #[test]

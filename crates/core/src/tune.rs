@@ -264,6 +264,21 @@ pub struct TuneConfig {
     /// working precision (classic) or double-double (three-precision
     /// GMRES-IR regime).
     pub refine: RefineMode,
+    /// Target queueing delay for the `la-serve` adaptive admission
+    /// controller, in milliseconds (`LA_SERVE_TARGET_DELAY`). When set,
+    /// the serve queue bound is sized from observed service times so a
+    /// job admitted at the back of the queue still expects to start
+    /// within this budget; `0` (the default) keeps the fixed
+    /// `queue_depth` behaviour. Lives here rather than in the serve
+    /// crate so operators tune it the same way as every other `LA_*`
+    /// knob.
+    pub serve_target_delay_ms: usize,
+    /// Stall tolerance for the `la-serve` stuck-job watchdog, in
+    /// milliseconds (`LA_SERVE_WATCHDOG`): a worker whose heartbeat
+    /// stands still this long while holding one job is escalated
+    /// (cooperative cancel, then respawn). `0` (the default) disables
+    /// the watchdog.
+    pub serve_watchdog_ms: usize,
     /// Permit a thread budget above the detected core count. Off by
     /// default: oversubscribing a host measurably *slows* BLAS-3 (the
     /// committed thread sweep shows threads=2 slower than threads=1 on a
@@ -295,6 +310,8 @@ impl TuneConfig {
             tile_nb: 0,
             mixed_lo: MixedLo::F32,
             refine: RefineMode::Working,
+            serve_target_delay_ms: 0,
+            serve_watchdog_ms: 0,
             oversubscribe: false,
         }
     }
@@ -347,6 +364,19 @@ impl TuneConfig {
         read("LA_GEMM_KC", &mut cfg.gemm_kc, true, &mut warnings);
         read("LA_GEMM_NC", &mut cfg.gemm_nc, true, &mut warnings);
         read("LA_TILE_NB", &mut cfg.tile_nb, false, &mut warnings);
+        // Serve-layer knobs (milliseconds; 0 = feature off).
+        read(
+            "LA_SERVE_TARGET_DELAY",
+            &mut cfg.serve_target_delay_ms,
+            true,
+            &mut warnings,
+        );
+        read(
+            "LA_SERVE_WATCHDOG",
+            &mut cfg.serve_watchdog_ms,
+            true,
+            &mut warnings,
+        );
 
         fn read_enum<E: Copy>(
             get: impl Fn(&str) -> Option<String>,
@@ -806,6 +836,29 @@ mod tests {
         assert_eq!(cfg.gemm_kernel, GemmKernel::Scalar);
         assert_eq!(cfg.mixed_lo, MixedLo::Bf16);
         assert_eq!(cfg.refine, RefineMode::Dd);
+    }
+
+    #[test]
+    fn serve_knobs_parse_with_zero_meaning_off() {
+        let d = TuneConfig::defaults();
+        assert_eq!(d.serve_target_delay_ms, 0, "adaptive admission off");
+        assert_eq!(d.serve_watchdog_ms, 0, "watchdog off");
+        let (cfg, warnings) = TuneConfig::from_env_with(env_of(&[
+            ("LA_SERVE_TARGET_DELAY", "25"),
+            ("LA_SERVE_WATCHDOG", "500"),
+        ]));
+        assert!(warnings.is_empty(), "unexpected warnings: {warnings:?}");
+        assert_eq!(cfg.serve_target_delay_ms, 25);
+        assert_eq!(cfg.serve_watchdog_ms, 500);
+        // 0 is the documented "off" spelling, not a rejected value.
+        let (cfg, warnings) = TuneConfig::from_env_with(env_of(&[
+            ("LA_SERVE_TARGET_DELAY", "0"),
+            ("LA_SERVE_WATCHDOG", "garbage"),
+        ]));
+        assert_eq!(cfg.serve_target_delay_ms, 0);
+        assert_eq!(cfg.serve_watchdog_ms, 0);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].starts_with("LA_SERVE_WATCHDOG"));
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub enum ChaosEvent {
     Poison,
     /// Give the job an already-expired deadline.
     PastDeadline,
+    /// Wedge the worker that picks this job up — a tight loop that stops
+    /// heartbeating, exercising the stuck-job watchdog (cooperative and
+    /// hard flavors alternate via [`WedgeKind`]).
+    WedgedWorker,
+    /// A generator-level event: the load generator submits the next few
+    /// jobs back-to-back with no pacing, exercising burst absorption
+    /// (the admission controller's min-over-window must *not* shed a
+    /// burst a bounded queue can drain). [`ChaosPlan::apply`] leaves the
+    /// spec untouched.
+    Burst,
 }
 
 impl ChaosEvent {
@@ -49,16 +59,32 @@ impl ChaosEvent {
             ChaosEvent::WorkerPanic => "worker_panic",
             ChaosEvent::Poison => "poison",
             ChaosEvent::PastDeadline => "past_deadline",
+            ChaosEvent::WedgedWorker => "wedged_worker",
+            ChaosEvent::Burst => "burst",
         }
     }
 }
 
-/// Deterministic chaos event stream (splitmix64 over a seed): ~60% clean
-/// traffic, the rest split across the four fault kinds.
+/// How a chaos-wedged job misbehaves.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WedgeKind {
+    /// Spins without heartbeating but polls its cancel token: stage 1 of
+    /// the watchdog (cooperative cancel) releases it and the job resolves
+    /// [`crate::Rejection::Stuck`] through the worker, which survives.
+    Cooperative,
+    /// Ignores the cancel token entirely: only stage 2 (abandon +
+    /// respawn) or service shutdown releases it. Models foreign-code
+    /// livelock.
+    Hard,
+}
+
+/// Deterministic chaos event stream (splitmix64 over a seed): ~58% clean
+/// traffic, the rest split across the fault kinds.
 #[derive(Clone, Debug)]
 pub struct ChaosPlan {
     state: u64,
     flip: bool,
+    wedge_flip: bool,
 }
 
 impl ChaosPlan {
@@ -67,6 +93,7 @@ impl ChaosPlan {
         ChaosPlan {
             state: seed ^ 0x9e37_79b9_7f4a_7c15,
             flip: false,
+            wedge_flip: false,
         }
     }
 
@@ -80,16 +107,24 @@ impl ChaosPlan {
 
     /// The next event in the stream.
     pub fn next_event(&mut self) -> ChaosEvent {
-        match self.next_u64() % 10 {
-            0..=5 => ChaosEvent::Clean,
-            6 | 7 => ChaosEvent::SoftFault,
-            8 => ChaosEvent::WorkerPanic,
-            9 => {
+        match self.next_u64() % 12 {
+            0..=6 => ChaosEvent::Clean,
+            7 | 8 => ChaosEvent::SoftFault,
+            9 => ChaosEvent::WorkerPanic,
+            10 => {
                 self.flip = !self.flip;
                 if self.flip {
                     ChaosEvent::Poison
                 } else {
                     ChaosEvent::PastDeadline
+                }
+            }
+            11 => {
+                self.wedge_flip = !self.wedge_flip;
+                if self.wedge_flip {
+                    ChaosEvent::WedgedWorker
+                } else {
+                    ChaosEvent::Burst
                 }
             }
             _ => unreachable!(),
@@ -124,7 +159,43 @@ impl ChaosPlan {
                 spec
             }
             ChaosEvent::PastDeadline => spec.deadline_at(Instant::now()),
+            ChaosEvent::WedgedWorker => {
+                let kind = if self.next_u64() % 2 == 0 {
+                    WedgeKind::Cooperative
+                } else {
+                    WedgeKind::Hard
+                };
+                spec.chaos_wedge(kind)
+            }
+            // Burst is interpreted by the load generator (pacing), not
+            // the job.
+            ChaosEvent::Burst => spec,
         }
+    }
+}
+
+/// The wedge loop a chaos-marked job runs instead of heartbeating: a
+/// [`WedgeKind::Cooperative`] wedge releases on cancellation (the
+/// watchdog's stage 1), a [`WedgeKind::Hard`] wedge only on worker
+/// abandonment (stage 2) or service shutdown. Deliberately does NOT call
+/// [`la_core::cancel::cancelled`] — that would stamp the heartbeat and
+/// defeat the point.
+pub(crate) fn wedge(
+    kind: WedgeKind,
+    token: &la_core::cancel::CancelToken,
+    abandoned: &std::sync::atomic::AtomicBool,
+    shutdown: &std::sync::atomic::AtomicBool,
+) {
+    use std::sync::atomic::Ordering;
+    loop {
+        let released = match kind {
+            WedgeKind::Cooperative => token.is_cancelled(),
+            WedgeKind::Hard => abandoned.load(Ordering::Acquire),
+        } || shutdown.load(Ordering::Acquire);
+        if released {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
     }
 }
 
@@ -238,6 +309,8 @@ mod tests {
             ChaosEvent::WorkerPanic,
             ChaosEvent::Poison,
             ChaosEvent::PastDeadline,
+            ChaosEvent::WedgedWorker,
+            ChaosEvent::Burst,
         ] {
             assert!(
                 evs.contains(&kind),

@@ -37,12 +37,15 @@ impl<T: Lattice> Shared<T> {
 
     /// Delivers the job's outcome: wakes blocking waiters and any parked
     /// async waker. Second fulfillment is ignored (first wins — e.g. a
-    /// drain racing the worker that already responded).
-    pub(crate) fn fulfill(&self, r: Result<SolveOutput<T>, Rejection>) {
+    /// drain, or the watchdog's stage-2 `Stuck`, racing the worker that
+    /// already responded). Returns `true` when this call won — the
+    /// caller's outcome is the one the waiter sees, so only the winner
+    /// should record stats for the job.
+    pub(crate) fn fulfill(&self, r: Result<SolveOutput<T>, Rejection>) -> bool {
         let waker = {
             let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
             if slot.result.is_some() {
-                return;
+                return false;
             }
             slot.result = Some(r);
             slot.waker.take()
@@ -51,6 +54,17 @@ impl<T: Lattice> Shared<T> {
         if let Some(w) = waker {
             w.wake();
         }
+        true
+    }
+
+    /// Test probe: the stored outcome, if any (crate-internal tests).
+    #[cfg(test)]
+    pub(crate) fn try_take_test(&self) -> Option<Result<SolveOutput<T>, Rejection>> {
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .result
+            .take()
     }
 }
 
@@ -101,16 +115,26 @@ impl<T: Lattice> JobHandle<T> {
                 if let Some(r) = slot.result.take() {
                     return Ok(r);
                 }
-                let now = std::time::Instant::now();
-                if now >= deadline {
+                // Wait on the budget *remaining this iteration*: a
+                // spurious wakeup, or an OS timed wait that rounds a
+                // sub-millisecond request down and returns early, must
+                // not restart the full timeout — and a zero remainder
+                // must not wait at all.
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
                     break;
                 }
                 let (s, _) = self
                     .shared
                     .cv
-                    .wait_timeout(slot, deadline - now)
+                    .wait_timeout(slot, remaining)
                     .unwrap_or_else(|e| e.into_inner());
                 slot = s;
+            }
+            // Timed out — one last look under the still-held lock, so a
+            // fulfillment racing the deadline is delivered, not dropped.
+            if let Some(r) = slot.result.take() {
+                return Ok(r);
             }
         }
         Err(self)
@@ -155,5 +179,70 @@ impl<T: Lattice> std::fmt::Debug for JobHandle<T> {
             .field("completed", &done)
             .field("cancelled", &self.token.is_cancelled())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending() -> JobHandle<f64> {
+        JobHandle {
+            shared: Shared::new(),
+            token: CancelToken::new(),
+        }
+    }
+
+    #[test]
+    fn zero_duration_wait_times_out_without_waiting() {
+        // Regression: the remaining-budget computation must treat an
+        // already-expired deadline as "don't wait", not underflow or
+        // block on a 0-length OS wait.
+        let h = pending();
+        let t0 = std::time::Instant::now();
+        let h = match h.wait_for(Duration::ZERO) {
+            Err(h) => h,
+            Ok(r) => panic!("nothing was fulfilled, got {r:?}"),
+        };
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "zero-duration wait must return promptly"
+        );
+        // And a fulfilled handle returns its result even at 0 budget.
+        h.shared.fulfill(Err(Rejection::ShuttingDown));
+        match h.wait_for(Duration::ZERO) {
+            Ok(Err(Rejection::ShuttingDown)) => {}
+            other => panic!("expected the stored result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_accumulate_to_the_deadline() {
+        // Regression: sub-ms budgets used to be at the mercy of the OS
+        // rounding the timed wait; the loop must re-derive the remainder
+        // each iteration and eventually time out (not spin forever, not
+        // return before a fulfillment that lands mid-wait).
+        let h = pending();
+        let shared = Arc::clone(&h.shared);
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            shared.fulfill(Err(Rejection::DeadlineExceeded));
+        });
+        let mut h = h;
+        let mut outcome = None;
+        for _ in 0..100_000 {
+            match h.wait_for(Duration::from_micros(700)) {
+                Ok(r) => {
+                    outcome = Some(r);
+                    break;
+                }
+                Err(back) => h = back,
+            }
+        }
+        worker.join().unwrap();
+        match outcome {
+            Some(Err(Rejection::DeadlineExceeded)) => {}
+            other => panic!("fulfillment must be delivered, got {other:?}"),
+        }
     }
 }

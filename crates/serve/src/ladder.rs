@@ -264,6 +264,9 @@ pub(crate) fn run<T: Lattice>(
                             iter,
                             attempts,
                             degraded: attempts > 1,
+                            // The service stamps the job's effective
+                            // brownout level after the ladder returns.
+                            brownout: 0,
                         }),
                         fault_seen,
                     );

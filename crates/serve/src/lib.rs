@@ -13,6 +13,24 @@
 //! * **Admission control / backpressure** — the queue is bounded
 //!   ([`ServeConfig::queue_depth`]); a submit against a full queue is shed
 //!   immediately with a typed [`Rejection::Overloaded`], never blocked.
+//!   With a [`ServeConfig::target_delay`] set the bound turns *adaptive*:
+//!   per-class service-time EWMAs size the effective bound from Little's
+//!   law, a CoDel-style minimum-sojourn window distinguishes sustained
+//!   overload from absorbable bursts, sheds carry a computed
+//!   `retry_after` hint, and [`Priority`]-weighted shedding degrades
+//!   paying traffic last.
+//! * **Stuck-job watchdog** — with [`ServeConfig::watchdog`] set, a
+//!   monitor samples per-worker heartbeats (stamped for free at the
+//!   cancellation checkpoints the factorizations already poll) and walks
+//!   a wedged job through cooperative cancel (`−103`) and, if ignored,
+//!   worker write-off + respawn, resolving the job as a typed
+//!   [`Rejection::Stuck`] — siblings never notice.
+//! * **Brownout** — under sustained overload the service sheds *quality*
+//!   before it sheds more *traffic*: double-double refinement off, then
+//!   mixed-precision demotion, then ABFT verify off, priority-shielded so
+//!   high-priority jobs degrade last ([`SolveOutput::brownout`] and the
+//!   probe span name record the level an answer was served at; the
+//!   residual gate is never browned out).
 //! * **Deadlines** — each job carries an optional absolute deadline; an
 //!   expired job is rejected before it starts, and an in-flight
 //!   factorization abandons at its next panel checkpoint via
@@ -61,10 +79,12 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod handle;
 mod ladder;
 mod service;
 mod tenant;
+mod watchdog;
 
 #[cfg(feature = "fault-inject")]
 pub mod chaos;
@@ -103,6 +123,57 @@ impl SolveOp {
             SolveOp::PosvMixed(_) => "posv_mixed",
         }
     }
+
+    /// The admission-control service class (per-class EWMA index).
+    pub(crate) fn class(self) -> usize {
+        match self {
+            SolveOp::Gesv => 0,
+            SolveOp::Posv(_) => 1,
+            SolveOp::GesvMixed => 2,
+            SolveOp::PosvMixed(_) => 3,
+        }
+    }
+}
+
+/// Scheduling priority of a job: who is shed first under load and who
+/// degrades last under brownout.
+///
+/// Under adaptive admission, `Low` jobs see half the effective queue
+/// bound and `Normal` three quarters of it (halved again during a
+/// sustained-overload window), so `High` traffic is the last to be shed.
+/// Under brownout, the degradation ladder is applied *least* to `High`
+/// jobs: a global brownout level `L` reaches a job as
+/// `L − shield` (High shields 2 levels, Normal 1, Low 0).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Best-effort traffic: shed first, degraded first.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Paying/interactive traffic: shed last, degraded last.
+    High,
+}
+
+impl Priority {
+    /// Lowercase name used in stats and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Brownout shielding: how many global brownout levels this priority
+    /// absorbs before its jobs degrade.
+    pub(crate) fn shield(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
 }
 
 /// One solve request: the operation, the owned problem data, and the
@@ -115,10 +186,15 @@ pub struct JobSpec<T: Lattice> {
     pub(crate) b: Mat<T>,
     pub(crate) tenant: String,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) priority: Priority,
     /// Chaos hook: the job panics inside the worker (after admission,
     /// before the solve) — exercising panic isolation end-to-end.
     #[cfg(feature = "fault-inject")]
     pub(crate) chaos_panic: bool,
+    /// Chaos hook: the job wedges inside the worker instead of solving,
+    /// exercising the watchdog escalation end-to-end.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) chaos_wedge: Option<chaos::WedgeKind>,
 }
 
 impl<T: Lattice> JobSpec<T> {
@@ -131,9 +207,19 @@ impl<T: Lattice> JobSpec<T> {
             b,
             tenant: String::from("default"),
             deadline: None,
+            priority: Priority::Normal,
             #[cfg(feature = "fault-inject")]
             chaos_panic: false,
+            #[cfg(feature = "fault-inject")]
+            chaos_wedge: None,
         }
+    }
+
+    /// Sets the scheduling priority (default [`Priority::Normal`]):
+    /// who is shed first under load, who degrades last under brownout.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Attributes the job to `tenant` (circuit breaker + probe counters).
@@ -173,6 +259,15 @@ impl<T: Lattice> JobSpec<T> {
         self.chaos_panic = true;
         self
     }
+
+    /// Arms the chaos wedge: the worker processing this job stalls
+    /// instead of solving, exercising the stuck-job watchdog.
+    /// `fault-inject` builds only.
+    #[cfg(feature = "fault-inject")]
+    pub fn chaos_wedge(mut self, kind: chaos::WedgeKind) -> Self {
+        self.chaos_wedge = Some(kind);
+        self
+    }
 }
 
 /// A completed solve.
@@ -190,17 +285,36 @@ pub struct SolveOutput<T: Lattice> {
     /// `Recover`, a re-pinpointing pass, or a kernel demotion) — the
     /// serving analog of a corrected error.
     pub degraded: bool,
+    /// The brownout level this job was actually served at (`0` = full
+    /// quality; `1` = Dd refinement off; `2` = also demoted to the
+    /// mixed-precision lattice path; `3` = also ABFT verification off).
+    /// The *global* level at solve time may have been higher — the job's
+    /// [`Priority`] shields it (see [`Priority`]).
+    pub brownout: u8,
 }
 
 /// Why the service did not return an answer — every rejection is typed so
 /// callers can distinguish load shedding from data problems from faults.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Rejection {
-    /// The bounded queue was full at submit time; the job was shed
-    /// without blocking. Resubmit later or to another instance.
+    /// The queue bound in force was met at submit time; the job was shed
+    /// without blocking.
+    ///
+    /// **Retry contract:** `retry_after` is the service's estimate of
+    /// when the backlog ahead of a resubmit will have drained (from the
+    /// per-class service-time EWMA and the queue length). Callers MUST
+    /// add their own jitter before resubmitting — a fleet of clients
+    /// sleeping exactly `retry_after` arrives back as one synchronized
+    /// thundering herd and re-creates the overload it measured. Treat it
+    /// as a lower bound: `sleep(retry_after + rand(0..retry_after))` is
+    /// the intended shape.
     Overloaded {
-        /// The configured queue bound that was hit.
+        /// The queue bound that was hit — the configured depth, or the
+        /// smaller effective bound adaptive admission computed from
+        /// observed service times.
         depth: usize,
+        /// Estimated backlog drain time; see the retry contract above.
+        retry_after: Duration,
     },
     /// The job's deadline passed — before it started, or observed by an
     /// in-flight factorization at a cancellation checkpoint.
@@ -221,6 +335,15 @@ pub enum Rejection {
         /// Attempts consumed before giving up.
         attempts: u32,
     },
+    /// The worker running the job stopped making progress (no heartbeat
+    /// across the watchdog interval) and did not respond to cooperative
+    /// cancellation; the watchdog resolved the job and respawned the
+    /// worker. Sibling jobs were unaffected.
+    Stuck {
+        /// How long the job's heartbeat had been silent when the
+        /// watchdog gave up on it.
+        stalled_for: Duration,
+    },
     /// The service is shutting down; queued jobs are drained with this
     /// rejection instead of silently dropped.
     ShuttingDown,
@@ -229,8 +352,12 @@ pub enum Rejection {
 impl std::fmt::Display for Rejection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Rejection::Overloaded { depth } => {
-                write!(f, "queue full (bound {depth}); job shed, resubmit later")
+            Rejection::Overloaded { depth, retry_after } => {
+                write!(
+                    f,
+                    "queue full (bound {depth}); job shed, retry after {:.1}ms plus jitter",
+                    retry_after.as_secs_f64() * 1e3
+                )
             }
             Rejection::DeadlineExceeded => write!(f, "deadline exceeded"),
             Rejection::Failed(e) => write!(f, "solve failed: {e}"),
@@ -240,6 +367,11 @@ impl std::fmt::Display for Rejection {
             Rejection::ResidualRejected { attempts } => write!(
                 f,
                 "answer failed residual verification on all {attempts} attempt(s)"
+            ),
+            Rejection::Stuck { stalled_for } => write!(
+                f,
+                "worker wedged for {:.0}ms with no heartbeat; job abandoned, worker respawned",
+                stalled_for.as_secs_f64() * 1e3
             ),
             Rejection::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -271,10 +403,32 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// Verify every completed solve's residual before returning it.
     pub verify_residual: bool,
+    /// Target queueing delay for adaptive admission control. When set,
+    /// the effective queue bound is sized from per-class service-time
+    /// EWMAs so an admitted job expects to start within this budget
+    /// ([`queue_depth`](ServeConfig::queue_depth) stays the hard cap),
+    /// and a sliding sojourn window drives the brownout ladder. `None`:
+    /// classic fixed-depth admission. Defaults from
+    /// `LA_SERVE_TARGET_DELAY` (milliseconds; `0`/unset = off).
+    pub target_delay: Option<Duration>,
+    /// Stuck-job watchdog: a worker whose heartbeat stalls this long
+    /// while holding one job is escalated — cooperative cancel first,
+    /// then the job is resolved [`Rejection::Stuck`] and the worker
+    /// respawned. `None`: watchdog off. Defaults from
+    /// `LA_SERVE_WATCHDOG` (milliseconds; `0`/unset = off).
+    pub watchdog: Option<Duration>,
+    /// Permit the brownout ladder under sustained overload (requires
+    /// [`target_delay`](ServeConfig::target_delay) for overload
+    /// detection): Dd refinement off → mixed-precision lattice level
+    /// down → ABFT verification off, applied least to
+    /// [`Priority::High`] jobs.
+    pub brownout: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let tune = la_core::tune::current();
+        let ms = |v: usize| (v > 0).then(|| Duration::from_millis(v as u64));
         ServeConfig {
             workers: 0,
             queue_depth: 64,
@@ -282,6 +436,9 @@ impl Default for ServeConfig {
             max_attempts: 3,
             breaker_threshold: 3,
             verify_residual: true,
+            target_delay: ms(tune.serve_target_delay_ms),
+            watchdog: ms(tune.serve_watchdog_ms),
+            brownout: true,
         }
     }
 }

@@ -1,25 +1,34 @@
-//! The service: bounded queue, worker pool, per-job robustness pipeline.
+//! The service: bounded queue, worker pool, per-job robustness pipeline,
+//! and the overload subsystem (adaptive admission, stuck-job watchdog,
+//! brownout).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use la_core::cancel::CancelToken;
+use la_core::abft::AbftPolicy;
+use la_core::cancel::{CancelToken, Heartbeat};
+use la_core::probe::Layer;
+use la_core::tune::{RefineMode, TuneConfig};
 use la_core::{abft, cancel, except, probe, tune};
 use la_lapack::Lattice;
 
+use crate::admission::{Controller, Verdict};
 use crate::handle::Shared;
 use crate::tenant::TenantState;
-use crate::{ladder, JobHandle, JobSpec, Rejection, ServeConfig, TenantReport};
+use crate::watchdog::{self, patrol, WorkerSlot};
+use crate::{ladder, JobHandle, JobSpec, Rejection, ServeConfig, SolveOp, TenantReport};
 
 /// One admitted, not-yet-processed job.
 struct Queued<T: Lattice> {
     spec: JobSpec<T>,
     shared: Arc<Shared<T>>,
     token: CancelToken,
+    job_id: u64,
+    enqueued_ns: u64,
 }
 
 #[derive(Default)]
@@ -32,6 +41,9 @@ struct Stats {
     degraded: AtomicU64,
     panics_isolated: AtomicU64,
     pool_poisonings: AtomicU64,
+    stuck: AtomicU64,
+    respawned: AtomicU64,
+    brownout_served: AtomicU64,
 }
 
 /// Counter snapshot from [`Service::stats`]. All counts are cumulative
@@ -43,7 +55,7 @@ pub struct ServeStats {
     /// Jobs answered (subset [`ServeStats::degraded`] needed the ladder).
     pub completed: u64,
     /// Jobs rejected after admission (deadline, failure, panic budget,
-    /// residual, shutdown drain). Excludes shed submissions.
+    /// residual, stuck, shutdown drain). Excludes shed submissions.
     pub rejected: u64,
     /// Submissions shed at the door by backpressure
     /// ([`Rejection::Overloaded`]); never admitted, not in `submitted`.
@@ -59,8 +71,30 @@ pub struct ServeStats {
     /// The design invariant is that this stays `0`; the chaos soak
     /// asserts it.
     pub pool_poisonings: u64,
+    /// Jobs the watchdog resolved as [`Rejection::Stuck`] (wedged past
+    /// the stall budget; cooperative cancel first, respawn if ignored).
+    pub stuck: u64,
+    /// Workers the watchdog wrote off and replaced (stage-2
+    /// escalations). The pool size never shrinks below the configured
+    /// worker count.
+    pub respawned: u64,
+    /// Answered jobs served at a brownout level above full quality.
+    pub brownout_served: u64,
+    /// Current global brownout level (`0` = full quality, up to `3`).
+    pub brownout_level: u8,
     /// Jobs sitting in the queue right now.
     pub queued: usize,
+}
+
+/// The scoped policies captured at [`Service::start`], kept for watchdog
+/// respawns so a replacement worker is indistinguishable from the
+/// original.
+#[derive(Clone, Copy)]
+struct Policies {
+    tune: TuneConfig,
+    fp: la_core::FpCheckPolicy,
+    abft: AbftPolicy,
+    probe: la_core::ProbePolicy,
 }
 
 struct Inner<T: Lattice> {
@@ -71,6 +105,27 @@ struct Inner<T: Lattice> {
     shutdown: AtomicBool,
     stats: Stats,
     tenants: Mutex<BTreeMap<String, TenantState>>,
+    /// Adaptive admission + brownout controller (clock-free; the service
+    /// feeds it nanoseconds from `epoch`).
+    admission: Mutex<Controller>,
+    /// The `now_ns` epoch for the controller's timestamps.
+    epoch: Instant,
+    /// Mirror of the controller's brownout level, readable without the
+    /// admission lock on the per-job hot path.
+    level: AtomicU8,
+    /// One watchdog mailbox per live worker, index-aligned with the pool.
+    slots: Mutex<Vec<Arc<WorkerSlot<T>>>>,
+    /// Worker + watchdog thread handles; the watchdog appends respawns.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotone job numbers for the watchdog registrations.
+    job_seq: AtomicU64,
+    policies: Policies,
+}
+
+impl<T: Lattice> Inner<T> {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
 }
 
 /// The solve service. See the crate docs for the robustness contract;
@@ -79,7 +134,6 @@ struct Inner<T: Lattice> {
 /// (also run by `Drop`).
 pub struct Service<T: Lattice> {
     inner: Arc<Inner<T>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// Counts a panic escaping the worker loop itself — by construction that
@@ -101,7 +155,8 @@ impl<T: Lattice> Drop for PoisonSentinel<T> {
 }
 
 impl<T: Lattice> Service<T> {
-    /// Starts the worker pool and returns the running service.
+    /// Starts the worker pool (and, when configured, the watchdog
+    /// monitor) and returns the running service.
     ///
     /// The scoped thread-local policies in effect on the *calling* thread
     /// — [`la_core::tune`], [`la_core::abft`], [`la_core::except`],
@@ -115,49 +170,61 @@ impl<T: Lattice> Service<T> {
             tune::current().threads()
         }
         .max(1);
+        let cfg = ServeConfig {
+            queue_depth: cfg.queue_depth.max(1),
+            max_attempts: cfg.max_attempts.max(1),
+            ..cfg
+        };
+        let target_ns = cfg.target_delay.map(|d| d.as_nanos() as u64).unwrap_or(0);
+        let admission = Controller::new(workers, cfg.queue_depth, target_ns, cfg.brownout);
+        let policies = Policies {
+            tune: tune::current(),
+            fp: except::policy(),
+            abft: abft::policy(),
+            probe: probe::policy(),
+        };
+        let watchdog = cfg.watchdog;
         let inner = Arc::new(Inner {
-            cfg: ServeConfig {
-                queue_depth: cfg.queue_depth.max(1),
-                max_attempts: cfg.max_attempts.max(1),
-                ..cfg
-            },
+            cfg,
             workers,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
             tenants: Mutex::new(BTreeMap::new()),
+            admission: Mutex::new(admission),
+            epoch: Instant::now(),
+            level: AtomicU8::new(0),
+            slots: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            job_seq: AtomicU64::new(1),
+            policies,
         });
-        let tune_cfg = tune::current();
-        let fp = except::policy();
-        let ap = abft::policy();
-        let pp = probe::policy();
-        let handles = (0..workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("la-serve-{i}"))
-                    .spawn(move || {
-                        tune::with(tune_cfg, || {
-                            except::with_policy(fp, || {
-                                abft::with_policy(ap, || {
-                                    probe::with_policy(pp, || worker_loop(inner))
-                                })
-                            })
-                        })
-                    })
-                    .expect("la-serve: failed to spawn worker thread")
-            })
-            .collect();
-        Service {
-            inner,
-            handles: Mutex::new(handles),
+        {
+            let mut slots = inner.slots.lock().unwrap_or_else(|e| e.into_inner());
+            let mut threads = inner.threads.lock().unwrap_or_else(|e| e.into_inner());
+            for i in 0..workers {
+                let slot = WorkerSlot::new();
+                slots.push(Arc::clone(&slot));
+                threads.push(spawn_worker(&inner, i, slot));
+            }
+            if let Some(stall) = watchdog {
+                threads.push(spawn_watchdog(&inner, stall));
+            }
         }
+        Service { inner }
     }
 
     /// Admits a job, or sheds it immediately — this never blocks on a
     /// full queue. On admission the returned [`JobHandle`] resolves
     /// exactly once, whatever happens to the job.
+    ///
+    /// The bound a submit is checked against is the configured
+    /// [`ServeConfig::queue_depth`], or, with
+    /// [`ServeConfig::target_delay`] set, the smaller effective bound
+    /// adaptive admission derives from observed service times. A shed
+    /// carries a `retry_after` estimate — see the
+    /// [`Rejection::Overloaded`] retry contract (jitter is mandatory).
     pub fn submit(&self, spec: JobSpec<T>) -> Result<JobHandle<T>, Rejection> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(Rejection::ShuttingDown);
@@ -172,20 +239,49 @@ impl<T: Lattice> Service<T> {
         let shared = Shared::new();
         {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
-            if q.len() >= self.inner.cfg.queue_depth {
-                drop(q);
-                self.inner.stats.shed.fetch_add(1, Ordering::Relaxed);
-                self.tenant_mut(&spec.tenant, |t, threshold| {
-                    t.record_rejected(false, threshold)
-                });
-                return Err(Rejection::Overloaded {
-                    depth: self.inner.cfg.queue_depth,
-                });
+            // Re-check under the queue lock: shutdown() flips the flag
+            // *before* taking this lock to drain, so a submit that
+            // passed the unlocked check above cannot slip a job in
+            // after the drain — it either lands in the drained queue or
+            // sees the flag here. Without this, a job admitted in that
+            // instant would sit in a dead queue forever, never resolved.
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(Rejection::ShuttingDown);
+            }
+            let now_ns = self.inner.now_ns();
+            let verdict = {
+                let mut adm = self
+                    .inner
+                    .admission
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let v = adm.admit(spec.op.class(), spec.priority, q.len(), now_ns);
+                self.inner.level.store(adm.level(), Ordering::Relaxed);
+                v
+            };
+            match verdict {
+                Verdict::Admit => {}
+                Verdict::Shed {
+                    bound,
+                    retry_after_ns,
+                } => {
+                    drop(q);
+                    self.inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.tenant_mut(&spec.tenant, |t, threshold| {
+                        t.record_rejected(false, threshold)
+                    });
+                    return Err(Rejection::Overloaded {
+                        depth: bound,
+                        retry_after: Duration::from_nanos(retry_after_ns),
+                    });
+                }
             }
             q.push_back(Queued {
                 spec,
                 shared: Arc::clone(&shared),
                 token: token.clone(),
+                job_id: self.inner.job_seq.fetch_add(1, Ordering::Relaxed),
+                enqueued_ns: now_ns,
             });
         }
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -195,7 +291,7 @@ impl<T: Lattice> Service<T> {
 
     /// Stops accepting work, drains still-queued jobs with
     /// [`Rejection::ShuttingDown`], lets in-flight jobs finish, and joins
-    /// the workers. Idempotent.
+    /// the workers (and watchdog). Idempotent.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.cv.notify_all();
@@ -204,18 +300,28 @@ impl<T: Lattice> Service<T> {
             q.drain(..).collect()
         };
         for job in drained {
+            // Only the drain can resolve a still-queued job (workers
+            // never saw it), so stats-before-fulfill is safe here too.
             self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
             self.tenant_mut(&job.spec.tenant, |t, threshold| {
                 t.record_rejected(false, threshold)
             });
             job.shared.fulfill(Err(Rejection::ShuttingDown));
         }
-        let handles: Vec<_> = {
-            let mut h = self.handles.lock().unwrap_or_else(|e| e.into_inner());
-            h.drain(..).collect()
-        };
-        for h in handles {
-            let _ = h.join();
+        // Joining may race a watchdog respawn appending to the list;
+        // keep draining until it is empty (the watchdog itself exits on
+        // the shutdown flag and is in this list too).
+        loop {
+            let handles: Vec<_> = {
+                let mut h = self.inner.threads.lock().unwrap_or_else(|e| e.into_inner());
+                h.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 
@@ -231,6 +337,10 @@ impl<T: Lattice> Service<T> {
             degraded: s.degraded.load(Ordering::Relaxed),
             panics_isolated: s.panics_isolated.load(Ordering::Relaxed),
             pool_poisonings: s.pool_poisonings.load(Ordering::Relaxed),
+            stuck: s.stuck.load(Ordering::Relaxed),
+            respawned: s.respawned.load(Ordering::Relaxed),
+            brownout_served: s.brownout_served.load(Ordering::Relaxed),
+            brownout_level: self.inner.level.load(Ordering::Relaxed),
             queued: self
                 .inner
                 .queue
@@ -289,11 +399,84 @@ impl<T: Lattice> Drop for Service<T> {
     }
 }
 
-fn worker_loop<T: Lattice>(inner: Arc<Inner<T>>) {
+/// Spawns worker `i` with the service's captured policies installed —
+/// used both at start and for watchdog respawns.
+fn spawn_worker<T: Lattice>(
+    inner: &Arc<Inner<T>>,
+    i: usize,
+    slot: Arc<WorkerSlot<T>>,
+) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    let p = inner.policies;
+    std::thread::Builder::new()
+        .name(format!("la-serve-{i}"))
+        .spawn(move || {
+            tune::with(p.tune, || {
+                except::with_policy(p.fp, || {
+                    abft::with_policy(p.abft, || {
+                        probe::with_policy(p.probe, || worker_loop(inner, slot))
+                    })
+                })
+            })
+        })
+        .expect("la-serve: failed to spawn worker thread")
+}
+
+/// Spawns the watchdog monitor: samples the worker slots at a fraction
+/// of the stall budget, escalating silent jobs (cancel → respawn).
+fn spawn_watchdog<T: Lattice>(inner: &Arc<Inner<T>>, stall: Duration) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    let sample = (stall / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    std::thread::Builder::new()
+        .name("la-serve-watchdog".into())
+        .spawn(move || {
+            while !inner.shutdown.load(Ordering::Acquire) {
+                std::thread::sleep(sample);
+                let slots: Vec<Arc<WorkerSlot<T>>> = inner
+                    .slots
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone();
+                let events = patrol(&slots, stall, Instant::now());
+                for ev in events {
+                    inner.stats.respawned.fetch_add(1, Ordering::Relaxed);
+                    if ev.resolved {
+                        inner.stats.stuck.fetch_add(1, Ordering::Relaxed);
+                        inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        tenant_mut(&inner, &ev.tenant, |t, _| t.record_stuck());
+                    }
+                    // Replace the written-off worker so the pool never
+                    // shrinks; the abandoned thread exits on its own if
+                    // its wedge ever breaks.
+                    let fresh = WorkerSlot::new();
+                    {
+                        let mut slots = inner.slots.lock().unwrap_or_else(|e| e.into_inner());
+                        if ev.slot < slots.len() {
+                            slots[ev.slot] = Arc::clone(&fresh);
+                        }
+                    }
+                    let handle = spawn_worker(&inner, ev.slot, fresh);
+                    inner
+                        .threads
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            }
+        })
+        .expect("la-serve: failed to spawn watchdog thread")
+}
+
+fn worker_loop<T: Lattice>(inner: Arc<Inner<T>>, slot: Arc<WorkerSlot<T>>) {
     let _sentinel = PoisonSentinel {
         inner: Arc::clone(&inner),
     };
     loop {
+        // A stage-2 escalation wrote this worker off (a replacement is
+        // already running): exit without touching the queue.
+        if slot.abandoned.load(Ordering::Acquire) {
+            return;
+        }
         let job = {
             let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
@@ -307,23 +490,92 @@ fn worker_loop<T: Lattice>(inner: Arc<Inner<T>>) {
             }
         };
         match job {
-            Some(job) => process(&inner, job),
+            Some(job) => {
+                // Queue sojourn feeds the CoDel window; the rolled level
+                // is mirrored for the brownout decision below.
+                let now_ns = inner.now_ns();
+                {
+                    let mut adm = inner.admission.lock().unwrap_or_else(|e| e.into_inner());
+                    adm.note_sojourn(now_ns.saturating_sub(job.enqueued_ns), now_ns);
+                    inner.level.store(adm.level(), Ordering::Relaxed);
+                }
+                process(&inner, &slot, job);
+            }
             None => return,
         }
+    }
+}
+
+/// The probe span name a job runs under — the brownout state is visible
+/// in the span stream and the per-tenant counter rows.
+fn brownout_span(level: u8) -> &'static str {
+    match level {
+        0 => "serve",
+        1 => "serve_brownout_l1",
+        2 => "serve_brownout_l2",
+        _ => "serve_brownout_l3",
+    }
+}
+
+/// Runs the ladder under the job's effective brownout level:
+/// `1` turns double-double refinement off, `2` additionally demotes the
+/// op to its mixed-precision lattice variant, `3` additionally turns
+/// ABFT verification off. The answer's residual check (the no-wrong-
+/// answers gate) is never browned out, and the ladder's own `Recover`
+/// retry re-enables ABFT innermost if a fault does surface.
+fn run_browned_out<T: Lattice>(
+    level: u8,
+    op: SolveOp,
+    a: &la_core::Mat<T>,
+    b: &la_core::Mat<T>,
+    cfg: &ServeConfig,
+    kernel: Option<la_core::tune::GemmKernel>,
+) -> ladder::Attempted<T> {
+    let op = if level >= 2 {
+        match op {
+            SolveOp::Gesv => SolveOp::GesvMixed,
+            SolveOp::Posv(u) => SolveOp::PosvMixed(u),
+            demoted => demoted,
+        }
+    } else {
+        op
+    };
+    let run = || ladder::run(op, a, b, cfg, kernel);
+    let run_refine = || {
+        if level >= 1 {
+            tune::with(
+                TuneConfig {
+                    refine: RefineMode::Working,
+                    ..tune::current()
+                },
+                run,
+            )
+        } else {
+            run()
+        }
+    };
+    if level >= 3 {
+        abft::with_policy(AbftPolicy::Off, run_refine)
+    } else {
+        run_refine()
     }
 }
 
 /// Runs one job through the full robustness pipeline and fulfills its
 /// handle. Never lets a panic escape: the outer `catch_unwind` is the
 /// job boundary the crate docs promise.
-fn process<T: Lattice>(inner: &Inner<T>, job: Queued<T>) {
+fn process<T: Lattice>(inner: &Arc<Inner<T>>, slot: &Arc<WorkerSlot<T>>, job: Queued<T>) {
     let Queued {
         spec,
         shared,
         token,
+        job_id,
+        ..
     } = job;
     // A deadline that expired while the job sat in the queue (or an
-    // explicit JobHandle::cancel) rejects before any work starts.
+    // explicit JobHandle::cancel) rejects before any work starts. Stats
+    // land before the fulfillment so a waiter that sees the outcome also
+    // sees them counted.
     if token.is_cancelled() {
         inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
         inner.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
@@ -334,24 +586,65 @@ fn process<T: Lattice>(inner: &Inner<T>, job: Queued<T>) {
     let kernel = tenant_mut(inner, &spec.tenant, |t, _| t.kernel());
     let workers = inner.workers;
     let cfg = &inner.cfg;
+    // The job's effective brownout: the global level, shielded by the
+    // job's priority so paying tenants degrade last.
+    let level = if cfg.brownout {
+        inner
+            .level
+            .load(Ordering::Relaxed)
+            .saturating_sub(spec.priority.shield())
+    } else {
+        0
+    };
+    // Register with the watchdog: the heartbeat is stamped at every
+    // cancellation checkpoint the solve was polling anyway.
+    let heartbeat = Heartbeat::new();
+    slot.begin(
+        job_id,
+        heartbeat.clone(),
+        token.clone(),
+        Arc::clone(&shared),
+        spec.tenant.clone(),
+    );
+    let started = Instant::now();
     let ran = catch_unwind(AssertUnwindSafe(|| {
         cancel::with_token(token.clone(), || {
-            // Register with the nested-pool clamp so striped BLAS-3
-            // inside the job divides the host by the worker count, then
-            // scope ABFT faults and probe counters to this job alone.
-            tune::in_pool_worker(workers, || {
-                probe::job_scope(|| {
-                    abft::job_scope(|| {
-                        #[cfg(feature = "fault-inject")]
-                        if spec.chaos_panic {
-                            panic!("chaos: injected worker panic");
-                        }
-                        ladder::run(spec.op, &spec.a, &spec.b, cfg, kernel)
+            cancel::with_heartbeat(heartbeat.clone(), || {
+                // Register with the nested-pool clamp so striped BLAS-3
+                // inside the job divides the host by the worker count,
+                // then scope ABFT faults and probe counters to this job
+                // alone.
+                tune::in_pool_worker(workers, || {
+                    probe::job_scope(|| {
+                        abft::job_scope(|| {
+                            let _span = probe::span(Layer::Driver, brownout_span(level), 0, 0);
+                            #[cfg(feature = "fault-inject")]
+                            if spec.chaos_panic {
+                                panic!("chaos: injected worker panic");
+                            }
+                            #[cfg(feature = "fault-inject")]
+                            if let Some(kind) = spec.chaos_wedge {
+                                crate::chaos::wedge(kind, &token, &slot.abandoned, &inner.shutdown);
+                            }
+                            run_browned_out(level, spec.op, &spec.a, &spec.b, cfg, kernel)
+                        })
                     })
                 })
             })
         })
     }));
+    // Withdraw the watchdog registration. `patrol` fulfills stage-2 jobs
+    // under the slot lock, so this is also the fulfillment license: if
+    // the registration is gone, the handle is already resolved `Stuck`
+    // and the monitor owns the stats — this worker must touch neither
+    // and just exit (it is abandoned). Otherwise this worker's
+    // fulfillment is guaranteed to win, so stats may land first and a
+    // waiter that sees the outcome also sees them counted.
+    let escalated = match slot.finish(job_id) {
+        watchdog::Finished::TakenByStage2 => return,
+        watchdog::Finished::Escalated(stalled_for) => Some(stalled_for),
+        watchdog::Finished::Normal => None,
+    };
     match ran {
         Err(_) => {
             // Job-boundary catch: the ladder's own per-attempt catch did
@@ -365,36 +658,64 @@ fn process<T: Lattice>(inner: &Inner<T>, job: Queued<T>) {
         Ok((att, rows)) => {
             tenant_mut(inner, &spec.tenant, |t, _| t.account(&rows));
             match att.outcome {
-                Ok(out) => {
+                Ok(mut out) => {
+                    out.brownout = level;
+                    // Completed service times feed the per-class EWMA
+                    // the admission bound is derived from.
+                    {
+                        let mut adm = inner.admission.lock().unwrap_or_else(|e| e.into_inner());
+                        adm.note_service(spec.op.class(), started.elapsed().as_nanos() as u64);
+                    }
                     inner.stats.completed.fetch_add(1, Ordering::Relaxed);
                     if out.degraded {
                         inner.stats.degraded.fetch_add(1, Ordering::Relaxed);
                     }
+                    if level > 0 {
+                        inner.stats.brownout_served.fetch_add(1, Ordering::Relaxed);
+                    }
                     tenant_mut(inner, &spec.tenant, |t, th| {
-                        t.record_completed(att.fault_seen, th)
+                        t.record_completed(att.fault_seen, level > 0, th)
                     });
                     shared.fulfill(Ok(out));
                 }
                 Err(rej) => {
+                    // An escalated job that honoured the stage-1 cancel
+                    // comes back −103-shaped; type it as what it was.
+                    let rej = match (rej, escalated) {
+                        (Rejection::DeadlineExceeded, Some(stalled_for)) => {
+                            Rejection::Stuck { stalled_for }
+                        }
+                        (r, _) => r,
+                    };
                     inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    let faulty = match &rej {
+                    match &rej {
                         Rejection::Panicked { attempts } => {
                             // Each exhausted attempt was one isolated panic.
                             inner
                                 .stats
                                 .panics_isolated
                                 .fetch_add(u64::from(*attempts), Ordering::Relaxed);
-                            true
+                            tenant_mut(inner, &spec.tenant, |t, th| t.record_rejected(true, th));
                         }
-                        Rejection::ResidualRejected { .. } => true,
-                        Rejection::Failed(la_core::LaError::SoftFault { .. }) => true,
                         Rejection::DeadlineExceeded => {
                             inner.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
-                            false
+                            tenant_mut(inner, &spec.tenant, |t, th| t.record_rejected(false, th));
                         }
-                        _ => false,
-                    };
-                    tenant_mut(inner, &spec.tenant, |t, th| t.record_rejected(faulty, th));
+                        Rejection::Stuck { .. } => {
+                            // Cooperative stage-1 outcome: the worker
+                            // survived, so this is stuck-not-respawned.
+                            inner.stats.stuck.fetch_add(1, Ordering::Relaxed);
+                            tenant_mut(inner, &spec.tenant, |t, _| t.record_stuck());
+                        }
+                        r => {
+                            let faulty = matches!(
+                                r,
+                                Rejection::ResidualRejected { .. }
+                                    | Rejection::Failed(la_core::LaError::SoftFault { .. })
+                            );
+                            tenant_mut(inner, &spec.tenant, |t, th| t.record_rejected(faulty, th));
+                        }
+                    }
                     shared.fulfill(Err(rej));
                 }
             }
@@ -405,7 +726,7 @@ fn process<T: Lattice>(inner: &Inner<T>, job: Queued<T>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SolveOp;
+    use crate::{Priority, SolveOp};
     use la_core::{mat, Mat};
     use std::time::Duration;
 
@@ -458,6 +779,7 @@ mod tests {
         for h in handles {
             let out = h.wait().unwrap();
             assert_eq!(out.attempts, 1);
+            assert_eq!(out.brownout, 0, "no overload, full quality");
             xs.push(out.x);
         }
         // All four ops solve the same SPD system: answers must agree.
@@ -470,6 +792,9 @@ mod tests {
         assert_eq!(s.submitted, 4);
         assert_eq!(s.completed, 4);
         assert_eq!(s.pool_poisonings, 0);
+        assert_eq!(s.stuck, 0);
+        assert_eq!(s.respawned, 0);
+        assert_eq!(s.brownout_level, 0);
         let rep = svc.tenant_report("t1").unwrap();
         assert_eq!(rep.completed, 4);
         assert_eq!(rep.kernel, None);
@@ -492,8 +817,12 @@ mod tests {
         for _ in 0..32 {
             match svc.submit(JobSpec::new(SolveOp::Gesv, a.clone(), b.clone())) {
                 Ok(h) => accepted.push(h),
-                Err(Rejection::Overloaded { depth }) => {
-                    assert_eq!(depth, 2);
+                Err(Rejection::Overloaded { depth, retry_after }) => {
+                    assert_eq!(depth, 2, "no target delay: the fixed depth governs");
+                    assert!(
+                        retry_after > Duration::ZERO,
+                        "every shed carries a drain-time hint"
+                    );
                     shed += 1;
                 }
                 Err(other) => panic!("unexpected rejection {other}"),
@@ -506,6 +835,98 @@ mod tests {
         let s = svc.stats();
         assert_eq!(u64::from(shed), s.shed);
         assert_eq!(s.submitted, s.completed);
+    }
+
+    #[test]
+    fn adaptive_admission_shrinks_the_bound_and_hints_retry() {
+        // A tiny target delay with a known service history forces the
+        // Little's-law bound down to the worker count, far below the
+        // configured depth — the fixed-depth service would admit a queue
+        // whose drain time dwarfs any deadline.
+        let svc: Service<f64> = Service::start(ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            target_delay: Some(Duration::from_nanos(1)),
+            ..ServeConfig::default()
+        });
+        let (a, b) = spd(48);
+        // Seed the service-time EWMA with one completion.
+        svc.submit(JobSpec::new(SolveOp::Gesv, a.clone(), b.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Occupy the worker so the queue cannot drain under us.
+        let (ba, bb) = spd(384);
+        let blocker = svc.submit(JobSpec::new(SolveOp::Gesv, ba, bb)).unwrap();
+        let mut shed = 0u32;
+        let mut last_retry = Duration::ZERO;
+        let mut admitted = Vec::new();
+        for _ in 0..8 {
+            match svc.submit(JobSpec::new(SolveOp::Gesv, a.clone(), b.clone())) {
+                Ok(h) => admitted.push(h),
+                Err(Rejection::Overloaded { depth, retry_after }) => {
+                    assert!(
+                        depth < 64,
+                        "adaptive bound must undercut the configured depth, got {depth}"
+                    );
+                    assert!(retry_after > Duration::ZERO);
+                    assert!(
+                        retry_after >= last_retry || shed == 0,
+                        "retry hint must not shrink while the queue holds"
+                    );
+                    last_retry = retry_after;
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other}"),
+            }
+        }
+        assert!(shed > 0, "the shrunken bound must shed the burst");
+        blocker.wait().unwrap();
+        for h in admitted {
+            h.wait().unwrap();
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn sustained_overload_browns_out_low_priority_answers() {
+        let svc: Service<f64> = Service::start(ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            target_delay: Some(Duration::from_nanos(1)),
+            brownout: true,
+            ..ServeConfig::default()
+        });
+        let (a, b) = spd(64);
+        // Keep one job queued behind the in-flight one: every dequeue
+        // then observes a sojourn over the (1ns) target, so each closed
+        // window is a bad window and the level climbs. Low priority has
+        // no shield, so level 1 already browns its answers out.
+        let t0 = Instant::now();
+        let mut served_brownout = false;
+        while t0.elapsed() < Duration::from_secs(30) {
+            let spec = JobSpec::new(SolveOp::Gesv, a.clone(), b.clone()).priority(Priority::Low);
+            match svc.submit(spec) {
+                Ok(h) => {
+                    if let Ok(out) = h.wait() {
+                        if out.brownout > 0 {
+                            served_brownout = true;
+                            break;
+                        }
+                    }
+                }
+                Err(Rejection::Overloaded { .. }) => std::thread::yield_now(),
+                Err(other) => panic!("unexpected rejection {other}"),
+            }
+        }
+        assert!(
+            served_brownout,
+            "sustained overload must brown low-priority answers out"
+        );
+        let s = svc.stats();
+        assert!(s.brownout_served >= 1);
+        assert_eq!(s.pool_poisonings, 0);
+        svc.shutdown();
     }
 
     #[test]
@@ -579,6 +1000,63 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_racing_submits_resolves_every_admitted_job() {
+        // Regression for the admit/drain race: a submit that passed the
+        // pre-lock shutdown check used to be able to push its job after
+        // the drain, leaving a handle that never resolves. Hammer
+        // submits from several threads while shutting down; every Ok
+        // handle must resolve (ShuttingDown or served) within a bounded
+        // wait.
+        for round in 0..8 {
+            let svc: Arc<Service<f64>> = Arc::new(Service::start(ServeConfig {
+                workers: 2,
+                queue_depth: 1024,
+                ..ServeConfig::default()
+            }));
+            let (a, b) = spd(12);
+            let barrier = Arc::new(std::sync::Barrier::new(4));
+            let submitters: Vec<_> = (0..3)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    let (a, b) = (a.clone(), b.clone());
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        let mut handles = Vec::new();
+                        for _ in 0..64 {
+                            match svc.submit(JobSpec::new(SolveOp::Gesv, a.clone(), b.clone())) {
+                                Ok(h) => handles.push(h),
+                                Err(Rejection::ShuttingDown)
+                                | Err(Rejection::Overloaded { .. }) => {}
+                                Err(other) => panic!("unexpected rejection {other}"),
+                            }
+                        }
+                        handles
+                    })
+                })
+                .collect();
+            barrier.wait();
+            // Vary the race window a little per round.
+            if round % 2 == 1 {
+                std::thread::yield_now();
+            }
+            svc.shutdown();
+            for t in submitters {
+                for h in t.join().unwrap() {
+                    match h.wait_for(Duration::from_secs(60)) {
+                        Ok(Ok(_)) | Ok(Err(Rejection::ShuttingDown)) => {}
+                        Ok(Err(other)) => panic!("unexpected rejection {other}"),
+                        Err(_) => panic!(
+                            "admitted job never resolved after shutdown \
+                             (admit/drain race)"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn definitive_failures_come_back_typed() {
         let svc: Service<f64> = Service::start(ServeConfig::default());
         let a: Mat<f64> = mat![[1.0, 2.0], [2.0, 4.0]]; // singular
@@ -624,6 +1102,70 @@ mod tests {
             }
         };
         out.expect("solve must succeed");
+        svc.shutdown();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn hard_wedge_is_stage_two_respawned_and_typed_stuck() {
+        let stall = Duration::from_millis(40);
+        let svc: Service<f64> = Service::start(ServeConfig {
+            workers: 1,
+            watchdog: Some(stall),
+            ..ServeConfig::default()
+        });
+        let (a, b) = spd(16);
+        let h = svc
+            .submit(
+                JobSpec::new(SolveOp::Gesv, a.clone(), b.clone())
+                    .chaos_wedge(crate::chaos::WedgeKind::Hard),
+            )
+            .unwrap();
+        match h.wait() {
+            Err(Rejection::Stuck { stalled_for }) => {
+                assert!(stalled_for >= stall, "stage 2 needs ≥ 2 stall budgets");
+            }
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+        // The written-off worker was replaced: the pool still serves.
+        let h2 = svc.submit(JobSpec::new(SolveOp::Gesv, a, b)).unwrap();
+        h2.wait().expect("respawned worker must serve");
+        let s = svc.stats();
+        assert!(s.stuck >= 1);
+        assert!(s.respawned >= 1, "hard wedge costs the worker");
+        assert_eq!(s.pool_poisonings, 0);
+        let rep = svc.tenant_report("default").unwrap();
+        assert!(rep.stuck >= 1);
+        svc.shutdown();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn cooperative_wedge_is_stage_one_cancelled_and_typed_stuck() {
+        let stall = Duration::from_millis(40);
+        let svc: Service<f64> = Service::start(ServeConfig {
+            workers: 1,
+            watchdog: Some(stall),
+            ..ServeConfig::default()
+        });
+        let (a, b) = spd(16);
+        let h = svc
+            .submit(
+                JobSpec::new(SolveOp::Gesv, a.clone(), b.clone())
+                    .chaos_wedge(crate::chaos::WedgeKind::Cooperative),
+            )
+            .unwrap();
+        match h.wait() {
+            Err(Rejection::Stuck { .. }) => {}
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+        let s = svc.stats();
+        assert!(s.stuck >= 1);
+        assert_eq!(
+            s.respawned, 0,
+            "a wedge that honours stage-1 cancel keeps its worker"
+        );
+        assert_eq!(s.pool_poisonings, 0);
         svc.shutdown();
     }
 }

@@ -25,6 +25,8 @@ pub(crate) struct TenantState {
     completed: u64,
     rejected: u64,
     degraded: u64,
+    stuck: u64,
+    brownout_served: u64,
     flops: u64,
     nanos: u64,
 }
@@ -38,6 +40,8 @@ impl TenantState {
             completed: 0,
             rejected: 0,
             degraded: 0,
+            stuck: 0,
+            brownout_served: 0,
             flops: 0,
             nanos: 0,
         }
@@ -58,9 +62,14 @@ impl TenantState {
 
     /// Records a served answer. A faulty-but-recovered job (`degraded`)
     /// still counts toward the breaker streak: the tenant's workload is
-    /// provoking faults even when the ladder absorbs them.
-    pub(crate) fn record_completed(&mut self, degraded: bool, threshold: u32) {
+    /// provoking faults even when the ladder absorbs them. `brownout`
+    /// marks answers served below full quality (overload brownout) —
+    /// visible in the report, not a fault.
+    pub(crate) fn record_completed(&mut self, degraded: bool, brownout: bool, threshold: u32) {
         self.completed += 1;
+        if brownout {
+            self.brownout_served += 1;
+        }
         if degraded {
             self.degraded += 1;
             self.bump_streak(threshold);
@@ -78,6 +87,15 @@ impl TenantState {
         if faulty {
             self.bump_streak(threshold);
         }
+    }
+
+    /// Records a watchdog-resolved wedged job. Counts as a rejection but
+    /// never toward the fault streak — a wedge is a liveness problem;
+    /// demoting the gemm kernel would not help and only slows the tenant
+    /// further.
+    pub(crate) fn record_stuck(&mut self) {
+        self.rejected += 1;
+        self.stuck += 1;
     }
 
     /// Breaker: `threshold` consecutive faults demote one kernel level
@@ -102,6 +120,8 @@ impl TenantState {
             completed: self.completed,
             rejected: self.rejected,
             degraded: self.degraded,
+            stuck: self.stuck,
+            brownout_served: self.brownout_served,
             kernel: self.kernel,
             demotions: self.demotions,
             fault_streak: self.streak,
@@ -123,6 +143,12 @@ pub struct TenantReport {
     pub rejected: u64,
     /// Answered jobs that needed the degradation ladder.
     pub degraded: u64,
+    /// Jobs resolved [`crate::Rejection::Stuck`] by the watchdog (subset
+    /// of `rejected`).
+    pub stuck: u64,
+    /// Answered jobs served below full quality under overload brownout
+    /// (subset of `completed`).
+    pub brownout_served: u64,
     /// Kernel override in force (`None`: never demoted — ambient config).
     pub kernel: Option<GemmKernel>,
     /// Times the circuit breaker stepped the kernel down a level.
@@ -152,7 +178,7 @@ mod tests {
         assert_eq!(t.report("x").demotions, 1);
         // Second streak: Unrolled → Scalar.
         for _ in 0..3 {
-            t.record_completed(true, 3);
+            t.record_completed(true, false, 3);
         }
         assert_eq!(t.kernel(), Some(GemmKernel::Scalar));
         // Floor: further faults don't count as demotions.
@@ -168,7 +194,7 @@ mod tests {
         let mut t = TenantState::new();
         t.record_rejected(true, 3);
         t.record_rejected(true, 3);
-        t.record_completed(false, 3); // clean answer resets the streak
+        t.record_completed(false, false, 3); // clean answer resets the streak
         t.record_rejected(true, 3);
         t.record_rejected(true, 3);
         assert_eq!(t.kernel(), None, "streak was reset; no demotion");
@@ -181,5 +207,25 @@ mod tests {
         assert_eq!(r.completed, 1);
         assert_eq!(r.rejected, 14);
         assert_eq!(r.fault_streak, 2);
+    }
+
+    #[test]
+    fn stuck_and_brownout_are_visible_but_never_trip_the_breaker() {
+        let mut t = TenantState::new();
+        // A wedged job is a liveness event, not a numerics fault: it
+        // counts as rejected + stuck but must not walk the kernel ladder.
+        for _ in 0..9 {
+            t.record_stuck();
+        }
+        assert_eq!(t.kernel(), None, "wedges must not demote the kernel");
+        // Browned-out answers are completions, flagged for the report.
+        t.record_completed(false, true, 3);
+        t.record_completed(false, false, 3);
+        let r = t.report("acme");
+        assert_eq!(r.rejected, 9);
+        assert_eq!(r.stuck, 9);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.brownout_served, 1);
+        assert_eq!(r.fault_streak, 0);
     }
 }

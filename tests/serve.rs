@@ -289,6 +289,10 @@ fn service_chaos_soak() {
                 workers: 2,
                 queue_depth: 16,
                 max_attempts: 3,
+                // The chaos mix includes wedged workers: the watchdog
+                // must be on for them to resolve (typed Stuck + respawn)
+                // instead of holding their workers forever.
+                watchdog: Some(std::time::Duration::from_millis(150)),
                 ..ServeConfig::default()
             })
         })
@@ -343,7 +347,8 @@ fn service_chaos_soak() {
                 Rejection::DeadlineExceeded
                 | Rejection::Failed(_)
                 | Rejection::Panicked { .. }
-                | Rejection::ResidualRejected { .. },
+                | Rejection::ResidualRejected { .. }
+                | Rejection::Stuck { .. },
             ) => rejected += 1,
             Err(other) => panic!("soak job resolved with {other}"),
         }
@@ -360,6 +365,9 @@ fn service_chaos_soak() {
         stats.pool_poisonings
     );
     assert!(served > 0, "chaos mix starved every job");
+    // The seed-42 mix injects wedges; the soak finishing at all proves
+    // the watchdog resolved them (a wedged worker with no watchdog would
+    // hold its job's handle forever and the wait above would hang).
     // The INFO codes the service maps rejections from stay reserved.
     assert_eq!(INFO_CANCELLED, -103);
     assert_eq!(INFO_PANICKED, -104);
